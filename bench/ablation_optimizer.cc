@@ -1,0 +1,149 @@
+// §6 optimizer ablations (the design choices DESIGN.md calls out):
+//   Ablation/pushdown   — §6.2 filters pushed into the traversal vs. applied
+//                         to emitted candidate paths only.
+//   Ablation/lengthinfer— §6.1 path-length window inferred from predicates
+//                         vs. Length treated as a post-traversal filter
+//                         (with the engine's fallback depth cap).
+//   Ablation/traversal  — §6.3 DFS vs. BFS physical operators: same answers,
+//                         different frontier footprint (max_frontier /
+//                         peak_MB counters).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace grfusion::bench {
+namespace {
+
+std::vector<int64_t> SampleVertexes(const Dataset& dataset, size_t count) {
+  std::vector<int64_t> ids;
+  size_t step = std::max<size_t>(1, dataset.vertexes.size() / count);
+  for (size_t i = 0; i < dataset.vertexes.size() && ids.size() < count;
+       i += step) {
+    ids.push_back(dataset.vertexes[i].id);
+  }
+  return ids;
+}
+
+std::string ConstrainedCountSql(const std::string& graph, int64_t start,
+                                size_t length, int64_t selectivity) {
+  std::string sql = StrFormat(
+      "SELECT COUNT(PS) FROM %s.Paths PS WHERE PS.StartVertex.Id = %lld "
+      "AND PS.Length = %zu",
+      graph.c_str(), static_cast<long long>(start), length);
+  if (selectivity >= 0) {
+    sql += StrFormat(" AND PS.Edges[0..*].rank < %lld",
+                     static_cast<long long>(selectivity));
+  }
+  return sql;
+}
+
+void RunQueries(::benchmark::State& state, Database& db,
+                const std::string& graph, const std::vector<int64_t>& starts,
+                size_t length, int64_t selectivity) {
+  // Work counters are per query batch (the last iteration's), so they stay
+  // comparable across configurations regardless of iteration counts.
+  uint64_t edges_examined = 0;
+  uint64_t pruned = 0;
+  uint64_t max_frontier = 0;
+  size_t peak_bytes = 0;
+  for (auto _ : state) {
+    edges_examined = 0;
+    pruned = 0;
+    max_frontier = 0;
+    peak_bytes = 0;
+    for (int64_t start : starts) {
+      auto result =
+          db.Execute(ConstrainedCountSql(graph, start, length, selectivity));
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      edges_examined += db.last_stats().edges_examined;
+      pruned += db.last_stats().paths_pruned;
+      max_frontier = std::max(max_frontier, db.last_stats().max_frontier);
+      peak_bytes = std::max(peak_bytes, db.last_peak_bytes());
+    }
+  }
+  state.counters["edges_examined"] = static_cast<double>(edges_examined);
+  state.counters["paths_pruned"] = static_cast<double>(pruned);
+  state.counters["max_frontier"] = static_cast<double>(max_frontier);
+  state.counters["peak_MB"] =
+      static_cast<double>(peak_bytes) / (1024.0 * 1024.0);
+  ReportPerQuery(state, starts.size());
+}
+
+void Pushdown(::benchmark::State& state, const std::string& name, bool on) {
+  BenchEnv& env = BenchEnv::Get();
+  Database& db = env.grfusion();
+  auto starts = SampleVertexes(env.dataset(name), 4);
+  bool saved = db.options().enable_filter_pushdown;
+  db.options().enable_filter_pushdown = on;
+  RunQueries(state, db, name, starts, 3, 10);
+  db.options().enable_filter_pushdown = saved;
+}
+
+void LengthInference(::benchmark::State& state, const std::string& name,
+                     bool on) {
+  BenchEnv& env = BenchEnv::Get();
+  Database& db = env.grfusion();
+  auto starts = SampleVertexes(env.dataset(name), 4);
+  bool saved = db.options().enable_length_inference;
+  size_t saved_cap = db.options().fallback_max_length;
+  db.options().enable_length_inference = on;
+  db.options().fallback_max_length = 5;  // Keeps the OFF mode terminating.
+  RunQueries(state, db, name, starts, 3, 10);
+  db.options().enable_length_inference = saved;
+  db.options().fallback_max_length = saved_cap;
+}
+
+void Traversal(::benchmark::State& state, const std::string& name,
+               PlannerOptions::Traversal traversal) {
+  BenchEnv& env = BenchEnv::Get();
+  Database& db = env.grfusion();
+  auto starts = SampleVertexes(env.dataset(name), 4);
+  auto saved = db.options().default_traversal;
+  db.options().default_traversal = traversal;
+  RunQueries(state, db, name, starts, 3, 25);
+  db.options().default_traversal = saved;
+}
+
+void RegisterAll() {
+  for (const std::string name : {"road", "social"}) {
+    for (bool on : {true, false}) {
+      ::benchmark::RegisterBenchmark(
+          ("Ablation/pushdown/" + name + (on ? "/on" : "/off")).c_str(),
+          [name, on](::benchmark::State& s) { Pushdown(s, name, on); })
+          ->Unit(::benchmark::kMillisecond)
+          ->MinTime(MinBenchTime());
+      ::benchmark::RegisterBenchmark(
+          ("Ablation/lengthinfer/" + name + (on ? "/on" : "/off")).c_str(),
+          [name, on](::benchmark::State& s) { LengthInference(s, name, on); })
+          ->Unit(::benchmark::kMillisecond)
+          ->MinTime(MinBenchTime());
+    }
+    for (auto [label, traversal] :
+         {std::pair{"dfs", PlannerOptions::Traversal::kDfs},
+          std::pair{"bfs", PlannerOptions::Traversal::kBfs},
+          std::pair{"auto", PlannerOptions::Traversal::kAuto}}) {
+      ::benchmark::RegisterBenchmark(
+          ("Ablation/traversal/" + name + "/" + label).c_str(),
+          [name, traversal](::benchmark::State& s) {
+            Traversal(s, name, traversal);
+          })
+          ->Unit(::benchmark::kMillisecond)
+          ->MinTime(MinBenchTime());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grfusion::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  grfusion::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

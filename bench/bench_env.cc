@@ -1,0 +1,115 @@
+#include "bench/bench_env.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grfusion::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::strtod(value, nullptr);
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback
+                          : std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace
+
+BenchEnv& BenchEnv::Get() {
+  static BenchEnv* env = new BenchEnv();
+  return *env;
+}
+
+BenchEnv::BenchEnv()
+    : scale_(EnvDouble("GRF_BENCH_SCALE", 0.01)),
+      seed_(EnvU64("GRF_BENCH_SEED", 20180326)) {
+  datasets_ = MakeAllDatasets(scale_, seed_);
+  for (const Dataset& dataset : datasets_) {
+    GRF_CHECK(LoadIntoDatabase(dataset, &db_).ok());
+  }
+}
+
+const Dataset& BenchEnv::dataset(const std::string& name) const {
+  for (const Dataset& d : datasets_) {
+    if (d.name == name) return d;
+  }
+  GRF_CHECK(false && "unknown dataset");
+  return datasets_.front();
+}
+
+const GraphView* BenchEnv::graph_view(const std::string& name) const {
+  return db_.catalog().FindGraphView(name);
+}
+
+SqlGraph& BenchEnv::sqlgraph(const std::string& name) {
+  auto it = sqlgraphs_.find(name);
+  if (it == sqlgraphs_.end()) {
+    auto sg = std::make_unique<SqlGraph>();
+    GRF_CHECK(sg->Load(dataset(name)).ok());
+    it = sqlgraphs_.emplace(name, std::move(sg)).first;
+  }
+  return *it->second;
+}
+
+Grail& BenchEnv::grail(const std::string& name) {
+  auto it = grails_.find(name);
+  if (it == grails_.end()) {
+    auto g = std::make_unique<Grail>();
+    GRF_CHECK(g->Load(dataset(name)).ok());
+    it = grails_.emplace(name, std::move(g)).first;
+  }
+  return *it->second;
+}
+
+PropertyGraphStore& BenchEnv::neo4j_sim(const std::string& name) {
+  auto it = neo_.find(name);
+  if (it == neo_.end()) {
+    const Dataset& d = dataset(name);
+    auto store = std::make_unique<PropertyGraphStore>(
+        PropertyGraphStore::Layout::kCompact, d.directed);
+    GRF_CHECK(store->Load(d).ok());
+    it = neo_.emplace(name, std::move(store)).first;
+  }
+  return *it->second;
+}
+
+PropertyGraphStore& BenchEnv::titan_sim(const std::string& name) {
+  auto it = titan_.find(name);
+  if (it == titan_.end()) {
+    const Dataset& d = dataset(name);
+    auto store = std::make_unique<PropertyGraphStore>(
+        PropertyGraphStore::Layout::kIndexed, d.directed);
+    GRF_CHECK(store->Load(d).ok());
+    it = titan_.emplace(name, std::move(store)).first;
+  }
+  return *it->second;
+}
+
+const std::vector<QueryPair>& BenchEnv::pairs(const std::string& name,
+                                              size_t hops, size_t count,
+                                              int64_t rank_threshold) {
+  std::string key = StrFormat("%s/%zu/%zu/%lld", name.c_str(), hops, count,
+                              static_cast<long long>(rank_threshold));
+  auto it = pair_cache_.find(key);
+  if (it == pair_cache_.end()) {
+    const GraphView* gv = graph_view(name);
+    GRF_CHECK(gv != nullptr);
+    EdgeFilter filter =
+        rank_threshold >= 0 ? MakeRankFilter(*gv, rank_threshold) : nullptr;
+    it = pair_cache_
+             .emplace(std::move(key),
+                      MakeConnectedPairs(*gv, hops, count, seed_ + hops,
+                                         filter))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace grfusion::bench

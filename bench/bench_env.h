@@ -1,0 +1,62 @@
+#ifndef GRFUSION_BENCH_BENCH_ENV_H_
+#define GRFUSION_BENCH_BENCH_ENV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/grail.h"
+#include "baselines/property_graph.h"
+#include "baselines/sqlgraph.h"
+#include "engine/database.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace grfusion::bench {
+
+/// Shared, lazily-initialized benchmark environment: the four Table 2
+/// datasets loaded into GRFusion and every baseline.
+///
+/// Scale is controlled by GRF_BENCH_SCALE (default 0.01 — a laptop-friendly
+/// scale-down of the paper's graphs; the trends, not the absolute sizes, are
+/// what the harness reproduces). GRF_BENCH_SEED fixes the generators.
+class BenchEnv {
+ public:
+  static BenchEnv& Get();
+
+  double scale() const { return scale_; }
+  uint64_t seed() const { return seed_; }
+
+  const std::vector<Dataset>& datasets() const { return datasets_; }
+  const Dataset& dataset(const std::string& name) const;
+
+  Database& grfusion() { return db_; }
+  const GraphView* graph_view(const std::string& name) const;
+  SqlGraph& sqlgraph(const std::string& name);
+  Grail& grail(const std::string& name);
+  PropertyGraphStore& neo4j_sim(const std::string& name);
+  PropertyGraphStore& titan_sim(const std::string& name);
+
+  /// Query pairs at exact hop distance, cached per (dataset, hops, filter).
+  const std::vector<QueryPair>& pairs(const std::string& name, size_t hops,
+                                      size_t count = 10,
+                                      int64_t rank_threshold = -1);
+
+ private:
+  BenchEnv();
+
+  double scale_;
+  uint64_t seed_;
+  std::vector<Dataset> datasets_;
+  Database db_;
+  std::map<std::string, std::unique_ptr<SqlGraph>> sqlgraphs_;
+  std::map<std::string, std::unique_ptr<Grail>> grails_;
+  std::map<std::string, std::unique_ptr<PropertyGraphStore>> neo_;
+  std::map<std::string, std::unique_ptr<PropertyGraphStore>> titan_;
+  std::map<std::string, std::vector<QueryPair>> pair_cache_;
+};
+
+}  // namespace grfusion::bench
+
+#endif  // GRFUSION_BENCH_BENCH_ENV_H_

@@ -1,0 +1,49 @@
+#ifndef GRFUSION_BENCH_BENCH_UTIL_H_
+#define GRFUSION_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_env.h"
+#include "common/string_util.h"
+
+namespace grfusion::bench {
+
+/// The evaluation datasets, in the paper's Table 2 order.
+inline const char* const kDatasetNames[] = {"road", "bio", "dblp", "social"};
+
+/// Builds the GRFusion reachability SQL used across the benches
+/// (paper Listing 3 shape).
+inline std::string ReachabilitySql(const std::string& graph, int64_t src,
+                                   int64_t dst, int64_t rank_threshold = -1) {
+  std::string sql = StrFormat(
+      "SELECT PS.PathString FROM %s.Paths PS WHERE PS.StartVertex.Id = %lld "
+      "AND PS.EndVertex.Id = %lld",
+      graph.c_str(), static_cast<long long>(src),
+      static_cast<long long>(dst));
+  if (rank_threshold >= 0) {
+    sql += StrFormat(" AND PS.Edges[0..*].rank < %lld",
+                     static_cast<long long>(rank_threshold));
+  }
+  sql += " LIMIT 1";
+  return sql;
+}
+
+/// Per-query microseconds as a benchmark counter.
+inline void ReportPerQuery(::benchmark::State& state, size_t queries) {
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * queries));
+  state.counters["queries"] = static_cast<double>(queries);
+}
+
+/// Minimum per-benchmark measuring time, overridable with
+/// GRF_BENCH_MIN_TIME (seconds). The default keeps a full suite run in
+/// minutes; raise it for low-noise measurements.
+inline double MinBenchTime() {
+  const char* value = std::getenv("GRF_BENCH_MIN_TIME");
+  return value == nullptr ? 0.05 : std::strtod(value, nullptr);
+}
+
+}  // namespace grfusion::bench
+
+#endif  // GRFUSION_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,160 @@
+// Figure 10 reproduction [reconstructed from §7.1's stated design]:
+// triangle counting (the paper's pattern-matching primitive, Listing 4)
+// with edge-label predicates, sweeping the rank selectivity 5%..50% on the
+// directed social graph and the bio graph.
+//
+// Expected shape: GRFusion evaluates the pattern as a length-3 PathScan
+// with pushed label/rank filters and a loop-closure residual; SQLGraph runs
+// a 3-way self-join; the graph DBs nest per-hop property lookups. Lower
+// selectivity shrinks everyone's work, but the join blow-up keeps SQLGraph
+// well above the native traversals at higher selectivities.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/graphdb_session.h"
+#include "bench/bench_util.h"
+
+namespace grfusion::bench {
+namespace {
+
+struct LabelTriple {
+  const char* l0;
+  const char* l1;
+  const char* l2;
+};
+
+LabelTriple LabelsFor(const std::string& name) {
+  if (name == "bio") return {"covalent", "stable", "transient"};
+  if (name == "road") return {"residential", "primary", "highway"};
+  if (name == "dblp") return {"journal", "conference", "workshop"};
+  return {"follows", "mentions", "retweets"};
+}
+
+std::string TriangleSql(const std::string& graph, const LabelTriple& labels,
+                        int64_t selectivity) {
+  // Loop closure via the path's own endpoints (orientation-agnostic, so it
+  // is correct on undirected graph views too; on directed views it is
+  // equivalent to the paper's Edges[2].EndVertex = Edges[0].StartVertex).
+  std::string sql = StrFormat(
+      "SELECT COUNT(P) FROM %s.Paths P WHERE P.Length = 3 "
+      "AND P.Edges[0].label = '%s' AND P.Edges[1].label = '%s' "
+      "AND P.Edges[2].label = '%s' "
+      "AND P.EndVertexId = P.StartVertexId",
+      graph.c_str(), labels.l0, labels.l1, labels.l2);
+  if (selectivity >= 0) {
+    sql += StrFormat(" AND P.Edges[0..*].rank < %lld",
+                     static_cast<long long>(selectivity));
+  }
+  return sql;
+}
+
+void GRFusionTriangles(::benchmark::State& state, const std::string& name,
+                       int64_t selectivity) {
+  BenchEnv& env = BenchEnv::Get();
+  Database& db = env.grfusion();
+  LabelTriple labels = LabelsFor(name);
+  int64_t count = -1;
+  for (auto _ : state) {
+    auto result = db.Execute(TriangleSql(name, labels, selectivity));
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    count = result->ScalarValue().AsBigInt();
+  }
+  state.counters["triangles"] = static_cast<double>(count);
+  state.counters["paths_pruned"] =
+      static_cast<double>(db.last_stats().paths_pruned);
+  ReportPerQuery(state, 1);
+}
+
+void SqlGraphTriangles(::benchmark::State& state, const std::string& name,
+                       int64_t selectivity) {
+  BenchEnv& env = BenchEnv::Get();
+  SqlGraph& sg = env.sqlgraph(name);
+  LabelTriple labels = LabelsFor(name);
+  int64_t count = -1;
+  for (auto _ : state) {
+    auto result =
+        sg.CountTriangles(labels.l0, labels.l1, labels.l2, selectivity);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    count = *result;
+  }
+  state.counters["triangles"] = static_cast<double>(count);
+  ReportPerQuery(state, 1);
+}
+
+void GraphDbTriangles(::benchmark::State& state, const std::string& name,
+                      int64_t selectivity, bool titan) {
+  BenchEnv& env = BenchEnv::Get();
+  GraphDbSession session(titan ? &env.titan_sim(name) : &env.neo4j_sim(name));
+  LabelTriple labels = LabelsFor(name);
+  for (auto _ : state) {
+    std::string query = StrFormat("TRIANGLES label %s %s %s", labels.l0,
+                                  labels.l1, labels.l2);
+    if (selectivity >= 0) {
+      query += StrFormat(" RANK < %lld", static_cast<long long>(selectivity));
+    }
+    auto rows = session.Execute(query);
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    ::benchmark::DoNotOptimize(rows->size());
+  }
+  ReportPerQuery(state, 1);
+}
+
+void RegisterAll() {
+  // Directed pattern matching: run on the directed social graph plus the
+  // dense undirected bio graph (as an upper-stress case).
+  for (const std::string name : {"social", "bio"}) {
+    for (int64_t selectivity : {5, 10, 25, 50, -1}) {
+      std::string suffix =
+          name +
+          (selectivity < 0 ? "/sel:100" : "/sel:" + std::to_string(selectivity));
+      ::benchmark::RegisterBenchmark(
+          ("Fig10/GRFusion/" + suffix).c_str(),
+          [name, selectivity](::benchmark::State& s) {
+            GRFusionTriangles(s, name, selectivity);
+          })
+          ->Unit(::benchmark::kMillisecond)
+          ->MinTime(MinBenchTime());
+      ::benchmark::RegisterBenchmark(
+          ("Fig10/SQLGraph/" + suffix).c_str(),
+          [name, selectivity](::benchmark::State& s) {
+            SqlGraphTriangles(s, name, selectivity);
+          })
+          ->Unit(::benchmark::kMillisecond)
+          ->MinTime(MinBenchTime());
+      ::benchmark::RegisterBenchmark(
+          ("Fig10/Neo4jSim/" + suffix).c_str(),
+          [name, selectivity](::benchmark::State& s) {
+            GraphDbTriangles(s, name, selectivity, false);
+          })
+          ->Unit(::benchmark::kMillisecond)
+          ->MinTime(MinBenchTime());
+      ::benchmark::RegisterBenchmark(
+          ("Fig10/TitanSim/" + suffix).c_str(),
+          [name, selectivity](::benchmark::State& s) {
+            GraphDbTriangles(s, name, selectivity, true);
+          })
+          ->Unit(::benchmark::kMillisecond)
+          ->MinTime(MinBenchTime());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grfusion::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  grfusion::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

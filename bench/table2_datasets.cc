@@ -1,0 +1,67 @@
+// Table 2 reproduction: properties of the evaluation datasets (scaled
+// stand-ins for Tiger / String / DBLP / Twitter — see DESIGN.md's
+// substitution table). Prints the table, then times a full VertexScan per
+// dataset as the registered benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace grfusion::bench {
+namespace {
+
+void PrintTable2() {
+  BenchEnv& env = BenchEnv::Get();
+  std::printf("\nTable 2: dataset properties (scale=%.4f, seed=%llu)\n",
+              env.scale(), static_cast<unsigned long long>(env.seed()));
+  std::printf("%-8s %10s %10s %10s %9s %12s\n", "dataset", "vertexes",
+              "edges", "avg-deg", "directed", "topology-MB");
+  for (const Dataset& d : env.datasets()) {
+    const GraphView* gv = env.graph_view(d.name);
+    std::printf("%-8s %10zu %10zu %10.2f %9s %12.2f\n", d.name.c_str(),
+                d.vertexes.size(), d.edges.size(), d.AvgDegree(),
+                d.directed ? "yes" : "no",
+                static_cast<double>(gv->TopologyBytes()) / (1024.0 * 1024.0));
+  }
+  std::printf("\n");
+}
+
+void VertexScanAll(::benchmark::State& state, const std::string& name) {
+  BenchEnv& env = BenchEnv::Get();
+  Database& db = env.grfusion();
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto result = db.Execute(
+        StrFormat("SELECT COUNT(*) FROM %s.Vertexes V", name.c_str()));
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = result->ScalarValue().AsBigInt();
+  }
+  state.counters["vertexes"] = static_cast<double>(rows);
+}
+
+void RegisterAll() {
+  for (const char* name : kDatasetNames) {
+    ::benchmark::RegisterBenchmark(
+        (std::string("Table2/vertexscan/") + name).c_str(),
+        [name](::benchmark::State& s) { VertexScanAll(s, name); })
+        ->Unit(::benchmark::kMillisecond)
+          ->MinTime(MinBenchTime());
+  }
+}
+
+}  // namespace
+}  // namespace grfusion::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  grfusion::bench::PrintTable2();
+  grfusion::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

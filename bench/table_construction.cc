@@ -1,0 +1,152 @@
+// Graph-view construction and online-update costs (paper §3.2/§3.3):
+//  - Construct: one pass over the relational sources materializes the
+//    topology; we report build time and the topology's memory footprint
+//    (which is independent of the attribute data — the §3.2 design point).
+//  - Update: per-statement latency of inserting/deleting an edge row through
+//    SQL, including the transactional topology maintenance.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace grfusion::bench {
+namespace {
+
+void ConstructGraphView(::benchmark::State& state, const std::string& name) {
+  BenchEnv& env = BenchEnv::Get();
+  const Dataset& dataset = env.dataset(name);
+
+  // A private database so construction can be repeated.
+  Database db;
+  const std::string vt = name + "_v";
+  const std::string et = name + "_e";
+  auto status = db.ExecuteScript(StrFormat(
+      "CREATE TABLE %s (id BIGINT PRIMARY KEY, name VARCHAR, kind VARCHAR, "
+      "score DOUBLE);"
+      "CREATE TABLE %s (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, "
+      "weight DOUBLE, label VARCHAR, rank BIGINT);",
+      vt.c_str(), et.c_str()));
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+  std::vector<std::vector<Value>> vrows, erows;
+  for (const VertexRow& v : dataset.vertexes) {
+    vrows.push_back({Value::BigInt(v.id), Value::Varchar(v.name),
+                     Value::Varchar(v.kind), Value::Double(v.score)});
+  }
+  for (const EdgeRow& e : dataset.edges) {
+    erows.push_back({Value::BigInt(e.id), Value::BigInt(e.src),
+                     Value::BigInt(e.dst), Value::Double(e.weight),
+                     Value::Varchar(e.label), Value::BigInt(e.rank)});
+  }
+  (void)db.BulkInsert(vt, vrows);
+  (void)db.BulkInsert(et, erows);
+
+  std::string create = StrFormat(
+      "CREATE %s GRAPH VIEW %s "
+      "VERTEXES (ID = id, name = name, kind = kind, score = score) FROM %s "
+      "EDGES (ID = id, FROM = src, TO = dst, weight = weight, label = label, "
+      "rank = rank) FROM %s",
+      dataset.directed ? "DIRECTED" : "UNDIRECTED", name.c_str(), vt.c_str(),
+      et.c_str());
+  size_t topology_bytes = 0;
+  for (auto _ : state) {
+    auto created = db.Execute(create);
+    if (!created.ok()) {
+      state.SkipWithError(created.status().ToString().c_str());
+      return;
+    }
+    const GraphView* gv = db.catalog().FindGraphView(name);
+    topology_bytes = gv->TopologyBytes();
+    state.PauseTiming();
+    (void)db.Execute("DROP GRAPH VIEW " + name);
+    state.ResumeTiming();
+  }
+  state.counters["vertexes"] = static_cast<double>(dataset.vertexes.size());
+  state.counters["edges"] = static_cast<double>(dataset.edges.size());
+  state.counters["topology_MB"] =
+      static_cast<double>(topology_bytes) / (1024.0 * 1024.0);
+}
+
+void OnlineEdgeUpdate(::benchmark::State& state, const std::string& name) {
+  BenchEnv& env = BenchEnv::Get();
+  Database& db = env.grfusion();
+  const Dataset& dataset = env.dataset(name);
+  // Insert + delete a fresh edge between two existing vertexes per
+  // iteration; both statements maintain the topology transactionally.
+  int64_t next_id = static_cast<int64_t>(dataset.edges.size()) + 1000000;
+  int64_t a = dataset.vertexes.front().id;
+  int64_t b = dataset.vertexes.back().id;
+  for (auto _ : state) {
+    int64_t id = next_id++;
+    auto inserted = db.Execute(StrFormat(
+        "INSERT INTO %s_e VALUES (%lld, %lld, %lld, 1.5, 'bench', 7)",
+        name.c_str(), static_cast<long long>(id), static_cast<long long>(a),
+        static_cast<long long>(b)));
+    if (!inserted.ok()) {
+      state.SkipWithError(inserted.status().ToString().c_str());
+      return;
+    }
+    auto deleted = db.Execute(StrFormat("DELETE FROM %s_e WHERE id = %lld",
+                                        name.c_str(),
+                                        static_cast<long long>(id)));
+    if (!deleted.ok()) {
+      state.SkipWithError(deleted.status().ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // Two statements each.
+}
+
+void OnlineAttributeUpdate(::benchmark::State& state, const std::string& name) {
+  BenchEnv& env = BenchEnv::Get();
+  Database& db = env.grfusion();
+  const Dataset& dataset = env.dataset(name);
+  int64_t edge = dataset.edges.front().id;
+  double w = 1.0;
+  // Attribute updates touch only the relational source (paper §3.3.1: the
+  // topology is unaffected).
+  for (auto _ : state) {
+    w += 0.001;
+    auto updated = db.Execute(
+        StrFormat("UPDATE %s_e SET weight = %f WHERE id = %lld", name.c_str(),
+                  w, static_cast<long long>(edge)));
+    if (!updated.ok()) {
+      state.SkipWithError(updated.status().ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RegisterAll() {
+  for (const char* name : kDatasetNames) {
+    ::benchmark::RegisterBenchmark(
+        (std::string("Construction/") + name).c_str(),
+        [name](::benchmark::State& s) { ConstructGraphView(s, name); })
+        ->Unit(::benchmark::kMillisecond)
+          ->MinTime(MinBenchTime());
+    ::benchmark::RegisterBenchmark(
+        (std::string("Update/topology/") + name).c_str(),
+        [name](::benchmark::State& s) { OnlineEdgeUpdate(s, name); })
+        ->Unit(::benchmark::kMicrosecond)
+          ->MinTime(MinBenchTime());
+    ::benchmark::RegisterBenchmark(
+        (std::string("Update/attribute/") + name).c_str(),
+        [name](::benchmark::State& s) { OnlineAttributeUpdate(s, name); })
+        ->Unit(::benchmark::kMicrosecond)
+          ->MinTime(MinBenchTime());
+  }
+}
+
+}  // namespace
+}  // namespace grfusion::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  grfusion::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Whole-graph analytics example: running classic graph algorithms directly
+// over graph views (no extraction from the RDBMS — the point of the paper's
+// Native G+R Core vs. the Native Graph-Core extract-then-analyze pattern),
+// then mixing the results back into SQL.
+//
+// Build & run:  ./build/examples/graph_analytics
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "graphalg/algorithms.h"
+#include "workload/datasets.h"
+
+using namespace grfusion;
+
+int main() {
+  Database db;
+  Dataset dblp = MakeCoauthorNetwork(3000, 14, /*seed=*/5);
+  Status status = LoadIntoDatabase(dblp, &db);
+  if (!status.ok()) {
+    std::printf("load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const GraphView* gv = db.catalog().FindGraphView("dblp");
+  std::printf("co-authorship network: %zu authors, %zu collaborations\n\n",
+              gv->NumVertexes(), gv->NumEdges());
+
+  // 1. PageRank over the topology; top-5 most central authors.
+  auto rank = PageRank(*gv, 25);
+  std::vector<std::pair<double, VertexId>> ranked;
+  for (const auto& [id, r] : rank) ranked.emplace_back(r, id);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("most central authors (PageRank):\n");
+  for (size_t i = 0; i < 5 && i < ranked.size(); ++i) {
+    std::printf("  author %lld  rank %.5f\n",
+                static_cast<long long>(ranked[i].second), ranked[i].first);
+  }
+
+  // 2. Connected components: research communities.
+  auto cc = ConnectedComponents(*gv);
+  std::unordered_map<VertexId, size_t> sizes;
+  for (const auto& [v, rep] : cc) ++sizes[rep];
+  size_t biggest = 0;
+  for (const auto& [rep, n] : sizes) biggest = std::max(biggest, n);
+  std::printf("\ncommunities: %zu components, largest has %zu authors\n",
+              sizes.size(), biggest);
+
+  // 3. Collaboration distance (Erdos-number style) from the top author.
+  VertexId star = ranked.front().second;
+  auto sssp = SingleSourceShortestPaths(*gv, star, "weight");
+  if (sssp.ok()) {
+    std::printf("\nauthors within collaboration distance of author %lld: %zu\n",
+                static_cast<long long>(star), sssp->size() - 1);
+  }
+  auto circle = KHopNeighborhood(*gv, star, 2);
+  std::printf("2-hop collaboration circle of author %lld: %zu authors\n",
+              static_cast<long long>(star), circle.size());
+
+  // 4. Triangles = tightly-knit trios; exact count over the topology.
+  std::printf("\ncollaboration triangles: %lld\n",
+              static_cast<long long>(CountTrianglesExact(*gv)));
+
+  // 5. Feed an algorithm result back into SQL: materialize the star's
+  //    2-hop circle and join it with relational attributes.
+  Status setup = db.ExecuteScript(
+      "CREATE TABLE circle (author BIGINT PRIMARY KEY);");
+  if (setup.ok()) {
+    std::vector<std::vector<Value>> rows;
+    for (VertexId v : circle) rows.push_back({Value::BigInt(v)});
+    (void)db.BulkInsert("circle", rows);
+    auto result = db.Execute(
+        "SELECT V.kind, COUNT(*) AS n FROM circle C, dblp.Vertexes V "
+        "WHERE C.author = V.ID GROUP BY V.kind ORDER BY n DESC LIMIT 4");
+    if (result.ok()) {
+      std::printf("\ncircle composition by author kind:\n%s",
+                  result->ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Interactive SQL shell for GRFusion — the psql of this repository.
+//
+//   ./build/examples/grfusion_shell
+//
+// Meta commands:
+//   \demo            load the paper's social-network demo schema
+//   \gen <name>      generate + load a synthetic dataset
+//                    (road | bio | dblp | social)
+//   \tables          list tables and graph views
+//   \stats           execution statistics of the last query
+//   \q               quit
+// Anything else is executed as SQL (end statements with ';' or newline).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "workload/datasets.h"
+
+using namespace grfusion;
+
+namespace {
+
+const char* const kDemoSchema = R"sql(
+  CREATE TABLE Users (
+    uId BIGINT PRIMARY KEY, fName VARCHAR, lName VARCHAR,
+    dob VARCHAR, job VARCHAR);
+  CREATE TABLE Relationships (
+    relId BIGINT PRIMARY KEY, uId BIGINT, uId2 BIGINT,
+    startDate VARCHAR, isRelative BOOLEAN, closeness DOUBLE);
+  INSERT INTO Users VALUES
+    (1, 'Edy', 'Smith', '1990-01-01', 'Lawyer'),
+    (2, 'Bob', 'Jones', '1985-03-04', 'Doctor'),
+    (3, 'Ann', 'Parker', '1999-05-06', 'Lawyer'),
+    (4, 'Bill', 'Patrick', '1978-07-08', 'Engineer'),
+    (5, 'Eve', 'Stone', '1992-09-10', 'Doctor');
+  INSERT INTO Relationships VALUES
+    (100, 1, 2, '2001-05-05', true, 1.0),
+    (200, 2, 3, '2003-06-06', false, 2.0),
+    (300, 3, 4, '2005-07-07', false, 1.0),
+    (400, 1, 4, '1999-08-08', true, 9.0),
+    (500, 4, 5, '2007-09-09', false, 1.0);
+  CREATE UNDIRECTED GRAPH VIEW SocialNetwork
+    VERTEXES (ID = uId, lstName = lName, birthdate = dob, job = job)
+    FROM Users
+    EDGES (ID = relId, FROM = uId, TO = uId2,
+           sdate = startDate, relative = isRelative, closeness = closeness)
+    FROM Relationships;
+)sql";
+
+void PrintStats(const Database& db) {
+  const ExecStats& s = db.last_stats();
+  std::printf(
+      "rows scanned: %llu, rows joined: %llu, vertexes expanded: %llu,\n"
+      "edges examined: %llu, paths emitted: %llu, paths pruned: %llu,\n"
+      "max frontier: %llu, peak memory: %.2f MB\n",
+      static_cast<unsigned long long>(s.rows_scanned),
+      static_cast<unsigned long long>(s.rows_joined),
+      static_cast<unsigned long long>(s.vertexes_expanded),
+      static_cast<unsigned long long>(s.edges_examined),
+      static_cast<unsigned long long>(s.paths_emitted),
+      static_cast<unsigned long long>(s.paths_pruned),
+      static_cast<unsigned long long>(s.max_frontier),
+      static_cast<double>(db.last_peak_bytes()) / (1024.0 * 1024.0));
+}
+
+bool HandleMeta(Database& db, const std::string& line) {
+  if (line == "\\demo") {
+    Status status = db.ExecuteScript(kDemoSchema);
+    std::printf("%s\n", status.ok() ? "demo schema loaded (graph view "
+                                      "'SocialNetwork')"
+                                    : status.ToString().c_str());
+    return true;
+  }
+  if (line.rfind("\\gen ", 0) == 0) {
+    std::string name(Trim(line.substr(5)));
+    Dataset dataset;
+    if (name == "road") {
+      dataset = MakeRoadNetwork(32, 32, 1);
+    } else if (name == "bio") {
+      dataset = MakeProteinNetwork(2000, 8, 2);
+    } else if (name == "dblp") {
+      dataset = MakeCoauthorNetwork(2000, 12, 3);
+    } else if (name == "social") {
+      dataset = MakeSocialNetwork(2000, 8, 4);
+    } else {
+      std::printf("unknown dataset '%s'\n", name.c_str());
+      return true;
+    }
+    Status status = LoadIntoDatabase(dataset, &db);
+    if (status.ok()) {
+      std::printf("loaded graph view '%s': %zu vertexes, %zu edges\n",
+                  name.c_str(), dataset.vertexes.size(),
+                  dataset.edges.size());
+    } else {
+      std::printf("%s\n", status.ToString().c_str());
+    }
+    return true;
+  }
+  if (line == "\\tables") {
+    for (const std::string& t : db.catalog().TableNames()) {
+      std::printf("table       %s\n", t.c_str());
+    }
+    for (const std::string& g : db.catalog().GraphViewNames()) {
+      const GraphView* gv = db.catalog().FindGraphView(g);
+      std::printf("graph view  %s (%zu vertexes, %zu edges)\n", g.c_str(),
+                  gv->NumVertexes(), gv->NumEdges());
+    }
+    return true;
+  }
+  if (line == "\\stats") {
+    PrintStats(db);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  std::printf(
+      "GRFusion shell — graph-relational SQL. \\demo loads the paper's "
+      "example;\n\\gen <road|bio|dblp|social> generates data; \\q quits.\n");
+  std::string line;
+  while (true) {
+    std::printf("grfusion> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "\\q" || trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed[0] == '\\') {
+      if (!HandleMeta(db, trimmed)) {
+        std::printf("unknown meta command\n");
+      }
+      continue;
+    }
+    auto result = db.Execute(trimmed);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString(100).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef GRFUSION_BASELINES_GRAIL_H_
+#define GRFUSION_BASELINES_GRAIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "workload/datasets.h"
+
+namespace grfusion {
+
+/// Grail-style baseline [Fan et al., CIDR'15]: graph queries compiled into
+/// *iterative* relational programs executed by the RDBMS — a shortest-path
+/// query becomes a frontier-expansion loop where every iteration is one
+/// relational join + aggregation over a frontier table and the edge table.
+///
+/// The driver below plays the role of Grail's generated procedural-SQL
+/// wrapper: it issues the per-iteration SQL, moves the surviving rows into
+/// the next frontier table, and keeps the tentative-distance map — exactly
+/// the work a stored procedure would do inside the RDBMS, minus the paper's
+/// SQL-dialect translation.
+class Grail {
+ public:
+  explicit Grail(size_t memory_cap = QueryContext::kDefaultMemoryCap);
+
+  Status Load(const Dataset& dataset);
+
+  /// Single-source-single-target shortest-path cost by iterative relational
+  /// frontier expansion (Bellman-Ford flavored, non-negative weights).
+  /// std::nullopt when unreachable. `rank_threshold` >= 0 restricts every
+  /// hop to edges with rank < threshold.
+  StatusOr<std::optional<double>> ShortestPathCost(int64_t src, int64_t dst,
+                                                   int64_t rank_threshold = -1);
+
+  /// Reachability by the same loop without weights; stops as soon as the
+  /// target enters the frontier.
+  StatusOr<bool> Reachable(int64_t src, int64_t dst, size_t max_hops,
+                           int64_t rank_threshold = -1);
+
+  Database& db() { return db_; }
+  /// Relational iterations executed by the most recent query.
+  size_t last_iterations() const { return last_iterations_; }
+
+ private:
+  std::string edge_table_;
+  std::string frontier_table_;
+  bool loaded_ = false;
+  size_t last_iterations_ = 0;
+  Database db_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_BASELINES_GRAIL_H_

@@ -1,0 +1,121 @@
+#include "baselines/graphdb_session.h"
+
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace grfusion {
+
+namespace {
+
+struct ParsedGraphQuery {
+  std::string op;
+  std::vector<Token> args;
+  int64_t rank_threshold = -1;
+  size_t max_hops = SIZE_MAX;
+};
+
+StatusOr<ParsedGraphQuery> ParseGraphQuery(const std::string& query) {
+  GRF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  if (tokens.empty() || tokens[0].type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("expected REACH, SPATH, or TRIANGLES");
+  }
+  ParsedGraphQuery parsed;
+  parsed.op = ToUpper(tokens[0].text);
+  size_t i = 1;
+  while (i < tokens.size() && tokens[i].type != TokenType::kEnd) {
+    const Token& t = tokens[i];
+    if (t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, "RANK")) {
+      if (i + 2 >= tokens.size() || !tokens[i + 1].IsSymbol("<") ||
+          tokens[i + 2].type != TokenType::kInteger) {
+        return Status::InvalidArgument("malformed RANK < n clause");
+      }
+      parsed.rank_threshold = tokens[i + 2].int_value;
+      i += 3;
+      continue;
+    }
+    if (t.type == TokenType::kIdentifier &&
+        EqualsIgnoreCase(t.text, "MAXHOPS")) {
+      if (i + 1 >= tokens.size() ||
+          tokens[i + 1].type != TokenType::kInteger) {
+        return Status::InvalidArgument("malformed MAXHOPS clause");
+      }
+      parsed.max_hops = static_cast<size_t>(tokens[i + 1].int_value);
+      i += 2;
+      continue;
+    }
+    if (t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, "USING")) {
+      ++i;
+      continue;  // Separator; the property follows as a plain arg.
+    }
+    parsed.args.push_back(t);
+    ++i;
+  }
+  return parsed;
+}
+
+StatusOr<int64_t> IntArg(const ParsedGraphQuery& q, size_t index) {
+  if (index >= q.args.size() || q.args[index].type != TokenType::kInteger) {
+    return Status::InvalidArgument("expected integer argument");
+  }
+  return q.args[index].int_value;
+}
+
+StatusOr<std::string> NameArg(const ParsedGraphQuery& q, size_t index) {
+  if (index >= q.args.size() ||
+      (q.args[index].type != TokenType::kIdentifier &&
+       q.args[index].type != TokenType::kString)) {
+    return Status::InvalidArgument("expected name argument");
+  }
+  return q.args[index].text;
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> GraphDbSession::Execute(
+    const std::string& query) {
+  GRF_ASSIGN_OR_RETURN(ParsedGraphQuery parsed, ParseGraphQuery(query));
+
+  PropertyGraphStore::Transaction txn;
+  PropertyGraphStore::EdgePredicate predicate;
+  if (parsed.rank_threshold >= 0) {
+    int64_t threshold = parsed.rank_threshold;
+    predicate = [threshold](const PropertyMap& props) {
+      auto it = props.find("rank");
+      return it != props.end() && !it->second.is_null() &&
+             it->second.AsBigInt() < threshold;
+    };
+  }
+
+  std::vector<std::string> rows;
+  if (parsed.op == "REACH") {
+    GRF_ASSIGN_OR_RETURN(int64_t src, IntArg(parsed, 0));
+    GRF_ASSIGN_OR_RETURN(int64_t dst, IntArg(parsed, 1));
+    if (store_->Reachable(src, dst, predicate, parsed.max_hops, &txn)) {
+      rows.push_back(StrFormat("reachable(%lld,%lld)",
+                               static_cast<long long>(src),
+                               static_cast<long long>(dst)));
+    }
+  } else if (parsed.op == "SPATH") {
+    GRF_ASSIGN_OR_RETURN(int64_t src, IntArg(parsed, 0));
+    GRF_ASSIGN_OR_RETURN(int64_t dst, IntArg(parsed, 1));
+    GRF_ASSIGN_OR_RETURN(std::string weight, NameArg(parsed, 2));
+    auto cost = store_->ShortestPathCost(src, dst, weight, predicate, &txn);
+    if (cost.has_value()) {
+      rows.push_back(StrFormat("cost=%.6f", *cost));
+    }
+  } else if (parsed.op == "TRIANGLES") {
+    GRF_ASSIGN_OR_RETURN(std::string prop, NameArg(parsed, 0));
+    GRF_ASSIGN_OR_RETURN(std::string l0, NameArg(parsed, 1));
+    GRF_ASSIGN_OR_RETURN(std::string l1, NameArg(parsed, 2));
+    GRF_ASSIGN_OR_RETURN(std::string l2, NameArg(parsed, 3));
+    int64_t count = store_->CountTriangles(prop, l0, l1, l2, predicate, &txn);
+    rows.push_back(StrFormat("count=%lld", static_cast<long long>(count)));
+  } else {
+    return Status::InvalidArgument("unknown graph query op '" + parsed.op +
+                                   "'");
+  }
+  last_txn_edge_reads_ = txn.edge_reads.size();
+  return rows;
+}
+
+}  // namespace grfusion

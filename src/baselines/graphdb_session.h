@@ -1,0 +1,42 @@
+#ifndef GRFUSION_BASELINES_GRAPHDB_SESSION_H_
+#define GRFUSION_BASELINES_GRAPHDB_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/property_graph.h"
+#include "common/status.h"
+
+namespace grfusion {
+
+/// Declarative front end of the property-graph baseline, modeling the query
+/// stack every real graph database puts between a client and its storage
+/// engine: the query text is parsed per call, execution runs inside a read
+/// transaction that registers every touched edge, and results are serialized
+/// to strings (the wire format). This keeps the GRFusion-vs-graph-DB
+/// comparison stack-to-stack — GRFusion pays SQL parse + plan per query, the
+/// graph DB pays its own parse + transaction + serialization.
+///
+/// Mini query language (Gremlin-flavored):
+///   REACH <src> <dst> [MAXHOPS <n>] [RANK < <t>]
+///   SPATH <src> <dst> USING <weight-property> [RANK < <t>]
+///   TRIANGLES <prop> <label0> <label1> <label2> [RANK < <t>]
+class GraphDbSession {
+ public:
+  explicit GraphDbSession(const PropertyGraphStore* store) : store_(store) {}
+
+  /// Parses, runs, and serializes one query. REACH yields 0 or 1 row
+  /// ("reachable"); SPATH yields the cost; TRIANGLES yields the count.
+  StatusOr<std::vector<std::string>> Execute(const std::string& query);
+
+  /// Edge reads registered by the most recent query's transaction.
+  size_t last_txn_edge_reads() const { return last_txn_edge_reads_; }
+
+ private:
+  const PropertyGraphStore* store_;
+  size_t last_txn_edge_reads_ = 0;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_BASELINES_GRAPHDB_SESSION_H_

@@ -1,0 +1,189 @@
+#include "baselines/property_graph.h"
+
+#include <deque>
+#include <queue>
+#include <unordered_set>
+
+namespace grfusion {
+
+void PropertyGraphStore::AddVertex(int64_t id, PropertyMap properties) {
+  StoredVertex v;
+  v.id = id;
+  v.properties = std::move(properties);
+  vertexes_.emplace(id, std::move(v));
+}
+
+Status PropertyGraphStore::AddEdge(int64_t id, int64_t src, int64_t dst,
+                                   PropertyMap properties) {
+  auto src_it = vertexes_.find(src);
+  auto dst_it = vertexes_.find(dst);
+  if (src_it == vertexes_.end() || dst_it == vertexes_.end()) {
+    return Status::ConstraintViolation("edge endpoint missing");
+  }
+  size_t pos = edges_.size();
+  edges_.push_back(StoredEdge{id, src, dst, std::move(properties)});
+  edge_index_[id] = pos;
+  auto attach = [&](StoredVertex& v) {
+    if (layout_ == Layout::kCompact) {
+      v.out.push_back(pos);
+    } else {
+      v.out_ids.push_back(id);
+    }
+  };
+  attach(src_it->second);
+  if (!directed_) attach(dst_it->second);
+  return Status::OK();
+}
+
+Status PropertyGraphStore::Load(const Dataset& dataset) {
+  for (const VertexRow& v : dataset.vertexes) {
+    AddVertex(v.id, PropertyMap{{"name", Value::Varchar(v.name)},
+                                {"kind", Value::Varchar(v.kind)},
+                                {"score", Value::Double(v.score)}});
+  }
+  for (const EdgeRow& e : dataset.edges) {
+    GRF_RETURN_IF_ERROR(
+        AddEdge(e.id, e.src, e.dst,
+                PropertyMap{{"weight", Value::Double(e.weight)},
+                            {"label", Value::Varchar(e.label)},
+                            {"rank", Value::BigInt(e.rank)}}));
+  }
+  return Status::OK();
+}
+
+template <typename Fn>
+void PropertyGraphStore::ForEachOut(const StoredVertex& v, Transaction* txn,
+                                    Fn&& fn) const {
+  if (layout_ == Layout::kCompact) {
+    for (size_t pos : v.out) {
+      ++edges_examined;
+      const StoredEdge& e = edges_[pos];
+      if (txn != nullptr) txn->RecordEdgeRead(e.id);
+      if (!fn(e, e.src == v.id ? e.dst : e.src)) return;
+    }
+  } else {
+    for (int64_t id : v.out_ids) {
+      ++edges_examined;
+      auto it = edge_index_.find(id);  // Titan-style id indirection.
+      if (it == edge_index_.end()) continue;
+      const StoredEdge& e = edges_[it->second];
+      if (txn != nullptr) txn->RecordEdgeRead(e.id);
+      if (!fn(e, e.src == v.id ? e.dst : e.src)) return;
+    }
+  }
+}
+
+bool PropertyGraphStore::Reachable(int64_t src, int64_t dst,
+                                   const EdgePredicate& predicate,
+                                   size_t max_hops, Transaction* txn) const {
+  edges_examined = 0;
+  vertexes_expanded = 0;
+  if (vertexes_.count(src) == 0 || vertexes_.count(dst) == 0) return false;
+  if (src == dst) return true;
+
+  std::unordered_set<int64_t> visited{src};
+  std::deque<std::pair<int64_t, size_t>> frontier{{src, 0}};
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    auto [u, depth] = frontier.front();
+    frontier.pop_front();
+    ++vertexes_expanded;
+    if (depth >= max_hops) continue;
+    const StoredVertex& uv = vertexes_.at(u);
+    ForEachOut(uv, txn, [&](const StoredEdge& e, int64_t nbr) {
+      if (predicate != nullptr && !predicate(e.properties)) return true;
+      if (nbr == dst) {
+        found = true;
+        return false;
+      }
+      if (visited.insert(nbr).second) frontier.emplace_back(nbr, depth + 1);
+      return true;
+    });
+  }
+  return found;
+}
+
+std::optional<double> PropertyGraphStore::ShortestPathCost(
+    int64_t src, int64_t dst, const std::string& weight_property,
+    const EdgePredicate& predicate, Transaction* txn) const {
+  edges_examined = 0;
+  vertexes_expanded = 0;
+  if (vertexes_.count(src) == 0 || vertexes_.count(dst) == 0) {
+    return std::nullopt;
+  }
+  using Entry = std::pair<double, int64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::unordered_map<int64_t, double> dist;
+  heap.emplace(0.0, src);
+  dist[src] = 0.0;
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (u == dst) return d;
+    auto it = dist.find(u);
+    if (it != dist.end() && d > it->second) continue;
+    ++vertexes_expanded;
+    const StoredVertex& uv = vertexes_.at(u);
+    ForEachOut(uv, txn, [&](const StoredEdge& e, int64_t nbr) {
+      if (predicate != nullptr && !predicate(e.properties)) return true;
+      auto w_it = e.properties.find(weight_property);  // String-keyed lookup.
+      if (w_it == e.properties.end() || w_it->second.is_null()) return true;
+      double nd = d + w_it->second.AsNumeric();
+      auto d_it = dist.find(nbr);
+      if (d_it == dist.end() || nd < d_it->second) {
+        dist[nbr] = nd;
+        heap.emplace(nd, nbr);
+      }
+      return true;
+    });
+  }
+  return std::nullopt;
+}
+
+int64_t PropertyGraphStore::CountTriangles(const std::string& label_property,
+                                           const std::string& label0,
+                                           const std::string& label1,
+                                           const std::string& label2,
+                                           const EdgePredicate& predicate,
+                                           Transaction* txn) const {
+  edges_examined = 0;
+  vertexes_expanded = 0;
+  auto label_is = [&](const StoredEdge& e, const std::string& want) {
+    auto it = e.properties.find(label_property);
+    return it != e.properties.end() &&
+           it->second.type() == ValueType::kVarchar &&
+           it->second.AsVarchar() == want;
+  };
+  int64_t count = 0;
+  for (const auto& [id, v] : vertexes_) {
+    ++vertexes_expanded;
+    ForEachOut(v, txn, [&](const StoredEdge& e0, int64_t b) {
+      // Directed graphs match the edge orientation; undirected graphs walk
+      // either way (ForEachOut already hands us the far endpoint).
+      if (directed_ && e0.src != v.id) return true;
+      if (predicate != nullptr && !predicate(e0.properties)) return true;
+      if (!label_is(e0, label0)) return true;
+      const StoredVertex& vb = vertexes_.at(b);
+      ForEachOut(vb, txn, [&](const StoredEdge& e1, int64_t c) {
+        if (directed_ && e1.src != b) return true;
+        if (e1.id == e0.id) return true;
+        if (predicate != nullptr && !predicate(e1.properties)) return true;
+        if (!label_is(e1, label1)) return true;
+        const StoredVertex& vc = vertexes_.at(c);
+        ForEachOut(vc, txn, [&](const StoredEdge& e2, int64_t back) {
+          if (directed_ && e2.src != c) return true;
+          if (e2.id == e0.id || e2.id == e1.id) return true;
+          if (predicate != nullptr && !predicate(e2.properties)) return true;
+          if (!label_is(e2, label2)) return true;
+          if (back == v.id) ++count;
+          return true;
+        });
+        return true;
+      });
+      return true;
+    });
+  }
+  return count;
+}
+
+}  // namespace grfusion

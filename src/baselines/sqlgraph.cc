@@ -1,0 +1,108 @@
+#include "baselines/sqlgraph.h"
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+SqlGraph::SqlGraph(size_t memory_cap) {
+  db_.options().memory_cap = memory_cap;
+}
+
+Status SqlGraph::Load(const Dataset& dataset) {
+  if (loaded_) return Status::InvalidArgument("SqlGraph already loaded");
+  const std::string vt = dataset.name + "_sg_v";
+  edge_table_ = dataset.name + "_sg_e";
+  GRF_RETURN_IF_ERROR(db_.ExecuteScript(StrFormat(
+      "CREATE TABLE %s (id BIGINT PRIMARY KEY, name VARCHAR, kind VARCHAR, "
+      "score DOUBLE);"
+      "CREATE TABLE %s (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, "
+      "weight DOUBLE, label VARCHAR, rank BIGINT);"
+      "CREATE INDEX %s_src ON %s (src);",
+      vt.c_str(), edge_table_.c_str(), edge_table_.c_str(),
+      edge_table_.c_str())));
+
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(dataset.vertexes.size());
+  for (const VertexRow& v : dataset.vertexes) {
+    rows.push_back({Value::BigInt(v.id), Value::Varchar(v.name),
+                    Value::Varchar(v.kind), Value::Double(v.score)});
+  }
+  GRF_RETURN_IF_ERROR(db_.BulkInsert(vt, rows));
+
+  rows.clear();
+  // Undirected graphs store both directions; edge ids are made unique by
+  // parity (2k / 2k+1).
+  for (const EdgeRow& e : dataset.edges) {
+    rows.push_back({Value::BigInt(e.id * 2), Value::BigInt(e.src),
+                    Value::BigInt(e.dst), Value::Double(e.weight),
+                    Value::Varchar(e.label), Value::BigInt(e.rank)});
+    if (!dataset.directed) {
+      rows.push_back({Value::BigInt(e.id * 2 + 1), Value::BigInt(e.dst),
+                      Value::BigInt(e.src), Value::Double(e.weight),
+                      Value::Varchar(e.label), Value::BigInt(e.rank)});
+    }
+  }
+  GRF_RETURN_IF_ERROR(db_.BulkInsert(edge_table_, rows));
+  loaded_ = true;
+  return Status::OK();
+}
+
+StatusOr<bool> SqlGraph::ReachableAtDepth(int64_t src, int64_t dst,
+                                          size_t hops,
+                                          int64_t rank_threshold) {
+  if (hops == 0) return src == dst;
+  // SELECT e1.dst FROM e e1, e e2, ... WHERE e1.src=S AND e1.dst=e2.src ...
+  // AND eL.dst=D LIMIT 1  — one relational join per traversed edge.
+  std::string sql = "SELECT e1.src FROM ";
+  for (size_t i = 1; i <= hops; ++i) {
+    if (i > 1) sql += ", ";
+    sql += StrFormat("%s e%zu", edge_table_.c_str(), i);
+  }
+  sql += StrFormat(" WHERE e1.src = %lld", static_cast<long long>(src));
+  for (size_t i = 1; i < hops; ++i) {
+    sql += StrFormat(" AND e%zu.dst = e%zu.src", i, i + 1);
+  }
+  sql += StrFormat(" AND e%zu.dst = %lld", hops, static_cast<long long>(dst));
+  if (rank_threshold >= 0) {
+    for (size_t i = 1; i <= hops; ++i) {
+      sql += StrFormat(" AND e%zu.rank < %lld", i,
+                       static_cast<long long>(rank_threshold));
+    }
+  }
+  sql += " LIMIT 1";
+  GRF_ASSIGN_OR_RETURN(ResultSet result, db_.Execute(sql));
+  return result.NumRows() > 0;
+}
+
+StatusOr<bool> SqlGraph::Reachable(int64_t src, int64_t dst, size_t max_hops,
+                                   int64_t rank_threshold) {
+  for (size_t hops = 1; hops <= max_hops; ++hops) {
+    GRF_ASSIGN_OR_RETURN(bool found,
+                         ReachableAtDepth(src, dst, hops, rank_threshold));
+    if (found) return true;
+  }
+  return false;
+}
+
+StatusOr<int64_t> SqlGraph::CountTriangles(const std::string& label0,
+                                           const std::string& label1,
+                                           const std::string& label2,
+                                           int64_t rank_threshold) {
+  std::string sql = StrFormat(
+      "SELECT COUNT(*) FROM %s e1, %s e2, %s e3 "
+      "WHERE e1.label = '%s' AND e2.label = '%s' AND e3.label = '%s' "
+      "AND e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src",
+      edge_table_.c_str(), edge_table_.c_str(), edge_table_.c_str(),
+      label0.c_str(), label1.c_str(), label2.c_str());
+  if (rank_threshold >= 0) {
+    for (int i = 1; i <= 3; ++i) {
+      sql += StrFormat(" AND e%d.rank < %lld", i,
+                       static_cast<long long>(rank_threshold));
+    }
+  }
+  GRF_ASSIGN_OR_RETURN(ResultSet result, db_.Execute(sql));
+  Value v = result.ScalarValue();
+  return v.is_null() ? 0 : v.AsBigInt();
+}
+
+}  // namespace grfusion

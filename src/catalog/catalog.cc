@@ -1,0 +1,102 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (name.empty()) return Status::InvalidArgument("empty table name");
+  std::string key = Key(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  if (graph_views_.count(key) > 0) {
+    return Status::AlreadyExists("a graph view named '" + name +
+                                 "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return raw;
+}
+
+Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = Key(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  // A table serving as a relational source of a live graph view cannot be
+  // dropped out from under it.
+  for (const auto& [gv_key, gv] : graph_views_) {
+    if (gv->vertex_table() == it->second.get() ||
+        gv->edge_table() == it->second.get()) {
+      return Status::ConstraintViolation("table '" + name +
+                                         "' is a source of graph view '" +
+                                         gv->name() + "'");
+    }
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+StatusOr<GraphView*> Catalog::CreateGraphView(GraphViewDef def) {
+  if (def.name.empty()) return Status::InvalidArgument("empty graph view name");
+  std::string key = Key(def.name);
+  if (graph_views_.count(key) > 0 || tables_.count(key) > 0) {
+    return Status::AlreadyExists("object '" + def.name + "' already exists");
+  }
+  Table* vertex_table = FindTable(def.vertex_table);
+  if (vertex_table == nullptr) {
+    return Status::NotFound("vertexes relational-source '" + def.vertex_table +
+                            "' does not exist");
+  }
+  Table* edge_table = FindTable(def.edge_table);
+  if (edge_table == nullptr) {
+    return Status::NotFound("edges relational-source '" + def.edge_table +
+                            "' does not exist");
+  }
+  GRF_ASSIGN_OR_RETURN(
+      std::unique_ptr<GraphView> gv,
+      GraphView::Create(std::move(def), vertex_table, edge_table));
+  GraphView* raw = gv.get();
+  graph_views_.emplace(std::move(key), std::move(gv));
+  return raw;
+}
+
+GraphView* Catalog::FindGraphView(const std::string& name) const {
+  auto it = graph_views_.find(Key(name));
+  return it == graph_views_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::DropGraphView(const std::string& name) {
+  auto it = graph_views_.find(Key(name));
+  if (it == graph_views_.end()) {
+    return Status::NotFound("graph view '" + name + "' does not exist");
+  }
+  graph_views_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::GraphViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(graph_views_.size());
+  for (const auto& [key, gv] : graph_views_) names.push_back(gv->name());
+  return names;
+}
+
+}  // namespace grfusion

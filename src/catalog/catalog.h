@@ -1,0 +1,49 @@
+#ifndef GRFUSION_CATALOG_CATALOG_H_
+#define GRFUSION_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_view.h"
+#include "storage/table.h"
+
+namespace grfusion {
+
+/// System catalog: owns all tables and graph views of one database. Graph
+/// views are singleton objects referenced by name from any number of queries
+/// (paper §3). The catalog also carries per-graph statistics (average
+/// fan-out) consumed by the optimizer's physical-operator rule (§6.3).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // --- Tables ---
+  StatusOr<Table*> CreateTable(const std::string& name, Schema schema);
+  Table* FindTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+  // --- Graph views ---
+  /// Creates and materializes a graph view over existing tables. The sources
+  /// named in `def` must already exist.
+  StatusOr<GraphView*> CreateGraphView(GraphViewDef def);
+  GraphView* FindGraphView(const std::string& name) const;
+  Status DropGraphView(const std::string& name);
+  std::vector<std::string> GraphViewNames() const;
+
+ private:
+  /// Case-insensitive name key.
+  static std::string Key(const std::string& name);
+
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<GraphView>> graph_views_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_CATALOG_CATALOG_H_

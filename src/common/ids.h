@@ -1,0 +1,32 @@
+#ifndef GRFUSION_COMMON_IDS_H_
+#define GRFUSION_COMMON_IDS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace grfusion {
+
+/// Identifier of a vertex inside a graph view. Vertex ids come from the
+/// vertexes relational-source's ID column, so they are user-controlled
+/// 64-bit integers (paper §3.1).
+using VertexId = int64_t;
+
+/// Identifier of an edge inside a graph view (from the edges
+/// relational-source's ID column).
+using EdgeId = int64_t;
+
+/// Stable handle to a tuple inside a Table: slot index into the table's
+/// chunked arena. Never reused while the tuple is live; tombstoned slots are
+/// recycled only after deletion. This is the "main-memory tuple pointer" of
+/// the paper (§3.2) in index form so it also survives relocation-free growth.
+using TupleSlot = uint64_t;
+
+inline constexpr TupleSlot kInvalidTupleSlot =
+    std::numeric_limits<uint64_t>::max();
+inline constexpr VertexId kInvalidVertexId =
+    std::numeric_limits<int64_t>::min();
+inline constexpr EdgeId kInvalidEdgeId = std::numeric_limits<int64_t>::min();
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_COMMON_IDS_H_

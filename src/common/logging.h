@@ -1,0 +1,31 @@
+#ifndef GRFUSION_COMMON_LOGGING_H_
+#define GRFUSION_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace grfusion {
+
+/// Fatal invariant check: always on, used for conditions whose violation
+/// means engine state is corrupt and continuing would be unsafe.
+#define GRF_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "GRF_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only invariant check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define GRF_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define GRF_DCHECK(cond) GRF_CHECK(cond)
+#endif
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_COMMON_LOGGING_H_

@@ -1,0 +1,17 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace grfusion {
+
+int64_t Random::SkewedIndex(int64_t n, double alpha) {
+  if (n <= 1) return 0;
+  // Inverse-transform of a truncated Pareto distribution onto [0, n).
+  double u = NextDouble();
+  double x = std::pow(u, alpha);  // alpha > 1 biases toward 0.
+  int64_t idx = static_cast<int64_t>(x * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace grfusion

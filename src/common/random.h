@@ -1,0 +1,43 @@
+#ifndef GRFUSION_COMMON_RANDOM_H_
+#define GRFUSION_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace grfusion {
+
+/// Deterministic pseudo-random source used by the workload generators and
+/// property tests so every run (and every CI machine) sees the same data.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Zipf-like skewed pick in [0, n): probability of i decays as a power law
+  /// with exponent `alpha`. Implemented via inverse-power transform, good
+  /// enough for workload skew (not an exact Zipf sampler).
+  int64_t SkewedIndex(int64_t n, double alpha);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_COMMON_RANDOM_H_

@@ -1,0 +1,148 @@
+#ifndef GRFUSION_COMMON_STATUS_H_
+#define GRFUSION_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace grfusion {
+
+/// Error categories used across the engine. Mirrors the coarse error classes
+/// a relational engine reports to clients.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad SQL, bad parameter).
+  kNotFound,          ///< Named object (table, column, graph view) missing.
+  kAlreadyExists,     ///< CREATE of an object that already exists.
+  kConstraintViolation,  ///< Referential-integrity or uniqueness violation.
+  kOutOfRange,        ///< Index or id outside its valid range.
+  kResourceExhausted, ///< Memory cap exceeded (e.g., join intermediate cap).
+  kUnsupported,       ///< Recognized but unimplemented construct.
+  kInternal,          ///< Invariant breakage; indicates a bug.
+  kAborted,           ///< Transaction aborted (e.g., by an integrity check).
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success/error result, used instead of exceptions on all engine
+/// paths. An OK status carries no message and no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Modeled after
+/// absl::StatusOr, reduced to what the engine needs.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversions from both T and Status keep call sites terse:
+  ///   return Status::NotFound(...);   return some_value;
+  StatusOr(Status status) : status_(std::move(status)), has_value_(false) {
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)), has_value_(true) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(has_value_);
+    return value_;
+  }
+  T& value() & {
+    assert(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define GRF_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::grfusion::Status grf_status_ = (expr);        \
+    if (!grf_status_.ok()) return grf_status_;      \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error propagates the status, otherwise
+/// moves the value into `lhs`.
+#define GRF_ASSIGN_OR_RETURN(lhs, expr)             \
+  GRF_ASSIGN_OR_RETURN_IMPL_(                       \
+      GRF_STATUS_CONCAT_(grf_sor_, __LINE__), lhs, expr)
+
+#define GRF_STATUS_CONCAT_INNER_(a, b) a##b
+#define GRF_STATUS_CONCAT_(a, b) GRF_STATUS_CONCAT_INNER_(a, b)
+#define GRF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_COMMON_STATUS_H_

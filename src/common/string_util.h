@@ -1,0 +1,35 @@
+#ifndef GRFUSION_COMMON_STRING_UTIL_H_
+#define GRFUSION_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grfusion {
+
+/// ASCII lower-casing (SQL identifiers and keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// SQL LIKE pattern matching: '%' matches any run, '_' any single char.
+/// Case-sensitive, like VoltDB's default collation.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_COMMON_STRING_UTIL_H_

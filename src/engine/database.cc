@@ -1,0 +1,539 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "parser/parser.h"
+#include "plan/binder.h"
+
+namespace grfusion {
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += column_names[i];
+  }
+  if (!column_names.empty()) out += "\n";
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("... (%zu more rows)\n", rows.size() - max_rows);
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  if (column_names.empty()) {
+    out += StrFormat("(%zu rows affected)\n", rows_affected);
+  }
+  return out;
+}
+
+// --- Entry points ------------------------------------------------------------------
+
+StatusOr<ResultSet> Database::Execute(std::string_view sql) {
+  std::lock_guard<std::mutex> lock(statement_mutex_);
+  std::string_view trimmed = Trim(sql);
+  // EXPLAIN <select> renders the plan instead of executing.
+  if (trimmed.size() > 8 && EqualsIgnoreCase(trimmed.substr(0, 8), "EXPLAIN ")) {
+    GRF_ASSIGN_OR_RETURN(std::string plan, Explain(trimmed.substr(8)));
+    ResultSet result;
+    result.column_names = {"plan"};
+    size_t start = 0;
+    while (start < plan.size()) {
+      size_t end = plan.find('\n', start);
+      if (end == std::string::npos) end = plan.size();
+      result.rows.push_back({Value::Varchar(plan.substr(start, end - start))});
+      start = end + 1;
+    }
+    return result;
+  }
+  GRF_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseSingle(sql));
+  return ExecuteStatement(stmt);
+}
+
+Status Database::ExecuteScript(std::string_view sql) {
+  std::lock_guard<std::mutex> lock(statement_mutex_);
+  GRF_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parser::Parse(sql));
+  for (const Statement& stmt : statements) {
+    GRF_ASSIGN_OR_RETURN(ResultSet ignored, ExecuteStatement(stmt));
+    (void)ignored;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> Database::Explain(std::string_view sql) {
+  GRF_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseSingle(sql));
+  const auto* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT statements only");
+  }
+  Planner planner(&catalog_, options_);
+  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(*select));
+  return planned.root->ToString(0);
+}
+
+StatusOr<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
+  return std::visit(
+      [this](const auto& s) -> StatusOr<ResultSet> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          return ExecuteCreateTable(s);
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          return ExecuteCreateIndex(s);
+        } else if constexpr (std::is_same_v<T, CreateGraphViewStmt>) {
+          return ExecuteCreateGraphView(s);
+        } else if constexpr (std::is_same_v<T, CreateMaterializedViewStmt>) {
+          return ExecuteCreateMaterializedView(s);
+        } else if constexpr (std::is_same_v<T, DropStmt>) {
+          return ExecuteDrop(s);
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return ExecuteInsert(s);
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          return ExecuteUpdate(s);
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          return ExecuteDelete(s);
+        } else {
+          return ExecuteSelect(s);
+        }
+      },
+      stmt);
+}
+
+// --- DDL ---------------------------------------------------------------------------
+
+StatusOr<ResultSet> Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  if (stmt.if_not_exists && catalog_.FindTable(stmt.name) != nullptr) {
+    return ResultSet();
+  }
+  Schema schema;
+  int primary_key = -1;
+  for (size_t i = 0; i < stmt.columns.size(); ++i) {
+    const ColumnDef& def = stmt.columns[i];
+    if (schema.FindColumn(def.name) >= 0) {
+      return Status::InvalidArgument("duplicate column '" + def.name + "'");
+    }
+    schema.AddColumn(Column(def.name, def.type));
+    if (def.primary_key) {
+      if (primary_key >= 0) {
+        return Status::InvalidArgument("multiple PRIMARY KEY columns");
+      }
+      primary_key = static_cast<int>(i);
+    }
+  }
+  GRF_ASSIGN_OR_RETURN(Table * table,
+                       catalog_.CreateTable(stmt.name, std::move(schema)));
+  if (primary_key >= 0) {
+    GRF_RETURN_IF_ERROR(table->CreateIndex(
+        "pk_" + stmt.name, static_cast<size_t>(primary_key), true));
+  }
+  return ResultSet();
+}
+
+StatusOr<ResultSet> Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  Table* table = catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' does not exist");
+  }
+  GRF_ASSIGN_OR_RETURN(size_t column, table->schema().ColumnIndex(stmt.column));
+  GRF_RETURN_IF_ERROR(table->CreateIndex(stmt.index_name, column, stmt.unique));
+  return ResultSet();
+}
+
+StatusOr<ResultSet> Database::ExecuteCreateGraphView(
+    const CreateGraphViewStmt& stmt) {
+  GRF_ASSIGN_OR_RETURN(GraphView * gv, catalog_.CreateGraphView(stmt.def));
+  (void)gv;
+  return ResultSet();
+}
+
+StatusOr<ResultSet> Database::ExecuteCreateMaterializedView(
+    const CreateMaterializedViewStmt& stmt) {
+  // Materialize the query result as an ordinary table: downstream DDL
+  // (indexes, graph views over it) then works unchanged. The view is a
+  // snapshot — it does not track its base tables (the paper only requires
+  // topological updates for single-table sources, §3.3.2).
+  Planner planner(&catalog_, options_);
+  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(*stmt.select));
+  Schema schema;
+  for (size_t i = 0; i < planned.output_names.size(); ++i) {
+    schema.AddColumn(Column(planned.output_names[i],
+                            planned.root->schema().column(i).type));
+  }
+  GRF_ASSIGN_OR_RETURN(ResultSet rows, ExecuteSelect(*stmt.select));
+  GRF_ASSIGN_OR_RETURN(Table * table,
+                       catalog_.CreateTable(stmt.name, std::move(schema)));
+  for (auto& row : rows.rows) {
+    auto slot = table->Insert(Tuple(std::move(row)));
+    if (!slot.ok()) {
+      (void)catalog_.DropTable(stmt.name);
+      return slot.status();
+    }
+  }
+  ResultSet result;
+  result.rows_affected = rows.rows.size();
+  return result;
+}
+
+StatusOr<ResultSet> Database::ExecuteDrop(const DropStmt& stmt) {
+  Status status;
+  switch (stmt.kind) {
+    case DropStmt::Kind::kTable:
+      status = catalog_.DropTable(stmt.name);
+      break;
+    case DropStmt::Kind::kGraphView:
+      status = catalog_.DropGraphView(stmt.name);
+      break;
+    case DropStmt::Kind::kIndex:
+      return Status::Unsupported("DROP INDEX is not implemented");
+  }
+  if (!status.ok() && stmt.if_exists &&
+      status.code() == StatusCode::kNotFound) {
+    return ResultSet();
+  }
+  GRF_RETURN_IF_ERROR(status);
+  return ResultSet();
+}
+
+// --- DML ---------------------------------------------------------------------------
+
+StatusOr<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
+  Table* table = catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' does not exist");
+  }
+  const Schema& schema = table->schema();
+
+  // Map the column list (or positional) to schema indexes.
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.NumColumns(); ++i) targets.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      GRF_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+      targets.push_back(idx);
+    }
+  }
+
+  // INSERT INTO ... SELECT: evaluate the query, then load its rows through
+  // the same constraint-checked path (statement-atomic).
+  if (stmt.select != nullptr) {
+    GRF_ASSIGN_OR_RETURN(ResultSet selected, ExecuteSelect(*stmt.select));
+    std::vector<TupleSlot> inserted;
+    for (auto& row : selected.rows) {
+      if (row.size() != targets.size()) {
+        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+          (void)table->Delete(*it);
+        }
+        return Status::InvalidArgument(StrFormat(
+            "INSERT expects %zu values, SELECT produced %zu", targets.size(),
+            row.size()));
+      }
+      std::vector<Value> values(schema.NumColumns(), Value::Null());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        values[targets[i]] = std::move(row[i]);
+      }
+      auto slot = table->Insert(Tuple(std::move(values)));
+      if (!slot.ok()) {
+        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+          (void)table->Delete(*it);
+        }
+        return slot.status();
+      }
+      inserted.push_back(*slot);
+    }
+    ResultSet result;
+    result.rows_affected = inserted.size();
+    return result;
+  }
+
+  // Value expressions may be arbitrary constant expressions.
+  BindingScope empty_scope;
+  // BindingScope requires at least nothing; Binder over empty scope binds
+  // literals and arithmetic but no column references.
+  Binder binder(&empty_scope);
+  ExecRow empty_row;
+
+  std::vector<TupleSlot> inserted;
+  for (const auto& row_exprs : stmt.rows) {
+    if (row_exprs.size() != targets.size()) {
+      Status status = Status::InvalidArgument(
+          StrFormat("INSERT expects %zu values, got %zu", targets.size(),
+                    row_exprs.size()));
+      for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+        (void)table->Delete(*it);
+      }
+      return status;
+    }
+    std::vector<Value> values(schema.NumColumns(), Value::Null());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      auto bound = binder.Bind(*row_exprs[i]);
+      Status status = bound.ok() ? Status::OK() : bound.status();
+      Value v;
+      if (status.ok()) {
+        auto evaluated = (*bound)->Eval(empty_row);
+        if (evaluated.ok()) {
+          v = std::move(evaluated).value();
+        } else {
+          status = evaluated.status();
+        }
+      }
+      if (!status.ok()) {
+        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+          (void)table->Delete(*it);
+        }
+        return status;
+      }
+      values[targets[i]] = std::move(v);
+    }
+    auto slot = table->Insert(Tuple(std::move(values)));
+    if (!slot.ok()) {
+      // Statement-level atomicity: undo this statement's prior inserts.
+      for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+        (void)table->Delete(*it);
+      }
+      return slot.status();
+    }
+    inserted.push_back(*slot);
+  }
+  ResultSet result;
+  result.rows_affected = inserted.size();
+  return result;
+}
+
+Status Database::BulkInsert(const std::string& table_name,
+                            const std::vector<std::vector<Value>>& rows) {
+  std::lock_guard<std::mutex> lock(statement_mutex_);
+  Table* table = catalog_.FindTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + table_name + "' does not exist");
+  }
+  for (const auto& row : rows) {
+    GRF_ASSIGN_OR_RETURN(TupleSlot slot, table->Insert(Tuple(row)));
+    (void)slot;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Recognizes `column = <literal>` (either orientation) against an indexed
+/// column and returns the matching slots, so UPDATE/DELETE avoid full scans.
+/// nullopt means "no usable index — scan".
+std::optional<std::vector<TupleSlot>> TryIndexLookup(const Table* table,
+                                                     const ParsedExpr* where) {
+  if (where == nullptr || where->kind != ParsedExpr::Kind::kCompare ||
+      where->compare_op != CompareOp::kEq) {
+    return std::nullopt;
+  }
+  const ParsedExpr* ref = where->children[0].get();
+  const ParsedExpr* lit = where->children[1].get();
+  if (ref->kind != ParsedExpr::Kind::kRef) std::swap(ref, lit);
+  if (ref->kind != ParsedExpr::Kind::kRef ||
+      lit->kind != ParsedExpr::Kind::kLiteral || ref->ref.size() != 1 ||
+      ref->ref[0].has_index) {
+    return std::nullopt;
+  }
+  int column = table->schema().FindColumn(ref->ref[0].name);
+  if (column < 0) return std::nullopt;
+  const HashIndex* index =
+      table->FindIndexOnColumn(static_cast<size_t>(column));
+  if (index == nullptr) return std::nullopt;
+  Value key = lit->literal;
+  ValueType want = table->schema().column(static_cast<size_t>(column)).type;
+  if (!key.is_null() && key.type() != want) {
+    auto cast = key.CastTo(want);
+    if (!cast.ok()) return std::vector<TupleSlot>();
+    key = std::move(cast).value();
+  }
+  const std::vector<TupleSlot>* slots = index->Lookup(key);
+  return slots == nullptr ? std::vector<TupleSlot>() : *slots;
+}
+
+/// Builds the single-table scope used by UPDATE/DELETE WHERE clauses.
+BindingScope SingleTableScope(const Table* table) {
+  BindingScope scope;
+  TableBinding binding;
+  binding.kind = TableBinding::Kind::kTable;
+  binding.alias = table->name();
+  binding.table = table;
+  binding.visible = table->schema();
+  scope.AddBinding(std::move(binding));
+  return scope;
+}
+
+}  // namespace
+
+StatusOr<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
+  Table* table = catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' does not exist");
+  }
+  BindingScope scope = SingleTableScope(table);
+  Binder binder(&scope);
+
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    GRF_ASSIGN_OR_RETURN(where, binder.Bind(*stmt.where));
+  }
+  std::vector<std::pair<size_t, ExprPtr>> assignments;
+  for (const auto& [column, parsed] : stmt.assignments) {
+    GRF_ASSIGN_OR_RETURN(size_t idx, table->schema().ColumnIndex(column));
+    GRF_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*parsed));
+    assignments.emplace_back(idx, std::move(bound));
+  }
+
+  // Phase 1: collect new images (no mutation while scanning). A usable
+  // index on a `col = literal` WHERE avoids the full scan.
+  std::vector<std::pair<TupleSlot, Tuple>> updates;
+  Status status = Status::OK();
+  auto visit = [&](TupleSlot slot, const Tuple& tuple) {
+    ExecRow row;
+    row.columns = tuple.values();
+    if (where != nullptr) {
+      auto pass = EvalPredicate(*where, row);
+      if (!pass.ok()) {
+        status = pass.status();
+        return false;
+      }
+      if (!*pass) return true;
+    }
+    Tuple updated = tuple;
+    for (const auto& [idx, expr] : assignments) {
+      auto v = expr->Eval(row);
+      if (!v.ok()) {
+        status = v.status();
+        return false;
+      }
+      updated.SetValue(idx, std::move(v).value());
+    }
+    updates.emplace_back(slot, std::move(updated));
+    return true;
+  };
+  if (auto slots = TryIndexLookup(table, stmt.where.get());
+      slots.has_value()) {
+    for (TupleSlot slot : *slots) {
+      const Tuple* tuple = table->Get(slot);
+      if (tuple == nullptr) continue;
+      if (!visit(slot, *tuple)) break;
+    }
+  } else {
+    table->ForEach(visit);
+  }
+  GRF_RETURN_IF_ERROR(status);
+
+  // Phase 2: apply, with statement-level rollback on failure.
+  std::vector<std::pair<TupleSlot, Tuple>> applied;
+  for (auto& [slot, new_tuple] : updates) {
+    const Tuple* old_tuple = table->Get(slot);
+    if (old_tuple == nullptr) continue;
+    Tuple backup = *old_tuple;
+    Status s = table->Update(slot, std::move(new_tuple));
+    if (!s.ok()) {
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        Status restore = table->Update(it->first, std::move(it->second));
+        GRF_CHECK(restore.ok());
+      }
+      return s;
+    }
+    applied.emplace_back(slot, std::move(backup));
+  }
+  ResultSet result;
+  result.rows_affected = applied.size();
+  return result;
+}
+
+StatusOr<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt) {
+  Table* table = catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' does not exist");
+  }
+  BindingScope scope = SingleTableScope(table);
+  Binder binder(&scope);
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    GRF_ASSIGN_OR_RETURN(where, binder.Bind(*stmt.where));
+  }
+
+  std::vector<std::pair<TupleSlot, Tuple>> victims;
+  Status status = Status::OK();
+  auto visit = [&](TupleSlot slot, const Tuple& tuple) {
+    ExecRow row;
+    row.columns = tuple.values();
+    if (where != nullptr) {
+      auto pass = EvalPredicate(*where, row);
+      if (!pass.ok()) {
+        status = pass.status();
+        return false;
+      }
+      if (!*pass) return true;
+    }
+    victims.emplace_back(slot, tuple);
+    return true;
+  };
+  if (auto slots = TryIndexLookup(table, stmt.where.get());
+      slots.has_value()) {
+    for (TupleSlot slot : *slots) {
+      const Tuple* tuple = table->Get(slot);
+      if (tuple == nullptr) continue;
+      if (!visit(slot, *tuple)) break;
+    }
+  } else {
+    table->ForEach(visit);
+  }
+  GRF_RETURN_IF_ERROR(status);
+
+  std::vector<Tuple> deleted;
+  for (auto& [slot, backup] : victims) {
+    Status s = table->Delete(slot);
+    if (!s.ok()) {
+      // Roll this statement back: re-insert what we already deleted.
+      for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
+        auto restored = table->Insert(std::move(*it));
+        GRF_CHECK(restored.ok());
+      }
+      return s;
+    }
+    deleted.push_back(std::move(backup));
+  }
+  ResultSet result;
+  result.rows_affected = deleted.size();
+  return result;
+}
+
+// --- SELECT -------------------------------------------------------------------------
+
+StatusOr<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt) {
+  Planner planner(&catalog_, options_);
+  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(stmt));
+
+  QueryContext ctx(options_.memory_cap);
+  ResultSet result;
+  result.column_names = planned.output_names;
+
+  Status status = planned.root->Open(&ctx);
+  if (status.ok()) {
+    ExecRow row;
+    while (true) {
+      auto has = planned.root->Next(&row);
+      if (!has.ok()) {
+        status = has.status();
+        break;
+      }
+      if (!*has) break;
+      result.rows.push_back(std::move(row.columns));
+    }
+  }
+  planned.root->Close();
+  last_stats_ = ctx.stats();
+  last_peak_bytes_ = ctx.peak_bytes();
+  GRF_RETURN_IF_ERROR(status);
+  return result;
+}
+
+}  // namespace grfusion

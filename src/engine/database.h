@@ -1,0 +1,87 @@
+#ifndef GRFUSION_ENGINE_DATABASE_H_
+#define GRFUSION_ENGINE_DATABASE_H_
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/result_set.h"
+#include "exec/query_context.h"
+#include "parser/ast.h"
+#include "plan/planner.h"
+
+namespace grfusion {
+
+/// The GRFusion database facade: one in-memory database with a SQL entry
+/// point covering both the relational dialect and the graph extensions
+/// (CREATE GRAPH VIEW, GV.PATHS/.VERTEXES/.EDGES, traversal hints).
+///
+/// Statements execute serially — the engine models one VoltDB partition
+/// site, so every statement is trivially serializable (paper §3.3's
+/// serializable graph updates fall out of this plus the Table listener
+/// protocol). Entry points are guarded by a statement mutex, so a Database
+/// may be shared between threads; statements from different threads
+/// interleave at statement granularity, never inside one.
+class Database {
+ public:
+  explicit Database(PlannerOptions options = PlannerOptions())
+      : options_(options) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses and executes exactly one statement. A leading EXPLAIN renders
+  /// the physical plan of the SELECT that follows it instead of running it.
+  StatusOr<ResultSet> Execute(std::string_view sql);
+
+  /// Executes a ';'-separated script, discarding SELECT results.
+  Status ExecuteScript(std::string_view sql);
+
+  /// Renders the physical plan of a SELECT.
+  StatusOr<std::string> Explain(std::string_view sql);
+
+  /// Loads rows into a table without going through the parser (workload
+  /// loading path; still runs constraint checks, index maintenance, and
+  /// graph-view propagation).
+  Status BulkInsert(const std::string& table_name,
+                    const std::vector<std::vector<Value>>& rows);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  PlannerOptions& options() { return options_; }
+  const PlannerOptions& options() const { return options_; }
+
+  /// Statistics of the most recent SELECT (traversal work, join work, rows).
+  const ExecStats& last_stats() const { return last_stats_; }
+  /// Peak intermediate-result memory of the most recent SELECT.
+  size_t last_peak_bytes() const { return last_peak_bytes_; }
+
+ private:
+  StatusOr<ResultSet> ExecuteStatement(const Statement& stmt);
+  StatusOr<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
+  StatusOr<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  StatusOr<ResultSet> ExecuteCreateGraphView(const CreateGraphViewStmt& stmt);
+  StatusOr<ResultSet> ExecuteCreateMaterializedView(
+      const CreateMaterializedViewStmt& stmt);
+  StatusOr<ResultSet> ExecuteDrop(const DropStmt& stmt);
+  StatusOr<ResultSet> ExecuteInsert(const InsertStmt& stmt);
+  StatusOr<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
+  StatusOr<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
+  StatusOr<ResultSet> ExecuteSelect(const SelectStmt& stmt);
+
+  /// Serializes statement execution (the single-partition VoltDB model).
+  std::mutex statement_mutex_;
+
+  Catalog catalog_;
+  PlannerOptions options_;
+  ExecStats last_stats_;
+  size_t last_peak_bytes_ = 0;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_ENGINE_DATABASE_H_

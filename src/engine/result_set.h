@@ -1,0 +1,33 @@
+#ifndef GRFUSION_ENGINE_RESULT_SET_H_
+#define GRFUSION_ENGINE_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace grfusion {
+
+/// Materialized result of one statement. SELECT fills `column_names` and
+/// `rows`; DML fills `rows_affected`.
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Value>> rows;
+  size_t rows_affected = 0;
+
+  size_t NumRows() const { return rows.size(); }
+
+  /// First row / first column convenience for scalar queries (NULL Value
+  /// when empty).
+  Value ScalarValue() const {
+    if (rows.empty() || rows[0].empty()) return Value::Null();
+    return rows[0][0];
+  }
+
+  /// ASCII table rendering (for examples and debugging).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_ENGINE_RESULT_SET_H_

@@ -1,0 +1,98 @@
+#ifndef GRFUSION_EXEC_AGG_OPS_H_
+#define GRFUSION_EXEC_AGG_OPS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expression.h"
+
+namespace grfusion {
+
+/// One aggregate to compute: COUNT(*) (arg == nullptr), or
+/// COUNT/SUM/MIN/MAX/AVG over an argument expression.
+struct AggregateSpec {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr arg;  ///< nullptr means COUNT(*).
+  std::string output_name;
+};
+
+/// Hash aggregation. Output rows are (group keys..., aggregates...) — a NEW
+/// row layout; everything above an AggregateOp binds against its output
+/// schema. With no group-by keys, emits exactly one row (SQL scalar
+/// aggregate over an empty input produces COUNT 0 / NULL others).
+class AggregateOp : public PhysicalOperator {
+ public:
+  AggregateOp(OperatorPtr child, std::vector<ExprPtr> group_by,
+              std::vector<std::string> group_names,
+              std::vector<AggregateSpec> aggs);
+  const Schema& schema() const override { return schema_; }
+  Status Open(QueryContext* ctx) override;
+  StatusOr<bool> Next(ExecRow* out) override;
+  void Close() override;
+  std::string name() const override;
+  std::string ToString(int indent) const override;
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0.0;
+    Value min;
+    Value max;
+    bool integral = true;  ///< SUM/MIN/MAX stay BIGINT when all inputs are.
+  };
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+
+  Status Accumulate(Group* group, const ExecRow& row);
+  StatusOr<Value> Finalize(const AggregateSpec& spec,
+                           const AggState& state) const;
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggregateSpec> aggs_;
+  Schema schema_;
+
+  QueryContext* ctx_ = nullptr;
+  std::vector<Group> groups_;
+  std::unordered_map<std::string, size_t> group_index_;
+  size_t charged_ = 0;
+  size_t cursor_ = 0;
+  bool materialized_ = false;
+};
+
+/// ORDER BY over pre-computed key columns: the planner projects the sort
+/// keys as trailing hidden columns, this operator sorts by those column
+/// positions, and a StripColumnsOp above removes them.
+class SortOp : public PhysicalOperator {
+ public:
+  struct SortKey {
+    size_t column = 0;
+    bool descending = false;
+  };
+
+  SortOp(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open(QueryContext* ctx) override;
+  StatusOr<bool> Next(ExecRow* out) override;
+  void Close() override;
+  std::string name() const override;
+  std::string ToString(int indent) const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  QueryContext* ctx_ = nullptr;
+  std::vector<ExecRow> rows_;
+  size_t charged_ = 0;
+  size_t cursor_ = 0;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_EXEC_AGG_OPS_H_

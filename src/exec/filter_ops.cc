@@ -1,0 +1,130 @@
+#include "exec/filter_ops.h"
+
+namespace grfusion {
+
+std::string RowKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    key += static_cast<char>('0' + static_cast<int>(v.type()));
+    std::string s = v.ToString();
+    key += std::to_string(s.size());
+    key += ':';
+    key += s;
+  }
+  return key;
+}
+
+// --- FilterOp ------------------------------------------------------------------
+
+StatusOr<bool> FilterOp::Next(ExecRow* out) {
+  while (true) {
+    GRF_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *out));
+    if (pass) return true;
+  }
+}
+
+std::string FilterOp::ToString(int indent) const {
+  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
+}
+
+// --- ProjectOp -----------------------------------------------------------------
+
+StatusOr<bool> ProjectOp::Next(ExecRow* out) {
+  ExecRow input;
+  GRF_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
+  if (!has) return false;
+  ExecRow result;
+  result.columns.reserve(exprs_.size());
+  for (const ExprPtr& expr : exprs_) {
+    GRF_ASSIGN_OR_RETURN(Value v, expr->Eval(input));
+    result.columns.push_back(std::move(v));
+  }
+  result.paths = std::move(input.paths);
+  *out = std::move(result);
+  return true;
+}
+
+std::string ProjectOp::name() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  return out + ")";
+}
+
+std::string ProjectOp::ToString(int indent) const {
+  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
+}
+
+// --- StripColumnsOp --------------------------------------------------------------
+
+StripColumnsOp::StripColumnsOp(OperatorPtr child, size_t keep)
+    : child_(std::move(child)), keep_(keep) {
+  for (size_t i = 0; i < keep_ && i < child_->schema().NumColumns(); ++i) {
+    schema_.AddColumn(child_->schema().column(i));
+  }
+}
+
+StatusOr<bool> StripColumnsOp::Next(ExecRow* out) {
+  GRF_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+  if (!has) return false;
+  if (out->columns.size() > keep_) out->columns.resize(keep_);
+  return true;
+}
+
+std::string StripColumnsOp::ToString(int indent) const {
+  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
+}
+
+// --- LimitOp -------------------------------------------------------------------
+
+StatusOr<bool> LimitOp::Next(ExecRow* out) {
+  if (produced_ >= limit_) return false;
+  GRF_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+  if (!has) return false;
+  ++produced_;
+  return true;
+}
+
+std::string LimitOp::ToString(int indent) const {
+  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
+}
+
+// --- DistinctOp -----------------------------------------------------------------
+
+Status DistinctOp::Open(QueryContext* ctx) {
+  ctx_ = ctx;
+  seen_.clear();
+  charged_ = 0;
+  return child_->Open(ctx);
+}
+
+StatusOr<bool> DistinctOp::Next(ExecRow* out) {
+  while (true) {
+    GRF_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    std::string key = RowKey(out->columns);
+    size_t key_bytes = key.size() + 32;
+    if (seen_.insert(std::move(key)).second) {
+      charged_ += key_bytes;
+      GRF_RETURN_IF_ERROR(ctx_->ChargeBytes(key_bytes));
+      return true;
+    }
+  }
+}
+
+void DistinctOp::Close() {
+  child_->Close();
+  seen_.clear();
+  if (ctx_ != nullptr) ctx_->ReleaseBytes(charged_);
+  charged_ = 0;
+}
+
+std::string DistinctOp::ToString(int indent) const {
+  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
+}
+
+}  // namespace grfusion

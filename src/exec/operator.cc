@@ -1,0 +1,9 @@
+#include "exec/operator.h"
+
+namespace grfusion {
+
+std::string PhysicalOperator::ToString(int indent) const {
+  return std::string(static_cast<size_t>(indent) * 2, ' ') + name() + "\n";
+}
+
+}  // namespace grfusion

@@ -1,0 +1,47 @@
+#ifndef GRFUSION_EXEC_OPERATOR_H_
+#define GRFUSION_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "exec/query_context.h"
+#include "expr/row.h"
+#include "storage/schema.h"
+
+namespace grfusion {
+
+/// Volcano-model physical operator (paper §5: "the PathScan operator is a
+/// lazy operator following the iterator model"). Both relational and graph
+/// operators implement this interface, which is what lets them co-exist in
+/// one cross-data-model QEP.
+///
+/// Protocol: Open() once, Next() until it returns false, Close() once.
+/// Operators may be re-opened after Close().
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// Output schema (path-producing operators may expose zero columns — their
+  /// payload rides in ExecRow::paths).
+  virtual const Schema& schema() const = 0;
+
+  virtual Status Open(QueryContext* ctx) = 0;
+
+  /// Produces the next row into `*out`. Returns false at end of stream.
+  virtual StatusOr<bool> Next(ExecRow* out) = 0;
+
+  virtual void Close() = 0;
+
+  /// One-line description for EXPLAIN trees.
+  virtual std::string name() const = 0;
+
+  /// Renders this operator and its inputs as an indented EXPLAIN tree.
+  virtual std::string ToString(int indent = 0) const;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_EXEC_OPERATOR_H_

@@ -1,0 +1,35 @@
+#ifndef GRFUSION_EXEC_ROW_LAYOUT_H_
+#define GRFUSION_EXEC_ROW_LAYOUT_H_
+
+#include <memory>
+
+#include "expr/row.h"
+#include "storage/schema.h"
+
+namespace grfusion {
+
+/// Layout of the combined row all operators of one QEP exchange.
+///
+/// Every FROM item owns a contiguous block of columns in the combined row
+/// (path items own zero columns and a path slot instead). Leaf operators emit
+/// full-width rows with only their own block populated; joins merge blocks.
+/// This makes every bound expression valid at every point in the pipeline —
+/// the cross-data-model "unified tuple interface" of paper §5.2 in practice.
+struct RowLayout {
+  std::shared_ptr<const Schema> schema;  ///< Combined relational columns.
+  size_t path_slots = 0;                 ///< Number of GV.PATHS aliases.
+
+  size_t width() const { return schema == nullptr ? 0 : schema->NumColumns(); }
+
+  /// A fresh row: all columns NULL, all path slots empty.
+  ExecRow MakeRow() const {
+    ExecRow row;
+    row.columns.assign(width(), Value());
+    row.paths.assign(path_slots, nullptr);
+    return row;
+  }
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_EXEC_ROW_LAYOUT_H_

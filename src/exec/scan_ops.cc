@@ -1,0 +1,99 @@
+#include "exec/scan_ops.h"
+
+namespace grfusion {
+
+// --- SeqScanOp ----------------------------------------------------------------
+
+SeqScanOp::SeqScanOp(const Table* table, ExprPtr qualifier, RowLayout layout,
+                     size_t offset)
+    : table_(table), qualifier_(std::move(qualifier)),
+      layout_(std::move(layout)), offset_(offset) {}
+
+Status SeqScanOp::Open(QueryContext* ctx) {
+  ctx_ = ctx;
+  cursor_ = 0;
+  return Status::OK();
+}
+
+StatusOr<bool> SeqScanOp::Next(ExecRow* out) {
+  const size_t bound = table_->SlotUpperBound();
+  while (cursor_ < bound) {
+    const Tuple* tuple = table_->Get(cursor_++);
+    if (tuple == nullptr) continue;
+    ++ctx_->stats().rows_scanned;
+    ExecRow row = layout_.MakeRow();
+    for (size_t i = 0; i < tuple->NumValues(); ++i) {
+      row.columns[offset_ + i] = tuple->value(i);
+    }
+    if (qualifier_ != nullptr) {
+      GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qualifier_, row));
+      if (!pass) continue;
+    }
+    *out = std::move(row);
+    return true;
+  }
+  return false;
+}
+
+void SeqScanOp::Close() {}
+
+std::string SeqScanOp::name() const {
+  std::string out = "SeqScan(" + table_->name();
+  if (qualifier_ != nullptr) out += ", filter: " + qualifier_->ToString();
+  return out + ")";
+}
+
+// --- IndexScanOp -----------------------------------------------------------------
+
+IndexScanOp::IndexScanOp(const Table* table, const HashIndex* index,
+                         ExprPtr key, ExprPtr qualifier, RowLayout layout,
+                         size_t offset)
+    : table_(table), index_(index), key_(std::move(key)),
+      qualifier_(std::move(qualifier)), layout_(std::move(layout)),
+      offset_(offset) {}
+
+Status IndexScanOp::Open(QueryContext* ctx) {
+  ctx_ = ctx;
+  cursor_ = 0;
+  ExecRow empty;
+  GRF_ASSIGN_OR_RETURN(Value key, key_->Eval(empty));
+  // Align the probe key's type with the indexed column so hashing matches.
+  ValueType column_type = table_->schema().column(index_->column()).type;
+  if (!key.is_null() && key.type() != column_type) {
+    auto cast = key.CastTo(column_type);
+    if (cast.ok()) key = std::move(cast).value();
+  }
+  matches_ = index_->Lookup(key);
+  return Status::OK();
+}
+
+StatusOr<bool> IndexScanOp::Next(ExecRow* out) {
+  if (matches_ == nullptr) return false;
+  while (cursor_ < matches_->size()) {
+    const Tuple* tuple = table_->Get((*matches_)[cursor_++]);
+    if (tuple == nullptr) continue;
+    ++ctx_->stats().rows_scanned;
+    ExecRow row = layout_.MakeRow();
+    for (size_t i = 0; i < tuple->NumValues(); ++i) {
+      row.columns[offset_ + i] = tuple->value(i);
+    }
+    if (qualifier_ != nullptr) {
+      GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qualifier_, row));
+      if (!pass) continue;
+    }
+    *out = std::move(row);
+    return true;
+  }
+  return false;
+}
+
+void IndexScanOp::Close() { matches_ = nullptr; }
+
+std::string IndexScanOp::name() const {
+  std::string out = "IndexScan(" + table_->name() + "." + index_->name() +
+                    " = " + key_->ToString();
+  if (qualifier_ != nullptr) out += ", filter: " + qualifier_->ToString();
+  return out + ")";
+}
+
+}  // namespace grfusion

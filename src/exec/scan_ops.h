@@ -1,0 +1,88 @@
+#ifndef GRFUSION_EXEC_SCAN_OPS_H_
+#define GRFUSION_EXEC_SCAN_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/row_layout.h"
+#include "expr/expression.h"
+#include "storage/table.h"
+
+namespace grfusion {
+
+/// Emits exactly one all-NULL row. Serves as the outer side of a graph probe
+/// join when a query references only paths (no relational FROM items).
+class SingleRowOp : public PhysicalOperator {
+ public:
+  explicit SingleRowOp(RowLayout layout) : layout_(std::move(layout)) {}
+  const Schema& schema() const override { return *layout_.schema; }
+  Status Open(QueryContext*) override {
+    emitted_ = false;
+    return Status::OK();
+  }
+  StatusOr<bool> Next(ExecRow* out) override {
+    if (emitted_) return false;
+    emitted_ = true;
+    *out = layout_.MakeRow();
+    return true;
+  }
+  void Close() override {}
+  std::string name() const override { return "SingleRow"; }
+
+ private:
+  RowLayout layout_;
+  bool emitted_ = true;
+};
+
+/// Sequential scan over a table. Emits full-width rows with this binding's
+/// block (at `offset`) populated; the optional qualifier is evaluated on the
+/// emitted row (it may only reference this block).
+class SeqScanOp : public PhysicalOperator {
+ public:
+  SeqScanOp(const Table* table, ExprPtr qualifier, RowLayout layout,
+            size_t offset);
+  const Schema& schema() const override { return *layout_.schema; }
+  Status Open(QueryContext* ctx) override;
+  StatusOr<bool> Next(ExecRow* out) override;
+  void Close() override;
+  std::string name() const override;
+
+ private:
+  const Table* table_;
+  ExprPtr qualifier_;
+  RowLayout layout_;
+  size_t offset_;
+  QueryContext* ctx_ = nullptr;
+  TupleSlot cursor_ = 0;
+};
+
+/// Hash-index point lookup: `column = key`, where `key` is evaluated once at
+/// Open (it must be row-independent). An optional residual qualifier filters
+/// the matching rows.
+class IndexScanOp : public PhysicalOperator {
+ public:
+  IndexScanOp(const Table* table, const HashIndex* index, ExprPtr key,
+              ExprPtr qualifier, RowLayout layout, size_t offset);
+  const Schema& schema() const override { return *layout_.schema; }
+  Status Open(QueryContext* ctx) override;
+  StatusOr<bool> Next(ExecRow* out) override;
+  void Close() override;
+  std::string name() const override;
+
+ private:
+  const Table* table_;
+  const HashIndex* index_;
+  ExprPtr key_;
+  ExprPtr qualifier_;
+  RowLayout layout_;
+  size_t offset_;
+  QueryContext* ctx_ = nullptr;
+  const std::vector<TupleSlot>* matches_ = nullptr;
+  size_t cursor_ = 0;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_EXEC_SCAN_OPS_H_

@@ -1,0 +1,48 @@
+#ifndef GRFUSION_EXPR_ROW_H_
+#define GRFUSION_EXPR_ROW_H_
+
+#include <vector>
+
+#include "common/value.h"
+#include "graph/path.h"
+
+namespace grfusion {
+
+/// A row flowing through a query execution pipeline.
+///
+/// This is GRFusion's answer to the relational/graph impedance mismatch
+/// (paper §5.2/§5.3): relational operators exchange plain value vectors, and
+/// graph operators *extend* that row with path handles. A path's scalar
+/// projections (Length, endpoints, PathString) appear as ordinary columns
+/// when projected, while predicates over a path's elements evaluate through
+/// the attached PathPtr and the graph view's tuple pointers.
+///
+/// `paths` is indexed by "path slot": the planner assigns one slot per
+/// `GV.PATHS` alias in the query, so self-joins of paths work naturally.
+struct ExecRow {
+  std::vector<Value> columns;
+  std::vector<PathPtr> paths;
+
+  ExecRow() = default;
+  explicit ExecRow(std::vector<Value> cols) : columns(std::move(cols)) {}
+
+  /// Rough memory footprint for the query-memory accountant.
+  size_t ByteSize() const {
+    size_t bytes = sizeof(ExecRow) + columns.capacity() * sizeof(Value) +
+                   paths.capacity() * sizeof(PathPtr);
+    for (const Value& v : columns) {
+      if (v.type() == ValueType::kVarchar) bytes += v.AsVarchar().capacity();
+    }
+    for (const PathPtr& p : paths) {
+      if (p != nullptr) {
+        bytes += p->edges.size() * sizeof(EdgeId) +
+                 p->vertexes.size() * sizeof(VertexId);
+      }
+    }
+    return bytes;
+  }
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_EXPR_ROW_H_

@@ -1,0 +1,429 @@
+#include "graph/graph_view.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grfusion {
+
+// --- SourceListener -------------------------------------------------------
+
+Status GraphView::SourceListener::OnInsert(TupleSlot slot, const Tuple& tuple) {
+  return vertex_source_ ? owner_->OnVertexInsert(slot, tuple)
+                        : owner_->OnEdgeInsert(slot, tuple);
+}
+
+Status GraphView::SourceListener::OnDelete(TupleSlot /*slot*/,
+                                           const Tuple& tuple) {
+  return vertex_source_ ? owner_->OnVertexDelete(tuple)
+                        : owner_->OnEdgeDelete(tuple);
+}
+
+Status GraphView::SourceListener::OnUpdate(TupleSlot slot,
+                                           const Tuple& old_tuple,
+                                           const Tuple& new_tuple) {
+  return vertex_source_ ? owner_->OnVertexUpdate(slot, old_tuple, new_tuple)
+                        : owner_->OnEdgeUpdate(slot, old_tuple, new_tuple);
+}
+
+// --- Creation ---------------------------------------------------------------
+
+StatusOr<std::unique_ptr<GraphView>> GraphView::Create(GraphViewDef def,
+                                                       Table* vertex_table,
+                                                       Table* edge_table) {
+  if (vertex_table == nullptr || edge_table == nullptr) {
+    return Status::InvalidArgument("graph view requires both sources");
+  }
+  if (vertex_table == edge_table) {
+    return Status::InvalidArgument(
+        "vertex and edge relational sources must be distinct tables");
+  }
+  std::unique_ptr<GraphView> gv(
+      new GraphView(std::move(def), vertex_table, edge_table));
+  GRF_RETURN_IF_ERROR(gv->ResolveColumns());
+
+  // Single pass over the vertexes relational-source.
+  Status status = Status::OK();
+  vertex_table->ForEach([&](TupleSlot slot, const Tuple& tuple) {
+    status = gv->OnVertexInsert(slot, tuple);
+    return status.ok();
+  });
+  GRF_RETURN_IF_ERROR(status);
+
+  // Single pass over the edges relational-source.
+  edge_table->ForEach([&](TupleSlot slot, const Tuple& tuple) {
+    status = gv->OnEdgeInsert(slot, tuple);
+    return status.ok();
+  });
+  GRF_RETURN_IF_ERROR(status);
+
+  // From now on, source mutations flow into the topology transactionally.
+  gv->vertex_listener_ = std::make_unique<SourceListener>(gv.get(), true);
+  gv->edge_listener_ = std::make_unique<SourceListener>(gv.get(), false);
+  vertex_table->AddListener(gv->vertex_listener_.get());
+  edge_table->AddListener(gv->edge_listener_.get());
+  return gv;
+}
+
+GraphView::~GraphView() {
+  if (vertex_listener_ != nullptr) {
+    vertex_table_->RemoveListener(vertex_listener_.get());
+  }
+  if (edge_listener_ != nullptr) {
+    edge_table_->RemoveListener(edge_listener_.get());
+  }
+}
+
+Status GraphView::ResolveColumns() {
+  auto resolve = [](const Table* table, const std::string& column,
+                    const char* what, size_t* out) -> Status {
+    GRF_ASSIGN_OR_RETURN(*out, table->schema().ColumnIndex(column));
+    (void)what;
+    return Status::OK();
+  };
+  GRF_RETURN_IF_ERROR(resolve(vertex_table_, def_.vertex_id_column,
+                              "vertex id", &vertex_id_col_));
+  GRF_RETURN_IF_ERROR(
+      resolve(edge_table_, def_.edge_id_column, "edge id", &edge_id_col_));
+  GRF_RETURN_IF_ERROR(resolve(edge_table_, def_.edge_from_column, "edge from",
+                              &edge_from_col_));
+  GRF_RETURN_IF_ERROR(
+      resolve(edge_table_, def_.edge_to_column, "edge to", &edge_to_col_));
+
+  for (const AttributeMapping& m : def_.vertex_attributes) {
+    if (vertex_table_->schema().FindColumn(m.source_column) < 0) {
+      return Status::NotFound("vertex attribute source column '" +
+                              m.source_column + "' not found");
+    }
+  }
+  for (const AttributeMapping& m : def_.edge_attributes) {
+    if (edge_table_->schema().FindColumn(m.source_column) < 0) {
+      return Status::NotFound("edge attribute source column '" +
+                              m.source_column + "' not found");
+    }
+  }
+  return Status::OK();
+}
+
+// --- Lookup -----------------------------------------------------------------
+
+const VertexEntry* GraphView::FindVertex(VertexId id) const {
+  auto it = vertex_index_.find(id);
+  if (it == vertex_index_.end()) return nullptr;
+  const VertexEntry& v = vertexes_[it->second];
+  return v.live ? &v : nullptr;
+}
+
+const EdgeEntry* GraphView::FindEdge(EdgeId id) const {
+  auto it = edge_index_.find(id);
+  if (it == edge_index_.end()) return nullptr;
+  const EdgeEntry& e = edges_[it->second];
+  return e.live ? &e : nullptr;
+}
+
+size_t GraphView::FanOut(const VertexEntry& v) const {
+  return directed() ? v.out_edges.size()
+                    : v.out_edges.size() + v.in_edges.size();
+}
+
+size_t GraphView::FanIn(const VertexEntry& v) const {
+  return directed() ? v.in_edges.size()
+                    : v.out_edges.size() + v.in_edges.size();
+}
+
+double GraphView::AverageFanOut() const {
+  if (num_live_vertexes_ == 0) return 0.0;
+  // Every directed edge contributes one out-slot; undirected edges are
+  // traversable from both endpoints.
+  double traversable = static_cast<double>(num_live_edges_) *
+                       (directed() ? 1.0 : 2.0);
+  return traversable / static_cast<double>(num_live_vertexes_);
+}
+
+size_t GraphView::TopologyBytes() const {
+  size_t bytes = sizeof(GraphView);
+  bytes += vertexes_.size() * sizeof(VertexEntry);
+  bytes += edges_.size() * sizeof(EdgeEntry);
+  for (const VertexEntry& v : vertexes_) {
+    bytes += (v.out_edges.capacity() + v.in_edges.capacity()) * sizeof(EdgeId);
+  }
+  bytes += vertex_index_.size() * (sizeof(VertexId) + sizeof(size_t) + 16);
+  bytes += edge_index_.size() * (sizeof(EdgeId) + sizeof(size_t) + 16);
+  return bytes;
+}
+
+int GraphView::ResolveVertexAttribute(std::string_view exposed_name) const {
+  if (EqualsIgnoreCase(exposed_name, "ID")) {
+    return static_cast<int>(vertex_id_col_);
+  }
+  for (const AttributeMapping& m : def_.vertex_attributes) {
+    if (EqualsIgnoreCase(m.exposed_name, exposed_name)) {
+      return vertex_table_->schema().FindColumn(m.source_column);
+    }
+  }
+  return -1;
+}
+
+int GraphView::ResolveEdgeAttribute(std::string_view exposed_name) const {
+  if (EqualsIgnoreCase(exposed_name, "ID")) {
+    return static_cast<int>(edge_id_col_);
+  }
+  if (EqualsIgnoreCase(exposed_name, "FROM")) {
+    return static_cast<int>(edge_from_col_);
+  }
+  if (EqualsIgnoreCase(exposed_name, "TO")) {
+    return static_cast<int>(edge_to_col_);
+  }
+  for (const AttributeMapping& m : def_.edge_attributes) {
+    if (EqualsIgnoreCase(m.exposed_name, exposed_name)) {
+      return edge_table_->schema().FindColumn(m.source_column);
+    }
+  }
+  return -1;
+}
+
+Schema GraphView::ExposedVertexSchema() const {
+  Schema schema;
+  schema.AddColumn(Column("ID", ValueType::kBigInt));
+  for (const AttributeMapping& m : def_.vertex_attributes) {
+    int col = vertex_table_->schema().FindColumn(m.source_column);
+    GRF_CHECK(col >= 0);
+    schema.AddColumn(Column(m.exposed_name,
+                            vertex_table_->schema().column(col).type));
+  }
+  schema.AddColumn(Column("FANOUT", ValueType::kBigInt));
+  schema.AddColumn(Column("FANIN", ValueType::kBigInt));
+  return schema;
+}
+
+Schema GraphView::ExposedEdgeSchema() const {
+  Schema schema;
+  schema.AddColumn(Column("ID", ValueType::kBigInt));
+  schema.AddColumn(Column("FROM", ValueType::kBigInt));
+  schema.AddColumn(Column("TO", ValueType::kBigInt));
+  for (const AttributeMapping& m : def_.edge_attributes) {
+    int col = edge_table_->schema().FindColumn(m.source_column);
+    GRF_CHECK(col >= 0);
+    schema.AddColumn(
+        Column(m.exposed_name, edge_table_->schema().column(col).type));
+  }
+  return schema;
+}
+
+// --- Topology mutation ------------------------------------------------------
+
+StatusOr<int64_t> GraphView::IdFromTuple(const Tuple& tuple, size_t column,
+                                         const char* what) {
+  const Value& v = tuple.value(column);
+  if (v.is_null()) {
+    return Status::ConstraintViolation(std::string(what) +
+                                       " identifier must not be NULL");
+  }
+  if (v.type() == ValueType::kBigInt) return v.AsBigInt();
+  GRF_ASSIGN_OR_RETURN(Value cast, v.CastTo(ValueType::kBigInt));
+  return cast.AsBigInt();
+}
+
+Status GraphView::AddVertex(VertexId id, TupleSlot slot) {
+  auto it = vertex_index_.find(id);
+  if (it != vertex_index_.end() && vertexes_[it->second].live) {
+    return Status::ConstraintViolation(
+        StrFormat("duplicate vertex id %lld in graph view '%s'",
+                  static_cast<long long>(id), def_.name.c_str()));
+  }
+  size_t pos;
+  if (!vertex_free_list_.empty()) {
+    pos = vertex_free_list_.back();
+    vertex_free_list_.pop_back();
+  } else {
+    pos = vertexes_.size();
+    vertexes_.emplace_back();
+  }
+  VertexEntry& v = vertexes_[pos];
+  v.id = id;
+  v.tuple = slot;
+  v.out_edges.clear();
+  v.in_edges.clear();
+  v.live = true;
+  vertex_index_[id] = pos;
+  ++num_live_vertexes_;
+  return Status::OK();
+}
+
+Status GraphView::AddEdge(EdgeId id, VertexId from, VertexId to,
+                          TupleSlot slot) {
+  auto it = edge_index_.find(id);
+  if (it != edge_index_.end() && edges_[it->second].live) {
+    return Status::ConstraintViolation(
+        StrFormat("duplicate edge id %lld in graph view '%s'",
+                  static_cast<long long>(id), def_.name.c_str()));
+  }
+  auto from_it = vertex_index_.find(from);
+  if (from_it == vertex_index_.end() || !vertexes_[from_it->second].live) {
+    return Status::ConstraintViolation(
+        StrFormat("edge %lld references missing start vertex %lld",
+                  static_cast<long long>(id), static_cast<long long>(from)));
+  }
+  auto to_it = vertex_index_.find(to);
+  if (to_it == vertex_index_.end() || !vertexes_[to_it->second].live) {
+    return Status::ConstraintViolation(
+        StrFormat("edge %lld references missing end vertex %lld",
+                  static_cast<long long>(id), static_cast<long long>(to)));
+  }
+  size_t pos;
+  if (!edge_free_list_.empty()) {
+    pos = edge_free_list_.back();
+    edge_free_list_.pop_back();
+  } else {
+    pos = edges_.size();
+    edges_.emplace_back();
+  }
+  EdgeEntry& e = edges_[pos];
+  e.id = id;
+  e.from = from;
+  e.to = to;
+  e.tuple = slot;
+  e.live = true;
+  edge_index_[id] = pos;
+  vertexes_[from_it->second].out_edges.push_back(id);
+  vertexes_[to_it->second].in_edges.push_back(id);
+  ++num_live_edges_;
+  return Status::OK();
+}
+
+Status GraphView::RemoveEdge(EdgeId id) {
+  auto it = edge_index_.find(id);
+  if (it == edge_index_.end() || !edges_[it->second].live) {
+    return Status::NotFound(StrFormat("edge %lld not in graph view '%s'",
+                                      static_cast<long long>(id),
+                                      def_.name.c_str()));
+  }
+  EdgeEntry& e = edges_[it->second];
+  auto detach = [&](std::vector<EdgeId>& list) {
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  };
+  auto from_it = vertex_index_.find(e.from);
+  if (from_it != vertex_index_.end()) {
+    detach(vertexes_[from_it->second].out_edges);
+  }
+  auto to_it = vertex_index_.find(e.to);
+  if (to_it != vertex_index_.end()) {
+    detach(vertexes_[to_it->second].in_edges);
+  }
+  e.live = false;
+  edge_free_list_.push_back(it->second);
+  edge_index_.erase(it);
+  --num_live_edges_;
+  return Status::OK();
+}
+
+Status GraphView::RemoveVertex(VertexId id) {
+  auto it = vertex_index_.find(id);
+  if (it == vertex_index_.end() || !vertexes_[it->second].live) {
+    return Status::NotFound(StrFormat("vertex %lld not in graph view '%s'",
+                                      static_cast<long long>(id),
+                                      def_.name.c_str()));
+  }
+  VertexEntry& v = vertexes_[it->second];
+  if (!v.out_edges.empty() || !v.in_edges.empty()) {
+    return Status::ConstraintViolation(StrFormat(
+        "cannot remove vertex %lld: %zu incident edge(s) still reference it",
+        static_cast<long long>(id), v.out_edges.size() + v.in_edges.size()));
+  }
+  v.live = false;
+  vertex_free_list_.push_back(it->second);
+  vertex_index_.erase(it);
+  --num_live_vertexes_;
+  return Status::OK();
+}
+
+// --- Online updates (paper §3.3) --------------------------------------------
+
+Status GraphView::OnVertexInsert(TupleSlot slot, const Tuple& tuple) {
+  GRF_ASSIGN_OR_RETURN(int64_t id, IdFromTuple(tuple, vertex_id_col_, "vertex"));
+  return AddVertex(id, slot);
+}
+
+Status GraphView::OnVertexDelete(const Tuple& tuple) {
+  GRF_ASSIGN_OR_RETURN(int64_t id, IdFromTuple(tuple, vertex_id_col_, "vertex"));
+  return RemoveVertex(id);
+}
+
+Status GraphView::OnVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
+                                 const Tuple& new_tuple) {
+  GRF_ASSIGN_OR_RETURN(int64_t old_id,
+                       IdFromTuple(old_tuple, vertex_id_col_, "vertex"));
+  GRF_ASSIGN_OR_RETURN(int64_t new_id,
+                       IdFromTuple(new_tuple, vertex_id_col_, "vertex"));
+  if (old_id == new_id) return Status::OK();  // Pure attribute update.
+
+  // Identifier update (paper §3.3.1): keep the graph consistent. Renaming a
+  // vertex that edges still reference would silently break the edges
+  // relational-source's referential integrity, so it is vetoed.
+  auto it = vertex_index_.find(old_id);
+  if (it == vertex_index_.end() || !vertexes_[it->second].live) {
+    return Status::Internal("vertex id map out of sync on update");
+  }
+  VertexEntry& v = vertexes_[it->second];
+  if (!v.out_edges.empty() || !v.in_edges.empty()) {
+    return Status::ConstraintViolation(StrFormat(
+        "cannot change id of vertex %lld: incident edges reference it",
+        static_cast<long long>(old_id)));
+  }
+  if (FindVertex(new_id) != nullptr) {
+    return Status::ConstraintViolation(
+        StrFormat("vertex id %lld already exists",
+                  static_cast<long long>(new_id)));
+  }
+  size_t pos = it->second;
+  vertex_index_.erase(it);
+  v.id = new_id;
+  v.tuple = slot;
+  vertex_index_[new_id] = pos;
+  return Status::OK();
+}
+
+Status GraphView::OnEdgeInsert(TupleSlot slot, const Tuple& tuple) {
+  GRF_ASSIGN_OR_RETURN(int64_t id, IdFromTuple(tuple, edge_id_col_, "edge"));
+  GRF_ASSIGN_OR_RETURN(int64_t from,
+                       IdFromTuple(tuple, edge_from_col_, "edge-from"));
+  GRF_ASSIGN_OR_RETURN(int64_t to, IdFromTuple(tuple, edge_to_col_, "edge-to"));
+  return AddEdge(id, from, to, slot);
+}
+
+Status GraphView::OnEdgeDelete(const Tuple& tuple) {
+  GRF_ASSIGN_OR_RETURN(int64_t id, IdFromTuple(tuple, edge_id_col_, "edge"));
+  return RemoveEdge(id);
+}
+
+Status GraphView::OnEdgeUpdate(TupleSlot slot, const Tuple& old_tuple,
+                               const Tuple& new_tuple) {
+  GRF_ASSIGN_OR_RETURN(int64_t old_id,
+                       IdFromTuple(old_tuple, edge_id_col_, "edge"));
+  GRF_ASSIGN_OR_RETURN(int64_t new_id,
+                       IdFromTuple(new_tuple, edge_id_col_, "edge"));
+  GRF_ASSIGN_OR_RETURN(int64_t old_from,
+                       IdFromTuple(old_tuple, edge_from_col_, "edge-from"));
+  GRF_ASSIGN_OR_RETURN(int64_t new_from,
+                       IdFromTuple(new_tuple, edge_from_col_, "edge-from"));
+  GRF_ASSIGN_OR_RETURN(int64_t old_to,
+                       IdFromTuple(old_tuple, edge_to_col_, "edge-to"));
+  GRF_ASSIGN_OR_RETURN(int64_t new_to,
+                       IdFromTuple(new_tuple, edge_to_col_, "edge-to"));
+  if (old_id == new_id && old_from == new_from && old_to == new_to) {
+    return Status::OK();  // Pure attribute update: nothing to do.
+  }
+  // Topological change: re-link as remove + add, keeping the tuple pointer.
+  GRF_RETURN_IF_ERROR(RemoveEdge(old_id));
+  Status s = AddEdge(new_id, new_from, new_to, slot);
+  if (!s.ok()) {
+    // Roll the removal back so a failed update leaves the topology intact.
+    Status restore = AddEdge(old_id, old_from, old_to, slot);
+    GRF_CHECK(restore.ok());
+    return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace grfusion

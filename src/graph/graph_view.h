@@ -1,0 +1,220 @@
+#ifndef GRFUSION_GRAPH_GRAPH_VIEW_H_
+#define GRFUSION_GRAPH_GRAPH_VIEW_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "graph/graph_view_def.h"
+#include "storage/table.h"
+
+namespace grfusion {
+
+/// A vertex of the materialized topology. Attribute data is NOT stored here;
+/// `tuple` points (by stable slot) into the vertexes relational-source
+/// (paper §3.2 — "decoupling the graph topology and the graph data").
+struct VertexEntry {
+  VertexId id = kInvalidVertexId;
+  TupleSlot tuple = kInvalidTupleSlot;
+  std::vector<EdgeId> out_edges;
+  std::vector<EdgeId> in_edges;
+  bool live = false;
+};
+
+/// An edge of the materialized topology, with its endpoints and the tuple
+/// pointer into the edges relational-source.
+struct EdgeEntry {
+  EdgeId id = kInvalidEdgeId;
+  VertexId from = kInvalidVertexId;
+  VertexId to = kInvalidVertexId;
+  TupleSlot tuple = kInvalidTupleSlot;
+  bool live = false;
+};
+
+/// The materialized graph view (paper §3): a singleton native graph structure
+/// holding the topology in adjacency lists, bi-directionally linked with the
+/// relational sources:
+///   - id -> vertex/edge entry: O(1) via hash map (relational -> graph hop);
+///   - entry -> relational tuple: O(1) via the stored TupleSlot.
+///
+/// The view registers listeners on both relational sources so online updates
+/// (insert/delete/update of vertex or edge rows) maintain the topology inside
+/// the mutating transaction (paper §3.3), and vetoes changes that would break
+/// referential integrity (an edge whose endpoint does not exist, deleting a
+/// vertex that still has incident edges).
+class GraphView {
+ public:
+  /// Builds the topology with a single pass over the relational sources
+  /// (paper §3.2). Fails if id columns are missing/duplicated or an edge
+  /// endpoint is not in the vertex set. The two sources must be distinct
+  /// tables.
+  static StatusOr<std::unique_ptr<GraphView>> Create(GraphViewDef def,
+                                                     Table* vertex_table,
+                                                     Table* edge_table);
+
+  ~GraphView();
+
+  GraphView(const GraphView&) = delete;
+  GraphView& operator=(const GraphView&) = delete;
+
+  const GraphViewDef& def() const { return def_; }
+  const std::string& name() const { return def_.name; }
+  bool directed() const { return def_.directed; }
+  Table* vertex_table() const { return vertex_table_; }
+  Table* edge_table() const { return edge_table_; }
+
+  size_t NumVertexes() const { return num_live_vertexes_; }
+  size_t NumEdges() const { return num_live_edges_; }
+
+  /// O(1) lookup of a vertex by id; nullptr when absent.
+  const VertexEntry* FindVertex(VertexId id) const;
+  /// O(1) lookup of an edge by id; nullptr when absent.
+  const EdgeEntry* FindEdge(EdgeId id) const;
+
+  /// The vertex tuple (attribute row) behind `v`, fetched through the tuple
+  /// pointer. Never nullptr for a live entry.
+  const Tuple* VertexTuple(const VertexEntry& v) const {
+    return vertex_table_->Get(v.tuple);
+  }
+  const Tuple* EdgeTuple(const EdgeEntry& e) const {
+    return edge_table_->Get(e.tuple);
+  }
+
+  /// Number of outgoing / incoming edges (paper's FanOut / FanIn vertex
+  /// properties). For undirected views both count all incident edges.
+  size_t FanOut(const VertexEntry& v) const;
+  size_t FanIn(const VertexEntry& v) const;
+
+  /// Invokes fn(const VertexEntry&) for every live vertex; stops early when
+  /// fn returns false.
+  template <typename Fn>
+  void ForEachVertex(Fn&& fn) const {
+    for (const VertexEntry& v : vertexes_) {
+      if (v.live) {
+        if (!fn(v)) return;
+      }
+    }
+  }
+
+  /// Invokes fn(const EdgeEntry&) for every live edge; stops early when fn
+  /// returns false.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (const EdgeEntry& e : edges_) {
+      if (e.live) {
+        if (!fn(e)) return;
+      }
+    }
+  }
+
+  /// Enumerates the edges usable to leave `v` during a traversal: out-edges,
+  /// plus in-edges when the view is undirected. Calls fn(const EdgeEntry&,
+  /// VertexId neighbor); stops early when fn returns false.
+  template <typename Fn>
+  void ForEachNeighbor(const VertexEntry& v, Fn&& fn) const {
+    for (EdgeId eid : v.out_edges) {
+      const EdgeEntry* e = FindEdge(eid);
+      if (e == nullptr) continue;
+      if (!fn(*e, e->to)) return;
+    }
+    if (!directed()) {
+      for (EdgeId eid : v.in_edges) {
+        const EdgeEntry* e = FindEdge(eid);
+        if (e == nullptr) continue;
+        if (!fn(*e, e->from)) return;
+      }
+    }
+  }
+
+  /// Average fan-out statistic used by the optimizer's BFS/DFS rule (§6.3).
+  double AverageFanOut() const;
+
+  /// Approximate bytes of the topology structures alone (the paper's point:
+  /// topology size is independent of attribute-data size).
+  size_t TopologyBytes() const;
+
+  /// Resolves the exposed vertex-attribute name to a source column index;
+  /// also resolves the id pseudo-attribute ("ID"). Returns -1 when unknown.
+  int ResolveVertexAttribute(std::string_view exposed_name) const;
+  /// Resolves the exposed edge-attribute name to a source column index.
+  /// Returns -1 when unknown ("ID"/"FROM"/"TO" resolve to their mapped
+  /// source columns).
+  int ResolveEdgeAttribute(std::string_view exposed_name) const;
+
+  /// Exposed schemas: how VERTEXES / EDGES rows appear to queries.
+  /// Vertexes: (ID, <attrs...>, FANOUT, FANIN).
+  /// Edges:    (ID, FROM, TO, <attrs...>).
+  Schema ExposedVertexSchema() const;
+  Schema ExposedEdgeSchema() const;
+
+ private:
+  /// Adapter distinguishing which relational source a change came from.
+  class SourceListener : public TableChangeListener {
+   public:
+    SourceListener(GraphView* owner, bool vertex_source)
+        : owner_(owner), vertex_source_(vertex_source) {}
+    Status OnInsert(TupleSlot slot, const Tuple& tuple) override;
+    Status OnDelete(TupleSlot slot, const Tuple& tuple) override;
+    Status OnUpdate(TupleSlot slot, const Tuple& old_tuple,
+                    const Tuple& new_tuple) override;
+
+   private:
+    GraphView* owner_;
+    bool vertex_source_;
+  };
+
+  GraphView(GraphViewDef def, Table* vertex_table, Table* edge_table)
+      : def_(std::move(def)),
+        vertex_table_(vertex_table),
+        edge_table_(edge_table) {}
+
+  Status ResolveColumns();
+  Status AddVertex(VertexId id, TupleSlot slot);
+  Status AddEdge(EdgeId id, VertexId from, VertexId to, TupleSlot slot);
+  Status RemoveVertex(VertexId id);
+  Status RemoveEdge(EdgeId id);
+
+  Status OnVertexInsert(TupleSlot slot, const Tuple& tuple);
+  Status OnVertexDelete(const Tuple& tuple);
+  Status OnVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
+                        const Tuple& new_tuple);
+  Status OnEdgeInsert(TupleSlot slot, const Tuple& tuple);
+  Status OnEdgeDelete(const Tuple& tuple);
+  Status OnEdgeUpdate(TupleSlot slot, const Tuple& old_tuple,
+                      const Tuple& new_tuple);
+
+  static StatusOr<int64_t> IdFromTuple(const Tuple& tuple, size_t column,
+                                       const char* what);
+
+  GraphViewDef def_;
+  Table* vertex_table_;
+  Table* edge_table_;
+
+  /// Column indexes into the sources, resolved once at creation.
+  size_t vertex_id_col_ = 0;
+  size_t edge_id_col_ = 0;
+  size_t edge_from_col_ = 0;
+  size_t edge_to_col_ = 0;
+
+  std::deque<VertexEntry> vertexes_;
+  std::deque<EdgeEntry> edges_;
+  std::vector<size_t> vertex_free_list_;
+  std::vector<size_t> edge_free_list_;
+  std::unordered_map<VertexId, size_t> vertex_index_;
+  std::unordered_map<EdgeId, size_t> edge_index_;
+  size_t num_live_vertexes_ = 0;
+  size_t num_live_edges_ = 0;
+
+  std::unique_ptr<SourceListener> vertex_listener_;
+  std::unique_ptr<SourceListener> edge_listener_;
+
+  friend class SourceListener;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_GRAPH_GRAPH_VIEW_H_

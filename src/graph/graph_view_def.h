@@ -1,0 +1,42 @@
+#ifndef GRFUSION_GRAPH_GRAPH_VIEW_DEF_H_
+#define GRFUSION_GRAPH_GRAPH_VIEW_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace grfusion {
+
+/// Maps one exposed graph attribute to a column of the relational source,
+/// e.g. `lstName = lName` in
+///   CREATE ... GRAPH VIEW g VERTEXES(ID = uId, lstName = lName) FROM Users.
+struct AttributeMapping {
+  std::string exposed_name;  ///< Name visible through the graph view.
+  std::string source_column; ///< Column of the vertex/edge relational source.
+};
+
+/// Declarative definition of a graph view (paper §3.1): which relational
+/// sources provide vertexes and edges, and how their columns map to graph
+/// attributes. Stored in the catalog; the materialized topology lives in
+/// GraphView.
+struct GraphViewDef {
+  std::string name;
+  bool directed = true;
+
+  // --- Vertexes relational-source ---
+  std::string vertex_table;
+  std::string vertex_id_column;
+  std::vector<AttributeMapping> vertex_attributes;
+
+  // --- Edges relational-source ---
+  std::string edge_table;
+  std::string edge_id_column;
+  std::string edge_from_column;
+  std::string edge_to_column;
+  std::vector<AttributeMapping> edge_attributes;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_GRAPH_GRAPH_VIEW_DEF_H_

@@ -1,0 +1,220 @@
+#include "graphalg/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_set>
+
+namespace grfusion {
+
+std::unordered_map<VertexId, double> PageRank(const GraphView& gv,
+                                              int iterations, double damping) {
+  const size_t n = gv.NumVertexes();
+  std::unordered_map<VertexId, double> rank;
+  if (n == 0) return rank;
+
+  std::vector<VertexId> ids;
+  ids.reserve(n);
+  gv.ForEachVertex([&](const VertexEntry& v) {
+    ids.push_back(v.id);
+    return true;
+  });
+  const double initial = 1.0 / static_cast<double>(n);
+  for (VertexId id : ids) rank[id] = initial;
+
+  std::unordered_map<VertexId, double> next;
+  for (int iter = 0; iter < iterations; ++iter) {
+    next.clear();
+    for (VertexId id : ids) next[id] = 0.0;
+    double dangling = 0.0;
+    gv.ForEachVertex([&](const VertexEntry& v) {
+      size_t out = gv.FanOut(v);
+      double r = rank[v.id];
+      if (out == 0) {
+        dangling += r;
+        return true;
+      }
+      double share = r / static_cast<double>(out);
+      gv.ForEachNeighbor(v, [&](const EdgeEntry&, VertexId nbr) {
+        next[nbr] += share;
+        return true;
+      });
+      return true;
+    });
+    const double base =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    for (VertexId id : ids) {
+      rank[id] = base + damping * next[id];
+    }
+  }
+  return rank;
+}
+
+std::unordered_map<VertexId, VertexId> ConnectedComponents(
+    const GraphView& gv) {
+  std::unordered_map<VertexId, VertexId> component;
+  gv.ForEachVertex([&](const VertexEntry& root) {
+    if (component.count(root.id) > 0) return true;
+    // BFS over the undirected closure (weak connectivity).
+    std::vector<VertexId> members;
+    std::deque<VertexId> frontier{root.id};
+    std::unordered_set<VertexId> seen{root.id};
+    VertexId representative = root.id;
+    while (!frontier.empty()) {
+      VertexId u = frontier.front();
+      frontier.pop_front();
+      members.push_back(u);
+      representative = std::min(representative, u);
+      const VertexEntry* uv = gv.FindVertex(u);
+      if (uv == nullptr) continue;
+      auto expand = [&](VertexId nbr) {
+        if (component.count(nbr) == 0 && seen.insert(nbr).second) {
+          frontier.push_back(nbr);
+        }
+      };
+      for (EdgeId eid : uv->out_edges) {
+        const EdgeEntry* e = gv.FindEdge(eid);
+        if (e != nullptr) expand(e->to);
+      }
+      for (EdgeId eid : uv->in_edges) {
+        const EdgeEntry* e = gv.FindEdge(eid);
+        if (e != nullptr) expand(e->from);
+      }
+    }
+    for (VertexId member : members) component[member] = representative;
+    return true;
+  });
+  return component;
+}
+
+StatusOr<std::unordered_map<VertexId, double>> SingleSourceShortestPaths(
+    const GraphView& gv, VertexId source,
+    const std::string& weight_attribute) {
+  int column = gv.ResolveEdgeAttribute(weight_attribute);
+  if (column < 0) {
+    return Status::NotFound("edge attribute '" + weight_attribute +
+                            "' not defined by graph view '" + gv.name() + "'");
+  }
+  std::unordered_map<VertexId, double> dist;
+  const VertexEntry* start = gv.FindVertex(source);
+  if (start == nullptr) return dist;
+
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  heap.emplace(0.0, source);
+  dist[source] = 0.0;
+  Status failure = Status::OK();
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    auto it = dist.find(u);
+    if (it != dist.end() && d > it->second) continue;
+    const VertexEntry* uv = gv.FindVertex(u);
+    if (uv == nullptr) continue;
+    gv.ForEachNeighbor(*uv, [&](const EdgeEntry& e, VertexId nbr) {
+      const Tuple* tuple = gv.EdgeTuple(e);
+      if (tuple == nullptr) return true;
+      const Value& w = tuple->value(static_cast<size_t>(column));
+      if (w.is_null() ||
+          (w.type() != ValueType::kBigInt && w.type() != ValueType::kDouble)) {
+        failure = Status::InvalidArgument("edge attribute '" +
+                                          weight_attribute +
+                                          "' is not numeric");
+        return false;
+      }
+      double weight = w.AsNumeric();
+      if (weight < 0) {
+        failure = Status::InvalidArgument(
+            "shortest paths require non-negative weights");
+        return false;
+      }
+      double nd = d + weight;
+      auto d_it = dist.find(nbr);
+      if (d_it == dist.end() || nd < d_it->second) {
+        dist[nbr] = nd;
+        heap.emplace(nd, nbr);
+      }
+      return true;
+    });
+    GRF_RETURN_IF_ERROR(failure);
+  }
+  return dist;
+}
+
+std::vector<VertexId> KHopNeighborhood(const GraphView& gv, VertexId source,
+                                       size_t hops) {
+  std::vector<VertexId> out;
+  const VertexEntry* start = gv.FindVertex(source);
+  if (start == nullptr || hops == 0) return out;
+  std::unordered_set<VertexId> seen{source};
+  std::deque<std::pair<VertexId, size_t>> frontier{{source, 0}};
+  while (!frontier.empty()) {
+    auto [u, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= hops) continue;
+    const VertexEntry* uv = gv.FindVertex(u);
+    if (uv == nullptr) continue;
+    gv.ForEachNeighbor(*uv, [&](const EdgeEntry&, VertexId nbr) {
+      if (seen.insert(nbr).second) {
+        out.push_back(nbr);
+        frontier.emplace_back(nbr, depth + 1);
+      }
+      return true;
+    });
+  }
+  return out;
+}
+
+int64_t CountTrianglesExact(const GraphView& gv) {
+  // Neighbor-set intersection with an id ordering to count each triangle
+  // exactly once, treating the graph as undirected.
+  std::unordered_map<VertexId, std::vector<VertexId>> adjacency;
+  gv.ForEachEdge([&](const EdgeEntry& e) {
+    if (e.from != e.to) {
+      adjacency[e.from].push_back(e.to);
+      adjacency[e.to].push_back(e.from);
+    }
+    return true;
+  });
+  for (auto& [id, nbrs] : adjacency) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  int64_t count = 0;
+  for (const auto& [u, nbrs] : adjacency) {
+    for (VertexId v : nbrs) {
+      if (v <= u) continue;
+      // Intersect neighbors(u) and neighbors(v) above v.
+      auto it = adjacency.find(v);
+      if (it == adjacency.end()) continue;
+      const auto& nv = it->second;
+      size_t i = 0, j = 0;
+      while (i < nbrs.size() && j < nv.size()) {
+        if (nbrs[i] < nv[j]) {
+          ++i;
+        } else if (nbrs[i] > nv[j]) {
+          ++j;
+        } else {
+          if (nbrs[i] > v) ++count;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<size_t> DegreeHistogram(const GraphView& gv) {
+  std::vector<size_t> histogram;
+  gv.ForEachVertex([&](const VertexEntry& v) {
+    size_t degree = gv.FanOut(v);
+    if (degree >= histogram.size()) histogram.resize(degree + 1, 0);
+    ++histogram[degree];
+    return true;
+  });
+  return histogram;
+}
+
+}  // namespace grfusion

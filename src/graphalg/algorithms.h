@@ -1,0 +1,57 @@
+#ifndef GRFUSION_GRAPHALG_ALGORITHMS_H_
+#define GRFUSION_GRAPHALG_ALGORITHMS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_view.h"
+
+namespace grfusion {
+
+/// Whole-graph analytics executed directly over a graph view's materialized
+/// topology — the paper's §3.2 motivation ("empower the relational database
+/// engine with the ability to realize complex graph algorithms"): because
+/// the topology is a native in-memory structure, classic graph algorithms
+/// run on it without extracting the graph from the RDBMS (contrast with the
+/// Native Graph-Core approach, Fig. 1b).
+///
+/// All functions treat the view's directedness correctly (undirected views
+/// traverse both ways) and read attribute data, when needed, through the
+/// tuple pointers.
+
+/// PageRank with damping factor `damping`, run for `iterations` rounds.
+/// Returns id -> rank; ranks sum to ~1. Dangling mass is redistributed
+/// uniformly.
+std::unordered_map<VertexId, double> PageRank(const GraphView& gv,
+                                              int iterations = 20,
+                                              double damping = 0.85);
+
+/// Connected components (weakly connected for directed views). Returns
+/// id -> component representative (smallest vertex id in the component).
+std::unordered_map<VertexId, VertexId> ConnectedComponents(
+    const GraphView& gv);
+
+/// Single-source shortest path costs over a numeric edge attribute
+/// (by exposed name). Unreachable vertexes are absent from the result.
+/// Fails if the attribute is unknown, non-numeric, or negative.
+StatusOr<std::unordered_map<VertexId, double>> SingleSourceShortestPaths(
+    const GraphView& gv, VertexId source, const std::string& weight_attribute);
+
+/// Vertex ids within `hops` hops of `source` (excluding the source itself),
+/// via BFS over the topology.
+std::vector<VertexId> KHopNeighborhood(const GraphView& gv, VertexId source,
+                                       size_t hops);
+
+/// Total number of undirected triangles in the view (each counted once),
+/// using the standard oriented-neighbor intersection algorithm over the
+/// adjacency lists.
+int64_t CountTrianglesExact(const GraphView& gv);
+
+/// Degree histogram: index d holds the number of vertexes with (out-)degree
+/// d; useful to verify generated datasets' shapes.
+std::vector<size_t> DegreeHistogram(const GraphView& gv);
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_GRAPHALG_ALGORITHMS_H_

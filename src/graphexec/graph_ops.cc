@@ -1,0 +1,217 @@
+#include "graphexec/graph_ops.h"
+
+#include "common/logging.h"
+
+namespace grfusion {
+
+// --- VertexScanOp -----------------------------------------------------------------
+
+VertexScanOp::VertexScanOp(const GraphView* gv, ExprPtr qualifier,
+                           RowLayout layout, size_t offset, ExprPtr id_probe)
+    : gv_(gv), qualifier_(std::move(qualifier)), layout_(std::move(layout)),
+      offset_(offset), id_probe_(std::move(id_probe)),
+      exposed_(gv->ExposedVertexSchema()) {
+  for (const AttributeMapping& m : gv->def().vertex_attributes) {
+    attr_columns_.push_back(
+        gv->vertex_table()->schema().FindColumn(m.source_column));
+  }
+}
+
+Status VertexScanOp::Open(QueryContext* ctx) {
+  ctx_ = ctx;
+  cursor_ = 0;
+  ids_.clear();
+  if (id_probe_ != nullptr) {
+    // O(1) point access through the topology's id hash map.
+    ExecRow empty;
+    GRF_ASSIGN_OR_RETURN(Value v, id_probe_->Eval(empty));
+    if (!v.is_null()) {
+      GRF_ASSIGN_OR_RETURN(Value id, v.CastTo(ValueType::kBigInt));
+      if (gv_->FindVertex(id.AsBigInt()) != nullptr) {
+        ids_.push_back(id.AsBigInt());
+      }
+    }
+    return Status::OK();
+  }
+  // Snapshot ids so iteration over the deque stays simple; attribute reads
+  // still go through live tuple pointers.
+  ids_.reserve(gv_->NumVertexes());
+  gv_->ForEachVertex([&](const VertexEntry& v) {
+    ids_.push_back(v.id);
+    return true;
+  });
+  return Status::OK();
+}
+
+StatusOr<bool> VertexScanOp::Next(ExecRow* out) {
+  while (cursor_ < ids_.size()) {
+    const VertexEntry* v = gv_->FindVertex(ids_[cursor_++]);
+    if (v == nullptr) continue;
+    const Tuple* tuple = gv_->VertexTuple(*v);
+    if (tuple == nullptr) continue;
+    ++ctx_->stats().rows_scanned;
+    ExecRow row = layout_.MakeRow();
+    size_t c = offset_;
+    row.columns[c++] = Value::BigInt(v->id);
+    for (int col : attr_columns_) {
+      row.columns[c++] = tuple->value(static_cast<size_t>(col));
+    }
+    row.columns[c++] = Value::BigInt(static_cast<int64_t>(gv_->FanOut(*v)));
+    row.columns[c++] = Value::BigInt(static_cast<int64_t>(gv_->FanIn(*v)));
+    if (qualifier_ != nullptr) {
+      GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qualifier_, row));
+      if (!pass) continue;
+    }
+    *out = std::move(row);
+    return true;
+  }
+  return false;
+}
+
+void VertexScanOp::Close() { ids_.clear(); }
+
+std::string VertexScanOp::name() const {
+  std::string out = "VertexScan(" + gv_->name();
+  if (id_probe_ != nullptr) out += ", id-probe: " + id_probe_->ToString();
+  if (qualifier_ != nullptr) out += ", filter: " + qualifier_->ToString();
+  return out + ")";
+}
+
+// --- EdgeScanOp -------------------------------------------------------------------
+
+EdgeScanOp::EdgeScanOp(const GraphView* gv, ExprPtr qualifier, RowLayout layout,
+                       size_t offset)
+    : gv_(gv), qualifier_(std::move(qualifier)), layout_(std::move(layout)),
+      offset_(offset), exposed_(gv->ExposedEdgeSchema()) {
+  for (const AttributeMapping& m : gv->def().edge_attributes) {
+    attr_columns_.push_back(
+        gv->edge_table()->schema().FindColumn(m.source_column));
+  }
+}
+
+Status EdgeScanOp::Open(QueryContext* ctx) {
+  ctx_ = ctx;
+  cursor_ = 0;
+  ids_.clear();
+  ids_.reserve(gv_->NumEdges());
+  gv_->ForEachEdge([&](const EdgeEntry& e) {
+    ids_.push_back(e.id);
+    return true;
+  });
+  return Status::OK();
+}
+
+StatusOr<bool> EdgeScanOp::Next(ExecRow* out) {
+  while (cursor_ < ids_.size()) {
+    const EdgeEntry* e = gv_->FindEdge(ids_[cursor_++]);
+    if (e == nullptr) continue;
+    const Tuple* tuple = gv_->EdgeTuple(*e);
+    if (tuple == nullptr) continue;
+    ++ctx_->stats().rows_scanned;
+    ExecRow row = layout_.MakeRow();
+    size_t c = offset_;
+    row.columns[c++] = Value::BigInt(e->id);
+    row.columns[c++] = Value::BigInt(e->from);
+    row.columns[c++] = Value::BigInt(e->to);
+    for (int col : attr_columns_) {
+      row.columns[c++] = tuple->value(static_cast<size_t>(col));
+    }
+    if (qualifier_ != nullptr) {
+      GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qualifier_, row));
+      if (!pass) continue;
+    }
+    *out = std::move(row);
+    return true;
+  }
+  return false;
+}
+
+void EdgeScanOp::Close() { ids_.clear(); }
+
+std::string EdgeScanOp::name() const {
+  std::string out = "EdgeScan(" + gv_->name();
+  if (qualifier_ != nullptr) out += ", filter: " + qualifier_->ToString();
+  return out + ")";
+}
+
+// --- PathProbeJoinOp ----------------------------------------------------------------
+
+PathProbeJoinOp::PathProbeJoinOp(OperatorPtr outer,
+                                 std::shared_ptr<const TraversalSpec> spec)
+    : outer_(std::move(outer)), spec_(std::move(spec)) {}
+
+Status PathProbeJoinOp::Open(QueryContext* ctx) {
+  ctx_ = ctx;
+  scanner_ = std::make_unique<PathScanner>(spec_, ctx);
+  outer_valid_ = false;
+  return outer_->Open(ctx);
+}
+
+StatusOr<std::vector<VertexId>> PathProbeJoinOp::StartsFor(
+    const ExecRow& outer_row) {
+  std::vector<VertexId> starts;
+  if (spec_->start_vertex_expr != nullptr) {
+    GRF_ASSIGN_OR_RETURN(Value v, spec_->start_vertex_expr->Eval(outer_row));
+    if (v.is_null()) return starts;  // NULL start joins nothing.
+    GRF_ASSIGN_OR_RETURN(Value id, v.CastTo(ValueType::kBigInt));
+    starts.push_back(id.AsBigInt());
+    return starts;
+  }
+  // Unbound start: all vertexes of the view (paper §5.1.2).
+  starts.reserve(spec_->gv->NumVertexes());
+  spec_->gv->ForEachVertex([&](const VertexEntry& v) {
+    starts.push_back(v.id);
+    return true;
+  });
+  return starts;
+}
+
+StatusOr<bool> PathProbeJoinOp::Next(ExecRow* out) {
+  while (true) {
+    if (outer_valid_) {
+      PathPtr path;
+      GRF_ASSIGN_OR_RETURN(bool has, scanner_->Next(&path));
+      if (has) {
+        ExecRow row = outer_row_;
+        if (row.paths.size() <= spec_->path_slot) {
+          row.paths.resize(spec_->path_slot + 1);
+        }
+        row.paths[spec_->path_slot] = std::move(path);
+        ++ctx_->stats().rows_joined;
+        *out = std::move(row);
+        return true;
+      }
+      outer_valid_ = false;
+    }
+    GRF_ASSIGN_OR_RETURN(bool has_outer, outer_->Next(&outer_row_));
+    if (!has_outer) return false;
+
+    GRF_ASSIGN_OR_RETURN(std::vector<VertexId> starts, StartsFor(outer_row_));
+    std::optional<VertexId> target;
+    if (spec_->end_vertex_expr != nullptr) {
+      GRF_ASSIGN_OR_RETURN(Value v, spec_->end_vertex_expr->Eval(outer_row_));
+      if (v.is_null()) continue;  // NULL target joins nothing.
+      GRF_ASSIGN_OR_RETURN(Value id, v.CastTo(ValueType::kBigInt));
+      target = id.AsBigInt();
+    }
+    GRF_RETURN_IF_ERROR(scanner_->Reset(std::move(starts), target,
+                                        &outer_row_));
+    outer_valid_ = true;
+  }
+}
+
+void PathProbeJoinOp::Close() {
+  outer_->Close();
+  if (scanner_ != nullptr) scanner_->Release();
+  outer_valid_ = false;
+}
+
+std::string PathProbeJoinOp::name() const {
+  return "PathProbeJoin[" + spec_->DebugString() + "]";
+}
+
+std::string PathProbeJoinOp::ToString(int indent) const {
+  return PhysicalOperator::ToString(indent) + outer_->ToString(indent + 1);
+}
+
+}  // namespace grfusion

@@ -1,0 +1,106 @@
+#ifndef GRFUSION_GRAPHEXEC_GRAPH_OPS_H_
+#define GRFUSION_GRAPHEXEC_GRAPH_OPS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/row_layout.h"
+#include "expr/expression.h"
+#include "graph/graph_view.h"
+#include "graphexec/path_scanner.h"
+#include "graphexec/traversal_spec.h"
+
+namespace grfusion {
+
+/// Scans the vertexes of a graph view through the in-memory topology,
+/// exposing each as a relational row (ID, attrs..., FANOUT, FANIN) — the
+/// paper's VertexScan operator (§5.1.1). Fan-in/fan-out come from the
+/// adjacency lists in O(1); attributes are fetched through tuple pointers.
+class VertexScanOp : public PhysicalOperator {
+ public:
+  /// `id_probe`, when set, is a row-independent expression whose value
+  /// selects a single vertex through the topology's id hash map in O(1)
+  /// (chosen by the planner for `V.ID = <constant>` predicates).
+  VertexScanOp(const GraphView* gv, ExprPtr qualifier, RowLayout layout,
+               size_t offset, ExprPtr id_probe = nullptr);
+  const Schema& schema() const override { return *layout_.schema; }
+  Status Open(QueryContext* ctx) override;
+  StatusOr<bool> Next(ExecRow* out) override;
+  void Close() override;
+  std::string name() const override;
+
+ private:
+  const GraphView* gv_;
+  ExprPtr qualifier_;
+  RowLayout layout_;
+  size_t offset_;
+  ExprPtr id_probe_;
+  Schema exposed_;
+  std::vector<int> attr_columns_;  ///< Source columns of exposed attributes.
+
+  QueryContext* ctx_ = nullptr;
+  std::vector<VertexId> ids_;
+  size_t cursor_ = 0;
+};
+
+/// Scans the edges of a graph view (ID, FROM, TO, attrs...) — the paper's
+/// EdgeScan operator.
+class EdgeScanOp : public PhysicalOperator {
+ public:
+  EdgeScanOp(const GraphView* gv, ExprPtr qualifier, RowLayout layout,
+             size_t offset);
+  const Schema& schema() const override { return *layout_.schema; }
+  Status Open(QueryContext* ctx) override;
+  StatusOr<bool> Next(ExecRow* out) override;
+  void Close() override;
+  std::string name() const override;
+
+ private:
+  const GraphView* gv_;
+  ExprPtr qualifier_;
+  RowLayout layout_;
+  size_t offset_;
+  Schema exposed_;
+  std::vector<int> attr_columns_;
+
+  QueryContext* ctx_ = nullptr;
+  std::vector<EdgeId> ids_;
+  size_t cursor_ = 0;
+};
+
+/// The cross-data-model join of paper Fig. 6: each row of the relational
+/// outer child probes the PathScan — the outer row's start/end bindings are
+/// evaluated, the traversal is re-armed, and each lazily produced path is
+/// attached to a copy of the outer row at the path's slot.
+///
+/// With no relational FROM items the planner supplies a SingleRowOp outer,
+/// making this the plain PathScan of a pure graph query.
+class PathProbeJoinOp : public PhysicalOperator {
+ public:
+  PathProbeJoinOp(OperatorPtr outer, std::shared_ptr<const TraversalSpec> spec);
+  const Schema& schema() const override { return outer_->schema(); }
+  Status Open(QueryContext* ctx) override;
+  StatusOr<bool> Next(ExecRow* out) override;
+  void Close() override;
+  std::string name() const override;
+  std::string ToString(int indent) const override;
+
+ private:
+  /// Computes the start set for one outer row: the bound start expression's
+  /// value, or every vertex of the graph view when unbound (paper §5.1.2).
+  StatusOr<std::vector<VertexId>> StartsFor(const ExecRow& outer_row);
+
+  OperatorPtr outer_;
+  std::shared_ptr<const TraversalSpec> spec_;
+  QueryContext* ctx_ = nullptr;
+  std::unique_ptr<PathScanner> scanner_;
+  ExecRow outer_row_;
+  bool outer_valid_ = false;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_GRAPHEXEC_GRAPH_OPS_H_

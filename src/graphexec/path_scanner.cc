@@ -1,0 +1,368 @@
+#include "graphexec/path_scanner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+std::string TraversalSpec::DebugString() const {
+  std::string out = "PathScan(";
+  out += gv == nullptr ? "?" : gv->name();
+  switch (physical) {
+    case Physical::kDfs: out += ", DFScan"; break;
+    case Physical::kBfs: out += ", BFScan"; break;
+    case Physical::kShortestPath: out += ", SPScan"; break;
+  }
+  if (start_vertex_expr != nullptr) {
+    out += ", start: " + start_vertex_expr->ToString();
+  }
+  if (end_vertex_expr != nullptr) {
+    out += ", end: " + end_vertex_expr->ToString();
+  }
+  out += StrFormat(", len: [%zu, ", min_length);
+  out += max_length == kNoMaxLength ? "*]" : StrFormat("%zu]", max_length);
+  if (!element_preds.empty()) {
+    out += StrFormat(", pushed: %zu", element_preds.size());
+  }
+  if (!sum_bounds.empty()) {
+    out += StrFormat(", sum-bounds: %zu", sum_bounds.size());
+  }
+  if (!push_filters) out += ", NO-PUSHDOWN";
+  if (global_visited) out += ", visited-once";
+  return out + ")";
+}
+
+namespace {
+
+/// Frontier-entry footprint for the query-memory accountant.
+size_t CandidateBytes(const PathData& path) {
+  return 64 + path.vertexes.size() * sizeof(VertexId) +
+         path.edges.size() * sizeof(EdgeId);
+}
+
+}  // namespace
+
+Status PathScanner::Reset(std::vector<VertexId> starts,
+                          std::optional<VertexId> target,
+                          const ExecRow* outer_row) {
+  frontier_.clear();
+  heap_ = decltype(heap_)();
+  visited_.clear();
+  expansions_.clear();
+  if (charged_ > 0) {
+    ctx_->ReleaseBytes(charged_);
+    charged_ = 0;
+  }
+  outer_row_ = outer_row;
+  target_ = target;
+
+  // Evaluate sum-bound right-hand sides once per probe.
+  sum_bound_values_.clear();
+  static const ExecRow kEmptyRow;
+  const ExecRow& row = outer_row_ == nullptr ? kEmptyRow : *outer_row_;
+  for (const TraversalSpec::SumBound& bound : spec_->sum_bounds) {
+    GRF_ASSIGN_OR_RETURN(Value v, bound.bound->Eval(row));
+    if (v.is_null() ||
+        (v.type() != ValueType::kBigInt && v.type() != ValueType::kDouble)) {
+      return Status::InvalidArgument(
+          "path aggregate bound must evaluate to a number");
+    }
+    sum_bound_values_.push_back(v.AsNumeric());
+  }
+
+  // Deduplicate starts (a probe may legitimately produce repeats).
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  for (VertexId start : starts) {
+    const VertexEntry* v = spec_->gv->FindVertex(start);
+    if (v == nullptr) continue;
+    if (spec_->push_filters) {
+      GRF_ASSIGN_OR_RETURN(bool ok, VertexAdmissible(*v, 0));
+      if (!ok) {
+        ++ctx_->stats().paths_pruned;
+        continue;
+      }
+    }
+    Candidate candidate;
+    candidate.path.vertexes.push_back(start);
+    candidate.sums.assign(spec_->sum_bounds.size(), 0.0);
+    if (spec_->global_visited) visited_.insert(start);
+    PushCandidate(std::move(candidate));
+  }
+  return Status::OK();
+}
+
+bool PathScanner::PopCandidate(Candidate* out) {
+  if (spec_->physical == TraversalSpec::Physical::kShortestPath) {
+    if (heap_.empty()) return false;
+    *out = heap_.top();
+    heap_.pop();
+  } else if (spec_->physical == TraversalSpec::Physical::kBfs) {
+    if (frontier_.empty()) return false;
+    *out = std::move(frontier_.front());
+    frontier_.pop_front();
+  } else {  // DFS.
+    if (frontier_.empty()) return false;
+    *out = std::move(frontier_.back());
+    frontier_.pop_back();
+  }
+  ctx_->ReleaseBytes(CandidateBytes(out->path));
+  charged_ -= std::min(charged_, CandidateBytes(out->path));
+  return true;
+}
+
+void PathScanner::PushCandidate(Candidate candidate) {
+  size_t bytes = CandidateBytes(candidate.path);
+  charged_ += bytes;
+  // Frontier growth counts against the query memory cap; the status is
+  // surfaced on the next Charge-returning call path. Charge failures here
+  // are recorded by the context (peak accounting) — the next qualifying
+  // charge check will abort the query.
+  (void)ctx_->ChargeBytes(bytes);
+  if (spec_->physical == TraversalSpec::Physical::kShortestPath) {
+    heap_.push(std::move(candidate));
+  } else {
+    frontier_.push_back(std::move(candidate));
+  }
+  ctx_->stats().NoteFrontier(FrontierSize());
+}
+
+size_t PathScanner::FrontierSize() const {
+  return spec_->physical == TraversalSpec::Physical::kShortestPath
+             ? heap_.size()
+             : frontier_.size();
+}
+
+StatusOr<bool> PathScanner::EdgeAdmissible(const EdgeEntry& edge,
+                                           size_t edge_index) {
+  static const ExecRow kEmptyRow;
+  const ExecRow& row = outer_row_ == nullptr ? kEmptyRow : *outer_row_;
+  for (const auto& pred : spec_->element_preds) {
+    if (pred->attr().kind != PathElementKind::kEdges) continue;
+    if (edge_index < pred->lo()) continue;
+    if (pred->hi() != PathRangePredicateExpr::kOpenEnd &&
+        edge_index > pred->hi()) {
+      continue;
+    }
+    GRF_ASSIGN_OR_RETURN(Value v, ExtractEdgeValue(*spec_->gv, edge,
+                                                   pred->attr()));
+    GRF_ASSIGN_OR_RETURN(bool pass, pred->TestElement(v, row));
+    if (!pass) return false;
+  }
+  return true;
+}
+
+StatusOr<bool> PathScanner::VertexAdmissible(const VertexEntry& vertex,
+                                             size_t vertex_index) {
+  static const ExecRow kEmptyRow;
+  const ExecRow& row = outer_row_ == nullptr ? kEmptyRow : *outer_row_;
+  for (const auto& pred : spec_->element_preds) {
+    if (pred->attr().kind != PathElementKind::kVertexes) continue;
+    if (vertex_index < pred->lo()) continue;
+    if (pred->hi() != PathRangePredicateExpr::kOpenEnd &&
+        vertex_index > pred->hi()) {
+      continue;
+    }
+    GRF_ASSIGN_OR_RETURN(Value v, ExtractVertexValue(*spec_->gv, vertex,
+                                                     pred->attr()));
+    GRF_ASSIGN_OR_RETURN(bool pass, pred->TestElement(v, row));
+    if (!pass) return false;
+  }
+  return true;
+}
+
+Status PathScanner::Expand(const Candidate& candidate) {
+  const VertexEntry* end = spec_->gv->FindVertex(candidate.path.EndVertex());
+  if (end == nullptr) return Status::OK();  // Vertex deleted mid-query.
+
+  // SPScan expansion cap (classic k-shortest-paths pruning).
+  if (spec_->physical == TraversalSpec::Physical::kShortestPath &&
+      spec_->sp_expansion_cap != kNoMaxLength) {
+    size_t& count = expansions_[end->id];
+    if (++count > spec_->sp_expansion_cap) return Status::OK();
+  }
+
+  const VertexId start = candidate.path.StartVertex();
+  const size_t edge_index = candidate.path.Length();
+  Status status = Status::OK();
+
+  spec_->gv->ForEachNeighbor(*end, [&](const EdgeEntry& edge, VertexId nbr) {
+    ++ctx_->stats().edges_examined;
+
+    // Edge-simple: never reuse an edge within one path.
+    if (std::find(candidate.path.edges.begin(), candidate.path.edges.end(),
+                  edge.id) != candidate.path.edges.end()) {
+      return true;
+    }
+    // Vertex-simple, with one exception: an edge closing a cycle back to the
+    // start vertex is emitted (that is how sub-graph patterns like triangles
+    // are matched, paper Listing 4) but never extended.
+    bool closing = nbr == start && candidate.path.Length() >= 1;
+    if (!closing) {
+      if (std::find(candidate.path.vertexes.begin(),
+                    candidate.path.vertexes.end(),
+                    nbr) != candidate.path.vertexes.end()) {
+        return true;
+      }
+      if (spec_->global_visited && visited_.count(nbr) > 0) return true;
+    }
+
+    std::vector<double> sums = candidate.sums;
+    if (spec_->push_filters) {
+      auto edge_ok = EdgeAdmissible(edge, edge_index);
+      if (!edge_ok.ok()) {
+        status = edge_ok.status();
+        return false;
+      }
+      if (!*edge_ok) {
+        ++ctx_->stats().paths_pruned;
+        return true;
+      }
+      const VertexEntry* nv = spec_->gv->FindVertex(nbr);
+      if (nv != nullptr) {
+        auto vertex_ok = VertexAdmissible(*nv, edge_index + 1);
+        if (!vertex_ok.ok()) {
+          status = vertex_ok.status();
+          return false;
+        }
+        if (!*vertex_ok) {
+          ++ctx_->stats().paths_pruned;
+          return true;
+        }
+      }
+      // Accumulate sum bounds and prune monotone upper bounds early.
+      for (size_t i = 0; i < spec_->sum_bounds.size(); ++i) {
+        auto v = ExtractEdgeValue(*spec_->gv, edge, spec_->sum_bounds[i].attr);
+        if (!v.ok()) {
+          status = v.status();
+          return false;
+        }
+        if (!v->is_null()) sums[i] += v->AsNumeric();
+        CompareOp op = spec_->sum_bounds[i].op;
+        double bound = sum_bound_values_[i];
+        bool prune = (op == CompareOp::kLt && sums[i] >= bound) ||
+                     (op == CompareOp::kLe && sums[i] > bound);
+        if (prune) {
+          ++ctx_->stats().paths_pruned;
+          return true;
+        }
+      }
+    } else {
+      // Pushdown disabled (ablation / paper §7.1 control): still accumulate
+      // sums so emission checks stay exact.
+      for (size_t i = 0; i < spec_->sum_bounds.size(); ++i) {
+        auto v = ExtractEdgeValue(*spec_->gv, edge, spec_->sum_bounds[i].attr);
+        if (!v.ok()) {
+          status = v.status();
+          return false;
+        }
+        if (!v->is_null()) sums[i] += v->AsNumeric();
+      }
+    }
+
+    Candidate next;
+    next.path.edges = candidate.path.edges;
+    next.path.edges.push_back(edge.id);
+    next.path.vertexes = candidate.path.vertexes;
+    next.path.vertexes.push_back(nbr);
+    next.sums = std::move(sums);
+    next.closing = closing;
+    next.path.accumulated_cost = candidate.path.accumulated_cost;
+
+    if (spec_->physical == TraversalSpec::Physical::kShortestPath) {
+      auto w = ExtractEdgeValue(*spec_->gv, edge, spec_->sp_attr);
+      if (!w.ok()) {
+        status = w.status();
+        return false;
+      }
+      if (w->is_null() || w->AsNumeric() < 0) {
+        status = Status::InvalidArgument(
+            "SHORTESTPATH requires a non-null, non-negative edge attribute");
+        return false;
+      }
+      next.path.accumulated_cost += w->AsNumeric();
+    }
+
+    if (spec_->global_visited && !closing) visited_.insert(nbr);
+    PushCandidate(std::move(next));
+    return true;
+  });
+  return status;
+}
+
+StatusOr<bool> PathScanner::Qualifies(const Candidate& candidate) {
+  const size_t len = candidate.path.Length();
+  if (len < spec_->min_length || len > spec_->max_length) return false;
+  if (target_.has_value() && candidate.path.EndVertex() != *target_) {
+    return false;
+  }
+  // A range predicate whose window the path never reached fails (its Eval
+  // semantics); enforce the structural requirement without re-evaluating.
+  for (const auto& pred : spec_->element_preds) {
+    size_t count =
+        pred->attr().kind == PathElementKind::kEdges ? len : len + 1;
+    if (pred->lo() >= count) return false;
+    if (pred->hi() != PathRangePredicateExpr::kOpenEnd &&
+        pred->hi() >= count) {
+      return false;
+    }
+  }
+  // Exact sum-bound checks.
+  for (size_t i = 0; i < spec_->sum_bounds.size(); ++i) {
+    GRF_ASSIGN_OR_RETURN(
+        Value v, EvalCompare(spec_->sum_bounds[i].op,
+                             Value::Double(candidate.sums[i]),
+                             Value::Double(sum_bound_values_[i])));
+    if (v.is_null() || !v.AsBoolean()) return false;
+  }
+
+  const bool needs_row_eval =
+      spec_->residual != nullptr || !spec_->push_filters;
+  if (needs_row_eval) {
+    ExecRow row = outer_row_ == nullptr ? ExecRow() : *outer_row_;
+    if (row.paths.size() <= spec_->path_slot) {
+      row.paths.resize(spec_->path_slot + 1);
+    }
+    row.paths[spec_->path_slot] =
+        std::make_shared<const PathData>(candidate.path);
+    if (!spec_->push_filters) {
+      for (const auto& pred : spec_->element_preds) {
+        GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, row));
+        if (!pass) return false;
+      }
+    }
+    if (spec_->residual != nullptr) {
+      GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*spec_->residual, row));
+      if (!pass) return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<bool> PathScanner::Next(PathPtr* out) {
+  Candidate candidate;
+  while (PopCandidate(&candidate)) {
+    ++ctx_->stats().vertexes_expanded;
+    const bool can_extend =
+        !candidate.closing && candidate.path.Length() < spec_->max_length;
+    if (can_extend) {
+      GRF_RETURN_IF_ERROR(Expand(candidate));
+      // Frontier growth may have tripped the memory cap.
+      if (ctx_->current_bytes() > ctx_->memory_cap()) {
+        return Status::ResourceExhausted(
+            "traversal frontier exceeded the query memory cap");
+      }
+    }
+    GRF_ASSIGN_OR_RETURN(bool qualifies, Qualifies(candidate));
+    if (qualifies) {
+      ++ctx_->stats().paths_emitted;
+      *out = std::make_shared<const PathData>(std::move(candidate.path));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace grfusion

@@ -1,0 +1,103 @@
+#ifndef GRFUSION_GRAPHEXEC_PATH_SCANNER_H_
+#define GRFUSION_GRAPHEXEC_PATH_SCANNER_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/query_context.h"
+#include "expr/row.h"
+#include "graph/path.h"
+#include "graphexec/traversal_spec.h"
+
+namespace grfusion {
+
+/// Lazy traversal engine behind the PathScan operator: enumerates simple
+/// paths from a set of start vertexes, on demand, under a TraversalSpec.
+///
+/// The scanner is re-armed per probe row via Reset() — this is how an outer
+/// relational join tuple "probes" the traversal (paper Fig. 6). Between
+/// Reset() calls it holds the traversal frontier (DFS stack / BFS queue /
+/// Dijkstra priority queue) and yields one qualifying path per Next().
+class PathScanner {
+ public:
+  PathScanner(std::shared_ptr<const TraversalSpec> spec, QueryContext* ctx)
+      : spec_(std::move(spec)), ctx_(ctx) {}
+
+  /// Arms the scanner for a new probe. `starts` may be empty (yields no
+  /// paths). `target`, when set, restricts emission to paths ending there.
+  /// `outer_row` is kept (borrowed) to evaluate predicate right-hand sides
+  /// that reference outer columns; it must outlive the pulls.
+  Status Reset(std::vector<VertexId> starts, std::optional<VertexId> target,
+               const ExecRow* outer_row);
+
+  /// Produces the next qualifying path, or false when the traversal space is
+  /// exhausted.
+  StatusOr<bool> Next(PathPtr* out);
+
+  /// Drops frontier state and releases its memory charge (operator Close).
+  void Release() {
+    frontier_.clear();
+    heap_ = decltype(heap_)();
+    visited_.clear();
+    expansions_.clear();
+    if (charged_ > 0) {
+      ctx_->ReleaseBytes(charged_);
+      charged_ = 0;
+    }
+  }
+
+ private:
+  /// A partial (or complete) candidate path on the frontier.
+  struct Candidate {
+    PathData path;
+    std::vector<double> sums;  ///< Running totals, one per spec sum-bound.
+    bool closing = false;      ///< Cycle back to start: emit but never extend.
+  };
+
+  struct CostOrder {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      return a.path.accumulated_cost > b.path.accumulated_cost;  // Min-heap.
+    }
+  };
+
+  /// Pops the next candidate in physical-operator order.
+  bool PopCandidate(Candidate* out);
+  void PushCandidate(Candidate candidate);
+  size_t FrontierSize() const;
+
+  /// True when the candidate may be emitted (length window, target, pushed
+  /// filters when running un-pushed, residual predicates, exact sum bounds).
+  StatusOr<bool> Qualifies(const Candidate& candidate);
+
+  /// Expands `candidate` by every admissible incident edge, pushing the
+  /// extensions onto the frontier.
+  Status Expand(const Candidate& candidate);
+
+  /// Incremental checks for appending `edge`->`next_vertex` at position
+  /// `edge_index`; false means the branch is pruned.
+  StatusOr<bool> EdgeAdmissible(const EdgeEntry& edge, size_t edge_index);
+  StatusOr<bool> VertexAdmissible(const VertexEntry& vertex,
+                                  size_t vertex_index);
+
+  std::shared_ptr<const TraversalSpec> spec_;
+  QueryContext* ctx_;
+
+  const ExecRow* outer_row_ = nullptr;
+  std::optional<VertexId> target_;
+  std::vector<double> sum_bound_values_;  ///< Bounds evaluated per probe.
+
+  std::deque<Candidate> frontier_;  ///< DFS stack (back) / BFS queue (front).
+  std::priority_queue<Candidate, std::vector<Candidate>, CostOrder> heap_;
+  std::unordered_set<VertexId> visited_;      ///< global_visited mode.
+  std::unordered_map<VertexId, size_t> expansions_;  ///< SPScan cap.
+  size_t charged_ = 0;  ///< Bytes currently charged for the frontier.
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_GRAPHEXEC_PATH_SCANNER_H_

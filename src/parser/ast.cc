@@ -1,0 +1,80 @@
+#include "parser/ast.h"
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+std::string ParsedExpr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.type() == ValueType::kVarchar
+                 ? "'" + literal.ToString() + "'"
+                 : literal.ToString();
+    case Kind::kStar:
+      return "*";
+    case Kind::kRef: {
+      std::string out;
+      for (size_t i = 0; i < ref.size(); ++i) {
+        if (i > 0) out += '.';
+        out += ref[i].name;
+        if (ref[i].has_index) {
+          if (ref[i].is_range) {
+            out += StrFormat("[%lld..%s]", static_cast<long long>(ref[i].lo),
+                             ref[i].hi < 0
+                                 ? "*"
+                                 : std::to_string(ref[i].hi).c_str());
+          } else {
+            out += StrFormat("[%lld]", static_cast<long long>(ref[i].lo));
+          }
+        }
+      }
+      return out;
+    }
+    case Kind::kNegate:
+      return "-" + children[0]->ToString();
+    case Kind::kNot:
+      return "NOT " + children[0]->ToString();
+    case Kind::kArith:
+      return "(" + children[0]->ToString() + " " + ArithOpToString(arith_op) +
+             " " + children[1]->ToString() + ")";
+    case Kind::kCompare:
+      return children[0]->ToString() + " " + CompareOpToString(compare_op) +
+             " " + children[1]->ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kFunc: {
+      std::string out = func_name + "(";
+      if (star_arg) out += "*";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kIn: {
+      std::string out =
+          children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case Kind::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString();
+  }
+  return "?";
+}
+
+}  // namespace grfusion

@@ -1,0 +1,169 @@
+#ifndef GRFUSION_PARSER_AST_H_
+#define GRFUSION_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/value.h"
+#include "expr/expression.h"  // CompareOp / ArithOp / AggFunc enums.
+#include "graph/graph_view_def.h"
+
+namespace grfusion {
+
+// --- Unbound expressions ------------------------------------------------------
+
+struct ParsedExpr;
+using ParsedExprPtr = std::unique_ptr<ParsedExpr>;
+
+/// One segment of a dotted reference, optionally indexed:
+///   U.Job              -> {U}, {Job}
+///   PS.Edges[0..*].T   -> {PS}, {Edges, [0..*]}, {T}
+///   PS.Vertexes[2].Id  -> {PS}, {Vertexes, [2]}, {Id}
+struct RefPart {
+  std::string name;
+  bool has_index = false;
+  bool is_range = false;   ///< true for [a..b] / [a..*], false for [a].
+  int64_t lo = 0;
+  int64_t hi = 0;          ///< -1 encodes '*'.
+};
+
+/// Parsed (unbound) expression tree. One flexible node type keeps the AST
+/// small; `kind` selects which fields are meaningful.
+struct ParsedExpr {
+  enum class Kind {
+    kLiteral,   ///< `literal`.
+    kRef,       ///< `ref` (dotted, possibly indexed, reference).
+    kStar,      ///< bare `*` in a select list.
+    kNegate,    ///< children[0].
+    kNot,       ///< children[0].
+    kArith,     ///< arith_op, children[0], children[1].
+    kCompare,   ///< compare_op, children[0], children[1].
+    kAnd,       ///< children (n-ary).
+    kOr,        ///< children (n-ary).
+    kFunc,      ///< func_name, children (args), star_arg for COUNT(*).
+    kIn,        ///< children[0] [NOT] IN children[1..]; `negated`.
+    kIsNull,    ///< children[0] IS [NOT] NULL; `negated`.
+    kLike,      ///< children[0] [NOT] LIKE children[1]; `negated`.
+  };
+
+  Kind kind;
+  Value literal;
+  std::vector<RefPart> ref;
+  ArithOp arith_op = ArithOp::kAdd;
+  CompareOp compare_op = CompareOp::kEq;
+  std::string func_name;
+  bool negated = false;
+  bool star_arg = false;
+  std::vector<ParsedExprPtr> children;
+
+  /// Pretty-printer for error messages and tests.
+  std::string ToString() const;
+};
+
+// --- Statements ----------------------------------------------------------------
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool primary_key = false;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  bool if_not_exists = false;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string column;
+  bool unique = false;
+};
+
+/// CREATE [DIRECTED|UNDIRECTED] GRAPH VIEW ... (paper Listing 1).
+struct CreateGraphViewStmt {
+  GraphViewDef def;
+};
+
+struct DropStmt {
+  enum class Kind { kTable, kGraphView, kIndex };
+  Kind kind = Kind::kTable;
+  std::string name;
+  bool if_exists = false;
+};
+
+struct SelectStmt;
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  ///< Empty = positional.
+  std::vector<std::vector<ParsedExprPtr>> rows;  ///< VALUES form.
+  std::unique_ptr<SelectStmt> select;  ///< INSERT INTO ... SELECT form.
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ParsedExprPtr>> assignments;
+  ParsedExprPtr where;  ///< May be null.
+};
+
+struct DeleteStmt {
+  std::string table;
+  ParsedExprPtr where;  ///< May be null.
+};
+
+/// Which facet of a graph view a FROM item addresses (paper §4).
+enum class GraphAccessor { kNone, kPaths, kVertexes, kEdges };
+
+/// Traversal hints (paper §6.3 / Listing 6).
+enum class TraversalHint { kNone, kDfs, kBfs, kShortestPath };
+
+struct FromItem {
+  std::string source;                ///< Table or graph-view name.
+  GraphAccessor accessor = GraphAccessor::kNone;
+  std::string alias;                 ///< Defaults to `source` when empty.
+  TraversalHint hint = TraversalHint::kNone;
+  std::string hint_attribute;        ///< SHORTESTPATH(<edge attribute>).
+};
+
+struct SelectItem {
+  ParsedExprPtr expr;
+  std::string alias;  ///< Optional output column name.
+};
+
+struct OrderByItem {
+  ParsedExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  int64_t top = -1;  ///< TOP n (paper Listing 6); -1 = absent.
+  std::vector<SelectItem> items;
+  std::vector<FromItem> from;
+  ParsedExprPtr where;  ///< May be null.
+  std::vector<ParsedExprPtr> group_by;
+  ParsedExprPtr having;  ///< May be null; requires GROUP BY or aggregates.
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;   ///< LIMIT n; -1 = absent.
+};
+
+/// CREATE MATERIALIZED VIEW <name> AS SELECT ... — materializes the query
+/// result as a table. The paper's graph-view sources "can either be a table
+/// or a materialized relational-view" (§3.1); this provides the latter.
+struct CreateMaterializedViewStmt {
+  std::string name;
+  std::unique_ptr<SelectStmt> select;
+};
+
+using Statement =
+    std::variant<CreateTableStmt, CreateIndexStmt, CreateGraphViewStmt,
+                 CreateMaterializedViewStmt, DropStmt, InsertStmt, UpdateStmt,
+                 DeleteStmt, SelectStmt>;
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_PARSER_AST_H_

@@ -1,0 +1,152 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- to end of line.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      token.type = TokenType::kIdentifier;
+      token.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      bool is_double = false;
+      // A '.' starts a fraction only if NOT followed by another '.'
+      // (so "0..*" stays three tokens) and is followed by a digit.
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (sql[exp] == '+' || sql[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(sql[exp]))) {
+          is_double = true;
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      std::string text(sql.substr(start, i - start));
+      if (is_double) {
+        token.type = TokenType::kDouble;
+        token.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string payload;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // Escaped quote.
+            payload += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        payload += sql[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu",
+                      token.offset));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(payload);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-char symbols first.
+    auto emit = [&](std::string sym) {
+      token.type = TokenType::kSymbol;
+      token.text = std::move(sym);
+      i += token.text.size();
+      tokens.push_back(std::move(token));
+    };
+    if (c == '.' && i + 1 < n && sql[i + 1] == '.') {
+      emit("..");
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      emit("<>");
+      continue;
+    }
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      emit("!=");
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '=') {
+      emit("<=");
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      emit(">=");
+      continue;
+    }
+    switch (c) {
+      case '(': case ')': case ',': case '.': case ';': case '[': case ']':
+      case '*': case '+': case '-': case '/': case '%': case '=': case '<':
+      case '>':
+        emit(std::string(1, c));
+        continue;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace grfusion

@@ -1,0 +1,40 @@
+#ifndef GRFUSION_PARSER_LEXER_H_
+#define GRFUSION_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grfusion {
+
+enum class TokenType {
+  kIdentifier,   ///< Bare word; keywords are identified by the parser.
+  kInteger,      ///< 64-bit integer literal.
+  kDouble,       ///< Floating-point literal.
+  kString,       ///< Single-quoted string (quotes stripped, '' unescaped).
+  kSymbol,       ///< Operator / punctuation; `text` holds the exact symbol.
+  kEnd,          ///< End of input.
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     ///< Identifier spelling, symbol, or string payload.
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;    ///< Byte offset in the input, for error messages.
+
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes a SQL string. Symbols produced:
+///   ( ) , . .. ; [ ] * + - / % = <> != < <= > >=
+/// `..` is recognized even directly after an integer ("0..*" lexes as
+/// INTEGER(0) SYMBOL(..) SYMBOL(*)), which the PATHS index syntax needs.
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_PARSER_LEXER_H_

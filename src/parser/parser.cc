@@ -1,0 +1,805 @@
+#include "parser/parser.h"
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+// --- Token helpers -----------------------------------------------------------
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEnd sentinel.
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::MatchSymbol(std::string_view symbol) {
+  if (Peek().IsSymbol(symbol)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::PeekKeyword(std::string_view keyword, size_t ahead) const {
+  const Token& t = Peek(ahead);
+  return t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, keyword);
+}
+
+bool Parser::MatchKeyword(std::string_view keyword) {
+  if (PeekKeyword(keyword)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectSymbol(std::string_view symbol) {
+  if (!MatchSymbol(symbol)) {
+    return ErrorHere(StrFormat("expected '%.*s'",
+                               static_cast<int>(symbol.size()), symbol.data()));
+  }
+  return Status::OK();
+}
+
+Status Parser::ExpectKeyword(std::string_view keyword) {
+  if (!MatchKeyword(keyword)) {
+    return ErrorHere(StrFormat("expected keyword '%.*s'",
+                               static_cast<int>(keyword.size()),
+                               keyword.data()));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> Parser::ExpectIdentifier(const char* what) {
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere(StrFormat("expected %s", what));
+  }
+  return Advance().text;
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  std::string got = t.type == TokenType::kEnd ? "end of input"
+                                              : "'" + t.text + "'";
+  return Status::InvalidArgument(StrFormat("%s, got %s at offset %zu",
+                                           message.c_str(), got.c_str(),
+                                           t.offset));
+}
+
+// --- Entry points ---------------------------------------------------------------
+
+StatusOr<std::vector<Statement>> Parser::Parse(std::string_view sql) {
+  GRF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  std::vector<Statement> statements;
+  while (!parser.AtEnd()) {
+    if (parser.MatchSymbol(";")) continue;  // Empty statement.
+    GRF_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+    statements.push_back(std::move(stmt));
+    if (!parser.AtEnd()) {
+      GRF_RETURN_IF_ERROR(parser.ExpectSymbol(";"));
+    }
+  }
+  return statements;
+}
+
+StatusOr<Statement> Parser::ParseSingle(std::string_view sql) {
+  GRF_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parse(sql));
+  if (statements.size() != 1) {
+    return Status::InvalidArgument(
+        StrFormat("expected exactly one statement, got %zu",
+                  statements.size()));
+  }
+  return std::move(statements[0]);
+}
+
+// --- Statements ------------------------------------------------------------------
+
+StatusOr<Statement> Parser::ParseStatement() {
+  if (PeekKeyword("CREATE")) return ParseCreate();
+  if (PeekKeyword("DROP")) {
+    GRF_ASSIGN_OR_RETURN(DropStmt stmt, ParseDrop());
+    return Statement(std::move(stmt));
+  }
+  if (PeekKeyword("INSERT")) {
+    GRF_ASSIGN_OR_RETURN(InsertStmt stmt, ParseInsert());
+    return Statement(std::move(stmt));
+  }
+  if (PeekKeyword("UPDATE")) {
+    GRF_ASSIGN_OR_RETURN(UpdateStmt stmt, ParseUpdate());
+    return Statement(std::move(stmt));
+  }
+  if (PeekKeyword("DELETE")) {
+    GRF_ASSIGN_OR_RETURN(DeleteStmt stmt, ParseDelete());
+    return Statement(std::move(stmt));
+  }
+  if (PeekKeyword("SELECT")) {
+    GRF_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect());
+    return Statement(std::move(stmt));
+  }
+  return ErrorHere("expected a statement");
+}
+
+StatusOr<Statement> Parser::ParseCreate() {
+  GRF_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  if (MatchKeyword("TABLE")) {
+    GRF_ASSIGN_OR_RETURN(CreateTableStmt stmt, ParseCreateTable());
+    return Statement(std::move(stmt));
+  }
+  if (MatchKeyword("UNIQUE")) {
+    GRF_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    GRF_ASSIGN_OR_RETURN(CreateIndexStmt stmt, ParseCreateIndex(true));
+    return Statement(std::move(stmt));
+  }
+  if (MatchKeyword("MATERIALIZED")) {
+    GRF_RETURN_IF_ERROR(ExpectKeyword("VIEW"));
+    CreateMaterializedViewStmt stmt;
+    GRF_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("view name"));
+    GRF_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    GRF_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
+    stmt.select = std::make_unique<SelectStmt>(std::move(select));
+    return Statement(std::move(stmt));
+  }
+  if (MatchKeyword("INDEX")) {
+    GRF_ASSIGN_OR_RETURN(CreateIndexStmt stmt, ParseCreateIndex(false));
+    return Statement(std::move(stmt));
+  }
+  bool directed_given = false;
+  bool directed = true;
+  if (MatchKeyword("UNDIRECTED")) {
+    directed_given = true;
+    directed = false;
+  } else if (MatchKeyword("DIRECTED")) {
+    directed_given = true;
+    directed = true;
+  }
+  if (MatchKeyword("GRAPH")) {
+    GRF_RETURN_IF_ERROR(ExpectKeyword("VIEW"));
+    GRF_ASSIGN_OR_RETURN(CreateGraphViewStmt stmt,
+                         ParseCreateGraphView(directed_given, directed));
+    return Statement(std::move(stmt));
+  }
+  return ErrorHere("expected TABLE, INDEX, or GRAPH VIEW after CREATE");
+}
+
+StatusOr<CreateTableStmt> Parser::ParseCreateTable() {
+  CreateTableStmt stmt;
+  if (MatchKeyword("IF")) {
+    GRF_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+    GRF_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+    stmt.if_not_exists = true;
+  }
+  GRF_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("table name"));
+  GRF_RETURN_IF_ERROR(ExpectSymbol("("));
+  do {
+    ColumnDef column;
+    GRF_ASSIGN_OR_RETURN(column.name, ExpectIdentifier("column name"));
+    GRF_ASSIGN_OR_RETURN(column.type, ParseType());
+    if (MatchKeyword("PRIMARY")) {
+      GRF_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+      column.primary_key = true;
+    }
+    if (MatchKeyword("NOT")) {  // NOT NULL accepted and ignored (no nullable
+      GRF_RETURN_IF_ERROR(ExpectKeyword("NULL"));  // bookkeeping yet).
+    }
+    stmt.columns.push_back(std::move(column));
+  } while (MatchSymbol(","));
+  GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return stmt;
+}
+
+StatusOr<ValueType> Parser::ParseType() {
+  GRF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("type name"));
+  // VARCHAR(n) — length accepted and ignored (all strings are unbounded).
+  if (MatchSymbol("(")) {
+    if (Peek().type != TokenType::kInteger) {
+      return ErrorHere("expected integer length");
+    }
+    Advance();
+    GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  if (EqualsIgnoreCase(name, "BIGINT") || EqualsIgnoreCase(name, "INT") ||
+      EqualsIgnoreCase(name, "INTEGER") || EqualsIgnoreCase(name, "SMALLINT")) {
+    return ValueType::kBigInt;
+  }
+  if (EqualsIgnoreCase(name, "DOUBLE") || EqualsIgnoreCase(name, "FLOAT") ||
+      EqualsIgnoreCase(name, "REAL") || EqualsIgnoreCase(name, "DECIMAL")) {
+    return ValueType::kDouble;
+  }
+  if (EqualsIgnoreCase(name, "VARCHAR") || EqualsIgnoreCase(name, "TEXT") ||
+      EqualsIgnoreCase(name, "STRING") || EqualsIgnoreCase(name, "CHAR")) {
+    return ValueType::kVarchar;
+  }
+  if (EqualsIgnoreCase(name, "BOOLEAN") || EqualsIgnoreCase(name, "BOOL")) {
+    return ValueType::kBoolean;
+  }
+  return Status::InvalidArgument("unknown type '" + name + "'");
+}
+
+StatusOr<CreateIndexStmt> Parser::ParseCreateIndex(bool unique) {
+  CreateIndexStmt stmt;
+  stmt.unique = unique;
+  GRF_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdentifier("index name"));
+  GRF_RETURN_IF_ERROR(ExpectKeyword("ON"));
+  GRF_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  GRF_RETURN_IF_ERROR(ExpectSymbol("("));
+  GRF_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier("column name"));
+  GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return stmt;
+}
+
+Status Parser::ParseAttributeList(
+    std::vector<AttributeMapping>* attrs,
+    std::vector<std::pair<std::string, std::string>>* reserved,
+    const std::vector<std::string>& reserved_names) {
+  GRF_RETURN_IF_ERROR(ExpectSymbol("("));
+  do {
+    GRF_ASSIGN_OR_RETURN(std::string exposed,
+                         ExpectIdentifier("attribute name"));
+    GRF_RETURN_IF_ERROR(ExpectSymbol("="));
+    GRF_ASSIGN_OR_RETURN(std::string source,
+                         ExpectIdentifier("source column"));
+    bool is_reserved = false;
+    for (const std::string& r : reserved_names) {
+      if (EqualsIgnoreCase(exposed, r)) {
+        reserved->emplace_back(ToUpper(exposed), source);
+        is_reserved = true;
+        break;
+      }
+    }
+    if (!is_reserved) {
+      attrs->push_back(AttributeMapping{std::move(exposed), std::move(source)});
+    }
+  } while (MatchSymbol(","));
+  return ExpectSymbol(")");
+}
+
+StatusOr<CreateGraphViewStmt> Parser::ParseCreateGraphView(bool directed_given,
+                                                           bool directed) {
+  CreateGraphViewStmt stmt;
+  stmt.def.directed = directed_given ? directed : true;
+  GRF_ASSIGN_OR_RETURN(stmt.def.name, ExpectIdentifier("graph view name"));
+
+  GRF_RETURN_IF_ERROR(ExpectKeyword("VERTEXES"));
+  std::vector<std::pair<std::string, std::string>> vertex_reserved;
+  GRF_RETURN_IF_ERROR(ParseAttributeList(&stmt.def.vertex_attributes,
+                                         &vertex_reserved, {"ID"}));
+  for (const auto& [key, source] : vertex_reserved) {
+    if (key == "ID") stmt.def.vertex_id_column = source;
+  }
+  if (stmt.def.vertex_id_column.empty()) {
+    return Status::InvalidArgument("VERTEXES clause must map ID");
+  }
+  GRF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  GRF_ASSIGN_OR_RETURN(stmt.def.vertex_table,
+                       ExpectIdentifier("vertex source table"));
+
+  GRF_RETURN_IF_ERROR(ExpectKeyword("EDGES"));
+  std::vector<std::pair<std::string, std::string>> edge_reserved;
+  GRF_RETURN_IF_ERROR(ParseAttributeList(&stmt.def.edge_attributes,
+                                         &edge_reserved, {"ID", "FROM", "TO"}));
+  for (const auto& [key, source] : edge_reserved) {
+    if (key == "ID") stmt.def.edge_id_column = source;
+    if (key == "FROM") stmt.def.edge_from_column = source;
+    if (key == "TO") stmt.def.edge_to_column = source;
+  }
+  if (stmt.def.edge_id_column.empty() || stmt.def.edge_from_column.empty() ||
+      stmt.def.edge_to_column.empty()) {
+    return Status::InvalidArgument("EDGES clause must map ID, FROM, and TO");
+  }
+  GRF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  GRF_ASSIGN_OR_RETURN(stmt.def.edge_table,
+                       ExpectIdentifier("edge source table"));
+  return stmt;
+}
+
+StatusOr<DropStmt> Parser::ParseDrop() {
+  GRF_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+  DropStmt stmt;
+  if (MatchKeyword("TABLE")) {
+    stmt.kind = DropStmt::Kind::kTable;
+  } else if (MatchKeyword("GRAPH")) {
+    GRF_RETURN_IF_ERROR(ExpectKeyword("VIEW"));
+    stmt.kind = DropStmt::Kind::kGraphView;
+  } else if (MatchKeyword("INDEX")) {
+    stmt.kind = DropStmt::Kind::kIndex;
+  } else {
+    return ErrorHere("expected TABLE, GRAPH VIEW, or INDEX after DROP");
+  }
+  if (MatchKeyword("IF")) {
+    GRF_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+    stmt.if_exists = true;
+  }
+  GRF_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("object name"));
+  return stmt;
+}
+
+StatusOr<InsertStmt> Parser::ParseInsert() {
+  GRF_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  GRF_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  InsertStmt stmt;
+  GRF_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  if (MatchSymbol("(")) {
+    do {
+      GRF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      stmt.columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  if (PeekKeyword("SELECT")) {
+    // INSERT INTO t [(cols)] SELECT ...
+    GRF_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
+    stmt.select = std::make_unique<SelectStmt>(std::move(select));
+    return stmt;
+  }
+  GRF_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    GRF_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<ParsedExprPtr> row;
+    do {
+      GRF_ASSIGN_OR_RETURN(ParsedExprPtr expr, ParseExpr());
+      row.push_back(std::move(expr));
+    } while (MatchSymbol(","));
+    GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.rows.push_back(std::move(row));
+  } while (MatchSymbol(","));
+  return stmt;
+}
+
+StatusOr<UpdateStmt> Parser::ParseUpdate() {
+  GRF_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+  UpdateStmt stmt;
+  GRF_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  GRF_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  do {
+    GRF_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier("column name"));
+    GRF_RETURN_IF_ERROR(ExpectSymbol("="));
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr expr, ParseExpr());
+    stmt.assignments.emplace_back(std::move(column), std::move(expr));
+  } while (MatchSymbol(","));
+  if (MatchKeyword("WHERE")) {
+    GRF_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+StatusOr<DeleteStmt> Parser::ParseDelete() {
+  GRF_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+  GRF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  DeleteStmt stmt;
+  GRF_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  if (MatchKeyword("WHERE")) {
+    GRF_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+StatusOr<SelectStmt> Parser::ParseSelect() {
+  GRF_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  SelectStmt stmt;
+  if (MatchKeyword("DISTINCT")) stmt.distinct = true;
+  if (MatchKeyword("TOP")) {
+    if (Peek().type != TokenType::kInteger) {
+      return ErrorHere("expected integer after TOP");
+    }
+    stmt.top = Advance().int_value;
+  }
+  do {
+    SelectItem item;
+    GRF_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (MatchKeyword("AS")) {
+      GRF_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !PeekKeyword("FROM") && !PeekKeyword("WHERE") &&
+               !PeekKeyword("GROUP") && !PeekKeyword("ORDER") &&
+               !PeekKeyword("LIMIT")) {
+      item.alias = Advance().text;
+    }
+    stmt.items.push_back(std::move(item));
+  } while (MatchSymbol(","));
+
+  GRF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  do {
+    GRF_ASSIGN_OR_RETURN(FromItem item, ParseFromItem());
+    stmt.from.push_back(std::move(item));
+  } while (MatchSymbol(","));
+
+  if (MatchKeyword("WHERE")) {
+    GRF_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    GRF_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      GRF_ASSIGN_OR_RETURN(ParsedExprPtr expr, ParseExpr());
+      stmt.group_by.push_back(std::move(expr));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("HAVING")) {
+    GRF_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    GRF_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      GRF_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kInteger) {
+      return ErrorHere("expected integer after LIMIT");
+    }
+    stmt.limit = Advance().int_value;
+  }
+  return stmt;
+}
+
+StatusOr<FromItem> Parser::ParseFromItem() {
+  FromItem item;
+  GRF_ASSIGN_OR_RETURN(item.source, ExpectIdentifier("table or graph view"));
+  if (MatchSymbol(".")) {
+    GRF_ASSIGN_OR_RETURN(std::string accessor,
+                         ExpectIdentifier("PATHS, VERTEXES, or EDGES"));
+    if (EqualsIgnoreCase(accessor, "PATHS")) {
+      item.accessor = GraphAccessor::kPaths;
+    } else if (EqualsIgnoreCase(accessor, "VERTEXES") ||
+               EqualsIgnoreCase(accessor, "VERTICES")) {
+      item.accessor = GraphAccessor::kVertexes;
+    } else if (EqualsIgnoreCase(accessor, "EDGES")) {
+      item.accessor = GraphAccessor::kEdges;
+    } else {
+      return ErrorHere("expected PATHS, VERTEXES, or EDGES accessor");
+    }
+  }
+  if (MatchKeyword("AS")) {
+    GRF_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+  } else if (Peek().type == TokenType::kIdentifier && !PeekKeyword("WHERE") &&
+             !PeekKeyword("GROUP") && !PeekKeyword("ORDER") &&
+             !PeekKeyword("LIMIT") && !PeekKeyword("HINT")) {
+    item.alias = Advance().text;
+  }
+  if (item.alias.empty()) item.alias = item.source;
+  if (MatchKeyword("HINT")) {
+    GRF_RETURN_IF_ERROR(ExpectSymbol("("));
+    GRF_ASSIGN_OR_RETURN(std::string hint, ExpectIdentifier("hint"));
+    if (EqualsIgnoreCase(hint, "SHORTESTPATH")) {
+      item.hint = TraversalHint::kShortestPath;
+      GRF_RETURN_IF_ERROR(ExpectSymbol("("));
+      GRF_ASSIGN_OR_RETURN(item.hint_attribute,
+                           ExpectIdentifier("edge attribute"));
+      GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else if (EqualsIgnoreCase(hint, "DFS")) {
+      item.hint = TraversalHint::kDfs;
+    } else if (EqualsIgnoreCase(hint, "BFS")) {
+      item.hint = TraversalHint::kBfs;
+    } else {
+      return ErrorHere("unknown hint '" + hint + "'");
+    }
+    GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  return item;
+}
+
+// --- Expressions -----------------------------------------------------------------
+
+StatusOr<ParsedExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+StatusOr<ParsedExprPtr> Parser::ParseOr() {
+  GRF_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAnd());
+  if (!PeekKeyword("OR")) return left;
+  auto node = std::make_unique<ParsedExpr>();
+  node->kind = ParsedExpr::Kind::kOr;
+  node->children.push_back(std::move(left));
+  while (MatchKeyword("OR")) {
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAnd());
+    node->children.push_back(std::move(right));
+  }
+  return ParsedExprPtr(std::move(node));
+}
+
+StatusOr<ParsedExprPtr> Parser::ParseAnd() {
+  GRF_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseNot());
+  if (!PeekKeyword("AND")) return left;
+  auto node = std::make_unique<ParsedExpr>();
+  node->kind = ParsedExpr::Kind::kAnd;
+  node->children.push_back(std::move(left));
+  while (MatchKeyword("AND")) {
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseNot());
+    node->children.push_back(std::move(right));
+  }
+  return ParsedExprPtr(std::move(node));
+}
+
+StatusOr<ParsedExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr child, ParseNot());
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kNot;
+    node->children.push_back(std::move(child));
+    return ParsedExprPtr(std::move(node));
+  }
+  return ParsePredicate();
+}
+
+StatusOr<ParsedExprPtr> Parser::ParsePredicate() {
+  GRF_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAdditive());
+
+  auto compare_with = [&](CompareOp op) -> StatusOr<ParsedExprPtr> {
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAdditive());
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kCompare;
+    node->compare_op = op;
+    node->children.push_back(std::move(left));
+    node->children.push_back(std::move(right));
+    return ParsedExprPtr(std::move(node));
+  };
+
+  if (MatchSymbol("=")) return compare_with(CompareOp::kEq);
+  if (MatchSymbol("<>") ) return compare_with(CompareOp::kNe);
+  if (MatchSymbol("!=")) return compare_with(CompareOp::kNe);
+  if (MatchSymbol("<=")) return compare_with(CompareOp::kLe);
+  if (MatchSymbol(">=")) return compare_with(CompareOp::kGe);
+  if (MatchSymbol("<")) return compare_with(CompareOp::kLt);
+  if (MatchSymbol(">")) return compare_with(CompareOp::kGt);
+
+  if (MatchKeyword("IS")) {
+    bool negated = MatchKeyword("NOT");
+    GRF_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kIsNull;
+    node->negated = negated;
+    node->children.push_back(std::move(left));
+    return ParsedExprPtr(std::move(node));
+  }
+
+  bool negated = false;
+  if (PeekKeyword("NOT") &&
+      (PeekKeyword("IN", 1) || PeekKeyword("LIKE", 1) ||
+       PeekKeyword("BETWEEN", 1))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("IN")) {
+    GRF_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kIn;
+    node->negated = negated;
+    node->children.push_back(std::move(left));
+    do {
+      GRF_ASSIGN_OR_RETURN(ParsedExprPtr item, ParseExpr());
+      node->children.push_back(std::move(item));
+    } while (MatchSymbol(","));
+    GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ParsedExprPtr(std::move(node));
+  }
+  if (MatchKeyword("LIKE")) {
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr pattern, ParseAdditive());
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kLike;
+    node->negated = negated;
+    node->children.push_back(std::move(left));
+    node->children.push_back(std::move(pattern));
+    return ParsedExprPtr(std::move(node));
+  }
+  if (MatchKeyword("BETWEEN")) {
+    // a BETWEEN x AND y desugars to (a >= x AND a <= y); the NOT variant
+    // wraps the conjunction.
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr lo, ParseAdditive());
+    GRF_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr hi, ParseAdditive());
+
+    auto clone_ref = [](const ParsedExpr& e) {
+      auto out = std::make_unique<ParsedExpr>();
+      out->kind = e.kind;
+      out->literal = e.literal;
+      out->ref = e.ref;
+      return out;
+    };
+    if (left->kind != ParsedExpr::Kind::kRef &&
+        left->kind != ParsedExpr::Kind::kLiteral) {
+      return Status::Unsupported(
+          "BETWEEN currently requires a column or literal on the left");
+    }
+    auto ge = std::make_unique<ParsedExpr>();
+    ge->kind = ParsedExpr::Kind::kCompare;
+    ge->compare_op = CompareOp::kGe;
+    ge->children.push_back(clone_ref(*left));
+    ge->children.push_back(std::move(lo));
+    auto le = std::make_unique<ParsedExpr>();
+    le->kind = ParsedExpr::Kind::kCompare;
+    le->compare_op = CompareOp::kLe;
+    le->children.push_back(std::move(left));
+    le->children.push_back(std::move(hi));
+    auto conj = std::make_unique<ParsedExpr>();
+    conj->kind = ParsedExpr::Kind::kAnd;
+    conj->children.push_back(std::move(ge));
+    conj->children.push_back(std::move(le));
+    if (!negated) return ParsedExprPtr(std::move(conj));
+    auto inverted = std::make_unique<ParsedExpr>();
+    inverted->kind = ParsedExpr::Kind::kNot;
+    inverted->children.push_back(std::move(conj));
+    return ParsedExprPtr(std::move(inverted));
+  }
+  return left;
+}
+
+StatusOr<ParsedExprPtr> Parser::ParseAdditive() {
+  GRF_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseMultiplicative());
+  while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+    ArithOp op = Peek().IsSymbol("+") ? ArithOp::kAdd : ArithOp::kSub;
+    Advance();
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseMultiplicative());
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kArith;
+    node->arith_op = op;
+    node->children.push_back(std::move(left));
+    node->children.push_back(std::move(right));
+    left = std::move(node);
+  }
+  return left;
+}
+
+StatusOr<ParsedExprPtr> Parser::ParseMultiplicative() {
+  GRF_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseUnary());
+  while (Peek().IsSymbol("*") || Peek().IsSymbol("/") || Peek().IsSymbol("%")) {
+    ArithOp op = Peek().IsSymbol("*")   ? ArithOp::kMul
+                 : Peek().IsSymbol("/") ? ArithOp::kDiv
+                                        : ArithOp::kMod;
+    Advance();
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseUnary());
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kArith;
+    node->arith_op = op;
+    node->children.push_back(std::move(left));
+    node->children.push_back(std::move(right));
+    left = std::move(node);
+  }
+  return left;
+}
+
+StatusOr<ParsedExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr child, ParseUnary());
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kNegate;
+    node->children.push_back(std::move(child));
+    return ParsedExprPtr(std::move(node));
+  }
+  MatchSymbol("+");  // Unary plus is a no-op.
+  return ParsePrimary();
+}
+
+StatusOr<ParsedExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  if (t.type == TokenType::kInteger) {
+    Advance();
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kLiteral;
+    node->literal = Value::BigInt(t.int_value);
+    return ParsedExprPtr(std::move(node));
+  }
+  if (t.type == TokenType::kDouble) {
+    Advance();
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kLiteral;
+    node->literal = Value::Double(t.double_value);
+    return ParsedExprPtr(std::move(node));
+  }
+  if (t.type == TokenType::kString) {
+    Advance();
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kLiteral;
+    node->literal = Value::Varchar(t.text);
+    return ParsedExprPtr(std::move(node));
+  }
+  if (t.IsSymbol("*")) {
+    Advance();
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kStar;
+    return ParsedExprPtr(std::move(node));
+  }
+  if (t.IsSymbol("(")) {
+    Advance();
+    GRF_ASSIGN_OR_RETURN(ParsedExprPtr inner, ParseExpr());
+    GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+  if (t.type == TokenType::kIdentifier) {
+    if (MatchKeyword("TRUE")) {
+      auto node = std::make_unique<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLiteral;
+      node->literal = Value::Boolean(true);
+      return ParsedExprPtr(std::move(node));
+    }
+    if (MatchKeyword("FALSE")) {
+      auto node = std::make_unique<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLiteral;
+      node->literal = Value::Boolean(false);
+      return ParsedExprPtr(std::move(node));
+    }
+    if (MatchKeyword("NULL")) {
+      auto node = std::make_unique<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLiteral;
+      node->literal = Value::Null();
+      return ParsedExprPtr(std::move(node));
+    }
+    return ParseRefOrCall();
+  }
+  return ErrorHere("expected an expression");
+}
+
+StatusOr<ParsedExprPtr> Parser::ParseRefOrCall() {
+  GRF_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier("identifier"));
+
+  // Function call: IDENT '(' ...
+  if (Peek().IsSymbol("(")) {
+    Advance();
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kFunc;
+    node->func_name = ToUpper(first);
+    if (MatchSymbol(")")) return ParsedExprPtr(std::move(node));
+    if (Peek().IsSymbol("*") && Peek(1).IsSymbol(")")) {
+      Advance();
+      Advance();
+      node->star_arg = true;
+      return ParsedExprPtr(std::move(node));
+    }
+    do {
+      GRF_ASSIGN_OR_RETURN(ParsedExprPtr arg, ParseExpr());
+      node->children.push_back(std::move(arg));
+    } while (MatchSymbol(","));
+    GRF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return ParsedExprPtr(std::move(node));
+  }
+
+  auto node = std::make_unique<ParsedExpr>();
+  node->kind = ParsedExpr::Kind::kRef;
+  RefPart part;
+  part.name = std::move(first);
+
+  auto parse_index = [&](RefPart* out) -> Status {
+    if (!MatchSymbol("[")) return Status::OK();
+    out->has_index = true;
+    if (Peek().type != TokenType::kInteger) {
+      return ErrorHere("expected integer index");
+    }
+    out->lo = Advance().int_value;
+    if (MatchSymbol("..")) {
+      out->is_range = true;
+      if (MatchSymbol("*")) {
+        out->hi = -1;
+      } else if (Peek().type == TokenType::kInteger) {
+        out->hi = Advance().int_value;
+      } else {
+        return ErrorHere("expected integer or '*' as range end");
+      }
+    } else {
+      out->hi = out->lo;
+    }
+    return ExpectSymbol("]");
+  };
+
+  GRF_RETURN_IF_ERROR(parse_index(&part));
+  node->ref.push_back(std::move(part));
+  while (Peek().IsSymbol(".") && Peek(1).type == TokenType::kIdentifier) {
+    Advance();  // consume '.'
+    RefPart next;
+    next.name = Advance().text;
+    GRF_RETURN_IF_ERROR(parse_index(&next));
+    node->ref.push_back(std::move(next));
+  }
+  return ParsedExprPtr(std::move(node));
+}
+
+}  // namespace grfusion

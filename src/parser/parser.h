@@ -1,0 +1,79 @@
+#ifndef GRFUSION_PARSER_PARSER_H_
+#define GRFUSION_PARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "parser/lexer.h"
+
+namespace grfusion {
+
+/// Hand-written recursive-descent parser for GRFusion's SQL dialect:
+/// standard single-table/multi-table DML and DDL, plus the graph extensions
+/// from the paper — CREATE GRAPH VIEW, <gv>.PATHS / .VERTEXES / .EDGES FROM
+/// items, indexed path references (PS.Edges[0..*].Attr), traversal HINTs,
+/// and SELECT TOP k.
+class Parser {
+ public:
+  /// Parses a string holding one or more ';'-separated statements.
+  static StatusOr<std::vector<Statement>> Parse(std::string_view sql);
+
+  /// Parses exactly one statement (trailing ';' optional).
+  static StatusOr<Statement> ParseSingle(std::string_view sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool MatchSymbol(std::string_view symbol);
+  bool PeekKeyword(std::string_view keyword, size_t ahead = 0) const;
+  bool MatchKeyword(std::string_view keyword);
+  Status ExpectSymbol(std::string_view symbol);
+  Status ExpectKeyword(std::string_view keyword);
+  StatusOr<std::string> ExpectIdentifier(const char* what);
+  Status ErrorHere(const std::string& message) const;
+
+  StatusOr<Statement> ParseStatement();
+  StatusOr<Statement> ParseCreate();
+  StatusOr<CreateTableStmt> ParseCreateTable();
+  StatusOr<CreateIndexStmt> ParseCreateIndex(bool unique);
+  StatusOr<CreateGraphViewStmt> ParseCreateGraphView(bool directed_given,
+                                                     bool directed);
+  StatusOr<DropStmt> ParseDrop();
+  StatusOr<InsertStmt> ParseInsert();
+  StatusOr<UpdateStmt> ParseUpdate();
+  StatusOr<DeleteStmt> ParseDelete();
+  StatusOr<SelectStmt> ParseSelect();
+  StatusOr<FromItem> ParseFromItem();
+  StatusOr<ValueType> ParseType();
+
+  /// Attribute-mapping list: (ID = col, name = col, ...).
+  Status ParseAttributeList(std::vector<AttributeMapping>* attrs,
+                            std::vector<std::pair<std::string, std::string>>*
+                                reserved,
+                            const std::vector<std::string>& reserved_names);
+
+  // Expression grammar, highest level first.
+  StatusOr<ParsedExprPtr> ParseExpr();
+  StatusOr<ParsedExprPtr> ParseOr();
+  StatusOr<ParsedExprPtr> ParseAnd();
+  StatusOr<ParsedExprPtr> ParseNot();
+  StatusOr<ParsedExprPtr> ParsePredicate();
+  StatusOr<ParsedExprPtr> ParseAdditive();
+  StatusOr<ParsedExprPtr> ParseMultiplicative();
+  StatusOr<ParsedExprPtr> ParseUnary();
+  StatusOr<ParsedExprPtr> ParsePrimary();
+  StatusOr<ParsedExprPtr> ParseRefOrCall();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_PARSER_PARSER_H_

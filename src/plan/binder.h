@@ -1,0 +1,101 @@
+#ifndef GRFUSION_PLAN_BINDER_H_
+#define GRFUSION_PLAN_BINDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "expr/expression.h"
+#include "parser/ast.h"
+#include "plan/binding.h"
+
+namespace grfusion {
+
+/// Resolves parsed (unbound) expressions against a FROM-clause scope,
+/// producing executable Expression trees. All graph-specific name resolution
+/// lives here: path properties, endpoint attributes, indexed element
+/// references, quantified range predicates, and path aggregates.
+class Binder {
+ public:
+  explicit Binder(const BindingScope* scope) : scope_(scope) {}
+
+  /// Which bindings an expression references. Used by the planner to
+  /// classify WHERE conjuncts (pushdown targets, join predicates,
+  /// traversal-spec content).
+  struct RefInfo {
+    uint64_t relational_mask = 0;  ///< Bit per non-path binding index.
+    uint64_t path_mask = 0;        ///< Bit per binding index that is a path.
+
+    bool HasPaths() const { return path_mask != 0; }
+    int SinglePath() const;        ///< Binding index, or -1 if not exactly 1.
+    int SingleRelational() const;  ///< Binding index, or -1 if not exactly 1.
+    bool Empty() const { return relational_mask == 0 && path_mask == 0; }
+  };
+
+  /// Computes RefInfo without building expressions. Unknown names error.
+  StatusOr<RefInfo> Analyze(const ParsedExpr& expr) const;
+
+  /// Binds a general scalar/predicate expression. Quantified path-range
+  /// references are only legal as the left side of a comparison / IN / LIKE,
+  /// which this handles; elsewhere they error.
+  StatusOr<ExprPtr> Bind(const ParsedExpr& expr) const;
+
+  /// If `conjunct` is a predicate over the elements of exactly one path
+  /// (PS.Edges[..]/.Vertexes[..] compared/IN/LIKE against expressions that do
+  /// not reference any path), builds the pushable PathRangePredicateExpr.
+  /// Returns nullptr when the shape does not match (not an error).
+  StatusOr<std::shared_ptr<const PathRangePredicateExpr>>
+  TryBindElementPredicate(const ParsedExpr& conjunct) const;
+
+  // --- Path-reference classification (shared with the planner) ---
+
+  struct PathRef {
+    enum class Kind {
+      kBareAlias,       ///< `P` — projects as PathString.
+      kProperty,        ///< Length / PathString / Cost / endpoint-id.
+      kEndpointAttr,    ///< StartVertex.<attr> / EndVertex.<attr>.
+      kElementAttr,     ///< Edges[i].<attr> / Vertexes[i].<attr>.
+      kElementsRange,   ///< Edges[a..b].<attr> — quantified; predicate-only.
+      kElementsNoIndex, ///< Edges.<attr> — aggregate-argument-only.
+    };
+    size_t binding = 0;
+    const TableBinding* table_binding = nullptr;
+    Kind kind = Kind::kBareAlias;
+    PathProperty property = PathProperty::kLength;
+    bool start = false;
+    ElementAttr attr;
+    size_t lo = 0;
+    size_t hi = 0;  ///< PathRangePredicateExpr::kOpenEnd for "..*".
+  };
+
+  /// Classifies a kRef whose first part names a paths alias. Returns
+  /// std::nullopt when the ref does not address a path binding.
+  StatusOr<std::optional<PathRef>> ClassifyPathRef(const ParsedExpr& ref) const;
+
+  const BindingScope& scope() const { return *scope_; }
+
+  /// Resolves an exposed edge attribute name (incl. the pseudo-attributes
+  /// ID/FROM/TO/StartVertex/EndVertex) for a graph view. Public because the
+  /// planner needs it for HINT(SHORTESTPATH(attr)).
+  StatusOr<ElementAttr> ResolveEdgeAttr(const GraphView& gv,
+                                        const std::string& name) const;
+  /// Resolves an exposed vertex attribute name (incl. ID/FanIn/FanOut).
+  StatusOr<ElementAttr> ResolveVertexAttr(const GraphView& gv,
+                                          const std::string& name) const;
+
+ private:
+  StatusOr<ExprPtr> BindRef(const ParsedExpr& expr) const;
+  StatusOr<ExprPtr> BindFunc(const ParsedExpr& expr) const;
+  StatusOr<ExprPtr> BindPathRef(const PathRef& ref) const;
+
+  const BindingScope* scope_;
+};
+
+/// Maps a SQL function name to an aggregate, if it is one.
+std::optional<AggFunc> AggFuncFromName(const std::string& upper_name);
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_PLAN_BINDER_H_

@@ -1,0 +1,77 @@
+#include "plan/binding.h"
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+void BindingScope::AddBinding(TableBinding binding) {
+  binding.offset = combined_->NumColumns();
+  if (binding.is_path()) {
+    binding.path_slot = path_slots_++;
+  } else {
+    for (const Column& column : binding.visible.columns()) {
+      // Qualify combined-schema names for readable EXPLAIN output; name
+      // resolution goes through the bindings, not this schema.
+      combined_->AddColumn(
+          Column(binding.alias + "." + column.name, column.type));
+    }
+  }
+  bindings_.push_back(std::move(binding));
+}
+
+int BindingScope::FindBinding(std::string_view name) const {
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    if (EqualsIgnoreCase(bindings_[i].alias, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<BindingScope::ResolvedColumn> BindingScope::ResolveColumn(
+    std::string_view alias, std::string_view column) const {
+  if (!alias.empty()) {
+    int b = FindBinding(alias);
+    if (b < 0) {
+      return Status::NotFound("unknown table or alias '" + std::string(alias) +
+                              "'");
+    }
+    const TableBinding& binding = bindings_[static_cast<size_t>(b)];
+    if (binding.is_path()) {
+      return Status::InvalidArgument("'" + std::string(alias) +
+                                     "' is a paths alias; use path properties");
+    }
+    int c = binding.visible.FindColumn(column);
+    if (c < 0) {
+      return Status::NotFound("column '" + std::string(column) +
+                              "' not found in '" + std::string(alias) + "'");
+    }
+    return ResolvedColumn{static_cast<size_t>(b),
+                          binding.offset + static_cast<size_t>(c),
+                          binding.visible.column(static_cast<size_t>(c)).type,
+                          std::string(alias) + "." + std::string(column)};
+  }
+  // Unqualified: must match exactly one binding.
+  int found_binding = -1;
+  int found_column = -1;
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    if (bindings_[i].is_path()) continue;
+    int c = bindings_[i].visible.FindColumn(column);
+    if (c < 0) continue;
+    if (found_binding >= 0) {
+      return Status::InvalidArgument("ambiguous column '" +
+                                     std::string(column) + "'");
+    }
+    found_binding = static_cast<int>(i);
+    found_column = c;
+  }
+  if (found_binding < 0) {
+    return Status::NotFound("unknown column '" + std::string(column) + "'");
+  }
+  const TableBinding& binding = bindings_[static_cast<size_t>(found_binding)];
+  return ResolvedColumn{
+      static_cast<size_t>(found_binding),
+      binding.offset + static_cast<size_t>(found_column),
+      binding.visible.column(static_cast<size_t>(found_column)).type,
+      binding.alias + "." + std::string(column)};
+}
+
+}  // namespace grfusion

@@ -1,0 +1,71 @@
+#ifndef GRFUSION_PLAN_BINDING_H_
+#define GRFUSION_PLAN_BINDING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_view.h"
+#include "parser/ast.h"
+#include "storage/table.h"
+
+namespace grfusion {
+
+/// One FROM item resolved against the catalog: what it is, which columns it
+/// exposes, and where its block lives in the combined row.
+struct TableBinding {
+  enum class Kind { kTable, kVertexes, kEdges, kPaths };
+
+  Kind kind = Kind::kTable;
+  std::string alias;
+  const Table* table = nullptr;     ///< kTable.
+  const GraphView* gv = nullptr;    ///< Graph kinds.
+  Schema visible;                   ///< Columns under this alias (empty for paths).
+  size_t offset = 0;                ///< First column in the combined row.
+  size_t path_slot = 0;             ///< kPaths: slot in ExecRow::paths.
+  TraversalHint hint = TraversalHint::kNone;
+  std::string hint_attribute;
+
+  bool is_path() const { return kind == Kind::kPaths; }
+};
+
+/// The FROM-clause scope: all bindings, the combined row schema, and
+/// column-name resolution.
+class BindingScope {
+ public:
+  /// Appends a binding, assigning its column offset / path slot.
+  void AddBinding(TableBinding binding);
+
+  const std::vector<TableBinding>& bindings() const { return bindings_; }
+  size_t NumBindings() const { return bindings_.size(); }
+  const TableBinding& binding(size_t i) const { return bindings_[i]; }
+
+  /// Index of the binding whose alias is `name`, or -1.
+  int FindBinding(std::string_view name) const;
+
+  struct ResolvedColumn {
+    size_t binding = 0;
+    size_t global_index = 0;  ///< Index into the combined row.
+    ValueType type = ValueType::kNull;
+    std::string display;
+  };
+
+  /// Resolves `alias.column`; `alias` empty means unqualified (must be
+  /// unique across all bindings).
+  StatusOr<ResolvedColumn> ResolveColumn(std::string_view alias,
+                                         std::string_view column) const;
+
+  /// The combined full-width row schema shared by the whole QEP.
+  std::shared_ptr<const Schema> combined_schema() const { return combined_; }
+  size_t path_slots() const { return path_slots_; }
+
+ private:
+  std::vector<TableBinding> bindings_;
+  std::shared_ptr<Schema> combined_ = std::make_shared<Schema>();
+  size_t path_slots_ = 0;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_PLAN_BINDING_H_

@@ -1,0 +1,94 @@
+#ifndef GRFUSION_PLAN_PLANNER_H_
+#define GRFUSION_PLAN_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/operator.h"
+#include "exec/query_context.h"
+#include "exec/row_layout.h"
+#include "graphexec/traversal_spec.h"
+#include "parser/ast.h"
+#include "plan/binder.h"
+
+namespace grfusion {
+
+/// Optimizer switches. Defaults match the paper's full system; benches flip
+/// individual flags for the §6 ablations.
+struct PlannerOptions {
+  /// Push per-element path filters into the traversal (§6.2).
+  bool enable_filter_pushdown = true;
+
+  /// Infer the admissible path-length window from predicates (§6.1). When
+  /// disabled, Length predicates are evaluated per emitted path and the
+  /// traversal depth is capped at `fallback_max_length`.
+  bool enable_length_inference = true;
+
+  /// Traversal depth cap when no length bound is inferable (safety net for
+  /// the ablation mode; the full system leaves unbounded queries unbounded).
+  size_t fallback_max_length = 12;
+
+  /// Use hash indexes for `column = constant` scans.
+  bool enable_index_scan = true;
+
+  /// Allow the visited-once reachability fast path (LIMIT 1 + bound target).
+  bool enable_reachability_fastpath = true;
+
+  /// Physical traversal when no hint is given and the §6.3 rule does not
+  /// apply: kAuto applies the F-vs-L rule when a length is inferred and
+  /// falls back to DFS; kDfs / kBfs force one operator.
+  enum class Traversal { kAuto, kDfs, kBfs };
+  Traversal default_traversal = Traversal::kAuto;
+
+  /// Intermediate-result memory cap for executing queries.
+  size_t memory_cap = QueryContext::kDefaultMemoryCap;
+};
+
+/// A compiled query: the physical operator tree plus result column names.
+struct PlannedQuery {
+  OperatorPtr root;
+  std::vector<std::string> output_names;
+};
+
+/// Translates a parsed SELECT into a cross-data-model physical plan
+/// (paper §5.2/§5.3): relational FROM items join first (left-deep, hash join
+/// on equi-predicates), then each GV.PATHS alias becomes a PathProbeJoin
+/// whose TraversalSpec carries the start/end bindings, inferred length
+/// window, pushed filters, and the logical→physical PathScan mapping (§6).
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const PlannerOptions& options)
+      : catalog_(catalog), options_(options) {}
+
+  StatusOr<PlannedQuery> PlanSelect(const SelectStmt& stmt) const;
+
+ private:
+  struct Conjunct {
+    const ParsedExpr* parsed = nullptr;
+    Binder::RefInfo info;
+    bool consumed = false;
+  };
+
+  /// Mutable per-path planning state, evolved into a TraversalSpec.
+  struct PathPlan {
+    std::shared_ptr<TraversalSpec> spec;
+    std::vector<ExprPtr> residual;  ///< Path-referencing, unpushable.
+    bool has_length_bound = false;
+  };
+
+  StatusOr<BindingScope> BuildScope(const SelectStmt& stmt) const;
+
+  OperatorPtr MakeScanLeaf(const TableBinding& binding, ExprPtr qualifier,
+                           ExprPtr index_key, const HashIndex* index,
+                           const RowLayout& layout,
+                           ExprPtr vertex_probe) const;
+
+  const Catalog* catalog_;
+  PlannerOptions options_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_PLAN_PLANNER_H_

@@ -1,0 +1,33 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+namespace grfusion {
+
+Status HashIndex::Insert(const Value& key, TupleSlot slot) {
+  if (key.is_null()) return Status::OK();  // NULLs are not indexed.
+  auto& slots = map_[key];
+  if (unique_ && !slots.empty()) {
+    return Status::ConstraintViolation("duplicate key " + key.ToString() +
+                                       " in unique index '" + name_ + "'");
+  }
+  slots.push_back(slot);
+  return Status::OK();
+}
+
+void HashIndex::Erase(const Value& key, TupleSlot slot) {
+  if (key.is_null()) return;
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  auto& slots = it->second;
+  slots.erase(std::remove(slots.begin(), slots.end(), slot), slots.end());
+  if (slots.empty()) map_.erase(it);
+}
+
+const std::vector<TupleSlot>* HashIndex::Lookup(const Value& key) const {
+  if (key.is_null()) return nullptr;
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+}  // namespace grfusion

@@ -1,0 +1,49 @@
+#ifndef GRFUSION_STORAGE_INDEX_H_
+#define GRFUSION_STORAGE_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace grfusion {
+
+/// In-memory hash index over one column of a table. Supports unique and
+/// non-unique variants; point lookups only (the engine's planner uses it for
+/// equality predicates, which covers the paper's probe pattern
+/// `PS.StartVertex.Id = U.uId`).
+class HashIndex {
+ public:
+  HashIndex(std::string name, size_t column, bool unique)
+      : name_(std::move(name)), column_(column), unique_(unique) {}
+
+  const std::string& name() const { return name_; }
+  size_t column() const { return column_; }
+  bool unique() const { return unique_; }
+
+  /// Registers `slot` under `key`. Fails with ConstraintViolation when a
+  /// unique index already holds the key.
+  Status Insert(const Value& key, TupleSlot slot);
+
+  /// Removes the (key, slot) pair; missing pairs are ignored.
+  void Erase(const Value& key, TupleSlot slot);
+
+  /// All slots whose key structurally equals `key` (NULL keys are not
+  /// indexed, matching SQL unique-index semantics).
+  const std::vector<TupleSlot>* Lookup(const Value& key) const;
+
+  size_t NumKeys() const { return map_.size(); }
+
+ private:
+  std::string name_;
+  size_t column_;
+  bool unique_;
+  std::unordered_map<Value, std::vector<TupleSlot>, ValueHash> map_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_STORAGE_INDEX_H_

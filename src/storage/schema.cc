@@ -1,0 +1,52 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+int Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<size_t> Schema::ColumnIndex(std::string_view name) const {
+  int idx = FindColumn(name);
+  if (idx < 0) {
+    return Status::NotFound("column '" + std::string(name) + "' not found in (" +
+                            ToString() + ")");
+  }
+  return static_cast<size_t>(idx);
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ValueTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+size_t Tuple::ByteSize() const {
+  size_t bytes = sizeof(Tuple) + values_.capacity() * sizeof(Value);
+  for (const Value& v : values_) {
+    if (v.type() == ValueType::kVarchar) bytes += v.AsVarchar().capacity();
+  }
+  return bytes;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace grfusion

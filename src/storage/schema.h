@@ -1,0 +1,84 @@
+#ifndef GRFUSION_STORAGE_SCHEMA_H_
+#define GRFUSION_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace grfusion {
+
+/// A single column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  Column() = default;
+  Column(std::string n, ValueType t) : name(std::move(n)), type(t) {}
+
+  bool operator==(const Column& other) const {
+    return type == other.type && name == other.name;
+  }
+};
+
+/// Ordered list of columns describing a table or an operator's output.
+/// Column-name lookup is case-insensitive, following SQL identifier rules.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Returns the index of `name` or -1 if absent (case-insensitive).
+  int FindColumn(std::string_view name) const;
+
+  /// Returns the index of `name` or NotFound.
+  StatusOr<size_t> ColumnIndex(std::string_view name) const;
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// "name TYPE, name TYPE, ..." — used in error messages and EXPLAIN output.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A row of values. The schema lives beside the tuple (in the owning Table or
+/// operator), not inside it, so tuples stay compact.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t NumValues() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>& values() { return values_; }
+
+  void SetValue(size_t i, Value v) { values_[i] = std::move(v); }
+
+  /// Rough memory footprint, used by the query-memory accountant.
+  size_t ByteSize() const;
+
+  /// "(v1, v2, ...)"
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_STORAGE_SCHEMA_H_

@@ -1,0 +1,184 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grfusion {
+
+Status Table::CheckAndCoerce(Tuple* tuple) const {
+  if (tuple->NumValues() != schema_.NumColumns()) {
+    return Status::InvalidArgument(StrFormat(
+        "table '%s' expects %zu values, got %zu", name_.c_str(),
+        schema_.NumColumns(), tuple->NumValues()));
+  }
+  for (size_t i = 0; i < schema_.NumColumns(); ++i) {
+    const Value& v = tuple->value(i);
+    if (v.is_null()) continue;
+    ValueType want = schema_.column(i).type;
+    if (v.type() == want) continue;
+    // Standard implicit numeric widening/narrowing on load.
+    if ((want == ValueType::kDouble && v.type() == ValueType::kBigInt) ||
+        (want == ValueType::kBigInt && v.type() == ValueType::kDouble)) {
+      GRF_ASSIGN_OR_RETURN(Value coerced, v.CastTo(want));
+      tuple->SetValue(i, std::move(coerced));
+      continue;
+    }
+    return Status::InvalidArgument(StrFormat(
+        "type mismatch for column '%s' of table '%s': expected %s, got %s",
+        schema_.column(i).name.c_str(), name_.c_str(),
+        ValueTypeToString(want), ValueTypeToString(v.type())));
+  }
+  return Status::OK();
+}
+
+Status Table::InsertIntoIndexes(const Tuple& tuple, TupleSlot slot) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    Status s = indexes_[i]->Insert(tuple.value(indexes_[i]->column()), slot);
+    if (!s.ok()) {
+      // Undo the index entries added so far.
+      for (size_t j = 0; j < i; ++j) {
+        indexes_[j]->Erase(tuple.value(indexes_[j]->column()), slot);
+      }
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+void Table::EraseFromIndexes(const Tuple& tuple, TupleSlot slot) {
+  for (auto& index : indexes_) {
+    index->Erase(tuple.value(index->column()), slot);
+  }
+}
+
+StatusOr<TupleSlot> Table::Insert(Tuple tuple) {
+  GRF_RETURN_IF_ERROR(CheckAndCoerce(&tuple));
+
+  TupleSlot slot;
+  if (!free_list_.empty()) {
+    slot = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    slot = rows_.size();
+    rows_.emplace_back();
+  }
+  RowSlot& rs = rows_[slot];
+  rs.tuple = std::move(tuple);
+  rs.live = true;
+
+  Status s = InsertIntoIndexes(rs.tuple, slot);
+  if (s.ok()) {
+    for (TableChangeListener* listener : listeners_) {
+      s = listener->OnInsert(slot, rs.tuple);
+      if (!s.ok()) {
+        EraseFromIndexes(rs.tuple, slot);
+        break;
+      }
+    }
+  }
+  if (!s.ok()) {
+    rs.live = false;
+    rs.tuple = Tuple();
+    free_list_.push_back(slot);
+    return s;
+  }
+
+  ++num_live_;
+  approx_bytes_ += rs.tuple.ByteSize();
+  return slot;
+}
+
+Status Table::Delete(TupleSlot slot) {
+  if (slot >= rows_.size() || !rows_[slot].live) {
+    return Status::NotFound(StrFormat("no live tuple at slot %llu of '%s'",
+                                      static_cast<unsigned long long>(slot),
+                                      name_.c_str()));
+  }
+  RowSlot& rs = rows_[slot];
+  for (TableChangeListener* listener : listeners_) {
+    GRF_RETURN_IF_ERROR(listener->OnDelete(slot, rs.tuple));
+  }
+  EraseFromIndexes(rs.tuple, slot);
+  approx_bytes_ -= std::min(approx_bytes_, rs.tuple.ByteSize());
+  rs.live = false;
+  rs.tuple = Tuple();
+  free_list_.push_back(slot);
+  --num_live_;
+  return Status::OK();
+}
+
+Status Table::Update(TupleSlot slot, Tuple new_tuple) {
+  if (slot >= rows_.size() || !rows_[slot].live) {
+    return Status::NotFound(StrFormat("no live tuple at slot %llu of '%s'",
+                                      static_cast<unsigned long long>(slot),
+                                      name_.c_str()));
+  }
+  GRF_RETURN_IF_ERROR(CheckAndCoerce(&new_tuple));
+  RowSlot& rs = rows_[slot];
+
+  Tuple old_tuple = rs.tuple;
+  EraseFromIndexes(old_tuple, slot);
+  Status s = InsertIntoIndexes(new_tuple, slot);
+  if (!s.ok()) {
+    Status restore = InsertIntoIndexes(old_tuple, slot);
+    GRF_CHECK(restore.ok());
+    return s;
+  }
+  for (TableChangeListener* listener : listeners_) {
+    s = listener->OnUpdate(slot, old_tuple, new_tuple);
+    if (!s.ok()) {
+      EraseFromIndexes(new_tuple, slot);
+      Status restore = InsertIntoIndexes(old_tuple, slot);
+      GRF_CHECK(restore.ok());
+      return s;
+    }
+  }
+  approx_bytes_ -= std::min(approx_bytes_, old_tuple.ByteSize());
+  rs.tuple = std::move(new_tuple);
+  approx_bytes_ += rs.tuple.ByteSize();
+  return Status::OK();
+}
+
+const Tuple* Table::Get(TupleSlot slot) const {
+  if (slot >= rows_.size() || !rows_[slot].live) return nullptr;
+  return &rows_[slot].tuple;
+}
+
+Status Table::CreateIndex(const std::string& index_name, size_t column,
+                          bool unique) {
+  if (column >= schema_.NumColumns()) {
+    return Status::OutOfRange(
+        StrFormat("index column %zu out of range for '%s'", column,
+                  name_.c_str()));
+  }
+  for (const auto& index : indexes_) {
+    if (EqualsIgnoreCase(index->name(), index_name)) {
+      return Status::AlreadyExists("index '" + index_name + "' already exists");
+    }
+  }
+  auto index = std::make_unique<HashIndex>(index_name, column, unique);
+  Status backfill = Status::OK();
+  ForEach([&](TupleSlot slot, const Tuple& tuple) {
+    backfill = index->Insert(tuple.value(column), slot);
+    return backfill.ok();
+  });
+  GRF_RETURN_IF_ERROR(backfill);
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const HashIndex* Table::FindIndexOnColumn(size_t column) const {
+  for (const auto& index : indexes_) {
+    if (index->column() == column) return index.get();
+  }
+  return nullptr;
+}
+
+void Table::RemoveListener(TableChangeListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+}  // namespace grfusion

@@ -1,0 +1,124 @@
+#ifndef GRFUSION_STORAGE_TABLE_H_
+#define GRFUSION_STORAGE_TABLE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+
+namespace grfusion {
+
+/// Observes row-level changes on a Table. Graph views register themselves as
+/// listeners on their relational sources so topology updates happen inside
+/// the mutating statement's transaction (paper §3.3). A listener returning a
+/// non-OK status aborts the change: the table rolls the row back and
+/// propagates the error.
+class TableChangeListener {
+ public:
+  virtual ~TableChangeListener() = default;
+  virtual Status OnInsert(TupleSlot slot, const Tuple& tuple) = 0;
+  virtual Status OnDelete(TupleSlot slot, const Tuple& tuple) = 0;
+  virtual Status OnUpdate(TupleSlot slot, const Tuple& old_tuple,
+                          const Tuple& new_tuple) = 0;
+};
+
+/// In-memory row store with stable tuple slots.
+///
+/// Rows live in a std::deque so they never move once inserted — this is the
+/// property the paper relies on for the graph views' "main-memory tuple
+/// pointers" (§3.2). Deleted slots are tombstoned and recycled through a free
+/// list; a slot is only recycled after every structure referencing it (graph
+/// views via listeners, indexes) has been told about the delete.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live rows.
+  size_t NumRows() const { return num_live_; }
+
+  /// Upper bound of slot values ever issued (live + tombstoned).
+  size_t SlotUpperBound() const { return rows_.size(); }
+
+  /// Validates the tuple against the schema (arity, types; BIGINT widens to
+  /// DOUBLE, NULL allowed anywhere), inserts it, maintains indexes, and
+  /// notifies listeners. All-or-nothing: on any failure the table is
+  /// unchanged.
+  StatusOr<TupleSlot> Insert(Tuple tuple);
+
+  /// Deletes the row at `slot`. Listener veto (e.g., referential integrity
+  /// from a graph view) rolls the delete back.
+  Status Delete(TupleSlot slot);
+
+  /// Replaces the row at `slot`. Index entries and listeners are maintained;
+  /// failures roll back.
+  Status Update(TupleSlot slot, Tuple new_tuple);
+
+  /// Returns the live tuple at `slot`, or nullptr when the slot is
+  /// out-of-range or tombstoned.
+  const Tuple* Get(TupleSlot slot) const;
+
+  /// Invokes `fn(slot, tuple)` for every live row. `fn` must not mutate the
+  /// table. Returns early if `fn` returns false.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (!rows_[i].live) continue;
+      if (!fn(static_cast<TupleSlot>(i), rows_[i].tuple)) return;
+    }
+  }
+
+  /// Creates a hash index over `column` and back-fills it from live rows.
+  Status CreateIndex(const std::string& index_name, size_t column, bool unique);
+
+  /// Returns the first index whose key column is `column`, else nullptr.
+  const HashIndex* FindIndexOnColumn(size_t column) const;
+
+  const std::vector<std::unique_ptr<HashIndex>>& indexes() const {
+    return indexes_;
+  }
+
+  void AddListener(TableChangeListener* listener) {
+    listeners_.push_back(listener);
+  }
+  void RemoveListener(TableChangeListener* listener);
+
+  /// Approximate bytes held by live tuples (used by stats and benches).
+  size_t ApproxBytes() const { return approx_bytes_; }
+
+ private:
+  struct RowSlot {
+    Tuple tuple;
+    bool live = false;
+  };
+
+  /// Checks arity and types; coerces BIGINT literals into DOUBLE columns.
+  Status CheckAndCoerce(Tuple* tuple) const;
+
+  Status InsertIntoIndexes(const Tuple& tuple, TupleSlot slot);
+  void EraseFromIndexes(const Tuple& tuple, TupleSlot slot);
+
+  std::string name_;
+  Schema schema_;
+  std::deque<RowSlot> rows_;
+  std::vector<TupleSlot> free_list_;
+  std::vector<std::unique_ptr<HashIndex>> indexes_;
+  std::vector<TableChangeListener*> listeners_;
+  size_t num_live_ = 0;
+  size_t approx_bytes_ = 0;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_STORAGE_TABLE_H_

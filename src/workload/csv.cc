@@ -1,0 +1,141 @@
+#include "workload/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+namespace {
+
+/// Splits one CSV line on `delimiter`, honoring double-quoted fields with
+/// "" escapes.
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+StatusOr<Value> ParseField(const std::string& text, ValueType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kVarchar:
+      return Value::Varchar(text);
+    case ValueType::kBigInt:
+      return Value::Varchar(text).CastTo(ValueType::kBigInt);
+    case ValueType::kDouble:
+      return Value::Varchar(text).CastTo(ValueType::kDouble);
+    case ValueType::kBoolean: {
+      if (EqualsIgnoreCase(text, "true") || text == "1") {
+        return Value::Boolean(true);
+      }
+      if (EqualsIgnoreCase(text, "false") || text == "0") {
+        return Value::Boolean(false);
+      }
+      return Status::InvalidArgument("cannot parse boolean '" + text + "'");
+    }
+    default:
+      return Status::InvalidArgument("unsupported CSV column type");
+  }
+}
+
+}  // namespace
+
+Status LoadCsvIntoTable(Database* db, const std::string& table,
+                        const std::string& path, char delimiter,
+                        bool skip_header) {
+  Table* t = db->catalog().FindTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  const Schema& schema = t->schema();
+  std::string line;
+  size_t line_no = 0;
+  std::vector<std::vector<Value>> batch;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1 && skip_header) continue;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line, delimiter);
+    if (fields.size() != schema.NumColumns()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected %zu fields, got %zu", path.c_str(),
+                    line_no, schema.NumColumns(), fields.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      auto v = ParseField(fields[i], schema.column(i).type);
+      if (!v.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: %s", path.c_str(), line_no,
+                      v.status().message().c_str()));
+      }
+      row.push_back(std::move(v).value());
+    }
+    batch.push_back(std::move(row));
+    if (batch.size() >= 4096) {
+      GRF_RETURN_IF_ERROR(db->BulkInsert(table, batch));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    GRF_RETURN_IF_ERROR(db->BulkInsert(table, batch));
+  }
+  return Status::OK();
+}
+
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& dir) {
+  const std::string vpath = dir + "/" + dataset.name + "_v.csv";
+  const std::string epath = dir + "/" + dataset.name + "_e.csv";
+  std::ofstream vout(vpath);
+  if (!vout.is_open()) {
+    return Status::InvalidArgument("cannot write '" + vpath + "'");
+  }
+  vout << "id,name,kind,score\n";
+  for (const VertexRow& v : dataset.vertexes) {
+    vout << v.id << ',' << v.name << ',' << v.kind << ',' << v.score << '\n';
+  }
+  std::ofstream eout(epath);
+  if (!eout.is_open()) {
+    return Status::InvalidArgument("cannot write '" + epath + "'");
+  }
+  eout << "id,src,dst,weight,label,rank\n";
+  for (const EdgeRow& e : dataset.edges) {
+    eout << e.id << ',' << e.src << ',' << e.dst << ',' << e.weight << ','
+         << e.label << ',' << e.rank << '\n';
+  }
+  return Status::OK();
+}
+
+}  // namespace grfusion

@@ -1,0 +1,28 @@
+#ifndef GRFUSION_WORKLOAD_CSV_H_
+#define GRFUSION_WORKLOAD_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "workload/datasets.h"
+
+namespace grfusion {
+
+/// Loads rows from a CSV file into an existing table. Values are parsed
+/// against the table schema (BIGINT/DOUBLE/BOOLEAN columns parse their text,
+/// empty fields load as NULL). `skip_header` drops the first line.
+///
+/// This is the bring-your-own-data path: the paper evaluated on Tiger /
+/// String / DBLP / Twitter dumps, which ship as delimited text.
+Status LoadCsvIntoTable(Database* db, const std::string& table,
+                        const std::string& path, char delimiter = ',',
+                        bool skip_header = true);
+
+/// Writes a dataset to <dir>/<name>_v.csv and <dir>/<name>_e.csv so the
+/// synthetic graphs can be inspected or fed to external tools.
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& dir);
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_WORKLOAD_CSV_H_

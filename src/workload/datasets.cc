@@ -1,0 +1,253 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace grfusion {
+
+namespace {
+
+const char* const kRoadLabels[] = {"residential", "primary", "highway",
+                                   "toll"};
+const char* const kBioLabels[] = {"covalent", "stable", "transient",
+                                  "predicted"};
+const char* const kCoauthorLabels[] = {"journal", "conference", "workshop",
+                                       "preprint"};
+const char* const kSocialLabels[] = {"follows", "mentions", "retweets",
+                                     "blocks"};
+
+template <size_t N>
+std::string PickLabel(const char* const (&labels)[N], Random* rng) {
+  return labels[static_cast<size_t>(rng->Uniform(0, N - 1))];
+}
+
+EdgeRow MakeEdge(int64_t id, int64_t src, int64_t dst, double weight,
+                 std::string label, Random* rng) {
+  EdgeRow edge;
+  edge.id = id;
+  edge.src = src;
+  edge.dst = dst;
+  edge.weight = weight;
+  edge.label = std::move(label);
+  edge.rank = rng->Uniform(0, 99);
+  return edge;
+}
+
+void FillVertexes(Dataset* dataset, int64_t count, const char* kind_prefix,
+                  Random* rng) {
+  dataset->vertexes.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    VertexRow v;
+    v.id = i;
+    v.name = StrFormat("%s_%lld", kind_prefix, static_cast<long long>(i));
+    v.kind = StrFormat("%s%lld", kind_prefix, static_cast<long long>(i % 8));
+    v.score = rng->NextDouble() * 100.0;
+    dataset->vertexes.push_back(std::move(v));
+  }
+}
+
+}  // namespace
+
+Dataset MakeRoadNetwork(int64_t width, int64_t height, uint64_t seed) {
+  Random rng(seed);
+  Dataset dataset;
+  dataset.name = "road";
+  dataset.directed = false;
+  const int64_t n = width * height;
+  FillVertexes(&dataset, n, "isect", &rng);
+
+  int64_t edge_id = 0;
+  auto vid = [&](int64_t x, int64_t y) { return y * width + x; };
+  for (int64_t y = 0; y < height; ++y) {
+    for (int64_t x = 0; x < width; ++x) {
+      // Grid roads with ~4% random closures keep one big component while
+      // producing non-trivial detours.
+      if (x + 1 < width && rng.NextDouble() > 0.04) {
+        dataset.edges.push_back(MakeEdge(edge_id++, vid(x, y), vid(x + 1, y),
+                                         1.0 + rng.NextDouble(),
+                                         PickLabel(kRoadLabels, &rng), &rng));
+      }
+      if (y + 1 < height && rng.NextDouble() > 0.04) {
+        dataset.edges.push_back(MakeEdge(edge_id++, vid(x, y), vid(x, y + 1),
+                                         1.0 + rng.NextDouble(),
+                                         PickLabel(kRoadLabels, &rng), &rng));
+      }
+      // Occasional diagonal shortcut (ramps / bridges).
+      if (x + 1 < width && y + 1 < height && rng.Bernoulli(0.05)) {
+        dataset.edges.push_back(
+            MakeEdge(edge_id++, vid(x, y), vid(x + 1, y + 1),
+                     1.4 + rng.NextDouble(), "highway", &rng));
+      }
+    }
+  }
+  return dataset;
+}
+
+Dataset MakeProteinNetwork(int64_t num_vertexes, int64_t edges_per_vertex,
+                           uint64_t seed) {
+  Random rng(seed);
+  Dataset dataset;
+  dataset.name = "bio";
+  dataset.directed = false;
+  FillVertexes(&dataset, num_vertexes, "prot", &rng);
+
+  // Barabasi-Albert: new vertexes attach to `edges_per_vertex` targets chosen
+  // proportionally to degree, approximated by sampling the endpoint list.
+  std::vector<int64_t> endpoints;
+  endpoints.reserve(static_cast<size_t>(num_vertexes * edges_per_vertex * 2));
+  int64_t edge_id = 0;
+  int64_t start = std::min<int64_t>(edges_per_vertex + 1, num_vertexes);
+  for (int64_t v = 1; v < start; ++v) {
+    dataset.edges.push_back(MakeEdge(edge_id++, v, v - 1, rng.NextDouble() + 0.1,
+                                     PickLabel(kBioLabels, &rng), &rng));
+    endpoints.push_back(v);
+    endpoints.push_back(v - 1);
+  }
+  for (int64_t v = start; v < num_vertexes; ++v) {
+    std::unordered_set<int64_t> chosen;
+    for (int64_t e = 0; e < edges_per_vertex; ++e) {
+      int64_t target;
+      if (endpoints.empty() || rng.Bernoulli(0.05)) {
+        target = rng.Uniform(0, v - 1);
+      } else {
+        target = endpoints[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(endpoints.size()) - 1))];
+      }
+      if (target == v || !chosen.insert(target).second) continue;
+      dataset.edges.push_back(MakeEdge(edge_id++, v, target,
+                                       rng.NextDouble() + 0.1,
+                                       PickLabel(kBioLabels, &rng), &rng));
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return dataset;
+}
+
+Dataset MakeCoauthorNetwork(int64_t num_vertexes, int64_t community_size,
+                            uint64_t seed) {
+  Random rng(seed);
+  Dataset dataset;
+  dataset.name = "dblp";
+  dataset.directed = false;
+  FillVertexes(&dataset, num_vertexes, "auth", &rng);
+  if (community_size < 2) community_size = 2;
+
+  int64_t edge_id = 0;
+  std::unordered_set<int64_t> seen;
+  auto add_unique = [&](int64_t a, int64_t b) {
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    int64_t key = a * num_vertexes + b;
+    if (!seen.insert(key).second) return;
+    dataset.edges.push_back(MakeEdge(edge_id++, a, b, rng.NextDouble() + 0.2,
+                                     PickLabel(kCoauthorLabels, &rng), &rng));
+  };
+
+  // Dense collaboration inside communities.
+  for (int64_t base = 0; base < num_vertexes; base += community_size) {
+    int64_t end = std::min(base + community_size, num_vertexes);
+    for (int64_t a = base; a < end; ++a) {
+      for (int64_t b = a + 1; b < end; ++b) {
+        if (rng.Bernoulli(0.4)) add_unique(a, b);
+      }
+    }
+  }
+  // Skewed cross-community collaborations (prolific authors).
+  int64_t cross = num_vertexes * 2;
+  for (int64_t i = 0; i < cross; ++i) {
+    int64_t a = rng.SkewedIndex(num_vertexes, 2.2);
+    int64_t b = rng.Uniform(0, num_vertexes - 1);
+    add_unique(a, b);
+  }
+  return dataset;
+}
+
+Dataset MakeSocialNetwork(int64_t num_vertexes, int64_t edges_per_vertex,
+                          uint64_t seed) {
+  Random rng(seed);
+  Dataset dataset;
+  dataset.name = "social";
+  dataset.directed = true;
+  FillVertexes(&dataset, num_vertexes, "user", &rng);
+
+  // Directed preferential attachment: everyone follows hubs; hubs accumulate
+  // followers (heavy-tailed in-degree, like the Twitter follower graph).
+  std::vector<int64_t> popular;
+  popular.reserve(static_cast<size_t>(num_vertexes * edges_per_vertex));
+  int64_t edge_id = 0;
+  for (int64_t v = 0; v < num_vertexes; ++v) {
+    std::unordered_set<int64_t> chosen;
+    for (int64_t e = 0; e < edges_per_vertex; ++e) {
+      int64_t target;
+      if (popular.empty() || rng.Bernoulli(0.15)) {
+        target = rng.Uniform(0, num_vertexes - 1);
+      } else {
+        target = popular[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(popular.size()) - 1))];
+      }
+      if (target == v || !chosen.insert(target).second) continue;
+      dataset.edges.push_back(MakeEdge(edge_id++, v, target, 1.0,
+                                       PickLabel(kSocialLabels, &rng), &rng));
+      popular.push_back(target);
+    }
+  }
+  return dataset;
+}
+
+std::vector<Dataset> MakeAllDatasets(double scale, uint64_t seed) {
+  auto scaled = [&](double base) {
+    return std::max<int64_t>(4, static_cast<int64_t>(base * scale));
+  };
+  std::vector<Dataset> datasets;
+  int64_t side = std::max<int64_t>(
+      2, static_cast<int64_t>(std::sqrt(100000.0 * scale)));
+  datasets.push_back(MakeRoadNetwork(side, side, seed + 1));
+  datasets.push_back(MakeProteinNetwork(scaled(50000), 10, seed + 2));
+  datasets.push_back(MakeCoauthorNetwork(scaled(80000), 12, seed + 3));
+  datasets.push_back(MakeSocialNetwork(scaled(100000), 10, seed + 4));
+  return datasets;
+}
+
+Status LoadIntoDatabase(const Dataset& dataset, Database* db) {
+  const std::string vt = dataset.name + "_v";
+  const std::string et = dataset.name + "_e";
+  GRF_RETURN_IF_ERROR(db->ExecuteScript(StrFormat(
+      "CREATE TABLE %s (id BIGINT PRIMARY KEY, name VARCHAR, kind VARCHAR, "
+      "score DOUBLE);"
+      "CREATE TABLE %s (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, "
+      "weight DOUBLE, label VARCHAR, rank BIGINT);",
+      vt.c_str(), et.c_str())));
+
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(dataset.vertexes.size());
+  for (const VertexRow& v : dataset.vertexes) {
+    rows.push_back({Value::BigInt(v.id), Value::Varchar(v.name),
+                    Value::Varchar(v.kind), Value::Double(v.score)});
+  }
+  GRF_RETURN_IF_ERROR(db->BulkInsert(vt, rows));
+
+  rows.clear();
+  rows.reserve(dataset.edges.size());
+  for (const EdgeRow& e : dataset.edges) {
+    rows.push_back({Value::BigInt(e.id), Value::BigInt(e.src),
+                    Value::BigInt(e.dst), Value::Double(e.weight),
+                    Value::Varchar(e.label), Value::BigInt(e.rank)});
+  }
+  GRF_RETURN_IF_ERROR(db->BulkInsert(et, rows));
+
+  GRF_RETURN_IF_ERROR(db->ExecuteScript(StrFormat(
+      "CREATE %s GRAPH VIEW %s "
+      "VERTEXES (ID = id, name = name, kind = kind, score = score) FROM %s "
+      "EDGES (ID = id, FROM = src, TO = dst, weight = weight, label = label, "
+      "rank = rank) FROM %s;",
+      dataset.directed ? "DIRECTED" : "UNDIRECTED", dataset.name.c_str(),
+      vt.c_str(), et.c_str())));
+  return Status::OK();
+}
+
+}  // namespace grfusion

@@ -1,0 +1,80 @@
+#ifndef GRFUSION_WORKLOAD_DATASETS_H_
+#define GRFUSION_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/database.h"
+
+namespace grfusion {
+
+/// A generated vertex row: (id, name, kind, score).
+struct VertexRow {
+  int64_t id = 0;
+  std::string name;
+  std::string kind;   ///< Domain-specific category (protein family, ...).
+  double score = 0.0; ///< Numeric attribute for filters/aggregates.
+};
+
+/// A generated edge row: (id, src, dst, weight, label, rank).
+/// `rank` is uniform in [0, 100); predicates of the form `rank < s` select
+/// s% of the edges — the selectivity knob of the paper's §7.1 experiments.
+struct EdgeRow {
+  int64_t id = 0;
+  int64_t src = 0;
+  int64_t dst = 0;
+  double weight = 1.0;
+  std::string label;
+  int64_t rank = 0;
+};
+
+/// A complete synthetic dataset with the shape of one of the paper's Table 2
+/// graphs (scaled down; see DESIGN.md substitution table).
+struct Dataset {
+  std::string name;
+  bool directed = false;
+  std::vector<VertexRow> vertexes;
+  std::vector<EdgeRow> edges;
+
+  double AvgDegree() const {
+    return vertexes.empty()
+               ? 0.0
+               : static_cast<double>(edges.size()) /
+                     static_cast<double>(vertexes.size());
+  }
+};
+
+/// Tiger-like road network: a W x H grid with random diagonal shortcuts and
+/// random road deletions — planar-ish, low degree, large diameter.
+Dataset MakeRoadNetwork(int64_t width, int64_t height, uint64_t seed);
+
+/// String-like protein-interaction network: Barabasi-Albert preferential
+/// attachment (undirected, dense, power-law degrees).
+Dataset MakeProteinNetwork(int64_t num_vertexes, int64_t edges_per_vertex,
+                           uint64_t seed);
+
+/// DBLP-like co-authorship network: clustered communities with power-law
+/// inter-community links.
+Dataset MakeCoauthorNetwork(int64_t num_vertexes, int64_t community_size,
+                            uint64_t seed);
+
+/// Twitter-like follower graph: DIRECTED preferential attachment with heavy
+/// hubs.
+Dataset MakeSocialNetwork(int64_t num_vertexes, int64_t edges_per_vertex,
+                          uint64_t seed);
+
+/// The paper's four evaluation datasets at a configurable scale factor
+/// (1.0 ~= hundreds of thousands of edges; tests use ~0.01).
+std::vector<Dataset> MakeAllDatasets(double scale, uint64_t seed);
+
+/// Loads a dataset into `db` as two tables (<name>_v, <name>_e) with primary
+/// keys, plus a materialized graph view named <name>. Replaces the paper's
+/// CSV bulk loader.
+Status LoadIntoDatabase(const Dataset& dataset, Database* db);
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_WORKLOAD_DATASETS_H_

@@ -1,0 +1,95 @@
+#include "workload/queries.h"
+
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace grfusion {
+
+EdgeFilter MakeRankFilter(const GraphView& gv, int64_t threshold) {
+  int column = gv.ResolveEdgeAttribute("rank");
+  if (column < 0) return nullptr;
+  return [column, threshold](const GraphView& view, const EdgeEntry& edge) {
+    const Tuple* tuple = view.EdgeTuple(edge);
+    if (tuple == nullptr) return false;
+    const Value& v = tuple->value(static_cast<size_t>(column));
+    return !v.is_null() && v.AsBigInt() < threshold;
+  };
+}
+
+namespace {
+
+/// BFS distances from `src` up to `max_depth` (inclusive).
+std::unordered_map<VertexId, size_t> BfsDistances(const GraphView& gv,
+                                                  VertexId src,
+                                                  size_t max_depth,
+                                                  const EdgeFilter& filter) {
+  std::unordered_map<VertexId, size_t> dist;
+  const VertexEntry* start = gv.FindVertex(src);
+  if (start == nullptr) return dist;
+  dist[src] = 0;
+  std::deque<VertexId> frontier{src};
+  while (!frontier.empty()) {
+    VertexId u = frontier.front();
+    frontier.pop_front();
+    size_t d = dist[u];
+    if (d >= max_depth) continue;
+    const VertexEntry* uv = gv.FindVertex(u);
+    if (uv == nullptr) continue;
+    gv.ForEachNeighbor(*uv, [&](const EdgeEntry& edge, VertexId nbr) {
+      if (filter != nullptr && !filter(gv, edge)) return true;
+      if (dist.count(nbr) == 0) {
+        dist[nbr] = d + 1;
+        frontier.push_back(nbr);
+      }
+      return true;
+    });
+  }
+  return dist;
+}
+
+}  // namespace
+
+size_t HopDistance(const GraphView& gv, VertexId src, VertexId dst,
+                   const EdgeFilter& filter) {
+  auto dist = BfsDistances(gv, src, std::numeric_limits<size_t>::max() - 1,
+                           filter);
+  auto it = dist.find(dst);
+  return it == dist.end() ? std::numeric_limits<size_t>::max() : it->second;
+}
+
+std::vector<QueryPair> MakeConnectedPairs(const GraphView& gv, size_t hops,
+                                          size_t count, uint64_t seed,
+                                          const EdgeFilter& filter) {
+  std::vector<QueryPair> pairs;
+  if (gv.NumVertexes() == 0) return pairs;
+
+  std::vector<VertexId> ids;
+  ids.reserve(gv.NumVertexes());
+  gv.ForEachVertex([&](const VertexEntry& v) {
+    ids.push_back(v.id);
+    return true;
+  });
+
+  Random rng(seed);
+  const size_t max_attempts = count * 50 + 100;
+  for (size_t attempt = 0; attempt < max_attempts && pairs.size() < count;
+       ++attempt) {
+    VertexId src = ids[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(ids.size()) - 1))];
+    auto dist = BfsDistances(gv, src, hops, filter);
+    std::vector<VertexId> at_distance;
+    for (const auto& [v, d] : dist) {
+      if (d == hops) at_distance.push_back(v);
+    }
+    if (at_distance.empty()) continue;
+    VertexId dst = at_distance[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(at_distance.size()) - 1))];
+    pairs.push_back(QueryPair{src, dst, hops});
+  }
+  return pairs;
+}
+
+}  // namespace grfusion

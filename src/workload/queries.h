@@ -1,0 +1,43 @@
+#ifndef GRFUSION_WORKLOAD_QUERIES_H_
+#define GRFUSION_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph_view.h"
+
+namespace grfusion {
+
+/// A reachability/shortest-path query instance: endpoints known to be
+/// exactly `hops` apart (minimum hop distance) in the (filtered) graph.
+struct QueryPair {
+  VertexId src = 0;
+  VertexId dst = 0;
+  size_t hops = 0;
+};
+
+/// Optional edge filter applied while measuring distances (the sub-graph
+/// selectivity knob: rank < s admits ~s% of edges).
+using EdgeFilter = std::function<bool(const GraphView&, const EdgeEntry&)>;
+
+/// Filter admitting edges whose `rank` attribute (by exposed name) is below
+/// `threshold` — i.e., a `threshold`% selectivity sub-graph.
+EdgeFilter MakeRankFilter(const GraphView& gv, int64_t threshold);
+
+/// Generates `count` random pairs whose minimum hop distance in the filtered
+/// graph is exactly `hops` (paper §7.2: "random reachability queries with
+/// different path lengths that make the query endpoints connected"). May
+/// return fewer pairs when the graph does not contain enough.
+std::vector<QueryPair> MakeConnectedPairs(const GraphView& gv, size_t hops,
+                                          size_t count, uint64_t seed,
+                                          const EdgeFilter& filter = nullptr);
+
+/// Ground-truth BFS hop distance in the filtered graph (SIZE_MAX when
+/// unreachable). Used by tests to validate engine results.
+size_t HopDistance(const GraphView& gv, VertexId src, VertexId dst,
+                   const EdgeFilter& filter = nullptr);
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_WORKLOAD_QUERIES_H_

@@ -1,0 +1,231 @@
+// Unit tests for the three baselines: SQLGraph's SQL translation, Grail's
+// iterative relational driver, the property-graph store (both layouts), and
+// the graph-DB session front end. Includes the join-memory failure-injection
+// test that reproduces the paper's §7.2 blow-up mechanically.
+
+#include <gtest/gtest.h>
+
+#include "baselines/grail.h"
+#include "baselines/graphdb_session.h"
+#include "baselines/property_graph.h"
+#include "baselines/sqlgraph.h"
+#include "workload/datasets.h"
+
+namespace grfusion {
+namespace {
+
+/// Tiny deterministic dataset: a directed 6-cycle with a chord.
+Dataset CycleDataset() {
+  Dataset d;
+  d.name = "cyc";
+  d.directed = true;
+  for (int64_t i = 0; i < 6; ++i) {
+    d.vertexes.push_back(VertexRow{i, "v", "k", 1.0});
+  }
+  for (int64_t i = 0; i < 6; ++i) {
+    d.edges.push_back(
+        EdgeRow{i, i, (i + 1) % 6, 1.0, i % 2 == 0 ? "even" : "odd", i * 10});
+  }
+  d.edges.push_back(EdgeRow{6, 0, 3, 5.0, "chord", 55});
+  return d;
+}
+
+TEST(SqlGraphTest, ExactDepthSemantics) {
+  SqlGraph sg;
+  ASSERT_TRUE(sg.Load(CycleDataset()).ok());
+  // 0 -> 3 exists at depth 3 (cycle) and depth 1 (chord).
+  auto d1 = sg.ReachableAtDepth(0, 3, 1);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_TRUE(*d1);
+  auto d2 = sg.ReachableAtDepth(0, 3, 2);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_FALSE(*d2);
+  auto d3 = sg.ReachableAtDepth(0, 3, 3);
+  ASSERT_TRUE(d3.ok());
+  EXPECT_TRUE(*d3);
+}
+
+TEST(SqlGraphTest, IterativeDeepening) {
+  SqlGraph sg;
+  ASSERT_TRUE(sg.Load(CycleDataset()).ok());
+  auto r = sg.Reachable(1, 5, 6);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  auto no = sg.Reachable(1, 0, 3);  // 1->0 needs 5 hops.
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+TEST(SqlGraphTest, SelectivityPredicateThinsGraph) {
+  SqlGraph sg;
+  ASSERT_TRUE(sg.Load(CycleDataset()).ok());
+  // rank < 15 keeps edges 0 (rank 0) and 1 (rank 10) only: 0->1->2.
+  auto yes = sg.Reachable(0, 2, 4, 15);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto no = sg.Reachable(0, 4, 6, 15);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+TEST(SqlGraphTest, DoubleLoadRejected) {
+  SqlGraph sg;
+  ASSERT_TRUE(sg.Load(CycleDataset()).ok());
+  EXPECT_FALSE(sg.Load(CycleDataset()).ok());
+}
+
+TEST(SqlGraphTest, JoinMemoryBlowupAborts) {
+  // Failure injection for the paper's §7.2 observation: a dense graph and a
+  // small memory cap make deep self-joins exceed their intermediate budget.
+  Dataset dense = MakeProteinNetwork(300, 8, 77);
+  SqlGraph sg(/*memory_cap=*/512 * 1024);
+  ASSERT_TRUE(sg.Load(dense).ok());
+  Status failure = Status::OK();
+  for (size_t depth = 2; depth <= 8; ++depth) {
+    auto r = sg.ReachableAtDepth(1, 2, depth);
+    if (!r.ok()) {
+      failure = r.status();
+      break;
+    }
+  }
+  EXPECT_EQ(failure.code(), StatusCode::kResourceExhausted)
+      << failure.ToString();
+  EXPECT_GT(sg.last_peak_bytes(), 0u);
+}
+
+TEST(GrailTest, ShortestPathOnCycle) {
+  Grail grail;
+  ASSERT_TRUE(grail.Load(CycleDataset()).ok());
+  auto cost = grail.ShortestPathCost(0, 3);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  ASSERT_TRUE(cost->has_value());
+  EXPECT_DOUBLE_EQ(**cost, 3.0);  // 0->1->2->3 beats the chord (5.0).
+  EXPECT_GT(grail.last_iterations(), 1u);
+}
+
+TEST(GrailTest, UnreachableReturnsNullopt) {
+  Dataset d = CycleDataset();
+  d.vertexes.push_back(VertexRow{99, "island", "k", 0.0});
+  Grail grail;
+  ASSERT_TRUE(grail.Load(d).ok());
+  auto cost = grail.ShortestPathCost(0, 99);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_FALSE(cost->has_value());
+}
+
+TEST(GrailTest, ReachabilityWithHopCap) {
+  Grail grail;
+  ASSERT_TRUE(grail.Load(CycleDataset()).ok());
+  auto in_two = grail.Reachable(0, 2, 2);
+  ASSERT_TRUE(in_two.ok());
+  EXPECT_TRUE(*in_two);
+  auto in_one = grail.Reachable(0, 2, 1);
+  ASSERT_TRUE(in_one.ok());
+  EXPECT_FALSE(*in_one);
+}
+
+class PropertyGraphParamTest
+    : public ::testing::TestWithParam<PropertyGraphStore::Layout> {};
+
+TEST_P(PropertyGraphParamTest, LoadAndTraverse) {
+  PropertyGraphStore store(GetParam(), /*directed=*/true);
+  ASSERT_TRUE(store.Load(CycleDataset()).ok());
+  EXPECT_EQ(store.NumVertexes(), 6u);
+  EXPECT_EQ(store.NumEdges(), 7u);
+  EXPECT_TRUE(store.Reachable(0, 5));
+  EXPECT_TRUE(store.Reachable(5, 0));  // Around the cycle.
+  EXPECT_FALSE(store.Reachable(0, 5, nullptr, /*max_hops=*/2));
+}
+
+TEST_P(PropertyGraphParamTest, PredicateRestrictsTraversal) {
+  PropertyGraphStore store(GetParam(), true);
+  ASSERT_TRUE(store.Load(CycleDataset()).ok());
+  auto even_only = [](const PropertyMap& props) {
+    auto it = props.find("label");
+    return it != props.end() && it->second.AsVarchar() == "even";
+  };
+  EXPECT_TRUE(store.Reachable(0, 1, even_only));
+  EXPECT_FALSE(store.Reachable(0, 2, even_only));  // Edge 1 is odd.
+}
+
+TEST_P(PropertyGraphParamTest, DijkstraPrefersCheapRoute) {
+  PropertyGraphStore store(GetParam(), true);
+  ASSERT_TRUE(store.Load(CycleDataset()).ok());
+  auto cost = store.ShortestPathCost(0, 3, "weight");
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_DOUBLE_EQ(*cost, 3.0);
+}
+
+TEST_P(PropertyGraphParamTest, EdgeEndpointIntegrity) {
+  PropertyGraphStore store(GetParam(), true);
+  store.AddVertex(1, {});
+  EXPECT_FALSE(store.AddEdge(5, 1, 42, {}).ok());
+}
+
+TEST_P(PropertyGraphParamTest, TransactionRecordsReads) {
+  PropertyGraphStore store(GetParam(), true);
+  ASSERT_TRUE(store.Load(CycleDataset()).ok());
+  PropertyGraphStore::Transaction txn;
+  EXPECT_TRUE(store.Reachable(0, 5, nullptr, SIZE_MAX, &txn));
+  EXPECT_GT(txn.edge_reads.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, PropertyGraphParamTest,
+    ::testing::Values(PropertyGraphStore::Layout::kCompact,
+                      PropertyGraphStore::Layout::kIndexed),
+    [](const ::testing::TestParamInfo<PropertyGraphStore::Layout>& info) {
+      return info.param == PropertyGraphStore::Layout::kCompact
+                 ? "Neo4jLike"
+                 : "TitanLike";
+    });
+
+TEST(GraphDbSessionTest, ReachQuery) {
+  PropertyGraphStore store(PropertyGraphStore::Layout::kCompact, true);
+  ASSERT_TRUE(store.Load(CycleDataset()).ok());
+  GraphDbSession session(&store);
+  auto rows = session.Execute("REACH 0 5");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_GT(session.last_txn_edge_reads(), 0u);
+  rows = session.Execute("REACH 0 5 MAXHOPS 2");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(GraphDbSessionTest, SpathAndTriangles) {
+  PropertyGraphStore store(PropertyGraphStore::Layout::kIndexed, true);
+  ASSERT_TRUE(store.Load(CycleDataset()).ok());
+  GraphDbSession session(&store);
+  auto rows = session.Execute("SPATH 0 3 USING weight");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], "cost=3.000000");
+  rows = session.Execute("TRIANGLES label even odd even");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+}
+
+TEST(GraphDbSessionTest, RankClause) {
+  PropertyGraphStore store(PropertyGraphStore::Layout::kCompact, true);
+  ASSERT_TRUE(store.Load(CycleDataset()).ok());
+  GraphDbSession session(&store);
+  auto rows = session.Execute("REACH 0 2 RANK < 15");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  rows = session.Execute("REACH 0 4 RANK < 15");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(GraphDbSessionTest, MalformedQueriesRejected) {
+  PropertyGraphStore store(PropertyGraphStore::Layout::kCompact, true);
+  GraphDbSession session(&store);
+  EXPECT_FALSE(session.Execute("FROBNICATE 1 2").ok());
+  EXPECT_FALSE(session.Execute("REACH x y").ok());
+  EXPECT_FALSE(session.Execute("REACH 0 1 RANK <").ok());
+  EXPECT_FALSE(session.Execute("SPATH 0 1").ok());
+}
+
+}  // namespace
+}  // namespace grfusion

@@ -1,0 +1,88 @@
+// Serial-execution (single-partition VoltDB model) tests: a Database shared
+// between threads interleaves at statement granularity only, so concurrent
+// writers never corrupt the catalog, the tables, or the graph topology.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+
+namespace grfusion {
+namespace {
+
+TEST(ConcurrencyTest, ParallelInsertsAllLand) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
+                  .ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &failures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        int64_t id = t * kPerThread + i;
+        auto r = db.Execute(StrFormat("INSERT INTO t VALUES (%lld, %d)",
+                                      static_cast<long long>(id), t));
+        if (!r.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto count = db.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->ScalarValue().AsBigInt(), kThreads * kPerThread);
+}
+
+TEST(ConcurrencyTest, ConcurrentGraphUpdatesKeepTopologyConsistent) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE v (id BIGINT PRIMARY KEY);
+    CREATE TABLE e (id BIGINT PRIMARY KEY, s BIGINT, d BIGINT);
+    INSERT INTO v VALUES (0), (1), (2), (3);
+    CREATE DIRECTED GRAPH VIEW g
+      VERTEXES (ID = id) FROM v
+      EDGES (ID = id, FROM = s, TO = d) FROM e;
+  )sql")
+                  .ok());
+  // Writers repeatedly add/remove edges; readers run traversals. Statement
+  // serialization guarantees every query sees a consistent topology.
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 300 && !stop; ++i) {
+      int64_t id = 100 + (i % 10);
+      auto ins = db.Execute(
+          StrFormat("INSERT INTO e VALUES (%lld, %d, %d)",
+                    static_cast<long long>(id), i % 4, (i + 1) % 4));
+      if (ins.ok()) {
+        auto del = db.Execute(StrFormat("DELETE FROM e WHERE id = %lld",
+                                        static_cast<long long>(id)));
+        if (!del.ok()) ++errors;
+      }
+      // Duplicate-id inserts are legitimately rejected; not an error here.
+    }
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < 300; ++i) {
+      auto r = db.Execute(
+          "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 0 AND "
+          "P.Length <= 3");
+      if (!r.ok()) ++errors;
+    }
+  });
+  writer.join();
+  stop = true;
+  reader.join();
+  EXPECT_EQ(errors.load(), 0);
+  // Final topology matches the relational source exactly.
+  const GraphView* gv = db.catalog().FindGraphView("g");
+  EXPECT_EQ(gv->NumEdges(), db.catalog().FindTable("e")->NumRows());
+}
+
+}  // namespace
+}  // namespace grfusion

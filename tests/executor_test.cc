@@ -1,0 +1,270 @@
+// SQL-level tests of the relational executor: scans, joins, aggregation,
+// grouping, HAVING, ordering, DISTINCT, limits, DML semantics, scalar
+// functions, and the memory accountant.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace grfusion {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE emp (id BIGINT PRIMARY KEY, name VARCHAR, dept VARCHAR,
+                        salary DOUBLE, boss BIGINT);
+      CREATE TABLE dept (name VARCHAR, city VARCHAR);
+      INSERT INTO emp VALUES
+        (1, 'ann',  'eng',   120.0, NULL),
+        (2, 'bob',  'eng',   100.0, 1),
+        (3, 'cat',  'sales',  90.0, 1),
+        (4, 'dan',  'sales',  80.0, 3),
+        (5, 'eve',  'hr',     70.0, 1),
+        (6, 'fay',  'eng',   110.0, 1);
+      INSERT INTO dept VALUES
+        ('eng', 'sf'), ('sales', 'nyc'), ('hr', 'sf');
+    )sql")
+                    .ok());
+  }
+
+  ResultSet Must(const std::string& sql) {
+    auto result = db_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? *std::move(result) : ResultSet();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, ProjectionAndFilter) {
+  ResultSet r = Must("SELECT name FROM emp WHERE salary > 100 ORDER BY name");
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "ann");
+  EXPECT_EQ(r.rows[1][0].AsVarchar(), "fay");
+}
+
+TEST_F(ExecutorTest, StarExpansion) {
+  ResultSet r = Must("SELECT * FROM dept ORDER BY name");
+  ASSERT_EQ(r.NumRows(), 3u);
+  EXPECT_EQ(r.column_names,
+            (std::vector<std::string>{"name", "city"}));
+}
+
+TEST_F(ExecutorTest, HashJoin) {
+  ResultSet r = Must(
+      "SELECT e.name, d.city FROM emp e, dept d "
+      "WHERE e.dept = d.name AND d.city = 'sf' ORDER BY e.name");
+  ASSERT_EQ(r.NumRows(), 4u);  // ann, bob, eve, fay.
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "ann");
+  EXPECT_EQ(r.rows[0][1].AsVarchar(), "sf");
+}
+
+TEST_F(ExecutorTest, SelfJoinWithAliases) {
+  ResultSet r = Must(
+      "SELECT e.name, b.name FROM emp e, emp b "
+      "WHERE e.boss = b.id AND b.name = 'ann' ORDER BY e.name");
+  ASSERT_EQ(r.NumRows(), 4u);  // bob, cat, eve, fay report to ann.
+}
+
+TEST_F(ExecutorTest, NonEquiJoinFallsBackToNlj) {
+  ResultSet r = Must(
+      "SELECT e.name, b.name FROM emp e, emp b "
+      "WHERE e.salary > b.salary AND b.name = 'fay'");
+  ASSERT_EQ(r.NumRows(), 1u);  // Only ann out-earns fay.
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "ann");
+}
+
+TEST_F(ExecutorTest, CrossJoinCount) {
+  ResultSet r = Must("SELECT COUNT(*) FROM emp e, dept d");
+  EXPECT_EQ(r.ScalarValue().AsBigInt(), 18);
+}
+
+TEST_F(ExecutorTest, ScalarAggregates) {
+  ResultSet r = Must(
+      "SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary), AVG(salary) "
+      "FROM emp");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsBigInt(), 6);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsNumeric(), 570.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsNumeric(), 70.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsNumeric(), 120.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][4].AsNumeric(), 95.0);
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptyInput) {
+  ResultSet r = Must("SELECT COUNT(*), SUM(salary) FROM emp WHERE id > 99");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsBigInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, CountSkipsNulls) {
+  ResultSet r = Must("SELECT COUNT(boss) FROM emp");
+  EXPECT_EQ(r.ScalarValue().AsBigInt(), 5);  // ann's boss is NULL.
+}
+
+TEST_F(ExecutorTest, GroupByHavingOrder) {
+  ResultSet r = Must(
+      "SELECT dept, COUNT(*) AS n, AVG(salary) FROM emp "
+      "GROUP BY dept HAVING COUNT(*) >= 2 ORDER BY n DESC, dept");
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "eng");
+  EXPECT_EQ(r.rows[0][1].AsBigInt(), 3);
+  EXPECT_EQ(r.rows[1][0].AsVarchar(), "sales");
+  EXPECT_DOUBLE_EQ(r.rows[1][2].AsNumeric(), 85.0);
+}
+
+TEST_F(ExecutorTest, GroupByRejectsUngroupedColumn) {
+  auto r = db_.Execute("SELECT name, COUNT(*) FROM emp GROUP BY dept");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorTest, DistinctAndLimit) {
+  ResultSet r = Must("SELECT DISTINCT dept FROM emp ORDER BY dept");
+  ASSERT_EQ(r.NumRows(), 3u);
+  r = Must("SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 2");
+  ASSERT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "eng");
+}
+
+TEST_F(ExecutorTest, OrderByMultipleKeysAndNulls) {
+  ResultSet r = Must("SELECT name, boss FROM emp ORDER BY boss, name");
+  // NULL boss sorts first.
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "ann");
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, InBetweenLikeIsNull) {
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp WHERE dept IN ('eng', 'hr')")
+                .ScalarValue()
+                .AsBigInt(),
+            4);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp WHERE salary BETWEEN 80 AND 100")
+                .ScalarValue()
+                .AsBigInt(),
+            3);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp WHERE name LIKE '%a%'")
+                .ScalarValue()
+                .AsBigInt(),
+            4);  // ann, cat, dan, fay.
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp WHERE boss IS NULL")
+                .ScalarValue()
+                .AsBigInt(),
+            1);
+}
+
+TEST_F(ExecutorTest, ScalarFunctionsInSql) {
+  ResultSet r = Must("SELECT UPPER(name), LENGTH(dept) FROM emp WHERE id = 1");
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "ANN");
+  EXPECT_EQ(r.rows[0][1].AsBigInt(), 3);
+  r = Must("SELECT ABS(-3), COALESCE(NULL, 7), SUBSTR('hello', 2, 2) FROM dept "
+           "LIMIT 1");
+  EXPECT_EQ(r.rows[0][0].AsBigInt(), 3);
+  EXPECT_EQ(r.rows[0][1].AsBigInt(), 7);
+  EXPECT_EQ(r.rows[0][2].AsVarchar(), "el");
+}
+
+TEST_F(ExecutorTest, ArithmeticInProjection) {
+  ResultSet r = Must("SELECT salary * 2 + 1 FROM emp WHERE id = 5");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsNumeric(), 141.0);
+}
+
+TEST_F(ExecutorTest, IndexScanIsChosenForPkEquality) {
+  auto plan = db_.Explain("SELECT name FROM emp WHERE id = 3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+  ResultSet r = Must("SELECT name FROM emp WHERE id = 3");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "cat");
+}
+
+TEST_F(ExecutorTest, IndexScanDisabledByOption) {
+  db_.options().enable_index_scan = false;
+  auto plan = db_.Explain("SELECT name FROM emp WHERE id = 3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->find("IndexScan"), std::string::npos) << *plan;
+  db_.options().enable_index_scan = true;
+}
+
+TEST_F(ExecutorTest, UpdateAndDelete) {
+  EXPECT_EQ(Must("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'")
+                .rows_affected,
+            3u);
+  EXPECT_DOUBLE_EQ(
+      Must("SELECT salary FROM emp WHERE id = 2").rows[0][0].AsNumeric(),
+      110.0);
+  EXPECT_EQ(Must("DELETE FROM emp WHERE dept = 'hr'").rows_affected, 1u);
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp").ScalarValue().AsBigInt(), 5);
+}
+
+TEST_F(ExecutorTest, InsertStatementAtomicOnFailure) {
+  // Second row violates the primary key; the first must be rolled back.
+  auto r = db_.Execute(
+      "INSERT INTO emp VALUES (50, 'x', 'eng', 1.0, NULL), "
+      "(1, 'dup', 'eng', 1.0, NULL)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp WHERE id = 50")
+                .ScalarValue()
+                .AsBigInt(),
+            0);
+}
+
+TEST_F(ExecutorTest, UpdateRejectedOnUniqueViolationIsAtomic) {
+  auto r = db_.Execute("UPDATE emp SET id = 1 WHERE id = 2");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Must("SELECT COUNT(*) FROM emp WHERE id = 2")
+                .ScalarValue()
+                .AsBigInt(),
+            1);
+}
+
+TEST_F(ExecutorTest, MemoryCapAbortsOversizedJoin) {
+  // A cross join of emp x emp x emp x dept builds large intermediates; with
+  // a tiny cap the query must abort with ResourceExhausted, not crash.
+  size_t saved = db_.options().memory_cap;
+  db_.options().memory_cap = 2 * 1024;  // 2 KB.
+  auto r = db_.Execute(
+      "SELECT COUNT(*) FROM emp a, emp b, emp c, dept d "
+      "WHERE a.id = b.id AND b.id = c.id");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  db_.options().memory_cap = saved;
+}
+
+TEST_F(ExecutorTest, OrderByExpressionNotInSelect) {
+  ResultSet r = Must("SELECT name FROM emp ORDER BY salary DESC LIMIT 1");
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "ann");
+  EXPECT_EQ(r.column_names.size(), 1u);  // Hidden sort key stripped.
+}
+
+TEST_F(ExecutorTest, ExplainRendersTree) {
+  auto plan = db_.Explain(
+      "SELECT e.name FROM emp e, dept d WHERE e.dept = d.name "
+      "ORDER BY e.name LIMIT 2");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("HashJoin"), std::string::npos);
+  EXPECT_NE(plan->find("Sort"), std::string::npos);
+  EXPECT_NE(plan->find("Limit"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ErrorsForUnknownObjects) {
+  EXPECT_FALSE(db_.Execute("SELECT x FROM nope").ok());
+  EXPECT_FALSE(db_.Execute("SELECT nope FROM emp").ok());
+  EXPECT_FALSE(db_.Execute("SELECT 1 FROM nope.Paths P").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO nope VALUES (1)").ok());
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnRejected) {
+  auto r = db_.Execute("SELECT name FROM emp e, dept d");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ExecutorTest, TopAndLimitCompose) {
+  ResultSet r = Must("SELECT TOP 4 name FROM emp ORDER BY name LIMIT 2");
+  EXPECT_EQ(r.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace grfusion

@@ -1,0 +1,288 @@
+// Unit tests for the lexer and the SQL parser, including the graph-SQL
+// extensions (CREATE GRAPH VIEW, PATHS accessors, indexed path references,
+// traversal hints).
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace grfusion {
+namespace {
+
+// --- Lexer --------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT x, 42 FROM t WHERE y >= 1.5;");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 10u);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[3].int_value, 42);
+  EXPECT_TRUE((*tokens)[8].IsSymbol(">="));
+  EXPECT_DOUBLE_EQ((*tokens)[9].double_value, 1.5);
+}
+
+TEST(LexerTest, RangeTokenAfterInteger) {
+  // "0..*" must lex as INTEGER(0) '..' '*' — not as a double "0.".
+  auto tokens = Tokenize("[0..*]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsSymbol("["));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kInteger);
+  EXPECT_TRUE((*tokens)[2].IsSymbol(".."));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("*"));
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("SELECT 1 -- trailing comment\n+ 2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].text, "+");
+}
+
+TEST(LexerTest, ScientificNotation) {
+  auto tokens = Tokenize("1e3 2.5E-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 0.025);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("SELECT @x").ok());
+}
+
+// --- Statements ------------------------------------------------------------------
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parser::ParseSingle(
+      "CREATE TABLE t (id BIGINT PRIMARY KEY, name VARCHAR(30), w DOUBLE, "
+      "ok BOOLEAN NOT NULL)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& create = std::get<CreateTableStmt>(*stmt);
+  EXPECT_EQ(create.name, "t");
+  ASSERT_EQ(create.columns.size(), 4u);
+  EXPECT_TRUE(create.columns[0].primary_key);
+  EXPECT_EQ(create.columns[1].type, ValueType::kVarchar);
+  EXPECT_EQ(create.columns[2].type, ValueType::kDouble);
+  EXPECT_EQ(create.columns[3].type, ValueType::kBoolean);
+}
+
+TEST(ParserTest, CreateGraphViewListing1) {
+  auto stmt = Parser::ParseSingle(R"sql(
+    CREATE UNDIRECTED GRAPH VIEW SocialNetwork
+      VERTEXES(ID = uId, lstName = lName, birthdate = dob) FROM Users
+      EDGES (ID = relId, FROM = uId, TO = uId2, sdate = startDate,
+             relative = isRelative) FROM Relationships
+  )sql");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& gv = std::get<CreateGraphViewStmt>(*stmt).def;
+  EXPECT_EQ(gv.name, "SocialNetwork");
+  EXPECT_FALSE(gv.directed);
+  EXPECT_EQ(gv.vertex_table, "Users");
+  EXPECT_EQ(gv.vertex_id_column, "uId");
+  ASSERT_EQ(gv.vertex_attributes.size(), 2u);
+  EXPECT_EQ(gv.vertex_attributes[0].exposed_name, "lstName");
+  EXPECT_EQ(gv.edge_from_column, "uId");
+  EXPECT_EQ(gv.edge_to_column, "uId2");
+  ASSERT_EQ(gv.edge_attributes.size(), 2u);
+}
+
+TEST(ParserTest, GraphViewRequiresIdMappings) {
+  EXPECT_FALSE(Parser::ParseSingle(
+                   "CREATE GRAPH VIEW g VERTEXES(name = n) FROM v "
+                   "EDGES(ID = e, FROM = s, TO = d) FROM e")
+                   .ok());
+  EXPECT_FALSE(Parser::ParseSingle(
+                   "CREATE GRAPH VIEW g VERTEXES(ID = i) FROM v "
+                   "EDGES(ID = e, FROM = s) FROM e")
+                   .ok());
+}
+
+TEST(ParserTest, SelectWithPathsConstructListing2) {
+  auto stmt = Parser::ParseSingle(
+      "SELECT PS.EndVertex.lstName FROM Users U, SocialNetwork.Paths PS "
+      "WHERE U.Job = 'Lawyer' AND PS.StartVertex.Id = U.uId AND "
+      "PS.Length = 2 AND PS.Edges[0..*].StartDate > '1/1/2000'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = std::get<SelectStmt>(*stmt);
+  ASSERT_EQ(select.from.size(), 2u);
+  EXPECT_EQ(select.from[0].accessor, GraphAccessor::kNone);
+  EXPECT_EQ(select.from[1].accessor, GraphAccessor::kPaths);
+  EXPECT_EQ(select.from[1].alias, "PS");
+  ASSERT_NE(select.where, nullptr);
+  EXPECT_EQ(select.where->kind, ParsedExpr::Kind::kAnd);
+  EXPECT_EQ(select.where->children.size(), 4u);
+}
+
+TEST(ParserTest, IndexedPathReferences) {
+  auto stmt = Parser::ParseSingle(
+      "SELECT 1 FROM g.Paths P WHERE P.Edges[2].EndVertex = "
+      "P.Edges[0].StartVertex AND P.Vertexes[1..3].kind = 'x'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = std::get<SelectStmt>(*stmt);
+  const ParsedExpr& cmp = *select.where->children[0];
+  ASSERT_EQ(cmp.kind, ParsedExpr::Kind::kCompare);
+  const ParsedExpr& lhs = *cmp.children[0];
+  ASSERT_EQ(lhs.ref.size(), 3u);
+  EXPECT_EQ(lhs.ref[1].name, "Edges");
+  EXPECT_TRUE(lhs.ref[1].has_index);
+  EXPECT_FALSE(lhs.ref[1].is_range);
+  EXPECT_EQ(lhs.ref[1].lo, 2);
+  const ParsedExpr& range = *select.where->children[1]->children[0];
+  EXPECT_TRUE(range.ref[1].is_range);
+  EXPECT_EQ(range.ref[1].lo, 1);
+  EXPECT_EQ(range.ref[1].hi, 3);
+}
+
+TEST(ParserTest, OpenRangeStar) {
+  auto stmt = Parser::ParseSingle(
+      "SELECT 1 FROM g.Paths P WHERE P.Edges[5..*].a = 1");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = std::get<SelectStmt>(*stmt);
+  // Single conjunct: `where` IS the comparison; its lhs holds the range ref.
+  const ParsedExpr& cmp = *select.where;
+  ASSERT_EQ(cmp.kind, ParsedExpr::Kind::kCompare);
+  const ParsedExpr& ref = *cmp.children[0];
+  ASSERT_EQ(ref.kind, ParsedExpr::Kind::kRef);
+  EXPECT_EQ(ref.ref[1].lo, 5);
+  EXPECT_EQ(ref.ref[1].hi, -1);
+}
+
+TEST(ParserTest, HintsListing6) {
+  auto stmt = Parser::ParseSingle(
+      "SELECT TOP 2 PS FROM RoadNetwork.Paths PS HINT(SHORTESTPATH(Distance)),"
+      " RoadNetwork.Vertexes Src WHERE PS.StartVertex.Id = Src.Id");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = std::get<SelectStmt>(*stmt);
+  EXPECT_EQ(select.top, 2);
+  ASSERT_EQ(select.from.size(), 2u);
+  EXPECT_EQ(select.from[0].hint, TraversalHint::kShortestPath);
+  EXPECT_EQ(select.from[0].hint_attribute, "Distance");
+  EXPECT_EQ(select.from[1].accessor, GraphAccessor::kVertexes);
+}
+
+TEST(ParserTest, DfsBfsHints) {
+  auto stmt = Parser::ParseSingle("SELECT 1 FROM g.Paths P HINT(DFS)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<SelectStmt>(*stmt).from[0].hint, TraversalHint::kDfs);
+  stmt = Parser::ParseSingle("SELECT 1 FROM g.Paths P HINT(BFS)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<SelectStmt>(*stmt).from[0].hint, TraversalHint::kBfs);
+  EXPECT_FALSE(Parser::ParseSingle("SELECT 1 FROM g.Paths P HINT(MAGIC)").ok());
+}
+
+TEST(ParserTest, FullSelectClauses) {
+  auto stmt = Parser::ParseSingle(
+      "SELECT DISTINCT kind, COUNT(*) AS n FROM t WHERE a IN (1, 2, 3) "
+      "AND b NOT LIKE 'x%' AND c IS NOT NULL AND d BETWEEN 1 AND 5 "
+      "GROUP BY kind HAVING COUNT(*) > 2 ORDER BY n DESC, kind LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = std::get<SelectStmt>(*stmt);
+  EXPECT_TRUE(select.distinct);
+  EXPECT_EQ(select.items.size(), 2u);
+  EXPECT_EQ(select.items[1].alias, "n");
+  EXPECT_EQ(select.group_by.size(), 1u);
+  ASSERT_NE(select.having, nullptr);
+  ASSERT_EQ(select.order_by.size(), 2u);
+  EXPECT_TRUE(select.order_by[0].descending);
+  EXPECT_FALSE(select.order_by[1].descending);
+  EXPECT_EQ(select.limit, 10);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = Parser::ParseSingle("SELECT 1 + 2 * 3 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<SelectStmt>(*stmt).items[0].expr->ToString(),
+            "(1 + (2 * 3))");
+  stmt = Parser::ParseSingle("SELECT (1 + 2) * 3 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<SelectStmt>(*stmt).items[0].expr->ToString(),
+            "((1 + 2) * 3)");
+  stmt = Parser::ParseSingle("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  // AND binds tighter than OR.
+  EXPECT_EQ(std::get<SelectStmt>(*stmt).where->kind, ParsedExpr::Kind::kOr);
+}
+
+TEST(ParserTest, InsertVariants) {
+  auto stmt = Parser::ParseSingle(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(stmt.ok());
+  const auto& insert = std::get<InsertStmt>(*stmt);
+  EXPECT_EQ(insert.columns.size(), 2u);
+  EXPECT_EQ(insert.rows.size(), 2u);
+  stmt = Parser::ParseSingle("INSERT INTO t VALUES (1, -2.5, NULL, true)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<InsertStmt>(*stmt).columns.empty());
+}
+
+TEST(ParserTest, UpdateDeleteDrop) {
+  auto stmt = Parser::ParseSingle("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<UpdateStmt>(*stmt).assignments.size(), 2u);
+  stmt = Parser::ParseSingle("DELETE FROM t WHERE a < 0");
+  ASSERT_TRUE(stmt.ok());
+  stmt = Parser::ParseSingle("DROP GRAPH VIEW g");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<DropStmt>(*stmt).kind, DropStmt::Kind::kGraphView);
+  stmt = Parser::ParseSingle("DROP TABLE IF EXISTS t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<DropStmt>(*stmt).if_exists);
+}
+
+TEST(ParserTest, InsertSelect) {
+  auto stmt = Parser::ParseSingle(
+      "INSERT INTO t (a, b) SELECT x, y FROM u WHERE x > 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& insert = std::get<InsertStmt>(*stmt);
+  ASSERT_NE(insert.select, nullptr);
+  EXPECT_TRUE(insert.rows.empty());
+  EXPECT_EQ(insert.columns.size(), 2u);
+  EXPECT_EQ(insert.select->items.size(), 2u);
+}
+
+TEST(ParserTest, CreateMaterializedView) {
+  auto stmt = Parser::ParseSingle(
+      "CREATE MATERIALIZED VIEW mv AS SELECT a, COUNT(*) FROM t GROUP BY a");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& mv = std::get<CreateMaterializedViewStmt>(*stmt);
+  EXPECT_EQ(mv.name, "mv");
+  ASSERT_NE(mv.select, nullptr);
+  EXPECT_EQ(mv.select->group_by.size(), 1u);
+  EXPECT_FALSE(
+      Parser::ParseSingle("CREATE MATERIALIZED VIEW mv SELECT 1 FROM t").ok());
+}
+
+TEST(ParserTest, MultiStatementScript) {
+  auto stmts = Parser::Parse("SELECT 1 FROM a; ; SELECT 2 FROM b;");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 2u);
+}
+
+TEST(ParserTest, ErrorsAreDescriptive) {
+  auto r = Parser::ParseSingle("SELECT FROM t");
+  EXPECT_FALSE(r.ok());
+  r = Parser::ParseSingle("CREATE TABLE t (a NOTATYPE)");
+  EXPECT_FALSE(r.ok());
+  r = Parser::ParseSingle("SELECT 1 FROM g.Bogus B");
+  EXPECT_FALSE(r.ok());
+  r = Parser::ParseSingle("SELECT 1 FROM t WHERE a = ");
+  EXPECT_FALSE(r.ok());
+  r = Parser::ParseSingle("SELECT 1 FROM t LIMIT x");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, VerticesSpellingAccepted) {
+  auto stmt = Parser::ParseSingle("SELECT 1 FROM g.Vertices V");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<SelectStmt>(*stmt).from[0].accessor,
+            GraphAccessor::kVertexes);
+}
+
+}  // namespace
+}  // namespace grfusion

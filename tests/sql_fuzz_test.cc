@@ -1,0 +1,330 @@
+// Randomized differential testing of the relational engine: generated
+// filter / join / aggregate queries are executed both by the engine and by
+// a brute-force reference evaluator built from the same random choices.
+// Any divergence is a bug in the planner, binder, or executor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "engine/database.h"
+
+namespace grfusion {
+namespace {
+
+struct RefRow {
+  std::optional<int64_t> a;   // Column a BIGINT (nullable).
+  std::optional<double> b;    // Column b DOUBLE (nullable).
+  std::string c;              // Column c VARCHAR (never null, small domain).
+};
+
+/// A generated predicate: SQL text plus a semantically identical reference
+/// evaluator (three-valued: nullopt = SQL NULL).
+struct GeneratedPredicate {
+  std::string sql;
+  std::function<std::optional<bool>(const RefRow&)> eval;
+};
+
+GeneratedPredicate MakeLeaf(Random* rng) {
+  switch (rng->Uniform(0, 3)) {
+    case 0: {  // a <op> k
+      int64_t k = rng->Uniform(-3, 8);
+      int op = static_cast<int>(rng->Uniform(0, 2));  // =, <, >
+      const char* ops[] = {"=", "<", ">"};
+      return GeneratedPredicate{
+          StrFormat("a %s %lld", ops[op], static_cast<long long>(k)),
+          [k, op](const RefRow& r) -> std::optional<bool> {
+            if (!r.a.has_value()) return std::nullopt;
+            switch (op) {
+              case 0: return *r.a == k;
+              case 1: return *r.a < k;
+              default: return *r.a > k;
+            }
+          }};
+    }
+    case 1: {  // b <= x
+      double x = static_cast<double>(rng->Uniform(0, 40)) / 4.0;
+      return GeneratedPredicate{
+          StrFormat("b <= %f", x),
+          [x](const RefRow& r) -> std::optional<bool> {
+            if (!r.b.has_value()) return std::nullopt;
+            return *r.b <= x;
+          }};
+    }
+    case 2: {  // c = 'X'
+      std::string s(1, static_cast<char>('p' + rng->Uniform(0, 3)));
+      return GeneratedPredicate{
+          "c = '" + s + "'",
+          [s](const RefRow& r) -> std::optional<bool> { return r.c == s; }};
+    }
+    default:  // a IS NULL / IS NOT NULL
+      if (rng->Bernoulli(0.5)) {
+        return GeneratedPredicate{
+            "a IS NULL",
+            [](const RefRow& r) -> std::optional<bool> {
+              return !r.a.has_value();
+            }};
+      }
+      return GeneratedPredicate{
+          "a IS NOT NULL",
+          [](const RefRow& r) -> std::optional<bool> {
+            return r.a.has_value();
+          }};
+  }
+}
+
+GeneratedPredicate MakePredicate(Random* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.4)) return MakeLeaf(rng);
+  GeneratedPredicate left = MakePredicate(rng, depth - 1);
+  GeneratedPredicate right = MakePredicate(rng, depth - 1);
+  bool use_and = rng->Bernoulli(0.5);
+  bool negate = rng->Bernoulli(0.25);
+  std::string sql = "(" + left.sql + (use_and ? " AND " : " OR ") +
+                    right.sql + ")";
+  if (negate) sql = "NOT " + sql;
+  auto eval = [l = left.eval, r = right.eval, use_and,
+               negate](const RefRow& row) -> std::optional<bool> {
+    auto lv = l(row);
+    auto rv = r(row);
+    std::optional<bool> combined;
+    if (use_and) {
+      if ((lv.has_value() && !*lv) || (rv.has_value() && !*rv)) {
+        combined = false;
+      } else if (lv.has_value() && rv.has_value()) {
+        combined = *lv && *rv;
+      }
+    } else {
+      if ((lv.has_value() && *lv) || (rv.has_value() && *rv)) {
+        combined = true;
+      } else if (lv.has_value() && rv.has_value()) {
+        combined = *lv || *rv;
+      }
+    }
+    if (!combined.has_value()) return std::nullopt;
+    return negate ? !*combined : *combined;
+  };
+  return GeneratedPredicate{std::move(sql), std::move(eval)};
+}
+
+class SqlFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Random rng(GetParam());
+    ASSERT_TRUE(db_.ExecuteScript(
+                      "CREATE TABLE t (id BIGINT PRIMARY KEY, a BIGINT, "
+                      "b DOUBLE, c VARCHAR);"
+                      "CREATE TABLE u (id BIGINT PRIMARY KEY, a BIGINT, "
+                      "b DOUBLE, c VARCHAR);")
+                    .ok());
+    auto fill = [&](const char* table, std::vector<RefRow>* out,
+                    int64_t count) {
+      std::vector<std::vector<Value>> rows;
+      for (int64_t i = 0; i < count; ++i) {
+        RefRow r;
+        if (!rng.Bernoulli(0.15)) r.a = rng.Uniform(-3, 8);
+        if (!rng.Bernoulli(0.15)) r.b = rng.Uniform(0, 40) / 4.0;
+        r.c = std::string(1, static_cast<char>('p' + rng.Uniform(0, 3)));
+        rows.push_back(
+            {Value::BigInt(i),
+             r.a.has_value() ? Value::BigInt(*r.a) : Value::Null(),
+             r.b.has_value() ? Value::Double(*r.b) : Value::Null(),
+             Value::Varchar(r.c)});
+        out->push_back(std::move(r));
+      }
+      ASSERT_TRUE(db_.BulkInsert(table, rows).ok());
+    };
+    fill("t", &t_rows_, 40);
+    fill("u", &u_rows_, 25);
+  }
+
+  /// Canonical multiset of result rows for comparison.
+  static std::multiset<std::string> Canon(const ResultSet& result) {
+    std::multiset<std::string> out;
+    for (const auto& row : result.rows) {
+      std::string key;
+      for (const Value& v : row) {
+        key += v.ToString();
+        key += '|';
+      }
+      out.insert(std::move(key));
+    }
+    return out;
+  }
+
+  Database db_;
+  std::vector<RefRow> t_rows_;
+  std::vector<RefRow> u_rows_;
+};
+
+TEST_P(SqlFuzzTest, FilterQueriesMatchReference) {
+  Random rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    GeneratedPredicate pred = MakePredicate(&rng, 3);
+    auto result = db_.Execute("SELECT a, b, c FROM t WHERE " + pred.sql);
+    ASSERT_TRUE(result.ok()) << pred.sql << ": "
+                             << result.status().ToString();
+    size_t expected = 0;
+    for (const RefRow& r : t_rows_) {
+      auto v = pred.eval(r);
+      if (v.has_value() && *v) ++expected;
+    }
+    EXPECT_EQ(result->NumRows(), expected) << pred.sql;
+  }
+}
+
+TEST_P(SqlFuzzTest, CountMatchesRowCount) {
+  Random rng(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    GeneratedPredicate pred = MakePredicate(&rng, 2);
+    auto rows = db_.Execute("SELECT id FROM t WHERE " + pred.sql);
+    auto count = db_.Execute("SELECT COUNT(*) FROM t WHERE " + pred.sql);
+    ASSERT_TRUE(rows.ok() && count.ok()) << pred.sql;
+    EXPECT_EQ(count->ScalarValue().AsBigInt(),
+              static_cast<int64_t>(rows->NumRows()))
+        << pred.sql;
+  }
+}
+
+TEST_P(SqlFuzzTest, EquiJoinMatchesNestedLoopsReference) {
+  Random rng(GetParam() * 31 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    GeneratedPredicate tp = MakePredicate(&rng, 1);
+    GeneratedPredicate up = MakePredicate(&rng, 1);
+    std::string sql = "SELECT t.id, u.id FROM t, u WHERE t.a = u.a AND (" +
+                      tp.sql + ") AND (" +
+                      // Predicates over u need qualified names.
+                      up.sql + ")";
+    // Qualify the second predicate's bare columns with u.
+    // (Generated leaves use bare a/b/c; rewrite conservatively.)
+    // Instead of string surgery, run the unqualified version against t only:
+    // here both predicate sets reference ambiguous columns, so skip the
+    // qualification problem by generating the join SQL with explicit
+    // aliases below.
+    (void)sql;
+    std::string qualified_t = tp.sql, qualified_u = up.sql;
+    for (const char* col : {"a ", "b ", "c "}) {
+      // Leaf SQL always has "<col> <op>" with a space; prefix with alias.
+      std::string from(col), t_to = "t." + from, u_to = "u." + from;
+      size_t pos = 0;
+      while ((pos = qualified_t.find(from, pos)) != std::string::npos) {
+        bool at_word_start =
+            pos == 0 || (!isalnum(static_cast<unsigned char>(
+                            qualified_t[pos - 1])) &&
+                         qualified_t[pos - 1] != '.' &&
+                         qualified_t[pos - 1] != '\'');
+        if (at_word_start) {
+          qualified_t.replace(pos, from.size(), t_to);
+          pos += t_to.size();
+        } else {
+          pos += from.size();
+        }
+      }
+      pos = 0;
+      while ((pos = qualified_u.find(from, pos)) != std::string::npos) {
+        bool at_word_start =
+            pos == 0 || (!isalnum(static_cast<unsigned char>(
+                            qualified_u[pos - 1])) &&
+                         qualified_u[pos - 1] != '.' &&
+                         qualified_u[pos - 1] != '\'');
+        if (at_word_start) {
+          qualified_u.replace(pos, from.size(), u_to);
+          pos += u_to.size();
+        } else {
+          pos += from.size();
+        }
+      }
+    }
+    std::string join_sql = "SELECT t.id, u.id FROM t, u WHERE t.a = u.a AND "
+                           "(" + qualified_t + ") AND (" + qualified_u + ")";
+    auto result = db_.Execute(join_sql);
+    ASSERT_TRUE(result.ok()) << join_sql << ": "
+                             << result.status().ToString();
+    size_t expected = 0;
+    for (const RefRow& tr : t_rows_) {
+      auto tv = tp.eval(tr);
+      if (!tv.has_value() || !*tv || !tr.a.has_value()) continue;
+      for (const RefRow& ur : u_rows_) {
+        auto uv = up.eval(ur);
+        if (!uv.has_value() || !*uv || !ur.a.has_value()) continue;
+        if (*tr.a == *ur.a) ++expected;
+      }
+    }
+    EXPECT_EQ(result->NumRows(), expected) << join_sql;
+  }
+}
+
+TEST_P(SqlFuzzTest, GroupByMatchesReference) {
+  auto result = db_.Execute(
+      "SELECT c, COUNT(*), SUM(a), MIN(b) FROM t GROUP BY c ORDER BY c");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::map<std::string, std::tuple<int64_t, std::optional<int64_t>,
+                                   std::optional<double>>> expected;
+  for (const RefRow& r : t_rows_) {
+    auto& [count, sum, min_b] = expected[r.c];
+    ++count;
+    if (r.a.has_value()) sum = sum.value_or(0) + *r.a;
+    if (r.b.has_value()) {
+      min_b = min_b.has_value() ? std::min(*min_b, *r.b) : *r.b;
+    }
+  }
+  ASSERT_EQ(result->NumRows(), expected.size());
+  size_t i = 0;
+  for (const auto& [c, agg] : expected) {
+    const auto& row = result->rows[i++];
+    EXPECT_EQ(row[0].AsVarchar(), c);
+    EXPECT_EQ(row[1].AsBigInt(), std::get<0>(agg));
+    if (std::get<1>(agg).has_value()) {
+      EXPECT_EQ(row[2].AsBigInt(), *std::get<1>(agg)) << c;
+    } else {
+      EXPECT_TRUE(row[2].is_null());
+    }
+    if (std::get<2>(agg).has_value()) {
+      EXPECT_DOUBLE_EQ(row[3].AsNumeric(), *std::get<2>(agg)) << c;
+    }
+  }
+}
+
+TEST_P(SqlFuzzTest, OrderByIsStableAndSorted) {
+  auto result = db_.Execute("SELECT b FROM t WHERE b IS NOT NULL ORDER BY b");
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->NumRows(); ++i) {
+    EXPECT_LE(result->rows[i - 1][0].AsNumeric(),
+              result->rows[i][0].AsNumeric());
+  }
+}
+
+TEST_P(SqlFuzzTest, DistinctMatchesReference) {
+  auto result = db_.Execute("SELECT DISTINCT c FROM t");
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> expected;
+  for (const RefRow& r : t_rows_) expected.insert(r.c);
+  EXPECT_EQ(result->NumRows(), expected.size());
+}
+
+TEST_P(SqlFuzzTest, InsertSelectRoundTrip) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE copy (id BIGINT, a BIGINT, b DOUBLE, "
+                          "c VARCHAR)")
+                  .ok());
+  auto inserted =
+      db_.Execute("INSERT INTO copy SELECT id, a, b, c FROM t WHERE a > 2");
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  auto original = db_.Execute("SELECT id, a, b, c FROM t WHERE a > 2");
+  auto copied = db_.Execute("SELECT id, a, b, c FROM copy");
+  ASSERT_TRUE(original.ok() && copied.ok());
+  EXPECT_EQ(inserted->rows_affected, original->NumRows());
+  EXPECT_EQ(Canon(*original), Canon(*copied));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace grfusion

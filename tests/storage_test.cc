@@ -1,0 +1,229 @@
+// Unit tests for the storage layer: tables with stable slots, hash indexes,
+// and the change-listener protocol (including veto-driven rollback, which is
+// what graph views rely on for transactional topology maintenance).
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace grfusion {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema({Column("id", ValueType::kBigInt),
+                 Column("name", ValueType::kVarchar)});
+}
+
+Tuple Row(int64_t id, const std::string& name) {
+  return Tuple({Value::BigInt(id), Value::Varchar(name)});
+}
+
+TEST(TableTest, InsertGetDelete) {
+  Table t("t", TwoColumnSchema());
+  auto slot = t.Insert(Row(1, "a"));
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(t.NumRows(), 1u);
+  const Tuple* tuple = t.Get(*slot);
+  ASSERT_NE(tuple, nullptr);
+  EXPECT_EQ(tuple->value(0).AsBigInt(), 1);
+  ASSERT_TRUE(t.Delete(*slot).ok());
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_EQ(t.Get(*slot), nullptr);
+  EXPECT_FALSE(t.Delete(*slot).ok());  // Double delete.
+}
+
+TEST(TableTest, ArityAndTypeChecking) {
+  Table t("t", TwoColumnSchema());
+  EXPECT_FALSE(t.Insert(Tuple({Value::BigInt(1)})).ok());
+  EXPECT_FALSE(
+      t.Insert(Tuple({Value::Varchar("x"), Value::Varchar("y")})).ok());
+  // NULL is allowed in any column.
+  EXPECT_TRUE(t.Insert(Tuple({Value::Null(), Value::Null()})).ok());
+}
+
+TEST(TableTest, NumericCoercionOnInsert) {
+  Table t("t", Schema({Column("w", ValueType::kDouble)}));
+  auto slot = t.Insert(Tuple({Value::BigInt(2)}));
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(t.Get(*slot)->value(0).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(t.Get(*slot)->value(0).AsDouble(), 2.0);
+}
+
+TEST(TableTest, SlotsAreRecycledAfterDelete) {
+  Table t("t", TwoColumnSchema());
+  auto s1 = t.Insert(Row(1, "a"));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(t.Delete(*s1).ok());
+  auto s2 = t.Insert(Row(2, "b"));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);  // Free list reuse.
+  EXPECT_EQ(t.SlotUpperBound(), 1u);
+}
+
+TEST(TableTest, TuplePointersStableAcrossGrowth) {
+  // The graph views' tuple pointers depend on rows never moving.
+  Table t("t", TwoColumnSchema());
+  auto first = t.Insert(Row(0, "zero"));
+  ASSERT_TRUE(first.ok());
+  const Tuple* before = t.Get(*first);
+  for (int64_t i = 1; i < 5000; ++i) {
+    ASSERT_TRUE(t.Insert(Row(i, "x")).ok());
+  }
+  EXPECT_EQ(t.Get(*first), before);
+  EXPECT_EQ(before->value(1).AsVarchar(), "zero");
+}
+
+TEST(TableTest, UpdateMaintainsIndexes) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_TRUE(t.CreateIndex("idx_id", 0, /*unique=*/true).ok());
+  auto slot = t.Insert(Row(1, "a"));
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(t.Update(*slot, Row(2, "b")).ok());
+  const HashIndex* idx = t.FindIndexOnColumn(0);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Lookup(Value::BigInt(1)), nullptr);
+  ASSERT_NE(idx->Lookup(Value::BigInt(2)), nullptr);
+  EXPECT_EQ(idx->Lookup(Value::BigInt(2))->size(), 1u);
+}
+
+TEST(TableTest, UniqueIndexRejectsDuplicates) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_TRUE(t.CreateIndex("idx_id", 0, true).ok());
+  ASSERT_TRUE(t.Insert(Row(1, "a")).ok());
+  auto dup = t.Insert(Row(1, "b"));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(t.NumRows(), 1u);  // Failed insert fully rolled back.
+}
+
+TEST(TableTest, UniqueIndexAllowsMultipleNulls) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_TRUE(t.CreateIndex("idx_id", 0, true).ok());
+  ASSERT_TRUE(t.Insert(Tuple({Value::Null(), Value::Varchar("a")})).ok());
+  ASSERT_TRUE(t.Insert(Tuple({Value::Null(), Value::Varchar("b")})).ok());
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(TableTest, NonUniqueIndexCollectsAllMatches) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_TRUE(t.CreateIndex("idx_name", 1, false).ok());
+  ASSERT_TRUE(t.Insert(Row(1, "x")).ok());
+  ASSERT_TRUE(t.Insert(Row(2, "x")).ok());
+  ASSERT_TRUE(t.Insert(Row(3, "y")).ok());
+  const HashIndex* idx = t.FindIndexOnColumn(1);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Lookup(Value::Varchar("x"))->size(), 2u);
+  EXPECT_EQ(idx->Lookup(Value::Varchar("y"))->size(), 1u);
+  EXPECT_EQ(idx->Lookup(Value::Varchar("z")), nullptr);
+}
+
+TEST(TableTest, BackfillIndexOverExistingRows) {
+  Table t("t", TwoColumnSchema());
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(t.Insert(Row(i, "n")).ok());
+  ASSERT_TRUE(t.Insert(Row(3, "dup-id")).ok());  // id 3 appears twice.
+  ASSERT_TRUE(t.CreateIndex("late", 0, /*unique=*/false).ok());
+  const HashIndex* idx = t.FindIndexOnColumn(0);
+  EXPECT_EQ(idx->NumKeys(), 10u);
+  EXPECT_EQ(idx->Lookup(Value::BigInt(3))->size(), 2u);
+  // Duplicate index name rejected.
+  EXPECT_FALSE(t.CreateIndex("late", 1, false).ok());
+  // Backfill failure (duplicates under unique) rejects index creation.
+  EXPECT_FALSE(t.CreateIndex("late2", 0, /*unique=*/true).ok());
+}
+
+/// Listener that vetoes every operation matching a flag, for rollback tests.
+class VetoListener : public TableChangeListener {
+ public:
+  Status OnInsert(TupleSlot, const Tuple&) override {
+    ++inserts;
+    return veto_insert ? Status::Aborted("no inserts") : Status::OK();
+  }
+  Status OnDelete(TupleSlot, const Tuple&) override {
+    ++deletes;
+    return veto_delete ? Status::Aborted("no deletes") : Status::OK();
+  }
+  Status OnUpdate(TupleSlot, const Tuple&, const Tuple&) override {
+    ++updates;
+    return veto_update ? Status::Aborted("no updates") : Status::OK();
+  }
+  bool veto_insert = false, veto_delete = false, veto_update = false;
+  int inserts = 0, deletes = 0, updates = 0;
+};
+
+TEST(TableListenerTest, VetoedInsertRollsBack) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_TRUE(t.CreateIndex("idx", 0, true).ok());
+  VetoListener listener;
+  listener.veto_insert = true;
+  t.AddListener(&listener);
+  EXPECT_FALSE(t.Insert(Row(1, "a")).ok());
+  EXPECT_EQ(t.NumRows(), 0u);
+  // The index entry must have been rolled back too.
+  EXPECT_EQ(t.FindIndexOnColumn(0)->Lookup(Value::BigInt(1)), nullptr);
+  // And the slot is reusable.
+  listener.veto_insert = false;
+  EXPECT_TRUE(t.Insert(Row(1, "a")).ok());
+}
+
+TEST(TableListenerTest, VetoedDeleteKeepsRow) {
+  Table t("t", TwoColumnSchema());
+  VetoListener listener;
+  t.AddListener(&listener);
+  auto slot = t.Insert(Row(1, "a"));
+  ASSERT_TRUE(slot.ok());
+  listener.veto_delete = true;
+  EXPECT_FALSE(t.Delete(*slot).ok());
+  EXPECT_EQ(t.NumRows(), 1u);
+  EXPECT_NE(t.Get(*slot), nullptr);
+}
+
+TEST(TableListenerTest, VetoedUpdateRestoresIndexes) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_TRUE(t.CreateIndex("idx", 0, true).ok());
+  VetoListener listener;
+  t.AddListener(&listener);
+  auto slot = t.Insert(Row(1, "a"));
+  ASSERT_TRUE(slot.ok());
+  listener.veto_update = true;
+  EXPECT_FALSE(t.Update(*slot, Row(2, "b")).ok());
+  EXPECT_EQ(t.Get(*slot)->value(0).AsBigInt(), 1);
+  EXPECT_NE(t.FindIndexOnColumn(0)->Lookup(Value::BigInt(1)), nullptr);
+  EXPECT_EQ(t.FindIndexOnColumn(0)->Lookup(Value::BigInt(2)), nullptr);
+}
+
+TEST(TableListenerTest, RemoveListenerStopsNotifications) {
+  Table t("t", TwoColumnSchema());
+  VetoListener listener;
+  t.AddListener(&listener);
+  ASSERT_TRUE(t.Insert(Row(1, "a")).ok());
+  EXPECT_EQ(listener.inserts, 1);
+  t.RemoveListener(&listener);
+  ASSERT_TRUE(t.Insert(Row(2, "b")).ok());
+  EXPECT_EQ(listener.inserts, 1);
+}
+
+TEST(TableTest, ForEachSkipsTombstones) {
+  Table t("t", TwoColumnSchema());
+  auto s1 = t.Insert(Row(1, "a"));
+  auto s2 = t.Insert(Row(2, "b"));
+  auto s3 = t.Insert(Row(3, "c"));
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  ASSERT_TRUE(t.Delete(*s2).ok());
+  std::vector<int64_t> seen;
+  t.ForEach([&](TupleSlot, const Tuple& tuple) {
+    seen.push_back(tuple.value(0).AsBigInt());
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(SchemaTest, CaseInsensitiveLookup) {
+  Schema s = TwoColumnSchema();
+  EXPECT_EQ(s.FindColumn("ID"), 0);
+  EXPECT_EQ(s.FindColumn("Name"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+  EXPECT_FALSE(s.ColumnIndex("missing").ok());
+}
+
+}  // namespace
+}  // namespace grfusion

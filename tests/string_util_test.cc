@@ -1,0 +1,122 @@
+// Unit tests for string utilities, with a brute-force property check for the
+// SQL LIKE matcher.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace grfusion {
+namespace {
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+  EXPECT_EQ(ToUpper("aBc-2"), "ABC-2");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+}
+
+TEST(LikeMatchTest, Basics) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_FALSE(LikeMatch("hello", "h_o"));
+  EXPECT_FALSE(LikeMatch("hello", "Hello"));  // Case-sensitive.
+  EXPECT_TRUE(LikeMatch("a%b", "a%b"));
+}
+
+TEST(LikeMatchTest, GreedyBacktracking) {
+  EXPECT_TRUE(LikeMatch("abcabc", "%abc"));
+  EXPECT_TRUE(LikeMatch("aaaab", "%a_b"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%iss%pi"));
+  EXPECT_FALSE(LikeMatch("mississippi", "%iss%x"));
+}
+
+/// Reference matcher: exponential recursive definition.
+bool ReferenceLike(std::string_view text, std::string_view pattern) {
+  if (pattern.empty()) return text.empty();
+  if (pattern[0] == '%') {
+    for (size_t skip = 0; skip <= text.size(); ++skip) {
+      if (ReferenceLike(text.substr(skip), pattern.substr(1))) return true;
+    }
+    return false;
+  }
+  if (text.empty()) return false;
+  if (pattern[0] != '_' && pattern[0] != text[0]) return false;
+  return ReferenceLike(text.substr(1), pattern.substr(1));
+}
+
+TEST(LikeMatchTest, PropertyAgainstReference) {
+  Random rng(99);
+  const char alphabet[] = {'a', 'b', '%', '_'};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text, pattern;
+    int64_t text_len = rng.Uniform(0, 8);
+    int64_t pattern_len = rng.Uniform(0, 6);
+    for (int64_t i = 0; i < text_len; ++i) {
+      text += static_cast<char>('a' + rng.Uniform(0, 1));
+    }
+    for (int64_t i = 0; i < pattern_len; ++i) {
+      pattern += alphabet[rng.Uniform(0, 3)];
+    }
+    EXPECT_EQ(LikeMatch(text, pattern), ReferenceLike(text, pattern))
+        << "text='" << text << "' pattern='" << pattern << "'";
+  }
+}
+
+TEST(RandomTest, DeterministicAndBounded) {
+  Random a(5), b(5);
+  for (int i = 0; i < 100; ++i) {
+    int64_t x = a.Uniform(3, 9);
+    EXPECT_EQ(x, b.Uniform(3, 9));
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 9);
+  }
+  for (int i = 0; i < 100; ++i) {
+    double d = a.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, SkewedIndexInRange) {
+  Random rng(7);
+  int64_t low_half = 0;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t idx = rng.SkewedIndex(100, 2.5);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, 100);
+    if (idx < 50) ++low_half;
+  }
+  // Alpha > 1 biases toward small indexes.
+  EXPECT_GT(low_half, 600);
+}
+
+}  // namespace
+}  // namespace grfusion

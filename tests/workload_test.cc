@@ -1,0 +1,177 @@
+// Tests for the workload module: dataset shapes, query-pair generation
+// invariants, rank-selectivity distribution, and the CSV import/export
+// round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "workload/csv.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace grfusion {
+namespace {
+
+TEST(DatasetShapeTest, RoadNetworkIsGridLike) {
+  Dataset road = MakeRoadNetwork(10, 10, 1);
+  EXPECT_EQ(road.vertexes.size(), 100u);
+  EXPECT_FALSE(road.directed);
+  // Grid average degree stays small (roads, not a social network).
+  EXPECT_LT(road.AvgDegree(), 3.0);
+  EXPECT_GT(road.AvgDegree(), 1.0);
+  // All endpoints valid.
+  for (const EdgeRow& e : road.edges) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, 100);
+    EXPECT_GE(e.dst, 0);
+    EXPECT_LT(e.dst, 100);
+    EXPECT_GE(e.rank, 0);
+    EXPECT_LT(e.rank, 100);
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(DatasetShapeTest, ProteinNetworkIsHeavyTailed) {
+  Dataset bio = MakeProteinNetwork(1000, 5, 2);
+  EXPECT_FALSE(bio.directed);
+  std::vector<size_t> degree(1000, 0);
+  for (const EdgeRow& e : bio.edges) {
+    ++degree[static_cast<size_t>(e.src)];
+    ++degree[static_cast<size_t>(e.dst)];
+  }
+  size_t max_degree = *std::max_element(degree.begin(), degree.end());
+  double avg = 2.0 * bio.edges.size() / 1000.0;
+  // Power-law-ish: the hub is far above the average degree.
+  EXPECT_GT(static_cast<double>(max_degree), avg * 5);
+}
+
+TEST(DatasetShapeTest, SocialNetworkIsDirectedWithHubs) {
+  Dataset social = MakeSocialNetwork(800, 6, 3);
+  EXPECT_TRUE(social.directed);
+  std::vector<size_t> in_degree(800, 0);
+  for (const EdgeRow& e : social.edges) {
+    ++in_degree[static_cast<size_t>(e.dst)];
+  }
+  size_t max_in = *std::max_element(in_degree.begin(), in_degree.end());
+  EXPECT_GT(max_in, 50u);  // Follower hubs.
+}
+
+TEST(DatasetShapeTest, RankIsRoughlyUniform) {
+  Dataset bio = MakeProteinNetwork(2000, 6, 5);
+  size_t below_25 = 0;
+  for (const EdgeRow& e : bio.edges) {
+    if (e.rank < 25) ++below_25;
+  }
+  double fraction = static_cast<double>(below_25) / bio.edges.size();
+  // `rank < 25` must select ~25% of the edges (the selectivity knob).
+  EXPECT_NEAR(fraction, 0.25, 0.05);
+}
+
+TEST(QueryGenTest, PairsHaveExactHopDistance) {
+  Database db;
+  Dataset road = MakeRoadNetwork(9, 9, 4);
+  ASSERT_TRUE(LoadIntoDatabase(road, &db).ok());
+  const GraphView* gv = db.catalog().FindGraphView("road");
+  for (size_t hops : {3, 5}) {
+    auto pairs = MakeConnectedPairs(*gv, hops, 5, 77);
+    ASSERT_FALSE(pairs.empty());
+    for (const QueryPair& q : pairs) {
+      EXPECT_EQ(HopDistance(*gv, q.src, q.dst), hops)
+          << q.src << "->" << q.dst;
+    }
+  }
+}
+
+TEST(QueryGenTest, FilteredPairsRespectSubgraph) {
+  Database db;
+  Dataset bio = MakeProteinNetwork(300, 5, 6);
+  ASSERT_TRUE(LoadIntoDatabase(bio, &db).ok());
+  const GraphView* gv = db.catalog().FindGraphView("bio");
+  EdgeFilter filter = MakeRankFilter(*gv, 50);
+  auto pairs = MakeConnectedPairs(*gv, 3, 5, 9, filter);
+  for (const QueryPair& q : pairs) {
+    EXPECT_EQ(HopDistance(*gv, q.src, q.dst, filter), 3u);
+  }
+}
+
+TEST(QueryGenTest, HopDistanceUnreachable) {
+  Database db;
+  Dataset d;
+  d.name = "two";
+  d.directed = true;
+  d.vertexes = {VertexRow{1, "a", "k", 0}, VertexRow{2, "b", "k", 0}};
+  ASSERT_TRUE(LoadIntoDatabase(d, &db).ok());
+  const GraphView* gv = db.catalog().FindGraphView("two");
+  EXPECT_EQ(HopDistance(*gv, 1, 2), static_cast<size_t>(-1));
+}
+
+TEST(CsvTest, RoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "grf_csv_test";
+  fs::create_directories(dir);
+  Dataset bio = MakeProteinNetwork(100, 3, 8);
+  ASSERT_TRUE(WriteDatasetCsv(bio, dir.string()).ok());
+
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE bio_v (id BIGINT PRIMARY KEY, name VARCHAR, kind VARCHAR,
+                        score DOUBLE);
+    CREATE TABLE bio_e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
+                        weight DOUBLE, label VARCHAR, rank BIGINT);
+  )sql")
+                  .ok());
+  ASSERT_TRUE(
+      LoadCsvIntoTable(&db, "bio_v", (dir / "bio_v.csv").string()).ok());
+  ASSERT_TRUE(
+      LoadCsvIntoTable(&db, "bio_e", (dir / "bio_e.csv").string()).ok());
+  EXPECT_EQ(db.catalog().FindTable("bio_v")->NumRows(), bio.vertexes.size());
+  EXPECT_EQ(db.catalog().FindTable("bio_e")->NumRows(), bio.edges.size());
+
+  // The loaded tables materialize into a graph view identical in shape.
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE UNDIRECTED GRAPH VIEW bio "
+                    "VERTEXES (ID = id, name = name) FROM bio_v "
+                    "EDGES (ID = id, FROM = src, TO = dst, w = weight) "
+                    "FROM bio_e;")
+                  .ok());
+  EXPECT_EQ(db.catalog().FindGraphView("bio")->NumEdges(), bio.edges.size());
+  fs::remove_all(dir);
+}
+
+TEST(CsvTest, Errors) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a BIGINT, b VARCHAR)").ok());
+  EXPECT_FALSE(LoadCsvIntoTable(&db, "t", "/nonexistent/file.csv").ok());
+  EXPECT_FALSE(LoadCsvIntoTable(&db, "missing_table", "/tmp/x.csv").ok());
+
+  // Arity mismatch inside the file.
+  std::string path = "/tmp/grf_bad_csv_test.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a,b\n1,x,EXTRA\n", f);
+  fclose(f);
+  auto s = LoadCsvIntoTable(&db, "t", path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, QuotedFieldsAndNulls) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a BIGINT, b VARCHAR)").ok());
+  std::string path = "/tmp/grf_quoted_csv_test.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a,b\n1,\"hello, \"\"world\"\"\"\n,empty-a\n", f);
+  fclose(f);
+  ASSERT_TRUE(LoadCsvIntoTable(&db, "t", path).ok());
+  auto r = db.Execute("SELECT b FROM t WHERE a = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsVarchar(), "hello, \"world\"");
+  r = db.Execute("SELECT COUNT(*) FROM t WHERE a IS NULL");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ScalarValue().AsBigInt(), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace grfusion
