@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/alg_analytics"
+  "../bench/alg_analytics.pdb"
+  "CMakeFiles/alg_analytics.dir/alg_analytics.cc.o"
+  "CMakeFiles/alg_analytics.dir/alg_analytics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alg_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

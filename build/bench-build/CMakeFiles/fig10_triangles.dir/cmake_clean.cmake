@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_triangles"
+  "../bench/fig10_triangles.pdb"
+  "CMakeFiles/fig10_triangles.dir/fig10_triangles.cc.o"
+  "CMakeFiles/fig10_triangles.dir/fig10_triangles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_constrained_reachability"
+  "../bench/fig8_constrained_reachability.pdb"
+  "CMakeFiles/fig8_constrained_reachability.dir/fig8_constrained_reachability.cc.o"
+  "CMakeFiles/fig8_constrained_reachability.dir/fig8_constrained_reachability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_constrained_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_shortest_path"
+  "../bench/fig9_shortest_path.pdb"
+  "CMakeFiles/fig9_shortest_path.dir/fig9_shortest_path.cc.o"
+  "CMakeFiles/fig9_shortest_path.dir/fig9_shortest_path.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_shortest_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

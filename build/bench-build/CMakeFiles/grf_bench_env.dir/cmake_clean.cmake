@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_bench_env.dir/bench_env.cc.o"
+  "CMakeFiles/grf_bench_env.dir/bench_env.cc.o.d"
+  "libgrf_bench_env.a"
+  "libgrf_bench_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_bench_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrf_bench_env.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_construction"
+  "../bench/table_construction.pdb"
+  "CMakeFiles/table_construction.dir/table_construction.cc.o"
+  "CMakeFiles/table_construction.dir/table_construction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_network.dir/bio_network.cpp.o"
+  "CMakeFiles/bio_network.dir/bio_network.cpp.o.d"
+  "bio_network"
+  "bio_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

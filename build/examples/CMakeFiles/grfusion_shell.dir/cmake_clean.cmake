@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grfusion_shell.dir/grfusion_shell.cpp.o"
+  "CMakeFiles/grfusion_shell.dir/grfusion_shell.cpp.o.d"
+  "grfusion_shell"
+  "grfusion_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grfusion_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/grf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/grf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/grf_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphexec/CMakeFiles/grf_graphexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/grf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/grf_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/grf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/grf_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphalg/CMakeFiles/grf_graphalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/grf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/grf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

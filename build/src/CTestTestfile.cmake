@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("catalog")
+subdirs("graph")
+subdirs("graphalg")
+subdirs("expr")
+subdirs("parser")
+subdirs("exec")
+subdirs("graphexec")
+subdirs("plan")
+subdirs("engine")
+subdirs("workload")
+subdirs("baselines")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_baselines.dir/grail.cc.o"
+  "CMakeFiles/grf_baselines.dir/grail.cc.o.d"
+  "CMakeFiles/grf_baselines.dir/graphdb_session.cc.o"
+  "CMakeFiles/grf_baselines.dir/graphdb_session.cc.o.d"
+  "CMakeFiles/grf_baselines.dir/property_graph.cc.o"
+  "CMakeFiles/grf_baselines.dir/property_graph.cc.o.d"
+  "CMakeFiles/grf_baselines.dir/sqlgraph.cc.o"
+  "CMakeFiles/grf_baselines.dir/sqlgraph.cc.o.d"
+  "libgrf_baselines.a"
+  "libgrf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

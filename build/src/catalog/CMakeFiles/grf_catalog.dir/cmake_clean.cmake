@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_catalog.dir/catalog.cc.o"
+  "CMakeFiles/grf_catalog.dir/catalog.cc.o.d"
+  "libgrf_catalog.a"
+  "libgrf_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

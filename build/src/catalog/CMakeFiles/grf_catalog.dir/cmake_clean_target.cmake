@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrf_catalog.a"
+)

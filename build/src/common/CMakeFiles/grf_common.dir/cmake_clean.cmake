@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_common.dir/random.cc.o"
+  "CMakeFiles/grf_common.dir/random.cc.o.d"
+  "CMakeFiles/grf_common.dir/status.cc.o"
+  "CMakeFiles/grf_common.dir/status.cc.o.d"
+  "CMakeFiles/grf_common.dir/string_util.cc.o"
+  "CMakeFiles/grf_common.dir/string_util.cc.o.d"
+  "CMakeFiles/grf_common.dir/value.cc.o"
+  "CMakeFiles/grf_common.dir/value.cc.o.d"
+  "libgrf_common.a"
+  "libgrf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_engine.dir/database.cc.o"
+  "CMakeFiles/grf_engine.dir/database.cc.o.d"
+  "libgrf_engine.a"
+  "libgrf_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

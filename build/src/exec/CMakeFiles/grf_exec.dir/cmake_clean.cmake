@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_exec.dir/agg_ops.cc.o"
+  "CMakeFiles/grf_exec.dir/agg_ops.cc.o.d"
+  "CMakeFiles/grf_exec.dir/filter_ops.cc.o"
+  "CMakeFiles/grf_exec.dir/filter_ops.cc.o.d"
+  "CMakeFiles/grf_exec.dir/join_ops.cc.o"
+  "CMakeFiles/grf_exec.dir/join_ops.cc.o.d"
+  "CMakeFiles/grf_exec.dir/operator.cc.o"
+  "CMakeFiles/grf_exec.dir/operator.cc.o.d"
+  "CMakeFiles/grf_exec.dir/scan_ops.cc.o"
+  "CMakeFiles/grf_exec.dir/scan_ops.cc.o.d"
+  "libgrf_exec.a"
+  "libgrf_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

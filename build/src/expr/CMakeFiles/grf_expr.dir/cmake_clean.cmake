@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_expr.dir/expression.cc.o"
+  "CMakeFiles/grf_expr.dir/expression.cc.o.d"
+  "libgrf_expr.a"
+  "libgrf_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_graph.dir/graph_view.cc.o"
+  "CMakeFiles/grf_graph.dir/graph_view.cc.o.d"
+  "CMakeFiles/grf_graph.dir/path.cc.o"
+  "CMakeFiles/grf_graph.dir/path.cc.o.d"
+  "libgrf_graph.a"
+  "libgrf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_graphalg.dir/algorithms.cc.o"
+  "CMakeFiles/grf_graphalg.dir/algorithms.cc.o.d"
+  "libgrf_graphalg.a"
+  "libgrf_graphalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_graphalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

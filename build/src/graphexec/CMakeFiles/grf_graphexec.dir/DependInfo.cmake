@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphexec/graph_ops.cc" "src/graphexec/CMakeFiles/grf_graphexec.dir/graph_ops.cc.o" "gcc" "src/graphexec/CMakeFiles/grf_graphexec.dir/graph_ops.cc.o.d"
+  "/root/repo/src/graphexec/path_scanner.cc" "src/graphexec/CMakeFiles/grf_graphexec.dir/path_scanner.cc.o" "gcc" "src/graphexec/CMakeFiles/grf_graphexec.dir/path_scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/grf_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/grf_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/grf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/grf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_graphexec.dir/graph_ops.cc.o"
+  "CMakeFiles/grf_graphexec.dir/graph_ops.cc.o.d"
+  "CMakeFiles/grf_graphexec.dir/path_scanner.cc.o"
+  "CMakeFiles/grf_graphexec.dir/path_scanner.cc.o.d"
+  "libgrf_graphexec.a"
+  "libgrf_graphexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_graphexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

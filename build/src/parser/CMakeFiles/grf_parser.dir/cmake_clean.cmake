@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_parser.dir/ast.cc.o"
+  "CMakeFiles/grf_parser.dir/ast.cc.o.d"
+  "CMakeFiles/grf_parser.dir/lexer.cc.o"
+  "CMakeFiles/grf_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/grf_parser.dir/parser.cc.o"
+  "CMakeFiles/grf_parser.dir/parser.cc.o.d"
+  "libgrf_parser.a"
+  "libgrf_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

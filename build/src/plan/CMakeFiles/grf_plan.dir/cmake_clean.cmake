@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_plan.dir/binder.cc.o"
+  "CMakeFiles/grf_plan.dir/binder.cc.o.d"
+  "CMakeFiles/grf_plan.dir/binding.cc.o"
+  "CMakeFiles/grf_plan.dir/binding.cc.o.d"
+  "CMakeFiles/grf_plan.dir/planner.cc.o"
+  "CMakeFiles/grf_plan.dir/planner.cc.o.d"
+  "libgrf_plan.a"
+  "libgrf_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_storage.dir/index.cc.o"
+  "CMakeFiles/grf_storage.dir/index.cc.o.d"
+  "CMakeFiles/grf_storage.dir/schema.cc.o"
+  "CMakeFiles/grf_storage.dir/schema.cc.o.d"
+  "CMakeFiles/grf_storage.dir/table.cc.o"
+  "CMakeFiles/grf_storage.dir/table.cc.o.d"
+  "libgrf_storage.a"
+  "libgrf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

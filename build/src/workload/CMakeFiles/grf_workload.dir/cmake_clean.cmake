@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grf_workload.dir/csv.cc.o"
+  "CMakeFiles/grf_workload.dir/csv.cc.o.d"
+  "CMakeFiles/grf_workload.dir/datasets.cc.o"
+  "CMakeFiles/grf_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/grf_workload.dir/queries.cc.o"
+  "CMakeFiles/grf_workload.dir/queries.cc.o.d"
+  "libgrf_workload.a"
+  "libgrf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

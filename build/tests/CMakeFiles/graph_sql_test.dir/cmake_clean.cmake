@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_sql_test.dir/graph_sql_test.cc.o"
+  "CMakeFiles/graph_sql_test.dir/graph_sql_test.cc.o.d"
+  "graph_sql_test"
+  "graph_sql_test.pdb"
+  "graph_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

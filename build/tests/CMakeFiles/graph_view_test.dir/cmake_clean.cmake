@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_view_test.dir/graph_view_test.cc.o"
+  "CMakeFiles/graph_view_test.dir/graph_view_test.cc.o.d"
+  "graph_view_test"
+  "graph_view_test.pdb"
+  "graph_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_lifecycle_test.dir/operator_lifecycle_test.cc.o"
+  "CMakeFiles/operator_lifecycle_test.dir/operator_lifecycle_test.cc.o.d"
+  "operator_lifecycle_test"
+  "operator_lifecycle_test.pdb"
+  "operator_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_semantics_test.dir/path_semantics_test.cc.o"
+  "CMakeFiles/path_semantics_test.dir/path_semantics_test.cc.o.d"
+  "path_semantics_test"
+  "path_semantics_test.pdb"
+  "path_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
