@@ -3,9 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 
 #include "bench/bench_env.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace grfusion::bench {
@@ -42,6 +44,22 @@ inline void ReportPerQuery(::benchmark::State& state, size_t queries) {
 inline double MinBenchTime() {
   const char* value = std::getenv("GRF_BENCH_MIN_TIME");
   return value == nullptr ? 0.05 : std::strtod(value, nullptr);
+}
+
+/// Writes the engine-wide metrics registry (everything the suite's queries
+/// accumulated: latency histograms, traversal work, graph-view build times)
+/// as JSON — one BENCH_<figure>_metrics.json per suite.
+inline void DumpEngineMetrics(const std::string& path) {
+  std::string json = MetricsRegistry::Global().ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputs("\n", f);
+  std::fclose(f);
+  std::fprintf(stderr, "engine metrics written to %s\n", path.c_str());
 }
 
 }  // namespace grfusion::bench

@@ -134,6 +134,7 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   grfusion::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();
+  grfusion::bench::DumpEngineMetrics("BENCH_fig8_metrics.json");
   ::benchmark::Shutdown();
   return 0;
 }

@@ -154,6 +154,7 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   grfusion::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();
+  grfusion::bench::DumpEngineMetrics("BENCH_fig9_metrics.json");
   ::benchmark::Shutdown();
   return 0;
 }

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   grfusion::bench::PrintTable2();
   grfusion::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();
+  grfusion::bench::DumpEngineMetrics("BENCH_table2_metrics.json");
   ::benchmark::Shutdown();
   return 0;
 }

@@ -147,6 +147,7 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   grfusion::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();
+  grfusion::bench::DumpEngineMetrics("BENCH_construction_metrics.json");
   ::benchmark::Shutdown();
   return 0;
 }

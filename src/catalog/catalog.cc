@@ -1,5 +1,8 @@
 #include "catalog/catalog.h"
 
+#include <chrono>
+
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace grfusion {
@@ -70,9 +73,16 @@ StatusOr<GraphView*> Catalog::CreateGraphView(GraphViewDef def) {
     return Status::NotFound("edges relational-source '" + def.edge_table +
                             "' does not exist");
   }
+  auto t0 = std::chrono::steady_clock::now();
   GRF_ASSIGN_OR_RETURN(
       std::unique_ptr<GraphView> gv,
       GraphView::Create(std::move(def), vertex_table, edge_table));
+  auto build_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EngineMetrics::Get().graph_views_built_total->Increment();
+  EngineMetrics::Get().graph_view_build_us->Observe(
+      static_cast<uint64_t>(build_us));
   GraphView* raw = gv.get();
   graph_views_.emplace(std::move(key), std::move(gv));
   return raw;
@@ -96,6 +106,23 @@ std::vector<std::string> Catalog::GraphViewNames() const {
   std::vector<std::string> names;
   names.reserve(graph_views_.size());
   for (const auto& [key, gv] : graph_views_) names.push_back(gv->name());
+  return names;
+}
+
+void Catalog::RegisterVirtualTable(std::unique_ptr<VirtualTable> vtable) {
+  std::string key = Key(vtable->name());
+  virtual_tables_[std::move(key)] = std::move(vtable);
+}
+
+const VirtualTable* Catalog::FindVirtualTable(const std::string& name) const {
+  auto it = virtual_tables_.find(Key(name));
+  return it == virtual_tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::VirtualTableNames() const {
+  std::vector<std::string> names;
+  names.reserve(virtual_tables_.size());
+  for (const auto& [key, vt] : virtual_tables_) names.push_back(vt->name());
   return names;
 }
 

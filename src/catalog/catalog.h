@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "graph/graph_view.h"
 #include "storage/table.h"
+#include "storage/virtual_table.h"
 
 namespace grfusion {
 
@@ -36,12 +37,21 @@ class Catalog {
   Status DropGraphView(const std::string& name);
   std::vector<std::string> GraphViewNames() const;
 
+  // --- Virtual tables (SYS.* introspection) ---
+  /// Registers a computed read-only table under its own name (conventionally
+  /// "SYS.<name>"). Replaces any previous registration of the same name.
+  void RegisterVirtualTable(std::unique_ptr<VirtualTable> vtable);
+  const VirtualTable* FindVirtualTable(const std::string& name) const;
+  std::vector<std::string> VirtualTableNames() const;
+
  private:
   /// Case-insensitive name key.
   static std::string Key(const std::string& name);
 
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, std::unique_ptr<GraphView>> graph_views_;
+  std::unordered_map<std::string, std::unique_ptr<VirtualTable>>
+      virtual_tables_;
 };
 
 }  // namespace grfusion

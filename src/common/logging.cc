@@ -1,0 +1,74 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* value = std::getenv("GRFUSION_LOG_LEVEL");
+  if (value == nullptr) return LogLevel::kWarn;
+  if (EqualsIgnoreCase(value, "debug")) return LogLevel::kDebug;
+  if (EqualsIgnoreCase(value, "info")) return LogLevel::kInfo;
+  if (EqualsIgnoreCase(value, "warn") || EqualsIgnoreCase(value, "warning")) {
+    return LogLevel::kWarn;
+  }
+  if (EqualsIgnoreCase(value, "error")) return LogLevel::kError;
+  if (EqualsIgnoreCase(value, "off") || EqualsIgnoreCase(value, "none")) {
+    return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& LevelSlot() {
+  static std::atomic<int> level{static_cast<int>(LevelFromEnv())};
+  return level;
+}
+
+char LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo: return 'I';
+    case LogLevel::kWarn: return 'W';
+    case LogLevel::kError: return 'E';
+    case LogLevel::kOff: return '?';
+  }
+  return '?';
+}
+
+/// Trims an absolute __FILE__ down to its path inside the repo.
+const char* ShortFileName(const char* file) {
+  const char* src = std::strstr(file, "src/");
+  if (src != nullptr) return src;
+  const char* slash = std::strrchr(file, '/');
+  return slash == nullptr ? file : slash + 1;
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() {
+  return static_cast<LogLevel>(LevelSlot().load(std::memory_order_relaxed));
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  LevelSlot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
+  char message[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[grfusion] %c %s:%d: %s\n", LevelTag(level),
+               ShortFileName(file), line, message);
+}
+
+}  // namespace grfusion

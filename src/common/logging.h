@@ -1,18 +1,52 @@
 #ifndef GRFUSION_COMMON_LOGGING_H_
 #define GRFUSION_COMMON_LOGGING_H_
 
-#include <cstdio>
 #include <cstdlib>
 
 namespace grfusion {
+
+/// Leveled engine logging. The process-wide level defaults to kWarn and is
+/// overridable with the GRFUSION_LOG_LEVEL environment variable
+/// (debug|info|warn|error|off), read once at first use, or programmatically
+/// via SetGlobalLogLevel.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+inline bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GlobalLogLevel());
+}
+
+/// Unconditionally emits one formatted line to stderr:
+///   [grfusion] W src/file.cc:42: message
+/// Level filtering happens in the GRF_LOG macro so disabled call sites cost
+/// one integer comparison and never evaluate their arguments' formatting.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+/// Leveled logging: GRF_LOG(kWarn, "slow query: %lld us", us);
+#define GRF_LOG(level, ...)                                               \
+  do {                                                                    \
+    if (::grfusion::LogLevelEnabled(::grfusion::LogLevel::level)) {       \
+      ::grfusion::LogMessage(::grfusion::LogLevel::level, __FILE__,       \
+                             __LINE__, __VA_ARGS__);                      \
+    }                                                                     \
+  } while (0)
 
 /// Fatal invariant check: always on, used for conditions whose violation
 /// means engine state is corrupt and continuing would be unsafe.
 #define GRF_CHECK(cond)                                                    \
   do {                                                                     \
     if (!(cond)) {                                                         \
-      std::fprintf(stderr, "GRF_CHECK failed at %s:%d: %s\n", __FILE__,    \
-                   __LINE__, #cond);                                       \
+      ::grfusion::LogMessage(::grfusion::LogLevel::kError, __FILE__,       \
+                             __LINE__, "GRF_CHECK failed: %s", #cond);     \
       std::abort();                                                        \
     }                                                                      \
   } while (0)

@@ -1,13 +1,83 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "parser/parser.h"
 #include "plan/binder.h"
 
 namespace grfusion {
+
+namespace {
+
+/// Splits a rendered plan into one VARCHAR row per line.
+ResultSet PlanTextToResult(const std::string& plan) {
+  ResultSet result;
+  result.column_names = {"plan"};
+  size_t start = 0;
+  while (start < plan.size()) {
+    size_t end = plan.find('\n', start);
+    if (end == std::string::npos) end = plan.size();
+    result.rows.push_back({Value::Varchar(plan.substr(start, end - start))});
+    start = end + 1;
+  }
+  return result;
+}
+
+/// Flattens the operator tree into (depth, name, counters) rows, pre-order.
+void CollectOperatorRows(const PhysicalOperator* op, int depth,
+                         std::vector<QueryProfile::OperatorRow>* out) {
+  const OperatorProfile& p = op->profile();
+  QueryProfile::OperatorRow row;
+  row.depth = depth;
+  row.name = op->name();
+  row.actual_rows = p.rows_emitted;
+  row.next_calls = p.next_calls;
+  row.time_ms = static_cast<double>(p.total_ns()) / 1e6;
+  out->push_back(std::move(row));
+  for (const PhysicalOperator* child : op->children()) {
+    CollectOperatorRows(child, depth + 1, out);
+  }
+}
+
+/// True when any FROM item reads an engine introspection table; such queries
+/// must not overwrite the profile they are inspecting.
+bool ReadsSystemTables(const SelectStmt& stmt) {
+  for (const FromItem& item : stmt.from) {
+    if (item.source.size() >= 4 &&
+        EqualsIgnoreCase(std::string_view(item.source).substr(0, 4), "SYS.")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string ResultSet::ToString(size_t max_rows) const {
   std::string out;
@@ -36,30 +106,21 @@ std::string ResultSet::ToString(size_t max_rows) const {
 
 // --- Entry points ------------------------------------------------------------------
 
+Database::Database(PlannerOptions options) : options_(options) {
+  RegisterSystemTables();
+}
+
 StatusOr<ResultSet> Database::Execute(std::string_view sql) {
   std::lock_guard<std::mutex> lock(statement_mutex_);
-  std::string_view trimmed = Trim(sql);
-  // EXPLAIN <select> renders the plan instead of executing.
-  if (trimmed.size() > 8 && EqualsIgnoreCase(trimmed.substr(0, 8), "EXPLAIN ")) {
-    GRF_ASSIGN_OR_RETURN(std::string plan, Explain(trimmed.substr(8)));
-    ResultSet result;
-    result.column_names = {"plan"};
-    size_t start = 0;
-    while (start < plan.size()) {
-      size_t end = plan.find('\n', start);
-      if (end == std::string::npos) end = plan.size();
-      result.rows.push_back({Value::Varchar(plan.substr(start, end - start))});
-      start = end + 1;
-    }
-    return result;
-  }
   GRF_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseSingle(sql));
+  current_sql_ = std::string(Trim(sql));
   return ExecuteStatement(stmt);
 }
 
 Status Database::ExecuteScript(std::string_view sql) {
   std::lock_guard<std::mutex> lock(statement_mutex_);
   GRF_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parser::Parse(sql));
+  current_sql_ = std::string(Trim(sql));
   for (const Statement& stmt : statements) {
     GRF_ASSIGN_OR_RETURN(ResultSet ignored, ExecuteStatement(stmt));
     (void)ignored;
@@ -69,7 +130,13 @@ Status Database::ExecuteScript(std::string_view sql) {
 
 StatusOr<std::string> Database::Explain(std::string_view sql) {
   GRF_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseSingle(sql));
-  const auto* select = std::get_if<SelectStmt>(&stmt);
+  const SelectStmt* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) {
+    if (const auto* explain = std::get_if<ExplainStmt>(&stmt);
+        explain != nullptr) {
+      select = explain->select.get();
+    }
+  }
   if (select == nullptr) {
     return Status::InvalidArgument("EXPLAIN supports SELECT statements only");
   }
@@ -98,6 +165,8 @@ StatusOr<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
           return ExecuteUpdate(s);
         } else if constexpr (std::is_same_v<T, DeleteStmt>) {
           return ExecuteDelete(s);
+        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          return ExecuteExplain(s);
         } else {
           return ExecuteSelect(s);
         }
@@ -511,11 +580,21 @@ StatusOr<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt) {
 StatusOr<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt) {
   Planner planner(&catalog_, options_);
   GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(stmt));
+  return RunPlan(planned, stmt, /*force_timing=*/false);
+}
+
+StatusOr<ResultSet> Database::RunPlan(const PlannedQuery& planned,
+                                      const SelectStmt& stmt,
+                                      bool force_timing) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  const bool slow_log_armed = options_.slow_query_threshold_us >= 0;
 
   QueryContext ctx(options_.memory_cap);
+  ctx.set_profile_timing(force_timing || slow_log_armed);
   ResultSet result;
   result.column_names = planned.output_names;
 
+  auto t0 = std::chrono::steady_clock::now();
   Status status = planned.root->Open(&ctx);
   if (status.ok()) {
     ExecRow row;
@@ -530,10 +609,198 @@ StatusOr<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt) {
     }
   }
   planned.root->Close();
-  last_stats_ = ctx.stats();
+  uint64_t latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  // Fold this query's work into the engine-wide registry.
+  metrics.queries_total->Increment();
+  if (!status.ok()) metrics.query_errors_total->Increment();
+  metrics.query_latency_us->Observe(latency_us);
+  metrics.rows_returned_total->Increment(result.rows.size());
+  const ExecStats& stats = ctx.stats();
+  metrics.rows_scanned_total->Increment(stats.rows_scanned);
+  metrics.rows_joined_total->Increment(stats.rows_joined);
+  metrics.vertexes_expanded_total->Increment(stats.vertexes_expanded);
+  metrics.edges_examined_total->Increment(stats.edges_examined);
+  metrics.paths_emitted_total->Increment(stats.paths_emitted);
+  metrics.paths_pruned_total->Increment(stats.paths_pruned);
+  metrics.peak_query_bytes->SetMax(static_cast<int64_t>(ctx.peak_bytes()));
+
+  last_stats_ = stats;
   last_peak_bytes_ = ctx.peak_bytes();
+
+  // Queries over SYS.* inspect the previous profile; don't clobber it.
+  if (!ReadsSystemTables(stmt)) {
+    QueryProfile profile;
+    profile.sql = current_sql_;
+    profile.latency_us = latency_us;
+    profile.peak_bytes = ctx.peak_bytes();
+    profile.stats = stats;
+    CollectOperatorRows(planned.root.get(), 0, &profile.operators);
+    if (slow_log_armed &&
+        latency_us >=
+            static_cast<uint64_t>(options_.slow_query_threshold_us)) {
+      metrics.slow_queries_total->Increment();
+      EmitSlowQueryTrace(profile);
+    }
+    last_profile_ = std::move(profile);
+  }
+
   GRF_RETURN_IF_ERROR(status);
   return result;
+}
+
+StatusOr<ResultSet> Database::ExecuteExplain(const ExplainStmt& stmt) {
+  Planner planner(&catalog_, options_);
+  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(*stmt.select));
+  if (!stmt.analyze) {
+    return PlanTextToResult(planned.root->ToString(0));
+  }
+  GRF_ASSIGN_OR_RETURN(ResultSet executed,
+                       RunPlan(planned, *stmt.select, /*force_timing=*/true));
+  std::string text = planned.root->ToAnalyzedString(0, 0);
+  text += StrFormat("Execution: rows=%zu latency_ms=%.3f peak_bytes=%zu\n",
+                    executed.rows.size(),
+                    static_cast<double>(last_profile_.latency_us) / 1e3,
+                    last_peak_bytes_);
+  return PlanTextToResult(text);
+}
+
+void Database::EmitSlowQueryTrace(const QueryProfile& profile) const {
+  std::string line = StrFormat(
+      "{\"event\":\"slow_query\",\"sql\":\"%s\",\"latency_us\":%llu,"
+      "\"threshold_us\":%lld,\"peak_bytes\":%zu,\"rows_scanned\":%llu,"
+      "\"rows_joined\":%llu,\"vertexes_expanded\":%llu,"
+      "\"edges_examined\":%llu,\"paths_emitted\":%llu,\"operators\":[",
+      JsonEscape(profile.sql).c_str(),
+      static_cast<unsigned long long>(profile.latency_us),
+      static_cast<long long>(options_.slow_query_threshold_us),
+      profile.peak_bytes,
+      static_cast<unsigned long long>(profile.stats.rows_scanned),
+      static_cast<unsigned long long>(profile.stats.rows_joined),
+      static_cast<unsigned long long>(profile.stats.vertexes_expanded),
+      static_cast<unsigned long long>(profile.stats.edges_examined),
+      static_cast<unsigned long long>(profile.stats.paths_emitted));
+  for (size_t i = 0; i < profile.operators.size(); ++i) {
+    const QueryProfile::OperatorRow& op = profile.operators[i];
+    if (i > 0) line += ",";
+    line += StrFormat(
+        "{\"depth\":%d,\"op\":\"%s\",\"actual_rows\":%llu,"
+        "\"next_calls\":%llu,\"time_ms\":%.3f}",
+        op.depth, JsonEscape(op.name).c_str(),
+        static_cast<unsigned long long>(op.actual_rows),
+        static_cast<unsigned long long>(op.next_calls), op.time_ms);
+  }
+  line += "]}\n";
+  if (options_.slow_query_log_path.empty()) {
+    std::fputs(line.c_str(), stderr);
+    return;
+  }
+  std::FILE* f = std::fopen(options_.slow_query_log_path.c_str(), "a");
+  if (f == nullptr) {
+    GRF_LOG(kWarn, "cannot open slow-query log '%s'; trace dropped",
+            options_.slow_query_log_path.c_str());
+    return;
+  }
+  std::fputs(line.c_str(), f);
+  std::fclose(f);
+}
+
+// --- SYS.* virtual tables -----------------------------------------------------------
+
+void Database::RegisterSystemTables() {
+  // SYS.METRICS: one row per exported sample of the global registry.
+  {
+    Schema schema;
+    schema.AddColumn(Column("NAME", ValueType::kVarchar));
+    schema.AddColumn(Column("KIND", ValueType::kVarchar));
+    schema.AddColumn(Column("VALUE", ValueType::kDouble));
+    catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
+        "SYS.METRICS", std::move(schema),
+        []() -> StatusOr<std::vector<std::vector<Value>>> {
+          std::vector<std::vector<Value>> rows;
+          for (const MetricsRegistry::Sample& s :
+               MetricsRegistry::Global().Samples()) {
+            rows.push_back({Value::Varchar(s.name), Value::Varchar(s.kind),
+                            Value::Double(s.value)});
+          }
+          return rows;
+        }));
+  }
+  // SYS.LAST_QUERY: per-operator breakdown of the most recent SELECT.
+  {
+    Schema schema;
+    schema.AddColumn(Column("SQL", ValueType::kVarchar));
+    schema.AddColumn(Column("LATENCY_US", ValueType::kBigInt));
+    schema.AddColumn(Column("DEPTH", ValueType::kBigInt));
+    schema.AddColumn(Column("OPERATOR", ValueType::kVarchar));
+    schema.AddColumn(Column("ACTUAL_ROWS", ValueType::kBigInt));
+    schema.AddColumn(Column("NEXT_CALLS", ValueType::kBigInt));
+    schema.AddColumn(Column("TIME_MS", ValueType::kDouble));
+    catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
+        "SYS.LAST_QUERY", std::move(schema),
+        [this]() -> StatusOr<std::vector<std::vector<Value>>> {
+          std::vector<std::vector<Value>> rows;
+          const QueryProfile& p = last_profile_;
+          for (const QueryProfile::OperatorRow& op : p.operators) {
+            rows.push_back({Value::Varchar(p.sql),
+                            Value::BigInt(static_cast<int64_t>(p.latency_us)),
+                            Value::BigInt(op.depth),
+                            Value::Varchar(op.name),
+                            Value::BigInt(static_cast<int64_t>(op.actual_rows)),
+                            Value::BigInt(static_cast<int64_t>(op.next_calls)),
+                            Value::Double(op.time_ms)});
+          }
+          return rows;
+        }));
+  }
+  // SYS.TABLES: every named object the planner can scan.
+  {
+    Schema schema;
+    schema.AddColumn(Column("NAME", ValueType::kVarchar));
+    schema.AddColumn(Column("KIND", ValueType::kVarchar));
+    schema.AddColumn(Column("ROWS", ValueType::kBigInt));
+    catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
+        "SYS.TABLES", std::move(schema),
+        [this]() -> StatusOr<std::vector<std::vector<Value>>> {
+          std::vector<std::vector<Value>> rows;
+          for (const std::string& name : catalog_.TableNames()) {
+            const Table* table = catalog_.FindTable(name);
+            rows.push_back({Value::Varchar(name), Value::Varchar("table"),
+                            Value::BigInt(static_cast<int64_t>(
+                                table == nullptr ? 0 : table->NumRows()))});
+          }
+          for (const std::string& name : catalog_.VirtualTableNames()) {
+            rows.push_back({Value::Varchar(name), Value::Varchar("virtual"),
+                            Value::Null()});
+          }
+          return rows;
+        }));
+  }
+  // SYS.GRAPH_VIEWS: live topology sizes per graph view (paper §3).
+  {
+    Schema schema;
+    schema.AddColumn(Column("NAME", ValueType::kVarchar));
+    schema.AddColumn(Column("DIRECTED", ValueType::kBoolean));
+    schema.AddColumn(Column("VERTEXES", ValueType::kBigInt));
+    schema.AddColumn(Column("EDGES", ValueType::kBigInt));
+    catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
+        "SYS.GRAPH_VIEWS", std::move(schema),
+        [this]() -> StatusOr<std::vector<std::vector<Value>>> {
+          std::vector<std::vector<Value>> rows;
+          for (const std::string& name : catalog_.GraphViewNames()) {
+            const GraphView* gv = catalog_.FindGraphView(name);
+            if (gv == nullptr) continue;
+            rows.push_back(
+                {Value::Varchar(name), Value::Boolean(gv->directed()),
+                 Value::BigInt(static_cast<int64_t>(gv->NumVertexes())),
+                 Value::BigInt(static_cast<int64_t>(gv->NumEdges()))});
+          }
+          return rows;
+        }));
+  }
 }
 
 }  // namespace grfusion

@@ -1,6 +1,7 @@
 #ifndef GRFUSION_ENGINE_DATABASE_H_
 #define GRFUSION_ENGINE_DATABASE_H_
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -15,6 +16,27 @@
 
 namespace grfusion {
 
+/// Post-mortem record of the most recent (non-introspection) SELECT: what
+/// ran, how long it took, and what each operator did. Backs the
+/// SYS.LAST_QUERY virtual table and the slow-query trace log.
+struct QueryProfile {
+  struct OperatorRow {
+    int depth = 0;
+    std::string name;
+    uint64_t actual_rows = 0;
+    uint64_t next_calls = 0;
+    double time_ms = 0.0;  ///< 0 unless per-operator timing was armed.
+  };
+
+  std::string sql;
+  uint64_t latency_us = 0;
+  size_t peak_bytes = 0;
+  ExecStats stats;
+  std::vector<OperatorRow> operators;
+
+  bool valid() const { return !operators.empty(); }
+};
+
 /// The GRFusion database facade: one in-memory database with a SQL entry
 /// point covering both the relational dialect and the graph extensions
 /// (CREATE GRAPH VIEW, GV.PATHS/.VERTEXES/.EDGES, traversal hints).
@@ -25,16 +47,23 @@ namespace grfusion {
 /// protocol). Entry points are guarded by a statement mutex, so a Database
 /// may be shared between threads; statements from different threads
 /// interleave at statement granularity, never inside one.
+///
+/// Observability: every SELECT feeds the global MetricsRegistry
+/// (queries_total, query_latency_us, rows_scanned_total, ...), the
+/// per-database QueryProfile, and — when `options().slow_query_threshold_us`
+/// is armed — a structured slow-query trace log. The SYS.METRICS,
+/// SYS.LAST_QUERY, SYS.TABLES, and SYS.GRAPH_VIEWS virtual tables expose the
+/// same data through SQL.
 class Database {
  public:
-  explicit Database(PlannerOptions options = PlannerOptions())
-      : options_(options) {}
+  explicit Database(PlannerOptions options = PlannerOptions());
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Parses and executes exactly one statement. A leading EXPLAIN renders
-  /// the physical plan of the SELECT that follows it instead of running it.
+  /// Parses and executes exactly one statement. EXPLAIN <select> renders the
+  /// physical plan; EXPLAIN ANALYZE <select> executes it and annotates every
+  /// operator with observed rows and timings.
   StatusOr<ResultSet> Execute(std::string_view sql);
 
   /// Executes a ';'-separated script, discarding SELECT results.
@@ -59,6 +88,9 @@ class Database {
   const ExecStats& last_stats() const { return last_stats_; }
   /// Peak intermediate-result memory of the most recent SELECT.
   size_t last_peak_bytes() const { return last_peak_bytes_; }
+  /// Full profile of the most recent SELECT that did not itself read a
+  /// SYS.* table (so introspection queries don't overwrite what they show).
+  const QueryProfile& last_profile() const { return last_profile_; }
 
  private:
   StatusOr<ResultSet> ExecuteStatement(const Statement& stmt);
@@ -72,6 +104,16 @@ class Database {
   StatusOr<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
   StatusOr<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
   StatusOr<ResultSet> ExecuteSelect(const SelectStmt& stmt);
+  StatusOr<ResultSet> ExecuteExplain(const ExplainStmt& stmt);
+
+  /// Executes a planned SELECT: Volcano loop, engine-metrics fold, profile
+  /// capture, slow-query tracing. `force_timing` arms per-operator clocks
+  /// regardless of the slow-query threshold (EXPLAIN ANALYZE).
+  StatusOr<ResultSet> RunPlan(const PlannedQuery& planned,
+                              const SelectStmt& stmt, bool force_timing);
+
+  void RegisterSystemTables();
+  void EmitSlowQueryTrace(const QueryProfile& profile) const;
 
   /// Serializes statement execution (the single-partition VoltDB model).
   std::mutex statement_mutex_;
@@ -80,6 +122,8 @@ class Database {
   PlannerOptions options_;
   ExecStats last_stats_;
   size_t last_peak_bytes_ = 0;
+  QueryProfile last_profile_;
+  std::string current_sql_;  ///< Statement text being executed (for traces).
 };
 
 }  // namespace grfusion

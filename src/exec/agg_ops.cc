@@ -89,7 +89,7 @@ StatusOr<Value> AggregateOp::Finalize(const AggregateSpec& spec,
   return Status::Internal("bad aggregate function");
 }
 
-Status AggregateOp::Open(QueryContext* ctx) {
+Status AggregateOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   groups_.clear();
   group_index_.clear();
@@ -147,7 +147,7 @@ Status AggregateOp::Open(QueryContext* ctx) {
   return Status::OK();
 }
 
-StatusOr<bool> AggregateOp::Next(ExecRow* out) {
+StatusOr<bool> AggregateOp::NextImpl(ExecRow* out) {
   if (!materialized_ || cursor_ >= groups_.size()) return false;
   const Group& group = groups_[cursor_++];
   ExecRow row;
@@ -160,7 +160,7 @@ StatusOr<bool> AggregateOp::Next(ExecRow* out) {
   return true;
 }
 
-void AggregateOp::Close() {
+void AggregateOp::CloseImpl() {
   groups_.clear();
   group_index_.clear();
   if (ctx_ != nullptr) ctx_->ReleaseBytes(charged_);
@@ -187,13 +187,9 @@ std::string AggregateOp::name() const {
   return out + ")";
 }
 
-std::string AggregateOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
-}
-
 // --- SortOp -----------------------------------------------------------------------
 
-Status SortOp::Open(QueryContext* ctx) {
+Status SortOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   rows_.clear();
   charged_ = 0;
@@ -238,13 +234,13 @@ Status SortOp::Open(QueryContext* ctx) {
   return Status::OK();
 }
 
-StatusOr<bool> SortOp::Next(ExecRow* out) {
+StatusOr<bool> SortOp::NextImpl(ExecRow* out) {
   if (cursor_ >= rows_.size()) return false;
   *out = std::move(rows_[cursor_++]);
   return true;
 }
 
-void SortOp::Close() {
+void SortOp::CloseImpl() {
   rows_.clear();
   if (ctx_ != nullptr) ctx_->ReleaseBytes(charged_);
   charged_ = 0;
@@ -258,10 +254,6 @@ std::string SortOp::name() const {
     if (keys_[i].descending) out += " DESC";
   }
   return out + ")";
-}
-
-std::string SortOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
 }
 
 }  // namespace grfusion

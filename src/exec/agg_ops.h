@@ -29,11 +29,15 @@ class AggregateOp : public PhysicalOperator {
               std::vector<std::string> group_names,
               std::vector<AggregateSpec> aggs);
   const Schema& schema() const override { return schema_; }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override;
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   struct AggState {
@@ -78,11 +82,15 @@ class SortOp : public PhysicalOperator {
   SortOp(OperatorPtr child, std::vector<SortKey> keys)
       : child_(std::move(child)), keys_(std::move(keys)) {}
   const Schema& schema() const override { return child_->schema(); }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override;
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

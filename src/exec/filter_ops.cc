@@ -16,7 +16,7 @@ std::string RowKey(const std::vector<Value>& values) {
 
 // --- FilterOp ------------------------------------------------------------------
 
-StatusOr<bool> FilterOp::Next(ExecRow* out) {
+StatusOr<bool> FilterOp::NextImpl(ExecRow* out) {
   while (true) {
     GRF_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
@@ -25,13 +25,9 @@ StatusOr<bool> FilterOp::Next(ExecRow* out) {
   }
 }
 
-std::string FilterOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
-}
-
 // --- ProjectOp -----------------------------------------------------------------
 
-StatusOr<bool> ProjectOp::Next(ExecRow* out) {
+StatusOr<bool> ProjectOp::NextImpl(ExecRow* out) {
   ExecRow input;
   GRF_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
   if (!has) return false;
@@ -55,10 +51,6 @@ std::string ProjectOp::name() const {
   return out + ")";
 }
 
-std::string ProjectOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
-}
-
 // --- StripColumnsOp --------------------------------------------------------------
 
 StripColumnsOp::StripColumnsOp(OperatorPtr child, size_t keep)
@@ -68,20 +60,16 @@ StripColumnsOp::StripColumnsOp(OperatorPtr child, size_t keep)
   }
 }
 
-StatusOr<bool> StripColumnsOp::Next(ExecRow* out) {
+StatusOr<bool> StripColumnsOp::NextImpl(ExecRow* out) {
   GRF_ASSIGN_OR_RETURN(bool has, child_->Next(out));
   if (!has) return false;
   if (out->columns.size() > keep_) out->columns.resize(keep_);
   return true;
 }
 
-std::string StripColumnsOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
-}
-
 // --- LimitOp -------------------------------------------------------------------
 
-StatusOr<bool> LimitOp::Next(ExecRow* out) {
+StatusOr<bool> LimitOp::NextImpl(ExecRow* out) {
   if (produced_ >= limit_) return false;
   GRF_ASSIGN_OR_RETURN(bool has, child_->Next(out));
   if (!has) return false;
@@ -89,20 +77,16 @@ StatusOr<bool> LimitOp::Next(ExecRow* out) {
   return true;
 }
 
-std::string LimitOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
-}
-
 // --- DistinctOp -----------------------------------------------------------------
 
-Status DistinctOp::Open(QueryContext* ctx) {
+Status DistinctOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   seen_.clear();
   charged_ = 0;
   return child_->Open(ctx);
 }
 
-StatusOr<bool> DistinctOp::Next(ExecRow* out) {
+StatusOr<bool> DistinctOp::NextImpl(ExecRow* out) {
   while (true) {
     GRF_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
@@ -116,15 +100,11 @@ StatusOr<bool> DistinctOp::Next(ExecRow* out) {
   }
 }
 
-void DistinctOp::Close() {
+void DistinctOp::CloseImpl() {
   child_->Close();
   seen_.clear();
   if (ctx_ != nullptr) ctx_->ReleaseBytes(charged_);
   charged_ = 0;
-}
-
-std::string DistinctOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + child_->ToString(indent + 1);
 }
 
 }  // namespace grfusion

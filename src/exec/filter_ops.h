@@ -17,13 +17,17 @@ class FilterOp : public PhysicalOperator {
   FilterOp(OperatorPtr child, ExprPtr predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
   const Schema& schema() const override { return child_->schema(); }
-  Status Open(QueryContext* ctx) override { return child_->Open(ctx); }
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override { child_->Close(); }
   std::string name() const override {
     return "Filter(" + predicate_->ToString() + ")";
   }
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override { return child_->Open(ctx); }
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
@@ -37,11 +41,15 @@ class ProjectOp : public PhysicalOperator {
       : child_(std::move(child)), exprs_(std::move(exprs)),
         schema_(std::move(schema)) {}
   const Schema& schema() const override { return schema_; }
-  Status Open(QueryContext* ctx) override { return child_->Open(ctx); }
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override { child_->Close(); }
   std::string name() const override;
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override { return child_->Open(ctx); }
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
@@ -55,11 +63,15 @@ class StripColumnsOp : public PhysicalOperator {
  public:
   StripColumnsOp(OperatorPtr child, size_t keep);
   const Schema& schema() const override { return schema_; }
-  Status Open(QueryContext* ctx) override { return child_->Open(ctx); }
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override { child_->Close(); }
   std::string name() const override { return "StripColumns"; }
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override { return child_->Open(ctx); }
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
@@ -73,16 +85,20 @@ class LimitOp : public PhysicalOperator {
   LimitOp(OperatorPtr child, int64_t limit)
       : child_(std::move(child)), limit_(limit) {}
   const Schema& schema() const override { return child_->schema(); }
-  Status Open(QueryContext* ctx) override {
-    produced_ = 0;
-    return child_->Open(ctx);
-  }
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override { child_->Close(); }
   std::string name() const override {
     return "Limit(" + std::to_string(limit_) + ")";
   }
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override {
+    produced_ = 0;
+    return child_->Open(ctx);
+  }
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
@@ -95,11 +111,15 @@ class DistinctOp : public PhysicalOperator {
  public:
   explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
   const Schema& schema() const override { return child_->schema(); }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override { return "Distinct"; }
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

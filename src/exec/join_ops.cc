@@ -45,7 +45,7 @@ StatusOr<std::string> HashJoinOp::KeyFor(const std::vector<ExprPtr>& exprs,
   return RowKey(keys);
 }
 
-Status HashJoinOp::Open(QueryContext* ctx) {
+Status HashJoinOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   build_.clear();
   charged_ = 0;
@@ -80,7 +80,7 @@ Status HashJoinOp::Open(QueryContext* ctx) {
   return right_->Open(ctx);
 }
 
-StatusOr<bool> HashJoinOp::Next(ExecRow* out) {
+StatusOr<bool> HashJoinOp::NextImpl(ExecRow* out) {
   while (true) {
     if (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
       ExecRow merged = MergeRows((*bucket_)[bucket_pos_++], probe_row_,
@@ -105,7 +105,7 @@ StatusOr<bool> HashJoinOp::Next(ExecRow* out) {
   }
 }
 
-void HashJoinOp::Close() {
+void HashJoinOp::CloseImpl() {
   right_->Close();
   build_.clear();
   if (ctx_ != nullptr) ctx_->ReleaseBytes(charged_);
@@ -122,11 +122,6 @@ std::string HashJoinOp::name() const {
   return out + ")";
 }
 
-std::string HashJoinOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + left_->ToString(indent + 1) +
-         right_->ToString(indent + 1);
-}
-
 // --- NestedLoopJoinOp ---------------------------------------------------------------
 
 NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
@@ -136,7 +131,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
       predicate_(std::move(predicate)), right_offset_(right_offset),
       right_width_(right_width) {}
 
-Status NestedLoopJoinOp::Open(QueryContext* ctx) {
+Status NestedLoopJoinOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   right_rows_.clear();
   charged_ = 0;
@@ -165,7 +160,7 @@ Status NestedLoopJoinOp::Open(QueryContext* ctx) {
   return left_->Open(ctx);
 }
 
-StatusOr<bool> NestedLoopJoinOp::Next(ExecRow* out) {
+StatusOr<bool> NestedLoopJoinOp::NextImpl(ExecRow* out) {
   while (true) {
     if (!left_valid_) {
       GRF_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
@@ -188,7 +183,7 @@ StatusOr<bool> NestedLoopJoinOp::Next(ExecRow* out) {
   }
 }
 
-void NestedLoopJoinOp::Close() {
+void NestedLoopJoinOp::CloseImpl() {
   left_->Close();
   right_rows_.clear();
   if (ctx_ != nullptr) ctx_->ReleaseBytes(charged_);
@@ -199,11 +194,6 @@ std::string NestedLoopJoinOp::name() const {
   return predicate_ == nullptr
              ? "NestedLoopJoin(cross)"
              : "NestedLoopJoin(" + predicate_->ToString() + ")";
-}
-
-std::string NestedLoopJoinOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + left_->ToString(indent + 1) +
-         right_->ToString(indent + 1);
 }
 
 }  // namespace grfusion

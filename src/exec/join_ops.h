@@ -27,11 +27,15 @@ class HashJoinOp : public PhysicalOperator {
              std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
              ExprPtr residual, size_t right_offset, size_t right_width);
   const Schema& schema() const override { return left_->schema(); }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override;
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   StatusOr<std::string> KeyFor(const std::vector<ExprPtr>& exprs,
@@ -61,11 +65,15 @@ class NestedLoopJoinOp : public PhysicalOperator {
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate,
                    size_t right_offset, size_t right_width);
   const Schema& schema() const override { return left_->schema(); }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override;
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr left_;

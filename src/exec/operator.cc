@@ -1,9 +1,87 @@
 #include "exec/operator.h"
 
+#include <chrono>
+
+#include "common/string_util.h"
+
 namespace grfusion {
 
+namespace {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Status PhysicalOperator::Open(QueryContext* ctx) {
+  // A re-open starts a fresh execution; drop the previous run's counters.
+  profile_ = OperatorProfile{};
+  profile_.open_calls = 1;
+  timed_ = ctx->profile_timing();
+  if (!timed_) return OpenImpl(ctx);
+  uint64_t t0 = NowNs();
+  Status status = OpenImpl(ctx);
+  profile_.open_ns += NowNs() - t0;
+  return status;
+}
+
+StatusOr<bool> PhysicalOperator::Next(ExecRow* out) {
+  ++profile_.next_calls;
+  if (!timed_) {
+    StatusOr<bool> has = NextImpl(out);
+    if (has.ok() && *has) ++profile_.rows_emitted;
+    return has;
+  }
+  uint64_t t0 = NowNs();
+  StatusOr<bool> has = NextImpl(out);
+  profile_.next_ns += NowNs() - t0;
+  if (has.ok() && *has) ++profile_.rows_emitted;
+  return has;
+}
+
+void PhysicalOperator::Close() {
+  if (!timed_) {
+    CloseImpl();
+    return;
+  }
+  uint64_t t0 = NowNs();
+  CloseImpl();
+  profile_.close_ns += NowNs() - t0;
+}
+
 std::string PhysicalOperator::ToString(int indent) const {
-  return std::string(static_cast<size_t>(indent) * 2, ' ') + name() + "\n";
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += name();
+  out += "\n";
+  for (const PhysicalOperator* child : children()) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+std::string PhysicalOperator::ToAnalyzedString(int indent,
+                                               uint64_t total_ns) const {
+  if (total_ns == 0) total_ns = profile_.total_ns();
+  double time_ms = static_cast<double>(profile_.total_ns()) / 1e6;
+  double pct = total_ns == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(profile_.total_ns()) /
+                         static_cast<double>(total_ns);
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += name();
+  out += StrFormat(
+      " (actual_rows=%llu next_calls=%llu time_ms=%.3f pct=%.1f)",
+      static_cast<unsigned long long>(profile_.rows_emitted),
+      static_cast<unsigned long long>(profile_.next_calls), time_ms, pct);
+  out += "\n";
+  for (const PhysicalOperator* child : children()) {
+    out += child->ToAnalyzedString(indent + 1, total_ns);
+  }
+  return out;
 }
 
 }  // namespace grfusion

@@ -1,8 +1,10 @@
 #ifndef GRFUSION_EXEC_OPERATOR_H_
 #define GRFUSION_EXEC_OPERATOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "exec/query_context.h"
@@ -11,13 +13,34 @@
 
 namespace grfusion {
 
+/// Per-operator execution counters, maintained by the PhysicalOperator
+/// wrappers around OpenImpl/NextImpl/CloseImpl. Call counters and row counts
+/// are always on (one increment per call); wall-time is collected only when
+/// the QueryContext asks for profiling (EXPLAIN ANALYZE, or a configured
+/// slow-query threshold), so the normal hot path never touches the clock.
+struct OperatorProfile {
+  uint64_t open_calls = 0;
+  uint64_t next_calls = 0;
+  uint64_t rows_emitted = 0;  ///< Next() calls that produced a row.
+  uint64_t open_ns = 0;
+  uint64_t next_ns = 0;  ///< Inclusive of time spent in child operators.
+  uint64_t close_ns = 0;
+
+  uint64_t total_ns() const { return open_ns + next_ns + close_ns; }
+};
+
 /// Volcano-model physical operator (paper §5: "the PathScan operator is a
 /// lazy operator following the iterator model"). Both relational and graph
 /// operators implement this interface, which is what lets them co-exist in
 /// one cross-data-model QEP.
 ///
 /// Protocol: Open() once, Next() until it returns false, Close() once.
-/// Operators may be re-opened after Close().
+/// Operators may be re-opened after Close(); re-opening restarts the
+/// per-execution profile.
+///
+/// Subclasses implement OpenImpl/NextImpl/CloseImpl; the public non-virtual
+/// Open/Next/Close wrappers instrument every call, which is what feeds
+/// EXPLAIN ANALYZE, SYS.LAST_QUERY, and the slow-query trace log.
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
@@ -26,18 +49,38 @@ class PhysicalOperator {
   /// payload rides in ExecRow::paths).
   virtual const Schema& schema() const = 0;
 
-  virtual Status Open(QueryContext* ctx) = 0;
-
-  /// Produces the next row into `*out`. Returns false at end of stream.
-  virtual StatusOr<bool> Next(ExecRow* out) = 0;
-
-  virtual void Close() = 0;
-
   /// One-line description for EXPLAIN trees.
   virtual std::string name() const = 0;
 
+  /// Input operators, in display order. Leaves return {}.
+  virtual std::vector<const PhysicalOperator*> children() const { return {}; }
+
+  Status Open(QueryContext* ctx);
+
+  /// Produces the next row into `*out`. Returns false at end of stream.
+  StatusOr<bool> Next(ExecRow* out);
+
+  void Close();
+
+  /// Counters of the current (or most recent) execution.
+  const OperatorProfile& profile() const { return profile_; }
+
   /// Renders this operator and its inputs as an indented EXPLAIN tree.
-  virtual std::string ToString(int indent = 0) const;
+  std::string ToString(int indent = 0) const;
+
+  /// EXPLAIN ANALYZE rendering: the plan tree annotated with actual_rows,
+  /// next_calls, time_ms, and each operator's share of `total_ns` (pass 0 at
+  /// the root to use the root's own total).
+  std::string ToAnalyzedString(int indent = 0, uint64_t total_ns = 0) const;
+
+ protected:
+  virtual Status OpenImpl(QueryContext* ctx) = 0;
+  virtual StatusOr<bool> NextImpl(ExecRow* out) = 0;
+  virtual void CloseImpl() = 0;
+
+ private:
+  OperatorProfile profile_;
+  bool timed_ = false;
 };
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;

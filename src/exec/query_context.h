@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace grfusion {
@@ -55,6 +56,9 @@ class QueryContext {
   }
 
   void ReleaseBytes(size_t bytes) {
+    // Releasing more than was charged means an operator double-released or
+    // under-charged; the release-build clamp hides the bug, so trap it here.
+    GRF_DCHECK(bytes <= current_bytes_);
     current_bytes_ = bytes > current_bytes_ ? 0 : current_bytes_ - bytes;
   }
 
@@ -65,10 +69,17 @@ class QueryContext {
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
 
+  /// When set, PhysicalOperator wrappers collect wall-clock time per
+  /// Open/Next/Close in addition to the always-on call/row counters.
+  /// Enabled for EXPLAIN ANALYZE and when a slow-query threshold is armed.
+  void set_profile_timing(bool enabled) { profile_timing_ = enabled; }
+  bool profile_timing() const { return profile_timing_; }
+
  private:
   size_t memory_cap_;
   size_t current_bytes_ = 0;
   size_t peak_bytes_ = 0;
+  bool profile_timing_ = false;
   ExecStats stats_;
 };
 

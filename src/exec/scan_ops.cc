@@ -9,13 +9,13 @@ SeqScanOp::SeqScanOp(const Table* table, ExprPtr qualifier, RowLayout layout,
     : table_(table), qualifier_(std::move(qualifier)),
       layout_(std::move(layout)), offset_(offset) {}
 
-Status SeqScanOp::Open(QueryContext* ctx) {
+Status SeqScanOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   cursor_ = 0;
   return Status::OK();
 }
 
-StatusOr<bool> SeqScanOp::Next(ExecRow* out) {
+StatusOr<bool> SeqScanOp::NextImpl(ExecRow* out) {
   const size_t bound = table_->SlotUpperBound();
   while (cursor_ < bound) {
     const Tuple* tuple = table_->Get(cursor_++);
@@ -35,7 +35,7 @@ StatusOr<bool> SeqScanOp::Next(ExecRow* out) {
   return false;
 }
 
-void SeqScanOp::Close() {}
+void SeqScanOp::CloseImpl() {}
 
 std::string SeqScanOp::name() const {
   std::string out = "SeqScan(" + table_->name();
@@ -52,7 +52,7 @@ IndexScanOp::IndexScanOp(const Table* table, const HashIndex* index,
       qualifier_(std::move(qualifier)), layout_(std::move(layout)),
       offset_(offset) {}
 
-Status IndexScanOp::Open(QueryContext* ctx) {
+Status IndexScanOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   cursor_ = 0;
   ExecRow empty;
@@ -67,7 +67,7 @@ Status IndexScanOp::Open(QueryContext* ctx) {
   return Status::OK();
 }
 
-StatusOr<bool> IndexScanOp::Next(ExecRow* out) {
+StatusOr<bool> IndexScanOp::NextImpl(ExecRow* out) {
   if (matches_ == nullptr) return false;
   while (cursor_ < matches_->size()) {
     const Tuple* tuple = table_->Get((*matches_)[cursor_++]);
@@ -87,11 +87,52 @@ StatusOr<bool> IndexScanOp::Next(ExecRow* out) {
   return false;
 }
 
-void IndexScanOp::Close() { matches_ = nullptr; }
+void IndexScanOp::CloseImpl() { matches_ = nullptr; }
 
 std::string IndexScanOp::name() const {
   std::string out = "IndexScan(" + table_->name() + "." + index_->name() +
                     " = " + key_->ToString();
+  if (qualifier_ != nullptr) out += ", filter: " + qualifier_->ToString();
+  return out + ")";
+}
+
+// --- VirtualScanOp ---------------------------------------------------------------
+
+VirtualScanOp::VirtualScanOp(const VirtualTable* vtable, ExprPtr qualifier,
+                             RowLayout layout, size_t offset)
+    : vtable_(vtable), qualifier_(std::move(qualifier)),
+      layout_(std::move(layout)), offset_(offset) {}
+
+Status VirtualScanOp::OpenImpl(QueryContext* ctx) {
+  ctx_ = ctx;
+  cursor_ = 0;
+  GRF_ASSIGN_OR_RETURN(rows_, vtable_->Rows());
+  return Status::OK();
+}
+
+StatusOr<bool> VirtualScanOp::NextImpl(ExecRow* out) {
+  const size_t width = vtable_->schema().NumColumns();
+  while (cursor_ < rows_.size()) {
+    const std::vector<Value>& src = rows_[cursor_++];
+    ++ctx_->stats().rows_scanned;
+    ExecRow row = layout_.MakeRow();
+    for (size_t i = 0; i < width && i < src.size(); ++i) {
+      row.columns[offset_ + i] = src[i];
+    }
+    if (qualifier_ != nullptr) {
+      GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qualifier_, row));
+      if (!pass) continue;
+    }
+    *out = std::move(row);
+    return true;
+  }
+  return false;
+}
+
+void VirtualScanOp::CloseImpl() { rows_.clear(); }
+
+std::string VirtualScanOp::name() const {
+  std::string out = "VirtualScan(" + vtable_->name();
   if (qualifier_ != nullptr) out += ", filter: " + qualifier_->ToString();
   return out + ")";
 }

@@ -9,6 +9,7 @@
 #include "exec/row_layout.h"
 #include "expr/expression.h"
 #include "storage/table.h"
+#include "storage/virtual_table.h"
 
 namespace grfusion {
 
@@ -18,18 +19,20 @@ class SingleRowOp : public PhysicalOperator {
  public:
   explicit SingleRowOp(RowLayout layout) : layout_(std::move(layout)) {}
   const Schema& schema() const override { return *layout_.schema; }
-  Status Open(QueryContext*) override {
+  std::string name() const override { return "SingleRow"; }
+
+ protected:
+  Status OpenImpl(QueryContext*) override {
     emitted_ = false;
     return Status::OK();
   }
-  StatusOr<bool> Next(ExecRow* out) override {
+  StatusOr<bool> NextImpl(ExecRow* out) override {
     if (emitted_) return false;
     emitted_ = true;
     *out = layout_.MakeRow();
     return true;
   }
-  void Close() override {}
-  std::string name() const override { return "SingleRow"; }
+  void CloseImpl() override {}
 
  private:
   RowLayout layout_;
@@ -44,10 +47,12 @@ class SeqScanOp : public PhysicalOperator {
   SeqScanOp(const Table* table, ExprPtr qualifier, RowLayout layout,
             size_t offset);
   const Schema& schema() const override { return *layout_.schema; }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override;
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   const Table* table_;
@@ -66,10 +71,12 @@ class IndexScanOp : public PhysicalOperator {
   IndexScanOp(const Table* table, const HashIndex* index, ExprPtr key,
               ExprPtr qualifier, RowLayout layout, size_t offset);
   const Schema& schema() const override { return *layout_.schema; }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override;
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   const Table* table_;
@@ -80,6 +87,31 @@ class IndexScanOp : public PhysicalOperator {
   size_t offset_;
   QueryContext* ctx_ = nullptr;
   const std::vector<TupleSlot>* matches_ = nullptr;
+  size_t cursor_ = 0;
+};
+
+/// Scan over a VirtualTable (SYS.* introspection). Snapshots Rows() at Open
+/// so the query sees consistent contents even while it mutates the metrics
+/// it is reading.
+class VirtualScanOp : public PhysicalOperator {
+ public:
+  VirtualScanOp(const VirtualTable* vtable, ExprPtr qualifier,
+                RowLayout layout, size_t offset);
+  const Schema& schema() const override { return *layout_.schema; }
+  std::string name() const override;
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
+
+ private:
+  const VirtualTable* vtable_;
+  ExprPtr qualifier_;
+  RowLayout layout_;
+  size_t offset_;
+  QueryContext* ctx_ = nullptr;
+  std::vector<std::vector<Value>> rows_;
   size_t cursor_ = 0;
 };
 

@@ -3,28 +3,43 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace grfusion {
 
+namespace {
+
+/// Counts one online maintenance event; vetoed changes (a graph-side
+/// constraint rejected the relational mutation) count separately.
+Status NoteMaintenance(Status status) {
+  EngineMetrics::Get().graph_view_updates_total->Increment();
+  if (!status.ok()) EngineMetrics::Get().graph_view_vetoes_total->Increment();
+  return status;
+}
+
+}  // namespace
+
 // --- SourceListener -------------------------------------------------------
 
 Status GraphView::SourceListener::OnInsert(TupleSlot slot, const Tuple& tuple) {
-  return vertex_source_ ? owner_->OnVertexInsert(slot, tuple)
-                        : owner_->OnEdgeInsert(slot, tuple);
+  return NoteMaintenance(vertex_source_
+                             ? owner_->OnVertexInsert(slot, tuple)
+                             : owner_->OnEdgeInsert(slot, tuple));
 }
 
 Status GraphView::SourceListener::OnDelete(TupleSlot /*slot*/,
                                            const Tuple& tuple) {
-  return vertex_source_ ? owner_->OnVertexDelete(tuple)
-                        : owner_->OnEdgeDelete(tuple);
+  return NoteMaintenance(vertex_source_ ? owner_->OnVertexDelete(tuple)
+                                        : owner_->OnEdgeDelete(tuple));
 }
 
 Status GraphView::SourceListener::OnUpdate(TupleSlot slot,
                                            const Tuple& old_tuple,
                                            const Tuple& new_tuple) {
-  return vertex_source_ ? owner_->OnVertexUpdate(slot, old_tuple, new_tuple)
-                        : owner_->OnEdgeUpdate(slot, old_tuple, new_tuple);
+  return NoteMaintenance(
+      vertex_source_ ? owner_->OnVertexUpdate(slot, old_tuple, new_tuple)
+                     : owner_->OnEdgeUpdate(slot, old_tuple, new_tuple));
 }
 
 // --- Creation ---------------------------------------------------------------

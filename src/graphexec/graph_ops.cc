@@ -17,7 +17,7 @@ VertexScanOp::VertexScanOp(const GraphView* gv, ExprPtr qualifier,
   }
 }
 
-Status VertexScanOp::Open(QueryContext* ctx) {
+Status VertexScanOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   cursor_ = 0;
   ids_.clear();
@@ -43,7 +43,7 @@ Status VertexScanOp::Open(QueryContext* ctx) {
   return Status::OK();
 }
 
-StatusOr<bool> VertexScanOp::Next(ExecRow* out) {
+StatusOr<bool> VertexScanOp::NextImpl(ExecRow* out) {
   while (cursor_ < ids_.size()) {
     const VertexEntry* v = gv_->FindVertex(ids_[cursor_++]);
     if (v == nullptr) continue;
@@ -68,7 +68,7 @@ StatusOr<bool> VertexScanOp::Next(ExecRow* out) {
   return false;
 }
 
-void VertexScanOp::Close() { ids_.clear(); }
+void VertexScanOp::CloseImpl() { ids_.clear(); }
 
 std::string VertexScanOp::name() const {
   std::string out = "VertexScan(" + gv_->name();
@@ -89,7 +89,7 @@ EdgeScanOp::EdgeScanOp(const GraphView* gv, ExprPtr qualifier, RowLayout layout,
   }
 }
 
-Status EdgeScanOp::Open(QueryContext* ctx) {
+Status EdgeScanOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   cursor_ = 0;
   ids_.clear();
@@ -101,7 +101,7 @@ Status EdgeScanOp::Open(QueryContext* ctx) {
   return Status::OK();
 }
 
-StatusOr<bool> EdgeScanOp::Next(ExecRow* out) {
+StatusOr<bool> EdgeScanOp::NextImpl(ExecRow* out) {
   while (cursor_ < ids_.size()) {
     const EdgeEntry* e = gv_->FindEdge(ids_[cursor_++]);
     if (e == nullptr) continue;
@@ -126,7 +126,7 @@ StatusOr<bool> EdgeScanOp::Next(ExecRow* out) {
   return false;
 }
 
-void EdgeScanOp::Close() { ids_.clear(); }
+void EdgeScanOp::CloseImpl() { ids_.clear(); }
 
 std::string EdgeScanOp::name() const {
   std::string out = "EdgeScan(" + gv_->name();
@@ -140,7 +140,7 @@ PathProbeJoinOp::PathProbeJoinOp(OperatorPtr outer,
                                  std::shared_ptr<const TraversalSpec> spec)
     : outer_(std::move(outer)), spec_(std::move(spec)) {}
 
-Status PathProbeJoinOp::Open(QueryContext* ctx) {
+Status PathProbeJoinOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   scanner_ = std::make_unique<PathScanner>(spec_, ctx);
   outer_valid_ = false;
@@ -166,7 +166,7 @@ StatusOr<std::vector<VertexId>> PathProbeJoinOp::StartsFor(
   return starts;
 }
 
-StatusOr<bool> PathProbeJoinOp::Next(ExecRow* out) {
+StatusOr<bool> PathProbeJoinOp::NextImpl(ExecRow* out) {
   while (true) {
     if (outer_valid_) {
       PathPtr path;
@@ -200,7 +200,7 @@ StatusOr<bool> PathProbeJoinOp::Next(ExecRow* out) {
   }
 }
 
-void PathProbeJoinOp::Close() {
+void PathProbeJoinOp::CloseImpl() {
   outer_->Close();
   if (scanner_ != nullptr) scanner_->Release();
   outer_valid_ = false;
@@ -208,10 +208,6 @@ void PathProbeJoinOp::Close() {
 
 std::string PathProbeJoinOp::name() const {
   return "PathProbeJoin[" + spec_->DebugString() + "]";
-}
-
-std::string PathProbeJoinOp::ToString(int indent) const {
-  return PhysicalOperator::ToString(indent) + outer_->ToString(indent + 1);
 }
 
 }  // namespace grfusion

@@ -27,10 +27,12 @@ class VertexScanOp : public PhysicalOperator {
   VertexScanOp(const GraphView* gv, ExprPtr qualifier, RowLayout layout,
                size_t offset, ExprPtr id_probe = nullptr);
   const Schema& schema() const override { return *layout_.schema; }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override;
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   const GraphView* gv_;
@@ -53,10 +55,12 @@ class EdgeScanOp : public PhysicalOperator {
   EdgeScanOp(const GraphView* gv, ExprPtr qualifier, RowLayout layout,
              size_t offset);
   const Schema& schema() const override { return *layout_.schema; }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override;
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   const GraphView* gv_;
@@ -82,11 +86,15 @@ class PathProbeJoinOp : public PhysicalOperator {
  public:
   PathProbeJoinOp(OperatorPtr outer, std::shared_ptr<const TraversalSpec> spec);
   const Schema& schema() const override { return outer_->schema(); }
-  Status Open(QueryContext* ctx) override;
-  StatusOr<bool> Next(ExecRow* out) override;
-  void Close() override;
   std::string name() const override;
-  std::string ToString(int indent) const override;
+  std::vector<const PhysicalOperator*> children() const override {
+    return {outer_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override;
+  StatusOr<bool> NextImpl(ExecRow* out) override;
+  void CloseImpl() override;
 
  private:
   /// Computes the start set for one outer row: the bound start expression's

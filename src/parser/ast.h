@@ -159,10 +159,18 @@ struct CreateMaterializedViewStmt {
   std::unique_ptr<SelectStmt> select;
 };
 
+/// EXPLAIN [ANALYZE] <select>. Plain EXPLAIN renders the physical plan;
+/// ANALYZE also executes the query and annotates each operator with its
+/// observed row counts and timings.
+struct ExplainStmt {
+  bool analyze = false;
+  std::unique_ptr<SelectStmt> select;
+};
+
 using Statement =
     std::variant<CreateTableStmt, CreateIndexStmt, CreateGraphViewStmt,
                  CreateMaterializedViewStmt, DropStmt, InsertStmt, UpdateStmt,
-                 DeleteStmt, SelectStmt>;
+                 DeleteStmt, SelectStmt, ExplainStmt>;
 
 }  // namespace grfusion
 

@@ -123,6 +123,13 @@ StatusOr<Statement> Parser::ParseStatement() {
     GRF_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect());
     return Statement(std::move(stmt));
   }
+  if (MatchKeyword("EXPLAIN")) {
+    ExplainStmt stmt;
+    stmt.analyze = MatchKeyword("ANALYZE");
+    GRF_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
+    stmt.select = std::make_unique<SelectStmt>(std::move(select));
+    return Statement(std::move(stmt));
+  }
   return ErrorHere("expected a statement");
 }
 
@@ -458,6 +465,12 @@ StatusOr<FromItem> Parser::ParseFromItem() {
       item.accessor = GraphAccessor::kVertexes;
     } else if (EqualsIgnoreCase(accessor, "EDGES")) {
       item.accessor = GraphAccessor::kEdges;
+    } else if (EqualsIgnoreCase(item.source, "SYS")) {
+      // SYS.<table> addresses an engine introspection table (SYS.METRICS,
+      // SYS.LAST_QUERY, ...). Fold the qualifier into the source name; the
+      // planner resolves it through the catalog's virtual-table registry.
+      item.source = "SYS." + accessor;
+      if (item.alias.empty()) item.alias = accessor;
     } else {
       return ErrorHere("expected PATHS, VERTEXES, or EDGES accessor");
     }

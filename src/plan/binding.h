@@ -9,17 +9,19 @@
 #include "graph/graph_view.h"
 #include "parser/ast.h"
 #include "storage/table.h"
+#include "storage/virtual_table.h"
 
 namespace grfusion {
 
 /// One FROM item resolved against the catalog: what it is, which columns it
 /// exposes, and where its block lives in the combined row.
 struct TableBinding {
-  enum class Kind { kTable, kVertexes, kEdges, kPaths };
+  enum class Kind { kTable, kVertexes, kEdges, kPaths, kVirtual };
 
   Kind kind = Kind::kTable;
   std::string alias;
   const Table* table = nullptr;     ///< kTable.
+  const VirtualTable* vtable = nullptr;  ///< kVirtual (SYS.* introspection).
   const GraphView* gv = nullptr;    ///< Graph kinds.
   Schema visible;                   ///< Columns under this alias (empty for paths).
   size_t offset = 0;                ///< First column in the combined row.

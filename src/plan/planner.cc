@@ -294,12 +294,19 @@ StatusOr<BindingScope> Planner::BuildScope(const SelectStmt& stmt) const {
     binding.hint_attribute = item.hint_attribute;
     if (item.accessor == GraphAccessor::kNone) {
       const Table* table = catalog_->FindTable(item.source);
-      if (table == nullptr) {
+      if (table != nullptr) {
+        binding.kind = TableBinding::Kind::kTable;
+        binding.table = table;
+        binding.visible = table->schema();
+      } else if (const VirtualTable* vtable =
+                     catalog_->FindVirtualTable(item.source);
+                 vtable != nullptr) {
+        binding.kind = TableBinding::Kind::kVirtual;
+        binding.vtable = vtable;
+        binding.visible = vtable->schema();
+      } else {
         return Status::NotFound("table '" + item.source + "' does not exist");
       }
-      binding.kind = TableBinding::Kind::kTable;
-      binding.table = table;
-      binding.visible = table->schema();
     } else {
       const GraphView* gv = catalog_->FindGraphView(item.source);
       if (gv == nullptr) {
@@ -360,6 +367,10 @@ OperatorPtr Planner::MakeScanLeaf(const TableBinding& binding, ExprPtr qualifier
     case TableBinding::Kind::kEdges:
       return std::make_unique<EdgeScanOp>(binding.gv, std::move(qualifier),
                                           layout, binding.offset);
+    case TableBinding::Kind::kVirtual:
+      return std::make_unique<VirtualScanOp>(binding.vtable,
+                                             std::move(qualifier), layout,
+                                             binding.offset);
     case TableBinding::Kind::kPaths:
       break;
   }

@@ -44,6 +44,15 @@ struct PlannerOptions {
 
   /// Intermediate-result memory cap for executing queries.
   size_t memory_cap = QueryContext::kDefaultMemoryCap;
+
+  /// Queries slower than this emit one structured JSON trace line with the
+  /// SQL, latency, and per-operator breakdown. -1 disables tracing; 0 traces
+  /// every query. When armed, per-operator wall-time collection is on for
+  /// all queries.
+  int64_t slow_query_threshold_us = -1;
+
+  /// Destination for slow-query trace lines; empty means stderr.
+  std::string slow_query_log_path;
 };
 
 /// A compiled query: the physical operator tree plus result column names.

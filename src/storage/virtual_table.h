@@ -1,0 +1,58 @@
+#ifndef GRFUSION_STORAGE_VIRTUAL_TABLE_H_
+#define GRFUSION_STORAGE_VIRTUAL_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace grfusion {
+
+/// A read-only table whose rows are computed on demand instead of stored —
+/// the engine's SYS.* introspection tables (SYS.METRICS, SYS.LAST_QUERY,
+/// SYS.TABLES, SYS.GRAPH_VIEWS). Virtual tables plan through the regular
+/// scan machinery: the planner binds them like base tables and emits a
+/// VirtualScanOp, which snapshots Rows() at Open.
+class VirtualTable {
+ public:
+  VirtualTable(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+  virtual ~VirtualTable() = default;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Materializes the current contents. Called once per scan Open, so each
+  /// query sees a consistent snapshot.
+  virtual StatusOr<std::vector<std::vector<Value>>> Rows() const = 0;
+
+ private:
+  std::string name_;
+  Schema schema_;
+};
+
+/// VirtualTable backed by a row-producing callback; saves a subclass per
+/// SYS table.
+class FuncVirtualTable : public VirtualTable {
+ public:
+  using RowsFn = std::function<StatusOr<std::vector<std::vector<Value>>>()>;
+
+  FuncVirtualTable(std::string name, Schema schema, RowsFn rows_fn)
+      : VirtualTable(std::move(name), std::move(schema)),
+        rows_fn_(std::move(rows_fn)) {}
+
+  StatusOr<std::vector<std::vector<Value>>> Rows() const override {
+    return rows_fn_();
+  }
+
+ private:
+  RowsFn rows_fn_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_STORAGE_VIRTUAL_TABLE_H_

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "engine/database.h"
 
 namespace grfusion {
@@ -247,6 +250,101 @@ TEST_F(ExecutorTest, ExplainRendersTree) {
   EXPECT_NE(plan->find("HashJoin"), std::string::npos);
   EXPECT_NE(plan->find("Sort"), std::string::npos);
   EXPECT_NE(plan->find("Limit"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ExplainStatementThroughExecute) {
+  ResultSet r = Must("EXPLAIN SELECT name FROM emp WHERE salary > 100");
+  ASSERT_EQ(r.column_names, (std::vector<std::string>{"plan"}));
+  std::string plan;
+  for (const auto& row : r.rows) plan += row[0].AsVarchar() + "\n";
+  EXPECT_NE(plan.find("SeqScan"), std::string::npos) << plan;
+  // Plain EXPLAIN never executes, so no actuals are reported.
+  EXPECT_EQ(plan.find("actual_rows"), std::string::npos) << plan;
+}
+
+TEST_F(ExecutorTest, ExplainAnalyzeAnnotatesEveryOperator) {
+  ResultSet r = Must(
+      "EXPLAIN ANALYZE SELECT e.name FROM emp e, dept d "
+      "WHERE e.dept = d.name ORDER BY e.name LIMIT 2");
+  std::string plan;
+  for (const auto& row : r.rows) plan += row[0].AsVarchar() + "\n";
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Sort"), std::string::npos) << plan;
+  // Every operator line carries its runtime profile.
+  size_t operators = 0, annotated = 0;
+  for (const auto& row : r.rows) {
+    const std::string& line = row[0].AsVarchar();
+    if (line.rfind("Execution:", 0) == 0 || line.empty()) continue;
+    ++operators;
+    if (line.find("actual_rows=") != std::string::npos &&
+        line.find("next_calls=") != std::string::npos &&
+        line.find("time_ms=") != std::string::npos) {
+      ++annotated;
+    }
+  }
+  EXPECT_GE(operators, 4u) << plan;
+  EXPECT_EQ(annotated, operators) << plan;
+  // The trailer reports the result cardinality: 2 rows through the Limit.
+  EXPECT_NE(plan.find("Execution: rows=2"), std::string::npos) << plan;
+}
+
+TEST_F(ExecutorTest, SysMetricsSelectableAndNonEmpty) {
+  Must("SELECT COUNT(*) FROM emp");  // Ensure at least one query is counted.
+  ResultSet r = Must(
+      "SELECT NAME, VALUE FROM SYS.METRICS WHERE NAME = 'queries_total'");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_GE(r.rows[0][1].AsNumeric(), 1.0);
+
+  ResultSet all = Must("SELECT COUNT(*) FROM SYS.METRICS");
+  EXPECT_GT(all.ScalarValue().AsBigInt(), 10);
+}
+
+TEST_F(ExecutorTest, SysLastQueryReportsPreviousStatement) {
+  Must("SELECT name FROM emp WHERE salary > 100");
+  ResultSet r = Must(
+      "SELECT SQL, OPERATOR, ACTUAL_ROWS FROM SYS.LAST_QUERY ORDER BY DEPTH");
+  ASSERT_GT(r.NumRows(), 0u);
+  EXPECT_NE(r.rows[0][0].AsVarchar().find("salary > 100"), std::string::npos);
+  // Queries over SYS.* must not displace the captured profile.
+  ResultSet again = Must("SELECT SQL FROM SYS.LAST_QUERY");
+  ASSERT_GT(again.NumRows(), 0u);
+  EXPECT_NE(again.rows[0][0].AsVarchar().find("salary > 100"),
+            std::string::npos);
+}
+
+TEST_F(ExecutorTest, SysTablesListsBaseAndVirtualTables) {
+  ResultSet r = Must("SELECT NAME, KIND FROM SYS.TABLES ORDER BY NAME");
+  bool saw_emp = false, saw_metrics = false;
+  for (const auto& row : r.rows) {
+    if (row[0].AsVarchar() == "emp") {
+      saw_emp = true;
+      EXPECT_EQ(row[1].AsVarchar(), "table");
+    }
+    if (row[0].AsVarchar() == "SYS.METRICS") {
+      saw_metrics = true;
+      EXPECT_EQ(row[1].AsVarchar(), "virtual");
+    }
+  }
+  EXPECT_TRUE(saw_emp);
+  EXPECT_TRUE(saw_metrics);
+}
+
+TEST_F(ExecutorTest, SlowQueryLogCapturesTrace) {
+  std::string path = ::testing::TempDir() + "/grf_slow_query_trace.jsonl";
+  std::remove(path.c_str());
+  db_.options().slow_query_threshold_us = 0;  // Everything is "slow".
+  db_.options().slow_query_log_path = path;
+  Must("SELECT COUNT(*) FROM emp");
+  db_.options().slow_query_threshold_us = -1;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"event\":\"slow_query\""), std::string::npos) << line;
+  EXPECT_NE(line.find("COUNT(*) FROM emp"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"operators\":["), std::string::npos) << line;
+  std::remove(path.c_str());
 }
 
 TEST_F(ExecutorTest, ErrorsForUnknownObjects) {

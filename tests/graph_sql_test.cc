@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "engine/database.h"
 
 namespace grfusion {
@@ -276,6 +277,46 @@ TEST_F(GraphSqlTest, TraversalSeesOnlineUpdatesImmediately) {
       "SELECT COUNT(P) FROM cite.Paths P WHERE P.StartVertex.Id = 6 AND "
       "P.Length = 1");
   EXPECT_EQ(after.ScalarValue().AsBigInt(), 1);
+}
+
+TEST_F(GraphSqlTest, ExplainAnalyzeAnnotatesPathScan) {
+  ResultSet r = Must(
+      "EXPLAIN ANALYZE SELECT P.PathString FROM cite.Paths P HINT(BFS) "
+      "WHERE P.StartVertex.Id = 1 AND P.EndVertex.Id = 4 LIMIT 1");
+  std::string plan;
+  for (const auto& row : r.rows) plan += row[0].AsVarchar() + "\n";
+  // The path-scan operator (BFS physical variant) reports runtime actuals.
+  size_t at = plan.find("PathProbeJoin[");
+  ASSERT_NE(at, std::string::npos) << plan;
+  std::string line = plan.substr(at, plan.find('\n', at) - at);
+  EXPECT_NE(line.find("BFScan"), std::string::npos) << plan;
+  EXPECT_NE(line.find("actual_rows="), std::string::npos) << plan;
+  EXPECT_NE(line.find("time_ms="), std::string::npos) << plan;
+  // Every plan line is annotated, and execution found the path.
+  for (const auto& row : r.rows) {
+    const std::string& l = row[0].AsVarchar();
+    if (l.rfind("Execution:", 0) == 0 || l.empty()) continue;
+    EXPECT_NE(l.find("actual_rows="), std::string::npos) << l;
+  }
+  EXPECT_NE(plan.find("Execution: rows=1"), std::string::npos) << plan;
+}
+
+TEST_F(GraphSqlTest, TraversalMetricsAccumulate) {
+  Counter* expanded = MetricsRegistry::Global().GetCounter(
+      "vertexes_expanded_total");
+  uint64_t before = expanded->value();
+  Must("SELECT COUNT(P) FROM cite.Paths P WHERE P.StartVertex.Id = 1");
+  EXPECT_GT(expanded->value(), before);
+}
+
+TEST_F(GraphSqlTest, SysGraphViewsDescribesTopology) {
+  ResultSet r = Must(
+      "SELECT NAME, DIRECTED, VERTEXES, EDGES FROM SYS.GRAPH_VIEWS");
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsVarchar(), "cite");
+  EXPECT_TRUE(r.rows[0][1].AsBoolean());
+  EXPECT_EQ(r.rows[0][2].AsBigInt(), 6);
+  EXPECT_EQ(r.rows[0][3].AsBigInt(), 7);
 }
 
 }  // namespace

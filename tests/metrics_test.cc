@@ -1,0 +1,190 @@
+// Unit tests of the observability primitives in common/metrics.h: counter /
+// gauge / histogram semantics, bucket boundaries, concurrent updates, the
+// registry exporters, and the pre-resolved EngineMetrics handles.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace grfusion {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndPeakTracking) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.SetMax(5);  // Lower than current: no-op.
+  EXPECT_EQ(g.value(), 7);
+  g.SetMax(100);
+  EXPECT_EQ(g.value(), 100);
+}
+
+TEST(HistogramTest, CountSumMeanMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.Observe(10);
+  h.Observe(20);
+  h.Observe(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.max(), 30u);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket i covers [2^(i-1), 2^i); 0 lands in bucket 0.
+  Histogram h;
+  h.Observe(0);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  h.Observe(1);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  h.Observe(2);
+  h.Observe(3);
+  EXPECT_EQ(h.BucketCount(2), 2u);
+  h.Observe(4);
+  h.Observe(7);
+  EXPECT_EQ(h.BucketCount(3), 2u);
+  h.Observe(1024);
+  EXPECT_EQ(h.BucketCount(11), 1u);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(11), 2047u);
+}
+
+TEST(HistogramTest, PercentileApprox) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Observe(2);    // Bucket 2, upper bound 3.
+  h.Observe(5000);                              // Bucket 13, upper bound 8191.
+  EXPECT_EQ(h.PercentileApprox(0.5), 3u);
+  EXPECT_EQ(h.PercentileApprox(0.99), 3u);
+  EXPECT_EQ(h.PercentileApprox(1.0), 8191u);
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h;
+  h.Observe(123);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.BucketCount(7), 0u);
+}
+
+TEST(MetricsTest, ConcurrentUpdatesLoseNothing) {
+  Counter c;
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Observe(7);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.sum(), static_cast<uint64_t>(kThreads) * kPerThread * 7);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateIsStable) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("hits");
+  Counter* b = reg.GetCounter("hits");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(reg.GetCounter("hits")->value(), 3u);
+  // Distinct kinds with the same name coexist independently.
+  EXPECT_NE(static_cast<void*>(reg.GetGauge("hits")), static_cast<void*>(a));
+}
+
+TEST(MetricsRegistryTest, SamplesFlattenHistograms) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Increment(5);
+  reg.GetGauge("g")->Set(-2);
+  reg.GetHistogram("h")->Observe(100);
+
+  bool saw_c = false, saw_g = false, saw_h_count = false, saw_h_p99 = false;
+  for (const auto& s : reg.Samples()) {
+    if (s.name == "c") {
+      saw_c = true;
+      EXPECT_EQ(s.kind, "counter");
+      EXPECT_DOUBLE_EQ(s.value, 5.0);
+    } else if (s.name == "g") {
+      saw_g = true;
+      EXPECT_DOUBLE_EQ(s.value, -2.0);
+    } else if (s.name == "h_count") {
+      saw_h_count = true;
+      EXPECT_DOUBLE_EQ(s.value, 1.0);
+    } else if (s.name == "h_p99") {
+      saw_h_p99 = true;
+    }
+  }
+  EXPECT_TRUE(saw_c);
+  EXPECT_TRUE(saw_g);
+  EXPECT_TRUE(saw_h_count);
+  EXPECT_TRUE(saw_h_p99);
+}
+
+TEST(MetricsRegistryTest, TextAndJsonExport) {
+  MetricsRegistry reg;
+  reg.GetCounter("queries")->Increment(2);
+  reg.GetHistogram("lat")->Observe(9);
+
+  std::string text = reg.ToText();
+  EXPECT_NE(text.find("queries 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 1"), std::string::npos);
+
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroes) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Increment(9);
+  reg.GetGauge("g")->Set(9);
+  reg.GetHistogram("h")->Observe(9);
+  reg.ResetAll();
+  EXPECT_EQ(reg.GetCounter("c")->value(), 0u);
+  EXPECT_EQ(reg.GetGauge("g")->value(), 0);
+  EXPECT_EQ(reg.GetHistogram("h")->count(), 0u);
+}
+
+TEST(EngineMetricsTest, HandlesResolveIntoGlobalRegistry) {
+  EngineMetrics& m = EngineMetrics::Get();
+  ASSERT_NE(m.queries_total, nullptr);
+  EXPECT_EQ(m.queries_total,
+            MetricsRegistry::Global().GetCounter("queries_total"));
+  EXPECT_EQ(m.query_latency_us,
+            MetricsRegistry::Global().GetHistogram("query_latency_us"));
+  EXPECT_EQ(m.peak_query_bytes,
+            MetricsRegistry::Global().GetGauge("peak_query_bytes"));
+}
+
+}  // namespace
+}  // namespace grfusion

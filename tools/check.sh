@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds and tests both configurations:
+#   build/          RelWithDebInfo (the tier-1 configuration)
+#   build-sanitize/ Debug + ASan/UBSan, with GRF_DCHECK assertions live
+#
+# Usage: tools/check.sh [--fast]
+#   --fast  tier-1 configuration only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== tier-1 (RelWithDebInfo) =="
+run_config build -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "== sanitize (Debug + ASan/UBSan) =="
+  run_config build-sanitize -DCMAKE_BUILD_TYPE=Debug -DGRF_SANITIZE=ON
+fi
+
+echo "All checks passed."
