@@ -57,7 +57,8 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
-StatusOr<GraphView*> Catalog::CreateGraphView(GraphViewDef def) {
+StatusOr<GraphView*> Catalog::CreateGraphView(GraphViewDef def,
+                                              const GraphBuildOptions& build) {
   if (def.name.empty()) return Status::InvalidArgument("empty graph view name");
   std::string key = Key(def.name);
   if (graph_views_.count(key) > 0 || tables_.count(key) > 0) {
@@ -76,7 +77,7 @@ StatusOr<GraphView*> Catalog::CreateGraphView(GraphViewDef def) {
   auto t0 = std::chrono::steady_clock::now();
   GRF_ASSIGN_OR_RETURN(
       std::unique_ptr<GraphView> gv,
-      GraphView::Create(std::move(def), vertex_table, edge_table));
+      GraphView::Create(std::move(def), vertex_table, edge_table, build));
   auto build_us = std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now() - t0)
                       .count();

@@ -32,7 +32,8 @@ class Catalog {
   // --- Graph views ---
   /// Creates and materializes a graph view over existing tables. The sources
   /// named in `def` must already exist.
-  StatusOr<GraphView*> CreateGraphView(GraphViewDef def);
+  StatusOr<GraphView*> CreateGraphView(GraphViewDef def,
+                                       const GraphBuildOptions& build = {});
   GraphView* FindGraphView(const std::string& name) const;
   Status DropGraphView(const std::string& name);
   std::vector<std::string> GraphViewNames() const;

@@ -1,0 +1,170 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace grfusion {
+
+TaskPool::TaskPool(size_t num_workers) {
+  num_workers = std::max<size_t>(1, num_workers);
+  auto& registry = MetricsRegistry::Global();
+  tasks_metric_ = registry.GetCounter("taskpool_tasks_total");
+  steals_metric_ = registry.GetCounter("taskpool_steals_total");
+  depth_metric_ = registry.GetGauge("taskpool_queue_depth");
+  registry.GetGauge("taskpool_workers")->Set(static_cast<int64_t>(num_workers));
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskPool::Submit(std::function<void()> fn) {
+  SubmitTo(next_worker_.fetch_add(1, std::memory_order_relaxed),
+           std::move(fn));
+}
+
+void TaskPool::SubmitTo(size_t worker, std::function<void()> fn) {
+  Worker& w = *workers_[worker % workers_.size()];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.tasks.push_back(std::move(fn));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  tasks_metric_->Increment();
+  depth_metric_->Set(static_cast<int64_t>(queue_depth()));
+  idle_cv_.notify_one();
+}
+
+std::function<void()> TaskPool::ClaimTask(size_t self) {
+  // Own deque first, newest task (LIFO: cache-hot morsels).
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.tasks.empty()) {
+      auto fn = std::move(w.tasks.back());
+      w.tasks.pop_back();
+      return fn;
+    }
+  }
+  // Steal the oldest task from the first non-empty victim (FIFO).
+  for (size_t i = 1; i < workers_.size(); ++i) {
+    Worker& victim = *workers_[(self + i) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      auto fn = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      steals_metric_->Increment();
+      return fn;
+    }
+  }
+  return nullptr;
+}
+
+void TaskPool::WorkerLoop(size_t self) {
+  while (true) {
+    std::function<void()> task = ClaimTask(self);
+    if (task) {
+      pending_.fetch_sub(1, std::memory_order_release);
+      depth_metric_->Set(static_cast<int64_t>(queue_depth()));
+      task();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;  // Drained: every queued task ran before shutdown.
+    }
+    idle_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+TaskPool::Stats TaskPool::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.stolen = stolen_.load(std::memory_order_relaxed);
+  return s;
+}
+
+TaskPool& TaskPool::Shared() {
+  // Leaked on purpose: joining worker threads during static destruction can
+  // deadlock against other atexit teardown.
+  static TaskPool* pool = new TaskPool(
+      std::max<size_t>(4, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error) {
+      if (!first_error_) first_error_ = error;
+      cancelled_.store(true, std::memory_order_release);
+    }
+    if (--outstanding_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return outstanding_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskGroup::WaitNoThrow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ParallelFor(TaskPool* pool, size_t n, size_t morsel_size,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  morsel_size = std::max<size_t>(1, morsel_size);
+  if (pool == nullptr || n <= morsel_size) {
+    fn(0, n);
+    return;
+  }
+  TaskGroup group(pool);
+  for (size_t begin = 0; begin < n; begin += morsel_size) {
+    size_t end = std::min(n, begin + morsel_size);
+    group.Run([&fn, begin, end] { fn(begin, end); });
+  }
+  group.Wait();
+}
+
+}  // namespace grfusion

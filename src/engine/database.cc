@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/task_pool.h"
 #include "parser/parser.h"
 #include "plan/binder.h"
 
@@ -216,7 +217,14 @@ StatusOr<ResultSet> Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
 
 StatusOr<ResultSet> Database::ExecuteCreateGraphView(
     const CreateGraphViewStmt& stmt) {
-  GRF_ASSIGN_OR_RETURN(GraphView * gv, catalog_.CreateGraphView(stmt.def));
+  GraphBuildOptions build;
+  const size_t parallelism = options_.effective_parallelism();
+  if (parallelism > 1) {
+    build.pool = &TaskPool::Shared();
+    build.max_parallelism = parallelism;
+    build.min_rows = options_.parallel_min_rows;
+  }
+  GRF_ASSIGN_OR_RETURN(GraphView * gv, catalog_.CreateGraphView(stmt.def, build));
   (void)gv;
   return ResultSet();
 }
@@ -591,6 +599,12 @@ StatusOr<ResultSet> Database::RunPlan(const PlannedQuery& planned,
 
   QueryContext ctx(options_.memory_cap);
   ctx.set_profile_timing(force_timing || slow_log_armed);
+  const size_t parallelism = options_.effective_parallelism();
+  if (parallelism > 1) {
+    ctx.set_task_pool(&TaskPool::Shared());
+    ctx.set_max_parallelism(parallelism);
+    ctx.set_parallel_min_rows(options_.parallel_min_rows);
+  }
   ResultSet result;
   result.column_names = planned.output_names;
 

@@ -77,6 +77,7 @@ std::string PhysicalOperator::ToAnalyzedString(int indent,
       " (actual_rows=%llu next_calls=%llu time_ms=%.3f pct=%.1f)",
       static_cast<unsigned long long>(profile_.rows_emitted),
       static_cast<unsigned long long>(profile_.next_calls), time_ms, pct);
+  out += AnalyzeExtra();
   out += "\n";
   for (const PhysicalOperator* child : children()) {
     out += child->ToAnalyzedString(indent + 1, total_ns);

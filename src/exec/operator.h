@@ -73,6 +73,11 @@ class PhysicalOperator {
   /// the root to use the root's own total).
   std::string ToAnalyzedString(int indent = 0, uint64_t total_ns = 0) const;
 
+  /// Extra per-operator detail appended to the EXPLAIN ANALYZE line —
+  /// parallel operators report their worker fan-out here (per-worker rows
+  /// and wall time). Empty for operators with nothing to add.
+  virtual std::string AnalyzeExtra() const { return ""; }
+
  protected:
   virtual Status OpenImpl(QueryContext* ctx) = 0;
   virtual StatusOr<bool> NextImpl(ExecRow* out) = 0;

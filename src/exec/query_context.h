@@ -9,6 +9,8 @@
 
 namespace grfusion {
 
+class TaskPool;
+
 /// Execution statistics collected per query. Benches read these to report
 /// the *work* an approach performs (e.g., vertexes expanded by a traversal
 /// vs. rows joined by the relational baseline).
@@ -23,6 +25,18 @@ struct ExecStats {
 
   void NoteFrontier(uint64_t size) {
     if (size > max_frontier) max_frontier = size;
+  }
+
+  /// Folds a parallel worker's counters into this one. Called on the query
+  /// thread after the worker has finished (never concurrently).
+  void MergeFrom(const ExecStats& other) {
+    rows_scanned += other.rows_scanned;
+    rows_joined += other.rows_joined;
+    vertexes_expanded += other.vertexes_expanded;
+    edges_examined += other.edges_examined;
+    paths_emitted += other.paths_emitted;
+    paths_pruned += other.paths_pruned;
+    NoteFrontier(other.max_frontier);
   }
 };
 
@@ -75,11 +89,43 @@ class QueryContext {
   void set_profile_timing(bool enabled) { profile_timing_ = enabled; }
   bool profile_timing() const { return profile_timing_; }
 
+  /// Parallel-execution knobs. QueryContext (and ExecStats) are NOT
+  /// thread-safe: parallel operators give each worker its own QueryContext
+  /// and fold results back on the query thread (stats via
+  /// ExecStats::MergeFrom, memory via FoldChildPeak) once workers have
+  /// joined. `max_parallelism <= 1` or a null pool disables all parallel
+  /// paths and reproduces single-threaded execution exactly.
+  void set_task_pool(TaskPool* pool) { task_pool_ = pool; }
+  TaskPool* task_pool() const { return task_pool_; }
+  void set_max_parallelism(size_t n) { max_parallelism_ = n == 0 ? 1 : n; }
+  size_t max_parallelism() const { return max_parallelism_; }
+
+  /// Inputs smaller than this are not worth fanning out; parallel scans and
+  /// parallel graph-view builds fall back to the serial path below it.
+  /// Tests lower it to force parallel execution on tiny inputs.
+  void set_parallel_min_rows(size_t n) { parallel_min_rows_ = n; }
+  size_t parallel_min_rows() const { return parallel_min_rows_; }
+
+  bool parallel_enabled() const {
+    return task_pool_ != nullptr && max_parallelism_ > 1;
+  }
+
+  /// Records a finished worker context's peak as if it were still resident
+  /// on top of the parent's current usage, so SYS.LAST_QUERY's peak-bytes
+  /// reflects parallel materialization.
+  void FoldChildPeak(size_t child_peak) {
+    size_t combined = current_bytes_ + child_peak;
+    if (combined > peak_bytes_) peak_bytes_ = combined;
+  }
+
  private:
   size_t memory_cap_;
   size_t current_bytes_ = 0;
   size_t peak_bytes_ = 0;
   bool profile_timing_ = false;
+  TaskPool* task_pool_ = nullptr;
+  size_t max_parallelism_ = 1;
+  size_t parallel_min_rows_ = 2048;
   ExecStats stats_;
 };
 

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/task_pool.h"
 
 namespace grfusion {
 
@@ -44,9 +45,9 @@ Status GraphView::SourceListener::OnUpdate(TupleSlot slot,
 
 // --- Creation ---------------------------------------------------------------
 
-StatusOr<std::unique_ptr<GraphView>> GraphView::Create(GraphViewDef def,
-                                                       Table* vertex_table,
-                                                       Table* edge_table) {
+StatusOr<std::unique_ptr<GraphView>> GraphView::Create(
+    GraphViewDef def, Table* vertex_table, Table* edge_table,
+    const GraphBuildOptions& build) {
   if (vertex_table == nullptr || edge_table == nullptr) {
     return Status::InvalidArgument("graph view requires both sources");
   }
@@ -58,20 +59,27 @@ StatusOr<std::unique_ptr<GraphView>> GraphView::Create(GraphViewDef def,
       new GraphView(std::move(def), vertex_table, edge_table));
   GRF_RETURN_IF_ERROR(gv->ResolveColumns());
 
-  // Single pass over the vertexes relational-source.
-  Status status = Status::OK();
-  vertex_table->ForEach([&](TupleSlot slot, const Tuple& tuple) {
-    status = gv->OnVertexInsert(slot, tuple);
-    return status.ok();
-  });
-  GRF_RETURN_IF_ERROR(status);
+  const bool parallel =
+      build.pool != nullptr && build.max_parallelism > 1 &&
+      vertex_table->NumRows() + edge_table->NumRows() >= build.min_rows;
+  if (parallel) {
+    GRF_RETURN_IF_ERROR(gv->ParallelBuild(build));
+  } else {
+    // Single pass over the vertexes relational-source.
+    Status status = Status::OK();
+    vertex_table->ForEach([&](TupleSlot slot, const Tuple& tuple) {
+      status = gv->OnVertexInsert(slot, tuple);
+      return status.ok();
+    });
+    GRF_RETURN_IF_ERROR(status);
 
-  // Single pass over the edges relational-source.
-  edge_table->ForEach([&](TupleSlot slot, const Tuple& tuple) {
-    status = gv->OnEdgeInsert(slot, tuple);
-    return status.ok();
-  });
-  GRF_RETURN_IF_ERROR(status);
+    // Single pass over the edges relational-source.
+    edge_table->ForEach([&](TupleSlot slot, const Tuple& tuple) {
+      status = gv->OnEdgeInsert(slot, tuple);
+      return status.ok();
+    });
+    GRF_RETURN_IF_ERROR(status);
+  }
 
   // From now on, source mutations flow into the topology transactionally.
   gv->vertex_listener_ = std::make_unique<SourceListener>(gv.get(), true);
@@ -79,6 +87,138 @@ StatusOr<std::unique_ptr<GraphView>> GraphView::Create(GraphViewDef def,
   vertex_table->AddListener(gv->vertex_listener_.get());
   edge_table->AddListener(gv->edge_listener_.get());
   return gv;
+}
+
+Status GraphView::ParallelBuild(const GraphBuildOptions& build) {
+  const size_t k = build.max_parallelism;
+  auto morsel_size_for = [k](size_t n) {
+    return std::max<size_t>(
+        1, std::min<size_t>(2048, (n + 4 * k - 1) / (4 * k)));
+  };
+
+  // --- Vertex phase: parallel id extraction, sequential slot-order merge.
+  std::vector<TupleSlot> vslots;
+  vslots.reserve(vertex_table_->NumRows());
+  vertex_table_->ForEach([&](TupleSlot slot, const Tuple&) {
+    vslots.push_back(slot);
+    return true;
+  });
+  struct VertexRec {
+    VertexId id = kInvalidVertexId;
+    TupleSlot slot = kInvalidTupleSlot;
+  };
+  {
+    const size_t n = vslots.size();
+    const size_t morsel = morsel_size_for(n);
+    const size_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
+    std::vector<VertexRec> recs(n);
+    std::vector<Status> statuses(num_morsels, Status::OK());
+    ParallelFor(build.pool, n, morsel, [&](size_t begin, size_t end) {
+      const size_t m = begin / morsel;
+      for (size_t i = begin; i < end; ++i) {
+        const Tuple* tuple = vertex_table_->Get(vslots[i]);
+        if (tuple == nullptr) continue;  // Deleted between snapshot and now.
+        StatusOr<int64_t> id = IdFromTuple(*tuple, vertex_id_col_, "vertex");
+        if (!id.ok()) {
+          statuses[m] = id.status();
+          return;
+        }
+        recs[i] = {*id, vslots[i]};
+      }
+    });
+    for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
+    for (const VertexRec& rec : recs) {
+      if (rec.slot == kInvalidTupleSlot) continue;
+      GRF_RETURN_IF_ERROR(AddVertex(rec.id, rec.slot));
+    }
+  }
+
+  // --- Edge phase. The vertex set is now immutable, so workers resolve
+  // endpoints against vertex_index_ concurrently (read-only hash lookups —
+  // the expensive part of edge insertion). Each morsel's (vertex, edge-id)
+  // adjacency contributions stay in slot order; the sequential merge appends
+  // them in that order, so every adjacency list is byte-identical to the
+  // one the serial single-pass build produces.
+  std::vector<TupleSlot> eslots;
+  eslots.reserve(edge_table_->NumRows());
+  edge_table_->ForEach([&](TupleSlot slot, const Tuple&) {
+    eslots.push_back(slot);
+    return true;
+  });
+  struct EdgeRec {
+    EdgeId id = kInvalidEdgeId;
+    TupleSlot slot = kInvalidTupleSlot;
+    size_t from_pos = 0;
+    size_t to_pos = 0;
+  };
+  const size_t n = eslots.size();
+  const size_t morsel = morsel_size_for(n);
+  const size_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
+  std::vector<EdgeRec> recs(n);
+  std::vector<Status> statuses(num_morsels, Status::OK());
+  ParallelFor(build.pool, n, morsel, [&](size_t begin, size_t end) {
+    const size_t m = begin / morsel;
+    for (size_t i = begin; i < end; ++i) {
+      const Tuple* tuple = edge_table_->Get(eslots[i]);
+      if (tuple == nullptr) continue;
+      StatusOr<int64_t> id = IdFromTuple(*tuple, edge_id_col_, "edge");
+      StatusOr<int64_t> from =
+          id.ok() ? IdFromTuple(*tuple, edge_from_col_, "edge-from") : id;
+      StatusOr<int64_t> to =
+          from.ok() ? IdFromTuple(*tuple, edge_to_col_, "edge-to") : from;
+      if (!to.ok()) {
+        statuses[m] = to.status();
+        return;
+      }
+      auto from_it = vertex_index_.find(*from);
+      if (from_it == vertex_index_.end() ||
+          !vertexes_[from_it->second].live) {
+        statuses[m] = Status::ConstraintViolation(
+            StrFormat("edge %lld references missing start vertex %lld",
+                      static_cast<long long>(*id),
+                      static_cast<long long>(*from)));
+        return;
+      }
+      auto to_it = vertex_index_.find(*to);
+      if (to_it == vertex_index_.end() || !vertexes_[to_it->second].live) {
+        statuses[m] = Status::ConstraintViolation(
+            StrFormat("edge %lld references missing end vertex %lld",
+                      static_cast<long long>(*id),
+                      static_cast<long long>(*to)));
+        return;
+      }
+      recs[i] = {*id, eslots[i], from_it->second, to_it->second};
+    }
+  });
+  for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
+
+  // Sequential merge in slot order: entry creation, id-index insertion, and
+  // adjacency appends (duplicate ids surface here, as in the serial build).
+  for (const EdgeRec& rec : recs) {
+    if (rec.slot == kInvalidTupleSlot) continue;
+    auto it = edge_index_.find(rec.id);
+    if (it != edge_index_.end() && edges_[it->second].live) {
+      return Status::ConstraintViolation(
+          StrFormat("duplicate edge id %lld in graph view '%s'",
+                    static_cast<long long>(rec.id), def_.name.c_str()));
+    }
+    const size_t pos = edges_.size();
+    edges_.emplace_back();
+    EdgeEntry& e = edges_[pos];
+    e.id = rec.id;
+    e.from = vertexes_[rec.from_pos].id;
+    e.to = vertexes_[rec.to_pos].id;
+    e.tuple = rec.slot;
+    e.live = true;
+    edge_index_[rec.id] = pos;
+    vertexes_[rec.from_pos].out_edges.push_back(rec.id);
+    vertexes_[rec.to_pos].in_edges.push_back(rec.id);
+    ++num_live_edges_;
+  }
+  MetricsRegistry::Global()
+      .GetCounter("graph_view_parallel_builds_total")
+      ->Increment();
+  return Status::OK();
 }
 
 GraphView::~GraphView() {

@@ -14,6 +14,21 @@
 
 namespace grfusion {
 
+class TaskPool;
+
+/// Knobs for the initial topology build. With a pool and max_parallelism > 1,
+/// construction extracts ids / validates endpoints / groups adjacency over
+/// morsels of the relational sources on worker tasks, then merges morsels in
+/// slot order — producing a topology bit-identical to the sequential build.
+/// Online maintenance (listener path) is always sequential: it runs inside
+/// the mutating transaction.
+struct GraphBuildOptions {
+  TaskPool* pool = nullptr;
+  size_t max_parallelism = 1;
+  /// Sources whose combined row count is below this build sequentially.
+  size_t min_rows = 4096;
+};
+
 /// A vertex of the materialized topology. Attribute data is NOT stored here;
 /// `tuple` points (by stable slot) into the vertexes relational-source
 /// (paper §3.2 — "decoupling the graph topology and the graph data").
@@ -51,10 +66,12 @@ class GraphView {
   /// Builds the topology with a single pass over the relational sources
   /// (paper §3.2). Fails if id columns are missing/duplicated or an edge
   /// endpoint is not in the vertex set. The two sources must be distinct
-  /// tables.
-  static StatusOr<std::unique_ptr<GraphView>> Create(GraphViewDef def,
-                                                     Table* vertex_table,
-                                                     Table* edge_table);
+  /// tables. `build` optionally parallelizes the initial construction
+  /// (Table-3-style build time); the resulting topology is identical either
+  /// way.
+  static StatusOr<std::unique_ptr<GraphView>> Create(
+      GraphViewDef def, Table* vertex_table, Table* edge_table,
+      const GraphBuildOptions& build = {});
 
   ~GraphView();
 
@@ -173,6 +190,9 @@ class GraphView {
         edge_table_(edge_table) {}
 
   Status ResolveColumns();
+  /// Morsel-parallel initial build: parallel id extraction + endpoint
+  /// resolution + per-morsel adjacency grouping, sequential slot-order merge.
+  Status ParallelBuild(const GraphBuildOptions& build);
   Status AddVertex(VertexId id, TupleSlot slot);
   Status AddEdge(EdgeId id, VertexId from, VertexId to, TupleSlot slot);
   Status RemoveVertex(VertexId id);

@@ -1,8 +1,23 @@
 #include "graphexec/graph_ops.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "common/task_pool.h"
 
 namespace grfusion {
+
+namespace {
+
+/// Morsel size for parallel scan-filter evaluation: ~4 morsels per worker so
+/// stealing can rebalance, capped at 1024 ids per task.
+size_t ScanMorselSize(size_t n, size_t workers) {
+  return std::max<size_t>(
+      1, std::min<size_t>(1024, (n + 4 * workers - 1) / (4 * workers)));
+}
+
+}  // namespace
 
 // --- VertexScanOp -----------------------------------------------------------------
 
@@ -21,6 +36,10 @@ Status VertexScanOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   cursor_ = 0;
   ids_.clear();
+  buffered_.clear();
+  materialized_ = false;
+  parallel_morsels_ = 0;
+  GRF_DCHECK(buffered_bytes_ == 0);
   if (id_probe_ != nullptr) {
     // O(1) point access through the topology's id hash map.
     ExecRow empty;
@@ -40,41 +59,109 @@ Status VertexScanOp::OpenImpl(QueryContext* ctx) {
     ids_.push_back(v.id);
     return true;
   });
+  if (qualifier_ != nullptr && ctx_->parallel_enabled() &&
+      ids_.size() >= ctx_->parallel_min_rows()) {
+    return ParallelFilterOpen();
+  }
   return Status::OK();
 }
 
+StatusOr<bool> VertexScanOp::MakeRow(VertexId id, ExecRow* out,
+                                     QueryContext* ctx) {
+  const VertexEntry* v = gv_->FindVertex(id);
+  if (v == nullptr) return false;
+  const Tuple* tuple = gv_->VertexTuple(*v);
+  if (tuple == nullptr) return false;
+  ++ctx->stats().rows_scanned;
+  ExecRow row = layout_.MakeRow();
+  size_t c = offset_;
+  row.columns[c++] = Value::BigInt(v->id);
+  for (int col : attr_columns_) {
+    row.columns[c++] = tuple->value(static_cast<size_t>(col));
+  }
+  row.columns[c++] = Value::BigInt(static_cast<int64_t>(gv_->FanOut(*v)));
+  row.columns[c++] = Value::BigInt(static_cast<int64_t>(gv_->FanIn(*v)));
+  if (qualifier_ != nullptr) {
+    GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qualifier_, row));
+    if (!pass) return false;
+  }
+  *out = std::move(row);
+  return true;
+}
+
+Status VertexScanOp::ParallelFilterOpen() {
+  materialized_ = true;
+  const size_t n = ids_.size();
+  const size_t morsel_size = ScanMorselSize(n, ctx_->max_parallelism());
+  const size_t num_morsels = (n + morsel_size - 1) / morsel_size;
+  // Per-morsel outputs are concatenated in morsel-index order, which equals
+  // the serial scan order; workers get private stats contexts.
+  std::vector<std::vector<ExecRow>> results(num_morsels);
+  std::vector<Status> statuses(num_morsels, Status::OK());
+  std::vector<uint64_t> scanned(num_morsels, 0);
+  ParallelFor(ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
+    const size_t m = begin / morsel_size;
+    QueryContext wctx(ctx_->memory_cap());
+    for (size_t i = begin; i < end; ++i) {
+      ExecRow row;
+      StatusOr<bool> made = MakeRow(ids_[i], &row, &wctx);
+      if (!made.ok()) {
+        statuses[m] = made.status();
+        break;
+      }
+      if (*made) results[m].push_back(std::move(row));
+    }
+    scanned[m] = wctx.stats().rows_scanned;
+  });
+  parallel_morsels_ = num_morsels;
+  for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
+  size_t rows = 0, bytes = 0;
+  for (size_t m = 0; m < num_morsels; ++m) {
+    ctx_->stats().rows_scanned += scanned[m];
+    rows += results[m].size();
+    for (const ExecRow& row : results[m]) bytes += row.ByteSize();
+  }
+  buffered_.reserve(rows);
+  for (auto& chunk : results) {
+    for (ExecRow& row : chunk) buffered_.push_back(std::move(row));
+  }
+  buffered_bytes_ = bytes;
+  return ctx_->ChargeBytes(bytes);
+}
+
 StatusOr<bool> VertexScanOp::NextImpl(ExecRow* out) {
-  while (cursor_ < ids_.size()) {
-    const VertexEntry* v = gv_->FindVertex(ids_[cursor_++]);
-    if (v == nullptr) continue;
-    const Tuple* tuple = gv_->VertexTuple(*v);
-    if (tuple == nullptr) continue;
-    ++ctx_->stats().rows_scanned;
-    ExecRow row = layout_.MakeRow();
-    size_t c = offset_;
-    row.columns[c++] = Value::BigInt(v->id);
-    for (int col : attr_columns_) {
-      row.columns[c++] = tuple->value(static_cast<size_t>(col));
-    }
-    row.columns[c++] = Value::BigInt(static_cast<int64_t>(gv_->FanOut(*v)));
-    row.columns[c++] = Value::BigInt(static_cast<int64_t>(gv_->FanIn(*v)));
-    if (qualifier_ != nullptr) {
-      GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qualifier_, row));
-      if (!pass) continue;
-    }
-    *out = std::move(row);
+  if (materialized_) {
+    if (cursor_ >= buffered_.size()) return false;
+    *out = std::move(buffered_[cursor_++]);
     return true;
+  }
+  while (cursor_ < ids_.size()) {
+    GRF_ASSIGN_OR_RETURN(bool made, MakeRow(ids_[cursor_++], out, ctx_));
+    if (made) return true;
   }
   return false;
 }
 
-void VertexScanOp::CloseImpl() { ids_.clear(); }
+void VertexScanOp::CloseImpl() {
+  ids_.clear();
+  buffered_.clear();
+  if (buffered_bytes_ > 0) {
+    ctx_->ReleaseBytes(buffered_bytes_);
+    buffered_bytes_ = 0;
+  }
+  materialized_ = false;
+}
 
 std::string VertexScanOp::name() const {
   std::string out = "VertexScan(" + gv_->name();
   if (id_probe_ != nullptr) out += ", id-probe: " + id_probe_->ToString();
   if (qualifier_ != nullptr) out += ", filter: " + qualifier_->ToString();
   return out + ")";
+}
+
+std::string VertexScanOp::AnalyzeExtra() const {
+  if (parallel_morsels_ == 0) return "";
+  return StrFormat(" parallel_morsels=%zu", parallel_morsels_);
 }
 
 // --- EdgeScanOp -------------------------------------------------------------------
@@ -93,45 +180,115 @@ Status EdgeScanOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   cursor_ = 0;
   ids_.clear();
+  buffered_.clear();
+  materialized_ = false;
+  parallel_morsels_ = 0;
+  GRF_DCHECK(buffered_bytes_ == 0);
   ids_.reserve(gv_->NumEdges());
   gv_->ForEachEdge([&](const EdgeEntry& e) {
     ids_.push_back(e.id);
     return true;
   });
+  if (qualifier_ != nullptr && ctx_->parallel_enabled() &&
+      ids_.size() >= ctx_->parallel_min_rows()) {
+    return ParallelFilterOpen();
+  }
   return Status::OK();
 }
 
+StatusOr<bool> EdgeScanOp::MakeRow(EdgeId id, ExecRow* out,
+                                   QueryContext* ctx) {
+  const EdgeEntry* e = gv_->FindEdge(id);
+  if (e == nullptr) return false;
+  const Tuple* tuple = gv_->EdgeTuple(*e);
+  if (tuple == nullptr) return false;
+  ++ctx->stats().rows_scanned;
+  ExecRow row = layout_.MakeRow();
+  size_t c = offset_;
+  row.columns[c++] = Value::BigInt(e->id);
+  row.columns[c++] = Value::BigInt(e->from);
+  row.columns[c++] = Value::BigInt(e->to);
+  for (int col : attr_columns_) {
+    row.columns[c++] = tuple->value(static_cast<size_t>(col));
+  }
+  if (qualifier_ != nullptr) {
+    GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qualifier_, row));
+    if (!pass) return false;
+  }
+  *out = std::move(row);
+  return true;
+}
+
+Status EdgeScanOp::ParallelFilterOpen() {
+  materialized_ = true;
+  const size_t n = ids_.size();
+  const size_t morsel_size = ScanMorselSize(n, ctx_->max_parallelism());
+  const size_t num_morsels = (n + morsel_size - 1) / morsel_size;
+  std::vector<std::vector<ExecRow>> results(num_morsels);
+  std::vector<Status> statuses(num_morsels, Status::OK());
+  std::vector<uint64_t> scanned(num_morsels, 0);
+  ParallelFor(ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
+    const size_t m = begin / morsel_size;
+    QueryContext wctx(ctx_->memory_cap());
+    for (size_t i = begin; i < end; ++i) {
+      ExecRow row;
+      StatusOr<bool> made = MakeRow(ids_[i], &row, &wctx);
+      if (!made.ok()) {
+        statuses[m] = made.status();
+        break;
+      }
+      if (*made) results[m].push_back(std::move(row));
+    }
+    scanned[m] = wctx.stats().rows_scanned;
+  });
+  parallel_morsels_ = num_morsels;
+  for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
+  size_t rows = 0, bytes = 0;
+  for (size_t m = 0; m < num_morsels; ++m) {
+    ctx_->stats().rows_scanned += scanned[m];
+    rows += results[m].size();
+    for (const ExecRow& row : results[m]) bytes += row.ByteSize();
+  }
+  buffered_.reserve(rows);
+  for (auto& chunk : results) {
+    for (ExecRow& row : chunk) buffered_.push_back(std::move(row));
+  }
+  buffered_bytes_ = bytes;
+  return ctx_->ChargeBytes(bytes);
+}
+
 StatusOr<bool> EdgeScanOp::NextImpl(ExecRow* out) {
-  while (cursor_ < ids_.size()) {
-    const EdgeEntry* e = gv_->FindEdge(ids_[cursor_++]);
-    if (e == nullptr) continue;
-    const Tuple* tuple = gv_->EdgeTuple(*e);
-    if (tuple == nullptr) continue;
-    ++ctx_->stats().rows_scanned;
-    ExecRow row = layout_.MakeRow();
-    size_t c = offset_;
-    row.columns[c++] = Value::BigInt(e->id);
-    row.columns[c++] = Value::BigInt(e->from);
-    row.columns[c++] = Value::BigInt(e->to);
-    for (int col : attr_columns_) {
-      row.columns[c++] = tuple->value(static_cast<size_t>(col));
-    }
-    if (qualifier_ != nullptr) {
-      GRF_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*qualifier_, row));
-      if (!pass) continue;
-    }
-    *out = std::move(row);
+  if (materialized_) {
+    if (cursor_ >= buffered_.size()) return false;
+    *out = std::move(buffered_[cursor_++]);
     return true;
+  }
+  while (cursor_ < ids_.size()) {
+    GRF_ASSIGN_OR_RETURN(bool made, MakeRow(ids_[cursor_++], out, ctx_));
+    if (made) return true;
   }
   return false;
 }
 
-void EdgeScanOp::CloseImpl() { ids_.clear(); }
+void EdgeScanOp::CloseImpl() {
+  ids_.clear();
+  buffered_.clear();
+  if (buffered_bytes_ > 0) {
+    ctx_->ReleaseBytes(buffered_bytes_);
+    buffered_bytes_ = 0;
+  }
+  materialized_ = false;
+}
 
 std::string EdgeScanOp::name() const {
   std::string out = "EdgeScan(" + gv_->name();
   if (qualifier_ != nullptr) out += ", filter: " + qualifier_->ToString();
   return out + ")";
+}
+
+std::string EdgeScanOp::AnalyzeExtra() const {
+  if (parallel_morsels_ == 0) return "";
+  return StrFormat(" parallel_morsels=%zu", parallel_morsels_);
 }
 
 // --- PathProbeJoinOp ----------------------------------------------------------------
@@ -143,6 +300,9 @@ PathProbeJoinOp::PathProbeJoinOp(OperatorPtr outer,
 Status PathProbeJoinOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
   scanner_ = std::make_unique<PathScanner>(spec_, ctx);
+  parallel_.reset();
+  worker_totals_.clear();
+  parallel_probes_ = 0;
   outer_valid_ = false;
   return outer_->Open(ctx);
 }
@@ -166,11 +326,31 @@ StatusOr<std::vector<VertexId>> PathProbeJoinOp::StartsFor(
   return starts;
 }
 
+void PathProbeJoinOp::RetireParallelProbe() {
+  if (parallel_ == nullptr) return;
+  parallel_->Cancel();  // Joins workers + folds stats (idempotent).
+  const auto& reports = parallel_->reports();
+  if (worker_totals_.size() < reports.size()) {
+    worker_totals_.resize(reports.size());
+  }
+  for (size_t i = 0; i < reports.size(); ++i) {
+    worker_totals_[i].morsels += reports[i].morsels;
+    worker_totals_[i].paths += reports[i].paths;
+    worker_totals_[i].ns += reports[i].ns;
+  }
+  parallel_.reset();
+}
+
 StatusOr<bool> PathProbeJoinOp::NextImpl(ExecRow* out) {
   while (true) {
     if (outer_valid_) {
       PathPtr path;
-      GRF_ASSIGN_OR_RETURN(bool has, scanner_->Next(&path));
+      bool has = false;
+      if (parallel_ != nullptr) {
+        GRF_ASSIGN_OR_RETURN(has, parallel_->Next(&path));
+      } else {
+        GRF_ASSIGN_OR_RETURN(has, scanner_->Next(&path));
+      }
       if (has) {
         ExecRow row = outer_row_;
         if (row.paths.size() <= spec_->path_slot) {
@@ -181,6 +361,7 @@ StatusOr<bool> PathProbeJoinOp::NextImpl(ExecRow* out) {
         *out = std::move(row);
         return true;
       }
+      RetireParallelProbe();
       outer_valid_ = false;
     }
     GRF_ASSIGN_OR_RETURN(bool has_outer, outer_->Next(&outer_row_));
@@ -194,20 +375,47 @@ StatusOr<bool> PathProbeJoinOp::NextImpl(ExecRow* out) {
       GRF_ASSIGN_OR_RETURN(Value id, v.CastTo(ValueType::kBigInt));
       target = id.AsBigInt();
     }
-    GRF_RETURN_IF_ERROR(scanner_->Reset(std::move(starts), target,
-                                        &outer_row_));
+    if (ParallelPathProbe::Eligible(*spec_, *ctx_, starts.size())) {
+      parallel_ = std::make_unique<ParallelPathProbe>(spec_, ctx_);
+      ++parallel_probes_;
+      Status started =
+          parallel_->Start(std::move(starts), target, &outer_row_);
+      if (!started.ok()) {
+        RetireParallelProbe();
+        return started;
+      }
+    } else {
+      GRF_RETURN_IF_ERROR(scanner_->Reset(std::move(starts), target,
+                                          &outer_row_));
+    }
     outer_valid_ = true;
   }
 }
 
 void PathProbeJoinOp::CloseImpl() {
   outer_->Close();
+  RetireParallelProbe();
   if (scanner_ != nullptr) scanner_->Release();
   outer_valid_ = false;
 }
 
 std::string PathProbeJoinOp::name() const {
   return "PathProbeJoin[" + spec_->DebugString() + "]";
+}
+
+std::string PathProbeJoinOp::AnalyzeExtra() const {
+  if (parallel_probes_ == 0) return "";
+  std::string out = StrFormat(" parallel_probes=%llu workers=[",
+                              static_cast<unsigned long long>(parallel_probes_));
+  for (size_t i = 0; i < worker_totals_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += StrFormat(
+        "w%zu morsels=%llu paths=%llu time_ms=%.3f", i,
+        static_cast<unsigned long long>(worker_totals_[i].morsels),
+        static_cast<unsigned long long>(worker_totals_[i].paths),
+        static_cast<double>(worker_totals_[i].ns) / 1e6);
+  }
+  return out + "]";
 }
 
 }  // namespace grfusion

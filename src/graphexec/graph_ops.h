@@ -10,6 +10,7 @@
 #include "exec/row_layout.h"
 #include "expr/expression.h"
 #include "graph/graph_view.h"
+#include "graphexec/parallel_path_probe.h"
 #include "graphexec/path_scanner.h"
 #include "graphexec/traversal_spec.h"
 
@@ -28,6 +29,7 @@ class VertexScanOp : public PhysicalOperator {
                size_t offset, ExprPtr id_probe = nullptr);
   const Schema& schema() const override { return *layout_.schema; }
   std::string name() const override;
+  std::string AnalyzeExtra() const override;
 
  protected:
   Status OpenImpl(QueryContext* ctx) override;
@@ -35,6 +37,15 @@ class VertexScanOp : public PhysicalOperator {
   void CloseImpl() override;
 
  private:
+  /// Evaluates the qualifier over id morsels on the task pool, materializing
+  /// passing rows in morsel order (= serial scan order). Used when the scan
+  /// is large enough and the context enables parallelism.
+  Status ParallelFilterOpen();
+  /// Builds the exposed row for `id` and applies the qualifier; false means
+  /// "no row" (tombstoned id or filtered out). Stats go to `ctx`, which is a
+  /// private worker context on the parallel path.
+  StatusOr<bool> MakeRow(VertexId id, ExecRow* out, QueryContext* ctx);
+
   const GraphView* gv_;
   ExprPtr qualifier_;
   RowLayout layout_;
@@ -46,6 +57,11 @@ class VertexScanOp : public PhysicalOperator {
   QueryContext* ctx_ = nullptr;
   std::vector<VertexId> ids_;
   size_t cursor_ = 0;
+  /// Parallel-filter mode: rows pre-materialized in Open.
+  bool materialized_ = false;
+  std::vector<ExecRow> buffered_;
+  size_t buffered_bytes_ = 0;
+  size_t parallel_morsels_ = 0;
 };
 
 /// Scans the edges of a graph view (ID, FROM, TO, attrs...) — the paper's
@@ -56,6 +72,7 @@ class EdgeScanOp : public PhysicalOperator {
              size_t offset);
   const Schema& schema() const override { return *layout_.schema; }
   std::string name() const override;
+  std::string AnalyzeExtra() const override;
 
  protected:
   Status OpenImpl(QueryContext* ctx) override;
@@ -63,6 +80,9 @@ class EdgeScanOp : public PhysicalOperator {
   void CloseImpl() override;
 
  private:
+  Status ParallelFilterOpen();
+  StatusOr<bool> MakeRow(EdgeId id, ExecRow* out, QueryContext* ctx);
+
   const GraphView* gv_;
   ExprPtr qualifier_;
   RowLayout layout_;
@@ -73,6 +93,10 @@ class EdgeScanOp : public PhysicalOperator {
   QueryContext* ctx_ = nullptr;
   std::vector<EdgeId> ids_;
   size_t cursor_ = 0;
+  bool materialized_ = false;
+  std::vector<ExecRow> buffered_;
+  size_t buffered_bytes_ = 0;
+  size_t parallel_morsels_ = 0;
 };
 
 /// The cross-data-model join of paper Fig. 6: each row of the relational
@@ -87,6 +111,7 @@ class PathProbeJoinOp : public PhysicalOperator {
   PathProbeJoinOp(OperatorPtr outer, std::shared_ptr<const TraversalSpec> spec);
   const Schema& schema() const override { return outer_->schema(); }
   std::string name() const override;
+  std::string AnalyzeExtra() const override;
   std::vector<const PhysicalOperator*> children() const override {
     return {outer_.get()};
   }
@@ -101,10 +126,17 @@ class PathProbeJoinOp : public PhysicalOperator {
   /// value, or every vertex of the graph view when unbound (paper §5.1.2).
   StatusOr<std::vector<VertexId>> StartsFor(const ExecRow& outer_row);
 
+  /// Folds a finished parallel probe's per-worker fan-out into the lifetime
+  /// totals shown by EXPLAIN ANALYZE, then tears the probe down.
+  void RetireParallelProbe();
+
   OperatorPtr outer_;
   std::shared_ptr<const TraversalSpec> spec_;
   QueryContext* ctx_ = nullptr;
   std::unique_ptr<PathScanner> scanner_;
+  std::unique_ptr<ParallelPathProbe> parallel_;
+  std::vector<ParallelPathProbe::WorkerReport> worker_totals_;
+  uint64_t parallel_probes_ = 0;
   ExecRow outer_row_;
   bool outer_valid_ = false;
 };

@@ -177,14 +177,17 @@ Status PathScanner::Expand(const Candidate& candidate) {
   const VertexEntry* end = spec_->gv->FindVertex(candidate.path.EndVertex());
   if (end == nullptr) return Status::OK();  // Vertex deleted mid-query.
 
-  // SPScan expansion cap (classic k-shortest-paths pruning).
+  const VertexId start = candidate.path.StartVertex();
+
+  // SPScan expansion cap (classic k-shortest-paths pruning), counted per
+  // (start, vertex) so every start enumerates its own k shortest paths
+  // independently — identical under serial and per-morsel parallel execution.
   if (spec_->physical == TraversalSpec::Physical::kShortestPath &&
       spec_->sp_expansion_cap != kNoMaxLength) {
-    size_t& count = expansions_[end->id];
+    size_t& count = expansions_[{start, end->id}];
     if (++count > spec_->sp_expansion_cap) return Status::OK();
   }
 
-  const VertexId start = candidate.path.StartVertex();
   const size_t edge_index = candidate.path.Length();
   Status status = Status::OK();
 

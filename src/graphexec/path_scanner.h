@@ -2,11 +2,12 @@
 #define GRFUSION_GRAPHEXEC_PATH_SCANNER_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "exec/query_context.h"
@@ -59,9 +60,12 @@ class PathScanner {
     bool closing = false;      ///< Cycle back to start: emit but never extend.
   };
 
+  /// Min-heap over the deterministic SPScan total order (cost, vertex seq,
+  /// edge seq — see ComparePathOrder). The tie-break makes serial emission
+  /// and the parallel per-morsel merge produce the same sequence.
   struct CostOrder {
     bool operator()(const Candidate& a, const Candidate& b) const {
-      return a.path.accumulated_cost > b.path.accumulated_cost;  // Min-heap.
+      return ComparePathOrder(a.path, b.path) > 0;
     }
   };
 
@@ -94,7 +98,11 @@ class PathScanner {
   std::deque<Candidate> frontier_;  ///< DFS stack (back) / BFS queue (front).
   std::priority_queue<Candidate, std::vector<Candidate>, CostOrder> heap_;
   std::unordered_set<VertexId> visited_;      ///< global_visited mode.
-  std::unordered_map<VertexId, size_t> expansions_;  ///< SPScan cap.
+  /// SPScan expansion cap, counted per (start, vertex): each start's
+  /// k-shortest enumeration is independent of the other starts, so a
+  /// multi-source probe gives the same answers whether the starts run in one
+  /// shared frontier (serial) or in per-morsel scanners (parallel).
+  std::map<std::pair<VertexId, VertexId>, size_t> expansions_;
   size_t charged_ = 0;  ///< Bytes currently charged for the frontier.
 };
 

@@ -76,6 +76,17 @@ struct TraversalSpec {
   /// exponential all-simple-paths enumeration into O(V+E) search.
   bool global_visited = false;
 
+  /// Whether this probe may fan out across workers when it has multiple
+  /// start vertexes. The planner clears it when the query's *result* depends
+  /// on the serial emission order:
+  ///  - DFS/BFS feeding a bare LIMIT/TOP k (no ORDER BY): which k paths
+  ///    survive depends on interleaving, so those stay serial;
+  ///  - global_visited: the shared visited set makes each start's witness
+  ///    path depend on what earlier starts visited.
+  /// SPScan is always parallel-safe: per-morsel streams are merged in
+  /// (cost, vertex-seq, edge-seq) order, which equals the serial order.
+  bool parallel_safe = true;
+
   std::string DebugString() const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 #include <unordered_map>
 
 #include "common/string_util.h"
@@ -12,6 +13,12 @@
 #include "graphexec/graph_ops.h"
 
 namespace grfusion {
+
+size_t PlannerOptions::effective_parallelism() const {
+  if (max_parallelism != 0) return max_parallelism;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
 
 namespace {
 
@@ -742,6 +749,22 @@ StatusOr<PlannedQuery> Planner::PlanSelect(const SelectStmt& stmt) const {
         }
       }
     }
+
+    // Parallel-safety (morsel-driven multi-source fan-out): DFS/BFS stream
+    // results in interleave-dependent order, so any LIMIT/TOP — where
+    // *which* rows survive can depend on emission order (directly, through
+    // first-seen DISTINCT/group order, or through ORDER BY ties) — pins the
+    // probe to serial execution. Queries that consume the full stream are
+    // order-insensitive: the emitted multiset is identical for any
+    // interleaving. SPScan stays eligible even under TOP k: its parallel
+    // merge reproduces the serial (cost, path) total order exactly. The
+    // visited-once fast path shares one visited set across starts and never
+    // fans out.
+    if (spec.physical != TraversalSpec::Physical::kShortestPath &&
+        (stmt.limit >= 0 || stmt.top >= 0)) {
+      spec.parallel_safe = false;
+    }
+    if (spec.global_visited) spec.parallel_safe = false;
 
     tree = std::make_unique<PathProbeJoinOp>(std::move(tree), plan.spec);
   }

@@ -53,6 +53,20 @@ struct PlannerOptions {
 
   /// Destination for slow-query trace lines; empty means stderr.
   std::string slow_query_log_path;
+
+  /// Worker fan-out ceiling for morsel-driven parallel execution (parallel
+  /// multi-source PathScan, parallel Vertex/EdgeScan qualifier evaluation,
+  /// parallel graph-view construction). 1 reproduces the single-threaded
+  /// engine exactly; 0 means "use hardware_concurrency".
+  size_t max_parallelism = 0;
+
+  /// Inputs below this row count stay on the serial path even when
+  /// parallelism is enabled (fan-out overhead dominates tiny inputs).
+  /// Tests lower it to exercise parallel execution on small graphs.
+  size_t parallel_min_rows = 2048;
+
+  /// Resolves max_parallelism = 0 to the hardware default.
+  size_t effective_parallelism() const;
 };
 
 /// A compiled query: the physical operator tree plus result column names.

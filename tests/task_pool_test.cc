@@ -1,0 +1,147 @@
+#include "common/task_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace grfusion {
+namespace {
+
+TEST(TaskPoolTest, RunsEverySubmittedTask) {
+  TaskPool pool(4);
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 500; ++i) {
+    group.Run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 500);
+  EXPECT_EQ(pool.stats().submitted, 500u);
+  // The executed counter is bumped after the task body returns, which can
+  // race slightly behind Wait(); poll instead of asserting instantly.
+  while (pool.stats().executed < 500) std::this_thread::yield();
+  EXPECT_EQ(pool.stats().executed, 500u);
+}
+
+TEST(TaskPoolTest, StealsWorkFromABusyWorker) {
+  TaskPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> blocker_running{false};
+  std::atomic<int> done{0};
+  // Pin a blocker to worker 0 and wait until some worker has actually claimed
+  // it. Then pin a second task to worker 0's queue: whichever worker is NOT
+  // running the blocker must steal across queues to execute it, so every
+  // interleaving produces at least one steal.
+  pool.SubmitTo(0, [&] {
+    blocker_running.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    done.fetch_add(1);
+  });
+  while (!blocker_running.load()) std::this_thread::yield();
+  pool.SubmitTo(0, [&] {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    done.fetch_add(1);
+  });
+  while (done.load() < 2) std::this_thread::yield();
+  EXPECT_GE(pool.stats().stolen, 1u);
+}
+
+TEST(TaskPoolTest, PropagatesFirstExceptionThroughWait) {
+  TaskPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    group.Run([&ran, i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_TRUE(group.Cancelled());
+  // The other tasks still ran to completion (the pool never drops work).
+  EXPECT_EQ(ran.load(), 7);
+}
+
+TEST(TaskPoolTest, ShutdownWhileBusyDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    TaskPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    // Destructor runs with tasks still queued and in flight.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(TaskPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  TaskPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(&pool, kN, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPoolTest, ParallelForRunsInlineWithoutPool) {
+  size_t covered = 0;
+  ParallelFor(nullptr, 100, 16, [&](size_t begin, size_t end) {
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered, 100u);
+}
+
+// Stress case aimed at TSan: many producers hammer one pool while workers
+// steal; every task touches shared state through atomics only.
+TEST(TaskPoolTest, ConcurrentProducersStress) {
+  TaskPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 200;
+  std::vector<std::thread> producers;
+  std::atomic<int> produced{0};
+  auto group = std::make_unique<TaskGroup>(&pool);
+  std::mutex run_mu;  // TaskGroup::Run itself is called from many threads.
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int t = 0; t < kTasksPerProducer; ++t) {
+        const uint64_t id = static_cast<uint64_t>(p) * kTasksPerProducer + t;
+        std::lock_guard<std::mutex> lock(run_mu);
+        group->Run([&sum, id] { sum.fetch_add(id); });
+        produced.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  group->Wait();
+  EXPECT_EQ(produced.load(), kProducers * kTasksPerProducer);
+  uint64_t expected = 0;
+  for (int i = 0; i < kProducers * kTasksPerProducer; ++i) {
+    expected += static_cast<uint64_t>(i);
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace grfusion

@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Builds and tests both configurations:
+# Builds and tests the three configurations:
 #   build/          RelWithDebInfo (the tier-1 configuration)
 #   build-sanitize/ Debug + ASan/UBSan, with GRF_DCHECK assertions live
+#   build-tsan/     Debug + ThreadSanitizer (task pool + parallel executor)
+#
+# The sanitize and tsan configurations additionally re-run the graph
+# differential suite (serial vs. morsel-parallel vs. brute-force reference)
+# twice: once with its built-in fixed seeds and once with a fresh random
+# seed exported through GRF_FUZZ_SEED, so every CI run explores new graphs.
 #
 # Usage: tools/check.sh [--fast]
 #   --fast  tier-1 configuration only
@@ -17,12 +23,29 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+# Graph differential suite under one instrumented build: fixed seeds first
+# (reproducible), then one random seed (printed so failures can be replayed
+# with GRF_FUZZ_SEED=<seed>).
+run_graph_diff() {
+  local dir="$1"
+  ctest --test-dir "$dir" --output-on-failure -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool'
+  local seed="${GRF_FUZZ_SEED:-$RANDOM$RANDOM}"
+  echo "== graph differential suite, random seed ${seed} =="
+  GRF_FUZZ_SEED="$seed" ctest --test-dir "$dir" --output-on-failure \
+    -R 'GraphDiffFuzzEnvTest'
+}
+
 echo "== tier-1 (RelWithDebInfo) =="
 run_config build -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== sanitize (Debug + ASan/UBSan) =="
   run_config build-sanitize -DCMAKE_BUILD_TYPE=Debug -DGRF_SANITIZE=ON
+  run_graph_diff build-sanitize
+
+  echo "== tsan (Debug + ThreadSanitizer) =="
+  run_config build-tsan -DCMAKE_BUILD_TYPE=Debug -DGRF_TSAN=ON
+  run_graph_diff build-tsan
 fi
 
 echo "All checks passed."
