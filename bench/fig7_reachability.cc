@@ -125,6 +125,7 @@ double MultiSourceSweepMs(Database& db, const std::string& name,
                           size_t threads) {
   db.options().max_parallelism = threads;
   db.options().parallel_min_rows = 1;
+  db.options().parallel_min_starts = 1;
   std::string sql = StrFormat(
       "SELECT COUNT(P) FROM %s.Paths P WHERE P.Length <= 2", name.c_str());
   // Warm-up, then median of 3 timed runs.
@@ -147,6 +148,7 @@ double MultiSourceSweepMs(Database& db, const std::string& name,
   std::sort(runs.begin(), runs.end());
   db.options().max_parallelism = 0;
   db.options().parallel_min_rows = 2048;
+  db.options().parallel_min_starts = 8;
   return runs[runs.size() / 2];
 }
 

@@ -47,6 +47,13 @@ void TaskPool::SubmitTo(size_t worker, std::function<void()> fn) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   tasks_metric_->Increment();
   depth_metric_->Set(static_cast<int64_t>(queue_depth()));
+  {
+    // Empty critical section: a worker that observed pending==0 inside its
+    // wait predicate cannot block until we leave idle_mu_, so the notify
+    // below is never lost between its predicate check and its sleep. The
+    // destructor orders stopping_ the same way.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
   idle_cv_.notify_one();
 }
 

@@ -604,6 +604,7 @@ StatusOr<ResultSet> Database::RunPlan(const PlannedQuery& planned,
     ctx.set_task_pool(&TaskPool::Shared());
     ctx.set_max_parallelism(parallelism);
     ctx.set_parallel_min_rows(options_.parallel_min_rows);
+    ctx.set_parallel_min_starts(options_.parallel_min_starts);
   }
   ResultSet result;
   result.column_names = planned.output_names;

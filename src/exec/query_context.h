@@ -1,8 +1,10 @@
 #ifndef GRFUSION_EXEC_QUERY_CONTEXT_H_
 #define GRFUSION_EXEC_QUERY_CONTEXT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "common/logging.h"
 #include "common/status.h"
@@ -10,6 +12,39 @@
 namespace grfusion {
 
 class TaskPool;
+
+/// Thread-safe byte budget shared by the worker contexts of one parallel
+/// fan-out. Seeded with the parent query's *remaining* headroom under its
+/// memory cap, it makes the cap a per-query guarantee: W workers charging
+/// concurrently can never hold more than the budget in aggregate, instead of
+/// up to W x cap with per-worker caps only. Charge-then-check semantics match
+/// QueryContext::ChargeBytes; every Charge must be paired with a Release (or
+/// the budget discarded) — the budget is scoped to a single fan-out.
+class SharedMemoryBudget {
+ public:
+  explicit SharedMemoryBudget(size_t limit) : limit_(limit) {}
+
+  Status Charge(size_t bytes) {
+    size_t used = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (used > limit_) {
+      return Status::ResourceExhausted(
+          "parallel workers exceeded the query's remaining memory budget (" +
+          std::to_string(used) + " > " + std::to_string(limit_) + " bytes)");
+    }
+    return Status::OK();
+  }
+
+  void Release(size_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t limit() const { return limit_; }
+
+ private:
+  const size_t limit_;
+  std::atomic<size_t> used_{0};
+};
 
 /// Execution statistics collected per query. Benches read these to report
 /// the *work* an approach performs (e.g., vertexes expanded by a traversal
@@ -66,6 +101,7 @@ class QueryContext {
           std::to_string(current_bytes_) + " > " +
           std::to_string(memory_cap_) + " bytes)");
     }
+    if (shared_budget_ != nullptr) return shared_budget_->Charge(bytes);
     return Status::OK();
   }
 
@@ -74,6 +110,21 @@ class QueryContext {
     // under-charged; the release-build clamp hides the bug, so trap it here.
     GRF_DCHECK(bytes <= current_bytes_);
     current_bytes_ = bytes > current_bytes_ ? 0 : current_bytes_ - bytes;
+    if (shared_budget_ != nullptr) shared_budget_->Release(bytes);
+  }
+
+  /// Headroom left under the cap; a parallel fan-out seeds its workers'
+  /// SharedMemoryBudget with this so aggregate worker usage stays within the
+  /// query-level cap.
+  size_t remaining_budget() const {
+    return current_bytes_ >= memory_cap_ ? 0 : memory_cap_ - current_bytes_;
+  }
+
+  /// Worker contexts of a parallel fan-out additionally charge/release
+  /// against this cross-worker budget (not owned; must outlive the context's
+  /// last charge/release).
+  void set_shared_budget(SharedMemoryBudget* budget) {
+    shared_budget_ = budget;
   }
 
   size_t current_bytes() const { return current_bytes_; }
@@ -106,6 +157,13 @@ class QueryContext {
   void set_parallel_min_rows(size_t n) { parallel_min_rows_ = n; }
   size_t parallel_min_rows() const { return parallel_min_rows_; }
 
+  /// Minimum distinct start vertices before a multi-source path probe fans
+  /// out. Distinct from parallel_min_rows: each start seeds a whole
+  /// traversal, so the useful threshold is far lower than for per-row scan
+  /// work. Probes with fewer starts (always < 2) run serial.
+  void set_parallel_min_starts(size_t n) { parallel_min_starts_ = n; }
+  size_t parallel_min_starts() const { return parallel_min_starts_; }
+
   bool parallel_enabled() const {
     return task_pool_ != nullptr && max_parallelism_ > 1;
   }
@@ -126,6 +184,8 @@ class QueryContext {
   TaskPool* task_pool_ = nullptr;
   size_t max_parallelism_ = 1;
   size_t parallel_min_rows_ = 2048;
+  size_t parallel_min_starts_ = 8;
+  SharedMemoryBudget* shared_budget_ = nullptr;
   ExecStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "graphexec/graph_ops.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -61,7 +62,18 @@ Status VertexScanOp::OpenImpl(QueryContext* ctx) {
   });
   if (qualifier_ != nullptr && ctx_->parallel_enabled() &&
       ids_.size() >= ctx_->parallel_min_rows()) {
-    return ParallelFilterOpen();
+    Status parallel = ParallelFilterOpen();
+    if (parallel.ok() ||
+        parallel.code() != StatusCode::kResourceExhausted) {
+      return parallel;
+    }
+    // Buffering the passing rows does not fit under the memory cap. The
+    // serial path streams one row at a time and materializes nothing, so
+    // fall back to it instead of failing a query that fits serially.
+    buffered_.clear();
+    buffered_bytes_ = 0;
+    materialized_ = false;
+    parallel_morsels_ = 0;
   }
   return Status::OK();
 }
@@ -90,31 +102,44 @@ StatusOr<bool> VertexScanOp::MakeRow(VertexId id, ExecRow* out,
 }
 
 Status VertexScanOp::ParallelFilterOpen() {
-  materialized_ = true;
   const size_t n = ids_.size();
   const size_t morsel_size = ScanMorselSize(n, ctx_->max_parallelism());
   const size_t num_morsels = (n + morsel_size - 1) / morsel_size;
   // Per-morsel outputs are concatenated in morsel-index order, which equals
-  // the serial scan order; workers get private stats contexts.
+  // the serial scan order; workers get private stats contexts. Every buffered
+  // row is charged against the parent's remaining headroom *as it is
+  // materialized*, so the memory cap stops the allocation while it happens —
+  // not after — and aggregate worker usage respects the query-level cap.
   std::vector<std::vector<ExecRow>> results(num_morsels);
   std::vector<Status> statuses(num_morsels, Status::OK());
   std::vector<uint64_t> scanned(num_morsels, 0);
+  SharedMemoryBudget budget(ctx_->remaining_budget());
+  std::atomic<bool> abort{false};
   ParallelFor(ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
+    if (abort.load(std::memory_order_relaxed)) return;
     const size_t m = begin / morsel_size;
     QueryContext wctx(ctx_->memory_cap());
+    wctx.set_shared_budget(&budget);
     for (size_t i = begin; i < end; ++i) {
+      if (abort.load(std::memory_order_relaxed)) break;
       ExecRow row;
       StatusOr<bool> made = MakeRow(ids_[i], &row, &wctx);
-      if (!made.ok()) {
-        statuses[m] = made.status();
+      Status status = made.status();
+      if (status.ok() && *made) status = wctx.ChargeBytes(row.ByteSize());
+      if (!status.ok()) {
+        statuses[m] = status;
+        abort.store(true, std::memory_order_relaxed);
         break;
       }
       if (*made) results[m].push_back(std::move(row));
     }
     scanned[m] = wctx.stats().rows_scanned;
   });
-  parallel_morsels_ = num_morsels;
+  // Merge nothing on failure: the caller may fall back to the serial path,
+  // which rescans from scratch (stats would double-count otherwise).
   for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
+  materialized_ = true;
+  parallel_morsels_ = num_morsels;
   size_t rows = 0, bytes = 0;
   for (size_t m = 0; m < num_morsels; ++m) {
     ctx_->stats().rows_scanned += scanned[m];
@@ -126,6 +151,8 @@ Status VertexScanOp::ParallelFilterOpen() {
     for (ExecRow& row : chunk) buffered_.push_back(std::move(row));
   }
   buffered_bytes_ = bytes;
+  // `budget` validated bytes <= remaining_budget during the build, so the
+  // parent-level charge below cannot newly exceed the cap.
   return ctx_->ChargeBytes(bytes);
 }
 
@@ -191,7 +218,17 @@ Status EdgeScanOp::OpenImpl(QueryContext* ctx) {
   });
   if (qualifier_ != nullptr && ctx_->parallel_enabled() &&
       ids_.size() >= ctx_->parallel_min_rows()) {
-    return ParallelFilterOpen();
+    Status parallel = ParallelFilterOpen();
+    if (parallel.ok() ||
+        parallel.code() != StatusCode::kResourceExhausted) {
+      return parallel;
+    }
+    // See VertexScanOp::OpenImpl: stream serially instead of failing a
+    // query whose only oversized materialization was the parallel buffer.
+    buffered_.clear();
+    buffered_bytes_ = 0;
+    materialized_ = false;
+    parallel_morsels_ = 0;
   }
   return Status::OK();
 }
@@ -220,29 +257,39 @@ StatusOr<bool> EdgeScanOp::MakeRow(EdgeId id, ExecRow* out,
 }
 
 Status EdgeScanOp::ParallelFilterOpen() {
-  materialized_ = true;
+  // Mirrors VertexScanOp::ParallelFilterOpen: per-row charging against the
+  // parent's remaining headroom during the build, sibling abort on error.
   const size_t n = ids_.size();
   const size_t morsel_size = ScanMorselSize(n, ctx_->max_parallelism());
   const size_t num_morsels = (n + morsel_size - 1) / morsel_size;
   std::vector<std::vector<ExecRow>> results(num_morsels);
   std::vector<Status> statuses(num_morsels, Status::OK());
   std::vector<uint64_t> scanned(num_morsels, 0);
+  SharedMemoryBudget budget(ctx_->remaining_budget());
+  std::atomic<bool> abort{false};
   ParallelFor(ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
+    if (abort.load(std::memory_order_relaxed)) return;
     const size_t m = begin / morsel_size;
     QueryContext wctx(ctx_->memory_cap());
+    wctx.set_shared_budget(&budget);
     for (size_t i = begin; i < end; ++i) {
+      if (abort.load(std::memory_order_relaxed)) break;
       ExecRow row;
       StatusOr<bool> made = MakeRow(ids_[i], &row, &wctx);
-      if (!made.ok()) {
-        statuses[m] = made.status();
+      Status status = made.status();
+      if (status.ok() && *made) status = wctx.ChargeBytes(row.ByteSize());
+      if (!status.ok()) {
+        statuses[m] = status;
+        abort.store(true, std::memory_order_relaxed);
         break;
       }
       if (*made) results[m].push_back(std::move(row));
     }
     scanned[m] = wctx.stats().rows_scanned;
   });
-  parallel_morsels_ = num_morsels;
   for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
+  materialized_ = true;
+  parallel_morsels_ = num_morsels;
   size_t rows = 0, bytes = 0;
   for (size_t m = 0; m < num_morsels; ++m) {
     ctx_->stats().rows_scanned += scanned[m];
@@ -376,13 +423,19 @@ StatusOr<bool> PathProbeJoinOp::NextImpl(ExecRow* out) {
       target = id.AsBigInt();
     }
     if (ParallelPathProbe::Eligible(*spec_, *ctx_, starts.size())) {
+      // Keep the starts so a ResourceExhausted fan-out (the buffered-merge
+      // protocol can need memory the streaming serial scanner does not) can
+      // fall back to serial execution instead of failing the query.
+      std::vector<VertexId> serial_starts = starts;
       parallel_ = std::make_unique<ParallelPathProbe>(spec_, ctx_);
       ++parallel_probes_;
       Status started =
           parallel_->Start(std::move(starts), target, &outer_row_);
       if (!started.ok()) {
         RetireParallelProbe();
-        return started;
+        if (started.code() != StatusCode::kResourceExhausted) return started;
+        GRF_RETURN_IF_ERROR(scanner_->Reset(std::move(serial_starts), target,
+                                            &outer_row_));
       }
     } else {
       GRF_RETURN_IF_ERROR(scanner_->Reset(std::move(starts), target,

@@ -83,10 +83,11 @@ bool ParallelPathProbe::Eligible(const TraversalSpec& spec,
   if (!ctx.parallel_enabled()) return false;
   if (!spec.parallel_safe || spec.global_visited) return false;
   // Fanning out a probe costs task dispatch + a merge; require enough starts
-  // to split. Tests lower parallel_min_rows to parallelize tiny probes.
-  size_t min_starts =
-      std::max<size_t>(2, std::min<size_t>(ctx.parallel_min_rows(), 8));
-  return num_starts >= min_starts;
+  // to split. Probe eligibility is governed by parallel_min_starts (each
+  // start seeds a whole traversal, so the useful threshold is far lower than
+  // parallel_min_rows); tests lower it to parallelize tiny probes, and
+  // raising it — like max_parallelism=1 — disables probe fan-out entirely.
+  return num_starts >= std::max<size_t>(2, ctx.parallel_min_starts());
 }
 
 Status ParallelPathProbe::Start(std::vector<VertexId> starts,
@@ -95,6 +96,10 @@ Status ParallelPathProbe::Start(std::vector<VertexId> starts,
   started_ = true;
   target_ = target;
   outer_row_ = outer_row;
+  // All workers charge against the parent's remaining headroom, so the
+  // memory cap stays a per-query guarantee (not per-worker: W workers could
+  // otherwise hold up to W x cap in aggregate).
+  budget_ = std::make_unique<SharedMemoryBudget>(parent_->remaining_budget());
 
   // Sort + dedupe once, up front: the morsel partition is then a pure
   // function of the start set (PathScanner::Reset re-sorts per morsel, but
@@ -154,6 +159,7 @@ void ParallelPathProbe::WorkerBody(size_t widx, bool ordered) {
   const uint64_t t0 = NowNs();
   WorkerSlot& slot = slots_[widx];
   QueryContext wctx(parent_->memory_cap());
+  wctx.set_shared_budget(budget_.get());
   {
     PathScanner scanner(spec_, &wctx);
     std::vector<PathPtr> batch;  // Streaming protocol: flushed every

@@ -36,9 +36,12 @@ namespace grfusion {
 ///    merged sequence is byte-identical to serial emission for any worker
 ///    count or morsel partition.
 ///
-/// Each worker owns a private QueryContext (same memory cap as the parent);
-/// worker ExecStats and peak bytes are folded into the parent on the query
-/// thread after workers join — QueryContext itself is never shared.
+/// Each worker owns a private QueryContext (never shared between threads)
+/// whose charges additionally flow into a SharedMemoryBudget seeded with the
+/// parent's remaining headroom under its cap, so aggregate worker memory
+/// respects the query-level cap instead of multiplying it by the worker
+/// count. Worker ExecStats and peak bytes are folded into the parent on the
+/// query thread after workers join.
 class ParallelPathProbe {
  public:
   struct WorkerReport {
@@ -53,7 +56,7 @@ class ParallelPathProbe {
 
   /// True when this probe should fan out: parallelism is enabled on the
   /// context, the planner marked the spec order-safe, and there are enough
-  /// starts to be worth splitting (>= max(2, min(parallel_min_rows, 8))).
+  /// starts to be worth splitting (>= max(2, parallel_min_starts)).
   static bool Eligible(const TraversalSpec& spec, const QueryContext& ctx,
                        size_t num_starts);
 
@@ -120,6 +123,9 @@ class ParallelPathProbe {
   const ExecRow* outer_row_ = nullptr;
 
   std::unique_ptr<TaskGroup> group_;
+  /// Cross-worker byte budget for this one fan-out (parent's remaining
+  /// headroom at Start); outlives the workers, dies with the probe.
+  std::unique_ptr<SharedMemoryBudget> budget_;
   std::atomic<size_t> morsel_cursor_{0};
   std::atomic<bool> cancel_{false};
   Channel channel_;

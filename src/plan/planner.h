@@ -63,7 +63,15 @@ struct PlannerOptions {
   /// Inputs below this row count stay on the serial path even when
   /// parallelism is enabled (fan-out overhead dominates tiny inputs).
   /// Tests lower it to exercise parallel execution on small graphs.
+  /// Governs per-row work: parallel scans and graph-view builds.
   size_t parallel_min_rows = 2048;
+
+  /// Multi-source path probes fan out only with at least this many distinct
+  /// start vertices (never fewer than 2). A separate, much lower threshold
+  /// than parallel_min_rows because each start seeds a whole traversal;
+  /// raising it arbitrarily high disables probe fan-out, like
+  /// max_parallelism = 1 does globally.
+  size_t parallel_min_starts = 8;
 
   /// Resolves max_parallelism = 0 to the hardware default.
   size_t effective_parallelism() const;

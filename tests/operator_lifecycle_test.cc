@@ -170,5 +170,38 @@ TEST_F(OperatorLifecycleTest, NestedLoopJoinCrossProduct) {
   EXPECT_EQ(ctx.current_bytes(), 0u);
 }
 
+TEST(SharedMemoryBudgetTest, EnforcesAggregateLimitAcrossContexts) {
+  // Two worker contexts with generous private caps share a 100-byte budget:
+  // the cap must be a query-level guarantee, not per-worker.
+  SharedMemoryBudget budget(100);
+  QueryContext w1(/*memory_cap=*/1 << 20);
+  QueryContext w2(/*memory_cap=*/1 << 20);
+  w1.set_shared_budget(&budget);
+  w2.set_shared_budget(&budget);
+  EXPECT_TRUE(w1.ChargeBytes(60).ok());
+  EXPECT_TRUE(w2.ChargeBytes(40).ok());
+  EXPECT_EQ(budget.used(), 100u);
+  // Either worker tipping past the shared limit fails, even though each is
+  // far below its private cap.
+  Status over = w2.ChargeBytes(1);
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  // Releases flow back to the shared budget and unblock future charges.
+  w2.ReleaseBytes(41);
+  w1.ReleaseBytes(60);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_TRUE(w1.ChargeBytes(100).ok());
+}
+
+TEST(SharedMemoryBudgetTest, RemainingBudgetTracksHeadroom) {
+  QueryContext ctx(/*memory_cap=*/1000);
+  EXPECT_EQ(ctx.remaining_budget(), 1000u);
+  ASSERT_TRUE(ctx.ChargeBytes(600).ok());
+  EXPECT_EQ(ctx.remaining_budget(), 400u);
+  // Charge-then-check: an over-cap context has zero headroom, not underflow.
+  (void)ctx.ChargeBytes(600);
+  EXPECT_EQ(ctx.remaining_budget(), 0u);
+  ctx.ReleaseBytes(1200);
+}
+
 }  // namespace
 }  // namespace grfusion

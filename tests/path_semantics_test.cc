@@ -328,6 +328,7 @@ TEST_P(PathSemanticsTest, ParallelEnumerationMatchesSerialMultiset) {
   auto run = [&](size_t parallelism) {
     db_.options().max_parallelism = parallelism;
     db_.options().parallel_min_rows = 1;
+    db_.options().parallel_min_starts = 1;
     auto result = db_.Execute(sql);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     std::multiset<std::string> out;
@@ -346,6 +347,7 @@ TEST_P(PathSemanticsTest, ParallelEnumerationMatchesSerialMultiset) {
   db_.options().default_traversal = PlannerOptions::Traversal::kAuto;
   db_.options().max_parallelism = 0;
   db_.options().parallel_min_rows = 2048;
+  db_.options().parallel_min_starts = 8;
 }
 
 TEST_P(PathSemanticsTest, ParallelTopKShortestPathsKeepSerialOrder) {
@@ -360,6 +362,7 @@ TEST_P(PathSemanticsTest, ParallelTopKShortestPathsKeepSerialOrder) {
   auto run = [&](const std::string& sql, size_t parallelism) {
     db_.options().max_parallelism = parallelism;
     db_.options().parallel_min_rows = 1;
+    db_.options().parallel_min_starts = 1;
     auto result = db_.Execute(sql);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     std::vector<std::string> out;
@@ -377,6 +380,7 @@ TEST_P(PathSemanticsTest, ParallelTopKShortestPathsKeepSerialOrder) {
   }
   db_.options().max_parallelism = 0;
   db_.options().parallel_min_rows = 2048;
+  db_.options().parallel_min_starts = 8;
 }
 
 TEST_P(PathSemanticsTest, LimitWithoutOrderByIsStableUnderParallelism) {
@@ -387,6 +391,7 @@ TEST_P(PathSemanticsTest, LimitWithoutOrderByIsStableUnderParallelism) {
   auto run = [&](size_t parallelism) {
     db_.options().max_parallelism = parallelism;
     db_.options().parallel_min_rows = 1;
+    db_.options().parallel_min_starts = 1;
     auto result = db_.Execute(sql);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     std::vector<std::string> out;
@@ -399,16 +404,19 @@ TEST_P(PathSemanticsTest, LimitWithoutOrderByIsStableUnderParallelism) {
   }
   db_.options().max_parallelism = 0;
   db_.options().parallel_min_rows = 2048;
+  db_.options().parallel_min_starts = 8;
 }
 
 TEST_P(PathSemanticsTest, ExplainAnalyzeReportsParallelFanOut) {
   db_.options().max_parallelism = 4;
   db_.options().parallel_min_rows = 1;
+  db_.options().parallel_min_starts = 1;
   auto result = db_.Execute(
       "EXPLAIN ANALYZE SELECT P.StartVertex.Id, P.PathString "
       "FROM g.Paths P WHERE P.Length <= 2");
   db_.options().max_parallelism = 0;
   db_.options().parallel_min_rows = 2048;
+  db_.options().parallel_min_starts = 8;
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   std::string plan;
   for (const auto& row : result->rows) plan += row[0].AsVarchar() + "\n";
@@ -417,6 +425,89 @@ TEST_P(PathSemanticsTest, ExplainAnalyzeReportsParallelFanOut) {
   EXPECT_NE(plan.find("parallel_probes="), std::string::npos) << plan;
   EXPECT_NE(plan.find("workers=["), std::string::npos) << plan;
   EXPECT_NE(plan.find("morsels="), std::string::npos) << plan;
+}
+
+TEST_P(PathSemanticsTest, ParallelMinStartsKnobDisablesProbeFanOut) {
+  // Probe eligibility is governed by parallel_min_starts directly (no hidden
+  // clamp): raising it above the start count keeps every probe on the serial
+  // scanner even though parallelism stays enabled for scans and builds.
+  auto plan_for = [&](size_t min_starts) {
+    db_.options().max_parallelism = 4;
+    db_.options().parallel_min_rows = 1;
+    db_.options().parallel_min_starts = min_starts;
+    auto result = db_.Execute(
+        "EXPLAIN ANALYZE SELECT P.PathString FROM g.Paths P "
+        "WHERE P.Length <= 2");
+    db_.options().max_parallelism = 0;
+    db_.options().parallel_min_rows = 2048;
+    db_.options().parallel_min_starts = 8;
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::string plan;
+    if (result.ok()) {
+      for (const auto& row : result->rows) plan += row[0].AsVarchar() + "\n";
+    }
+    return plan;
+  };
+  EXPECT_EQ(plan_for(1 << 20).find("parallel_probes="), std::string::npos);
+  EXPECT_NE(plan_for(1).find("parallel_probes="), std::string::npos);
+}
+
+TEST_P(PathSemanticsTest, TinyMemoryCapFallsBackToSerialUnderParallelism) {
+  // Parallel scans materialize passing rows and parallel SPScan buffers
+  // per-morsel runs — both charge against the query's remaining budget as
+  // they build. A cap too small for those buffers must not fail a query that
+  // streams fine serially: the fan-out aborts with ResourceExhausted during
+  // the build (never after allocating past the cap) and execution falls back
+  // to the serial path.
+  const std::string scan_sql = "SELECT V.ID FROM g.Vertexes V WHERE V.ID >= 0";
+  const std::string sp_sql =
+      "SELECT TOP 4 PS.Cost, PS.PathString FROM g.Paths PS "
+      "HINT(SHORTESTPATH(w)) WHERE PS.EndVertex.Id = 4";
+  auto run = [&](const std::string& sql, size_t parallelism,
+                 size_t cap) -> StatusOr<std::multiset<std::string>> {
+    db_.options().max_parallelism = parallelism;
+    db_.options().parallel_min_rows = 1;
+    db_.options().parallel_min_starts = 1;
+    db_.options().memory_cap = cap;
+    auto result = db_.Execute(sql);
+    db_.options().max_parallelism = 0;
+    db_.options().parallel_min_rows = 2048;
+    db_.options().parallel_min_starts = 8;
+    db_.options().memory_cap = QueryContext::kDefaultMemoryCap;
+    if (!result.ok()) return result.status();
+    std::multiset<std::string> rows;
+    for (const auto& row : result->rows) {
+      std::string key;
+      for (const Value& v : row) key += v.ToString() + "|";
+      rows.insert(key);
+    }
+    return rows;
+  };
+
+  // Scan shape: the serial path streams and never materializes, so it works
+  // at ANY cap — a cap far below the parallel buffer size must therefore
+  // never fail the query, only push it back onto the serial path.
+  auto serial_scan = run(scan_sql, 1, QueryContext::kDefaultMemoryCap);
+  ASSERT_TRUE(serial_scan.ok()) << serial_scan.status().ToString();
+  auto tiny_scan = run(scan_sql, 4, /*cap=*/16);
+  ASSERT_TRUE(tiny_scan.ok()) << tiny_scan.status().ToString();
+  EXPECT_EQ(*serial_scan, *tiny_scan) << "seed=" << GetParam().seed;
+
+  // Probe shape: serial SPScan enforces the cap on its own frontier, so only
+  // caps the serial run survives are in scope. At every such cap the
+  // parallel run — whose per-morsel run buffers can need strictly more — must
+  // also succeed (via serial fallback when the fan-out does not fit) and
+  // emit identical rows.
+  for (size_t cap : {size_t{512}, size_t{2048}, size_t{8192},
+                     QueryContext::kDefaultMemoryCap}) {
+    auto serial = run(sp_sql, 1, cap);
+    if (!serial.ok()) continue;  // Cap too small even for serial traversal.
+    auto parallel = run(sp_sql, 4, cap);
+    ASSERT_TRUE(parallel.ok())
+        << "cap=" << cap << ": " << parallel.status().ToString();
+    EXPECT_EQ(*serial, *parallel)
+        << sp_sql << " cap=" << cap << " seed=" << GetParam().seed;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

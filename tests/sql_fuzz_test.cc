@@ -531,6 +531,7 @@ void RunGraphDifferentialSweep(uint64_t seed, int enum_trials, int sp_trials) {
                   .ok());
   db.options().max_parallelism = 4;
   db.options().parallel_min_rows = 1;
+  db.options().parallel_min_starts = 1;
   ASSERT_TRUE(db.ExecuteScript(
                     StrFormat("CREATE %s GRAPH VIEW gp %s", kind,
                               view_body.c_str()))
@@ -539,6 +540,7 @@ void RunGraphDifferentialSweep(uint64_t seed, int enum_trials, int sp_trials) {
   auto run_at = [&](const std::string& sql, size_t parallelism) {
     db.options().max_parallelism = parallelism;
     db.options().parallel_min_rows = 1;
+    db.options().parallel_min_starts = 1;
     auto result = db.Execute(sql);
     EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
     return result;
@@ -659,6 +661,7 @@ void RunGraphDifferentialSweep(uint64_t seed, int enum_trials, int sp_trials) {
       << "no task-pool work observed: parallel paths never engaged";
   db.options().max_parallelism = 0;
   db.options().parallel_min_rows = 2048;
+  db.options().parallel_min_starts = 8;
 }
 
 class GraphDiffFuzzTest : public ::testing::TestWithParam<uint64_t> {};

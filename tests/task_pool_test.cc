@@ -111,6 +111,23 @@ TEST(TaskPoolTest, ParallelForRunsInlineWithoutPool) {
   EXPECT_EQ(covered, 100u);
 }
 
+// Regression for a lost-wakeup race in SubmitTo: pending_ was published and
+// idle_cv_ notified without holding idle_mu_, so a worker could evaluate its
+// wait predicate (pending == 0), miss the increment+notify, and sleep on a
+// non-empty queue forever. Single-task submit/wait rounds against a 1-worker
+// pool maximize the window: with no second task or second worker, a lost
+// notification deadlocks Wait() immediately.
+TEST(TaskPoolTest, SingleTaskRoundsNeverLoseTheWakeup) {
+  TaskPool pool(1);
+  for (int round = 0; round < 5'000; ++round) {
+    TaskGroup group(&pool);
+    std::atomic<bool> ran{false};
+    group.Run([&ran] { ran.store(true, std::memory_order_release); });
+    group.Wait();
+    ASSERT_TRUE(ran.load(std::memory_order_acquire)) << "round " << round;
+  }
+}
+
 // Stress case aimed at TSan: many producers hammer one pool while workers
 // steal; every task touches shared state through atomics only.
 TEST(TaskPoolTest, ConcurrentProducersStress) {
