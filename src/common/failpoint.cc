@@ -1,0 +1,208 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace grfusion {
+
+namespace {
+constexpr const char* kInjectedPrefix = "injected failure at failpoint";
+
+// GRF_FAILPOINTS is parsed in the registry constructor, but the disarmed
+// fast path (AnyArmed) reads only armed_count() and never constructs the
+// registry — so a binary whose only arming is the environment variable would
+// otherwise never parse it. Construct the registry at process start; this TU
+// is linked into every engine binary (the GRF_FAILPOINT macro references it).
+[[maybe_unused]] const bool kEnvLoaded =
+    (FailpointRegistry::Global(), true);
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+std::atomic<uint64_t>& FailpointRegistry::armed_count() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadFromEnvLocked();
+}
+
+void FailpointRegistry::ReloadFromEnvForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadFromEnvLocked();
+}
+
+void FailpointRegistry::LoadFromEnvLocked() {
+  const char* env = std::getenv("GRF_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string spec(env);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t sep = spec.find_first_of(",;", pos);
+    if (sep == std::string::npos) sep = spec.size();
+    std::string entry = spec.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      GRF_LOG(kWarn, "GRF_FAILPOINTS entry '%s' has no '=': ignored",
+              entry.c_str());
+      continue;
+    }
+    std::string site = entry.substr(0, eq);
+    std::string mode = entry.substr(eq + 1);
+    // ArmFromString locks mu_ itself; arm inline here since we already hold
+    // it during construction.
+    Spec parsed;
+    Status s = ParseMode(mode, &parsed);
+    if (!s.ok()) {
+      GRF_LOG(kWarn, "GRF_FAILPOINTS entry '%s': %s", entry.c_str(),
+              s.ToString().c_str());
+      continue;
+    }
+    ArmLocked(site, parsed);
+    GRF_LOG(kInfo, "failpoint '%s' armed from GRF_FAILPOINTS (%s)",
+            site.c_str(), mode.c_str());
+  }
+}
+
+Status FailpointRegistry::ParseMode(const std::string& mode, Spec* out) {
+  Spec spec;
+  if (mode == "error") {
+    spec.mode = Spec::Mode::kError;
+  } else if (mode == "oneshot") {
+    spec.mode = Spec::Mode::kOneShot;
+  } else if (mode.rfind("every=", 0) == 0) {
+    spec.mode = Spec::Mode::kEveryNth;
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(mode.c_str() + 6, &end, 10);
+    if (end == mode.c_str() + 6 || *end != '\0' || n == 0) {
+      return Status::InvalidArgument("bad every=<N> failpoint mode: " + mode);
+    }
+    spec.nth = n;
+  } else if (mode.rfind("prob=", 0) == 0) {
+    spec.mode = Spec::Mode::kProbability;
+    std::string rest = mode.substr(5);
+    size_t at = rest.find('@');
+    std::string p_str = at == std::string::npos ? rest : rest.substr(0, at);
+    char* end = nullptr;
+    double p = std::strtod(p_str.c_str(), &end);
+    if (end == p_str.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad prob=<p> failpoint mode: " + mode);
+    }
+    spec.probability = p;
+    if (at != std::string::npos) {
+      std::string seed_str = rest.substr(at + 1);
+      char* send = nullptr;
+      unsigned long long seed = std::strtoull(seed_str.c_str(), &send, 10);
+      if (send == seed_str.c_str() || *send != '\0') {
+        return Status::InvalidArgument("bad @seed in failpoint mode: " + mode);
+      }
+      spec.seed = seed;
+    }
+  } else {
+    return Status::InvalidArgument("unknown failpoint mode: " + mode);
+  }
+  *out = spec;
+  return Status::OK();
+}
+
+void FailpointRegistry::ArmLocked(const std::string& site, Spec spec) {
+  auto it = sites_.find(site);
+  if (it != sites_.end()) {
+    if (it->second.active) --active_sites_;
+    sites_.erase(it);
+  }
+  ArmedSite armed;
+  armed.spec = spec;
+  armed.rng = Random(spec.seed);
+  sites_.emplace(site, std::move(armed));
+  ++active_sites_;
+  armed_count().store(active_sites_, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::Arm(const std::string& site, Spec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArmLocked(site, spec);
+}
+
+Status FailpointRegistry::ArmFromString(const std::string& site,
+                                        const std::string& mode) {
+  Spec spec;
+  GRF_RETURN_IF_ERROR(ParseMode(mode, &spec));
+  Arm(site, spec);
+  return Status::OK();
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  if (it->second.active) --active_sites_;
+  sites_.erase(it);
+  armed_count().store(active_sites_, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  active_sites_ = 0;
+  armed_count().store(0, std::memory_order_relaxed);
+}
+
+Status FailpointRegistry::Evaluate(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.active) return Status::OK();
+  ArmedSite& armed = it->second;
+  ++armed.hits;
+  bool fire = false;
+  switch (armed.spec.mode) {
+    case Spec::Mode::kError:
+      fire = true;
+      break;
+    case Spec::Mode::kOneShot:
+      fire = true;
+      armed.active = false;
+      --active_sites_;
+      armed_count().store(active_sites_, std::memory_order_relaxed);
+      break;
+    case Spec::Mode::kEveryNth:
+      fire = (armed.hits - 1) % armed.spec.nth == 0;
+      break;
+    case Spec::Mode::kProbability:
+      fire = armed.rng.NextDouble() < armed.spec.probability;
+      break;
+  }
+  if (!fire) return Status::OK();
+  return Status(armed.spec.code,
+                std::string(kInjectedPrefix) + " '" + site + "'");
+}
+
+uint64_t FailpointRegistry::Hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FailpointRegistry::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [site, armed] : sites_) {
+    if (armed.active) out.push_back(site);
+  }
+  return out;
+}
+
+bool FailpointRegistry::IsInjected(const Status& status) {
+  return !status.ok() &&
+         status.message().rfind(kInjectedPrefix, 0) == 0;
+}
+
+}  // namespace grfusion

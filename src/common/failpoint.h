@@ -1,0 +1,130 @@
+#ifndef GRFUSION_COMMON_FAILPOINT_H_
+#define GRFUSION_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace grfusion {
+
+/// Fault-injection framework ("failpoints"): named sites compiled into
+/// engine code paths that normally do nothing, but can be armed — from tests
+/// or the GRF_FAILPOINTS environment variable — to inject an error Status at
+/// that exact site. This is how the error-handling paths (statement rollback,
+/// graph-view maintenance undo, operator Close() unwinding) are proven, not
+/// just assumed, to work: the differential fuzz harness arms random sites and
+/// asserts every failure is clean and every graph view still equals a
+/// from-scratch rebuild.
+///
+/// Cost model: sites are compiled in always (same binary in production and
+/// tests), but the disarmed path is a single relaxed atomic load of a global
+/// armed-site counter — no mutex, no map lookup, no string hashing. Only when
+/// at least one site anywhere is armed does evaluation take the registry
+/// mutex.
+///
+/// Activation modes:
+///  - error:       fire on every hit while armed;
+///  - oneshot:     fire on the first hit, then self-disarm (the undo /
+///                 rollback paths then run injection-free, which is what lets
+///                 the fuzz harness assert exact statement atomicity);
+///  - every=<N>:   fire on every Nth hit (1st, N+1th, ...);
+///  - prob=<p>[@seed]: fire each hit with probability p, from a seeded
+///                 deterministic generator.
+///
+/// Environment syntax (','- or ';'-separated list, parsed once at process
+/// start — mode strings never contain either separator, so both are safe):
+///   GRF_FAILPOINTS="graph_view.edge_insert=oneshot,table.delete=every=3"
+class FailpointRegistry {
+ public:
+  struct Spec {
+    enum class Mode { kError, kOneShot, kEveryNth, kProbability };
+    Mode mode = Mode::kError;
+    uint64_t nth = 1;         ///< Period for kEveryNth.
+    double probability = 1.0; ///< For kProbability.
+    uint64_t seed = 1;        ///< Generator seed for kProbability.
+    /// Code of the injected Status. Defaults to kAborted: a failpoint models
+    /// an aborted internal step, which is what statement rollback handles.
+    StatusCode code = StatusCode::kAborted;
+  };
+
+  /// The process-wide registry (sites are global, like metrics).
+  static FailpointRegistry& Global();
+
+  /// Disarmed fast path for GRF_FAILPOINT: one relaxed atomic load.
+  static bool AnyArmed() {
+    return armed_count().load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Arms `site` with `spec` (replacing any previous arming).
+  void Arm(const std::string& site, Spec spec);
+
+  /// Parses a mode string ("error", "oneshot", "every=3", "prob=0.5@42")
+  /// and arms `site` with it.
+  Status ArmFromString(const std::string& site, const std::string& mode);
+
+  /// Parses a mode string into a Spec without arming anything.
+  static Status ParseMode(const std::string& mode, Spec* out);
+
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Evaluates a site hit. OK unless the site is armed and its mode fires.
+  Status Evaluate(const char* site);
+
+  /// Total hits Evaluate() has seen for `site` since it was last armed
+  /// (armed sites only; 0 when never armed). Test observability.
+  uint64_t Hits(const std::string& site) const;
+
+  /// Names of currently armed sites (tests / introspection).
+  std::vector<std::string> ArmedSites() const;
+
+  /// True when `status` was produced by a failpoint (fuzz harnesses use this
+  /// to separate injected failures from organic engine errors).
+  static bool IsInjected(const Status& status);
+
+  /// Re-parses GRF_FAILPOINTS (normally parsed once at process start) so
+  /// tests can setenv() and exercise the environment syntax in-process.
+  void ReloadFromEnvForTesting();
+
+ private:
+  struct ArmedSite {
+    Spec spec;
+    uint64_t hits = 0;
+    bool active = true;  ///< Cleared by oneshot after firing.
+    Random rng{1};
+  };
+
+  FailpointRegistry();
+
+  static std::atomic<uint64_t>& armed_count();
+
+  void ArmLocked(const std::string& site, Spec spec);
+  void LoadFromEnvLocked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ArmedSite> sites_;
+  uint64_t active_sites_ = 0;  ///< Mirrors armed_count() under mu_.
+};
+
+/// Plants a failpoint site in a function returning Status (or StatusOr<T>):
+/// when the site is armed and fires, the injected Status is returned from the
+/// enclosing function. Disarmed cost: one relaxed atomic load and a
+/// predictable branch.
+#define GRF_FAILPOINT(site)                                         \
+  do {                                                              \
+    if (::grfusion::FailpointRegistry::AnyArmed()) {                \
+      ::grfusion::Status grf_fp_status_ =                           \
+          ::grfusion::FailpointRegistry::Global().Evaluate(site);   \
+      if (!grf_fp_status_.ok()) return grf_fp_status_;              \
+    }                                                               \
+  } while (0)
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_COMMON_FAILPOINT_H_

@@ -184,6 +184,8 @@ EngineMetrics::EngineMetrics() {
   query_errors_total = r.GetCounter("query_errors_total");
   slow_queries_total = r.GetCounter("slow_queries_total");
   rows_returned_total = r.GetCounter("rows_returned_total");
+  queries_cancelled = r.GetCounter("queries_cancelled");
+  queries_deadline_exceeded = r.GetCounter("queries_deadline_exceeded");
   query_latency_us = r.GetHistogram("query_latency_us");
   rows_scanned_total = r.GetCounter("rows_scanned_total");
   rows_joined_total = r.GetCounter("rows_joined_total");
@@ -196,6 +198,7 @@ EngineMetrics::EngineMetrics() {
   graph_view_build_us = r.GetHistogram("graph_view_build_us");
   graph_view_updates_total = r.GetCounter("graph_view_updates_total");
   graph_view_vetoes_total = r.GetCounter("graph_view_vetoes_total");
+  graph_view_undo_total = r.GetCounter("graph_view_undo_total");
 }
 
 EngineMetrics& EngineMetrics::Get() {

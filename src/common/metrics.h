@@ -135,6 +135,8 @@ struct EngineMetrics {
   Counter* query_errors_total;
   Counter* slow_queries_total;
   Counter* rows_returned_total;
+  Counter* queries_cancelled;          ///< Stopped by InterruptHandle.
+  Counter* queries_deadline_exceeded;  ///< Stopped by statement timeout.
   Histogram* query_latency_us;
 
   // Per-operator work, folded from ExecStats after every SELECT.
@@ -153,6 +155,9 @@ struct EngineMetrics {
   Histogram* graph_view_build_us;
   Counter* graph_view_updates_total;
   Counter* graph_view_vetoes_total;
+  /// Compensations applied when a later listener vetoed a DML statement and
+  /// this view had to roll its maintenance delta back.
+  Counter* graph_view_undo_total;
 
  private:
   EngineMetrics();

@@ -20,6 +20,8 @@ enum class StatusCode {
   kUnsupported,       ///< Recognized but unimplemented construct.
   kInternal,          ///< Invariant breakage; indicates a bug.
   kAborted,           ///< Transaction aborted (e.g., by an integrity check).
+  kCancelled,         ///< Statement interrupted by the client (InterruptHandle).
+  kDeadlineExceeded,  ///< Statement ran past its deadline (statement timeout).
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -61,6 +63,12 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

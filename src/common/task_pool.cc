@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 
 namespace grfusion {
@@ -158,13 +159,16 @@ void TaskGroup::WaitNoThrow() {
   cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
-void ParallelFor(TaskPool* pool, size_t n, size_t morsel_size,
-                 const std::function<void(size_t, size_t)>& fn) {
-  if (n == 0) return;
+Status ParallelFor(TaskPool* pool, size_t n, size_t morsel_size,
+                   const std::function<void(size_t, size_t)>& fn) {
+  // Injection point before any morsel is scheduled, so a submission failure
+  // is clean: no work ran, nothing to unwind.
+  GRF_FAILPOINT("taskpool.submit");
+  if (n == 0) return Status::OK();
   morsel_size = std::max<size_t>(1, morsel_size);
   if (pool == nullptr || n <= morsel_size) {
     fn(0, n);
-    return;
+    return Status::OK();
   }
   TaskGroup group(pool);
   for (size_t begin = 0; begin < n; begin += morsel_size) {
@@ -172,6 +176,7 @@ void ParallelFor(TaskPool* pool, size_t n, size_t morsel_size,
     group.Run([&fn, begin, end] { fn(begin, end); });
   }
   group.Wait();
+  return Status::OK();
 }
 
 }  // namespace grfusion

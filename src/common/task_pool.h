@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace grfusion {
 
 class Counter;
@@ -138,9 +140,11 @@ class TaskGroup {
 /// `morsel_size`, fanning chunks out across the pool and blocking until all
 /// complete. The chunk decomposition depends only on (n, morsel_size) — never
 /// on the worker count — so any order-sensitive merge done by the caller is
-/// deterministic. Rethrows the first task exception.
-void ParallelFor(TaskPool* pool, size_t n, size_t morsel_size,
-                 const std::function<void(size_t, size_t)>& fn);
+/// deterministic. Rethrows the first task exception. The returned Status is
+/// OK except when the `taskpool.submit` failpoint injects a submission
+/// failure (callers must treat it as "no morsel ran").
+Status ParallelFor(TaskPool* pool, size_t n, size_t morsel_size,
+                   const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace grfusion
 

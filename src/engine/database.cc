@@ -105,6 +105,14 @@ std::string ResultSet::ToString(size_t max_rows) const {
   return out;
 }
 
+// --- InterruptHandle ---------------------------------------------------------------
+
+void InterruptHandle::Interrupt() {
+  if (state_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->active != nullptr) state_->active->Cancel();
+}
+
 // --- Entry points ------------------------------------------------------------------
 
 Database::Database(PlannerOptions options) : options_(options) {
@@ -606,6 +614,22 @@ StatusOr<ResultSet> Database::RunPlan(const PlannedQuery& planned,
     ctx.set_parallel_min_rows(options_.parallel_min_rows);
     ctx.set_parallel_min_starts(options_.parallel_min_starts);
   }
+
+  // Statement-lifetime cancellation token. Left null (bench baseline) only
+  // when both interrupts and the timeout are off; a null token reduces every
+  // cooperative check to one pointer test.
+  CancellationToken token;
+  const bool arm_token =
+      options_.enable_interrupts || options_.statement_timeout_us >= 0;
+  if (options_.statement_timeout_us >= 0) {
+    token.SetTimeoutUs(options_.statement_timeout_us);
+  }
+  if (arm_token) ctx.set_cancellation(&token);
+  if (options_.enable_interrupts) {
+    std::lock_guard<std::mutex> lock(interrupt_state_->mu);
+    interrupt_state_->active = &token;
+  }
+
   ResultSet result;
   result.column_names = planned.output_names;
 
@@ -624,6 +648,12 @@ StatusOr<ResultSet> Database::RunPlan(const PlannedQuery& planned,
     }
   }
   planned.root->Close();
+  // Unregister only after Close: the token must outlive any worker that
+  // might still observe it while the operator tree unwinds.
+  if (options_.enable_interrupts) {
+    std::lock_guard<std::mutex> lock(interrupt_state_->mu);
+    interrupt_state_->active = nullptr;
+  }
   uint64_t latency_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -632,6 +662,11 @@ StatusOr<ResultSet> Database::RunPlan(const PlannedQuery& planned,
   // Fold this query's work into the engine-wide registry.
   metrics.queries_total->Increment();
   if (!status.ok()) metrics.query_errors_total->Increment();
+  if (status.code() == StatusCode::kCancelled) {
+    metrics.queries_cancelled->Increment();
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    metrics.queries_deadline_exceeded->Increment();
+  }
   metrics.query_latency_us->Observe(latency_us);
   metrics.rows_returned_total->Increment(result.rows.size());
   const ExecStats& stats = ctx.stats();
@@ -673,13 +708,28 @@ StatusOr<ResultSet> Database::ExecuteExplain(const ExplainStmt& stmt) {
   if (!stmt.analyze) {
     return PlanTextToResult(planned.root->ToString(0));
   }
-  GRF_ASSIGN_OR_RETURN(ResultSet executed,
-                       RunPlan(planned, *stmt.select, /*force_timing=*/true));
+  StatusOr<ResultSet> executed = RunPlan(planned, *stmt.select,
+                                         /*force_timing=*/true);
+  if (!executed.ok() &&
+      executed.status().code() != StatusCode::kCancelled &&
+      executed.status().code() != StatusCode::kDeadlineExceeded) {
+    return executed.status();
+  }
+  // A stopped statement still renders: the per-operator counters show how
+  // far execution got before the interrupt or deadline fired.
   std::string text = planned.root->ToAnalyzedString(0, 0);
-  text += StrFormat("Execution: rows=%zu latency_ms=%.3f peak_bytes=%zu\n",
-                    executed.rows.size(),
-                    static_cast<double>(last_profile_.latency_us) / 1e3,
-                    last_peak_bytes_);
+  if (executed.ok()) {
+    text += StrFormat("Execution: rows=%zu latency_ms=%.3f peak_bytes=%zu\n",
+                      executed->rows.size(),
+                      static_cast<double>(last_profile_.latency_us) / 1e3,
+                      last_peak_bytes_);
+  } else {
+    text += StrFormat(
+        "Execution: PARTIAL (%s) latency_ms=%.3f peak_bytes=%zu\n",
+        StatusCodeToString(executed.status().code()),
+        static_cast<double>(last_profile_.latency_us) / 1e3,
+        last_peak_bytes_);
+  }
   return PlanTextToResult(text);
 }
 

@@ -2,12 +2,14 @@
 #define GRFUSION_ENGINE_DATABASE_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "engine/result_set.h"
 #include "exec/query_context.h"
@@ -35,6 +37,27 @@ struct QueryProfile {
   std::vector<OperatorRow> operators;
 
   bool valid() const { return !operators.empty(); }
+};
+
+/// Cross-thread statement interruption. Obtained from
+/// Database::interrupt_handle(); copies share the same target. Interrupt()
+/// cancels the statement currently executing on the owning Database (a no-op
+/// when the database is idle), and is safe from any thread, including while
+/// the database is mid-statement — the statement observes the cancellation
+/// at its next cooperative check and returns Status::Cancelled.
+class InterruptHandle {
+ public:
+  void Interrupt();
+
+ private:
+  friend class Database;
+  struct State {
+    std::mutex mu;
+    CancellationToken* active = nullptr;  ///< Statement's stack token.
+  };
+  explicit InterruptHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
 };
 
 /// The GRFusion database facade: one in-memory database with a SQL entry
@@ -84,6 +107,13 @@ class Database {
   PlannerOptions& options() { return options_; }
   const PlannerOptions& options() const { return options_; }
 
+  /// A handle other threads use to cancel whatever statement this database
+  /// is currently executing. Valid for the database's lifetime; holding it
+  /// past destruction is safe (Interrupt becomes a no-op).
+  InterruptHandle interrupt_handle() const {
+    return InterruptHandle(interrupt_state_);
+  }
+
   /// Statistics of the most recent SELECT (traversal work, join work, rows).
   const ExecStats& last_stats() const { return last_stats_; }
   /// Peak intermediate-result memory of the most recent SELECT.
@@ -120,6 +150,8 @@ class Database {
 
   Catalog catalog_;
   PlannerOptions options_;
+  std::shared_ptr<InterruptHandle::State> interrupt_state_ =
+      std::make_shared<InterruptHandle::State>();
   ExecStats last_stats_;
   size_t last_peak_bytes_ = 0;
   QueryProfile last_profile_;

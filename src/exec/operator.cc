@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace grfusion {
@@ -22,6 +23,7 @@ Status PhysicalOperator::Open(QueryContext* ctx) {
   profile_ = OperatorProfile{};
   profile_.open_calls = 1;
   timed_ = ctx->profile_timing();
+  exec_ctx_ = ctx;
   if (!timed_) return OpenImpl(ctx);
   uint64_t t0 = NowNs();
   Status status = OpenImpl(ctx);
@@ -31,6 +33,13 @@ Status PhysicalOperator::Open(QueryContext* ctx) {
 
 StatusOr<bool> PhysicalOperator::Next(ExecRow* out) {
   ++profile_.next_calls;
+  // Every operator in the tree passes through this wrapper, which makes it
+  // the one choke point for cooperative cancellation: a pipelined plan of
+  // any shape observes an interrupt or deadline within a handful of rows.
+  if (exec_ctx_ != nullptr) {
+    GRF_RETURN_IF_ERROR(exec_ctx_->CheckInterrupt());
+  }
+  GRF_FAILPOINT("exec.next");
   if (!timed_) {
     StatusOr<bool> has = NextImpl(out);
     if (has.ok() && *has) ++profile_.rows_emitted;

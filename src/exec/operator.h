@@ -86,6 +86,10 @@ class PhysicalOperator {
  private:
   OperatorProfile profile_;
   bool timed_ = false;
+  /// Stashed by Open() so the Next() wrapper can run the cooperative
+  /// interrupt check (cancellation/deadline) on every call. Not owned; valid
+  /// between Open() and Close() only.
+  QueryContext* exec_ctx_ = nullptr;
 };
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;

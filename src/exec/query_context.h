@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/cancellation.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/status.h"
 
@@ -25,8 +27,14 @@ class SharedMemoryBudget {
   explicit SharedMemoryBudget(size_t limit) : limit_(limit) {}
 
   Status Charge(size_t bytes) {
-    size_t used = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-    if (used > limit_) {
+    size_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+    size_t used = prev + bytes;
+    // `used < bytes` detects unsigned wraparound: a huge `bytes` must not be
+    // able to lap the counter past `limit_` and slip through the check. The
+    // charge stays recorded either way so the caller's paired Release keeps
+    // the counter consistent (mod-2^64 arithmetic makes sub undo add even
+    // across a wrap).
+    if (used < bytes || used > limit_) {
       return Status::ResourceExhausted(
           "parallel workers exceeded the query's remaining memory budget (" +
           std::to_string(used) + " > " + std::to_string(limit_) + " bytes)");
@@ -93,6 +101,14 @@ class QueryContext {
       : memory_cap_(memory_cap) {}
 
   Status ChargeBytes(size_t bytes) {
+    // Refuse a charge that would wrap the counter *before* accounting it:
+    // call sites that pass attacker-sized values always check the status, and
+    // not recording the charge means their (absent) release can't underflow.
+    if (current_bytes_ + bytes < current_bytes_) {
+      return Status::ResourceExhausted(
+          "intermediate-result charge overflows the byte counter (" +
+          std::to_string(bytes) + " bytes)");
+    }
     current_bytes_ += bytes;
     if (current_bytes_ > peak_bytes_) peak_bytes_ = current_bytes_;
     if (current_bytes_ > memory_cap_) {
@@ -101,7 +117,13 @@ class QueryContext {
           std::to_string(current_bytes_) + " > " +
           std::to_string(memory_cap_) + " bytes)");
     }
-    if (shared_budget_ != nullptr) return shared_budget_->Charge(bytes);
+    if (shared_budget_ != nullptr) {
+      GRF_RETURN_IF_ERROR(shared_budget_->Charge(bytes));
+    }
+    // Fires after accounting so an injected failure looks exactly like a cap
+    // trip (charge-then-check): ignore-status callers stay balanced on
+    // release, status-checking callers exercise their unwind path.
+    GRF_FAILPOINT("exec.charge_bytes");
     return Status::OK();
   }
 
@@ -130,6 +152,32 @@ class QueryContext {
   size_t current_bytes() const { return current_bytes_; }
   size_t peak_bytes() const { return peak_bytes_; }
   size_t memory_cap() const { return memory_cap_; }
+
+  /// Statement-wide cancellation/deadline token (not owned; null disables
+  /// all interrupt checks). Shared with every worker context of a parallel
+  /// fan-out so one trip stops all threads.
+  void set_cancellation(CancellationToken* token) {
+    cancel_token_ = token;
+    deadline_skip_ = 0;
+  }
+  CancellationToken* cancellation() const { return cancel_token_; }
+
+  /// Cooperative interrupt check, called from operator Next() wrappers,
+  /// traversal expansion loops, and parallel-worker morsel loops. Fast path
+  /// (no token, or token armed-and-unfired with the deadline not yet due) is
+  /// a null test plus one relaxed atomic load; the monotonic clock is only
+  /// read every kDeadlineStride calls once a deadline is armed.
+  Status CheckInterrupt() {
+    if (cancel_token_ == nullptr) return Status::OK();
+    uint32_t state = cancel_token_->state();
+    if (state == 0) return Status::OK();
+    return CheckInterruptSlow(state);
+  }
+
+  /// Clock reads per deadline check are amortized over this many calls; one
+  /// morsel/expansion batch is far more work than 32 Next() calls, so the
+  /// "prompt within one batch" latency bound still holds.
+  static constexpr int kDeadlineStride = 32;
 
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
@@ -177,6 +225,29 @@ class QueryContext {
   }
 
  private:
+  Status CheckInterruptSlow(uint32_t state) {
+    if (state & CancellationToken::kDeadlineExceededBit) {
+      return Status::DeadlineExceeded("statement deadline exceeded");
+    }
+    if (state & CancellationToken::kCancelledBit) {
+      return Status::Cancelled("statement cancelled");
+    }
+    // Deadline armed but not yet observed as exceeded: read the clock on the
+    // first check and then every kDeadlineStride-th one.
+    if (deadline_skip_ > 0) {
+      --deadline_skip_;
+      return Status::OK();
+    }
+    deadline_skip_ = kDeadlineStride - 1;
+    if (CancellationToken::NowNs() >= cancel_token_->deadline_ns()) {
+      // Latch so sibling workers stop without re-reading the clock and every
+      // thread reports the same terminal code.
+      cancel_token_->NoteDeadlineExceeded();
+      return Status::DeadlineExceeded("statement deadline exceeded");
+    }
+    return Status::OK();
+  }
+
   size_t memory_cap_;
   size_t current_bytes_ = 0;
   size_t peak_bytes_ = 0;
@@ -186,6 +257,8 @@ class QueryContext {
   size_t parallel_min_rows_ = 2048;
   size_t parallel_min_starts_ = 8;
   SharedMemoryBudget* shared_budget_ = nullptr;
+  CancellationToken* cancel_token_ = nullptr;
+  int deadline_skip_ = 0;
   ExecStats stats_;
 };
 

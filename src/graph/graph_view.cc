@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -23,7 +24,13 @@ Status NoteMaintenance(Status status) {
 
 // --- SourceListener -------------------------------------------------------
 
+// The failpoints sit on the listener (online-maintenance) path, not inside
+// the On* handlers, so the initial Create() build is never injected into —
+// only DML against an existing view.
+
 Status GraphView::SourceListener::OnInsert(TupleSlot slot, const Tuple& tuple) {
+  GRF_FAILPOINT(vertex_source_ ? "graph_view.vertex_insert"
+                               : "graph_view.edge_insert");
   return NoteMaintenance(vertex_source_
                              ? owner_->OnVertexInsert(slot, tuple)
                              : owner_->OnEdgeInsert(slot, tuple));
@@ -31,6 +38,8 @@ Status GraphView::SourceListener::OnInsert(TupleSlot slot, const Tuple& tuple) {
 
 Status GraphView::SourceListener::OnDelete(TupleSlot /*slot*/,
                                            const Tuple& tuple) {
+  GRF_FAILPOINT(vertex_source_ ? "graph_view.vertex_delete"
+                               : "graph_view.edge_delete");
   return NoteMaintenance(vertex_source_ ? owner_->OnVertexDelete(tuple)
                                         : owner_->OnEdgeDelete(tuple));
 }
@@ -38,9 +47,41 @@ Status GraphView::SourceListener::OnDelete(TupleSlot /*slot*/,
 Status GraphView::SourceListener::OnUpdate(TupleSlot slot,
                                            const Tuple& old_tuple,
                                            const Tuple& new_tuple) {
+  GRF_FAILPOINT(vertex_source_ ? "graph_view.vertex_update"
+                               : "graph_view.edge_update");
   return NoteMaintenance(
       vertex_source_ ? owner_->OnVertexUpdate(slot, old_tuple, new_tuple)
                      : owner_->OnEdgeUpdate(slot, old_tuple, new_tuple));
+}
+
+void GraphView::SourceListener::UndoInsert(TupleSlot /*slot*/,
+                                           const Tuple& tuple) {
+  EngineMetrics::Get().graph_view_undo_total->Increment();
+  if (vertex_source_) {
+    owner_->UndoVertexInsert(tuple);
+  } else {
+    owner_->UndoEdgeInsert(tuple);
+  }
+}
+
+void GraphView::SourceListener::UndoDelete(TupleSlot slot, const Tuple& tuple) {
+  EngineMetrics::Get().graph_view_undo_total->Increment();
+  if (vertex_source_) {
+    owner_->UndoVertexDelete(slot, tuple);
+  } else {
+    owner_->UndoEdgeDelete(slot, tuple);
+  }
+}
+
+void GraphView::SourceListener::UndoUpdate(TupleSlot slot,
+                                           const Tuple& old_tuple,
+                                           const Tuple& new_tuple) {
+  EngineMetrics::Get().graph_view_undo_total->Increment();
+  if (vertex_source_) {
+    owner_->UndoVertexUpdate(slot, old_tuple, new_tuple);
+  } else {
+    owner_->UndoEdgeUpdate(slot, old_tuple, new_tuple);
+  }
 }
 
 // --- Creation ---------------------------------------------------------------
@@ -113,7 +154,8 @@ Status GraphView::ParallelBuild(const GraphBuildOptions& build) {
     const size_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
     std::vector<VertexRec> recs(n);
     std::vector<Status> statuses(num_morsels, Status::OK());
-    ParallelFor(build.pool, n, morsel, [&](size_t begin, size_t end) {
+    GRF_RETURN_IF_ERROR(
+        ParallelFor(build.pool, n, morsel, [&](size_t begin, size_t end) {
       const size_t m = begin / morsel;
       for (size_t i = begin; i < end; ++i) {
         const Tuple* tuple = vertex_table_->Get(vslots[i]);
@@ -125,7 +167,7 @@ Status GraphView::ParallelBuild(const GraphBuildOptions& build) {
         }
         recs[i] = {*id, vslots[i]};
       }
-    });
+    }));
     for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
     for (const VertexRec& rec : recs) {
       if (rec.slot == kInvalidTupleSlot) continue;
@@ -156,7 +198,8 @@ Status GraphView::ParallelBuild(const GraphBuildOptions& build) {
   const size_t num_morsels = n == 0 ? 0 : (n + morsel - 1) / morsel;
   std::vector<EdgeRec> recs(n);
   std::vector<Status> statuses(num_morsels, Status::OK());
-  ParallelFor(build.pool, n, morsel, [&](size_t begin, size_t end) {
+  GRF_RETURN_IF_ERROR(
+      ParallelFor(build.pool, n, morsel, [&](size_t begin, size_t end) {
     const size_t m = begin / morsel;
     for (size_t i = begin; i < end; ++i) {
       const Tuple* tuple = edge_table_->Get(eslots[i]);
@@ -189,7 +232,7 @@ Status GraphView::ParallelBuild(const GraphBuildOptions& build) {
       }
       recs[i] = {*id, eslots[i], from_it->second, to_it->second};
     }
-  });
+  }));
   for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
 
   // Sequential merge in slot order: entry creation, id-index insertion, and
@@ -550,6 +593,87 @@ Status GraphView::OnEdgeInsert(TupleSlot slot, const Tuple& tuple) {
 Status GraphView::OnEdgeDelete(const Tuple& tuple) {
   GRF_ASSIGN_OR_RETURN(int64_t id, IdFromTuple(tuple, edge_id_col_, "edge"));
   return RemoveEdge(id);
+}
+
+// --- Maintenance compensation (all-or-nothing DML across N views) ----------
+//
+// These reverse a just-applied On* handler via the topology primitives. They
+// deliberately do NOT route back through the On* handlers: those carry
+// failpoints and veto checks, and an undo that can itself fail would leave
+// views inconsistent — exactly what this protocol exists to prevent.
+
+void GraphView::UndoVertexInsert(const Tuple& tuple) {
+  StatusOr<int64_t> id = IdFromTuple(tuple, vertex_id_col_, "vertex");
+  GRF_CHECK(id.ok());
+  // The vertex was inserted moments ago and nothing referenced it since (the
+  // statement is still unwinding), so removal cannot be vetoed.
+  Status s = RemoveVertex(*id);
+  GRF_CHECK(s.ok());
+}
+
+void GraphView::UndoVertexDelete(TupleSlot slot, const Tuple& tuple) {
+  StatusOr<int64_t> id = IdFromTuple(tuple, vertex_id_col_, "vertex");
+  GRF_CHECK(id.ok());
+  Status s = AddVertex(*id, slot);
+  GRF_CHECK(s.ok());
+}
+
+void GraphView::UndoVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
+                                 const Tuple& new_tuple) {
+  StatusOr<int64_t> old_id = IdFromTuple(old_tuple, vertex_id_col_, "vertex");
+  StatusOr<int64_t> new_id = IdFromTuple(new_tuple, vertex_id_col_, "vertex");
+  GRF_CHECK(old_id.ok() && new_id.ok());
+  if (*old_id == *new_id) return;  // Attribute-only update touched nothing.
+  // Reverse the id rename in place (same inline protocol as OnVertexUpdate).
+  auto it = vertex_index_.find(*new_id);
+  GRF_CHECK(it != vertex_index_.end() && vertexes_[it->second].live);
+  size_t pos = it->second;
+  vertex_index_.erase(it);
+  VertexEntry& v = vertexes_[pos];
+  v.id = *old_id;
+  v.tuple = slot;
+  vertex_index_[*old_id] = pos;
+}
+
+void GraphView::UndoEdgeInsert(const Tuple& tuple) {
+  StatusOr<int64_t> id = IdFromTuple(tuple, edge_id_col_, "edge");
+  GRF_CHECK(id.ok());
+  Status s = RemoveEdge(*id);
+  GRF_CHECK(s.ok());
+}
+
+void GraphView::UndoEdgeDelete(TupleSlot slot, const Tuple& tuple) {
+  StatusOr<int64_t> id = IdFromTuple(tuple, edge_id_col_, "edge");
+  StatusOr<int64_t> from = IdFromTuple(tuple, edge_from_col_, "edge-from");
+  StatusOr<int64_t> to = IdFromTuple(tuple, edge_to_col_, "edge-to");
+  GRF_CHECK(id.ok() && from.ok() && to.ok());
+  // Re-adding appends the edge id at the tail of its endpoints' adjacency
+  // lists, so list order may differ from the pre-delete state; topology
+  // equality (what traversal semantics and the differential rebuild check
+  // observe) is unaffected.
+  Status s = AddEdge(*id, *from, *to, slot);
+  GRF_CHECK(s.ok());
+}
+
+void GraphView::UndoEdgeUpdate(TupleSlot slot, const Tuple& old_tuple,
+                               const Tuple& new_tuple) {
+  StatusOr<int64_t> old_id = IdFromTuple(old_tuple, edge_id_col_, "edge");
+  StatusOr<int64_t> new_id = IdFromTuple(new_tuple, edge_id_col_, "edge");
+  StatusOr<int64_t> old_from =
+      IdFromTuple(old_tuple, edge_from_col_, "edge-from");
+  StatusOr<int64_t> new_from =
+      IdFromTuple(new_tuple, edge_from_col_, "edge-from");
+  StatusOr<int64_t> old_to = IdFromTuple(old_tuple, edge_to_col_, "edge-to");
+  StatusOr<int64_t> new_to = IdFromTuple(new_tuple, edge_to_col_, "edge-to");
+  GRF_CHECK(old_id.ok() && new_id.ok() && old_from.ok() && new_from.ok() &&
+            old_to.ok() && new_to.ok());
+  if (*old_id == *new_id && *old_from == *new_from && *old_to == *new_to) {
+    return;  // Attribute-only update touched nothing.
+  }
+  Status remove = RemoveEdge(*new_id);
+  GRF_CHECK(remove.ok());
+  Status add = AddEdge(*old_id, *old_from, *old_to, slot);
+  GRF_CHECK(add.ok());
 }
 
 Status GraphView::OnEdgeUpdate(TupleSlot slot, const Tuple& old_tuple,

@@ -179,6 +179,16 @@ class GraphView {
     Status OnUpdate(TupleSlot slot, const Tuple& old_tuple,
                     const Tuple& new_tuple) override;
 
+    /// Infallible compensation (Table's all-or-nothing protocol): reverses a
+    /// change this listener applied successfully moments ago. These go
+    /// straight to the topology primitives — never back through the On*
+    /// handlers, which carry failpoints and veto checks that must not fire
+    /// during rollback.
+    void UndoInsert(TupleSlot slot, const Tuple& tuple) override;
+    void UndoDelete(TupleSlot slot, const Tuple& tuple) override;
+    void UndoUpdate(TupleSlot slot, const Tuple& old_tuple,
+                    const Tuple& new_tuple) override;
+
    private:
     GraphView* owner_;
     bool vertex_source_;
@@ -205,6 +215,19 @@ class GraphView {
   Status OnEdgeInsert(TupleSlot slot, const Tuple& tuple);
   Status OnEdgeDelete(const Tuple& tuple);
   Status OnEdgeUpdate(TupleSlot slot, const Tuple& old_tuple,
+                      const Tuple& new_tuple);
+
+  /// Infallible inverses of the On* maintenance handlers, applied when a
+  /// later listener vetoes the relational mutation. Violating their
+  /// preconditions (the corresponding On* just succeeded) is engine
+  /// corruption and GRF_CHECKs.
+  void UndoVertexInsert(const Tuple& tuple);
+  void UndoVertexDelete(TupleSlot slot, const Tuple& tuple);
+  void UndoVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
+                        const Tuple& new_tuple);
+  void UndoEdgeInsert(const Tuple& tuple);
+  void UndoEdgeDelete(TupleSlot slot, const Tuple& tuple);
+  void UndoEdgeUpdate(TupleSlot slot, const Tuple& old_tuple,
                       const Tuple& new_tuple);
 
   static StatusOr<int64_t> IdFromTuple(const Tuple& tuple, size_t column,

@@ -115,16 +115,20 @@ Status VertexScanOp::ParallelFilterOpen() {
   std::vector<uint64_t> scanned(num_morsels, 0);
   SharedMemoryBudget budget(ctx_->remaining_budget());
   std::atomic<bool> abort{false};
-  ParallelFor(ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
+  GRF_RETURN_IF_ERROR(ParallelFor(
+      ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
     if (abort.load(std::memory_order_relaxed)) return;
     const size_t m = begin / morsel_size;
     QueryContext wctx(ctx_->memory_cap());
     wctx.set_shared_budget(&budget);
+    wctx.set_cancellation(ctx_->cancellation());
     for (size_t i = begin; i < end; ++i) {
       if (abort.load(std::memory_order_relaxed)) break;
       ExecRow row;
-      StatusOr<bool> made = MakeRow(ids_[i], &row, &wctx);
-      Status status = made.status();
+      Status status = wctx.CheckInterrupt();
+      StatusOr<bool> made = status.ok() ? MakeRow(ids_[i], &row, &wctx)
+                                        : StatusOr<bool>(status);
+      if (status.ok()) status = made.status();
       if (status.ok() && *made) status = wctx.ChargeBytes(row.ByteSize());
       if (!status.ok()) {
         statuses[m] = status;
@@ -134,7 +138,7 @@ Status VertexScanOp::ParallelFilterOpen() {
       if (*made) results[m].push_back(std::move(row));
     }
     scanned[m] = wctx.stats().rows_scanned;
-  });
+  }));
   // Merge nothing on failure: the caller may fall back to the serial path,
   // which rescans from scratch (stats would double-count otherwise).
   for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
@@ -267,16 +271,20 @@ Status EdgeScanOp::ParallelFilterOpen() {
   std::vector<uint64_t> scanned(num_morsels, 0);
   SharedMemoryBudget budget(ctx_->remaining_budget());
   std::atomic<bool> abort{false};
-  ParallelFor(ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
+  GRF_RETURN_IF_ERROR(ParallelFor(
+      ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
     if (abort.load(std::memory_order_relaxed)) return;
     const size_t m = begin / morsel_size;
     QueryContext wctx(ctx_->memory_cap());
     wctx.set_shared_budget(&budget);
+    wctx.set_cancellation(ctx_->cancellation());
     for (size_t i = begin; i < end; ++i) {
       if (abort.load(std::memory_order_relaxed)) break;
       ExecRow row;
-      StatusOr<bool> made = MakeRow(ids_[i], &row, &wctx);
-      Status status = made.status();
+      Status status = wctx.CheckInterrupt();
+      StatusOr<bool> made = status.ok() ? MakeRow(ids_[i], &row, &wctx)
+                                        : StatusOr<bool>(status);
+      if (status.ok()) status = made.status();
       if (status.ok() && *made) status = wctx.ChargeBytes(row.ByteSize());
       if (!status.ok()) {
         statuses[m] = status;
@@ -286,7 +294,7 @@ Status EdgeScanOp::ParallelFilterOpen() {
       if (*made) results[m].push_back(std::move(row));
     }
     scanned[m] = wctx.stats().rows_scanned;
-  });
+  }));
   for (const Status& s : statuses) GRF_RETURN_IF_ERROR(s);
   materialized_ = true;
   parallel_morsels_ = num_morsels;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/failpoint.h"
 #include "graphexec/path_scanner.h"
 
 namespace grfusion {
@@ -93,6 +94,7 @@ bool ParallelPathProbe::Eligible(const TraversalSpec& spec,
 Status ParallelPathProbe::Start(std::vector<VertexId> starts,
                                 std::optional<VertexId> target,
                                 const ExecRow* outer_row) {
+  GRF_FAILPOINT("parallel_probe.start");
   started_ = true;
   target_ = target;
   outer_row_ = outer_row;
@@ -160,6 +162,9 @@ void ParallelPathProbe::WorkerBody(size_t widx, bool ordered) {
   WorkerSlot& slot = slots_[widx];
   QueryContext wctx(parent_->memory_cap());
   wctx.set_shared_budget(budget_.get());
+  // Workers observe the statement's token (PathScanner checks it per
+  // expansion), so a deadline/interrupt stops every thread of the fan-out.
+  wctx.set_cancellation(parent_->cancellation());
   {
     PathScanner scanner(spec_, &wctx);
     std::vector<PathPtr> batch;  // Streaming protocol: flushed every

@@ -347,6 +347,10 @@ StatusOr<bool> PathScanner::Qualifies(const Candidate& candidate) {
 StatusOr<bool> PathScanner::Next(PathPtr* out) {
   Candidate candidate;
   while (PopCandidate(&candidate)) {
+    // Path enumeration can be combinatorially unbounded, so a runaway
+    // traversal must notice cancellation/deadline per expansion, not only at
+    // the operator boundary (which it may never reach before emitting).
+    GRF_RETURN_IF_ERROR(ctx_->CheckInterrupt());
     ++ctx_->stats().vertexes_expanded;
     const bool can_extend =
         !candidate.closing && candidate.path.Length() < spec_->max_length;

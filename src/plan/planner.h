@@ -73,6 +73,19 @@ struct PlannerOptions {
   /// max_parallelism = 1 does globally.
   size_t parallel_min_starts = 8;
 
+  /// Statement timeout in microseconds. Every statement gets a monotonic
+  /// deadline this far in the future and returns DeadlineExceeded once the
+  /// cooperative checks observe it. -1 disables; 0 expires at the first
+  /// check (tests).
+  int64_t statement_timeout_us = -1;
+
+  /// Arms a CancellationToken on every statement so Database::interrupt_
+  /// handle() can stop it from another thread. Disabling this AND the
+  /// timeout leaves the context's token null, reducing every cooperative
+  /// check to a single null test — the bench baseline for measuring the
+  /// disarmed-path overhead.
+  bool enable_interrupts = true;
+
   /// Resolves max_parallelism = 0 to the hardware default.
   size_t effective_parallelism() const;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -54,6 +55,7 @@ void Table::EraseFromIndexes(const Tuple& tuple, TupleSlot slot) {
 }
 
 StatusOr<TupleSlot> Table::Insert(Tuple tuple) {
+  GRF_FAILPOINT("table.insert");
   GRF_RETURN_IF_ERROR(CheckAndCoerce(&tuple));
 
   TupleSlot slot;
@@ -70,12 +72,19 @@ StatusOr<TupleSlot> Table::Insert(Tuple tuple) {
 
   Status s = InsertIntoIndexes(rs.tuple, slot);
   if (s.ok()) {
+    size_t applied = 0;
     for (TableChangeListener* listener : listeners_) {
       s = listener->OnInsert(slot, rs.tuple);
-      if (!s.ok()) {
-        EraseFromIndexes(rs.tuple, slot);
-        break;
+      if (!s.ok()) break;
+      ++applied;
+    }
+    if (!s.ok()) {
+      // Listener `applied` vetoed: compensate the ones that already applied
+      // the insert (newest first), then drop the index entries and the row.
+      for (size_t i = applied; i > 0; --i) {
+        listeners_[i - 1]->UndoInsert(slot, rs.tuple);
       }
+      EraseFromIndexes(rs.tuple, slot);
     }
   }
   if (!s.ok()) {
@@ -96,9 +105,22 @@ Status Table::Delete(TupleSlot slot) {
                                       static_cast<unsigned long long>(slot),
                                       name_.c_str()));
   }
+  GRF_FAILPOINT("table.delete");
   RowSlot& rs = rows_[slot];
+  size_t applied = 0;
+  Status s = Status::OK();
   for (TableChangeListener* listener : listeners_) {
-    GRF_RETURN_IF_ERROR(listener->OnDelete(slot, rs.tuple));
+    s = listener->OnDelete(slot, rs.tuple);
+    if (!s.ok()) break;
+    ++applied;
+  }
+  if (!s.ok()) {
+    // Re-apply the delete's inverse on listeners that already dropped their
+    // state for this row, newest first, so all N views stay consistent.
+    for (size_t i = applied; i > 0; --i) {
+      listeners_[i - 1]->UndoDelete(slot, rs.tuple);
+    }
+    return s;
   }
   EraseFromIndexes(rs.tuple, slot);
   approx_bytes_ -= std::min(approx_bytes_, rs.tuple.ByteSize());
@@ -115,6 +137,7 @@ Status Table::Update(TupleSlot slot, Tuple new_tuple) {
                                       static_cast<unsigned long long>(slot),
                                       name_.c_str()));
   }
+  GRF_FAILPOINT("table.update");
   GRF_RETURN_IF_ERROR(CheckAndCoerce(&new_tuple));
   RowSlot& rs = rows_[slot];
 
@@ -126,14 +149,20 @@ Status Table::Update(TupleSlot slot, Tuple new_tuple) {
     GRF_CHECK(restore.ok());
     return s;
   }
+  size_t applied = 0;
   for (TableChangeListener* listener : listeners_) {
     s = listener->OnUpdate(slot, old_tuple, new_tuple);
-    if (!s.ok()) {
-      EraseFromIndexes(new_tuple, slot);
-      Status restore = InsertIntoIndexes(old_tuple, slot);
-      GRF_CHECK(restore.ok());
-      return s;
+    if (!s.ok()) break;
+    ++applied;
+  }
+  if (!s.ok()) {
+    for (size_t i = applied; i > 0; --i) {
+      listeners_[i - 1]->UndoUpdate(slot, old_tuple, new_tuple);
     }
+    EraseFromIndexes(new_tuple, slot);
+    Status restore = InsertIntoIndexes(old_tuple, slot);
+    GRF_CHECK(restore.ok());
+    return s;
   }
   approx_bytes_ -= std::min(approx_bytes_, old_tuple.ByteSize());
   rs.tuple = std::move(new_tuple);

@@ -25,6 +25,18 @@ class TableChangeListener {
   virtual Status OnDelete(TupleSlot slot, const Tuple& tuple) = 0;
   virtual Status OnUpdate(TupleSlot slot, const Tuple& old_tuple,
                           const Tuple& new_tuple) = 0;
+
+  /// Compensation hooks. When listener i of N vetoes a change, the table
+  /// calls the matching Undo* on listeners 0..i-1 in REVERSE registration
+  /// order, so a mutation is all-or-nothing across every registered listener
+  /// (N graph views over one source must never diverge from each other or
+  /// from the table). An Undo* reverses a change the same listener just
+  /// applied successfully, so it must be infallible — implementations
+  /// GRF_CHECK internally rather than report errors.
+  virtual void UndoInsert(TupleSlot /*slot*/, const Tuple& /*tuple*/) {}
+  virtual void UndoDelete(TupleSlot /*slot*/, const Tuple& /*tuple*/) {}
+  virtual void UndoUpdate(TupleSlot /*slot*/, const Tuple& /*old_tuple*/,
+                          const Tuple& /*new_tuple*/) {}
 };
 
 /// In-memory row store with stable tuple slots.

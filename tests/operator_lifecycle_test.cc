@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "exec/agg_ops.h"
 #include "exec/filter_ops.h"
 #include "exec/join_ops.h"
@@ -13,6 +15,43 @@
 
 namespace grfusion {
 namespace {
+
+/// Passes `fail_after` child rows through, then returns `error` from
+/// NextImpl — the mid-stream failure whose unwinding must not leak charged
+/// bytes out of the materializing operators above it.
+class FailAfterOp : public PhysicalOperator {
+ public:
+  FailAfterOp(OperatorPtr child, size_t fail_after, Status error)
+      : child_(std::move(child)),
+        fail_after_(fail_after),
+        error_(std::move(error)) {}
+
+  const Schema& schema() const override { return child_->schema(); }
+  std::string name() const override { return "FailAfter"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl(QueryContext* ctx) override {
+    emitted_ = 0;
+    return child_->Open(ctx);
+  }
+  StatusOr<bool> NextImpl(ExecRow* out) override {
+    if (emitted_ >= fail_after_) return error_;
+    auto has = child_->Next(out);
+    if (!has.ok() || !*has) return has;
+    ++emitted_;
+    return true;
+  }
+  void CloseImpl() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  size_t fail_after_;
+  Status error_;
+  size_t emitted_ = 0;
+};
 
 class OperatorLifecycleTest : public ::testing::Test {
  protected:
@@ -170,6 +209,90 @@ TEST_F(OperatorLifecycleTest, NestedLoopJoinCrossProduct) {
   EXPECT_EQ(ctx.current_bytes(), 0u);
 }
 
+TEST_F(OperatorLifecycleTest, SortReleasesOnMidStreamChildError) {
+  // Sort materializes in Open: the child error surfaces from Open, with
+  // several rows already buffered and charged.
+  auto scan = std::make_unique<SeqScanOp>(table_.get(), nullptr, layout_, 0);
+  auto failing = std::make_unique<FailAfterOp>(
+      std::move(scan), 5, Status::Internal("injected mid-stream"));
+  SortOp sort(std::move(failing), {SortOp::SortKey{0, false}});
+  QueryContext ctx;
+  Status s = sort.Open(&ctx);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  sort.Close();
+  EXPECT_EQ(ctx.current_bytes(), 0u);
+}
+
+TEST_F(OperatorLifecycleTest, HashJoinReleasesOnBuildSideError) {
+  auto left = std::make_unique<SeqScanOp>(table_.get(), nullptr, layout_, 0);
+  auto right = std::make_unique<SeqScanOp>(table_.get(), nullptr, layout_, 0);
+  std::vector<ExprPtr> lk{std::make_shared<ColumnRefExpr>(
+      0, ValueType::kBigInt, "a")};
+  std::vector<ExprPtr> rk{std::make_shared<ColumnRefExpr>(
+      0, ValueType::kBigInt, "a")};
+  // Fail whichever side the join materializes first; the rows charged before
+  // row 5 must all come back on Close.
+  auto fail_left = std::make_unique<FailAfterOp>(
+      std::move(left), 5, Status::Internal("injected mid-stream"));
+  auto fail_right = std::make_unique<FailAfterOp>(
+      std::move(right), 5, Status::Internal("injected mid-stream"));
+  HashJoinOp join(std::move(fail_left), std::move(fail_right), std::move(lk),
+                  std::move(rk), nullptr, 0, 0);
+  QueryContext ctx;
+  Status open = join.Open(&ctx);
+  if (open.ok()) {
+    ExecRow row;
+    StatusOr<bool> has = true;
+    while (has.ok() && *has) has = join.Next(&row);
+    EXPECT_EQ(has.status().code(), StatusCode::kInternal);
+  } else {
+    EXPECT_EQ(open.code(), StatusCode::kInternal);
+  }
+  join.Close();
+  EXPECT_EQ(ctx.current_bytes(), 0u);
+}
+
+TEST_F(OperatorLifecycleTest, AggregateReleasesOnMidStreamChildError) {
+  auto scan = std::make_unique<SeqScanOp>(table_.get(), nullptr, layout_, 0);
+  auto failing = std::make_unique<FailAfterOp>(
+      std::move(scan), 7, Status::Internal("injected mid-stream"));
+  std::vector<ExprPtr> keys{std::make_shared<ColumnRefExpr>(
+      0, ValueType::kBigInt, "a")};
+  std::vector<AggregateSpec> specs;
+  AggregateSpec count_star;
+  count_star.func = AggFunc::kCount;
+  count_star.output_name = "n";
+  specs.push_back(std::move(count_star));
+  AggregateOp agg(std::move(failing), std::move(keys), {"a"},
+                  std::move(specs));
+  QueryContext ctx;
+  Status s = agg.Open(&ctx);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  agg.Close();
+  EXPECT_EQ(ctx.current_bytes(), 0u);
+}
+
+TEST_F(OperatorLifecycleTest, NestedLoopJoinReleasesOnInnerError) {
+  auto left = std::make_unique<SeqScanOp>(table_.get(), nullptr, layout_, 0);
+  auto right = std::make_unique<SeqScanOp>(table_.get(), nullptr, layout_, 0);
+  auto fail_right = std::make_unique<FailAfterOp>(
+      std::move(right), 3, Status::Internal("injected mid-stream"));
+  NestedLoopJoinOp join(std::move(left), std::move(fail_right), nullptr, 0,
+                        0);
+  QueryContext ctx;
+  Status open = join.Open(&ctx);
+  if (open.ok()) {
+    ExecRow row;
+    StatusOr<bool> has = true;
+    while (has.ok() && *has) has = join.Next(&row);
+    EXPECT_EQ(has.status().code(), StatusCode::kInternal);
+  } else {
+    EXPECT_EQ(open.code(), StatusCode::kInternal);
+  }
+  join.Close();
+  EXPECT_EQ(ctx.current_bytes(), 0u);
+}
+
 TEST(SharedMemoryBudgetTest, EnforcesAggregateLimitAcrossContexts) {
   // Two worker contexts with generous private caps share a 100-byte budget:
   // the cap must be a query-level guarantee, not per-worker.
@@ -190,6 +313,34 @@ TEST(SharedMemoryBudgetTest, EnforcesAggregateLimitAcrossContexts) {
   w1.ReleaseBytes(60);
   EXPECT_EQ(budget.used(), 0u);
   EXPECT_TRUE(w1.ChargeBytes(100).ok());
+}
+
+TEST(SharedMemoryBudgetTest, OverflowingChargeIsRejectedNotWrapped) {
+  SharedMemoryBudget budget(100);
+  ASSERT_TRUE(budget.Charge(60).ok());
+  // A charge that wraps the unsigned counter must fail: before the guard,
+  // used_ + bytes lapped past limit_ and the check passed.
+  Status wrap = budget.Charge(SIZE_MAX - 30);
+  EXPECT_EQ(wrap.code(), StatusCode::kResourceExhausted);
+  // Charge-then-check: the attempted bytes stay recorded until the caller's
+  // paired Release, so mod-2^64 arithmetic restores the counter exactly.
+  budget.Release(SIZE_MAX - 30);
+  EXPECT_EQ(budget.used(), 60u);
+  budget.Release(60);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_TRUE(budget.Charge(100).ok());
+}
+
+TEST(SharedMemoryBudgetTest, QueryContextChargeRejectsCounterOverflow) {
+  QueryContext ctx(/*memory_cap=*/1000);
+  ASSERT_TRUE(ctx.ChargeBytes(600).ok());
+  // The per-context counter refuses a charge that would wrap it, *before*
+  // accounting — current_bytes() is unchanged, no Release needed.
+  Status wrap = ctx.ChargeBytes(SIZE_MAX - 10);
+  EXPECT_EQ(wrap.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.current_bytes(), 600u);
+  ctx.ReleaseBytes(600);
+  EXPECT_EQ(ctx.current_bytes(), 0u);
 }
 
 TEST(SharedMemoryBudgetTest, RemainingBudgetTracksHeadroom) {

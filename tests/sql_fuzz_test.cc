@@ -13,10 +13,12 @@
 #include <queue>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "graph/graph_view.h"
 
 namespace grfusion {
 namespace {
@@ -686,6 +688,309 @@ TEST(GraphDiffFuzzEnvTest, EnvironmentSeedSweep) {
     seed = std::strtoull(env, nullptr, 10);
   }
   RunGraphDifferentialSweep(seed, /*enum_trials=*/10, /*sp_trials=*/4);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection differential fuzz
+//
+// Random DML and SELECT statements against a database with two graph views
+// over the same sources, while random failpoints (and random statement
+// deadlines) are armed. Allowed outcomes per statement: success, the injected
+// error, Cancelled/DeadlineExceeded, or an organic constraint veto — never a
+// crash, hang, or wrong-OK. After every DML statement, pass or fail, each
+// maintained view must equal a from-scratch rebuild, and periodically the
+// engine's bounded path enumeration is checked against the brute-force
+// reference. Oneshot armings additionally assert exact statement atomicity
+// (the rollback path runs injection-free after the single shot fires).
+// ---------------------------------------------------------------------------
+
+/// Canonical topology snapshot for view-vs-rebuild comparison. Adjacency is
+/// a multiset per vertex: undo re-appends at the adjacency tail, so order may
+/// differ from a fresh build while connectivity must not.
+std::multiset<std::string> FaultTopology(const GraphView& gv) {
+  std::multiset<std::string> out;
+  gv.ForEachVertex([&](const VertexEntry& v) {
+    out.insert(StrFormat("V %lld", static_cast<long long>(v.id)));
+    std::multiset<std::string> nbrs;
+    gv.ForEachNeighbor(v, [&](const EdgeEntry& e, VertexId n) {
+      nbrs.insert(StrFormat("%lld:%lld", static_cast<long long>(e.id),
+                            static_cast<long long>(n)));
+      return true;
+    });
+    std::string line = StrFormat("A %lld:", static_cast<long long>(v.id));
+    for (const std::string& s : nbrs) line += " " + s;
+    out.insert(std::move(line));
+    return true;
+  });
+  gv.ForEachEdge([&](const EdgeEntry& e) {
+    out.insert(StrFormat("E %lld %lld->%lld", static_cast<long long>(e.id),
+                         static_cast<long long>(e.from),
+                         static_cast<long long>(e.to)));
+    return true;
+  });
+  return out;
+}
+
+void FaultVerifyViewsEqualRebuild(Database* db) {
+  for (const char* name : {"g1", "g2"}) {
+    GraphView* gv = db->catalog().FindGraphView(name);
+    ASSERT_NE(gv, nullptr);
+    auto rebuilt =
+        GraphView::Create(gv->def(), gv->vertex_table(), gv->edge_table());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    EXPECT_EQ(FaultTopology(*gv), FaultTopology(**rebuilt))
+        << name << " diverges from a from-scratch rebuild";
+  }
+}
+
+void RunFaultInjectionSweep(uint64_t seed, int trials) {
+  SCOPED_TRACE(StrFormat("fault-injection seed=%llu",
+                         static_cast<unsigned long long>(seed)));
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  failpoints.DisarmAll();
+  Random rng(seed);
+
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
+    CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, w DOUBLE);
+  )sql")
+                  .ok());
+  std::vector<std::vector<Value>> vrows, erows;
+  for (int64_t i = 0; i < 8; ++i) {
+    vrows.push_back({Value::BigInt(i), Value::Varchar("v")});
+    erows.push_back({Value::BigInt(i), Value::BigInt(i),
+                     Value::BigInt((i + 1) % 8), Value::Double(1.0)});
+  }
+  ASSERT_TRUE(db.BulkInsert("v", vrows).ok());
+  ASSERT_TRUE(db.BulkInsert("e", erows).ok());
+  const std::string view_body =
+      "VERTEXES (ID = id, name = name) FROM v "
+      "EDGES (ID = id, FROM = src, TO = dst, w = w) FROM e";
+  ASSERT_TRUE(db.ExecuteScript("CREATE DIRECTED GRAPH VIEW g1 " + view_body)
+                  .ok());
+  ASSERT_TRUE(db.ExecuteScript("CREATE DIRECTED GRAPH VIEW g2 " + view_body)
+                  .ok());
+
+  static const char* kSites[] = {
+      "table.insert",         "table.delete",
+      "table.update",         "graph_view.vertex_insert",
+      "graph_view.vertex_delete", "graph_view.vertex_update",
+      "graph_view.edge_insert",   "graph_view.edge_delete",
+      "graph_view.edge_update",   "exec.charge_bytes",
+      "exec.next",            "taskpool.submit",
+      "parallel_probe.start",
+  };
+  constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
+
+  int64_t next_id = 1000;
+  for (int trial = 0; trial < trials; ++trial) {
+    SCOPED_TRACE(StrFormat("trial=%d", trial));
+    // Snapshot live ids so generated statements mostly reference real rows.
+    std::vector<int64_t> vids, eids;
+    {
+      auto vres = db.Execute("SELECT id FROM v");
+      auto eres = db.Execute("SELECT id FROM e");
+      ASSERT_TRUE(vres.ok() && eres.ok());
+      for (const auto& row : vres->rows) vids.push_back(row[0].AsBigInt());
+      for (const auto& row : eres->rows) eids.push_back(row[0].AsBigInt());
+    }
+    const int64_t vcount_before = static_cast<int64_t>(vids.size());
+    const int64_t ecount_before = static_cast<int64_t>(eids.size());
+    auto pick = [&rng](const std::vector<int64_t>& ids) {
+      return ids[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(ids.size()) - 1))];
+    };
+
+    // Generate one statement. expected_* hold the success-case row deltas.
+    // Kinds that need an existing row degrade to an insert when the fuzz has
+    // drained the corresponding table.
+    std::string sql;
+    bool is_dml = true;
+    int64_t expected_dv = 0, expected_de = 0;
+    int64_t kind = rng.Uniform(0, 6);
+    if ((kind == 1 || kind == 2) && eids.empty()) kind = 0;
+    if ((kind == 0 || kind == 4) && vids.empty()) kind = 3;
+    switch (kind) {
+      case 0: {
+        int64_t s = pick(vids), d = pick(vids);
+        sql = StrFormat("INSERT INTO e VALUES (%lld, %lld, %lld, 1.0)",
+                        static_cast<long long>(next_id++),
+                        static_cast<long long>(s),
+                        static_cast<long long>(d));
+        expected_de = 1;
+        break;
+      }
+      case 1:
+        sql = StrFormat("DELETE FROM e WHERE id = %lld",
+                        static_cast<long long>(pick(eids)));
+        expected_de = -1;
+        break;
+      case 2:
+        sql = StrFormat("UPDATE e SET dst = %lld WHERE id = %lld",
+                        static_cast<long long>(pick(vids)),
+                        static_cast<long long>(pick(eids)));
+        break;
+      case 3:
+        sql = StrFormat("INSERT INTO v VALUES (%lld, 'x')",
+                        static_cast<long long>(next_id++));
+        expected_dv = 1;
+        break;
+      case 4:
+        // May be organically vetoed when incident edges reference it.
+        sql = StrFormat("DELETE FROM v WHERE id = %lld",
+                        static_cast<long long>(pick(vids)));
+        expected_dv = -1;
+        break;
+      case 5:
+        sql = "SELECT P.StartVertex.Id, P.PathString FROM g1.Paths P "
+              "WHERE P.Length <= 2";
+        is_dml = false;
+        break;
+      default:
+        sql = "SELECT COUNT(*), MIN(w) FROM e";
+        is_dml = false;
+        break;
+    }
+
+    // Arm 1-2 random failpoints with random modes.
+    bool all_oneshot = true;
+    const int n_arm = static_cast<int>(rng.Uniform(1, 2));
+    for (int i = 0; i < n_arm; ++i) {
+      const char* site = kSites[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(kNumSites) - 1))];
+      FailpointRegistry::Spec spec;
+      switch (rng.Uniform(0, 3)) {
+        case 0:
+          spec.mode = FailpointRegistry::Spec::Mode::kOneShot;
+          break;
+        case 1:
+          spec.mode = FailpointRegistry::Spec::Mode::kError;
+          all_oneshot = false;
+          break;
+        case 2:
+          spec.mode = FailpointRegistry::Spec::Mode::kEveryNth;
+          spec.nth = static_cast<uint64_t>(rng.Uniform(2, 4));
+          all_oneshot = false;
+          break;
+        default:
+          spec.mode = FailpointRegistry::Spec::Mode::kProbability;
+          spec.probability = 0.3 + 0.4 * rng.NextDouble();
+          spec.seed = seed * 1000 + static_cast<uint64_t>(trial);
+          all_oneshot = false;
+          break;
+      }
+      failpoints.Arm(site, spec);
+    }
+    // Random cancellation: a statement deadline on SELECTs (DML bypasses the
+    // Volcano loop, so deadlines only apply to query execution), and an
+    // every=N arming of exec.next to stop at a random Next() call.
+    if (!is_dml && rng.Bernoulli(0.2)) {
+      db.options().statement_timeout_us = 0;
+    }
+    if (!is_dml && rng.Bernoulli(0.3)) {
+      FailpointRegistry::Spec cancel_at_next;
+      cancel_at_next.mode = FailpointRegistry::Spec::Mode::kEveryNth;
+      cancel_at_next.nth = static_cast<uint64_t>(rng.Uniform(1, 50));
+      failpoints.Arm("exec.next", cancel_at_next);
+      all_oneshot = false;
+    }
+
+    auto result = db.Execute(sql);
+
+    db.options().statement_timeout_us = -1;
+    failpoints.DisarmAll();
+
+    if (!result.ok()) {
+      const Status& s = result.status();
+      const bool allowed =
+          FailpointRegistry::IsInjected(s) ||
+          s.code() == StatusCode::kCancelled ||
+          s.code() == StatusCode::kDeadlineExceeded ||
+          s.code() == StatusCode::kResourceExhausted ||
+          s.code() == StatusCode::kConstraintViolation;
+      EXPECT_TRUE(allowed) << sql << " failed unexpectedly: " << s.ToString();
+    }
+
+    if (is_dml) {
+      // Views must equal a from-scratch rebuild whether the statement
+      // committed or rolled back.
+      FaultVerifyViewsEqualRebuild(&db);
+      // Oneshot-only armings guarantee exact atomicity: the rollback path
+      // runs injection-free after the single shot fires, so a failed
+      // statement must leave row counts untouched and a successful one must
+      // apply exactly its delta.
+      if (all_oneshot) {
+        auto vres = db.Execute("SELECT COUNT(*) FROM v");
+        auto eres = db.Execute("SELECT COUNT(*) FROM e");
+        ASSERT_TRUE(vres.ok() && eres.ok());
+        const int64_t dv = vres->ScalarValue().AsBigInt() - vcount_before;
+        const int64_t de = eres->ScalarValue().AsBigInt() - ecount_before;
+        if (result.ok()) {
+          EXPECT_EQ(dv, expected_dv) << sql;
+          EXPECT_EQ(de, expected_de) << sql;
+        } else {
+          EXPECT_EQ(dv, 0) << "failed statement mutated v: " << sql;
+          EXPECT_EQ(de, 0) << "failed statement mutated e: " << sql;
+        }
+      }
+    }
+
+    // Periodic end-to-end differential check: the engine's bounded path
+    // enumeration over the surviving graph matches brute force.
+    if (trial % 10 == 9) {
+      DiffGraph graph;
+      graph.directed = true;
+      auto eres = db.Execute("SELECT id, src, dst FROM e");
+      auto vres = db.Execute("SELECT id FROM v");
+      ASSERT_TRUE(eres.ok() && vres.ok());
+      DiffQuery q;
+      q.min_len = 1;
+      q.max_len = 2;
+      for (const auto& row : vres->rows) {
+        q.starts.push_back(row[0].AsBigInt());
+      }
+      graph.n = static_cast<int64_t>(q.starts.size());
+      for (const auto& row : eres->rows) {
+        graph.edges.push_back(DiffEdge{row[0].AsBigInt(), row[1].AsBigInt(),
+                                       row[2].AsBigInt(), 1.0, 0});
+      }
+      auto expected = DiffReference(graph, q);
+      for (const char* view : {"g1", "g2"}) {
+        auto got = db.Execute(StrFormat(
+            "SELECT P.StartVertex.Id, P.PathString FROM %s.Paths P "
+            "WHERE P.Length <= 2",
+            view));
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(DiffCanon(*got), expected)
+            << view << " diverges from reference after faulted DML";
+      }
+    }
+  }
+  failpoints.DisarmAll();
+}
+
+class FaultInjectionFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultInjectionFuzzTest, FaultedStatementsFailCleanOrSucceedRight) {
+  // 4 seeds x 55 trials = 220 fault-injection cases.
+  RunFaultInjectionSweep(GetParam(), /*trials=*/55);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultInjectionFuzzTest,
+                         ::testing::Values(21, 22, 23, 24),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Environment-seeded fault-injection sweep, mirroring GraphDiffFuzzEnvTest:
+// CI rolls a fresh seed per run via GRF_FUZZ_SEED.
+TEST(FaultInjectionFuzzEnvTest, EnvironmentSeedSweep) {
+  uint64_t seed = 20260807;
+  if (const char* env = std::getenv("GRF_FUZZ_SEED")) {
+    seed = std::strtoull(env, nullptr, 10) + 1;  // Decorrelate from GraphDiff.
+  }
+  RunFaultInjectionSweep(seed, /*trials=*/30);
 }
 
 }  // namespace

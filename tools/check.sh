@@ -6,8 +6,10 @@
 #
 # The sanitize and tsan configurations additionally re-run the graph
 # differential suite (serial vs. morsel-parallel vs. brute-force reference)
-# twice: once with its built-in fixed seeds and once with a fresh random
-# seed exported through GRF_FUZZ_SEED, so every CI run explores new graphs.
+# and the fault-injection fuzz (random failpoints + random cancellation
+# against the robustness invariants) twice: once with built-in fixed seeds
+# and once with a fresh random seed exported through GRF_FUZZ_SEED, so every
+# CI run explores new graphs and fault schedules.
 #
 # Usage: tools/check.sh [--fast]
 #   --fast  tier-1 configuration only
@@ -23,16 +25,17 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-# Graph differential suite under one instrumented build: fixed seeds first
-# (reproducible), then one random seed (printed so failures can be replayed
-# with GRF_FUZZ_SEED=<seed>).
+# Graph differential + fault-injection suites under one instrumented build:
+# fixed seeds first (reproducible), then one random seed (printed so failures
+# can be replayed with GRF_FUZZ_SEED=<seed>).
 run_graph_diff() {
   local dir="$1"
-  ctest --test-dir "$dir" --output-on-failure -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool'
+  ctest --test-dir "$dir" --output-on-failure \
+    -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation'
   local seed="${GRF_FUZZ_SEED:-$RANDOM$RANDOM}"
-  echo "== graph differential suite, random seed ${seed} =="
+  echo "== graph differential + fault-injection suites, random seed ${seed} =="
   GRF_FUZZ_SEED="$seed" ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiffFuzzEnvTest'
+    -R 'GraphDiffFuzzEnvTest|FaultInjectionFuzzEnvTest'
 }
 
 echo "== tier-1 (RelWithDebInfo) =="
