@@ -38,7 +38,7 @@ std::string ConstrainedCountSql(const std::string& graph, int64_t start,
   return sql;
 }
 
-void RunQueries(::benchmark::State& state, Database& db,
+void RunQueries(::benchmark::State& state, Session& db,
                 const std::string& graph, const std::vector<int64_t>& starts,
                 size_t length, int64_t selectivity) {
   // Work counters are per query batch (the last iteration's), so they stay
@@ -75,7 +75,7 @@ void RunQueries(::benchmark::State& state, Database& db,
 
 void Pushdown(::benchmark::State& state, const std::string& name, bool on) {
   BenchEnv& env = BenchEnv::Get();
-  Database& db = env.grfusion();
+  Session& db = env.session();
   auto starts = SampleVertexes(env.dataset(name), 4);
   bool saved = db.options().enable_filter_pushdown;
   db.options().enable_filter_pushdown = on;
@@ -86,7 +86,7 @@ void Pushdown(::benchmark::State& state, const std::string& name, bool on) {
 void LengthInference(::benchmark::State& state, const std::string& name,
                      bool on) {
   BenchEnv& env = BenchEnv::Get();
-  Database& db = env.grfusion();
+  Session& db = env.session();
   auto starts = SampleVertexes(env.dataset(name), 4);
   bool saved = db.options().enable_length_inference;
   size_t saved_cap = db.options().fallback_max_length;
@@ -100,7 +100,7 @@ void LengthInference(::benchmark::State& state, const std::string& name,
 void Traversal(::benchmark::State& state, const std::string& name,
                PlannerOptions::Traversal traversal) {
   BenchEnv& env = BenchEnv::Get();
-  Database& db = env.grfusion();
+  Session& db = env.session();
   auto starts = SampleVertexes(env.dataset(name), 4);
   auto saved = db.options().default_traversal;
   db.options().default_traversal = traversal;

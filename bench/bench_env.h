@@ -32,6 +32,10 @@ class BenchEnv {
   const Dataset& dataset(const std::string& name) const;
 
   Database& grfusion() { return db_; }
+
+  /// Shared single-threaded session on the benchmark database: carries the
+  /// tunable planner options and the per-query statistics the benches read.
+  Session& session() { return session_; }
   const GraphView* graph_view(const std::string& name) const;
   SqlGraph& sqlgraph(const std::string& name);
   Grail& grail(const std::string& name);
@@ -50,6 +54,7 @@ class BenchEnv {
   uint64_t seed_;
   std::vector<Dataset> datasets_;
   Database db_;
+  Session session_{db_};
   std::map<std::string, std::unique_ptr<SqlGraph>> sqlgraphs_;
   std::map<std::string, std::unique_ptr<Grail>> grails_;
   std::map<std::string, std::unique_ptr<PropertyGraphStore>> neo_;

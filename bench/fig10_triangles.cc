@@ -51,7 +51,7 @@ std::string TriangleSql(const std::string& graph, const LabelTriple& labels,
 void GRFusionTriangles(::benchmark::State& state, const std::string& name,
                        int64_t selectivity) {
   BenchEnv& env = BenchEnv::Get();
-  Database& db = env.grfusion();
+  Session& db = env.session();
   LabelTriple labels = LabelsFor(name);
   int64_t count = -1;
   for (auto _ : state) {

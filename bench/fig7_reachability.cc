@@ -35,7 +35,7 @@ void GRFusionReach(::benchmark::State& state, const std::string& name,
     state.SkipWithError("no connected pairs at this distance");
     return;
   }
-  Database& db = env.grfusion();
+  Session& db = env.session();
   auto saved = db.options().default_traversal;
   db.options().default_traversal = PlannerOptions::Traversal::kBfs;
   size_t found = 0;
@@ -121,7 +121,7 @@ void PropertyGraphReach(::benchmark::State& state, const std::string& name,
 
 std::vector<size_t> g_thread_sweep = {1, 2, 4};
 
-double MultiSourceSweepMs(Database& db, const std::string& name,
+double MultiSourceSweepMs(Session& db, const std::string& name,
                           size_t threads) {
   db.options().max_parallelism = threads;
   db.options().parallel_min_rows = 1;
@@ -154,7 +154,7 @@ double MultiSourceSweepMs(Database& db, const std::string& name,
 
 void RunParallelSweep(const std::string& path) {
   BenchEnv& env = BenchEnv::Get();
-  Database& db = env.grfusion();
+  Session& db = env.session();
   std::string json = "[\n";
   bool first = true;
   for (const char* name : kDatasetNames) {
@@ -200,7 +200,7 @@ void RunParallelSweep(const std::string& path) {
 
 void RunCancellationOverheadSweep(const std::string& path) {
   BenchEnv& env = BenchEnv::Get();
-  Database& db = env.grfusion();
+  Session& db = env.session();
   db.options().max_parallelism = 1;
   constexpr int kReps = 9;
   std::string json = "[\n";

@@ -41,7 +41,7 @@ void GRFusionSp(::benchmark::State& state, const std::string& name,
     state.SkipWithError("no connected pairs in the filtered sub-graph");
     return;
   }
-  Database& db = env.grfusion();
+  Session& db = env.session();
   for (auto _ : state) {
     for (const QueryPair& q : pairs) {
       auto result = db.Execute(SpathSql(name, q.src, q.dst, selectivity));

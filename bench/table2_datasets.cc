@@ -30,7 +30,7 @@ void PrintTable2() {
 
 void VertexScanAll(::benchmark::State& state, const std::string& name) {
   BenchEnv& env = BenchEnv::Get();
-  Database& db = env.grfusion();
+  Session& db = env.session();
   int64_t rows = 0;
   for (auto _ : state) {
     auto result = db.Execute(

@@ -1,0 +1,255 @@
+// Session-layer throughput: what the plan cache and prepared statements buy,
+// and how read QPS behaves with concurrent sessions.
+//
+//  - Statement modes (single session): the same point SELECT executed
+//    cold (plan cache flushed before every execution: full
+//    parse+bind+plan+execute), cached (repeat Execute of identical text:
+//    text-keyed plan reuse), and prepared (PreparedStatement::Execute:
+//    parameter rebind only). The gap between cold and cached/prepared is
+//    the per-statement setup time the session layer eliminates.
+//  - Session scaling: N threads, one session each, hammering cached
+//    read-only statements concurrently under the shared statement lock.
+//    On a single-core host this measures lock overhead, not parallelism —
+//    the interesting number is that QPS does not *drop* as sessions are
+//    added.
+//
+// Results land in BENCH_throughput.json.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+namespace grfusion::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Now() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Builds a private benchmark database: one relational table and one graph
+/// view over a 512-vertex ring with chords.
+void Populate(Database* db) {
+  Session setup(*db);
+  GRF_CHECK(setup.ExecuteScript(R"sql(
+    CREATE TABLE item (id BIGINT PRIMARY KEY, name VARCHAR, score DOUBLE);
+    CREATE TABLE vx (id BIGINT PRIMARY KEY);
+    CREATE TABLE ex (id BIGINT PRIMARY KEY, s BIGINT, d BIGINT);
+  )sql")
+                .ok());
+  constexpr int64_t kItems = 2000;
+  constexpr int64_t kVertexes = 512;
+  std::vector<std::vector<Value>> items, vrows, erows;
+  for (int64_t i = 0; i < kItems; ++i) {
+    items.push_back({Value::BigInt(i), Value::Varchar(StrFormat("item%lld",
+                         static_cast<long long>(i))),
+                     Value::Double(static_cast<double>(i % 97))});
+  }
+  for (int64_t i = 0; i < kVertexes; ++i) {
+    vrows.push_back({Value::BigInt(i)});
+    erows.push_back({Value::BigInt(i), Value::BigInt(i),
+                     Value::BigInt((i + 1) % kVertexes)});
+    erows.push_back({Value::BigInt(kVertexes + i), Value::BigInt(i),
+                     Value::BigInt((i + 7) % kVertexes)});
+  }
+  GRF_CHECK(db->BulkInsert("item", items).ok());
+  GRF_CHECK(db->BulkInsert("vx", vrows).ok());
+  GRF_CHECK(db->BulkInsert("ex", erows).ok());
+  GRF_CHECK(setup.ExecuteScript(
+                     "CREATE DIRECTED GRAPH VIEW net "
+                     "VERTEXES (ID = id) FROM vx "
+                     "EDGES (ID = id, FROM = s, TO = d) FROM ex;")
+                .ok());
+}
+
+struct ModeResult {
+  std::string mode;
+  uint64_t iterations = 0;
+  double us_per_query = 0.0;
+  double qps = 0.0;
+};
+
+/// Times `fn` in a duration-bounded loop (at least MinBenchTime seconds and
+/// 64 iterations, after a small warm-up).
+template <typename Fn>
+ModeResult TimeMode(const std::string& mode, Fn&& fn) {
+  for (int i = 0; i < 8; ++i) fn();
+  const double budget = MinBenchTime() > 0.2 ? MinBenchTime() : 0.2;
+  uint64_t iterations = 0;
+  const double start = Now();
+  double elapsed = 0.0;
+  while (elapsed < budget || iterations < 64) {
+    fn();
+    ++iterations;
+    elapsed = Now() - start;
+  }
+  ModeResult r;
+  r.mode = mode;
+  r.iterations = iterations;
+  r.us_per_query = elapsed * 1e6 / static_cast<double>(iterations);
+  r.qps = static_cast<double>(iterations) / elapsed;
+  return r;
+}
+
+void Check(const StatusOr<ResultSet>& result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+std::vector<ModeResult> RunStatementModes(Database& db) {
+  Session session(db);
+  const std::string point_sql =
+      "SELECT name, score FROM item WHERE id = 1234";
+  const std::string path_sql =
+      "SELECT COUNT(P) FROM net.Paths P "
+      "WHERE P.StartVertex.Id = 42 AND P.Length <= 2";
+
+  auto point_prep = session.Prepare("SELECT name, score FROM item "
+                                    "WHERE id = ?");
+  GRF_CHECK(point_prep.ok());
+  auto path_prep = session.Prepare(
+      "SELECT COUNT(P) FROM net.Paths P "
+      "WHERE P.StartVertex.Id = ? AND P.Length <= 2");
+  GRF_CHECK(path_prep.ok());
+
+  std::vector<ModeResult> out;
+  out.push_back(TimeMode("point_cold", [&] {
+    db.plan_cache().Clear();
+    Check(session.Execute(point_sql), "point_cold");
+  }));
+  out.push_back(TimeMode("point_cached", [&] {
+    Check(session.Execute(point_sql), "point_cached");
+  }));
+  out.push_back(TimeMode("point_prepared", [&] {
+    Check(point_prep->Execute({Value::BigInt(1234)}), "point_prepared");
+  }));
+  out.push_back(TimeMode("path2_cold", [&] {
+    db.plan_cache().Clear();
+    Check(session.Execute(path_sql), "path2_cold");
+  }));
+  out.push_back(TimeMode("path2_cached", [&] {
+    Check(session.Execute(path_sql), "path2_cached");
+  }));
+  out.push_back(TimeMode("path2_prepared", [&] {
+    Check(path_prep->Execute({Value::BigInt(42)}), "path2_prepared");
+  }));
+  return out;
+}
+
+struct ScaleResult {
+  size_t threads = 0;
+  uint64_t total_queries = 0;
+  double qps = 0.0;
+};
+
+/// N sessions on N threads, each running the cached point SELECT and the
+/// two-hop traversal for a fixed per-thread iteration count.
+ScaleResult RunSessionScaling(Database& db, size_t threads) {
+  constexpr uint64_t kPerThread = 400;
+  std::vector<std::thread> workers;
+  const double start = Now();
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&db, t] {
+      Session session(db);
+      const std::string point_sql = StrFormat(
+          "SELECT name, score FROM item WHERE id = %lld",
+          static_cast<long long>(100 + t));
+      const std::string path_sql = StrFormat(
+          "SELECT COUNT(P) FROM net.Paths P "
+          "WHERE P.StartVertex.Id = %lld AND P.Length <= 2",
+          static_cast<long long>(t * 13 % 512));
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        Check(session.Execute(point_sql), "scale point");
+        Check(session.Execute(path_sql), "scale path");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = Now() - start;
+  ScaleResult r;
+  r.threads = threads;
+  r.total_queries = threads * kPerThread * 2;
+  r.qps = static_cast<double>(r.total_queries) / elapsed;
+  return r;
+}
+
+void Run(const std::string& path) {
+  Database db;
+  Populate(&db);
+
+  Counter* hits = EngineMetrics::Get().plan_cache_hits;
+  Counter* misses = EngineMetrics::Get().plan_cache_misses;
+  const uint64_t hits_before = hits->value();
+  const uint64_t misses_before = misses->value();
+
+  std::vector<ModeResult> modes = RunStatementModes(db);
+  std::string json = "{\n  \"modes\": [\n";
+  double cold_us = 0.0, cached_us = 0.0, prepared_us = 0.0;
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    if (m.mode == "point_cold") cold_us = m.us_per_query;
+    if (m.mode == "point_cached") cached_us = m.us_per_query;
+    if (m.mode == "point_prepared") prepared_us = m.us_per_query;
+    json += StrFormat(
+        "    {\"mode\": \"%s\", \"iterations\": %llu, "
+        "\"us_per_query\": %.3f, \"qps\": %.1f}%s\n",
+        m.mode.c_str(), static_cast<unsigned long long>(m.iterations),
+        m.us_per_query, m.qps, i + 1 < modes.size() ? "," : "");
+    std::fprintf(stderr, "Throughput/%-15s %10.3f us/query %12.1f qps\n",
+                 m.mode.c_str(), m.us_per_query, m.qps);
+  }
+  json += "  ],\n";
+
+  // The headline number: per-statement setup time eliminated by the cache.
+  const double setup_drop_us = cold_us - cached_us;
+  json += StrFormat(
+      "  \"point_setup_drop_us\": %.3f,\n"
+      "  \"point_prepared_drop_us\": %.3f,\n",
+      setup_drop_us, cold_us - prepared_us);
+  std::fprintf(stderr,
+               "Throughput/setup_drop: %.3f us/query (cold %.3f -> cached "
+               "%.3f, prepared %.3f)\n",
+               setup_drop_us, cold_us, cached_us, prepared_us);
+
+  json += "  \"scaling\": [\n";
+  const size_t sweeps[] = {1, 2, 4};
+  for (size_t i = 0; i < 3; ++i) {
+    ScaleResult s = RunSessionScaling(db, sweeps[i]);
+    json += StrFormat(
+        "    {\"threads\": %zu, \"queries\": %llu, \"qps\": %.1f}%s\n",
+        s.threads, static_cast<unsigned long long>(s.total_queries), s.qps,
+        i + 1 < 3 ? "," : "");
+    std::fprintf(stderr, "Throughput/sessions=%zu %12.1f qps\n", s.threads,
+                 s.qps);
+  }
+  json += "  ],\n";
+  json += StrFormat(
+      "  \"plan_cache_hits\": %llu,\n  \"plan_cache_misses\": %llu\n}\n",
+      static_cast<unsigned long long>(hits->value() - hits_before),
+      static_cast<unsigned long long>(misses->value() - misses_before));
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "throughput results written to %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace grfusion::bench
+
+int main() {
+  grfusion::bench::Run("BENCH_throughput.json");
+  return 0;
+}

@@ -6,7 +6,12 @@
 
 namespace grfusion {
 
-Grail::Grail(size_t memory_cap) { db_.options().memory_cap = memory_cap; }
+Grail::Grail(size_t memory_cap)
+    : db_([&] {
+        PlannerOptions options;
+        options.memory_cap = memory_cap;
+        return options;
+      }()) {}
 
 Status Grail::Load(const Dataset& dataset) {
   if (loaded_) return Status::InvalidArgument("Grail already loaded");

@@ -4,9 +4,12 @@
 
 namespace grfusion {
 
-SqlGraph::SqlGraph(size_t memory_cap) {
-  db_.options().memory_cap = memory_cap;
-}
+SqlGraph::SqlGraph(size_t memory_cap)
+    : db_([&] {
+        PlannerOptions options;
+        options.memory_cap = memory_cap;
+        return options;
+      }()) {}
 
 Status SqlGraph::Load(const Dataset& dataset) {
   if (loaded_) return Status::InvalidArgument("SqlGraph already loaded");

@@ -22,6 +22,7 @@ StatusOr<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   auto table = std::make_unique<Table>(name, std::move(schema));
   Table* raw = table.get();
   tables_.emplace(std::move(key), std::move(table));
+  BumpVersion();
   return raw;
 }
 
@@ -47,6 +48,7 @@ Status Catalog::DropTable(const std::string& name) {
     }
   }
   tables_.erase(it);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -86,6 +88,7 @@ StatusOr<GraphView*> Catalog::CreateGraphView(GraphViewDef def,
       static_cast<uint64_t>(build_us));
   GraphView* raw = gv.get();
   graph_views_.emplace(std::move(key), std::move(gv));
+  BumpVersion();
   return raw;
 }
 
@@ -100,6 +103,7 @@ Status Catalog::DropGraphView(const std::string& name) {
     return Status::NotFound("graph view '" + name + "' does not exist");
   }
   graph_views_.erase(it);
+  BumpVersion();
   return Status::OK();
 }
 

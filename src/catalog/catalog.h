@@ -1,6 +1,8 @@
 #ifndef GRFUSION_CATALOG_CATALOG_H_
 #define GRFUSION_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -45,6 +47,16 @@ class Catalog {
   const VirtualTable* FindVirtualTable(const std::string& name) const;
   std::vector<std::string> VirtualTableNames() const;
 
+  // --- Schema versioning (plan-cache invalidation) ---
+  /// Monotonic counter bumped by every schema-shape change: CREATE/DROP
+  /// TABLE, CREATE/DROP GRAPH VIEW, and (via BumpVersion) CREATE INDEX.
+  /// Cached plans record the version they were compiled under and are
+  /// discarded when it moves.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   /// Case-insensitive name key.
   static std::string Key(const std::string& name);
@@ -53,6 +65,7 @@ class Catalog {
   std::unordered_map<std::string, std::unique_ptr<GraphView>> graph_views_;
   std::unordered_map<std::string, std::unique_ptr<VirtualTable>>
       virtual_tables_;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace grfusion

@@ -194,6 +194,9 @@ EngineMetrics::EngineMetrics() {
   paths_emitted_total = r.GetCounter("paths_emitted_total");
   paths_pruned_total = r.GetCounter("paths_pruned_total");
   peak_query_bytes = r.GetGauge("peak_query_bytes");
+  plan_cache_hits = r.GetCounter("plan_cache_hits");
+  plan_cache_misses = r.GetCounter("plan_cache_misses");
+  plan_cache_evictions = r.GetCounter("plan_cache_evictions");
   graph_views_built_total = r.GetCounter("graph_views_built_total");
   graph_view_build_us = r.GetHistogram("graph_view_build_us");
   graph_view_updates_total = r.GetCounter("graph_view_updates_total");

@@ -150,6 +150,12 @@ struct EngineMetrics {
   // Memory accounting.
   Gauge* peak_query_bytes;
 
+  // Plan cache (session front-end). A hit means a statement executed
+  // without parsing, binding, or planning.
+  Counter* plan_cache_hits;
+  Counter* plan_cache_misses;
+  Counter* plan_cache_evictions;
+
   // Graph-view lifecycle and online maintenance (paper §3.2/§3.3).
   Counter* graph_views_built_total;
   Histogram* graph_view_build_us;

@@ -26,6 +26,13 @@ std::string_view Trim(std::string_view s);
 /// Case-sensitive, like VoltDB's default collation.
 bool LikeMatch(std::string_view text, std::string_view pattern);
 
+/// Canonicalizes a SQL statement for use as a plan-cache key: collapses
+/// whitespace runs to one space, strips `--` line comments and trailing
+/// semicolons, and trims the ends. Quoted string literals (including ''
+/// escapes) are preserved verbatim, so normalization never changes statement
+/// semantics — two statements with equal normalized text plan identically.
+std::string NormalizeSqlWhitespace(std::string_view sql);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -1,399 +1,32 @@
 #include "engine/database.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cstdio>
-
-#include "common/logging.h"
 #include "common/metrics.h"
-#include "common/string_util.h"
-#include "common/task_pool.h"
-#include "parser/parser.h"
-#include "plan/binder.h"
 
 namespace grfusion {
 
-namespace {
-
-/// Splits a rendered plan into one VARCHAR row per line.
-ResultSet PlanTextToResult(const std::string& plan) {
-  ResultSet result;
-  result.column_names = {"plan"};
-  size_t start = 0;
-  while (start < plan.size()) {
-    size_t end = plan.find('\n', start);
-    if (end == std::string::npos) end = plan.size();
-    result.rows.push_back({Value::Varchar(plan.substr(start, end - start))});
-    start = end + 1;
-  }
-  return result;
-}
-
-/// Flattens the operator tree into (depth, name, counters) rows, pre-order.
-void CollectOperatorRows(const PhysicalOperator* op, int depth,
-                         std::vector<QueryProfile::OperatorRow>* out) {
-  const OperatorProfile& p = op->profile();
-  QueryProfile::OperatorRow row;
-  row.depth = depth;
-  row.name = op->name();
-  row.actual_rows = p.rows_emitted;
-  row.next_calls = p.next_calls;
-  row.time_ms = static_cast<double>(p.total_ns()) / 1e6;
-  out->push_back(std::move(row));
-  for (const PhysicalOperator* child : op->children()) {
-    CollectOperatorRows(child, depth + 1, out);
-  }
-}
-
-/// True when any FROM item reads an engine introspection table; such queries
-/// must not overwrite the profile they are inspecting.
-bool ReadsSystemTables(const SelectStmt& stmt) {
-  for (const FromItem& item : stmt.from) {
-    if (item.source.size() >= 4 &&
-        EqualsIgnoreCase(std::string_view(item.source).substr(0, 4), "SYS.")) {
-      return true;
-    }
-  }
-  return false;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-std::string ResultSet::ToString(size_t max_rows) const {
-  std::string out;
-  for (size_t i = 0; i < column_names.size(); ++i) {
-    if (i > 0) out += " | ";
-    out += column_names[i];
-  }
-  if (!column_names.empty()) out += "\n";
-  size_t shown = 0;
-  for (const auto& row : rows) {
-    if (shown++ >= max_rows) {
-      out += StrFormat("... (%zu more rows)\n", rows.size() - max_rows);
-      break;
-    }
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i > 0) out += " | ";
-      out += row[i].ToString();
-    }
-    out += "\n";
-  }
-  if (column_names.empty()) {
-    out += StrFormat("(%zu rows affected)\n", rows_affected);
-  }
-  return out;
-}
-
-// --- InterruptHandle ---------------------------------------------------------------
-
-void InterruptHandle::Interrupt() {
-  if (state_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(state_->mu);
-  if (state_->active != nullptr) state_->active->Cancel();
-}
-
-// --- Entry points ------------------------------------------------------------------
-
 Database::Database(PlannerOptions options) : options_(options) {
   RegisterSystemTables();
+  compat_session_ = std::make_unique<Session>(*this);
 }
 
+Session& Database::CompatSession() const { return *compat_session_; }
+
+// --- Compatibility shims -----------------------------------------------------------
+
 StatusOr<ResultSet> Database::Execute(std::string_view sql) {
-  std::lock_guard<std::mutex> lock(statement_mutex_);
-  GRF_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseSingle(sql));
-  current_sql_ = std::string(Trim(sql));
-  return ExecuteStatement(stmt);
+  std::lock_guard<std::mutex> lock(compat_mu_);
+  return CompatSession().Execute(sql);
 }
 
 Status Database::ExecuteScript(std::string_view sql) {
-  std::lock_guard<std::mutex> lock(statement_mutex_);
-  GRF_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parser::Parse(sql));
-  current_sql_ = std::string(Trim(sql));
-  for (const Statement& stmt : statements) {
-    GRF_ASSIGN_OR_RETURN(ResultSet ignored, ExecuteStatement(stmt));
-    (void)ignored;
-  }
-  return Status::OK();
-}
-
-StatusOr<std::string> Database::Explain(std::string_view sql) {
-  GRF_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseSingle(sql));
-  const SelectStmt* select = std::get_if<SelectStmt>(&stmt);
-  if (select == nullptr) {
-    if (const auto* explain = std::get_if<ExplainStmt>(&stmt);
-        explain != nullptr) {
-      select = explain->select.get();
-    }
-  }
-  if (select == nullptr) {
-    return Status::InvalidArgument("EXPLAIN supports SELECT statements only");
-  }
-  Planner planner(&catalog_, options_);
-  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(*select));
-  return planned.root->ToString(0);
-}
-
-StatusOr<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
-  return std::visit(
-      [this](const auto& s) -> StatusOr<ResultSet> {
-        using T = std::decay_t<decltype(s)>;
-        if constexpr (std::is_same_v<T, CreateTableStmt>) {
-          return ExecuteCreateTable(s);
-        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
-          return ExecuteCreateIndex(s);
-        } else if constexpr (std::is_same_v<T, CreateGraphViewStmt>) {
-          return ExecuteCreateGraphView(s);
-        } else if constexpr (std::is_same_v<T, CreateMaterializedViewStmt>) {
-          return ExecuteCreateMaterializedView(s);
-        } else if constexpr (std::is_same_v<T, DropStmt>) {
-          return ExecuteDrop(s);
-        } else if constexpr (std::is_same_v<T, InsertStmt>) {
-          return ExecuteInsert(s);
-        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
-          return ExecuteUpdate(s);
-        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
-          return ExecuteDelete(s);
-        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
-          return ExecuteExplain(s);
-        } else {
-          return ExecuteSelect(s);
-        }
-      },
-      stmt);
-}
-
-// --- DDL ---------------------------------------------------------------------------
-
-StatusOr<ResultSet> Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
-  if (stmt.if_not_exists && catalog_.FindTable(stmt.name) != nullptr) {
-    return ResultSet();
-  }
-  Schema schema;
-  int primary_key = -1;
-  for (size_t i = 0; i < stmt.columns.size(); ++i) {
-    const ColumnDef& def = stmt.columns[i];
-    if (schema.FindColumn(def.name) >= 0) {
-      return Status::InvalidArgument("duplicate column '" + def.name + "'");
-    }
-    schema.AddColumn(Column(def.name, def.type));
-    if (def.primary_key) {
-      if (primary_key >= 0) {
-        return Status::InvalidArgument("multiple PRIMARY KEY columns");
-      }
-      primary_key = static_cast<int>(i);
-    }
-  }
-  GRF_ASSIGN_OR_RETURN(Table * table,
-                       catalog_.CreateTable(stmt.name, std::move(schema)));
-  if (primary_key >= 0) {
-    GRF_RETURN_IF_ERROR(table->CreateIndex(
-        "pk_" + stmt.name, static_cast<size_t>(primary_key), true));
-  }
-  return ResultSet();
-}
-
-StatusOr<ResultSet> Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
-  Table* table = catalog_.FindTable(stmt.table);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + stmt.table + "' does not exist");
-  }
-  GRF_ASSIGN_OR_RETURN(size_t column, table->schema().ColumnIndex(stmt.column));
-  GRF_RETURN_IF_ERROR(table->CreateIndex(stmt.index_name, column, stmt.unique));
-  return ResultSet();
-}
-
-StatusOr<ResultSet> Database::ExecuteCreateGraphView(
-    const CreateGraphViewStmt& stmt) {
-  GraphBuildOptions build;
-  const size_t parallelism = options_.effective_parallelism();
-  if (parallelism > 1) {
-    build.pool = &TaskPool::Shared();
-    build.max_parallelism = parallelism;
-    build.min_rows = options_.parallel_min_rows;
-  }
-  GRF_ASSIGN_OR_RETURN(GraphView * gv, catalog_.CreateGraphView(stmt.def, build));
-  (void)gv;
-  return ResultSet();
-}
-
-StatusOr<ResultSet> Database::ExecuteCreateMaterializedView(
-    const CreateMaterializedViewStmt& stmt) {
-  // Materialize the query result as an ordinary table: downstream DDL
-  // (indexes, graph views over it) then works unchanged. The view is a
-  // snapshot — it does not track its base tables (the paper only requires
-  // topological updates for single-table sources, §3.3.2).
-  Planner planner(&catalog_, options_);
-  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(*stmt.select));
-  Schema schema;
-  for (size_t i = 0; i < planned.output_names.size(); ++i) {
-    schema.AddColumn(Column(planned.output_names[i],
-                            planned.root->schema().column(i).type));
-  }
-  GRF_ASSIGN_OR_RETURN(ResultSet rows, ExecuteSelect(*stmt.select));
-  GRF_ASSIGN_OR_RETURN(Table * table,
-                       catalog_.CreateTable(stmt.name, std::move(schema)));
-  for (auto& row : rows.rows) {
-    auto slot = table->Insert(Tuple(std::move(row)));
-    if (!slot.ok()) {
-      (void)catalog_.DropTable(stmt.name);
-      return slot.status();
-    }
-  }
-  ResultSet result;
-  result.rows_affected = rows.rows.size();
-  return result;
-}
-
-StatusOr<ResultSet> Database::ExecuteDrop(const DropStmt& stmt) {
-  Status status;
-  switch (stmt.kind) {
-    case DropStmt::Kind::kTable:
-      status = catalog_.DropTable(stmt.name);
-      break;
-    case DropStmt::Kind::kGraphView:
-      status = catalog_.DropGraphView(stmt.name);
-      break;
-    case DropStmt::Kind::kIndex:
-      return Status::Unsupported("DROP INDEX is not implemented");
-  }
-  if (!status.ok() && stmt.if_exists &&
-      status.code() == StatusCode::kNotFound) {
-    return ResultSet();
-  }
-  GRF_RETURN_IF_ERROR(status);
-  return ResultSet();
-}
-
-// --- DML ---------------------------------------------------------------------------
-
-StatusOr<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt) {
-  Table* table = catalog_.FindTable(stmt.table);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + stmt.table + "' does not exist");
-  }
-  const Schema& schema = table->schema();
-
-  // Map the column list (or positional) to schema indexes.
-  std::vector<size_t> targets;
-  if (stmt.columns.empty()) {
-    for (size_t i = 0; i < schema.NumColumns(); ++i) targets.push_back(i);
-  } else {
-    for (const std::string& name : stmt.columns) {
-      GRF_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
-      targets.push_back(idx);
-    }
-  }
-
-  // INSERT INTO ... SELECT: evaluate the query, then load its rows through
-  // the same constraint-checked path (statement-atomic).
-  if (stmt.select != nullptr) {
-    GRF_ASSIGN_OR_RETURN(ResultSet selected, ExecuteSelect(*stmt.select));
-    std::vector<TupleSlot> inserted;
-    for (auto& row : selected.rows) {
-      if (row.size() != targets.size()) {
-        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-          (void)table->Delete(*it);
-        }
-        return Status::InvalidArgument(StrFormat(
-            "INSERT expects %zu values, SELECT produced %zu", targets.size(),
-            row.size()));
-      }
-      std::vector<Value> values(schema.NumColumns(), Value::Null());
-      for (size_t i = 0; i < targets.size(); ++i) {
-        values[targets[i]] = std::move(row[i]);
-      }
-      auto slot = table->Insert(Tuple(std::move(values)));
-      if (!slot.ok()) {
-        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-          (void)table->Delete(*it);
-        }
-        return slot.status();
-      }
-      inserted.push_back(*slot);
-    }
-    ResultSet result;
-    result.rows_affected = inserted.size();
-    return result;
-  }
-
-  // Value expressions may be arbitrary constant expressions.
-  BindingScope empty_scope;
-  // BindingScope requires at least nothing; Binder over empty scope binds
-  // literals and arithmetic but no column references.
-  Binder binder(&empty_scope);
-  ExecRow empty_row;
-
-  std::vector<TupleSlot> inserted;
-  for (const auto& row_exprs : stmt.rows) {
-    if (row_exprs.size() != targets.size()) {
-      Status status = Status::InvalidArgument(
-          StrFormat("INSERT expects %zu values, got %zu", targets.size(),
-                    row_exprs.size()));
-      for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-        (void)table->Delete(*it);
-      }
-      return status;
-    }
-    std::vector<Value> values(schema.NumColumns(), Value::Null());
-    for (size_t i = 0; i < targets.size(); ++i) {
-      auto bound = binder.Bind(*row_exprs[i]);
-      Status status = bound.ok() ? Status::OK() : bound.status();
-      Value v;
-      if (status.ok()) {
-        auto evaluated = (*bound)->Eval(empty_row);
-        if (evaluated.ok()) {
-          v = std::move(evaluated).value();
-        } else {
-          status = evaluated.status();
-        }
-      }
-      if (!status.ok()) {
-        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-          (void)table->Delete(*it);
-        }
-        return status;
-      }
-      values[targets[i]] = std::move(v);
-    }
-    auto slot = table->Insert(Tuple(std::move(values)));
-    if (!slot.ok()) {
-      // Statement-level atomicity: undo this statement's prior inserts.
-      for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-        (void)table->Delete(*it);
-      }
-      return slot.status();
-    }
-    inserted.push_back(*slot);
-  }
-  ResultSet result;
-  result.rows_affected = inserted.size();
-  return result;
+  std::lock_guard<std::mutex> lock(compat_mu_);
+  return CompatSession().ExecuteScript(sql);
 }
 
 Status Database::BulkInsert(const std::string& table_name,
                             const std::vector<std::vector<Value>>& rows) {
-  std::lock_guard<std::mutex> lock(statement_mutex_);
+  // Bulk loading mutates table state: exclusive, like any DML statement.
+  std::unique_lock<std::shared_mutex> lock(statement_mutex_);
   Table* table = catalog_.FindTable(table_name);
   if (table == nullptr) {
     return Status::NotFound("table '" + table_name + "' does not exist");
@@ -405,372 +38,20 @@ Status Database::BulkInsert(const std::string& table_name,
   return Status::OK();
 }
 
-namespace {
-
-/// Recognizes `column = <literal>` (either orientation) against an indexed
-/// column and returns the matching slots, so UPDATE/DELETE avoid full scans.
-/// nullopt means "no usable index — scan".
-std::optional<std::vector<TupleSlot>> TryIndexLookup(const Table* table,
-                                                     const ParsedExpr* where) {
-  if (where == nullptr || where->kind != ParsedExpr::Kind::kCompare ||
-      where->compare_op != CompareOp::kEq) {
-    return std::nullopt;
-  }
-  const ParsedExpr* ref = where->children[0].get();
-  const ParsedExpr* lit = where->children[1].get();
-  if (ref->kind != ParsedExpr::Kind::kRef) std::swap(ref, lit);
-  if (ref->kind != ParsedExpr::Kind::kRef ||
-      lit->kind != ParsedExpr::Kind::kLiteral || ref->ref.size() != 1 ||
-      ref->ref[0].has_index) {
-    return std::nullopt;
-  }
-  int column = table->schema().FindColumn(ref->ref[0].name);
-  if (column < 0) return std::nullopt;
-  const HashIndex* index =
-      table->FindIndexOnColumn(static_cast<size_t>(column));
-  if (index == nullptr) return std::nullopt;
-  Value key = lit->literal;
-  ValueType want = table->schema().column(static_cast<size_t>(column)).type;
-  if (!key.is_null() && key.type() != want) {
-    auto cast = key.CastTo(want);
-    if (!cast.ok()) return std::vector<TupleSlot>();
-    key = std::move(cast).value();
-  }
-  const std::vector<TupleSlot>* slots = index->Lookup(key);
-  return slots == nullptr ? std::vector<TupleSlot>() : *slots;
+InterruptHandle Database::interrupt_handle() const {
+  return CompatSession().interrupt_handle();
 }
 
-/// Builds the single-table scope used by UPDATE/DELETE WHERE clauses.
-BindingScope SingleTableScope(const Table* table) {
-  BindingScope scope;
-  TableBinding binding;
-  binding.kind = TableBinding::Kind::kTable;
-  binding.alias = table->name();
-  binding.table = table;
-  binding.visible = table->schema();
-  scope.AddBinding(std::move(binding));
-  return scope;
+const ExecStats& Database::last_stats() const {
+  return CompatSession().last_stats();
 }
 
-}  // namespace
-
-StatusOr<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt) {
-  Table* table = catalog_.FindTable(stmt.table);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + stmt.table + "' does not exist");
-  }
-  BindingScope scope = SingleTableScope(table);
-  Binder binder(&scope);
-
-  ExprPtr where;
-  if (stmt.where != nullptr) {
-    GRF_ASSIGN_OR_RETURN(where, binder.Bind(*stmt.where));
-  }
-  std::vector<std::pair<size_t, ExprPtr>> assignments;
-  for (const auto& [column, parsed] : stmt.assignments) {
-    GRF_ASSIGN_OR_RETURN(size_t idx, table->schema().ColumnIndex(column));
-    GRF_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*parsed));
-    assignments.emplace_back(idx, std::move(bound));
-  }
-
-  // Phase 1: collect new images (no mutation while scanning). A usable
-  // index on a `col = literal` WHERE avoids the full scan.
-  std::vector<std::pair<TupleSlot, Tuple>> updates;
-  Status status = Status::OK();
-  auto visit = [&](TupleSlot slot, const Tuple& tuple) {
-    ExecRow row;
-    row.columns = tuple.values();
-    if (where != nullptr) {
-      auto pass = EvalPredicate(*where, row);
-      if (!pass.ok()) {
-        status = pass.status();
-        return false;
-      }
-      if (!*pass) return true;
-    }
-    Tuple updated = tuple;
-    for (const auto& [idx, expr] : assignments) {
-      auto v = expr->Eval(row);
-      if (!v.ok()) {
-        status = v.status();
-        return false;
-      }
-      updated.SetValue(idx, std::move(v).value());
-    }
-    updates.emplace_back(slot, std::move(updated));
-    return true;
-  };
-  if (auto slots = TryIndexLookup(table, stmt.where.get());
-      slots.has_value()) {
-    for (TupleSlot slot : *slots) {
-      const Tuple* tuple = table->Get(slot);
-      if (tuple == nullptr) continue;
-      if (!visit(slot, *tuple)) break;
-    }
-  } else {
-    table->ForEach(visit);
-  }
-  GRF_RETURN_IF_ERROR(status);
-
-  // Phase 2: apply, with statement-level rollback on failure.
-  std::vector<std::pair<TupleSlot, Tuple>> applied;
-  for (auto& [slot, new_tuple] : updates) {
-    const Tuple* old_tuple = table->Get(slot);
-    if (old_tuple == nullptr) continue;
-    Tuple backup = *old_tuple;
-    Status s = table->Update(slot, std::move(new_tuple));
-    if (!s.ok()) {
-      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
-        Status restore = table->Update(it->first, std::move(it->second));
-        GRF_CHECK(restore.ok());
-      }
-      return s;
-    }
-    applied.emplace_back(slot, std::move(backup));
-  }
-  ResultSet result;
-  result.rows_affected = applied.size();
-  return result;
+size_t Database::last_peak_bytes() const {
+  return CompatSession().last_peak_bytes();
 }
 
-StatusOr<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt) {
-  Table* table = catalog_.FindTable(stmt.table);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + stmt.table + "' does not exist");
-  }
-  BindingScope scope = SingleTableScope(table);
-  Binder binder(&scope);
-  ExprPtr where;
-  if (stmt.where != nullptr) {
-    GRF_ASSIGN_OR_RETURN(where, binder.Bind(*stmt.where));
-  }
-
-  std::vector<std::pair<TupleSlot, Tuple>> victims;
-  Status status = Status::OK();
-  auto visit = [&](TupleSlot slot, const Tuple& tuple) {
-    ExecRow row;
-    row.columns = tuple.values();
-    if (where != nullptr) {
-      auto pass = EvalPredicate(*where, row);
-      if (!pass.ok()) {
-        status = pass.status();
-        return false;
-      }
-      if (!*pass) return true;
-    }
-    victims.emplace_back(slot, tuple);
-    return true;
-  };
-  if (auto slots = TryIndexLookup(table, stmt.where.get());
-      slots.has_value()) {
-    for (TupleSlot slot : *slots) {
-      const Tuple* tuple = table->Get(slot);
-      if (tuple == nullptr) continue;
-      if (!visit(slot, *tuple)) break;
-    }
-  } else {
-    table->ForEach(visit);
-  }
-  GRF_RETURN_IF_ERROR(status);
-
-  std::vector<Tuple> deleted;
-  for (auto& [slot, backup] : victims) {
-    Status s = table->Delete(slot);
-    if (!s.ok()) {
-      // Roll this statement back: re-insert what we already deleted.
-      for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
-        auto restored = table->Insert(std::move(*it));
-        GRF_CHECK(restored.ok());
-      }
-      return s;
-    }
-    deleted.push_back(std::move(backup));
-  }
-  ResultSet result;
-  result.rows_affected = deleted.size();
-  return result;
-}
-
-// --- SELECT -------------------------------------------------------------------------
-
-StatusOr<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt) {
-  Planner planner(&catalog_, options_);
-  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(stmt));
-  return RunPlan(planned, stmt, /*force_timing=*/false);
-}
-
-StatusOr<ResultSet> Database::RunPlan(const PlannedQuery& planned,
-                                      const SelectStmt& stmt,
-                                      bool force_timing) {
-  EngineMetrics& metrics = EngineMetrics::Get();
-  const bool slow_log_armed = options_.slow_query_threshold_us >= 0;
-
-  QueryContext ctx(options_.memory_cap);
-  ctx.set_profile_timing(force_timing || slow_log_armed);
-  const size_t parallelism = options_.effective_parallelism();
-  if (parallelism > 1) {
-    ctx.set_task_pool(&TaskPool::Shared());
-    ctx.set_max_parallelism(parallelism);
-    ctx.set_parallel_min_rows(options_.parallel_min_rows);
-    ctx.set_parallel_min_starts(options_.parallel_min_starts);
-  }
-
-  // Statement-lifetime cancellation token. Left null (bench baseline) only
-  // when both interrupts and the timeout are off; a null token reduces every
-  // cooperative check to one pointer test.
-  CancellationToken token;
-  const bool arm_token =
-      options_.enable_interrupts || options_.statement_timeout_us >= 0;
-  if (options_.statement_timeout_us >= 0) {
-    token.SetTimeoutUs(options_.statement_timeout_us);
-  }
-  if (arm_token) ctx.set_cancellation(&token);
-  if (options_.enable_interrupts) {
-    std::lock_guard<std::mutex> lock(interrupt_state_->mu);
-    interrupt_state_->active = &token;
-  }
-
-  ResultSet result;
-  result.column_names = planned.output_names;
-
-  auto t0 = std::chrono::steady_clock::now();
-  Status status = planned.root->Open(&ctx);
-  if (status.ok()) {
-    ExecRow row;
-    while (true) {
-      auto has = planned.root->Next(&row);
-      if (!has.ok()) {
-        status = has.status();
-        break;
-      }
-      if (!*has) break;
-      result.rows.push_back(std::move(row.columns));
-    }
-  }
-  planned.root->Close();
-  // Unregister only after Close: the token must outlive any worker that
-  // might still observe it while the operator tree unwinds.
-  if (options_.enable_interrupts) {
-    std::lock_guard<std::mutex> lock(interrupt_state_->mu);
-    interrupt_state_->active = nullptr;
-  }
-  uint64_t latency_us = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
-
-  // Fold this query's work into the engine-wide registry.
-  metrics.queries_total->Increment();
-  if (!status.ok()) metrics.query_errors_total->Increment();
-  if (status.code() == StatusCode::kCancelled) {
-    metrics.queries_cancelled->Increment();
-  } else if (status.code() == StatusCode::kDeadlineExceeded) {
-    metrics.queries_deadline_exceeded->Increment();
-  }
-  metrics.query_latency_us->Observe(latency_us);
-  metrics.rows_returned_total->Increment(result.rows.size());
-  const ExecStats& stats = ctx.stats();
-  metrics.rows_scanned_total->Increment(stats.rows_scanned);
-  metrics.rows_joined_total->Increment(stats.rows_joined);
-  metrics.vertexes_expanded_total->Increment(stats.vertexes_expanded);
-  metrics.edges_examined_total->Increment(stats.edges_examined);
-  metrics.paths_emitted_total->Increment(stats.paths_emitted);
-  metrics.paths_pruned_total->Increment(stats.paths_pruned);
-  metrics.peak_query_bytes->SetMax(static_cast<int64_t>(ctx.peak_bytes()));
-
-  last_stats_ = stats;
-  last_peak_bytes_ = ctx.peak_bytes();
-
-  // Queries over SYS.* inspect the previous profile; don't clobber it.
-  if (!ReadsSystemTables(stmt)) {
-    QueryProfile profile;
-    profile.sql = current_sql_;
-    profile.latency_us = latency_us;
-    profile.peak_bytes = ctx.peak_bytes();
-    profile.stats = stats;
-    CollectOperatorRows(planned.root.get(), 0, &profile.operators);
-    if (slow_log_armed &&
-        latency_us >=
-            static_cast<uint64_t>(options_.slow_query_threshold_us)) {
-      metrics.slow_queries_total->Increment();
-      EmitSlowQueryTrace(profile);
-    }
-    last_profile_ = std::move(profile);
-  }
-
-  GRF_RETURN_IF_ERROR(status);
-  return result;
-}
-
-StatusOr<ResultSet> Database::ExecuteExplain(const ExplainStmt& stmt) {
-  Planner planner(&catalog_, options_);
-  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(*stmt.select));
-  if (!stmt.analyze) {
-    return PlanTextToResult(planned.root->ToString(0));
-  }
-  StatusOr<ResultSet> executed = RunPlan(planned, *stmt.select,
-                                         /*force_timing=*/true);
-  if (!executed.ok() &&
-      executed.status().code() != StatusCode::kCancelled &&
-      executed.status().code() != StatusCode::kDeadlineExceeded) {
-    return executed.status();
-  }
-  // A stopped statement still renders: the per-operator counters show how
-  // far execution got before the interrupt or deadline fired.
-  std::string text = planned.root->ToAnalyzedString(0, 0);
-  if (executed.ok()) {
-    text += StrFormat("Execution: rows=%zu latency_ms=%.3f peak_bytes=%zu\n",
-                      executed->rows.size(),
-                      static_cast<double>(last_profile_.latency_us) / 1e3,
-                      last_peak_bytes_);
-  } else {
-    text += StrFormat(
-        "Execution: PARTIAL (%s) latency_ms=%.3f peak_bytes=%zu\n",
-        StatusCodeToString(executed.status().code()),
-        static_cast<double>(last_profile_.latency_us) / 1e3,
-        last_peak_bytes_);
-  }
-  return PlanTextToResult(text);
-}
-
-void Database::EmitSlowQueryTrace(const QueryProfile& profile) const {
-  std::string line = StrFormat(
-      "{\"event\":\"slow_query\",\"sql\":\"%s\",\"latency_us\":%llu,"
-      "\"threshold_us\":%lld,\"peak_bytes\":%zu,\"rows_scanned\":%llu,"
-      "\"rows_joined\":%llu,\"vertexes_expanded\":%llu,"
-      "\"edges_examined\":%llu,\"paths_emitted\":%llu,\"operators\":[",
-      JsonEscape(profile.sql).c_str(),
-      static_cast<unsigned long long>(profile.latency_us),
-      static_cast<long long>(options_.slow_query_threshold_us),
-      profile.peak_bytes,
-      static_cast<unsigned long long>(profile.stats.rows_scanned),
-      static_cast<unsigned long long>(profile.stats.rows_joined),
-      static_cast<unsigned long long>(profile.stats.vertexes_expanded),
-      static_cast<unsigned long long>(profile.stats.edges_examined),
-      static_cast<unsigned long long>(profile.stats.paths_emitted));
-  for (size_t i = 0; i < profile.operators.size(); ++i) {
-    const QueryProfile::OperatorRow& op = profile.operators[i];
-    if (i > 0) line += ",";
-    line += StrFormat(
-        "{\"depth\":%d,\"op\":\"%s\",\"actual_rows\":%llu,"
-        "\"next_calls\":%llu,\"time_ms\":%.3f}",
-        op.depth, JsonEscape(op.name).c_str(),
-        static_cast<unsigned long long>(op.actual_rows),
-        static_cast<unsigned long long>(op.next_calls), op.time_ms);
-  }
-  line += "]}\n";
-  if (options_.slow_query_log_path.empty()) {
-    std::fputs(line.c_str(), stderr);
-    return;
-  }
-  std::FILE* f = std::fopen(options_.slow_query_log_path.c_str(), "a");
-  if (f == nullptr) {
-    GRF_LOG(kWarn, "cannot open slow-query log '%s'; trace dropped",
-            options_.slow_query_log_path.c_str());
-    return;
-  }
-  std::fputs(line.c_str(), f);
-  std::fclose(f);
+const QueryProfile& Database::last_profile() const {
+  return CompatSession().last_profile();
 }
 
 // --- SYS.* virtual tables -----------------------------------------------------------
@@ -794,7 +75,8 @@ void Database::RegisterSystemTables() {
           return rows;
         }));
   }
-  // SYS.LAST_QUERY: per-operator breakdown of the most recent SELECT.
+  // SYS.LAST_QUERY: per-operator breakdown of the most recent SELECT
+  // published by any session.
   {
     Schema schema;
     schema.AddColumn(Column("SQL", ValueType::kVarchar));
@@ -807,8 +89,12 @@ void Database::RegisterSystemTables() {
     catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
         "SYS.LAST_QUERY", std::move(schema),
         [this]() -> StatusOr<std::vector<std::vector<Value>>> {
+          QueryProfile p;
+          {
+            std::lock_guard<std::mutex> lock(profile_mu_);
+            p = published_profile_;
+          }
           std::vector<std::vector<Value>> rows;
-          const QueryProfile& p = last_profile_;
           for (const QueryProfile::OperatorRow& op : p.operators) {
             rows.push_back({Value::Varchar(p.sql),
                             Value::BigInt(static_cast<int64_t>(p.latency_us)),
@@ -862,6 +148,27 @@ void Database::RegisterSystemTables() {
                 {Value::Varchar(name), Value::Boolean(gv->directed()),
                  Value::BigInt(static_cast<int64_t>(gv->NumVertexes())),
                  Value::BigInt(static_cast<int64_t>(gv->NumEdges()))});
+          }
+          return rows;
+        }));
+  }
+  // SYS.PLAN_CACHE: one row per cached statement, most recently used first.
+  {
+    Schema schema;
+    schema.AddColumn(Column("SQL", ValueType::kVarchar));
+    schema.AddColumn(Column("ENTRY_HITS", ValueType::kBigInt));
+    schema.AddColumn(Column("IDLE_INSTANCES", ValueType::kBigInt));
+    schema.AddColumn(Column("CATALOG_VERSION", ValueType::kBigInt));
+    catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
+        "SYS.PLAN_CACHE", std::move(schema),
+        [this]() -> StatusOr<std::vector<std::vector<Value>>> {
+          std::vector<std::vector<Value>> rows;
+          for (const PlanCache::EntryInfo& e : plan_cache_.Snapshot()) {
+            rows.push_back(
+                {Value::Varchar(e.sql),
+                 Value::BigInt(static_cast<int64_t>(e.hits)),
+                 Value::BigInt(static_cast<int64_t>(e.idle_instances)),
+                 Value::BigInt(static_cast<int64_t>(e.catalog_version))});
           }
           return rows;
         }));

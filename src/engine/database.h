@@ -1,82 +1,44 @@
 #ifndef GRFUSION_ENGINE_DATABASE_H_
 #define GRFUSION_ENGINE_DATABASE_H_
 
-#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "catalog/catalog.h"
-#include "common/cancellation.h"
 #include "common/status.h"
+#include "engine/plan_cache.h"
 #include "engine/result_set.h"
-#include "exec/query_context.h"
-#include "parser/ast.h"
+#include "engine/session.h"
 #include "plan/planner.h"
 
 namespace grfusion {
 
-/// Post-mortem record of the most recent (non-introspection) SELECT: what
-/// ran, how long it took, and what each operator did. Backs the
-/// SYS.LAST_QUERY virtual table and the slow-query trace log.
-struct QueryProfile {
-  struct OperatorRow {
-    int depth = 0;
-    std::string name;
-    uint64_t actual_rows = 0;
-    uint64_t next_calls = 0;
-    double time_ms = 0.0;  ///< 0 unless per-operator timing was armed.
-  };
-
-  std::string sql;
-  uint64_t latency_us = 0;
-  size_t peak_bytes = 0;
-  ExecStats stats;
-  std::vector<OperatorRow> operators;
-
-  bool valid() const { return !operators.empty(); }
-};
-
-/// Cross-thread statement interruption. Obtained from
-/// Database::interrupt_handle(); copies share the same target. Interrupt()
-/// cancels the statement currently executing on the owning Database (a no-op
-/// when the database is idle), and is safe from any thread, including while
-/// the database is mid-statement — the statement observes the cancellation
-/// at its next cooperative check and returns Status::Cancelled.
-class InterruptHandle {
- public:
-  void Interrupt();
-
- private:
-  friend class Database;
-  struct State {
-    std::mutex mu;
-    CancellationToken* active = nullptr;  ///< Statement's stack token.
-  };
-  explicit InterruptHandle(std::shared_ptr<State> state)
-      : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
-};
-
-/// The GRFusion database facade: one in-memory database with a SQL entry
-/// point covering both the relational dialect and the graph extensions
-/// (CREATE GRAPH VIEW, GV.PATHS/.VERTEXES/.EDGES, traversal hints).
+/// The GRFusion database: one in-memory database holding the catalog (tables,
+/// indexes, graph views, SYS.* virtual tables), the shared plan cache, and
+/// the statement lock. Clients talk to it through Session objects:
 ///
-/// Statements execute serially — the engine models one VoltDB partition
-/// site, so every statement is trivially serializable (paper §3.3's
-/// serializable graph updates fall out of this plus the Table listener
-/// protocol). Entry points are guarded by a statement mutex, so a Database
-/// may be shared between threads; statements from different threads
-/// interleave at statement granularity, never inside one.
+///   Database db(options);
+///   Session session(db);
+///   auto prep = session.Prepare("SELECT * FROM t WHERE id = ?");
+///   auto rows = prep->Execute({Value::BigInt(42)});
+///
+/// Concurrency model: the engine models one VoltDB partition site for
+/// writes — DML and DDL statements take the statement lock exclusively, so
+/// every write is trivially serializable (paper §3.3's serializable graph
+/// updates fall out of this plus the Table listener protocol). Read-only
+/// statements (SELECT including GV.PATHS traversals, EXPLAIN) take the lock
+/// shared and run concurrently across sessions.
 ///
 /// Observability: every SELECT feeds the global MetricsRegistry
-/// (queries_total, query_latency_us, rows_scanned_total, ...), the
-/// per-database QueryProfile, and — when `options().slow_query_threshold_us`
-/// is armed — a structured slow-query trace log. The SYS.METRICS,
-/// SYS.LAST_QUERY, SYS.TABLES, and SYS.GRAPH_VIEWS virtual tables expose the
-/// same data through SQL.
+/// (queries_total, query_latency_us, plan_cache_hits, ...), the per-session
+/// QueryProfile, and — when the session's `slow_query_threshold_us` is
+/// armed — a structured slow-query trace log. The SYS.METRICS,
+/// SYS.LAST_QUERY, SYS.TABLES, SYS.GRAPH_VIEWS, and SYS.PLAN_CACHE virtual
+/// tables expose the same data through SQL.
 class Database {
  public:
   explicit Database(PlannerOptions options = PlannerOptions());
@@ -84,16 +46,17 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Parses and executes exactly one statement. EXPLAIN <select> renders the
-  /// physical plan; EXPLAIN ANALYZE <select> executes it and annotates every
-  /// operator with observed rows and timings.
+  // --- Compatibility shims -------------------------------------------------
+  // One-call statement execution on an internal session. Kept for scripts,
+  // examples, and tools that don't need per-session state; new code should
+  // create a Session. Shim calls from different threads serialize on the
+  // internal session (the pre-session behaviour).
+
+  /// Parses and executes exactly one statement on the internal session.
   StatusOr<ResultSet> Execute(std::string_view sql);
 
   /// Executes a ';'-separated script, discarding SELECT results.
   Status ExecuteScript(std::string_view sql);
-
-  /// Renders the physical plan of a SELECT.
-  StatusOr<std::string> Explain(std::string_view sql);
 
   /// Loads rows into a table without going through the parser (workload
   /// loading path; still runs constraint checks, index maintenance, and
@@ -101,61 +64,53 @@ class Database {
   Status BulkInsert(const std::string& table_name,
                     const std::vector<std::vector<Value>>& rows);
 
+  /// Interrupt handle of the internal compat session (cancels statements
+  /// issued through Execute/ExecuteScript above).
+  InterruptHandle interrupt_handle() const;
+
+  /// Last-query statistics of the internal compat session.
+  const ExecStats& last_stats() const;
+  size_t last_peak_bytes() const;
+  const QueryProfile& last_profile() const;
+
+  // --- Shared state --------------------------------------------------------
+
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
-  PlannerOptions& options() { return options_; }
+  /// Default planner options new sessions start from. Per-statement tuning
+  /// belongs on Session::options(); the database-level defaults are fixed at
+  /// construction so concurrent sessions never observe them changing.
   const PlannerOptions& options() const { return options_; }
 
-  /// A handle other threads use to cancel whatever statement this database
-  /// is currently executing. Valid for the database's lifetime; holding it
-  /// past destruction is safe (Interrupt becomes a no-op).
-  InterruptHandle interrupt_handle() const {
-    return InterruptHandle(interrupt_state_);
-  }
-
-  /// Statistics of the most recent SELECT (traversal work, join work, rows).
-  const ExecStats& last_stats() const { return last_stats_; }
-  /// Peak intermediate-result memory of the most recent SELECT.
-  size_t last_peak_bytes() const { return last_peak_bytes_; }
-  /// Full profile of the most recent SELECT that did not itself read a
-  /// SYS.* table (so introspection queries don't overwrite what they show).
-  const QueryProfile& last_profile() const { return last_profile_; }
+  PlanCache& plan_cache() { return plan_cache_; }
 
  private:
-  StatusOr<ResultSet> ExecuteStatement(const Statement& stmt);
-  StatusOr<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
-  StatusOr<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
-  StatusOr<ResultSet> ExecuteCreateGraphView(const CreateGraphViewStmt& stmt);
-  StatusOr<ResultSet> ExecuteCreateMaterializedView(
-      const CreateMaterializedViewStmt& stmt);
-  StatusOr<ResultSet> ExecuteDrop(const DropStmt& stmt);
-  StatusOr<ResultSet> ExecuteInsert(const InsertStmt& stmt);
-  StatusOr<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
-  StatusOr<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
-  StatusOr<ResultSet> ExecuteSelect(const SelectStmt& stmt);
-  StatusOr<ResultSet> ExecuteExplain(const ExplainStmt& stmt);
-
-  /// Executes a planned SELECT: Volcano loop, engine-metrics fold, profile
-  /// capture, slow-query tracing. `force_timing` arms per-operator clocks
-  /// regardless of the slow-query threshold (EXPLAIN ANALYZE).
-  StatusOr<ResultSet> RunPlan(const PlannedQuery& planned,
-                              const SelectStmt& stmt, bool force_timing);
+  friend class Session;
 
   void RegisterSystemTables();
-  void EmitSlowQueryTrace(const QueryProfile& profile) const;
 
-  /// Serializes statement execution (the single-partition VoltDB model).
-  std::mutex statement_mutex_;
+  /// Compat-session access, created lazily under compat_mu_.
+  Session& CompatSession() const;
+
+  /// Reader-writer statement lock: SELECT/EXPLAIN shared, DML/DDL/bulk-load
+  /// exclusive. Sessions lock it only at statement entry points — executor
+  /// internals are lock-free, so nested statement execution (INSERT ...
+  /// SELECT) cannot deadlock.
+  std::shared_mutex statement_mutex_;
 
   Catalog catalog_;
-  PlannerOptions options_;
-  std::shared_ptr<InterruptHandle::State> interrupt_state_ =
-      std::make_shared<InterruptHandle::State>();
-  ExecStats last_stats_;
-  size_t last_peak_bytes_ = 0;
-  QueryProfile last_profile_;
-  std::string current_sql_;  ///< Statement text being executed (for traces).
+  const PlannerOptions options_;
+  PlanCache plan_cache_;
+
+  /// Most recent profile published by any session (backs SYS.LAST_QUERY).
+  mutable std::mutex profile_mu_;
+  QueryProfile published_profile_;
+
+  /// Serializes the compat shims; the underlying session takes the real
+  /// statement lock itself.
+  mutable std::mutex compat_mu_;
+  mutable std::unique_ptr<Session> compat_session_;
 };
 
 }  // namespace grfusion

@@ -1,0 +1,118 @@
+#include "engine/plan_cache.h"
+
+#include "common/metrics.h"
+
+namespace grfusion {
+
+void PlanCache::TouchLocked(Entry& entry, const std::string& key) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+}
+
+void PlanCache::CountEviction(size_t n) const {
+  if (n > 0) {
+    EngineMetrics::Get().plan_cache_evictions->Increment(
+        static_cast<uint64_t>(n));
+  }
+}
+
+std::unique_ptr<CachedPlanInstance> PlanCache::Acquire(
+    const std::string& key, uint64_t catalog_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  Entry& entry = it->second;
+  if (entry.version != catalog_version) {
+    // Schema moved under this entry: every idle instance may reference
+    // dropped tables or graph views. Discard the entry wholesale.
+    CountEviction(entry.idle.size());
+    lru_.erase(entry.lru_pos);
+    entries_.erase(it);
+    return nullptr;
+  }
+  if (entry.idle.empty()) {
+    // Entry exists but all instances are checked out by other sessions.
+    return nullptr;
+  }
+  std::unique_ptr<CachedPlanInstance> inst = std::move(entry.idle.back());
+  entry.idle.pop_back();
+  ++entry.hits;
+  TouchLocked(entry, key);
+  return inst;
+}
+
+void PlanCache::Release(std::unique_ptr<CachedPlanInstance> instance) {
+  if (instance == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(instance->key);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.version = instance->catalog_version;
+    entry.sql = instance->sql;
+    lru_.push_front(instance->key);
+    entry.lru_pos = lru_.begin();
+    std::string key = instance->key;
+    entry.idle.push_back(std::move(instance));
+    entries_.emplace(std::move(key), std::move(entry));
+    // Evict least-recently-used entries beyond capacity.
+    while (entries_.size() > max_entries_) {
+      const std::string& victim = lru_.back();
+      auto vit = entries_.find(victim);
+      CountEviction(vit->second.idle.size());
+      entries_.erase(vit);
+      lru_.pop_back();
+    }
+    return;
+  }
+  Entry& entry = it->second;
+  if (instance->catalog_version > entry.version) {
+    // A replan under a newer schema supersedes everything idle here.
+    CountEviction(entry.idle.size());
+    entry.idle.clear();
+    entry.version = instance->catalog_version;
+  } else if (instance->catalog_version < entry.version) {
+    // Stale instance returned after the entry moved on; drop it.
+    CountEviction(1);
+    return;
+  }
+  if (entry.idle.size() >= max_instances_per_entry_) {
+    CountEviction(1);
+    return;
+  }
+  entry.idle.push_back(std::move(instance));
+}
+
+std::vector<PlanCache::EntryInfo> PlanCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EntryInfo> out;
+  out.reserve(entries_.size());
+  // Walk in LRU order so the snapshot is stable and most-recent first.
+  for (const std::string& key : lru_) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    EntryInfo info;
+    info.sql = it->second.sql;
+    info.hits = it->second.hits;
+    info.idle_instances = it->second.idle.size();
+    info.catalog_version = it->second.version;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (const auto& [key, entry] : entries_) dropped += entry.idle.size();
+  CountEviction(dropped);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace grfusion

@@ -1,0 +1,102 @@
+#ifndef GRFUSION_ENGINE_PLAN_CACHE_H_
+#define GRFUSION_ENGINE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expression.h"
+#include "plan/planner.h"
+
+namespace grfusion {
+
+/// One compiled, executable instance of a cached SELECT plan. The physical
+/// operator tree is mutable during execution (Open/Next/Close carry state),
+/// so an instance is checked out of the cache exclusively, run, and returned.
+/// `params` owns the slots every ParameterExpr in the tree points into; the
+/// struct is always held by unique_ptr so those pointers stay stable.
+struct CachedPlanInstance {
+  PlannedQuery planned;
+  ParamSet params;
+  size_t num_params = 0;          ///< Placeholder count of the statement.
+  uint64_t catalog_version = 0;   ///< Catalog::version() at plan time.
+  std::string key;                ///< Cache key (options shape + SQL).
+  std::string sql;                ///< Normalized statement text.
+};
+
+/// LRU cache of compiled SELECT plans, shared by all sessions of a Database.
+///
+/// Concurrency model: the cache itself is a small mutex-protected map, but
+/// plan *instances* are never shared — Acquire() pops an idle instance for
+/// exclusive use and Release() returns it. Several sessions running the same
+/// statement concurrently each hold their own instance (up to
+/// `max_instances_per_entry` are retained per statement; extras are dropped
+/// on release and counted as evictions).
+///
+/// Staleness: every instance records the catalog version it compiled under.
+/// Acquire() only returns instances matching the caller's current version;
+/// stale ones are discarded (they may hold dangling Table*/GraphView*
+/// pointers, so callers must pass a version read under the statement lock).
+class PlanCache {
+ public:
+  explicit PlanCache(size_t max_entries = 128,
+                     size_t max_instances_per_entry = 8)
+      : max_entries_(max_entries),
+        max_instances_per_entry_(max_instances_per_entry) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Checks out an idle instance compiled at `catalog_version`, or null on
+  /// miss. A hit bumps the entry's LRU position and hit count. Does NOT
+  /// touch the global hit/miss metrics — the session layer counts them,
+  /// because a prepared statement's private fast path is also "a hit".
+  std::unique_ptr<CachedPlanInstance> Acquire(const std::string& key,
+                                              uint64_t catalog_version);
+
+  /// Returns an instance to the idle pool, creating the entry on first
+  /// release. Instances older than the newest version seen for the entry are
+  /// dropped; a newer instance flushes the entry's stale idle pool. May
+  /// evict the least-recently-used entry beyond `max_entries_`.
+  void Release(std::unique_ptr<CachedPlanInstance> instance);
+
+  /// Row snapshot for SYS.PLAN_CACHE.
+  struct EntryInfo {
+    std::string sql;
+    uint64_t hits = 0;
+    size_t idle_instances = 0;
+    uint64_t catalog_version = 0;
+  };
+  std::vector<EntryInfo> Snapshot() const;
+
+  /// Drops everything (tests).
+  void Clear();
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::vector<std::unique_ptr<CachedPlanInstance>> idle;
+    uint64_t hits = 0;
+    uint64_t version = 0;  ///< Newest catalog version seen for this key.
+    std::string sql;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void TouchLocked(Entry& entry, const std::string& key);
+  void CountEviction(size_t n) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< Front = most recently used.
+  size_t max_entries_;
+  size_t max_instances_per_entry_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_ENGINE_PLAN_CACHE_H_

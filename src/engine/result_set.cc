@@ -1,0 +1,81 @@
+#include "engine/result_set.h"
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+const std::string& ResultSet::column_name(size_t i) const {
+  static const std::string kEmpty;
+  return i < column_names.size() ? column_names[i] : kEmpty;
+}
+
+StatusOr<Value> ResultSet::CellAs(size_t row, size_t col,
+                                  ValueType target) const {
+  if (row >= rows.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row %zu out of range (result has %zu)", row, rows.size()));
+  }
+  if (col >= rows[row].size()) {
+    return Status::InvalidArgument(StrFormat(
+        "column %zu out of range (row has %zu)", col, rows[row].size()));
+  }
+  const Value& v = rows[row][col];
+  if (v.is_null()) {
+    return Status::InvalidArgument(
+        StrFormat("cell (%zu, %zu) is NULL", row, col));
+  }
+  if (v.type() == target) return v;
+  return v.CastTo(target);
+}
+
+template <>
+StatusOr<bool> ResultSet::Get<bool>(size_t row, size_t col) const {
+  GRF_ASSIGN_OR_RETURN(Value v, CellAs(row, col, ValueType::kBoolean));
+  return v.AsBoolean();
+}
+
+template <>
+StatusOr<int64_t> ResultSet::Get<int64_t>(size_t row, size_t col) const {
+  GRF_ASSIGN_OR_RETURN(Value v, CellAs(row, col, ValueType::kBigInt));
+  return v.AsBigInt();
+}
+
+template <>
+StatusOr<double> ResultSet::Get<double>(size_t row, size_t col) const {
+  GRF_ASSIGN_OR_RETURN(Value v, CellAs(row, col, ValueType::kDouble));
+  return v.AsDouble();
+}
+
+template <>
+StatusOr<std::string> ResultSet::Get<std::string>(size_t row,
+                                                  size_t col) const {
+  GRF_ASSIGN_OR_RETURN(Value v, CellAs(row, col, ValueType::kVarchar));
+  return v.AsVarchar();
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += column_names[i];
+  }
+  if (!column_names.empty()) out += "\n";
+  size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("... (%zu more rows)\n", rows.size() - max_rows);
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  if (column_names.empty()) {
+    out += StrFormat("(%zu rows affected)\n", rows_affected);
+  }
+  return out;
+}
+
+}  // namespace grfusion

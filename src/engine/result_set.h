@@ -4,18 +4,51 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/value.h"
 
 namespace grfusion {
 
-/// Materialized result of one statement. SELECT fills `column_names` and
-/// `rows`; DML fills `rows_affected`.
+/// Materialized result of one statement. SELECT fills `column_names`,
+/// `column_types`, and `rows`; DML fills `rows_affected`.
 struct ResultSet {
   std::vector<std::string> column_names;
+  /// Static output types from the plan's schema; kNull marks a column whose
+  /// type is unknown at plan time. Empty for DML results.
+  std::vector<ValueType> column_types;
   std::vector<std::vector<Value>> rows;
   size_t rows_affected = 0;
 
+  // --- Shape ---
   size_t NumRows() const { return rows.size(); }
+  size_t NumColumns() const { return column_names.size(); }
+
+  /// Name of output column `i` (bounds-checked; empty string when out of
+  /// range).
+  const std::string& column_name(size_t i) const;
+
+  /// Planned type of output column `i`; kNull when unknown or out of range.
+  ValueType column_type(size_t i) const {
+    return i < column_types.size() ? column_types[i] : ValueType::kNull;
+  }
+
+  // --- Row access ---
+  const std::vector<Value>& row(size_t i) const { return rows[i]; }
+
+  /// Range-for support: `for (const std::vector<Value>& row : result)`.
+  std::vector<std::vector<Value>>::const_iterator begin() const {
+    return rows.begin();
+  }
+  std::vector<std::vector<Value>>::const_iterator end() const {
+    return rows.end();
+  }
+
+  /// Typed cell access with standard SQL coercions (BIGINT<->DOUBLE,
+  /// anything -> string). Errors on out-of-range coordinates, NULL cells,
+  /// and casts that do not exist. T is one of: bool, int64_t, double,
+  /// std::string.
+  template <typename T>
+  StatusOr<T> Get(size_t row, size_t col) const;
 
   /// First row / first column convenience for scalar queries (NULL Value
   /// when empty).
@@ -26,7 +59,20 @@ struct ResultSet {
 
   /// ASCII table rendering (for examples and debugging).
   std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  StatusOr<Value> CellAs(size_t row, size_t col, ValueType target) const;
 };
+
+template <>
+StatusOr<bool> ResultSet::Get<bool>(size_t row, size_t col) const;
+template <>
+StatusOr<int64_t> ResultSet::Get<int64_t>(size_t row, size_t col) const;
+template <>
+StatusOr<double> ResultSet::Get<double>(size_t row, size_t col) const;
+template <>
+StatusOr<std::string> ResultSet::Get<std::string>(size_t row,
+                                                  size_t col) const;
 
 }  // namespace grfusion
 

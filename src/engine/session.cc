@@ -1,0 +1,974 @@
+#include "engine/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/task_pool.h"
+#include "engine/database.h"
+#include "parser/parser.h"
+#include "plan/binder.h"
+
+namespace grfusion {
+
+namespace {
+
+/// Splits a rendered plan into one VARCHAR row per line.
+ResultSet PlanTextToResult(const std::string& plan) {
+  ResultSet result;
+  result.column_names = {"plan"};
+  result.column_types = {ValueType::kVarchar};
+  size_t start = 0;
+  while (start < plan.size()) {
+    size_t end = plan.find('\n', start);
+    if (end == std::string::npos) end = plan.size();
+    result.rows.push_back({Value::Varchar(plan.substr(start, end - start))});
+    start = end + 1;
+  }
+  return result;
+}
+
+/// Flattens the operator tree into (depth, name, counters) rows, pre-order.
+void CollectOperatorRows(const PhysicalOperator* op, int depth,
+                         std::vector<QueryProfile::OperatorRow>* out) {
+  const OperatorProfile& p = op->profile();
+  QueryProfile::OperatorRow row;
+  row.depth = depth;
+  row.name = op->name();
+  row.actual_rows = p.rows_emitted;
+  row.next_calls = p.next_calls;
+  row.time_ms = static_cast<double>(p.total_ns()) / 1e6;
+  out->push_back(std::move(row));
+  for (const PhysicalOperator* child : op->children()) {
+    CollectOperatorRows(child, depth + 1, out);
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- InterruptHandle ---------------------------------------------------------------
+
+void InterruptHandle::Interrupt() {
+  if (state_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->active != nullptr) state_->active->Cancel();
+}
+
+// --- PreparedStatement -------------------------------------------------------------
+
+PreparedStatement::~PreparedStatement() {
+  if (session_ != nullptr && plan_ != nullptr) {
+    session_->ReleasePlan(std::move(plan_));
+  }
+}
+
+PreparedStatement::PreparedStatement(PreparedStatement&& other) noexcept
+    : session_(std::exchange(other.session_, nullptr)),
+      sql_(std::move(other.sql_)),
+      key_(std::move(other.key_)),
+      ast_(std::move(other.ast_)),
+      num_params_(other.num_params_),
+      is_select_(other.is_select_),
+      plan_(std::move(other.plan_)) {}
+
+PreparedStatement& PreparedStatement::operator=(
+    PreparedStatement&& other) noexcept {
+  if (this != &other) {
+    if (session_ != nullptr && plan_ != nullptr) {
+      session_->ReleasePlan(std::move(plan_));
+    }
+    session_ = std::exchange(other.session_, nullptr);
+    sql_ = std::move(other.sql_);
+    key_ = std::move(other.key_);
+    ast_ = std::move(other.ast_);
+    num_params_ = other.num_params_;
+    is_select_ = other.is_select_;
+    plan_ = std::move(other.plan_);
+  }
+  return *this;
+}
+
+StatusOr<ResultSet> PreparedStatement::Execute(std::vector<Value> params) {
+  if (session_ == nullptr) {
+    return Status::Internal("empty prepared statement");
+  }
+  if (params.size() != num_params_) {
+    return Status::InvalidArgument(
+        StrFormat("statement expects %zu parameters, got %zu", num_params_,
+                  params.size()));
+  }
+  return session_->ExecutePrepared(*this, std::move(params));
+}
+
+// --- Session entry points ----------------------------------------------------------
+
+Session::Session(Database& db) : db_(db), options_(db.options()) {}
+
+std::string Session::CacheKey(const std::string& normalized_sql) const {
+  return options_.PlanShapeKey() + '\n' + normalized_sql;
+}
+
+StatusOr<ResultSet> Session::Execute(std::string_view sql) {
+  std::string norm = NormalizeSqlWhitespace(sql);
+  std::string key = CacheKey(norm);
+
+  // Fast path: a cached plan means the statement is a known SELECT — skip
+  // parse, bind, and plan entirely.
+  {
+    std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    std::unique_ptr<CachedPlanInstance> inst =
+        db_.plan_cache_.Acquire(key, db_.catalog_.version());
+    if (inst != nullptr) {
+      if (inst->num_params == 0) {
+        EngineMetrics::Get().plan_cache_hits->Increment();
+        current_sql_ = norm;
+        StatusOr<ResultSet> result = RunPlan(inst->planned,
+                                             /*force_timing=*/false);
+        db_.plan_cache_.Release(std::move(inst));
+        return result;
+      }
+      // Parameterized plan prepared elsewhere; unusable without values.
+      db_.plan_cache_.Release(std::move(inst));
+    }
+  }
+
+  GRF_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseSingle(sql));
+  return ExecuteParsed(stmt, norm, &key);
+}
+
+Status Session::ExecuteScript(std::string_view sql) {
+  GRF_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parser::Parse(sql));
+  std::string text(Trim(sql));
+  for (const Statement& stmt : statements) {
+    GRF_ASSIGN_OR_RETURN(ResultSet ignored,
+                         ExecuteParsed(stmt, text, /*cache_key=*/nullptr));
+    (void)ignored;
+  }
+  return Status::OK();
+}
+
+StatusOr<PreparedStatement> Session::Prepare(std::string_view sql) {
+  size_t num_params = 0;
+  GRF_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseSingle(sql, &num_params));
+
+  PreparedStatement prep;
+  prep.session_ = this;
+  prep.sql_ = NormalizeSqlWhitespace(sql);
+  prep.key_ = CacheKey(prep.sql_);
+  prep.num_params_ = num_params;
+  prep.is_select_ = std::holds_alternative<SelectStmt>(stmt);
+  const bool is_dml = std::holds_alternative<InsertStmt>(stmt) ||
+                      std::holds_alternative<UpdateStmt>(stmt) ||
+                      std::holds_alternative<DeleteStmt>(stmt);
+  if (num_params > 0 && !prep.is_select_ && !is_dml) {
+    return Status::InvalidArgument(
+        "parameter placeholders are only supported in SELECT and DML "
+        "statements");
+  }
+  prep.ast_ = std::make_unique<Statement>(std::move(stmt));
+
+  if (prep.is_select_) {
+    // Compile (or adopt a cached instance) now so Execute() can run the
+    // plan immediately and Prepare surfaces planning errors early.
+    std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    GRF_RETURN_IF_ERROR(EnsurePreparedPlanLocked(prep));
+  }
+  return prep;
+}
+
+StatusOr<ResultSet> Session::ExecuteParsed(const Statement& stmt,
+                                           const std::string& sql_text,
+                                           const std::string* cache_key) {
+  current_sql_ = sql_text;
+  if (const SelectStmt* select = std::get_if<SelectStmt>(&stmt)) {
+    std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    if (cache_key != nullptr) {
+      return ExecuteSelectCached(*select, sql_text, *cache_key);
+    }
+    return ExecuteSelect(*select);
+  }
+  if (std::holds_alternative<ExplainStmt>(stmt)) {
+    std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    return ExecuteStatement(stmt);
+  }
+  std::unique_lock<std::shared_mutex> lock(db_.statement_mutex_);
+  return ExecuteStatement(stmt);
+}
+
+StatusOr<ResultSet> Session::ExecuteSelectCached(const SelectStmt& stmt,
+                                                 const std::string& norm,
+                                                 const std::string& key) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  const uint64_t version = db_.catalog_.version();
+  std::unique_ptr<CachedPlanInstance> inst =
+      db_.plan_cache_.Acquire(key, version);
+  if (inst != nullptr && inst->num_params == 0) {
+    metrics.plan_cache_hits->Increment();
+  } else {
+    if (inst != nullptr) db_.plan_cache_.Release(std::move(inst));
+    inst = std::make_unique<CachedPlanInstance>();
+    Planner planner(&db_.catalog_, options_);
+    StatusOr<PlannedQuery> planned = planner.PlanSelect(stmt);
+    GRF_RETURN_IF_ERROR(planned.status());
+    inst->planned = std::move(planned).value();
+    inst->catalog_version = version;
+    inst->key = key;
+    inst->sql = norm;
+    metrics.plan_cache_misses->Increment();
+  }
+  StatusOr<ResultSet> result = RunPlan(inst->planned, /*force_timing=*/false);
+  db_.plan_cache_.Release(std::move(inst));
+  return result;
+}
+
+StatusOr<ResultSet> Session::ExecutePrepared(PreparedStatement& prep,
+                                             std::vector<Value> values) {
+  current_sql_ = prep.sql_;
+  if (prep.is_select_) {
+    std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    GRF_RETURN_IF_ERROR(EnsurePreparedPlanLocked(prep));
+    GRF_RETURN_IF_ERROR(
+        BindParamValues(prep.plan_->params, std::move(values)));
+    return RunPlan(prep.plan_->planned, /*force_timing=*/false);
+  }
+
+  // Prepared DML re-binds against the current schema each run (only the
+  // parse is skipped); placeholder values land in a per-execution ParamSet
+  // that the binder wires ParameterExpr nodes into.
+  if (std::holds_alternative<InsertStmt>(*prep.ast_) ||
+      std::holds_alternative<UpdateStmt>(*prep.ast_) ||
+      std::holds_alternative<DeleteStmt>(*prep.ast_)) {
+    std::unique_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    ParamSet pset;
+    if (prep.num_params_ > 0) pset.EnsureSlot(prep.num_params_ - 1);
+    pset.values = std::move(values);
+    if (const auto* insert = std::get_if<InsertStmt>(prep.ast_.get())) {
+      return ExecuteInsert(*insert, &pset);
+    }
+    if (const auto* update = std::get_if<UpdateStmt>(prep.ast_.get())) {
+      return ExecuteUpdate(*update, &pset);
+    }
+    return ExecuteDelete(std::get<DeleteStmt>(*prep.ast_), &pset);
+  }
+
+  // Parameterless DDL / EXPLAIN: dispatch like Execute() would.
+  return ExecuteParsed(*prep.ast_, prep.sql_, /*cache_key=*/nullptr);
+}
+
+Status Session::EnsurePreparedPlanLocked(PreparedStatement& prep) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  const uint64_t version = db_.catalog_.version();
+  if (prep.plan_ != nullptr) {
+    if (prep.plan_->catalog_version == version) {
+      metrics.plan_cache_hits->Increment();
+      return Status::OK();
+    }
+    // Schema changed since this plan compiled; it may point at dropped
+    // tables or graph views.
+    metrics.plan_cache_evictions->Increment();
+    prep.plan_.reset();
+  }
+
+  std::unique_ptr<CachedPlanInstance> inst =
+      db_.plan_cache_.Acquire(prep.key_, version);
+  if (inst != nullptr && inst->num_params == prep.num_params_) {
+    metrics.plan_cache_hits->Increment();
+    prep.plan_ = std::move(inst);
+    return Status::OK();
+  }
+  if (inst != nullptr) db_.plan_cache_.Release(std::move(inst));
+
+  inst = std::make_unique<CachedPlanInstance>();
+  Planner planner(&db_.catalog_, options_);
+  const SelectStmt& select = std::get<SelectStmt>(*prep.ast_);
+  StatusOr<PlannedQuery> planned = planner.PlanSelect(select, &inst->params);
+  GRF_RETURN_IF_ERROR(planned.status());
+  inst->planned = std::move(planned).value();
+  if (prep.num_params_ > 0) inst->params.EnsureSlot(prep.num_params_ - 1);
+  inst->num_params = prep.num_params_;
+  inst->catalog_version = version;
+  inst->key = prep.key_;
+  inst->sql = prep.sql_;
+  metrics.plan_cache_misses->Increment();
+  prep.plan_ = std::move(inst);
+  return Status::OK();
+}
+
+Status Session::BindParamValues(ParamSet& params,
+                                std::vector<Value> values) const {
+  params.values.clear();
+  params.values.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    Value v = std::move(values[i]);
+    const ValueType want =
+        i < params.expected.size() ? params.expected[i] : ValueType::kNull;
+    if (!v.is_null() && want != ValueType::kNull && v.type() != want) {
+      const bool numeric_widening =
+          (v.type() == ValueType::kBigInt && want == ValueType::kDouble) ||
+          (v.type() == ValueType::kDouble && want == ValueType::kBigInt);
+      if (!numeric_widening) {
+        return Status::InvalidArgument(
+            StrFormat("parameter $%zu expects %s, got %s", i + 1,
+                      ValueTypeToString(want), ValueTypeToString(v.type())));
+      }
+      GRF_ASSIGN_OR_RETURN(v, v.CastTo(want));
+    }
+    params.values.push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+void Session::ReleasePlan(std::unique_ptr<CachedPlanInstance> plan) {
+  db_.plan_cache_.Release(std::move(plan));
+}
+
+// --- Statement dispatch ------------------------------------------------------------
+
+StatusOr<ResultSet> Session::ExecuteStatement(const Statement& stmt) {
+  return std::visit(
+      [this](const auto& s) -> StatusOr<ResultSet> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          return ExecuteCreateTable(s);
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          return ExecuteCreateIndex(s);
+        } else if constexpr (std::is_same_v<T, CreateGraphViewStmt>) {
+          return ExecuteCreateGraphView(s);
+        } else if constexpr (std::is_same_v<T, CreateMaterializedViewStmt>) {
+          return ExecuteCreateMaterializedView(s);
+        } else if constexpr (std::is_same_v<T, DropStmt>) {
+          return ExecuteDrop(s);
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return ExecuteInsert(s);
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          return ExecuteUpdate(s);
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          return ExecuteDelete(s);
+        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          return ExecuteExplain(s);
+        } else {
+          return ExecuteSelect(s);
+        }
+      },
+      stmt);
+}
+
+// --- DDL ---------------------------------------------------------------------------
+
+StatusOr<ResultSet> Session::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  if (stmt.if_not_exists && db_.catalog_.FindTable(stmt.name) != nullptr) {
+    return ResultSet();
+  }
+  Schema schema;
+  int primary_key = -1;
+  for (size_t i = 0; i < stmt.columns.size(); ++i) {
+    const ColumnDef& def = stmt.columns[i];
+    if (schema.FindColumn(def.name) >= 0) {
+      return Status::InvalidArgument("duplicate column '" + def.name + "'");
+    }
+    schema.AddColumn(Column(def.name, def.type));
+    if (def.primary_key) {
+      if (primary_key >= 0) {
+        return Status::InvalidArgument("multiple PRIMARY KEY columns");
+      }
+      primary_key = static_cast<int>(i);
+    }
+  }
+  GRF_ASSIGN_OR_RETURN(Table * table,
+                       db_.catalog_.CreateTable(stmt.name, std::move(schema)));
+  if (primary_key >= 0) {
+    GRF_RETURN_IF_ERROR(table->CreateIndex(
+        "pk_" + stmt.name, static_cast<size_t>(primary_key), true));
+  }
+  return ResultSet();
+}
+
+StatusOr<ResultSet> Session::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  Table* table = db_.catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' does not exist");
+  }
+  GRF_ASSIGN_OR_RETURN(size_t column, table->schema().ColumnIndex(stmt.column));
+  GRF_RETURN_IF_ERROR(table->CreateIndex(stmt.index_name, column, stmt.unique));
+  // A new index changes the best available plan shape for scans over this
+  // table; cached plans compiled without it must be recompiled.
+  db_.catalog_.BumpVersion();
+  return ResultSet();
+}
+
+StatusOr<ResultSet> Session::ExecuteCreateGraphView(
+    const CreateGraphViewStmt& stmt) {
+  GraphBuildOptions build;
+  const size_t parallelism = options_.effective_parallelism();
+  if (parallelism > 1) {
+    build.pool = &TaskPool::Shared();
+    build.max_parallelism = parallelism;
+    build.min_rows = options_.parallel_min_rows;
+  }
+  GRF_ASSIGN_OR_RETURN(GraphView * gv,
+                       db_.catalog_.CreateGraphView(stmt.def, build));
+  (void)gv;
+  return ResultSet();
+}
+
+StatusOr<ResultSet> Session::ExecuteCreateMaterializedView(
+    const CreateMaterializedViewStmt& stmt) {
+  // Materialize the query result as an ordinary table: downstream DDL
+  // (indexes, graph views over it) then works unchanged. The view is a
+  // snapshot — it does not track its base tables (the paper only requires
+  // topological updates for single-table sources, §3.3.2).
+  Planner planner(&db_.catalog_, options_);
+  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(*stmt.select));
+  Schema schema;
+  for (size_t i = 0; i < planned.output_names.size(); ++i) {
+    schema.AddColumn(Column(planned.output_names[i],
+                            planned.root->schema().column(i).type));
+  }
+  GRF_ASSIGN_OR_RETURN(ResultSet rows, ExecuteSelect(*stmt.select));
+  GRF_ASSIGN_OR_RETURN(Table * table,
+                       db_.catalog_.CreateTable(stmt.name, std::move(schema)));
+  for (auto& row : rows.rows) {
+    auto slot = table->Insert(Tuple(std::move(row)));
+    if (!slot.ok()) {
+      (void)db_.catalog_.DropTable(stmt.name);
+      return slot.status();
+    }
+  }
+  ResultSet result;
+  result.rows_affected = rows.rows.size();
+  return result;
+}
+
+StatusOr<ResultSet> Session::ExecuteDrop(const DropStmt& stmt) {
+  Status status;
+  switch (stmt.kind) {
+    case DropStmt::Kind::kTable:
+      status = db_.catalog_.DropTable(stmt.name);
+      break;
+    case DropStmt::Kind::kGraphView:
+      status = db_.catalog_.DropGraphView(stmt.name);
+      break;
+    case DropStmt::Kind::kIndex:
+      return Status::Unsupported("DROP INDEX is not implemented");
+  }
+  if (!status.ok() && stmt.if_exists &&
+      status.code() == StatusCode::kNotFound) {
+    return ResultSet();
+  }
+  GRF_RETURN_IF_ERROR(status);
+  return ResultSet();
+}
+
+// --- DML ---------------------------------------------------------------------------
+
+StatusOr<ResultSet> Session::ExecuteInsert(const InsertStmt& stmt,
+                                           ParamSet* params) {
+  Table* table = db_.catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' does not exist");
+  }
+  const Schema& schema = table->schema();
+
+  // Map the column list (or positional) to schema indexes.
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.NumColumns(); ++i) targets.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      GRF_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+      targets.push_back(idx);
+    }
+  }
+
+  // INSERT INTO ... SELECT: evaluate the query, then load its rows through
+  // the same constraint-checked path (statement-atomic).
+  if (stmt.select != nullptr) {
+    GRF_ASSIGN_OR_RETURN(ResultSet selected,
+                         ExecuteSelect(*stmt.select, params));
+    std::vector<TupleSlot> inserted;
+    for (auto& row : selected.rows) {
+      if (row.size() != targets.size()) {
+        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+          (void)table->Delete(*it);
+        }
+        return Status::InvalidArgument(StrFormat(
+            "INSERT expects %zu values, SELECT produced %zu", targets.size(),
+            row.size()));
+      }
+      std::vector<Value> values(schema.NumColumns(), Value::Null());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        values[targets[i]] = std::move(row[i]);
+      }
+      auto slot = table->Insert(Tuple(std::move(values)));
+      if (!slot.ok()) {
+        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+          (void)table->Delete(*it);
+        }
+        return slot.status();
+      }
+      inserted.push_back(*slot);
+    }
+    ResultSet result;
+    result.rows_affected = inserted.size();
+    return result;
+  }
+
+  // Value expressions may be arbitrary constant expressions (including
+  // parameter placeholders when prepared).
+  BindingScope empty_scope;
+  Binder binder(&empty_scope, params);
+  ExecRow empty_row;
+
+  std::vector<TupleSlot> inserted;
+  for (const auto& row_exprs : stmt.rows) {
+    if (row_exprs.size() != targets.size()) {
+      Status status = Status::InvalidArgument(
+          StrFormat("INSERT expects %zu values, got %zu", targets.size(),
+                    row_exprs.size()));
+      for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+        (void)table->Delete(*it);
+      }
+      return status;
+    }
+    std::vector<Value> values(schema.NumColumns(), Value::Null());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      auto bound = binder.Bind(*row_exprs[i]);
+      Status status = bound.ok() ? Status::OK() : bound.status();
+      Value v;
+      if (status.ok()) {
+        auto evaluated = (*bound)->Eval(empty_row);
+        if (evaluated.ok()) {
+          v = std::move(evaluated).value();
+        } else {
+          status = evaluated.status();
+        }
+      }
+      if (!status.ok()) {
+        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+          (void)table->Delete(*it);
+        }
+        return status;
+      }
+      values[targets[i]] = std::move(v);
+    }
+    auto slot = table->Insert(Tuple(std::move(values)));
+    if (!slot.ok()) {
+      // Statement-level atomicity: undo this statement's prior inserts.
+      for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+        (void)table->Delete(*it);
+      }
+      return slot.status();
+    }
+    inserted.push_back(*slot);
+  }
+  ResultSet result;
+  result.rows_affected = inserted.size();
+  return result;
+}
+
+namespace {
+
+/// Recognizes `column = <literal>` (either orientation) against an indexed
+/// column and returns the matching slots, so UPDATE/DELETE avoid full scans.
+/// nullopt means "no usable index — scan". Parameter placeholders don't
+/// qualify (their value isn't known until bind), so prepared DML over an
+/// indexed column falls back to the scan path.
+std::optional<std::vector<TupleSlot>> TryIndexLookup(const Table* table,
+                                                     const ParsedExpr* where) {
+  if (where == nullptr || where->kind != ParsedExpr::Kind::kCompare ||
+      where->compare_op != CompareOp::kEq) {
+    return std::nullopt;
+  }
+  const ParsedExpr* ref = where->children[0].get();
+  const ParsedExpr* lit = where->children[1].get();
+  if (ref->kind != ParsedExpr::Kind::kRef) std::swap(ref, lit);
+  if (ref->kind != ParsedExpr::Kind::kRef ||
+      lit->kind != ParsedExpr::Kind::kLiteral || ref->ref.size() != 1 ||
+      ref->ref[0].has_index) {
+    return std::nullopt;
+  }
+  int column = table->schema().FindColumn(ref->ref[0].name);
+  if (column < 0) return std::nullopt;
+  const HashIndex* index =
+      table->FindIndexOnColumn(static_cast<size_t>(column));
+  if (index == nullptr) return std::nullopt;
+  Value key = lit->literal;
+  ValueType want = table->schema().column(static_cast<size_t>(column)).type;
+  if (!key.is_null() && key.type() != want) {
+    auto cast = key.CastTo(want);
+    if (!cast.ok()) return std::vector<TupleSlot>();
+    key = std::move(cast).value();
+  }
+  const std::vector<TupleSlot>* slots = index->Lookup(key);
+  return slots == nullptr ? std::vector<TupleSlot>() : *slots;
+}
+
+/// Builds the single-table scope used by UPDATE/DELETE WHERE clauses.
+BindingScope SingleTableScope(const Table* table) {
+  BindingScope scope;
+  TableBinding binding;
+  binding.kind = TableBinding::Kind::kTable;
+  binding.alias = table->name();
+  binding.table = table;
+  binding.visible = table->schema();
+  scope.AddBinding(std::move(binding));
+  return scope;
+}
+
+}  // namespace
+
+StatusOr<ResultSet> Session::ExecuteUpdate(const UpdateStmt& stmt,
+                                           ParamSet* params) {
+  Table* table = db_.catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' does not exist");
+  }
+  BindingScope scope = SingleTableScope(table);
+  Binder binder(&scope, params);
+
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    GRF_ASSIGN_OR_RETURN(where, binder.Bind(*stmt.where));
+  }
+  std::vector<std::pair<size_t, ExprPtr>> assignments;
+  for (const auto& [column, parsed] : stmt.assignments) {
+    GRF_ASSIGN_OR_RETURN(size_t idx, table->schema().ColumnIndex(column));
+    GRF_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*parsed));
+    assignments.emplace_back(idx, std::move(bound));
+  }
+
+  // Phase 1: collect new images (no mutation while scanning). A usable
+  // index on a `col = literal` WHERE avoids the full scan.
+  std::vector<std::pair<TupleSlot, Tuple>> updates;
+  Status status = Status::OK();
+  auto visit = [&](TupleSlot slot, const Tuple& tuple) {
+    ExecRow row;
+    row.columns = tuple.values();
+    if (where != nullptr) {
+      auto pass = EvalPredicate(*where, row);
+      if (!pass.ok()) {
+        status = pass.status();
+        return false;
+      }
+      if (!*pass) return true;
+    }
+    Tuple updated = tuple;
+    for (const auto& [idx, expr] : assignments) {
+      auto v = expr->Eval(row);
+      if (!v.ok()) {
+        status = v.status();
+        return false;
+      }
+      updated.SetValue(idx, std::move(v).value());
+    }
+    updates.emplace_back(slot, std::move(updated));
+    return true;
+  };
+  if (auto slots = TryIndexLookup(table, stmt.where.get());
+      slots.has_value()) {
+    for (TupleSlot slot : *slots) {
+      const Tuple* tuple = table->Get(slot);
+      if (tuple == nullptr) continue;
+      if (!visit(slot, *tuple)) break;
+    }
+  } else {
+    table->ForEach(visit);
+  }
+  GRF_RETURN_IF_ERROR(status);
+
+  // Phase 2: apply, with statement-level rollback on failure.
+  std::vector<std::pair<TupleSlot, Tuple>> applied;
+  for (auto& [slot, new_tuple] : updates) {
+    const Tuple* old_tuple = table->Get(slot);
+    if (old_tuple == nullptr) continue;
+    Tuple backup = *old_tuple;
+    Status s = table->Update(slot, std::move(new_tuple));
+    if (!s.ok()) {
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        Status restore = table->Update(it->first, std::move(it->second));
+        GRF_CHECK(restore.ok());
+      }
+      return s;
+    }
+    applied.emplace_back(slot, std::move(backup));
+  }
+  ResultSet result;
+  result.rows_affected = applied.size();
+  return result;
+}
+
+StatusOr<ResultSet> Session::ExecuteDelete(const DeleteStmt& stmt,
+                                           ParamSet* params) {
+  Table* table = db_.catalog_.FindTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' does not exist");
+  }
+  BindingScope scope = SingleTableScope(table);
+  Binder binder(&scope, params);
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    GRF_ASSIGN_OR_RETURN(where, binder.Bind(*stmt.where));
+  }
+
+  std::vector<std::pair<TupleSlot, Tuple>> victims;
+  Status status = Status::OK();
+  auto visit = [&](TupleSlot slot, const Tuple& tuple) {
+    ExecRow row;
+    row.columns = tuple.values();
+    if (where != nullptr) {
+      auto pass = EvalPredicate(*where, row);
+      if (!pass.ok()) {
+        status = pass.status();
+        return false;
+      }
+      if (!*pass) return true;
+    }
+    victims.emplace_back(slot, tuple);
+    return true;
+  };
+  if (auto slots = TryIndexLookup(table, stmt.where.get());
+      slots.has_value()) {
+    for (TupleSlot slot : *slots) {
+      const Tuple* tuple = table->Get(slot);
+      if (tuple == nullptr) continue;
+      if (!visit(slot, *tuple)) break;
+    }
+  } else {
+    table->ForEach(visit);
+  }
+  GRF_RETURN_IF_ERROR(status);
+
+  std::vector<Tuple> deleted;
+  for (auto& [slot, backup] : victims) {
+    Status s = table->Delete(slot);
+    if (!s.ok()) {
+      // Roll this statement back: re-insert what we already deleted.
+      for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
+        auto restored = table->Insert(std::move(*it));
+        GRF_CHECK(restored.ok());
+      }
+      return s;
+    }
+    deleted.push_back(std::move(backup));
+  }
+  ResultSet result;
+  result.rows_affected = deleted.size();
+  return result;
+}
+
+// --- SELECT -------------------------------------------------------------------------
+
+StatusOr<ResultSet> Session::ExecuteSelect(const SelectStmt& stmt,
+                                           ParamSet* params) {
+  Planner planner(&db_.catalog_, options_);
+  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(stmt, params));
+  return RunPlan(planned, /*force_timing=*/false);
+}
+
+StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
+                                     bool force_timing) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  const bool slow_log_armed = options_.slow_query_threshold_us >= 0;
+
+  QueryContext ctx(options_.memory_cap);
+  ctx.set_profile_timing(force_timing || slow_log_armed);
+  const size_t parallelism = options_.effective_parallelism();
+  if (parallelism > 1) {
+    ctx.set_task_pool(&TaskPool::Shared());
+    ctx.set_max_parallelism(parallelism);
+    ctx.set_parallel_min_rows(options_.parallel_min_rows);
+    ctx.set_parallel_min_starts(options_.parallel_min_starts);
+  }
+
+  // Statement-lifetime cancellation token. Left null (bench baseline) only
+  // when both interrupts and the timeout are off; a null token reduces every
+  // cooperative check to one pointer test.
+  CancellationToken token;
+  const bool arm_token =
+      options_.enable_interrupts || options_.statement_timeout_us >= 0;
+  if (options_.statement_timeout_us >= 0) {
+    token.SetTimeoutUs(options_.statement_timeout_us);
+  }
+  if (arm_token) ctx.set_cancellation(&token);
+  if (options_.enable_interrupts) {
+    std::lock_guard<std::mutex> lock(interrupt_state_->mu);
+    interrupt_state_->active = &token;
+  }
+
+  ResultSet result;
+  result.column_names = planned.output_names;
+  result.column_types.reserve(planned.output_names.size());
+  for (size_t i = 0; i < planned.output_names.size(); ++i) {
+    result.column_types.push_back(planned.root->schema().column(i).type);
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  Status status = planned.root->Open(&ctx);
+  if (status.ok()) {
+    ExecRow row;
+    while (true) {
+      auto has = planned.root->Next(&row);
+      if (!has.ok()) {
+        status = has.status();
+        break;
+      }
+      if (!*has) break;
+      result.rows.push_back(std::move(row.columns));
+    }
+  }
+  planned.root->Close();
+  // Unregister only after Close: the token must outlive any worker that
+  // might still observe it while the operator tree unwinds.
+  if (options_.enable_interrupts) {
+    std::lock_guard<std::mutex> lock(interrupt_state_->mu);
+    interrupt_state_->active = nullptr;
+  }
+  uint64_t latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  // Fold this query's work into the engine-wide registry.
+  metrics.queries_total->Increment();
+  if (!status.ok()) metrics.query_errors_total->Increment();
+  if (status.code() == StatusCode::kCancelled) {
+    metrics.queries_cancelled->Increment();
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    metrics.queries_deadline_exceeded->Increment();
+  }
+  metrics.query_latency_us->Observe(latency_us);
+  metrics.rows_returned_total->Increment(result.rows.size());
+  const ExecStats& stats = ctx.stats();
+  metrics.rows_scanned_total->Increment(stats.rows_scanned);
+  metrics.rows_joined_total->Increment(stats.rows_joined);
+  metrics.vertexes_expanded_total->Increment(stats.vertexes_expanded);
+  metrics.edges_examined_total->Increment(stats.edges_examined);
+  metrics.paths_emitted_total->Increment(stats.paths_emitted);
+  metrics.paths_pruned_total->Increment(stats.paths_pruned);
+  metrics.peak_query_bytes->SetMax(static_cast<int64_t>(ctx.peak_bytes()));
+
+  last_stats_ = stats;
+  last_peak_bytes_ = ctx.peak_bytes();
+
+  // Queries over SYS.* inspect the previous profile; don't clobber it.
+  if (!planned.reads_system_tables) {
+    QueryProfile profile;
+    profile.sql = current_sql_;
+    profile.latency_us = latency_us;
+    profile.peak_bytes = ctx.peak_bytes();
+    profile.stats = stats;
+    CollectOperatorRows(planned.root.get(), 0, &profile.operators);
+    if (slow_log_armed &&
+        latency_us >=
+            static_cast<uint64_t>(options_.slow_query_threshold_us)) {
+      metrics.slow_queries_total->Increment();
+      EmitSlowQueryTrace(profile);
+    }
+    last_profile_ = std::move(profile);
+    // Publish for SYS.LAST_QUERY, which any session may read.
+    std::lock_guard<std::mutex> lock(db_.profile_mu_);
+    db_.published_profile_ = last_profile_;
+  }
+
+  GRF_RETURN_IF_ERROR(status);
+  return result;
+}
+
+StatusOr<ResultSet> Session::ExecuteExplain(const ExplainStmt& stmt) {
+  Planner planner(&db_.catalog_, options_);
+  GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(*stmt.select));
+  if (!stmt.analyze) {
+    return PlanTextToResult(planned.root->ToString(0));
+  }
+  StatusOr<ResultSet> executed = RunPlan(planned, /*force_timing=*/true);
+  if (!executed.ok() &&
+      executed.status().code() != StatusCode::kCancelled &&
+      executed.status().code() != StatusCode::kDeadlineExceeded) {
+    return executed.status();
+  }
+  // A stopped statement still renders: the per-operator counters show how
+  // far execution got before the interrupt or deadline fired.
+  std::string text = planned.root->ToAnalyzedString(0, 0);
+  if (executed.ok()) {
+    text += StrFormat("Execution: rows=%zu latency_ms=%.3f peak_bytes=%zu\n",
+                      executed->rows.size(),
+                      static_cast<double>(last_profile_.latency_us) / 1e3,
+                      last_peak_bytes_);
+  } else {
+    text += StrFormat(
+        "Execution: PARTIAL (%s) latency_ms=%.3f peak_bytes=%zu\n",
+        StatusCodeToString(executed.status().code()),
+        static_cast<double>(last_profile_.latency_us) / 1e3,
+        last_peak_bytes_);
+  }
+  return PlanTextToResult(text);
+}
+
+void Session::EmitSlowQueryTrace(const QueryProfile& profile) const {
+  std::string line = StrFormat(
+      "{\"event\":\"slow_query\",\"sql\":\"%s\",\"latency_us\":%llu,"
+      "\"threshold_us\":%lld,\"peak_bytes\":%zu,\"rows_scanned\":%llu,"
+      "\"rows_joined\":%llu,\"vertexes_expanded\":%llu,"
+      "\"edges_examined\":%llu,\"paths_emitted\":%llu,\"operators\":[",
+      JsonEscape(profile.sql).c_str(),
+      static_cast<unsigned long long>(profile.latency_us),
+      static_cast<long long>(options_.slow_query_threshold_us),
+      profile.peak_bytes,
+      static_cast<unsigned long long>(profile.stats.rows_scanned),
+      static_cast<unsigned long long>(profile.stats.rows_joined),
+      static_cast<unsigned long long>(profile.stats.vertexes_expanded),
+      static_cast<unsigned long long>(profile.stats.edges_examined),
+      static_cast<unsigned long long>(profile.stats.paths_emitted));
+  for (size_t i = 0; i < profile.operators.size(); ++i) {
+    const QueryProfile::OperatorRow& op = profile.operators[i];
+    if (i > 0) line += ",";
+    line += StrFormat(
+        "{\"depth\":%d,\"op\":\"%s\",\"actual_rows\":%llu,"
+        "\"next_calls\":%llu,\"time_ms\":%.3f}",
+        op.depth, JsonEscape(op.name).c_str(),
+        static_cast<unsigned long long>(op.actual_rows),
+        static_cast<unsigned long long>(op.next_calls), op.time_ms);
+  }
+  line += "]}\n";
+  if (options_.slow_query_log_path.empty()) {
+    std::fputs(line.c_str(), stderr);
+    return;
+  }
+  std::FILE* f = std::fopen(options_.slow_query_log_path.c_str(), "a");
+  if (f == nullptr) {
+    GRF_LOG(kWarn, "cannot open slow-query log '%s'; trace dropped",
+            options_.slow_query_log_path.c_str());
+    return;
+  }
+  std::fputs(line.c_str(), f);
+  std::fclose(f);
+}
+
+}  // namespace grfusion

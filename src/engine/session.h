@@ -1,0 +1,238 @@
+#ifndef GRFUSION_ENGINE_SESSION_H_
+#define GRFUSION_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "engine/plan_cache.h"
+#include "engine/result_set.h"
+#include "exec/query_context.h"
+#include "parser/ast.h"
+#include "plan/planner.h"
+
+namespace grfusion {
+
+class Database;
+class Session;
+
+/// Post-mortem record of the most recent (non-introspection) SELECT: what
+/// ran, how long it took, and what each operator did. Backs the
+/// SYS.LAST_QUERY virtual table and the slow-query trace log.
+struct QueryProfile {
+  struct OperatorRow {
+    int depth = 0;
+    std::string name;
+    uint64_t actual_rows = 0;
+    uint64_t next_calls = 0;
+    double time_ms = 0.0;  ///< 0 unless per-operator timing was armed.
+  };
+
+  std::string sql;
+  uint64_t latency_us = 0;
+  size_t peak_bytes = 0;
+  ExecStats stats;
+  std::vector<OperatorRow> operators;
+
+  bool valid() const { return !operators.empty(); }
+};
+
+/// Cross-thread statement interruption. Obtained from
+/// Session::interrupt_handle(); copies share the same target. Interrupt()
+/// cancels the statement currently executing on the owning session (a no-op
+/// when the session is idle), and is safe from any thread, including while
+/// the session is mid-statement — the statement observes the cancellation
+/// at its next cooperative check and returns Status::Cancelled.
+class InterruptHandle {
+ public:
+  void Interrupt();
+
+ private:
+  friend class Session;
+  struct State {
+    std::mutex mu;
+    CancellationToken* active = nullptr;  ///< Statement's stack token.
+  };
+  explicit InterruptHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// A compiled statement bound to the session that prepared it. SELECTs hold
+/// their physical plan across executions (re-validated against the catalog
+/// version each run); DML re-binds per execution but skips re-parsing.
+/// Placeholders (`?` or `$n`) are filled by Execute(); values are
+/// type-checked against the types the binder inferred, with only the
+/// BIGINT<->DOUBLE widening applied implicitly.
+///
+/// Move-only. Must not outlive the Session that created it.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;  ///< Empty shell (for StatusOr).
+  ~PreparedStatement();
+  PreparedStatement(PreparedStatement&& other) noexcept;
+  PreparedStatement& operator=(PreparedStatement&& other) noexcept;
+  PreparedStatement(const PreparedStatement&) = delete;
+  PreparedStatement& operator=(const PreparedStatement&) = delete;
+
+  /// Executes with the given parameter values (one per placeholder slot,
+  /// in ordinal order). Arity and type mismatches are InvalidArgument.
+  StatusOr<ResultSet> Execute(std::vector<Value> params = {});
+
+  size_t num_params() const { return num_params_; }
+  const std::string& sql() const { return sql_; }
+
+ private:
+  friend class Session;
+
+  Session* session_ = nullptr;
+  std::string sql_;  ///< Normalized statement text.
+  std::string key_;  ///< Plan-cache key (options shape + sql_).
+  std::unique_ptr<Statement> ast_;
+  size_t num_params_ = 0;
+  bool is_select_ = false;
+  /// Checked-out plan instance (SELECT only); returned to the shared cache
+  /// on destruction.
+  std::unique_ptr<CachedPlanInstance> plan_;
+};
+
+/// One client's view of a Database: the statement entry points, a private
+/// copy of the planner options (mutable without racing other sessions), a
+/// private interrupt handle, and the per-session last-query statistics.
+///
+/// Concurrency: any number of sessions may use one Database from different
+/// threads. Read-only statements (SELECT, EXPLAIN) run concurrently;
+/// DML/DDL statements take the database's statement lock exclusively, so a
+/// write statement never overlaps anything else. One Session object itself
+/// is NOT thread-safe — give each thread its own session.
+///
+/// SELECT plans are cached in the database-wide plan cache keyed on the
+/// normalized SQL text and the plan-shaping options; a repeat Execute() or a
+/// PreparedStatement re-execution skips parse/bind/plan entirely
+/// (plan_cache_hits counts exactly those skips).
+class Session {
+ public:
+  /// Creates a session on `db`, snapshotting the database's default planner
+  /// options. The session must not outlive the database.
+  explicit Session(Database& db);
+  ~Session() = default;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and executes exactly one statement. EXPLAIN <select> renders the
+  /// physical plan; EXPLAIN ANALYZE <select> executes it and annotates every
+  /// operator with observed rows and timings. Statements with parameter
+  /// placeholders must go through Prepare().
+  StatusOr<ResultSet> Execute(std::string_view sql);
+
+  /// Executes a ';'-separated script, discarding SELECT results.
+  Status ExecuteScript(std::string_view sql);
+
+  /// Compiles one statement with optional `?` / `$n` placeholders for
+  /// repeated execution.
+  StatusOr<PreparedStatement> Prepare(std::string_view sql);
+
+  /// This session's planner options. Mutating them affects only this
+  /// session (and changes its plan-cache key, so plans compiled under other
+  /// option values are not reused).
+  PlannerOptions& options() { return options_; }
+  const PlannerOptions& options() const { return options_; }
+
+  /// A handle other threads use to cancel whatever statement this session
+  /// is currently executing. Valid indefinitely; Interrupt() on a dead
+  /// session is a no-op.
+  InterruptHandle interrupt_handle() const {
+    return InterruptHandle(interrupt_state_);
+  }
+
+  /// Statistics of this session's most recent SELECT.
+  const ExecStats& last_stats() const { return last_stats_; }
+  /// Peak intermediate-result memory of this session's most recent SELECT.
+  size_t last_peak_bytes() const { return last_peak_bytes_; }
+  /// Full profile of this session's most recent SELECT that did not itself
+  /// read a SYS.* table.
+  const QueryProfile& last_profile() const { return last_profile_; }
+
+  Database& database() { return db_; }
+
+ private:
+  friend class PreparedStatement;
+
+  /// Builds this session's plan-cache key for a normalized statement.
+  std::string CacheKey(const std::string& normalized_sql) const;
+
+  /// Dispatches one parsed statement under the appropriate lock mode.
+  /// `cache_key` is non-null for top-level single SELECTs (enables the plan
+  /// cache); script statements pass null.
+  StatusOr<ResultSet> ExecuteParsed(const Statement& stmt,
+                                    const std::string& sql_text,
+                                    const std::string* cache_key);
+
+  /// Top-level SELECT with plan-cache integration. Caller holds the shared
+  /// statement lock.
+  StatusOr<ResultSet> ExecuteSelectCached(const SelectStmt& stmt,
+                                          const std::string& norm,
+                                          const std::string& key);
+
+  /// Runs a prepared statement (arity already checked).
+  StatusOr<ResultSet> ExecutePrepared(PreparedStatement& prep,
+                                      std::vector<Value> values);
+
+  /// Ensures `prep` holds a plan instance compiled at the current catalog
+  /// version, replanning when stale. Caller holds the (shared) statement
+  /// lock. Counts plan_cache_hits on the skip path and misses on replans.
+  Status EnsurePreparedPlanLocked(PreparedStatement& prep);
+
+  /// Type-checks and installs execute-time parameter values into `params`.
+  Status BindParamValues(ParamSet& params, std::vector<Value> values) const;
+
+  /// Returns a prepared statement's plan instance to the shared cache.
+  void ReleasePlan(std::unique_ptr<CachedPlanInstance> plan);
+
+  // Statement executors. These run lock-free: the caller (Execute /
+  // ExecuteScript / PreparedStatement::Execute) holds the database's
+  // statement lock in the right mode. Internal nesting (INSERT ... SELECT,
+  // CREATE MATERIALIZED VIEW) therefore cannot self-deadlock.
+  StatusOr<ResultSet> ExecuteStatement(const Statement& stmt);
+  StatusOr<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
+  StatusOr<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  StatusOr<ResultSet> ExecuteCreateGraphView(const CreateGraphViewStmt& stmt);
+  StatusOr<ResultSet> ExecuteCreateMaterializedView(
+      const CreateMaterializedViewStmt& stmt);
+  StatusOr<ResultSet> ExecuteDrop(const DropStmt& stmt);
+  StatusOr<ResultSet> ExecuteInsert(const InsertStmt& stmt,
+                                    ParamSet* params = nullptr);
+  StatusOr<ResultSet> ExecuteUpdate(const UpdateStmt& stmt,
+                                    ParamSet* params = nullptr);
+  StatusOr<ResultSet> ExecuteDelete(const DeleteStmt& stmt,
+                                    ParamSet* params = nullptr);
+  StatusOr<ResultSet> ExecuteSelect(const SelectStmt& stmt,
+                                    ParamSet* params = nullptr);
+  StatusOr<ResultSet> ExecuteExplain(const ExplainStmt& stmt);
+
+  /// Executes a planned SELECT: Volcano loop, engine-metrics fold, profile
+  /// capture, slow-query tracing. `force_timing` arms per-operator clocks
+  /// regardless of the slow-query threshold (EXPLAIN ANALYZE).
+  StatusOr<ResultSet> RunPlan(const PlannedQuery& planned, bool force_timing);
+
+  void EmitSlowQueryTrace(const QueryProfile& profile) const;
+
+  Database& db_;
+  PlannerOptions options_;  ///< Private copy, taken at session creation.
+  std::shared_ptr<InterruptHandle::State> interrupt_state_ =
+      std::make_shared<InterruptHandle::State>();
+  ExecStats last_stats_;
+  size_t last_peak_bytes_ = 0;
+  QueryProfile last_profile_;
+  std::string current_sql_;  ///< Statement text being executed (for traces).
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_ENGINE_SESSION_H_

@@ -50,6 +50,54 @@ class Expression {
 /// non-boolean falsy values count as "not passing".
 StatusOr<bool> EvalPredicate(const Expression& expr, const ExecRow& row);
 
+// --- Prepared-statement parameters -------------------------------------------
+
+/// Parameter slots of one prepared statement. The binder grows `expected`
+/// while compiling (recording the type each placeholder is compared against,
+/// where inferable); PreparedStatement::Execute fills `values` before every
+/// run. ParameterExpr nodes hold a pointer into this block, so it must
+/// outlive the plan and stay at a stable address (the owning plan instance
+/// heap-allocates it alongside the operator tree).
+struct ParamSet {
+  std::vector<ValueType> expected;  ///< Inferred slot types (kNull = any).
+  std::vector<Value> values;        ///< Bound at execute time.
+
+  void EnsureSlot(size_t index) {
+    if (expected.size() <= index) {
+      expected.resize(index + 1, ValueType::kNull);
+    }
+  }
+  size_t num_slots() const { return expected.size(); }
+};
+
+/// A `?` / `$n` placeholder: evaluates to the value bound for its slot at
+/// execute time. Unbound slots are an Internal error — the session layer
+/// checks arity before running the plan.
+class ParameterExpr : public Expression {
+ public:
+  ParameterExpr(const ParamSet* params, size_t index)
+      : params_(params), index_(index) {}
+  StatusOr<Value> Eval(const ExecRow&) const override {
+    if (index_ >= params_->values.size()) {
+      return Status::Internal("parameter $" + std::to_string(index_ + 1) +
+                              " was not bound");
+    }
+    return params_->values[index_];
+  }
+  ValueType result_type() const override {
+    return index_ < params_->expected.size() ? params_->expected[index_]
+                                             : ValueType::kNull;
+  }
+  std::string ToString() const override {
+    return "$" + std::to_string(index_ + 1);
+  }
+  size_t index() const { return index_; }
+
+ private:
+  const ParamSet* params_;
+  size_t index_;
+};
+
 // --- Scalar expressions -----------------------------------------------------
 
 /// A literal constant.

@@ -12,6 +12,8 @@ std::string ParsedExpr::ToString() const {
                  : literal.ToString();
     case Kind::kStar:
       return "*";
+    case Kind::kParameter:
+      return StrFormat("$%lld", static_cast<long long>(param_index + 1));
     case Kind::kRef: {
       std::string out;
       for (size_t i = 0; i < ref.size(); ++i) {

@@ -46,10 +46,12 @@ struct ParsedExpr {
     kIn,        ///< children[0] [NOT] IN children[1..]; `negated`.
     kIsNull,    ///< children[0] IS [NOT] NULL; `negated`.
     kLike,      ///< children[0] [NOT] LIKE children[1]; `negated`.
+    kParameter, ///< `param_index` (0-based prepared-statement slot).
   };
 
   Kind kind;
   Value literal;
+  int64_t param_index = -1;  ///< Slot when kind == kParameter.
   std::vector<RefPart> ref;
   ArithOp arith_op = ArithOp::kAdd;
   CompareOp compare_op = CompareOp::kEq;

@@ -104,6 +104,36 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view sql) {
       tokens.push_back(std::move(token));
       continue;
     }
+    // Prepared-statement placeholders: `?` and `$<digits>`.
+    if (c == '?') {
+      token.type = TokenType::kParameter;
+      token.text = "?";
+      token.int_value = -1;  // Positional; the parser assigns the ordinal.
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '$') {
+      size_t start = i + 1;
+      size_t j = start;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j == start) {
+        return Status::InvalidArgument(StrFormat(
+            "expected parameter ordinal after '$' at offset %zu", i));
+      }
+      token.type = TokenType::kParameter;
+      token.text = std::string(sql.substr(i, j - i));
+      token.int_value =
+          std::strtoll(token.text.c_str() + 1, nullptr, 10);
+      if (token.int_value < 1) {
+        return Status::InvalidArgument(StrFormat(
+            "parameter ordinals are 1-based ('%s' at offset %zu)",
+            token.text.c_str(), i));
+      }
+      i = j;
+      tokens.push_back(std::move(token));
+      continue;
+    }
     // Multi-char symbols first.
     auto emit = [&](std::string sym) {
       token.type = TokenType::kSymbol;

@@ -14,6 +14,7 @@ enum class TokenType {
   kDouble,       ///< Floating-point literal.
   kString,       ///< Single-quoted string (quotes stripped, '' unescaped).
   kSymbol,       ///< Operator / punctuation; `text` holds the exact symbol.
+  kParameter,    ///< Placeholder: `?` (int_value = -1) or `$n` (int_value = n).
   kEnd,          ///< End of input.
 };
 
@@ -33,6 +34,8 @@ struct Token {
 ///   ( ) , . .. ; [ ] * + - / % = <> != < <= > >=
 /// `..` is recognized even directly after an integer ("0..*" lexes as
 /// INTEGER(0) SYMBOL(..) SYMBOL(*)), which the PATHS index syntax needs.
+/// Prepared-statement placeholders lex as kParameter tokens: `?` (positional,
+/// int_value = -1) and `$n` with n >= 1 (explicit 1-based ordinal).
 StatusOr<std::vector<Token>> Tokenize(std::string_view sql);
 
 }  // namespace grfusion

@@ -89,19 +89,30 @@ StatusOr<std::vector<Statement>> Parser::Parse(std::string_view sql) {
   return statements;
 }
 
-StatusOr<Statement> Parser::ParseSingle(std::string_view sql) {
-  GRF_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parse(sql));
-  if (statements.size() != 1) {
-    return Status::InvalidArgument(
-        StrFormat("expected exactly one statement, got %zu",
-                  statements.size()));
+StatusOr<Statement> Parser::ParseSingle(std::string_view sql,
+                                        size_t* num_params) {
+  GRF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  while (parser.MatchSymbol(";")) {  // Leading empty statements.
   }
-  return std::move(statements[0]);
+  if (parser.AtEnd()) {
+    return Status::InvalidArgument("expected exactly one statement, got 0");
+  }
+  GRF_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+  if (num_params != nullptr) *num_params = parser.num_params();
+  while (parser.MatchSymbol(";")) {  // Trailing ';'.
+  }
+  if (!parser.AtEnd()) {
+    return parser.ErrorHere("expected exactly one statement");
+  }
+  return stmt;
 }
 
 // --- Statements ------------------------------------------------------------------
 
 StatusOr<Statement> Parser::ParseStatement() {
+  positional_params_ = 0;
+  max_explicit_param_ = 0;
   if (PeekKeyword("CREATE")) return ParseCreate();
   if (PeekKeyword("DROP")) {
     GRF_ASSIGN_OR_RETURN(DropStmt stmt, ParseDrop());
@@ -720,6 +731,26 @@ StatusOr<ParsedExprPtr> Parser::ParsePrimary() {
     Advance();
     auto node = std::make_unique<ParsedExpr>();
     node->kind = ParsedExpr::Kind::kStar;
+    return ParsedExprPtr(std::move(node));
+  }
+  if (t.type == TokenType::kParameter) {
+    auto node = std::make_unique<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kParameter;
+    if (t.int_value < 0) {
+      if (max_explicit_param_ > 0) {
+        return ErrorHere("cannot mix '?' and '$n' parameter styles");
+      }
+      node->param_index = static_cast<int64_t>(positional_params_++);
+    } else {
+      if (positional_params_ > 0) {
+        return ErrorHere("cannot mix '?' and '$n' parameter styles");
+      }
+      node->param_index = t.int_value - 1;
+      if (t.int_value > max_explicit_param_) {
+        max_explicit_param_ = t.int_value;
+      }
+    }
+    Advance();
     return ParsedExprPtr(std::move(node));
   }
   if (t.IsSymbol("(")) {

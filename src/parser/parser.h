@@ -20,8 +20,12 @@ class Parser {
   /// Parses a string holding one or more ';'-separated statements.
   static StatusOr<std::vector<Statement>> Parse(std::string_view sql);
 
-  /// Parses exactly one statement (trailing ';' optional).
-  static StatusOr<Statement> ParseSingle(std::string_view sql);
+  /// Parses exactly one statement (trailing ';' optional). When `num_params`
+  /// is non-null, receives the statement's parameter-placeholder count:
+  /// the number of `?` markers in textual order, or the highest `$n` ordinal.
+  /// Mixing the two placeholder styles in one statement is an error.
+  static StatusOr<Statement> ParseSingle(std::string_view sql,
+                                         size_t* num_params = nullptr);
 
  private:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
@@ -72,6 +76,16 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+
+  // Parameter-placeholder accounting, reset per statement. Positional `?`
+  // markers take slots in textual order; `$n` names slot n-1 explicitly.
+  size_t positional_params_ = 0;
+  int64_t max_explicit_param_ = 0;  ///< Highest `$n` seen (1-based).
+  size_t num_params() const {
+    return positional_params_ > 0
+               ? positional_params_
+               : static_cast<size_t>(max_explicit_param_);
+  }
 };
 
 }  // namespace grfusion

@@ -374,12 +374,42 @@ StatusOr<ExprPtr> Binder::BindFunc(const ParsedExpr& expr) const {
       " is only allowed in the SELECT list of an aggregate query");
 }
 
+void Binder::InferParamType(const ExprPtr& maybe_param,
+                            const ExprPtr& other) const {
+  if (params_ == nullptr) return;
+  const auto* param = dynamic_cast<const ParameterExpr*>(maybe_param.get());
+  if (param == nullptr) return;
+  if (params_->expected[param->index()] != ValueType::kNull) return;
+  ValueType other_type = other->result_type();
+  if (other_type != ValueType::kNull) {
+    params_->expected[param->index()] = other_type;
+  }
+}
+
+void Binder::ForceParamType(const ExprPtr& maybe_param, ValueType type) const {
+  if (params_ == nullptr) return;
+  const auto* param = dynamic_cast<const ParameterExpr*>(maybe_param.get());
+  if (param == nullptr) return;
+  if (params_->expected[param->index()] == ValueType::kNull) {
+    params_->expected[param->index()] = type;
+  }
+}
+
 StatusOr<ExprPtr> Binder::Bind(const ParsedExpr& expr) const {
   switch (expr.kind) {
     case ParsedExpr::Kind::kLiteral:
       return ExprPtr(std::make_shared<ConstantExpr>(expr.literal));
     case ParsedExpr::Kind::kStar:
       return Status::InvalidArgument("'*' is only valid in the SELECT list");
+    case ParsedExpr::Kind::kParameter: {
+      if (params_ == nullptr) {
+        return Status::InvalidArgument(
+            "parameter placeholders require a prepared statement");
+      }
+      params_->EnsureSlot(static_cast<size_t>(expr.param_index));
+      return ExprPtr(std::make_shared<ParameterExpr>(
+          params_, static_cast<size_t>(expr.param_index)));
+    }
     case ParsedExpr::Kind::kRef:
       return BindRef(expr);
     case ParsedExpr::Kind::kNegate: {
@@ -393,6 +423,8 @@ StatusOr<ExprPtr> Binder::Bind(const ParsedExpr& expr) const {
     case ParsedExpr::Kind::kArith: {
       GRF_ASSIGN_OR_RETURN(ExprPtr left, Bind(*expr.children[0]));
       GRF_ASSIGN_OR_RETURN(ExprPtr right, Bind(*expr.children[1]));
+      InferParamType(left, right);
+      InferParamType(right, left);
       return ExprPtr(std::make_shared<ArithmeticExpr>(
           expr.arith_op, std::move(left), std::move(right)));
     }
@@ -402,6 +434,8 @@ StatusOr<ExprPtr> Binder::Bind(const ParsedExpr& expr) const {
       if (pred != nullptr) return ExprPtr(pred);
       GRF_ASSIGN_OR_RETURN(ExprPtr left, Bind(*expr.children[0]));
       GRF_ASSIGN_OR_RETURN(ExprPtr right, Bind(*expr.children[1]));
+      InferParamType(left, right);
+      InferParamType(right, left);
       return ExprPtr(std::make_shared<CompareExpr>(
           expr.compare_op, std::move(left), std::move(right)));
     }
@@ -427,6 +461,8 @@ StatusOr<ExprPtr> Binder::Bind(const ParsedExpr& expr) const {
       std::vector<ExprPtr> list;
       for (size_t i = 1; i < expr.children.size(); ++i) {
         GRF_ASSIGN_OR_RETURN(ExprPtr item, Bind(*expr.children[i]));
+        InferParamType(item, child);
+        InferParamType(child, item);
         list.push_back(std::move(item));
       }
       return ExprPtr(std::make_shared<InListExpr>(std::move(child),
@@ -443,6 +479,8 @@ StatusOr<ExprPtr> Binder::Bind(const ParsedExpr& expr) const {
       if (pred != nullptr) return ExprPtr(pred);
       GRF_ASSIGN_OR_RETURN(ExprPtr child, Bind(*expr.children[0]));
       GRF_ASSIGN_OR_RETURN(ExprPtr pattern, Bind(*expr.children[1]));
+      ForceParamType(pattern, ValueType::kVarchar);
+      ForceParamType(child, ValueType::kVarchar);
       return ExprPtr(std::make_shared<LikeExpr>(
           std::move(child), std::move(pattern), expr.negated));
     }

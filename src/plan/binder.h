@@ -19,7 +19,12 @@ namespace grfusion {
 /// references, quantified range predicates, and path aggregates.
 class Binder {
  public:
-  explicit Binder(const BindingScope* scope) : scope_(scope) {}
+  /// `params` is non-null when binding a prepared statement: kParameter
+  /// placeholders resolve into it, and comparison/arithmetic/LIKE contexts
+  /// record the expected value type per slot. With a null `params`,
+  /// placeholders are a bind error.
+  explicit Binder(const BindingScope* scope, ParamSet* params = nullptr)
+      : scope_(scope), params_(params) {}
 
   /// Which bindings an expression references. Used by the planner to
   /// classify WHERE conjuncts (pushdown targets, join predicates,
@@ -85,12 +90,21 @@ class Binder {
   StatusOr<ElementAttr> ResolveVertexAttr(const GraphView& gv,
                                           const std::string& name) const;
 
+  /// If `maybe_param` is a placeholder with no expected type yet, adopt
+  /// `other`'s result type so execute-time binding can type-check values.
+  /// Public because the planner binds index/topology probe keys outside the
+  /// generic compare path and must record their expected types itself.
+  void InferParamType(const ExprPtr& maybe_param, const ExprPtr& other) const;
+  /// Forces a placeholder's expected type (LIKE patterns are VARCHAR).
+  void ForceParamType(const ExprPtr& maybe_param, ValueType type) const;
+
  private:
   StatusOr<ExprPtr> BindRef(const ParsedExpr& expr) const;
   StatusOr<ExprPtr> BindFunc(const ParsedExpr& expr) const;
   StatusOr<ExprPtr> BindPathRef(const PathRef& ref) const;
 
   const BindingScope* scope_;
+  ParamSet* params_;  ///< Not owned; may be null (unprepared statement).
 };
 
 /// Maps a SQL function name to an aggregate, if it is one.

@@ -20,6 +20,15 @@ size_t PlannerOptions::effective_parallelism() const {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+std::string PlannerOptions::PlanShapeKey() const {
+  return StrFormat(
+      "fp=%d,li=%d,fml=%zu,ix=%d,rf=%d,tv=%d,mp=%zu,pmr=%zu,pms=%zu",
+      enable_filter_pushdown ? 1 : 0, enable_length_inference ? 1 : 0,
+      fallback_max_length, enable_index_scan ? 1 : 0,
+      enable_reachability_fastpath ? 1 : 0, static_cast<int>(default_traversal),
+      max_parallelism, parallel_min_rows, parallel_min_starts);
+}
+
 namespace {
 
 void FlattenParsedConjuncts(const ParsedExpr* expr,
@@ -386,9 +395,10 @@ OperatorPtr Planner::MakeScanLeaf(const TableBinding& binding, ExprPtr qualifier
 
 // --- PlanSelect ------------------------------------------------------------------
 
-StatusOr<PlannedQuery> Planner::PlanSelect(const SelectStmt& stmt) const {
+StatusOr<PlannedQuery> Planner::PlanSelect(const SelectStmt& stmt,
+                                           ParamSet* params) const {
   GRF_ASSIGN_OR_RETURN(BindingScope scope, BuildScope(stmt));
-  Binder binder(&scope);
+  Binder binder(&scope, params);
   RowLayout layout{scope.combined_schema(), scope.path_slots()};
 
   // ---- 1. Gather and analyze WHERE conjuncts.
@@ -562,11 +572,13 @@ StatusOr<PlannedQuery> Planner::PlanSelect(const SelectStmt& stmt) const {
         if (binding.kind == TableBinding::Kind::kVertexes) {
           if (local != 0) continue;  // Only ID (exposed column 0) is mapped.
           GRF_ASSIGN_OR_RETURN(vertex_probes[b], binder.Bind(other_side));
+          binder.InferParamType(vertex_probes[b], ref_bound);
           break;
         }
         const HashIndex* index = binding.table->FindIndexOnColumn(local);
         if (index == nullptr) continue;
         GRF_ASSIGN_OR_RETURN(index_keys[b], binder.Bind(other_side));
+        binder.InferParamType(index_keys[b], ref_bound);
         index_choices[b] = index;
         break;
       }
@@ -780,6 +792,12 @@ StatusOr<PlannedQuery> Planner::PlanSelect(const SelectStmt& stmt) const {
 
   // ---- 8. SELECT list, aggregation, ordering, distinct, limits.
   PlannedQuery planned;
+  for (const FromItem& item : stmt.from) {
+    if (item.source.size() >= 4 &&
+        EqualsIgnoreCase(std::string_view(item.source).substr(0, 4), "SYS.")) {
+      planned.reads_system_tables = true;
+    }
+  }
 
   // Expand stars.
   struct OutputItem {

@@ -88,12 +88,24 @@ struct PlannerOptions {
 
   /// Resolves max_parallelism = 0 to the hardware default.
   size_t effective_parallelism() const;
+
+  /// Serializes the options that change plan shape (optimizer switches and
+  /// parallelism thresholds) into a stable string, used as part of the
+  /// plan-cache key. Execution-only knobs (memory cap, timeouts, tracing)
+  /// are deliberately excluded: plans compiled under different values of
+  /// those are interchangeable.
+  std::string PlanShapeKey() const;
 };
 
 /// A compiled query: the physical operator tree plus result column names.
 struct PlannedQuery {
   OperatorPtr root;
   std::vector<std::string> output_names;
+
+  /// True when any FROM item reads a SYS.* virtual table. Cached so the
+  /// session layer can decide (without re-walking the AST) whether running
+  /// this plan may not overwrite the published SYS.LAST_QUERY profile.
+  bool reads_system_tables = false;
 };
 
 /// Translates a parsed SELECT into a cross-data-model physical plan
@@ -106,7 +118,10 @@ class Planner {
   Planner(const Catalog* catalog, const PlannerOptions& options)
       : catalog_(catalog), options_(options) {}
 
-  StatusOr<PlannedQuery> PlanSelect(const SelectStmt& stmt) const;
+  /// `params` is non-null when planning a prepared statement; placeholder
+  /// expressions bind into it (see Binder).
+  StatusOr<PlannedQuery> PlanSelect(const SelectStmt& stmt,
+                                    ParamSet* params = nullptr) const;
 
  private:
   struct Conjunct {

@@ -1,17 +1,48 @@
-// Serial-execution (single-partition VoltDB model) tests: a Database shared
-// between threads interleaves at statement granularity only, so concurrent
-// writers never corrupt the catalog, the tables, or the graph topology.
+// Concurrency tests. Writes follow the single-partition VoltDB model — DML
+// and DDL take the statement lock exclusively, so concurrent writers never
+// corrupt the catalog, the tables, or the graph topology. Read-only
+// statements take the lock shared: sessions on different threads run SELECTs
+// (including graph traversals and cached-plan re-executions) concurrently.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "graph/graph_view.h"
 
 namespace grfusion {
 namespace {
+
+/// Canonical topology of a graph view, adjacency order ignored (mirrors the
+/// fault-injection harness's view==rebuild invariant).
+std::multiset<std::string> Topology(const GraphView& gv) {
+  std::multiset<std::string> out;
+  gv.ForEachVertex([&](const VertexEntry& v) {
+    out.insert(StrFormat("V %lld", static_cast<long long>(v.id)));
+    std::multiset<std::string> nbrs;
+    gv.ForEachNeighbor(v, [&](const EdgeEntry& e, VertexId n) {
+      nbrs.insert(StrFormat("%lld:%lld", static_cast<long long>(e.id),
+                            static_cast<long long>(n)));
+      return true;
+    });
+    std::string line = StrFormat("A %lld:", static_cast<long long>(v.id));
+    for (const std::string& s : nbrs) line += " " + s;
+    out.insert(std::move(line));
+    return true;
+  });
+  gv.ForEachEdge([&](const EdgeEntry& e) {
+    out.insert(StrFormat("E %lld %lld->%lld", static_cast<long long>(e.id),
+                         static_cast<long long>(e.from),
+                         static_cast<long long>(e.to)));
+    return true;
+  });
+  return out;
+}
 
 TEST(ConcurrencyTest, ParallelInsertsAllLand) {
   Database db;
@@ -81,6 +112,121 @@ TEST(ConcurrencyTest, ConcurrentGraphUpdatesKeepTopologyConsistent) {
   EXPECT_EQ(errors.load(), 0);
   // Final topology matches the relational source exactly.
   const GraphView* gv = db.catalog().FindGraphView("g");
+  EXPECT_EQ(gv->NumEdges(), db.catalog().FindTable("e")->NumRows());
+}
+
+TEST(ConcurrencyTest, ConcurrentReaderSessionsShareCachedPlans) {
+  Database db;
+  Session setup(db);
+  ASSERT_TRUE(setup.ExecuteScript(R"sql(
+    CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
+    CREATE TABLE e (id BIGINT PRIMARY KEY, s BIGINT, d BIGINT);
+    CREATE DIRECTED GRAPH VIEW g
+      VERTEXES (ID = id, name = name) FROM v
+      EDGES (ID = id, FROM = s, TO = d) FROM e;
+  )sql")
+                  .ok());
+  std::vector<std::vector<Value>> vrows, erows;
+  for (int64_t i = 0; i < 16; ++i) {
+    vrows.push_back({Value::BigInt(i), Value::Varchar("v")});
+    erows.push_back(
+        {Value::BigInt(i), Value::BigInt(i), Value::BigInt((i + 1) % 16)});
+    erows.push_back({Value::BigInt(100 + i), Value::BigInt(i),
+                     Value::BigInt((i + 5) % 16)});
+  }
+  ASSERT_TRUE(db.BulkInsert("v", vrows).ok());
+  ASSERT_TRUE(db.BulkInsert("e", erows).ok());
+
+  const uint64_t hits_before =
+      EngineMetrics::Get().plan_cache_hits->value();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &errors] {
+      // One session per thread: sessions are not thread-safe, databases are.
+      Session session(db);
+      auto prep = session.Prepare(
+          "SELECT COUNT(P) FROM g.Paths P "
+          "WHERE P.StartVertex.Id = ? AND P.Length <= 2");
+      if (!prep.ok()) {
+        ++errors;
+        return;
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        auto a = session.Execute("SELECT COUNT(*) FROM e WHERE s < 8");
+        if (!a.ok() || a->ScalarValue().AsBigInt() != 16) ++errors;
+        auto b = prep->Execute({Value::BigInt(i % 16)});
+        // Every vertex has out-degree 2, so 2 one-hop + 4 two-hop paths.
+        if (!b.ok() || b->ScalarValue().AsBigInt() != 6) ++errors;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  // The repeated statements ran from cached plans, not fresh compilations.
+  EXPECT_GT(EngineMetrics::Get().plan_cache_hits->value(), hits_before);
+}
+
+TEST(ConcurrencyTest, ReaderSessionsStayConsistentUnderWriter) {
+  Database db;
+  Session setup(db);
+  ASSERT_TRUE(setup.ExecuteScript(R"sql(
+    CREATE TABLE v (id BIGINT PRIMARY KEY);
+    CREATE TABLE e (id BIGINT PRIMARY KEY, s BIGINT, d BIGINT);
+    INSERT INTO v VALUES (0), (1), (2), (3), (4), (5);
+    INSERT INTO e VALUES (0, 0, 1), (1, 1, 2), (2, 2, 3), (3, 3, 4),
+                         (4, 4, 5), (5, 5, 0);
+    CREATE DIRECTED GRAPH VIEW g
+      VERTEXES (ID = id) FROM v
+      EDGES (ID = id, FROM = s, TO = d) FROM e;
+  )sql")
+                  .ok());
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  // Writer churns edges through its own session while readers traverse.
+  std::thread writer([&] {
+    Session session(db);
+    for (int i = 0; i < 200 && !stop; ++i) {
+      int64_t id = 100 + (i % 7);
+      auto ins = session.Execute(
+          StrFormat("INSERT INTO e VALUES (%lld, %d, %d)",
+                    static_cast<long long>(id), i % 6, (i + 2) % 6));
+      if (ins.ok()) {
+        auto del = session.Execute(StrFormat(
+            "DELETE FROM e WHERE id = %lld", static_cast<long long>(id)));
+        if (!del.ok()) ++errors;
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      Session session(db);
+      for (int i = 0; i < 200; ++i) {
+        // The base ring is never touched by the writer, so every consistent
+        // snapshot contains the full 6-cycle: exactly one path of length 6
+        // from vertex 0 back around. Extra churn edges can only add paths,
+        // never remove these.
+        auto r = session.Execute(
+            "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 0 AND "
+            "P.Length = 6");
+        if (!r.ok() || r->ScalarValue().AsBigInt() < 1) ++errors;
+      }
+    });
+  }
+  for (auto& thread : readers) thread.join();
+  stop = true;
+  writer.join();
+  EXPECT_EQ(errors.load(), 0);
+  // The view equals a from-scratch rebuild of the final relational state.
+  GraphView* gv = db.catalog().FindGraphView("g");
+  ASSERT_NE(gv, nullptr);
+  auto rebuilt =
+      GraphView::Create(gv->def(), gv->vertex_table(), gv->edge_table());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(Topology(*gv), Topology(**rebuilt));
   EXPECT_EQ(gv->NumEdges(), db.catalog().FindTable("e")->NumRows());
 }
 

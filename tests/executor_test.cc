@@ -15,7 +15,7 @@ namespace {
 class ExecutorTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    ASSERT_TRUE(session_.ExecuteScript(R"sql(
       CREATE TABLE emp (id BIGINT PRIMARY KEY, name VARCHAR, dept VARCHAR,
                         salary DOUBLE, boss BIGINT);
       CREATE TABLE dept (name VARCHAR, city VARCHAR);
@@ -33,12 +33,22 @@ class ExecutorTest : public ::testing::Test {
   }
 
   ResultSet Must(const std::string& sql) {
-    auto result = db_.Execute(sql);
+    auto result = session_.Execute(sql);
     EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
     return result.ok() ? *std::move(result) : ResultSet();
   }
 
+  /// Renders the physical plan via the EXPLAIN statement (the old
+  /// Database::Explain entry point folded into Execute).
+  std::string MustPlan(const std::string& sql) {
+    ResultSet r = Must("EXPLAIN " + sql);
+    std::string plan;
+    for (const auto& row : r.rows) plan += row[0].AsVarchar() + "\n";
+    return plan;
+  }
+
   Database db_;
+  Session session_{db_};
 };
 
 TEST_F(ExecutorTest, ProjectionAndFilter) {
@@ -120,7 +130,7 @@ TEST_F(ExecutorTest, GroupByHavingOrder) {
 }
 
 TEST_F(ExecutorTest, GroupByRejectsUngroupedColumn) {
-  auto r = db_.Execute("SELECT name, COUNT(*) FROM emp GROUP BY dept");
+  auto r = session_.Execute("SELECT name, COUNT(*) FROM emp GROUP BY dept");
   EXPECT_FALSE(r.ok());
 }
 
@@ -175,20 +185,18 @@ TEST_F(ExecutorTest, ArithmeticInProjection) {
 }
 
 TEST_F(ExecutorTest, IndexScanIsChosenForPkEquality) {
-  auto plan = db_.Explain("SELECT name FROM emp WHERE id = 3");
-  ASSERT_TRUE(plan.ok());
-  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+  std::string plan = MustPlan("SELECT name FROM emp WHERE id = 3");
+  EXPECT_NE(plan.find("IndexScan"), std::string::npos) << plan;
   ResultSet r = Must("SELECT name FROM emp WHERE id = 3");
   ASSERT_EQ(r.NumRows(), 1u);
   EXPECT_EQ(r.rows[0][0].AsVarchar(), "cat");
 }
 
 TEST_F(ExecutorTest, IndexScanDisabledByOption) {
-  db_.options().enable_index_scan = false;
-  auto plan = db_.Explain("SELECT name FROM emp WHERE id = 3");
-  ASSERT_TRUE(plan.ok());
-  EXPECT_EQ(plan->find("IndexScan"), std::string::npos) << *plan;
-  db_.options().enable_index_scan = true;
+  session_.options().enable_index_scan = false;
+  std::string plan = MustPlan("SELECT name FROM emp WHERE id = 3");
+  EXPECT_EQ(plan.find("IndexScan"), std::string::npos) << plan;
+  session_.options().enable_index_scan = true;
 }
 
 TEST_F(ExecutorTest, UpdateAndDelete) {
@@ -204,7 +212,7 @@ TEST_F(ExecutorTest, UpdateAndDelete) {
 
 TEST_F(ExecutorTest, InsertStatementAtomicOnFailure) {
   // Second row violates the primary key; the first must be rolled back.
-  auto r = db_.Execute(
+  auto r = session_.Execute(
       "INSERT INTO emp VALUES (50, 'x', 'eng', 1.0, NULL), "
       "(1, 'dup', 'eng', 1.0, NULL)");
   EXPECT_FALSE(r.ok());
@@ -215,7 +223,7 @@ TEST_F(ExecutorTest, InsertStatementAtomicOnFailure) {
 }
 
 TEST_F(ExecutorTest, UpdateRejectedOnUniqueViolationIsAtomic) {
-  auto r = db_.Execute("UPDATE emp SET id = 1 WHERE id = 2");
+  auto r = session_.Execute("UPDATE emp SET id = 1 WHERE id = 2");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(Must("SELECT COUNT(*) FROM emp WHERE id = 2")
                 .ScalarValue()
@@ -226,14 +234,14 @@ TEST_F(ExecutorTest, UpdateRejectedOnUniqueViolationIsAtomic) {
 TEST_F(ExecutorTest, MemoryCapAbortsOversizedJoin) {
   // A cross join of emp x emp x emp x dept builds large intermediates; with
   // a tiny cap the query must abort with ResourceExhausted, not crash.
-  size_t saved = db_.options().memory_cap;
-  db_.options().memory_cap = 2 * 1024;  // 2 KB.
-  auto r = db_.Execute(
+  size_t saved = session_.options().memory_cap;
+  session_.options().memory_cap = 2 * 1024;  // 2 KB.
+  auto r = session_.Execute(
       "SELECT COUNT(*) FROM emp a, emp b, emp c, dept d "
       "WHERE a.id = b.id AND b.id = c.id");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
-  db_.options().memory_cap = saved;
+  session_.options().memory_cap = saved;
 }
 
 TEST_F(ExecutorTest, OrderByExpressionNotInSelect) {
@@ -243,13 +251,12 @@ TEST_F(ExecutorTest, OrderByExpressionNotInSelect) {
 }
 
 TEST_F(ExecutorTest, ExplainRendersTree) {
-  auto plan = db_.Explain(
+  std::string plan = MustPlan(
       "SELECT e.name FROM emp e, dept d WHERE e.dept = d.name "
       "ORDER BY e.name LIMIT 2");
-  ASSERT_TRUE(plan.ok());
-  EXPECT_NE(plan->find("HashJoin"), std::string::npos);
-  EXPECT_NE(plan->find("Sort"), std::string::npos);
-  EXPECT_NE(plan->find("Limit"), std::string::npos);
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos);
+  EXPECT_NE(plan.find("Sort"), std::string::npos);
+  EXPECT_NE(plan.find("Limit"), std::string::npos);
 }
 
 TEST_F(ExecutorTest, ExplainStatementThroughExecute) {
@@ -332,10 +339,10 @@ TEST_F(ExecutorTest, SysTablesListsBaseAndVirtualTables) {
 TEST_F(ExecutorTest, SlowQueryLogCapturesTrace) {
   std::string path = ::testing::TempDir() + "/grf_slow_query_trace.jsonl";
   std::remove(path.c_str());
-  db_.options().slow_query_threshold_us = 0;  // Everything is "slow".
-  db_.options().slow_query_log_path = path;
+  session_.options().slow_query_threshold_us = 0;  // Everything is "slow".
+  session_.options().slow_query_log_path = path;
   Must("SELECT COUNT(*) FROM emp");
-  db_.options().slow_query_threshold_us = -1;
+  session_.options().slow_query_threshold_us = -1;
 
   std::ifstream in(path);
   ASSERT_TRUE(in.good()) << path;
@@ -348,14 +355,14 @@ TEST_F(ExecutorTest, SlowQueryLogCapturesTrace) {
 }
 
 TEST_F(ExecutorTest, ErrorsForUnknownObjects) {
-  EXPECT_FALSE(db_.Execute("SELECT x FROM nope").ok());
-  EXPECT_FALSE(db_.Execute("SELECT nope FROM emp").ok());
-  EXPECT_FALSE(db_.Execute("SELECT 1 FROM nope.Paths P").ok());
-  EXPECT_FALSE(db_.Execute("INSERT INTO nope VALUES (1)").ok());
+  EXPECT_FALSE(session_.Execute("SELECT x FROM nope").ok());
+  EXPECT_FALSE(session_.Execute("SELECT nope FROM emp").ok());
+  EXPECT_FALSE(session_.Execute("SELECT 1 FROM nope.Paths P").ok());
+  EXPECT_FALSE(session_.Execute("INSERT INTO nope VALUES (1)").ok());
 }
 
 TEST_F(ExecutorTest, AmbiguousColumnRejected) {
-  auto r = db_.Execute("SELECT name FROM emp e, dept d");
+  auto r = session_.Execute("SELECT name FROM emp e, dept d");
   EXPECT_FALSE(r.ok());
 }
 

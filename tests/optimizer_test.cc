@@ -12,7 +12,7 @@ namespace {
 class OptimizerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    ASSERT_TRUE(session_.ExecuteScript(R"sql(
       CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
       CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
                       w DOUBLE, rank BIGINT);
@@ -28,12 +28,16 @@ class OptimizerTest : public ::testing::Test {
   }
 
   std::string MustExplain(const std::string& sql) {
-    auto plan = db_.Explain(sql);
-    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
-    return plan.ok() ? *plan : "";
+    auto r = session_.Execute("EXPLAIN " + sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return "";
+    std::string plan;
+    for (const auto& row : r->rows) plan += row[0].AsVarchar() + "\n";
+    return plan;
   }
 
   Database db_;
+  Session session_{db_};
 };
 
 TEST_F(OptimizerTest, ExplicitLengthInference) {
@@ -68,18 +72,18 @@ TEST_F(OptimizerTest, ClosedRangeRaisesMinLength) {
 }
 
 TEST_F(OptimizerTest, LengthInferenceDisabledFallsBack) {
-  db_.options().enable_length_inference = false;
-  db_.options().fallback_max_length = 7;
+  session_.options().enable_length_inference = false;
+  session_.options().fallback_max_length = 7;
   std::string plan = MustExplain(
       "SELECT P.PathString FROM g.Paths P "
       "WHERE P.StartVertex.Id = 1 AND P.Length = 2");
   EXPECT_NE(plan.find("len: [1, 7]"), std::string::npos) << plan;
   // Answers must still be correct (Length enforced as residual).
-  auto on = db_.Execute(
+  auto on = session_.Execute(
       "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 1 AND "
       "P.Length = 2");
-  db_.options().enable_length_inference = true;
-  auto off = db_.Execute(
+  session_.options().enable_length_inference = true;
+  auto off = session_.Execute(
       "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 1 AND "
       "P.Length = 2");
   ASSERT_TRUE(on.ok() && off.ok());
@@ -92,27 +96,27 @@ TEST_F(OptimizerTest, PushedFiltersAppearInSpec) {
       "WHERE P.StartVertex.Id = 1 AND P.Length = 2 AND "
       "P.Edges[0..*].rank < 10");
   EXPECT_NE(plan.find("pushed: 1"), std::string::npos) << plan;
-  db_.options().enable_filter_pushdown = false;
+  session_.options().enable_filter_pushdown = false;
   plan = MustExplain(
       "SELECT P.PathString FROM g.Paths P "
       "WHERE P.StartVertex.Id = 1 AND P.Length = 2 AND "
       "P.Edges[0..*].rank < 10");
   EXPECT_NE(plan.find("NO-PUSHDOWN"), std::string::npos) << plan;
-  db_.options().enable_filter_pushdown = true;
+  session_.options().enable_filter_pushdown = true;
 }
 
 TEST_F(OptimizerTest, PushdownReducesWork) {
   auto run = [&](bool pushdown) {
-    db_.options().enable_filter_pushdown = pushdown;
-    auto r = db_.Execute(
+    session_.options().enable_filter_pushdown = pushdown;
+    auto r = session_.Execute(
         "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 1 AND "
         "P.Length = 3 AND P.Edges[0..*].rank < 10");
     EXPECT_TRUE(r.ok());
-    return db_.last_stats().vertexes_expanded;
+    return session_.last_stats().vertexes_expanded;
   };
   uint64_t with = run(true);
   uint64_t without = run(false);
-  db_.options().enable_filter_pushdown = true;
+  session_.options().enable_filter_pushdown = true;
   EXPECT_LE(with, without);
 }
 
@@ -122,7 +126,7 @@ TEST_F(OptimizerTest, SumBoundIsPushed) {
       "WHERE P.StartVertex.Id = 1 AND P.Length <= 3 AND SUM(P.Edges.w) < 3");
   EXPECT_NE(plan.find("sum-bounds: 1"), std::string::npos) << plan;
   // And it is exact: only paths with total weight < 3 survive.
-  auto r = db_.Execute(
+  auto r = session_.Execute(
       "SELECT SUM(P.Edges.w) FROM g.Paths P "
       "WHERE P.StartVertex.Id = 1 AND P.Length <= 3 AND SUM(P.Edges.w) < 3");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -167,12 +171,12 @@ TEST_F(OptimizerTest, ReachabilityFastPathConditions) {
   EXPECT_EQ(plan.find("visited-once"), std::string::npos) << plan;
 
   // Not eligible when disabled.
-  db_.options().enable_reachability_fastpath = false;
+  session_.options().enable_reachability_fastpath = false;
   plan = MustExplain(
       "SELECT P.PathString FROM g.Paths P WHERE P.StartVertex.Id = 1 AND "
       "P.EndVertex.Id = 5 LIMIT 1");
   EXPECT_EQ(plan.find("visited-once"), std::string::npos) << plan;
-  db_.options().enable_reachability_fastpath = true;
+  session_.options().enable_reachability_fastpath = true;
 }
 
 TEST_F(OptimizerTest, StartAndEndBindingsExtracted) {
@@ -195,7 +199,7 @@ TEST_F(OptimizerTest, PathToPathProbeBinding) {
   size_t first = plan.find("PathProbeJoin");
   ASSERT_NE(first, std::string::npos);
   EXPECT_NE(plan.find("PathProbeJoin", first + 1), std::string::npos) << plan;
-  auto r = db_.Execute(
+  auto r = session_.Execute(
       "SELECT COUNT(P2) FROM g.Paths P1, g.Paths P2 "
       "WHERE P1.StartVertex.Id = 1 AND P1.Length = 1 "
       "AND P2.StartVertex.Id = P1.EndVertexId AND P2.Length = 1");
@@ -207,7 +211,7 @@ TEST_F(OptimizerTest, PathToPathProbeBinding) {
 TEST_F(OptimizerTest, AutoRuleUsesFanOutStatistic) {
   // §6.3: BFS iff F^(L-1) < L. This graph's avg fan-out is 6/5 = 1.2;
   // for L = 3: 1.2^2 = 1.44 < 3 -> BFS.
-  db_.options().default_traversal = PlannerOptions::Traversal::kAuto;
+  session_.options().default_traversal = PlannerOptions::Traversal::kAuto;
   std::string plan = MustExplain(
       "SELECT P.PathString FROM g.Paths P "
       "WHERE P.StartVertex.Id = 1 AND P.Length = 3");
@@ -219,25 +223,25 @@ TEST_F(OptimizerTest, VertexScanIdProbe) {
   std::string plan = MustExplain("SELECT V.name FROM g.Vertexes V "
                                  "WHERE V.ID = 3");
   EXPECT_NE(plan.find("id-probe"), std::string::npos) << plan;
-  auto r = db_.Execute("SELECT V.name FROM g.Vertexes V WHERE V.ID = 3");
+  auto r = session_.Execute("SELECT V.name FROM g.Vertexes V WHERE V.ID = 3");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->NumRows(), 1u);
   EXPECT_EQ(r->rows[0][0].AsVarchar(), "c");
-  EXPECT_EQ(db_.last_stats().rows_scanned, 1u);
+  EXPECT_EQ(session_.last_stats().rows_scanned, 1u);
   // Missing id: zero rows, no error.
-  r = db_.Execute("SELECT V.name FROM g.Vertexes V WHERE V.ID = 404");
+  r = session_.Execute("SELECT V.name FROM g.Vertexes V WHERE V.ID = 404");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->NumRows(), 0u);
 }
 
 TEST_F(OptimizerTest, StatsExposeTraversalWork) {
-  auto r = db_.Execute(
+  auto r = session_.Execute(
       "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 1 AND "
       "P.Length = 2");
   ASSERT_TRUE(r.ok());
-  EXPECT_GT(db_.last_stats().vertexes_expanded, 0u);
-  EXPECT_GT(db_.last_stats().edges_examined, 0u);
-  EXPECT_GT(db_.last_stats().paths_emitted, 0u);
+  EXPECT_GT(session_.last_stats().vertexes_expanded, 0u);
+  EXPECT_GT(session_.last_stats().edges_examined, 0u);
+  EXPECT_GT(session_.last_stats().paths_emitted, 0u);
 }
 
 }  // namespace

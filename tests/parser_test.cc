@@ -284,5 +284,50 @@ TEST(ParserTest, VerticesSpellingAccepted) {
             GraphAccessor::kVertexes);
 }
 
+TEST(ParserTest, PositionalParameters) {
+  size_t num_params = 0;
+  auto stmt = Parser::ParseSingle(
+      "SELECT a FROM t WHERE b = ? AND c < ?", &num_params);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(num_params, 2u);
+  const SelectStmt& select = std::get<SelectStmt>(*stmt);
+  // Positional placeholders render with their 1-based ordinal.
+  EXPECT_NE(select.where->ToString().find("$1"), std::string::npos);
+  EXPECT_NE(select.where->ToString().find("$2"), std::string::npos);
+}
+
+TEST(ParserTest, OrdinalParameters) {
+  size_t num_params = 0;
+  // The same ordinal may appear twice; the count is the max ordinal.
+  auto stmt = Parser::ParseSingle(
+      "SELECT a FROM t WHERE b = $2 AND c = $1 AND a = $2", &num_params);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(num_params, 2u);
+}
+
+TEST(ParserTest, ParameterErrors) {
+  EXPECT_FALSE(Parser::ParseSingle("SELECT a FROM t WHERE b = $0").ok());
+  EXPECT_FALSE(Parser::ParseSingle("SELECT a FROM t WHERE b = $").ok());
+  // Mixing ? and $n styles in one statement is rejected.
+  EXPECT_FALSE(
+      Parser::ParseSingle("SELECT a FROM t WHERE b = ? AND c = $1").ok());
+}
+
+TEST(ParserTest, ParametersInDml) {
+  size_t num_params = 0;
+  auto stmt = Parser::ParseSingle("INSERT INTO t VALUES (?, ?, ?)",
+                                  &num_params);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(num_params, 3u);
+  num_params = 0;
+  stmt = Parser::ParseSingle("UPDATE t SET a = $1 WHERE b = $2", &num_params);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(num_params, 2u);
+}
+
+TEST(ParserTest, ParseSingleRejectsMultipleStatements) {
+  EXPECT_FALSE(Parser::ParseSingle("SELECT 1 FROM t; SELECT 2 FROM t").ok());
+}
+
 }  // namespace
 }  // namespace grfusion

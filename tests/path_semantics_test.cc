@@ -120,7 +120,7 @@ class PathSemanticsTest : public ::testing::TestWithParam<RandomGraphSpec> {
     graph_.n = spec.vertexes;
     graph_.directed = spec.directed;
 
-    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    ASSERT_TRUE(session_.ExecuteScript(R"sql(
       CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
       CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
                       w DOUBLE, rank BIGINT);
@@ -148,7 +148,7 @@ class PathSemanticsTest : public ::testing::TestWithParam<RandomGraphSpec> {
       ++id;
     }
     ASSERT_TRUE(db_.BulkInsert("e", erows).ok());
-    ASSERT_TRUE(db_.ExecuteScript(StrFormat(
+    ASSERT_TRUE(session_.ExecuteScript(StrFormat(
                       "CREATE %s GRAPH VIEW g "
                       "VERTEXES (ID = id, name = name) FROM v "
                       "EDGES (ID = id, FROM = src, TO = dst, w = w, "
@@ -174,7 +174,7 @@ class PathSemanticsTest : public ::testing::TestWithParam<RandomGraphSpec> {
       sql += StrFormat(" AND P.Edges[0..*].rank < %lld",
                        static_cast<long long>(rank_threshold));
     }
-    auto result = db_.Execute(sql);
+    auto result = session_.Execute(sql);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     std::set<std::vector<int64_t>> out;
     if (!result.ok()) return out;
@@ -187,6 +187,7 @@ class PathSemanticsTest : public ::testing::TestWithParam<RandomGraphSpec> {
   }
 
   Database db_;
+  Session session_{db_};
   RefGraph graph_;
 };
 
@@ -213,21 +214,21 @@ TEST_P(PathSemanticsTest, FilteredEnumerationMatchesBruteForce) {
 TEST_P(PathSemanticsTest, DfsAndBfsProduceSamePathSets) {
   for (auto traversal : {PlannerOptions::Traversal::kDfs,
                          PlannerOptions::Traversal::kBfs}) {
-    db_.options().default_traversal = traversal;
+    session_.options().default_traversal = traversal;
     auto paths = EnginePaths(0, 3);
-    db_.options().default_traversal = PlannerOptions::Traversal::kDfs;
+    session_.options().default_traversal = PlannerOptions::Traversal::kDfs;
     auto dfs_paths = EnginePaths(0, 3);
     EXPECT_EQ(paths, dfs_paths);
   }
-  db_.options().default_traversal = PlannerOptions::Traversal::kAuto;
+  session_.options().default_traversal = PlannerOptions::Traversal::kAuto;
 }
 
 TEST_P(PathSemanticsTest, PushdownOnOffSameAnswers) {
-  db_.options().enable_filter_pushdown = true;
+  session_.options().enable_filter_pushdown = true;
   auto pushed = EnginePaths(1, 3, 60);
-  db_.options().enable_filter_pushdown = false;
+  session_.options().enable_filter_pushdown = false;
   auto unpushed = EnginePaths(1, 3, 60);
-  db_.options().enable_filter_pushdown = true;
+  session_.options().enable_filter_pushdown = true;
   EXPECT_EQ(pushed, unpushed) << "seed=" << GetParam().seed;
 }
 
@@ -236,7 +237,7 @@ TEST_P(PathSemanticsTest, ShortestPathMatchesDijkstra) {
     for (int64_t dst : {4, 5}) {
       if (src == dst) continue;
       double expected = ReferenceDijkstra(graph_, src, dst);
-      auto result = db_.Execute(StrFormat(
+      auto result = session_.Execute(StrFormat(
           "SELECT TOP 1 PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(w)) "
           "WHERE PS.StartVertex.Id = %lld AND PS.EndVertex.Id = %lld",
           static_cast<long long>(src), static_cast<long long>(dst)));
@@ -260,7 +261,7 @@ TEST_P(PathSemanticsTest, TopKShortestPathsAreSoundAndOrdered) {
   for (int64_t src : {0, 1}) {
     for (int64_t dst : {5, 6}) {
       if (src == dst) continue;
-      auto result = db_.Execute(StrFormat(
+      auto result = session_.Execute(StrFormat(
           "SELECT TOP 3 PS.Cost, SUM(PS.Edges.w) "
           "FROM g.Paths PS HINT(SHORTESTPATH(w)) "
           "WHERE PS.StartVertex.Id = %lld AND PS.EndVertex.Id = %lld",
@@ -302,7 +303,7 @@ TEST_P(PathSemanticsTest, ReachabilityMatchesBfs) {
   for (int64_t src : {0, 2}) {
     for (int64_t dst : {5, 7}) {
       if (src == dst) continue;
-      auto result = db_.Execute(StrFormat(
+      auto result = session_.Execute(StrFormat(
           "SELECT PS.PathString FROM g.Paths PS WHERE PS.StartVertex.Id = "
           "%lld AND PS.EndVertex.Id = %lld LIMIT 1",
           static_cast<long long>(src), static_cast<long long>(dst)));
@@ -326,10 +327,10 @@ TEST_P(PathSemanticsTest, ParallelEnumerationMatchesSerialMultiset) {
       "SELECT P.StartVertex.Id, P.PathString FROM g.Paths P "
       "WHERE P.Length <= 3";
   auto run = [&](size_t parallelism) {
-    db_.options().max_parallelism = parallelism;
-    db_.options().parallel_min_rows = 1;
-    db_.options().parallel_min_starts = 1;
-    auto result = db_.Execute(sql);
+    session_.options().max_parallelism = parallelism;
+    session_.options().parallel_min_rows = 1;
+    session_.options().parallel_min_starts = 1;
+    auto result = session_.Execute(sql);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     std::multiset<std::string> out;
     for (const auto& row : result->rows) {
@@ -339,15 +340,15 @@ TEST_P(PathSemanticsTest, ParallelEnumerationMatchesSerialMultiset) {
   };
   for (auto traversal : {PlannerOptions::Traversal::kDfs,
                          PlannerOptions::Traversal::kBfs}) {
-    db_.options().default_traversal = traversal;
+    session_.options().default_traversal = traversal;
     auto serial = run(1);
     auto parallel = run(4);
     EXPECT_EQ(serial, parallel) << "seed=" << GetParam().seed;
   }
-  db_.options().default_traversal = PlannerOptions::Traversal::kAuto;
-  db_.options().max_parallelism = 0;
-  db_.options().parallel_min_rows = 2048;
-  db_.options().parallel_min_starts = 8;
+  session_.options().default_traversal = PlannerOptions::Traversal::kAuto;
+  session_.options().max_parallelism = 0;
+  session_.options().parallel_min_rows = 2048;
+  session_.options().parallel_min_starts = 8;
 }
 
 TEST_P(PathSemanticsTest, ParallelTopKShortestPathsKeepSerialOrder) {
@@ -360,10 +361,10 @@ TEST_P(PathSemanticsTest, ParallelTopKShortestPathsKeepSerialOrder) {
       "SELECT TOP 4 PS.Cost, PS.PathString FROM g.Paths PS "
       "HINT(SHORTESTPATH(w)) WHERE PS.EndVertex.Id = 4"};
   auto run = [&](const std::string& sql, size_t parallelism) {
-    db_.options().max_parallelism = parallelism;
-    db_.options().parallel_min_rows = 1;
-    db_.options().parallel_min_starts = 1;
-    auto result = db_.Execute(sql);
+    session_.options().max_parallelism = parallelism;
+    session_.options().parallel_min_rows = 1;
+    session_.options().parallel_min_starts = 1;
+    auto result = session_.Execute(sql);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     std::vector<std::string> out;
     for (const auto& row : result->rows) {
@@ -378,9 +379,9 @@ TEST_P(PathSemanticsTest, ParallelTopKShortestPathsKeepSerialOrder) {
     // Determinism across repeated parallel runs, not just one lucky draw.
     EXPECT_EQ(parallel, run(sql, 4)) << sql;
   }
-  db_.options().max_parallelism = 0;
-  db_.options().parallel_min_rows = 2048;
-  db_.options().parallel_min_starts = 8;
+  session_.options().max_parallelism = 0;
+  session_.options().parallel_min_rows = 2048;
+  session_.options().parallel_min_starts = 8;
 }
 
 TEST_P(PathSemanticsTest, LimitWithoutOrderByIsStableUnderParallelism) {
@@ -389,10 +390,10 @@ TEST_P(PathSemanticsTest, LimitWithoutOrderByIsStableUnderParallelism) {
   const std::string sql =
       "SELECT P.PathString FROM g.Paths P WHERE P.Length <= 2 LIMIT 5";
   auto run = [&](size_t parallelism) {
-    db_.options().max_parallelism = parallelism;
-    db_.options().parallel_min_rows = 1;
-    db_.options().parallel_min_starts = 1;
-    auto result = db_.Execute(sql);
+    session_.options().max_parallelism = parallelism;
+    session_.options().parallel_min_rows = 1;
+    session_.options().parallel_min_starts = 1;
+    auto result = session_.Execute(sql);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     std::vector<std::string> out;
     for (const auto& row : result->rows) out.push_back(row[0].AsVarchar());
@@ -402,21 +403,21 @@ TEST_P(PathSemanticsTest, LimitWithoutOrderByIsStableUnderParallelism) {
   for (int repeat = 0; repeat < 3; ++repeat) {
     EXPECT_EQ(run(4), serial) << "seed=" << GetParam().seed;
   }
-  db_.options().max_parallelism = 0;
-  db_.options().parallel_min_rows = 2048;
-  db_.options().parallel_min_starts = 8;
+  session_.options().max_parallelism = 0;
+  session_.options().parallel_min_rows = 2048;
+  session_.options().parallel_min_starts = 8;
 }
 
 TEST_P(PathSemanticsTest, ExplainAnalyzeReportsParallelFanOut) {
-  db_.options().max_parallelism = 4;
-  db_.options().parallel_min_rows = 1;
-  db_.options().parallel_min_starts = 1;
-  auto result = db_.Execute(
+  session_.options().max_parallelism = 4;
+  session_.options().parallel_min_rows = 1;
+  session_.options().parallel_min_starts = 1;
+  auto result = session_.Execute(
       "EXPLAIN ANALYZE SELECT P.StartVertex.Id, P.PathString "
       "FROM g.Paths P WHERE P.Length <= 2");
-  db_.options().max_parallelism = 0;
-  db_.options().parallel_min_rows = 2048;
-  db_.options().parallel_min_starts = 8;
+  session_.options().max_parallelism = 0;
+  session_.options().parallel_min_rows = 2048;
+  session_.options().parallel_min_starts = 8;
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   std::string plan;
   for (const auto& row : result->rows) plan += row[0].AsVarchar() + "\n";
@@ -432,15 +433,15 @@ TEST_P(PathSemanticsTest, ParallelMinStartsKnobDisablesProbeFanOut) {
   // clamp): raising it above the start count keeps every probe on the serial
   // scanner even though parallelism stays enabled for scans and builds.
   auto plan_for = [&](size_t min_starts) {
-    db_.options().max_parallelism = 4;
-    db_.options().parallel_min_rows = 1;
-    db_.options().parallel_min_starts = min_starts;
-    auto result = db_.Execute(
+    session_.options().max_parallelism = 4;
+    session_.options().parallel_min_rows = 1;
+    session_.options().parallel_min_starts = min_starts;
+    auto result = session_.Execute(
         "EXPLAIN ANALYZE SELECT P.PathString FROM g.Paths P "
         "WHERE P.Length <= 2");
-    db_.options().max_parallelism = 0;
-    db_.options().parallel_min_rows = 2048;
-    db_.options().parallel_min_starts = 8;
+    session_.options().max_parallelism = 0;
+    session_.options().parallel_min_rows = 2048;
+    session_.options().parallel_min_starts = 8;
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     std::string plan;
     if (result.ok()) {
@@ -465,15 +466,15 @@ TEST_P(PathSemanticsTest, TinyMemoryCapFallsBackToSerialUnderParallelism) {
       "HINT(SHORTESTPATH(w)) WHERE PS.EndVertex.Id = 4";
   auto run = [&](const std::string& sql, size_t parallelism,
                  size_t cap) -> StatusOr<std::multiset<std::string>> {
-    db_.options().max_parallelism = parallelism;
-    db_.options().parallel_min_rows = 1;
-    db_.options().parallel_min_starts = 1;
-    db_.options().memory_cap = cap;
-    auto result = db_.Execute(sql);
-    db_.options().max_parallelism = 0;
-    db_.options().parallel_min_rows = 2048;
-    db_.options().parallel_min_starts = 8;
-    db_.options().memory_cap = QueryContext::kDefaultMemoryCap;
+    session_.options().max_parallelism = parallelism;
+    session_.options().parallel_min_rows = 1;
+    session_.options().parallel_min_starts = 1;
+    session_.options().memory_cap = cap;
+    auto result = session_.Execute(sql);
+    session_.options().max_parallelism = 0;
+    session_.options().parallel_min_rows = 2048;
+    session_.options().parallel_min_starts = 8;
+    session_.options().memory_cap = QueryContext::kDefaultMemoryCap;
     if (!result.ok()) return result.status();
     std::multiset<std::string> rows;
     for (const auto& row : result->rows) {

@@ -217,7 +217,7 @@ class CancellationEngineTest : public ::testing::Test {
 
   void SetUp() override {
     FailpointRegistry::Global().DisarmAll();
-    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    ASSERT_TRUE(session_.ExecuteScript(R"sql(
       CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
       CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
                       w DOUBLE);
@@ -235,7 +235,7 @@ class CancellationEngineTest : public ::testing::Test {
     }
     ASSERT_TRUE(db_.BulkInsert("v", vrows).ok());
     ASSERT_TRUE(db_.BulkInsert("e", erows).ok());
-    ASSERT_TRUE(db_.ExecuteScript(
+    ASSERT_TRUE(session_.ExecuteScript(
                       "CREATE DIRECTED GRAPH VIEW g "
                       "VERTEXES (ID = id, name = name) FROM v "
                       "EDGES (ID = id, FROM = src, TO = dst, w = w) FROM e")
@@ -252,7 +252,7 @@ class CancellationEngineTest : public ::testing::Test {
         "SELECT P.PathString FROM g.Paths P");
     ASSERT_TRUE(stmt.ok());
     const SelectStmt& select = std::get<SelectStmt>(*stmt);
-    PlannerOptions options = db_.options();
+    PlannerOptions options = session_.options();
     if (parallel) {
       options.max_parallelism = 4;
       options.parallel_min_rows = 1;
@@ -299,6 +299,7 @@ class CancellationEngineTest : public ::testing::Test {
   }
 
   Database db_;
+  Session session_{db_};
 };
 
 TEST_F(CancellationEngineTest, SerialDeadlineUnwindsLeakFree) {
@@ -312,9 +313,9 @@ TEST_F(CancellationEngineTest, ParallelDeadlineUnwindsLeakFree) {
 TEST_F(CancellationEngineTest, StatementTimeoutReturnsDeadlineExceeded) {
   Counter* counter = EngineMetrics::Get().queries_deadline_exceeded;
   const uint64_t before = counter->value();
-  db_.options().statement_timeout_us = 10'000;
-  auto result = db_.Execute("SELECT P.PathString FROM g.Paths P");
-  db_.options().statement_timeout_us = -1;
+  session_.options().statement_timeout_us = 10'000;
+  auto result = session_.Execute("SELECT P.PathString FROM g.Paths P");
+  session_.options().statement_timeout_us = -1;
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_GT(counter->value(), before);
@@ -323,10 +324,10 @@ TEST_F(CancellationEngineTest, StatementTimeoutReturnsDeadlineExceeded) {
 TEST_F(CancellationEngineTest, InterruptHandleCancelsFromAnotherThread) {
   Counter* counter = EngineMetrics::Get().queries_cancelled;
   const uint64_t before = counter->value();
-  InterruptHandle handle = db_.interrupt_handle();
+  InterruptHandle handle = session_.interrupt_handle();
   Status status = Status::OK();
   std::thread runner([&] {
-    auto result = db_.Execute("SELECT P.PathString FROM g.Paths P");
+    auto result = session_.Execute("SELECT P.PathString FROM g.Paths P");
     status = result.status();
   });
   // Poke the handle until the statement stops: interrupts before the
@@ -348,17 +349,17 @@ TEST_F(CancellationEngineTest, InterruptHandleCancelsFromAnotherThread) {
 }
 
 TEST_F(CancellationEngineTest, InterruptWhileIdleIsANoop) {
-  db_.interrupt_handle().Interrupt();
-  auto result = db_.Execute("SELECT COUNT(*) FROM v");
+  session_.interrupt_handle().Interrupt();
+  auto result = session_.Execute("SELECT COUNT(*) FROM v");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->ScalarValue().AsBigInt(), kVertexes);
 }
 
 TEST_F(CancellationEngineTest, ExplainAnalyzeAnnotatesPartialExecution) {
-  db_.options().statement_timeout_us = 10'000;
+  session_.options().statement_timeout_us = 10'000;
   auto result =
-      db_.Execute("EXPLAIN ANALYZE SELECT P.PathString FROM g.Paths P");
-  db_.options().statement_timeout_us = -1;
+      session_.Execute("EXPLAIN ANALYZE SELECT P.PathString FROM g.Paths P");
+  session_.options().statement_timeout_us = -1;
   // A stopped EXPLAIN ANALYZE still renders the annotated plan, flagged as
   // partial with the status that stopped it.
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -408,7 +409,7 @@ class GraphViewAtomicityTest : public ::testing::Test {
  protected:
   void SetUp() override {
     FailpointRegistry::Global().DisarmAll();
-    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    ASSERT_TRUE(session_.ExecuteScript(R"sql(
       CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
       CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
                       w DOUBLE);
@@ -429,9 +430,9 @@ class GraphViewAtomicityTest : public ::testing::Test {
         "VERTEXES (ID = id, name = name) FROM v "
         "EDGES (ID = id, FROM = src, TO = dst, w = w) FROM e";
     ASSERT_TRUE(
-        db_.ExecuteScript("CREATE DIRECTED GRAPH VIEW g1 " + body).ok());
+        session_.ExecuteScript("CREATE DIRECTED GRAPH VIEW g1 " + body).ok());
     ASSERT_TRUE(
-        db_.ExecuteScript("CREATE DIRECTED GRAPH VIEW g2 " + body).ok());
+        session_.ExecuteScript("CREATE DIRECTED GRAPH VIEW g2 " + body).ok());
   }
 
   void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
@@ -452,7 +453,7 @@ class GraphViewAtomicityTest : public ::testing::Test {
   }
 
   int64_t CountRows(const std::string& table) {
-    auto result = db_.Execute("SELECT COUNT(*) FROM " + table);
+    auto result = session_.Execute("SELECT COUNT(*) FROM " + table);
     EXPECT_TRUE(result.ok());
     return result.ok() ? result->ScalarValue().AsBigInt() : -1;
   }
@@ -469,6 +470,7 @@ class GraphViewAtomicityTest : public ::testing::Test {
   }
 
   Database db_;
+  Session session_{db_};
 };
 
 TEST_F(GraphViewAtomicityTest, EdgeInsertFailureLeavesNothingBehind) {
@@ -476,11 +478,11 @@ TEST_F(GraphViewAtomicityTest, EdgeInsertFailureLeavesNothingBehind) {
   const uint64_t undo_before = undo->value();
   ArmEverySecond("graph_view.edge_insert");
   // Fails at g1's listener: base tuple must be rolled back, no view touched.
-  auto first = db_.Execute("INSERT INTO e VALUES (100, 0, 2, 1.0)");
+  auto first = session_.Execute("INSERT INTO e VALUES (100, 0, 2, 1.0)");
   ASSERT_FALSE(first.ok());
   EXPECT_TRUE(FailpointRegistry::IsInjected(first.status()));
   // Fails at g2's listener: g1's applied delta must be undone too.
-  auto second = db_.Execute("INSERT INTO e VALUES (101, 0, 3, 1.0)");
+  auto second = session_.Execute("INSERT INTO e VALUES (101, 0, 3, 1.0)");
   ASSERT_FALSE(second.ok());
   EXPECT_TRUE(FailpointRegistry::IsInjected(second.status()));
   EXPECT_GT(undo->value(), undo_before);
@@ -488,23 +490,23 @@ TEST_F(GraphViewAtomicityTest, EdgeInsertFailureLeavesNothingBehind) {
   EXPECT_EQ(CountRows("e"), 6);
   ExpectViewsEqualRebuild();
   // Disarmed, the same statements succeed and propagate to both views.
-  ASSERT_TRUE(db_.Execute("INSERT INTO e VALUES (100, 0, 2, 1.0)").ok());
+  ASSERT_TRUE(session_.Execute("INSERT INTO e VALUES (100, 0, 2, 1.0)").ok());
   EXPECT_EQ(CountRows("e"), 7);
   ExpectViewsEqualRebuild();
 }
 
 TEST_F(GraphViewAtomicityTest, EdgeDeleteFailureRestoresTopology) {
   ArmEverySecond("graph_view.edge_delete");
-  auto first = db_.Execute("DELETE FROM e WHERE id = 0");
+  auto first = session_.Execute("DELETE FROM e WHERE id = 0");
   ASSERT_FALSE(first.ok());
   EXPECT_TRUE(FailpointRegistry::IsInjected(first.status()));
-  auto second = db_.Execute("DELETE FROM e WHERE id = 1");
+  auto second = session_.Execute("DELETE FROM e WHERE id = 1");
   ASSERT_FALSE(second.ok());
   EXPECT_TRUE(FailpointRegistry::IsInjected(second.status()));
 
   EXPECT_EQ(CountRows("e"), 6);
   ExpectViewsEqualRebuild();
-  ASSERT_TRUE(db_.Execute("DELETE FROM e WHERE id = 1").ok());
+  ASSERT_TRUE(session_.Execute("DELETE FROM e WHERE id = 1").ok());
   EXPECT_EQ(CountRows("e"), 5);
   ExpectViewsEqualRebuild();
 }
@@ -512,30 +514,30 @@ TEST_F(GraphViewAtomicityTest, EdgeDeleteFailureRestoresTopology) {
 TEST_F(GraphViewAtomicityTest, EdgeUpdateFailureRestoresEndpoints) {
   ArmEverySecond("graph_view.edge_update");
   // Topology-changing update: dst moves to a different vertex.
-  auto first = db_.Execute("UPDATE e SET dst = 3 WHERE id = 0");
+  auto first = session_.Execute("UPDATE e SET dst = 3 WHERE id = 0");
   ASSERT_FALSE(first.ok());
   EXPECT_TRUE(FailpointRegistry::IsInjected(first.status()));
-  auto second = db_.Execute("UPDATE e SET dst = 4 WHERE id = 1");
+  auto second = session_.Execute("UPDATE e SET dst = 4 WHERE id = 1");
   ASSERT_FALSE(second.ok());
   EXPECT_TRUE(FailpointRegistry::IsInjected(second.status()));
 
   ExpectViewsEqualRebuild();
-  ASSERT_TRUE(db_.Execute("UPDATE e SET dst = 3 WHERE id = 0").ok());
+  ASSERT_TRUE(session_.Execute("UPDATE e SET dst = 3 WHERE id = 0").ok());
   ExpectViewsEqualRebuild();
 }
 
 TEST_F(GraphViewAtomicityTest, VertexInsertFailureLeavesNothingBehind) {
   ArmEverySecond("graph_view.vertex_insert");
-  auto first = db_.Execute("INSERT INTO v VALUES (100, 'x')");
+  auto first = session_.Execute("INSERT INTO v VALUES (100, 'x')");
   ASSERT_FALSE(first.ok());
   EXPECT_TRUE(FailpointRegistry::IsInjected(first.status()));
-  auto second = db_.Execute("INSERT INTO v VALUES (101, 'y')");
+  auto second = session_.Execute("INSERT INTO v VALUES (101, 'y')");
   ASSERT_FALSE(second.ok());
   EXPECT_TRUE(FailpointRegistry::IsInjected(second.status()));
 
   EXPECT_EQ(CountRows("v"), 6);
   ExpectViewsEqualRebuild();
-  ASSERT_TRUE(db_.Execute("INSERT INTO v VALUES (100, 'x')").ok());
+  ASSERT_TRUE(session_.Execute("INSERT INTO v VALUES (100, 'x')").ok());
   EXPECT_EQ(CountRows("v"), 7);
   ExpectViewsEqualRebuild();
 }
@@ -544,13 +546,13 @@ TEST_F(GraphViewAtomicityTest, OneShotFailureThenCleanRetry) {
   FailpointRegistry::Spec oneshot;
   oneshot.mode = FailpointRegistry::Spec::Mode::kOneShot;
   FailpointRegistry::Global().Arm("graph_view.edge_insert", oneshot);
-  auto failed = db_.Execute("INSERT INTO e VALUES (200, 2, 5, 1.0)");
+  auto failed = session_.Execute("INSERT INTO e VALUES (200, 2, 5, 1.0)");
   ASSERT_FALSE(failed.ok());
   EXPECT_TRUE(FailpointRegistry::IsInjected(failed.status()));
   EXPECT_EQ(CountRows("e"), 6);
   // The oneshot consumed itself during the failed statement; the retry runs
   // injection-free and must fully propagate.
-  auto retried = db_.Execute("INSERT INTO e VALUES (200, 2, 5, 1.0)");
+  auto retried = session_.Execute("INSERT INTO e VALUES (200, 2, 5, 1.0)");
   ASSERT_TRUE(retried.ok()) << retried.status().ToString();
   EXPECT_EQ(CountRows("e"), 7);
   ExpectViewsEqualRebuild();
@@ -562,14 +564,14 @@ TEST_F(GraphViewAtomicityTest, ChargeFailpointDoesNotLeakOrCorrupt) {
   FailpointRegistry::Spec oneshot;
   oneshot.mode = FailpointRegistry::Spec::Mode::kOneShot;
   FailpointRegistry::Global().Arm("exec.charge_bytes", oneshot);
-  auto result = db_.Execute(
+  auto result = session_.Execute(
       "SELECT P.PathString FROM g1.Paths P WHERE P.Length <= 2");
   if (!result.ok()) {
     EXPECT_TRUE(FailpointRegistry::IsInjected(result.status()))
         << result.status().ToString();
   }
   FailpointRegistry::Global().DisarmAll();
-  auto again = db_.Execute(
+  auto again = session_.Execute(
       "SELECT P.PathString FROM g1.Paths P WHERE P.Length <= 2");
   EXPECT_TRUE(again.ok()) << again.status().ToString();
   ExpectViewsEqualRebuild();

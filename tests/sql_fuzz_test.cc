@@ -121,7 +121,7 @@ class SqlFuzzTest : public ::testing::TestWithParam<uint64_t> {
  protected:
   void SetUp() override {
     Random rng(GetParam());
-    ASSERT_TRUE(db_.ExecuteScript(
+    ASSERT_TRUE(session_.ExecuteScript(
                       "CREATE TABLE t (id BIGINT PRIMARY KEY, a BIGINT, "
                       "b DOUBLE, c VARCHAR);"
                       "CREATE TABLE u (id BIGINT PRIMARY KEY, a BIGINT, "
@@ -163,6 +163,7 @@ class SqlFuzzTest : public ::testing::TestWithParam<uint64_t> {
   }
 
   Database db_;
+  Session session_{db_};
   std::vector<RefRow> t_rows_;
   std::vector<RefRow> u_rows_;
 };
@@ -171,7 +172,7 @@ TEST_P(SqlFuzzTest, FilterQueriesMatchReference) {
   Random rng(GetParam() * 7 + 1);
   for (int trial = 0; trial < 25; ++trial) {
     GeneratedPredicate pred = MakePredicate(&rng, 3);
-    auto result = db_.Execute("SELECT a, b, c FROM t WHERE " + pred.sql);
+    auto result = session_.Execute("SELECT a, b, c FROM t WHERE " + pred.sql);
     ASSERT_TRUE(result.ok()) << pred.sql << ": "
                              << result.status().ToString();
     size_t expected = 0;
@@ -187,8 +188,8 @@ TEST_P(SqlFuzzTest, CountMatchesRowCount) {
   Random rng(GetParam() * 13 + 5);
   for (int trial = 0; trial < 10; ++trial) {
     GeneratedPredicate pred = MakePredicate(&rng, 2);
-    auto rows = db_.Execute("SELECT id FROM t WHERE " + pred.sql);
-    auto count = db_.Execute("SELECT COUNT(*) FROM t WHERE " + pred.sql);
+    auto rows = session_.Execute("SELECT id FROM t WHERE " + pred.sql);
+    auto count = session_.Execute("SELECT COUNT(*) FROM t WHERE " + pred.sql);
     ASSERT_TRUE(rows.ok() && count.ok()) << pred.sql;
     EXPECT_EQ(count->ScalarValue().AsBigInt(),
               static_cast<int64_t>(rows->NumRows()))
@@ -247,7 +248,7 @@ TEST_P(SqlFuzzTest, EquiJoinMatchesNestedLoopsReference) {
     }
     std::string join_sql = "SELECT t.id, u.id FROM t, u WHERE t.a = u.a AND "
                            "(" + qualified_t + ") AND (" + qualified_u + ")";
-    auto result = db_.Execute(join_sql);
+    auto result = session_.Execute(join_sql);
     ASSERT_TRUE(result.ok()) << join_sql << ": "
                              << result.status().ToString();
     size_t expected = 0;
@@ -265,7 +266,7 @@ TEST_P(SqlFuzzTest, EquiJoinMatchesNestedLoopsReference) {
 }
 
 TEST_P(SqlFuzzTest, GroupByMatchesReference) {
-  auto result = db_.Execute(
+  auto result = session_.Execute(
       "SELECT c, COUNT(*), SUM(a), MIN(b) FROM t GROUP BY c ORDER BY c");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   std::map<std::string, std::tuple<int64_t, std::optional<int64_t>,
@@ -296,7 +297,7 @@ TEST_P(SqlFuzzTest, GroupByMatchesReference) {
 }
 
 TEST_P(SqlFuzzTest, OrderByIsStableAndSorted) {
-  auto result = db_.Execute("SELECT b FROM t WHERE b IS NOT NULL ORDER BY b");
+  auto result = session_.Execute("SELECT b FROM t WHERE b IS NOT NULL ORDER BY b");
   ASSERT_TRUE(result.ok());
   for (size_t i = 1; i < result->NumRows(); ++i) {
     EXPECT_LE(result->rows[i - 1][0].AsNumeric(),
@@ -305,7 +306,7 @@ TEST_P(SqlFuzzTest, OrderByIsStableAndSorted) {
 }
 
 TEST_P(SqlFuzzTest, DistinctMatchesReference) {
-  auto result = db_.Execute("SELECT DISTINCT c FROM t");
+  auto result = session_.Execute("SELECT DISTINCT c FROM t");
   ASSERT_TRUE(result.ok());
   std::set<std::string> expected;
   for (const RefRow& r : t_rows_) expected.insert(r.c);
@@ -313,14 +314,14 @@ TEST_P(SqlFuzzTest, DistinctMatchesReference) {
 }
 
 TEST_P(SqlFuzzTest, InsertSelectRoundTrip) {
-  ASSERT_TRUE(db_.Execute("CREATE TABLE copy (id BIGINT, a BIGINT, b DOUBLE, "
+  ASSERT_TRUE(session_.Execute("CREATE TABLE copy (id BIGINT, a BIGINT, b DOUBLE, "
                           "c VARCHAR)")
                   .ok());
   auto inserted =
-      db_.Execute("INSERT INTO copy SELECT id, a, b, c FROM t WHERE a > 2");
+      session_.Execute("INSERT INTO copy SELECT id, a, b, c FROM t WHERE a > 2");
   ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
-  auto original = db_.Execute("SELECT id, a, b, c FROM t WHERE a > 2");
-  auto copied = db_.Execute("SELECT id, a, b, c FROM copy");
+  auto original = session_.Execute("SELECT id, a, b, c FROM t WHERE a > 2");
+  auto copied = session_.Execute("SELECT id, a, b, c FROM copy");
   ASSERT_TRUE(original.ok() && copied.ok());
   EXPECT_EQ(inserted->rows_affected, original->NumRows());
   EXPECT_EQ(Canon(*original), Canon(*copied));
@@ -492,7 +493,8 @@ void RunGraphDifferentialSweep(uint64_t seed, int enum_trials, int sp_trials) {
   int64_t target_edges = rng.Uniform(graph.n, 3 * graph.n);
 
   Database db;
-  ASSERT_TRUE(db.ExecuteScript(R"sql(
+  Session session(db);
+  ASSERT_TRUE(session.ExecuteScript(R"sql(
     CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
     CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
                     w DOUBLE, rank BIGINT);
@@ -526,24 +528,24 @@ void RunGraphDifferentialSweep(uint64_t seed, int enum_trials, int sp_trials) {
       "VERTEXES (ID = id, name = name) FROM v "
       "EDGES (ID = id, FROM = src, TO = dst, w = w, rank = rank) FROM e;";
   const char* kind = graph.directed ? "DIRECTED" : "UNDIRECTED";
-  db.options().max_parallelism = 1;
-  ASSERT_TRUE(db.ExecuteScript(
+  session.options().max_parallelism = 1;
+  ASSERT_TRUE(session.ExecuteScript(
                     StrFormat("CREATE %s GRAPH VIEW g %s", kind,
                               view_body.c_str()))
                   .ok());
-  db.options().max_parallelism = 4;
-  db.options().parallel_min_rows = 1;
-  db.options().parallel_min_starts = 1;
-  ASSERT_TRUE(db.ExecuteScript(
+  session.options().max_parallelism = 4;
+  session.options().parallel_min_rows = 1;
+  session.options().parallel_min_starts = 1;
+  ASSERT_TRUE(session.ExecuteScript(
                     StrFormat("CREATE %s GRAPH VIEW gp %s", kind,
                               view_body.c_str()))
                   .ok());
 
   auto run_at = [&](const std::string& sql, size_t parallelism) {
-    db.options().max_parallelism = parallelism;
-    db.options().parallel_min_rows = 1;
-    db.options().parallel_min_starts = 1;
-    auto result = db.Execute(sql);
+    session.options().max_parallelism = parallelism;
+    session.options().parallel_min_rows = 1;
+    session.options().parallel_min_starts = 1;
+    auto result = session.Execute(sql);
     EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
     return result;
   };
@@ -661,9 +663,9 @@ void RunGraphDifferentialSweep(uint64_t seed, int enum_trials, int sp_trials) {
       MetricsRegistry::Global().GetCounter("taskpool_tasks_total")->value();
   EXPECT_GT(tasks_after, tasks_before)
       << "no task-pool work observed: parallel paths never engaged";
-  db.options().max_parallelism = 0;
-  db.options().parallel_min_rows = 2048;
-  db.options().parallel_min_starts = 8;
+  session.options().max_parallelism = 0;
+  session.options().parallel_min_rows = 2048;
+  session.options().parallel_min_starts = 8;
 }
 
 class GraphDiffFuzzTest : public ::testing::TestWithParam<uint64_t> {};
@@ -751,7 +753,8 @@ void RunFaultInjectionSweep(uint64_t seed, int trials) {
   Random rng(seed);
 
   Database db;
-  ASSERT_TRUE(db.ExecuteScript(R"sql(
+  Session session(db);
+  ASSERT_TRUE(session.ExecuteScript(R"sql(
     CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
     CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, w DOUBLE);
   )sql")
@@ -767,9 +770,9 @@ void RunFaultInjectionSweep(uint64_t seed, int trials) {
   const std::string view_body =
       "VERTEXES (ID = id, name = name) FROM v "
       "EDGES (ID = id, FROM = src, TO = dst, w = w) FROM e";
-  ASSERT_TRUE(db.ExecuteScript("CREATE DIRECTED GRAPH VIEW g1 " + view_body)
+  ASSERT_TRUE(session.ExecuteScript("CREATE DIRECTED GRAPH VIEW g1 " + view_body)
                   .ok());
-  ASSERT_TRUE(db.ExecuteScript("CREATE DIRECTED GRAPH VIEW g2 " + view_body)
+  ASSERT_TRUE(session.ExecuteScript("CREATE DIRECTED GRAPH VIEW g2 " + view_body)
                   .ok());
 
   static const char* kSites[] = {
@@ -789,8 +792,8 @@ void RunFaultInjectionSweep(uint64_t seed, int trials) {
     // Snapshot live ids so generated statements mostly reference real rows.
     std::vector<int64_t> vids, eids;
     {
-      auto vres = db.Execute("SELECT id FROM v");
-      auto eres = db.Execute("SELECT id FROM e");
+      auto vres = session.Execute("SELECT id FROM v");
+      auto eres = session.Execute("SELECT id FROM e");
       ASSERT_TRUE(vres.ok() && eres.ok());
       for (const auto& row : vres->rows) vids.push_back(row[0].AsBigInt());
       for (const auto& row : eres->rows) eids.push_back(row[0].AsBigInt());
@@ -886,7 +889,7 @@ void RunFaultInjectionSweep(uint64_t seed, int trials) {
     // Volcano loop, so deadlines only apply to query execution), and an
     // every=N arming of exec.next to stop at a random Next() call.
     if (!is_dml && rng.Bernoulli(0.2)) {
-      db.options().statement_timeout_us = 0;
+      session.options().statement_timeout_us = 0;
     }
     if (!is_dml && rng.Bernoulli(0.3)) {
       FailpointRegistry::Spec cancel_at_next;
@@ -896,9 +899,9 @@ void RunFaultInjectionSweep(uint64_t seed, int trials) {
       all_oneshot = false;
     }
 
-    auto result = db.Execute(sql);
+    auto result = session.Execute(sql);
 
-    db.options().statement_timeout_us = -1;
+    session.options().statement_timeout_us = -1;
     failpoints.DisarmAll();
 
     if (!result.ok()) {
@@ -921,8 +924,8 @@ void RunFaultInjectionSweep(uint64_t seed, int trials) {
       // statement must leave row counts untouched and a successful one must
       // apply exactly its delta.
       if (all_oneshot) {
-        auto vres = db.Execute("SELECT COUNT(*) FROM v");
-        auto eres = db.Execute("SELECT COUNT(*) FROM e");
+        auto vres = session.Execute("SELECT COUNT(*) FROM v");
+        auto eres = session.Execute("SELECT COUNT(*) FROM e");
         ASSERT_TRUE(vres.ok() && eres.ok());
         const int64_t dv = vres->ScalarValue().AsBigInt() - vcount_before;
         const int64_t de = eres->ScalarValue().AsBigInt() - ecount_before;
@@ -941,8 +944,8 @@ void RunFaultInjectionSweep(uint64_t seed, int trials) {
     if (trial % 10 == 9) {
       DiffGraph graph;
       graph.directed = true;
-      auto eres = db.Execute("SELECT id, src, dst FROM e");
-      auto vres = db.Execute("SELECT id FROM v");
+      auto eres = session.Execute("SELECT id, src, dst FROM e");
+      auto vres = session.Execute("SELECT id FROM v");
       ASSERT_TRUE(eres.ok() && vres.ok());
       DiffQuery q;
       q.min_len = 1;
@@ -957,7 +960,7 @@ void RunFaultInjectionSweep(uint64_t seed, int trials) {
       }
       auto expected = DiffReference(graph, q);
       for (const char* view : {"g1", "g2"}) {
-        auto got = db.Execute(StrFormat(
+        auto got = session.Execute(StrFormat(
             "SELECT P.StartVertex.Id, P.PathString FROM %s.Paths P "
             "WHERE P.Length <= 2",
             view));
@@ -991,6 +994,163 @@ TEST(FaultInjectionFuzzEnvTest, EnvironmentSeedSweep) {
     seed = std::strtoull(env, nullptr, 10) + 1;  // Decorrelate from GraphDiff.
   }
   RunFaultInjectionSweep(seed, /*trials=*/30);
+}
+
+// --- Plan-cache differential sweep --------------------------------------------------
+//
+// Interleaves DML, DDL, and graph-view churn with repeated execution of a
+// fixed query pool through one session (so re-executions hit the plan cache)
+// and through prepared statements. Every comparison trial re-runs the same
+// SQL with the plan cache flushed: a cached or prepared plan must produce
+// exactly the rows a cold plan produces, no matter how much the catalog
+// changed since the plan was built.
+void RunPlanCacheChurnSweep(uint64_t seed, int trials) {
+  SCOPED_TRACE(StrFormat("plan-cache seed=%llu",
+                         static_cast<unsigned long long>(seed)));
+  Random rng(seed);
+  Database db;
+  Session session(db);
+  ASSERT_TRUE(session.ExecuteScript(R"sql(
+    CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
+    CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, w DOUBLE);
+  )sql")
+                  .ok());
+  std::vector<std::vector<Value>> vrows, erows;
+  for (int64_t i = 0; i < 10; ++i) {
+    vrows.push_back({Value::BigInt(i), Value::Varchar("v")});
+    erows.push_back({Value::BigInt(i), Value::BigInt(i),
+                     Value::BigInt((i + 1) % 10), Value::Double(1.0)});
+  }
+  ASSERT_TRUE(db.BulkInsert("v", vrows).ok());
+  ASSERT_TRUE(db.BulkInsert("e", erows).ok());
+  const std::string view_body =
+      "VERTEXES (ID = id, name = name) FROM v "
+      "EDGES (ID = id, FROM = src, TO = dst, w = w) FROM e";
+  ASSERT_TRUE(
+      session.ExecuteScript("CREATE DIRECTED GRAPH VIEW g " + view_body).ok());
+
+  auto canon = [](const ResultSet& result) {
+    std::multiset<std::string> out;
+    for (const auto& row : result.rows) {
+      std::string key;
+      for (const Value& value : row) {
+        key += value.ToString();
+        key += '|';
+      }
+      out.insert(std::move(key));
+    }
+    return out;
+  };
+
+  // The cached query pool: relational, graph traversal, and aggregate shapes.
+  const std::vector<std::string> pool = {
+      "SELECT id, src, dst FROM e WHERE src < 7",
+      "SELECT COUNT(*) FROM e",
+      "SELECT V.name FROM g.Vertexes V WHERE V.ID < 5",
+      "SELECT P.StartVertex.Id, P.PathString FROM g.Paths P "
+      "WHERE P.Length <= 2",
+      "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 1 "
+      "AND P.Length <= 3",
+  };
+
+  // Prepared statements survive across churn; re-binding random parameters
+  // must track the live catalog exactly like freshly planned SQL.
+  auto prep_rel = session.Prepare("SELECT id FROM e WHERE src >= $1");
+  ASSERT_TRUE(prep_rel.ok()) << prep_rel.status().ToString();
+  auto prep_graph = session.Prepare(
+      "SELECT P.PathString FROM g.Paths P "
+      "WHERE P.StartVertex.Id = ? AND P.Length <= 2");
+  ASSERT_TRUE(prep_graph.ok()) << prep_graph.status().ToString();
+
+  const uint64_t hits_before = EngineMetrics::Get().plan_cache_hits->value();
+  int64_t next_id = 500;
+  for (int trial = 0; trial < trials; ++trial) {
+    SCOPED_TRACE(StrFormat("trial=%d", trial));
+    const int dice = static_cast<int>(rng.Uniform(0, 9));
+    if (dice < 3) {
+      // DML churn: grow or shrink the edge table (propagates into the view).
+      if (rng.Bernoulli(0.6)) {
+        auto r = session.Execute(StrFormat(
+            "INSERT INTO e VALUES (%lld, %lld, %lld, 1.0)",
+            static_cast<long long>(next_id++),
+            static_cast<long long>(rng.Uniform(0, 9)),
+            static_cast<long long>(rng.Uniform(0, 9))));
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+      } else {
+        auto r = session.Execute(StrFormat(
+            "DELETE FROM e WHERE id = %lld",
+            static_cast<long long>(rng.Uniform(500, next_id))));
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+      }
+    } else if (dice < 5) {
+      // DDL / graph-view churn: every branch bumps the catalog version, so
+      // all cached plans (including the prepared ones) must be invalidated.
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(session.Execute("DROP GRAPH VIEW g").ok());
+        ASSERT_TRUE(
+            session.ExecuteScript("CREATE DIRECTED GRAPH VIEW g " + view_body)
+                .ok());
+      } else {
+        ASSERT_TRUE(
+            session.Execute("CREATE TABLE scratch (id BIGINT)").ok());
+        ASSERT_TRUE(session.Execute("DROP TABLE scratch").ok());
+      }
+    }
+
+    // Execute one pooled query twice — the second run is a guaranteed cache
+    // hit of the instance released by the first — then compare against a
+    // cold plan with the cache flushed.
+    const std::string& sql = pool[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+    auto warm1 = session.Execute(sql);
+    auto warm2 = session.Execute(sql);
+    ASSERT_TRUE(warm1.ok() && warm2.ok()) << sql;
+    db.plan_cache().Clear();
+    auto cold = session.Execute(sql);
+    ASSERT_TRUE(cold.ok()) << sql << ": " << cold.status().ToString();
+    EXPECT_EQ(canon(*warm1), canon(*cold)) << sql;
+    EXPECT_EQ(canon(*warm2), canon(*cold)) << sql;
+
+    // Prepared re-execution vs the same SQL with the literal inlined.
+    const int64_t bound = rng.Uniform(0, 9);
+    auto via_prep = prep_rel->Execute({Value::BigInt(bound)});
+    auto via_sql = session.Execute(StrFormat(
+        "SELECT id FROM e WHERE src >= %lld", static_cast<long long>(bound)));
+    ASSERT_TRUE(via_prep.ok() && via_sql.ok());
+    EXPECT_EQ(canon(*via_prep), canon(*via_sql)) << "src >= " << bound;
+
+    const int64_t start = rng.Uniform(0, 9);
+    auto graph_prep = prep_graph->Execute({Value::BigInt(start)});
+    auto graph_sql = session.Execute(StrFormat(
+        "SELECT P.PathString FROM g.Paths P "
+        "WHERE P.StartVertex.Id = %lld AND P.Length <= 2",
+        static_cast<long long>(start)));
+    ASSERT_TRUE(graph_prep.ok() && graph_sql.ok());
+    EXPECT_EQ(canon(*graph_prep), canon(*graph_sql)) << "start " << start;
+  }
+  // The warm re-executions above must actually have exercised the cache.
+  EXPECT_GT(EngineMetrics::Get().plan_cache_hits->value(), hits_before);
+}
+
+class PlanCacheChurnFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlanCacheChurnFuzzTest, CachedPlansMatchColdPlansAcrossChurn) {
+  RunPlanCacheChurnSweep(GetParam(), /*trials=*/30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanCacheChurnFuzzTest,
+                         ::testing::Values(31, 32, 33),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Environment-seeded plan-cache sweep: CI rolls a fresh seed per run.
+TEST(PlanCacheChurnFuzzEnvTest, EnvironmentSeedSweep) {
+  uint64_t seed = 20260808;
+  if (const char* env = std::getenv("GRF_FUZZ_SEED")) {
+    seed = std::strtoull(env, nullptr, 10) + 2;  // Decorrelate from the rest.
+  }
+  RunPlanCacheChurnSweep(seed, /*trials=*/20);
 }
 
 }  // namespace

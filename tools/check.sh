@@ -31,15 +31,21 @@ run_config() {
 run_graph_diff() {
   local dir="$1"
   ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation'
+    -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation|Session|PlanCache|Prepared|Concurrency'
   local seed="${GRF_FUZZ_SEED:-$RANDOM$RANDOM}"
   echo "== graph differential + fault-injection suites, random seed ${seed} =="
   GRF_FUZZ_SEED="$seed" ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiffFuzzEnvTest|FaultInjectionFuzzEnvTest'
+    -R 'GraphDiffFuzzEnvTest|FaultInjectionFuzzEnvTest|PlanCacheChurnFuzzEnvTest'
 }
 
 echo "== tier-1 (RelWithDebInfo) =="
 run_config build -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+# Session-layer throughput smoke: exercises the plan cache, prepared
+# statements, and multi-session shared-read execution end to end, and leaves
+# BENCH_throughput.json behind for inspection.
+echo "== throughput smoke (plan cache + sessions) =="
+GRF_BENCH_MIN_TIME="${GRF_BENCH_MIN_TIME:-0.05}" ./build/bench/throughput
 
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== sanitize (Debug + ASan/UBSan) =="
