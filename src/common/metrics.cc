@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/string_util.h"
@@ -26,7 +27,9 @@ uint64_t Histogram::BucketUpperBound(size_t i) {
 }
 
 uint64_t Histogram::PercentileApprox(double q) const {
-  if (q < 0.0) q = 0.0;
+  // `!(q >= 0.0)` also catches NaN, which would otherwise survive both
+  // comparisons and produce an undefined float->int cast below.
+  if (!(q >= 0.0)) q = 0.0;
   if (q > 1.0) q = 1.0;
   uint64_t total = count();
   if (total == 0) return 0;
@@ -34,7 +37,10 @@ uint64_t Histogram::PercentileApprox(double q) const {
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += BucketCount(i);
-    if (seen > rank) return BucketUpperBound(i);
+    // Clamp to the observed max: a bucket's upper bound can exceed every
+    // value that actually landed in it (q=1.0 would otherwise report 2^i-1
+    // for a single observation of, say, 5000).
+    if (seen > rank) return std::min(BucketUpperBound(i), max());
   }
   return max();
 }
@@ -197,6 +203,7 @@ EngineMetrics::EngineMetrics() {
   plan_cache_hits = r.GetCounter("plan_cache_hits");
   plan_cache_misses = r.GetCounter("plan_cache_misses");
   plan_cache_evictions = r.GetCounter("plan_cache_evictions");
+  plan_cache_entries = r.GetGauge("plan_cache_entries");
   graph_views_built_total = r.GetCounter("graph_views_built_total");
   graph_view_build_us = r.GetHistogram("graph_view_build_us");
   graph_view_updates_total = r.GetCounter("graph_view_updates_total");

@@ -155,6 +155,7 @@ struct EngineMetrics {
   Counter* plan_cache_hits;
   Counter* plan_cache_misses;
   Counter* plan_cache_evictions;
+  Gauge* plan_cache_entries;  ///< Current entry count (insert/evict/clear).
 
   // Graph-view lifecycle and online maintenance (paper §3.2/§3.3).
   Counter* graph_views_built_total;

@@ -1,0 +1,137 @@
+#include "common/tracer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grfusion {
+
+namespace {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// --- QueryTrace --------------------------------------------------------------------
+
+QueryTrace::QueryTrace() : epoch_ns_(NowNs()) {}
+
+uint64_t QueryTrace::NowUs() const { return (NowNs() - epoch_ns_) / 1000; }
+
+void QueryTrace::AddComplete(
+    const char* category, std::string name, uint64_t start_us, uint64_t dur_us,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.start_us = start_us;
+  ev.dur_us = dur_us;
+  ev.tid = TraceThreadId();
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+size_t QueryTrace::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string QueryTrace::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    out += StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu,"
+        "\"dur\":%llu,\"pid\":1,\"tid\":%u",
+        JsonEscape(ev.name).c_str(), ev.category,
+        static_cast<unsigned long long>(ev.start_us),
+        static_cast<unsigned long long>(ev.dur_us), ev.tid);
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t a = 0; a < ev.args.size(); ++a) {
+        if (a > 0) out += ",";
+        out += StrFormat("\"%s\":\"%s\"", JsonEscape(ev.args[a].first).c_str(),
+                         JsonEscape(ev.args[a].second).c_str());
+      }
+      out += "}";
+    }
+    out += "}";
+    if (i + 1 < events_.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}";
+  return out;
+}
+
+// --- TraceSink ---------------------------------------------------------------------
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = [] {
+    const char* dir = std::getenv("GRF_TRACE_DIR");
+    int64_t every_n = 0;
+    if (dir != nullptr && dir[0] != '\0') {
+      every_n = 64;
+      if (const char* n = std::getenv("GRF_TRACE_SAMPLE")) {
+        char* end = nullptr;
+        long long parsed = std::strtoll(n, &end, 10);
+        if (end != n && parsed > 0) every_n = parsed;
+      }
+    }
+    return new TraceSink(dir == nullptr ? "" : dir, every_n);
+  }();
+  return *sink;
+}
+
+void TraceSink::Write(uint64_t query_id, const QueryTrace& trace) const {
+  if (!enabled()) return;
+  std::string path = StrFormat("%s/trace_%llu.json", dir_.c_str(),
+                               static_cast<unsigned long long>(query_id));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    GRF_LOG(kWarn, "cannot open trace file '%s'; trace dropped", path.c_str());
+    return;
+  }
+  std::string json = trace.ToChromeJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace grfusion

@@ -1,0 +1,150 @@
+#ifndef GRFUSION_COMMON_TRACER_H_
+#define GRFUSION_COMMON_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace grfusion {
+
+/// Structured, span-based query tracing.
+///
+/// A QueryTrace records the span tree of one statement execution — parse,
+/// plan-cache lookup, plan, execute, one span per physical operator, and one
+/// span per parallel worker — and renders it as Chrome trace-event JSON
+/// (loadable in chrome://tracing / Perfetto). Tracing is armed per statement:
+/// by `EXPLAIN TRACE <stmt>`, or by the 1-in-N sampling sink configured with
+/// the GRF_TRACE_DIR environment variable. A disarmed statement pays only a
+/// null-pointer test at each would-be span site.
+///
+/// Concurrency: Add() appends under a mutex, which parallel workers share.
+/// Span sites fire once per operator / worker / phase — never per row — so
+/// the lock is far off every hot path.
+
+/// Small stable integer identifying the calling thread in trace output
+/// (Chrome trace "tid"). Assigned densely in first-call order, so traces are
+/// readable and test assertions can count distinct values.
+uint32_t TraceThreadId();
+
+/// One completed span ("X" phase event in the Chrome trace-event format).
+struct TraceEvent {
+  std::string name;       ///< Span label, e.g. "execute" or an operator name.
+  const char* category;   ///< Static string: "session", "operator", "worker".
+  uint64_t start_us = 0;  ///< Microseconds since the trace epoch.
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+  /// Small key/value annotations rendered into the event's "args" object.
+  /// Values are emitted as JSON strings (escaped).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class QueryTrace {
+ public:
+  QueryTrace();
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// Microseconds elapsed since this trace was created (the trace epoch).
+  uint64_t NowUs() const;
+
+  /// Appends one completed span; `tid` is captured from the calling thread.
+  /// Thread-safe.
+  void AddComplete(const char* category, std::string name, uint64_t start_us,
+                   uint64_t dur_us,
+                   std::vector<std::pair<std::string, std::string>> args = {});
+
+  size_t NumEvents() const;
+
+  /// Renders {"traceEvents":[...]} with one event per line, so the output
+  /// splits cleanly into result rows and still parses as one JSON document.
+  std::string ToChromeJson() const;
+
+ private:
+  const uint64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: captures the start time at construction and appends one
+/// completed event at destruction. A null trace makes every method a no-op,
+/// so call sites don't branch.
+class TraceSpan {
+ public:
+  TraceSpan(QueryTrace* trace, const char* category, std::string name)
+      : trace_(trace), category_(category) {
+    if (trace_ != nullptr) {
+      name_ = std::move(name);
+      start_us_ = trace_->NowUs();
+    }
+  }
+
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void AddArg(std::string key, std::string value) {
+    if (trace_ != nullptr) {
+      args_.emplace_back(std::move(key), std::move(value));
+    }
+  }
+
+  /// Ends the span early (before destruction). Idempotent.
+  void End() {
+    if (trace_ == nullptr) return;
+    trace_->AddComplete(category_, std::move(name_), start_us_,
+                        trace_->NowUs() - start_us_, std::move(args_));
+    trace_ = nullptr;
+  }
+
+ private:
+  QueryTrace* trace_;
+  const char* category_;
+  std::string name_;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Always-on sampling sink. When the GRF_TRACE_DIR environment variable
+/// names a directory, every Nth statement (GRF_TRACE_SAMPLE, default 64)
+/// executed through a Session records a full QueryTrace and writes it to
+/// `<dir>/trace_<query_id>.json`. With GRF_TRACE_DIR unset the sink is
+/// disabled and sampling costs one relaxed load per statement.
+class TraceSink {
+ public:
+  /// Process-wide sink, configured from the environment on first use.
+  static TraceSink& Global();
+
+  /// Explicit configuration (tests). `every_n` <= 0 disables.
+  TraceSink(std::string dir, int64_t every_n)
+      : dir_(std::move(dir)), every_n_(every_n) {}
+
+  bool enabled() const { return every_n_ > 0 && !dir_.empty(); }
+
+  /// True when the calling statement should be traced (1-in-N, shared
+  /// counter across sessions).
+  bool ShouldSample() {
+    if (!enabled()) return false;
+    return counter_.fetch_add(1, std::memory_order_relaxed) % every_n_ == 0;
+  }
+
+  /// Writes `trace` to `<dir>/trace_<query_id>.json`. Failures are logged
+  /// and swallowed: tracing must never fail a statement.
+  void Write(uint64_t query_id, const QueryTrace& trace) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  int64_t every_n_ = 0;
+  std::atomic<uint64_t> counter_{0};
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_COMMON_TRACER_H_

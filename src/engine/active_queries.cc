@@ -1,0 +1,77 @@
+#include "engine/active_queries.h"
+
+#include "common/string_util.h"
+
+namespace grfusion {
+
+uint64_t ActiveQueryRegistry::Register(uint64_t session_id, std::string sql,
+                                       std::string kind,
+                                       CancellationToken* token,
+                                       const std::atomic<uint64_t>* rows) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Entry entry;
+  entry.session_id = session_id;
+  entry.sql = std::move(sql);
+  entry.kind = std::move(kind);
+  entry.start_ns = CancellationToken::NowNs();
+  entry.token = token;
+  entry.rows = rows;
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(id, std::move(entry));
+  return id;
+}
+
+void ActiveQueryRegistry::Unregister(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(query_id);
+}
+
+Status ActiveQueryRegistry::Kill(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(query_id);
+  if (it == entries_.end()) {
+    return Status::NotFound(
+        StrFormat("query %llu is not currently executing",
+                  static_cast<unsigned long long>(query_id)));
+  }
+  if (it->second.token == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("query %llu is not interruptible",
+                  static_cast<unsigned long long>(query_id)));
+  }
+  // Cancel under the mutex: the entry's presence guarantees the token is
+  // still alive (Unregister removes the entry before the token dies).
+  it->second.token->Cancel();
+  return Status::OK();
+}
+
+std::vector<ActiveQueryRegistry::Info> ActiveQueryRegistry::Snapshot() const {
+  const int64_t now_ns = CancellationToken::NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Info> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    Info info;
+    info.query_id = id;
+    info.session_id = e.session_id;
+    info.sql = e.sql;
+    info.kind = e.kind;
+    info.state =
+        e.token != nullptr && e.token->stopped() ? "cancelling" : "running";
+    info.elapsed_us =
+        now_ns > e.start_ns ? static_cast<uint64_t>(now_ns - e.start_ns) / 1000
+                            : 0;
+    info.rows =
+        e.rows == nullptr ? 0 : e.rows->load(std::memory_order_relaxed);
+    info.killable = e.token != nullptr;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+size_t ActiveQueryRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace grfusion

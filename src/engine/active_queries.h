@@ -1,0 +1,79 @@
+#ifndef GRFUSION_ENGINE_ACTIVE_QUERIES_H_
+#define GRFUSION_ENGINE_ACTIVE_QUERIES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+
+namespace grfusion {
+
+/// Registry of in-flight statements, shared by all sessions of a Database.
+/// Backs the SYS.ACTIVE_QUERIES virtual table and the KILL statement.
+///
+/// Every statement execution registers on entry — receiving a
+/// database-unique query id — and unregisters on exit. SELECT-family
+/// statements additionally publish their CancellationToken and a live
+/// rows-emitted counter; `KILL <query_id>` fires that token, which the
+/// target statement observes at its next cooperative interrupt check.
+///
+/// Lifetime contract: the token and rows counter typically live on the
+/// executing statement's stack. Unregister() removes the entry under the
+/// registry mutex *before* those objects die, and Kill()/Snapshot() only
+/// touch them while holding the same mutex with the entry still present, so
+/// neither can observe a dangling pointer.
+class ActiveQueryRegistry {
+ public:
+  /// Registers one starting statement. `token` may be null (statement not
+  /// interruptible — e.g. interrupts disabled, or a DML statement); `rows`
+  /// may be null (no live row counter). Returns the assigned query id.
+  uint64_t Register(uint64_t session_id, std::string sql, std::string kind,
+                    CancellationToken* token,
+                    const std::atomic<uint64_t>* rows);
+
+  void Unregister(uint64_t query_id);
+
+  /// Cancels the statement `query_id`. NotFound if it is not currently
+  /// executing (wrong id, or already finished); InvalidArgument if it is
+  /// running without a cancellation token.
+  Status Kill(uint64_t query_id);
+
+  /// Row snapshot for SYS.ACTIVE_QUERIES.
+  struct Info {
+    uint64_t query_id = 0;
+    uint64_t session_id = 0;
+    std::string sql;
+    std::string kind;
+    std::string state;  ///< "running" | "cancelling".
+    uint64_t elapsed_us = 0;
+    uint64_t rows = 0;
+    bool killable = false;
+  };
+  std::vector<Info> Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t session_id = 0;
+    std::string sql;
+    std::string kind;
+    int64_t start_ns = 0;  ///< CancellationToken::NowNs() timebase.
+    CancellationToken* token = nullptr;
+    const std::atomic<uint64_t>* rows = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  /// Ordered map so SYS.ACTIVE_QUERIES lists queries oldest-first.
+  std::map<uint64_t, Entry> entries_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_ENGINE_ACTIVE_QUERIES_H_

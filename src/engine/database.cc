@@ -157,6 +157,8 @@ void Database::RegisterSystemTables() {
     Schema schema;
     schema.AddColumn(Column("SQL", ValueType::kVarchar));
     schema.AddColumn(Column("ENTRY_HITS", ValueType::kBigInt));
+    schema.AddColumn(Column("MISSES", ValueType::kBigInt));
+    schema.AddColumn(Column("HIT_RATE", ValueType::kDouble));
     schema.AddColumn(Column("IDLE_INSTANCES", ValueType::kBigInt));
     schema.AddColumn(Column("CATALOG_VERSION", ValueType::kBigInt));
     catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
@@ -167,8 +169,81 @@ void Database::RegisterSystemTables() {
             rows.push_back(
                 {Value::Varchar(e.sql),
                  Value::BigInt(static_cast<int64_t>(e.hits)),
+                 Value::BigInt(static_cast<int64_t>(e.misses)),
+                 Value::Double(e.hit_rate),
                  Value::BigInt(static_cast<int64_t>(e.idle_instances)),
                  Value::BigInt(static_cast<int64_t>(e.catalog_version))});
+          }
+          return rows;
+        }));
+  }
+  // SYS.STATEMENTS: pg_stat_statements-style cumulative store, one row per
+  // normalized statement text, aggregated across every session.
+  {
+    Schema schema;
+    schema.AddColumn(Column("SQL", ValueType::kVarchar));
+    schema.AddColumn(Column("KIND", ValueType::kVarchar));
+    schema.AddColumn(Column("CALLS", ValueType::kBigInt));
+    schema.AddColumn(Column("ERRORS", ValueType::kBigInt));
+    schema.AddColumn(Column("TOTAL_US", ValueType::kBigInt));
+    schema.AddColumn(Column("MIN_US", ValueType::kBigInt));
+    schema.AddColumn(Column("MAX_US", ValueType::kBigInt));
+    schema.AddColumn(Column("MEAN_US", ValueType::kDouble));
+    schema.AddColumn(Column("P99_US", ValueType::kBigInt));
+    schema.AddColumn(Column("ROWS", ValueType::kBigInt));
+    schema.AddColumn(Column("PEAK_BYTES", ValueType::kBigInt));
+    schema.AddColumn(Column("PLAN_CACHE_HITS", ValueType::kBigInt));
+    schema.AddColumn(Column("CANCELLED", ValueType::kBigInt));
+    schema.AddColumn(Column("DEADLINE_EXCEEDED", ValueType::kBigInt));
+    catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
+        "SYS.STATEMENTS", std::move(schema),
+        [this]() -> StatusOr<std::vector<std::vector<Value>>> {
+          std::vector<std::vector<Value>> rows;
+          for (const StatementStats::Row& r : statement_stats_.Snapshot()) {
+            rows.push_back(
+                {Value::Varchar(r.sql), Value::Varchar(r.kind),
+                 Value::BigInt(static_cast<int64_t>(r.calls)),
+                 Value::BigInt(static_cast<int64_t>(r.errors)),
+                 Value::BigInt(static_cast<int64_t>(r.total_us)),
+                 Value::BigInt(static_cast<int64_t>(r.min_us)),
+                 Value::BigInt(static_cast<int64_t>(r.max_us)),
+                 Value::Double(r.mean_us),
+                 Value::BigInt(static_cast<int64_t>(r.p99_us)),
+                 Value::BigInt(static_cast<int64_t>(r.rows)),
+                 Value::BigInt(static_cast<int64_t>(r.peak_bytes)),
+                 Value::BigInt(static_cast<int64_t>(r.plan_cache_hits)),
+                 Value::BigInt(static_cast<int64_t>(r.cancelled)),
+                 Value::BigInt(static_cast<int64_t>(r.deadline_exceeded))});
+          }
+          return rows;
+        }));
+  }
+  // SYS.ACTIVE_QUERIES: statements executing right now, oldest first. The
+  // QUERY_ID column is what KILL takes.
+  {
+    Schema schema;
+    schema.AddColumn(Column("QUERY_ID", ValueType::kBigInt));
+    schema.AddColumn(Column("SESSION_ID", ValueType::kBigInt));
+    schema.AddColumn(Column("SQL", ValueType::kVarchar));
+    schema.AddColumn(Column("KIND", ValueType::kVarchar));
+    schema.AddColumn(Column("STATE", ValueType::kVarchar));
+    schema.AddColumn(Column("ELAPSED_US", ValueType::kBigInt));
+    schema.AddColumn(Column("ROWS", ValueType::kBigInt));
+    schema.AddColumn(Column("KILLABLE", ValueType::kBoolean));
+    catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
+        "SYS.ACTIVE_QUERIES", std::move(schema),
+        [this]() -> StatusOr<std::vector<std::vector<Value>>> {
+          std::vector<std::vector<Value>> rows;
+          for (const ActiveQueryRegistry::Info& q :
+               active_queries_.Snapshot()) {
+            rows.push_back(
+                {Value::BigInt(static_cast<int64_t>(q.query_id)),
+                 Value::BigInt(static_cast<int64_t>(q.session_id)),
+                 Value::Varchar(q.sql), Value::Varchar(q.kind),
+                 Value::Varchar(q.state),
+                 Value::BigInt(static_cast<int64_t>(q.elapsed_us)),
+                 Value::BigInt(static_cast<int64_t>(q.rows)),
+                 Value::Boolean(q.killable)});
           }
           return rows;
         }));

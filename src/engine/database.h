@@ -10,9 +10,11 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "engine/active_queries.h"
 #include "engine/plan_cache.h"
 #include "engine/result_set.h"
 #include "engine/session.h"
+#include "engine/statement_stats.h"
 #include "plan/planner.h"
 
 namespace grfusion {
@@ -85,6 +87,13 @@ class Database {
 
   PlanCache& plan_cache() { return plan_cache_; }
 
+  /// Cumulative per-statement execution stats, aggregated across all
+  /// sessions (SYS.STATEMENTS).
+  StatementStats& statement_stats() { return statement_stats_; }
+
+  /// In-flight statements across all sessions (SYS.ACTIVE_QUERIES, KILL).
+  ActiveQueryRegistry& active_queries() { return active_queries_; }
+
  private:
   friend class Session;
 
@@ -102,6 +111,8 @@ class Database {
   Catalog catalog_;
   const PlannerOptions options_;
   PlanCache plan_cache_;
+  StatementStats statement_stats_;
+  ActiveQueryRegistry active_queries_;
 
   /// Most recent profile published by any session (backs SYS.LAST_QUERY).
   mutable std::mutex profile_mu_;

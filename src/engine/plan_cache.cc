@@ -17,6 +17,17 @@ void PlanCache::CountEviction(size_t n) const {
   }
 }
 
+void PlanCache::PublishSizeLocked() const {
+  EngineMetrics::Get().plan_cache_entries->Set(
+      static_cast<int64_t>(entries_.size()));
+}
+
+void PlanCache::NoteMiss(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) ++it->second.misses;
+}
+
 std::unique_ptr<CachedPlanInstance> PlanCache::Acquire(
     const std::string& key, uint64_t catalog_version) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -29,6 +40,7 @@ std::unique_ptr<CachedPlanInstance> PlanCache::Acquire(
     CountEviction(entry.idle.size());
     lru_.erase(entry.lru_pos);
     entries_.erase(it);
+    PublishSizeLocked();
     return nullptr;
   }
   if (entry.idle.empty()) {
@@ -63,6 +75,7 @@ void PlanCache::Release(std::unique_ptr<CachedPlanInstance> instance) {
       entries_.erase(vit);
       lru_.pop_back();
     }
+    PublishSizeLocked();
     return;
   }
   Entry& entry = it->second;
@@ -94,6 +107,10 @@ std::vector<PlanCache::EntryInfo> PlanCache::Snapshot() const {
     EntryInfo info;
     info.sql = it->second.sql;
     info.hits = it->second.hits;
+    info.misses = it->second.misses;
+    info.hit_rate =
+        static_cast<double>(info.hits) /
+        static_cast<double>(info.hits + info.misses);  // misses >= 1.
     info.idle_instances = it->second.idle.size();
     info.catalog_version = it->second.version;
     out.push_back(std::move(info));
@@ -108,6 +125,7 @@ void PlanCache::Clear() {
   CountEviction(dropped);
   entries_.clear();
   lru_.clear();
+  PublishSizeLocked();
 }
 
 size_t PlanCache::size() const {

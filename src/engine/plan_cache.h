@@ -64,10 +64,19 @@ class PlanCache {
   /// evict the least-recently-used entry beyond `max_entries_`.
   void Release(std::unique_ptr<CachedPlanInstance> instance);
 
+  /// Counts a compile against an existing entry (a session looked this key
+  /// up, found nothing usable, and planned from scratch). The entry's first
+  /// compile is counted at creation in Release(), so hit_rate denominators
+  /// are never zero. Unknown keys are ignored — the entry may have been
+  /// evicted between the session's miss and the replan finishing.
+  void NoteMiss(const std::string& key);
+
   /// Row snapshot for SYS.PLAN_CACHE.
   struct EntryInfo {
     std::string sql;
     uint64_t hits = 0;
+    uint64_t misses = 0;    ///< Compiles attributed to this statement.
+    double hit_rate = 0.0;  ///< hits / (hits + misses).
     size_t idle_instances = 0;
     uint64_t catalog_version = 0;
   };
@@ -82,6 +91,7 @@ class PlanCache {
   struct Entry {
     std::vector<std::unique_ptr<CachedPlanInstance>> idle;
     uint64_t hits = 0;
+    uint64_t misses = 1;   ///< Entry creation implies one compile.
     uint64_t version = 0;  ///< Newest catalog version seen for this key.
     std::string sql;
     std::list<std::string>::iterator lru_pos;
@@ -89,6 +99,9 @@ class PlanCache {
 
   void TouchLocked(Entry& entry, const std::string& key);
   void CountEviction(size_t n) const;
+  /// Publishes entries_.size() to the plan_cache_entries gauge. Call under
+  /// mu_ after any insert/evict/clear so the gauge tracks the map exactly.
+  void PublishSizeLocked() const;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;

@@ -11,7 +11,10 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/task_pool.h"
+#include "common/tracer.h"
+#include "engine/active_queries.h"
 #include "engine/database.h"
+#include "engine/statement_stats.h"
 #include "parser/parser.h"
 #include "plan/binder.h"
 
@@ -49,6 +52,71 @@ void CollectOperatorRows(const PhysicalOperator* op, int depth,
     CollectOperatorRows(child, depth + 1, out);
   }
 }
+
+/// Statement kind for SYS.ACTIVE_QUERIES / SYS.STATEMENTS rows.
+const char* StatementKindName(const Statement& stmt) {
+  return std::visit(
+      [](const auto& s) -> const char* {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          return "CREATE TABLE";
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          return "CREATE INDEX";
+        } else if constexpr (std::is_same_v<T, CreateGraphViewStmt>) {
+          return "CREATE GRAPH VIEW";
+        } else if constexpr (std::is_same_v<T, CreateMaterializedViewStmt>) {
+          return "CREATE MATERIALIZED VIEW";
+        } else if constexpr (std::is_same_v<T, DropStmt>) {
+          return "DROP";
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return "INSERT";
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          return "UPDATE";
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          return "DELETE";
+        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          return "EXPLAIN";
+        } else if constexpr (std::is_same_v<T, KillStmt>) {
+          return "KILL";
+        } else {
+          return "SELECT";
+        }
+      },
+      stmt);
+}
+
+/// Arms the session's statement trace from the process-wide sampling sink
+/// (GRF_TRACE_DIR) for one top-level statement, and writes the file on exit.
+/// A no-op when the sink is disabled, the statement was not sampled, or a
+/// trace is already armed (EXPLAIN TRACE owns the slot).
+class SampledTraceScope {
+ public:
+  SampledTraceScope(QueryTrace** slot, const uint64_t* query_id)
+      : slot_(slot), query_id_(query_id) {
+    TraceSink& sink = TraceSink::Global();
+    if (*slot_ == nullptr && sink.ShouldSample()) {
+      trace_ = std::make_unique<QueryTrace>();
+      *slot_ = trace_.get();
+    }
+  }
+
+  ~SampledTraceScope() {
+    if (trace_ == nullptr) return;
+    *slot_ = nullptr;
+    // `query_id` is read at exit, after RunPlan assigned it.
+    if (trace_->NumEvents() > 0) {
+      TraceSink::Global().Write(*query_id_, *trace_);
+    }
+  }
+
+  SampledTraceScope(const SampledTraceScope&) = delete;
+  SampledTraceScope& operator=(const SampledTraceScope&) = delete;
+
+ private:
+  QueryTrace** slot_;
+  const uint64_t* query_id_;
+  std::unique_ptr<QueryTrace> trace_;
+};
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -129,13 +197,22 @@ StatusOr<ResultSet> PreparedStatement::Execute(std::vector<Value> params) {
 
 // --- Session entry points ----------------------------------------------------------
 
-Session::Session(Database& db) : db_(db), options_(db.options()) {}
+namespace {
+uint64_t NextSessionId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Session::Session(Database& db)
+    : db_(db), options_(db.options()), id_(NextSessionId()) {}
 
 std::string Session::CacheKey(const std::string& normalized_sql) const {
   return options_.PlanShapeKey() + '\n' + normalized_sql;
 }
 
 StatusOr<ResultSet> Session::Execute(std::string_view sql) {
+  SampledTraceScope sampled(&active_trace_, &last_query_id_);
   std::string norm = NormalizeSqlWhitespace(sql);
   std::string key = CacheKey(norm);
 
@@ -143,12 +220,18 @@ StatusOr<ResultSet> Session::Execute(std::string_view sql) {
   // parse, bind, and plan entirely.
   {
     std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    TraceSpan lookup_span(active_trace_, "session", "plan_cache.lookup");
     std::unique_ptr<CachedPlanInstance> inst =
         db_.plan_cache_.Acquire(key, db_.catalog_.version());
+    lookup_span.AddArg("hit", inst != nullptr ? "true" : "false");
+    lookup_span.End();
     if (inst != nullptr) {
       if (inst->num_params == 0) {
         EngineMetrics::Get().plan_cache_hits->Increment();
         current_sql_ = norm;
+        current_kind_ = "SELECT";
+        current_num_params_ = 0;
+        current_cache_hit_ = true;
         StatusOr<ResultSet> result = RunPlan(inst->planned,
                                              /*force_timing=*/false);
         db_.plan_cache_.Release(std::move(inst));
@@ -159,7 +242,9 @@ StatusOr<ResultSet> Session::Execute(std::string_view sql) {
     }
   }
 
+  TraceSpan parse_span(active_trace_, "session", "parse");
   GRF_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseSingle(sql));
+  parse_span.End();
   return ExecuteParsed(stmt, norm, &key);
 }
 
@@ -167,8 +252,16 @@ Status Session::ExecuteScript(std::string_view sql) {
   GRF_ASSIGN_OR_RETURN(std::vector<Statement> statements, Parser::Parse(sql));
   std::string text(Trim(sql));
   for (const Statement& stmt : statements) {
+    // Parser::Parse does not preserve per-statement source spans, so a
+    // multi-statement script is attributed to per-kind buckets — keying
+    // SYS.STATEMENTS (and SYS.ACTIVE_QUERIES) on the full script blob would
+    // merge unrelated statements under one giant SQL text.
+    const std::string label =
+        statements.size() == 1
+            ? text
+            : std::string("<script> ") + StatementKindName(stmt);
     GRF_ASSIGN_OR_RETURN(ResultSet ignored,
-                         ExecuteParsed(stmt, text, /*cache_key=*/nullptr));
+                         ExecuteParsed(stmt, label, /*cache_key=*/nullptr));
     (void)ignored;
   }
   return Status::OK();
@@ -207,6 +300,15 @@ StatusOr<ResultSet> Session::ExecuteParsed(const Statement& stmt,
                                            const std::string& sql_text,
                                            const std::string* cache_key) {
   current_sql_ = sql_text;
+  current_kind_ = StatementKindName(stmt);
+  current_num_params_ = 0;
+  current_cache_hit_ = false;
+  // KILL is dispatched before the statement lock on purpose: the registry
+  // has its own mutex, so a KILL aimed at a long reader is never queued
+  // behind an exclusive writer (or the very statement it is cancelling).
+  if (std::holds_alternative<KillStmt>(stmt)) {
+    return ExecuteKill(std::get<KillStmt>(stmt));
+  }
   if (const SelectStmt* select = std::get_if<SelectStmt>(&stmt)) {
     std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
     if (cache_key != nullptr) {
@@ -219,7 +321,36 @@ StatusOr<ResultSet> Session::ExecuteParsed(const Statement& stmt,
     return ExecuteStatement(stmt);
   }
   std::unique_lock<std::shared_mutex> lock(db_.statement_mutex_);
-  return ExecuteStatement(stmt);
+  // DML/DDL runs under the exclusive lock and is not cooperatively
+  // interruptible, so it registers without a token (KILL reports
+  // InvalidArgument) but still shows in SYS.ACTIVE_QUERIES and feeds the
+  // cumulative statement stats.
+  const uint64_t query_id = db_.active_queries_.Register(
+      id_, current_sql_, current_kind_, /*token=*/nullptr, /*rows=*/nullptr);
+  last_query_id_ = query_id;
+  auto t0 = std::chrono::steady_clock::now();
+  StatusOr<ResultSet> result = ExecuteStatement(stmt);
+  uint64_t latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  db_.active_queries_.Unregister(query_id);
+  StatementStats::Execution ex;
+  ex.kind = current_kind_;
+  ex.latency_us = latency_us;
+  ex.rows = result.ok() ? result->rows_affected : 0;
+  ex.code = result.status().code();
+  db_.statement_stats_.Record(current_sql_, ex);
+  return result;
+}
+
+StatusOr<ResultSet> Session::ExecuteKill(const KillStmt& stmt) {
+  if (stmt.query_id <= 0) {
+    return Status::InvalidArgument("KILL expects a positive query id");
+  }
+  GRF_RETURN_IF_ERROR(
+      db_.active_queries_.Kill(static_cast<uint64_t>(stmt.query_id)));
+  return ResultSet();
 }
 
 StatusOr<ResultSet> Session::ExecuteSelectCached(const SelectStmt& stmt,
@@ -227,12 +358,16 @@ StatusOr<ResultSet> Session::ExecuteSelectCached(const SelectStmt& stmt,
                                                  const std::string& key) {
   EngineMetrics& metrics = EngineMetrics::Get();
   const uint64_t version = db_.catalog_.version();
+  TraceSpan lookup_span(active_trace_, "session", "plan_cache.lookup");
   std::unique_ptr<CachedPlanInstance> inst =
       db_.plan_cache_.Acquire(key, version);
+  lookup_span.End();
   if (inst != nullptr && inst->num_params == 0) {
     metrics.plan_cache_hits->Increment();
+    current_cache_hit_ = true;
   } else {
     if (inst != nullptr) db_.plan_cache_.Release(std::move(inst));
+    TraceSpan plan_span(active_trace_, "session", "plan");
     inst = std::make_unique<CachedPlanInstance>();
     Planner planner(&db_.catalog_, options_);
     StatusOr<PlannedQuery> planned = planner.PlanSelect(stmt);
@@ -242,6 +377,7 @@ StatusOr<ResultSet> Session::ExecuteSelectCached(const SelectStmt& stmt,
     inst->key = key;
     inst->sql = norm;
     metrics.plan_cache_misses->Increment();
+    db_.plan_cache_.NoteMiss(key);
   }
   StatusOr<ResultSet> result = RunPlan(inst->planned, /*force_timing=*/false);
   db_.plan_cache_.Release(std::move(inst));
@@ -250,7 +386,11 @@ StatusOr<ResultSet> Session::ExecuteSelectCached(const SelectStmt& stmt,
 
 StatusOr<ResultSet> Session::ExecutePrepared(PreparedStatement& prep,
                                              std::vector<Value> values) {
+  SampledTraceScope sampled(&active_trace_, &last_query_id_);
   current_sql_ = prep.sql_;
+  current_kind_ = StatementKindName(*prep.ast_);
+  current_num_params_ = prep.num_params_;
+  current_cache_hit_ = false;
   if (prep.is_select_) {
     std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
     GRF_RETURN_IF_ERROR(EnsurePreparedPlanLocked(prep));
@@ -266,16 +406,34 @@ StatusOr<ResultSet> Session::ExecutePrepared(PreparedStatement& prep,
       std::holds_alternative<UpdateStmt>(*prep.ast_) ||
       std::holds_alternative<DeleteStmt>(*prep.ast_)) {
     std::unique_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    const uint64_t query_id = db_.active_queries_.Register(
+        id_, current_sql_, current_kind_, /*token=*/nullptr, /*rows=*/nullptr);
+    last_query_id_ = query_id;
+    auto t0 = std::chrono::steady_clock::now();
     ParamSet pset;
     if (prep.num_params_ > 0) pset.EnsureSlot(prep.num_params_ - 1);
     pset.values = std::move(values);
-    if (const auto* insert = std::get_if<InsertStmt>(prep.ast_.get())) {
-      return ExecuteInsert(*insert, &pset);
-    }
-    if (const auto* update = std::get_if<UpdateStmt>(prep.ast_.get())) {
-      return ExecuteUpdate(*update, &pset);
-    }
-    return ExecuteDelete(std::get<DeleteStmt>(*prep.ast_), &pset);
+    StatusOr<ResultSet> result = [&]() -> StatusOr<ResultSet> {
+      if (const auto* insert = std::get_if<InsertStmt>(prep.ast_.get())) {
+        return ExecuteInsert(*insert, &pset);
+      }
+      if (const auto* update = std::get_if<UpdateStmt>(prep.ast_.get())) {
+        return ExecuteUpdate(*update, &pset);
+      }
+      return ExecuteDelete(std::get<DeleteStmt>(*prep.ast_), &pset);
+    }();
+    uint64_t latency_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    db_.active_queries_.Unregister(query_id);
+    StatementStats::Execution ex;
+    ex.kind = current_kind_;
+    ex.latency_us = latency_us;
+    ex.rows = result.ok() ? result->rows_affected : 0;
+    ex.code = result.status().code();
+    db_.statement_stats_.Record(current_sql_, ex);
+    return result;
   }
 
   // Parameterless DDL / EXPLAIN: dispatch like Execute() would.
@@ -288,6 +446,7 @@ Status Session::EnsurePreparedPlanLocked(PreparedStatement& prep) {
   if (prep.plan_ != nullptr) {
     if (prep.plan_->catalog_version == version) {
       metrics.plan_cache_hits->Increment();
+      current_cache_hit_ = true;
       return Status::OK();
     }
     // Schema changed since this plan compiled; it may point at dropped
@@ -296,15 +455,19 @@ Status Session::EnsurePreparedPlanLocked(PreparedStatement& prep) {
     prep.plan_.reset();
   }
 
+  TraceSpan lookup_span(active_trace_, "session", "plan_cache.lookup");
   std::unique_ptr<CachedPlanInstance> inst =
       db_.plan_cache_.Acquire(prep.key_, version);
+  lookup_span.End();
   if (inst != nullptr && inst->num_params == prep.num_params_) {
     metrics.plan_cache_hits->Increment();
+    current_cache_hit_ = true;
     prep.plan_ = std::move(inst);
     return Status::OK();
   }
   if (inst != nullptr) db_.plan_cache_.Release(std::move(inst));
 
+  TraceSpan plan_span(active_trace_, "session", "plan");
   inst = std::make_unique<CachedPlanInstance>();
   Planner planner(&db_.catalog_, options_);
   const SelectStmt& select = std::get<SelectStmt>(*prep.ast_);
@@ -317,6 +480,7 @@ Status Session::EnsurePreparedPlanLocked(PreparedStatement& prep) {
   inst->key = prep.key_;
   inst->sql = prep.sql_;
   metrics.plan_cache_misses->Increment();
+  db_.plan_cache_.NoteMiss(prep.key_);
   prep.plan_ = std::move(inst);
   return Status::OK();
 }
@@ -373,6 +537,8 @@ StatusOr<ResultSet> Session::ExecuteStatement(const Statement& stmt) {
           return ExecuteDelete(s);
         } else if constexpr (std::is_same_v<T, ExplainStmt>) {
           return ExecuteExplain(s);
+        } else if constexpr (std::is_same_v<T, KillStmt>) {
+          return ExecuteKill(s);
         } else {
           return ExecuteSelect(s);
         }
@@ -799,6 +965,7 @@ StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
 
   QueryContext ctx(options_.memory_cap);
   ctx.set_profile_timing(force_timing || slow_log_armed);
+  ctx.set_trace(active_trace_);
   const size_t parallelism = options_.effective_parallelism();
   if (parallelism > 1) {
     ctx.set_task_pool(&TaskPool::Shared());
@@ -822,6 +989,21 @@ StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
     interrupt_state_->active = &token;
   }
 
+  // Publish to SYS.ACTIVE_QUERIES for the duration of the Volcano loop.
+  // Nested RunPlans (the SELECT half of INSERT ... SELECT or CREATE
+  // MATERIALIZED VIEW) skip this: the enclosing DML already registered, and
+  // one statement should appear (and be counted) once.
+  const bool top_level =
+      current_kind_ == "SELECT" || current_kind_ == "EXPLAIN";
+  std::atomic<uint64_t> live_rows{0};
+  uint64_t query_id = 0;
+  if (top_level) {
+    query_id = db_.active_queries_.Register(
+        id_, current_sql_, current_kind_,
+        arm_token ? &token : nullptr, &live_rows);
+    last_query_id_ = query_id;
+  }
+
   ResultSet result;
   result.column_names = planned.output_names;
   result.column_types.reserve(planned.output_names.size());
@@ -830,6 +1012,7 @@ StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
   }
 
   auto t0 = std::chrono::steady_clock::now();
+  TraceSpan exec_span(active_trace_, "session", "execute");
   Status status = planned.root->Open(&ctx);
   if (status.ok()) {
     ExecRow row;
@@ -841,15 +1024,21 @@ StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
       }
       if (!*has) break;
       result.rows.push_back(std::move(row.columns));
+      live_rows.store(result.rows.size(), std::memory_order_relaxed);
     }
   }
   planned.root->Close();
+  exec_span.AddArg("rows", std::to_string(result.rows.size()));
+  exec_span.AddArg("status", StatusCodeToString(status.code()));
+  exec_span.End();
   // Unregister only after Close: the token must outlive any worker that
-  // might still observe it while the operator tree unwinds.
+  // might still observe it while the operator tree unwinds. The registry
+  // entry likewise drops before the token and row counter leave scope.
   if (options_.enable_interrupts) {
     std::lock_guard<std::mutex> lock(interrupt_state_->mu);
     interrupt_state_->active = nullptr;
   }
+  if (top_level) db_.active_queries_.Unregister(query_id);
   uint64_t latency_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -877,10 +1066,28 @@ StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
   last_stats_ = stats;
   last_peak_bytes_ = ctx.peak_bytes();
 
+  // Fold into the cumulative per-statement store (SYS.STATEMENTS). Keyed on
+  // the normalized text, so every session running the same statement lands
+  // in one row.
+  if (top_level) {
+    StatementStats::Execution ex;
+    ex.kind = current_kind_;
+    ex.latency_us = latency_us;
+    ex.rows = result.rows.size();
+    ex.peak_bytes = ctx.peak_bytes();
+    ex.plan_cache_hit = current_cache_hit_;
+    ex.code = status.code();
+    db_.statement_stats_.Record(current_sql_, ex);
+  }
+
   // Queries over SYS.* inspect the previous profile; don't clobber it.
   if (!planned.reads_system_tables) {
     QueryProfile profile;
     profile.sql = current_sql_;
+    profile.kind = current_kind_;
+    profile.session_id = id_;
+    profile.query_id = query_id;
+    profile.num_params = current_num_params_;
     profile.latency_us = latency_us;
     profile.peak_bytes = ctx.peak_bytes();
     profile.stats = stats;
@@ -902,6 +1109,34 @@ StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
 }
 
 StatusOr<ResultSet> Session::ExecuteExplain(const ExplainStmt& stmt) {
+  if (stmt.trace) {
+    // EXPLAIN TRACE: arm a statement-local span trace, execute, and return
+    // the Chrome trace-event JSON document (one result row per line).
+    QueryTrace trace;
+    QueryTrace* saved = active_trace_;
+    active_trace_ = &trace;
+    PlannedQuery planned;
+    {
+      TraceSpan plan_span(active_trace_, "session", "plan");
+      Planner planner(&db_.catalog_, options_);
+      StatusOr<PlannedQuery> planned_or = planner.PlanSelect(*stmt.select);
+      if (!planned_or.ok()) {
+        active_trace_ = saved;
+        return planned_or.status();
+      }
+      planned = std::move(planned_or).value();
+    }
+    StatusOr<ResultSet> executed = RunPlan(planned, /*force_timing=*/false);
+    active_trace_ = saved;
+    // Like ANALYZE, a cancelled or timed-out statement still renders: its
+    // spans show how far execution got before the interrupt fired.
+    if (!executed.ok() &&
+        executed.status().code() != StatusCode::kCancelled &&
+        executed.status().code() != StatusCode::kDeadlineExceeded) {
+      return executed.status();
+    }
+    return PlanTextToResult(trace.ToChromeJson());
+  }
   Planner planner(&db_.catalog_, options_);
   GRF_ASSIGN_OR_RETURN(PlannedQuery planned, planner.PlanSelect(*stmt.select));
   if (!stmt.analyze) {
@@ -933,11 +1168,14 @@ StatusOr<ResultSet> Session::ExecuteExplain(const ExplainStmt& stmt) {
 
 void Session::EmitSlowQueryTrace(const QueryProfile& profile) const {
   std::string line = StrFormat(
-      "{\"event\":\"slow_query\",\"sql\":\"%s\",\"latency_us\":%llu,"
+      "{\"event\":\"slow_query\",\"sql\":\"%s\",\"session_id\":%llu,"
+      "\"kind\":\"%s\",\"params\":%zu,\"latency_us\":%llu,"
       "\"threshold_us\":%lld,\"peak_bytes\":%zu,\"rows_scanned\":%llu,"
       "\"rows_joined\":%llu,\"vertexes_expanded\":%llu,"
       "\"edges_examined\":%llu,\"paths_emitted\":%llu,\"operators\":[",
       JsonEscape(profile.sql).c_str(),
+      static_cast<unsigned long long>(profile.session_id),
+      JsonEscape(profile.kind).c_str(), profile.num_params,
       static_cast<unsigned long long>(profile.latency_us),
       static_cast<long long>(options_.slow_query_threshold_us),
       profile.peak_bytes,

@@ -34,6 +34,10 @@ struct QueryProfile {
   };
 
   std::string sql;
+  std::string kind;          ///< Statement kind, e.g. "SELECT".
+  uint64_t session_id = 0;   ///< Session that executed the statement.
+  uint64_t query_id = 0;     ///< Database-unique id (SYS.ACTIVE_QUERIES/KILL).
+  size_t num_params = 0;     ///< Bound parameter count (prepared statements).
   uint64_t latency_us = 0;
   size_t peak_bytes = 0;
   ExecStats stats;
@@ -151,6 +155,13 @@ class Session {
     return InterruptHandle(interrupt_state_);
   }
 
+  /// Database-unique id of this session (SYS.ACTIVE_QUERIES.SESSION_ID).
+  uint64_t id() const { return id_; }
+
+  /// Query id assigned to this session's most recent registered statement —
+  /// the id SYS.ACTIVE_QUERIES showed (and KILL targets) while it ran.
+  uint64_t last_query_id() const { return last_query_id_; }
+
   /// Statistics of this session's most recent SELECT.
   const ExecStats& last_stats() const { return last_stats_; }
   /// Peak intermediate-result memory of this session's most recent SELECT.
@@ -215,6 +226,7 @@ class Session {
   StatusOr<ResultSet> ExecuteSelect(const SelectStmt& stmt,
                                     ParamSet* params = nullptr);
   StatusOr<ResultSet> ExecuteExplain(const ExplainStmt& stmt);
+  StatusOr<ResultSet> ExecuteKill(const KillStmt& stmt);
 
   /// Executes a planned SELECT: Volcano loop, engine-metrics fold, profile
   /// capture, slow-query tracing. `force_timing` arms per-operator clocks
@@ -225,12 +237,20 @@ class Session {
 
   Database& db_;
   PlannerOptions options_;  ///< Private copy, taken at session creation.
+  const uint64_t id_;       ///< Process-unique session id.
   std::shared_ptr<InterruptHandle::State> interrupt_state_ =
       std::make_shared<InterruptHandle::State>();
   ExecStats last_stats_;
   size_t last_peak_bytes_ = 0;
   QueryProfile last_profile_;
-  std::string current_sql_;  ///< Statement text being executed (for traces).
+  std::string current_sql_;   ///< Statement text being executed (for traces).
+  std::string current_kind_;  ///< Statement kind ("SELECT", "INSERT", ...).
+  size_t current_num_params_ = 0;   ///< Bound parameters of this execution.
+  bool current_cache_hit_ = false;  ///< Plan came from the cache this run.
+  /// Span trace armed for the current statement (EXPLAIN TRACE or the
+  /// sampling sink); null — one pointer test per span site — otherwise.
+  QueryTrace* active_trace_ = nullptr;
+  uint64_t last_query_id_ = 0;
 };
 
 }  // namespace grfusion

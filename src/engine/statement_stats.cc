@@ -1,0 +1,73 @@
+#include "engine/statement_stats.h"
+
+#include <algorithm>
+
+namespace grfusion {
+
+void StatementStats::Record(const std::string& normalized_sql,
+                            const Execution& exec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string* key = &normalized_sql;
+  static const std::string kOverflow = "<overflow>";
+  auto it = entries_.find(normalized_sql);
+  if (it == entries_.end() && entries_.size() >= kMaxEntries) {
+    key = &kOverflow;
+    it = entries_.find(kOverflow);
+  }
+  if (it == entries_.end()) {
+    it = entries_.emplace(*key, std::make_unique<Entry>()).first;
+  }
+  Entry& e = *it->second;
+  if (e.calls == 0) e.kind = exec.kind;
+  ++e.calls;
+  if (exec.code != StatusCode::kOk) ++e.errors;
+  if (exec.code == StatusCode::kCancelled) ++e.cancelled;
+  if (exec.code == StatusCode::kDeadlineExceeded) ++e.deadline_exceeded;
+  e.min_us = std::min(e.min_us, exec.latency_us);
+  e.latency.Observe(exec.latency_us);
+  e.rows += exec.rows;
+  e.peak_bytes = std::max<uint64_t>(e.peak_bytes, exec.peak_bytes);
+  if (exec.plan_cache_hit) ++e.plan_cache_hits;
+}
+
+std::vector<StatementStats::Row> StatementStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> out;
+  out.reserve(entries_.size());
+  for (const auto& [sql, e] : entries_) {
+    Row row;
+    row.sql = sql;
+    row.kind = e->kind;
+    row.calls = e->calls;
+    row.errors = e->errors;
+    row.total_us = e->latency.sum();
+    row.min_us = e->min_us == UINT64_MAX ? 0 : e->min_us;
+    row.max_us = e->latency.max();
+    row.mean_us = e->latency.mean();
+    row.p99_us = e->latency.PercentileApprox(0.99);
+    row.rows = e->rows;
+    row.peak_bytes = e->peak_bytes;
+    row.plan_cache_hits = e->plan_cache_hits;
+    row.cancelled = e->cancelled;
+    row.deadline_exceeded = e->deadline_exceeded;
+    out.push_back(std::move(row));
+  }
+  // Busiest statements first; ties broken by text for a stable order.
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    if (a.calls != b.calls) return a.calls > b.calls;
+    return a.sql < b.sql;
+  });
+  return out;
+}
+
+size_t StatementStats::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void StatementStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace grfusion

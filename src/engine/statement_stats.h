@@ -1,0 +1,93 @@
+#ifndef GRFUSION_ENGINE_STATEMENT_STATS_H_
+#define GRFUSION_ENGINE_STATEMENT_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace grfusion {
+
+/// pg_stat_statements-style cumulative statement statistics, shared by all
+/// sessions of a Database and surfaced as the SYS.STATEMENTS virtual table.
+///
+/// Statements aggregate on their *normalized* SQL text — the same
+/// NormalizeSqlWhitespace canonical form the plan cache keys on — so the
+/// same statement issued by different sessions (or re-issued with different
+/// whitespace/comments) lands in one row. Latency distribution uses the
+/// log2-bucketed Histogram, so P99 is the usual bucket-upper-bound
+/// approximation.
+///
+/// Concurrency: Record() and Snapshot() serialize on one mutex. Both run
+/// once per *statement* (never per row), so the lock is invisible next to
+/// statement execution cost.
+class StatementStats {
+ public:
+  /// Entries beyond this many distinct normalized texts fold into a single
+  /// synthetic "<overflow>" row, bounding memory on adversarial workloads
+  /// (e.g. un-parameterized literal churn).
+  static constexpr size_t kMaxEntries = 512;
+
+  /// One finished execution. `latency_us` covers the statement's execute
+  /// phase; `rows` is rows returned (SELECT) or affected (DML).
+  struct Execution {
+    std::string kind;          ///< "SELECT", "INSERT", "EXPLAIN", ...
+    uint64_t latency_us = 0;
+    uint64_t rows = 0;
+    size_t peak_bytes = 0;
+    bool plan_cache_hit = false;
+    StatusCode code = StatusCode::kOk;
+  };
+
+  void Record(const std::string& normalized_sql, const Execution& exec);
+
+  /// Row snapshot for SYS.STATEMENTS.
+  struct Row {
+    std::string sql;
+    std::string kind;
+    uint64_t calls = 0;
+    uint64_t errors = 0;
+    uint64_t total_us = 0;
+    uint64_t min_us = 0;
+    uint64_t max_us = 0;
+    double mean_us = 0.0;
+    uint64_t p99_us = 0;
+    uint64_t rows = 0;
+    uint64_t peak_bytes = 0;        ///< High-water mark across executions.
+    uint64_t plan_cache_hits = 0;
+    uint64_t cancelled = 0;
+    uint64_t deadline_exceeded = 0;
+  };
+  std::vector<Row> Snapshot() const;
+
+  size_t size() const;
+
+  /// Drops all accumulated statistics (tests).
+  void Reset();
+
+ private:
+  struct Entry {
+    std::string kind;
+    uint64_t calls = 0;
+    uint64_t errors = 0;
+    uint64_t min_us = UINT64_MAX;
+    Histogram latency;  ///< count/sum/max/p99 of latency_us.
+    uint64_t rows = 0;
+    uint64_t peak_bytes = 0;
+    uint64_t plan_cache_hits = 0;
+    uint64_t cancelled = 0;
+    uint64_t deadline_exceeded = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_ENGINE_STATEMENT_STATS_H_

@@ -4,6 +4,7 @@
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "common/tracer.h"
 
 namespace grfusion {
 
@@ -24,6 +25,8 @@ Status PhysicalOperator::Open(QueryContext* ctx) {
   profile_.open_calls = 1;
   timed_ = ctx->profile_timing();
   exec_ctx_ = ctx;
+  trace_ = ctx->trace();
+  if (trace_ != nullptr) trace_start_us_ = trace_->NowUs();
   if (!timed_) return OpenImpl(ctx);
   uint64_t t0 = NowNs();
   Status status = OpenImpl(ctx);
@@ -55,11 +58,21 @@ StatusOr<bool> PhysicalOperator::Next(ExecRow* out) {
 void PhysicalOperator::Close() {
   if (!timed_) {
     CloseImpl();
-    return;
+  } else {
+    uint64_t t0 = NowNs();
+    CloseImpl();
+    profile_.close_ns += NowNs() - t0;
   }
-  uint64_t t0 = NowNs();
-  CloseImpl();
-  profile_.close_ns += NowNs() - t0;
+  if (trace_ != nullptr) {
+    // One span per operator lifetime (Open..Close), inclusive of children —
+    // the timestamps nest the plan tree naturally in the trace viewer.
+    trace_->AddComplete(
+        "operator", name(), trace_start_us_,
+        trace_->NowUs() - trace_start_us_,
+        {{"rows", std::to_string(profile_.rows_emitted)},
+         {"next_calls", std::to_string(profile_.next_calls)}});
+    trace_ = nullptr;
+  }
 }
 
 std::string PhysicalOperator::ToString(int indent) const {

@@ -90,6 +90,11 @@ class PhysicalOperator {
   /// interrupt check (cancellation/deadline) on every call. Not owned; valid
   /// between Open() and Close() only.
   QueryContext* exec_ctx_ = nullptr;
+  /// Armed statement trace stashed by Open(); Close() emits one span
+  /// covering this operator's Open()..Close() lifetime. Null (no per-call
+  /// cost beyond one test) unless the statement is traced.
+  QueryTrace* trace_ = nullptr;
+  uint64_t trace_start_us_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;

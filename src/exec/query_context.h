@@ -14,6 +14,7 @@
 namespace grfusion {
 
 class TaskPool;
+class QueryTrace;
 
 /// Thread-safe byte budget shared by the worker contexts of one parallel
 /// fan-out. Seeded with the parent query's *remaining* headroom under its
@@ -188,6 +189,13 @@ class QueryContext {
   void set_profile_timing(bool enabled) { profile_timing_ = enabled; }
   bool profile_timing() const { return profile_timing_; }
 
+  /// Armed span trace of the executing statement (not owned; null when the
+  /// statement is untraced — the overwhelmingly common case, which every
+  /// span site reduces to a single null test). Shared with the worker
+  /// contexts of a parallel fan-out so worker threads contribute spans.
+  void set_trace(QueryTrace* trace) { trace_ = trace; }
+  QueryTrace* trace() const { return trace_; }
+
   /// Parallel-execution knobs. QueryContext (and ExecStats) are NOT
   /// thread-safe: parallel operators give each worker its own QueryContext
   /// and fold results back on the query thread (stats via
@@ -257,6 +265,7 @@ class QueryContext {
   size_t parallel_min_rows_ = 2048;
   size_t parallel_min_starts_ = 8;
   SharedMemoryBudget* shared_budget_ = nullptr;
+  QueryTrace* trace_ = nullptr;
   CancellationToken* cancel_token_ = nullptr;
   int deadline_skip_ = 0;
   ExecStats stats_;

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/task_pool.h"
+#include "common/tracer.h"
 
 namespace grfusion {
 
@@ -119,6 +120,10 @@ Status VertexScanOp::ParallelFilterOpen() {
       ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
     if (abort.load(std::memory_order_relaxed)) return;
     const size_t m = begin / morsel_size;
+    // Runs on the pool worker, so the span carries the worker's tid;
+    // ParallelFor joins every morsel before the trace is rendered.
+    TraceSpan morsel_span(ctx_->trace(), "worker",
+                          "scan.morsel." + std::to_string(m));
     QueryContext wctx(ctx_->memory_cap());
     wctx.set_shared_budget(&budget);
     wctx.set_cancellation(ctx_->cancellation());
@@ -138,6 +143,7 @@ Status VertexScanOp::ParallelFilterOpen() {
       if (*made) results[m].push_back(std::move(row));
     }
     scanned[m] = wctx.stats().rows_scanned;
+    morsel_span.AddArg("rows", std::to_string(results[m].size()));
   }));
   // Merge nothing on failure: the caller may fall back to the serial path,
   // which rescans from scratch (stats would double-count otherwise).
@@ -275,6 +281,8 @@ Status EdgeScanOp::ParallelFilterOpen() {
       ctx_->task_pool(), n, morsel_size, [&](size_t begin, size_t end) {
     if (abort.load(std::memory_order_relaxed)) return;
     const size_t m = begin / morsel_size;
+    TraceSpan morsel_span(ctx_->trace(), "worker",
+                          "scan.morsel." + std::to_string(m));
     QueryContext wctx(ctx_->memory_cap());
     wctx.set_shared_budget(&budget);
     wctx.set_cancellation(ctx_->cancellation());

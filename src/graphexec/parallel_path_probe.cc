@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/failpoint.h"
+#include "common/tracer.h"
 #include "graphexec/path_scanner.h"
 
 namespace grfusion {
@@ -160,8 +161,13 @@ Status ParallelPathProbe::Start(std::vector<VertexId> starts,
 void ParallelPathProbe::WorkerBody(size_t widx, bool ordered) {
   const uint64_t t0 = NowNs();
   WorkerSlot& slot = slots_[widx];
+  // Runs on the worker thread, so the span lands under the worker's tid;
+  // Start()'s TaskGroup is joined before the trace is rendered.
+  TraceSpan worker_span(parent_->trace(), "worker",
+                        "probe.worker." + std::to_string(widx));
   QueryContext wctx(parent_->memory_cap());
   wctx.set_shared_budget(budget_.get());
+  wctx.set_trace(parent_->trace());
   // Workers observe the statement's token (PathScanner checks it per
   // expansion), so a deadline/interrupt stops every thread of the fan-out.
   wctx.set_cancellation(parent_->cancellation());
@@ -222,6 +228,9 @@ void ParallelPathProbe::WorkerBody(size_t widx, bool ordered) {
   slot.stats = wctx.stats();
   slot.peak_bytes = wctx.peak_bytes();
   slot.report.ns = NowNs() - t0;
+  worker_span.AddArg("morsels", std::to_string(slot.report.morsels));
+  worker_span.AddArg("paths", std::to_string(slot.report.paths));
+  worker_span.End();
   if (!ordered) channel_.ProducerDone();
 }
 

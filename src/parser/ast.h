@@ -161,18 +161,26 @@ struct CreateMaterializedViewStmt {
   std::unique_ptr<SelectStmt> select;
 };
 
-/// EXPLAIN [ANALYZE] <select>. Plain EXPLAIN renders the physical plan;
-/// ANALYZE also executes the query and annotates each operator with its
-/// observed row counts and timings.
+/// EXPLAIN [ANALYZE | TRACE] <select>. Plain EXPLAIN renders the physical
+/// plan; ANALYZE also executes the query and annotates each operator with its
+/// observed row counts and timings; TRACE executes the query with the span
+/// tracer armed and returns the Chrome trace-event JSON document.
 struct ExplainStmt {
   bool analyze = false;
+  bool trace = false;
   std::unique_ptr<SelectStmt> select;
+};
+
+/// KILL <query_id> — cancels the statement with that id in
+/// SYS.ACTIVE_QUERIES (any session of the same database).
+struct KillStmt {
+  int64_t query_id = 0;
 };
 
 using Statement =
     std::variant<CreateTableStmt, CreateIndexStmt, CreateGraphViewStmt,
                  CreateMaterializedViewStmt, DropStmt, InsertStmt, UpdateStmt,
-                 DeleteStmt, SelectStmt, ExplainStmt>;
+                 DeleteStmt, SelectStmt, ExplainStmt, KillStmt>;
 
 }  // namespace grfusion
 

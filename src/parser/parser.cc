@@ -137,8 +137,17 @@ StatusOr<Statement> Parser::ParseStatement() {
   if (MatchKeyword("EXPLAIN")) {
     ExplainStmt stmt;
     stmt.analyze = MatchKeyword("ANALYZE");
+    if (!stmt.analyze) stmt.trace = MatchKeyword("TRACE");
     GRF_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
     stmt.select = std::make_unique<SelectStmt>(std::move(select));
+    return Statement(std::move(stmt));
+  }
+  if (MatchKeyword("KILL")) {
+    if (Peek().type != TokenType::kInteger) {
+      return ErrorHere("expected query id after KILL");
+    }
+    KillStmt stmt;
+    stmt.query_id = Advance().int_value;
     return Statement(std::move(stmt));
   }
   return ErrorHere("expected a statement");

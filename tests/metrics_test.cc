@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -76,7 +77,46 @@ TEST(HistogramTest, PercentileApprox) {
   h.Observe(5000);                              // Bucket 13, upper bound 8191.
   EXPECT_EQ(h.PercentileApprox(0.5), 3u);
   EXPECT_EQ(h.PercentileApprox(0.99), 3u);
-  EXPECT_EQ(h.PercentileApprox(1.0), 8191u);
+  // The top bucket's upper bound (8191) exceeds anything observed; the
+  // result is clamped to the observed max.
+  EXPECT_EQ(h.PercentileApprox(1.0), 5000u);
+}
+
+TEST(HistogramTest, PercentileApproxEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.PercentileApprox(0.0), 0u);
+  EXPECT_EQ(empty.PercentileApprox(0.5), 0u);
+  EXPECT_EQ(empty.PercentileApprox(1.0), 0u);
+
+  // Single observation: every quantile is that observation (clamped to max,
+  // not its bucket's upper bound).
+  Histogram one;
+  one.Observe(5000);
+  EXPECT_EQ(one.PercentileApprox(0.0), 5000u);
+  EXPECT_EQ(one.PercentileApprox(0.5), 5000u);
+  EXPECT_EQ(one.PercentileApprox(1.0), 5000u);
+
+  // Single bucket, many observations.
+  Histogram uniform;
+  for (int i = 0; i < 100; ++i) uniform.Observe(6);  // Bucket 3, bound 7.
+  EXPECT_EQ(uniform.PercentileApprox(0.0), 6u);
+  EXPECT_EQ(uniform.PercentileApprox(1.0), 6u);
+
+  // Out-of-range and NaN quantiles clamp instead of misbehaving.
+  Histogram h;
+  h.Observe(1);
+  h.Observe(100);
+  EXPECT_EQ(h.PercentileApprox(-3.0), h.PercentileApprox(0.0));
+  EXPECT_EQ(h.PercentileApprox(7.5), h.PercentileApprox(1.0));
+  EXPECT_EQ(h.PercentileApprox(std::numeric_limits<double>::quiet_NaN()),
+            h.PercentileApprox(0.0));
+}
+
+TEST(HistogramTest, BucketUpperBoundBoundaries) {
+  EXPECT_EQ(Histogram::BucketUpperBound(63), (1ull << 63) - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+  // Indices past the last bucket saturate rather than shifting out of range.
+  EXPECT_EQ(Histogram::BucketUpperBound(100), UINT64_MAX);
 }
 
 TEST(HistogramTest, ResetZeroesEverything) {

@@ -47,6 +47,21 @@ run_config build -DCMAKE_BUILD_TYPE=RelWithDebInfo
 echo "== throughput smoke (plan cache + sessions) =="
 GRF_BENCH_MIN_TIME="${GRF_BENCH_MIN_TIME:-0.05}" ./build/bench/throughput
 
+# Observability smoke: re-run the bench briefly with the trace sink armed
+# (sample every query), then validate the emitted Chrome trace documents and
+# the BENCH_*.json reports with the schema checker.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== trace sink smoke (GRF_TRACE_DIR) =="
+  TRACE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$TRACE_DIR"' EXIT
+  GRF_TRACE_DIR="$TRACE_DIR" GRF_TRACE_SAMPLE=1 \
+    GRF_BENCH_MIN_TIME=0.01 ./build/bench/throughput >/dev/null
+  python3 tools/validate_trace.py --require-traces "$TRACE_DIR" \
+    BENCH_*.json
+else
+  echo "== trace sink smoke skipped (python3 not found) =="
+fi
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== sanitize (Debug + ASan/UBSan) =="
   run_config build-sanitize -DCMAKE_BUILD_TYPE=Debug -DGRF_SANITIZE=ON

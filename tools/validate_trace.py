@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validates observability artifacts emitted by the engine.
+
+Two kinds of files are checked:
+
+  * Chrome trace-event documents written by the span tracer (EXPLAIN TRACE
+    output saved to a file, or the GRF_TRACE_DIR sampling sink's
+    trace_<query_id>.json files). Each must be a JSON object with a
+    non-empty "traceEvents" array of complete ("ph":"X") events carrying
+    name/cat/ph/ts/pid/tid and a non-negative duration.
+
+  * BENCH_*.json benchmark reports (tools/check.sh throughput smoke): must
+    be well-formed JSON objects.
+
+Usage:
+    tools/validate_trace.py [--require-traces] FILE_OR_DIR...
+
+Directories are scanned (non-recursively) for trace_*.json and
+BENCH_*.json. Exits non-zero on the first malformed file; with
+--require-traces, also fails when no trace file was found at all (used by
+check.sh to prove the sink actually sampled something).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REQUIRED_EVENT_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+VERBOSE = False
+
+
+def note(message):
+    if VERBOSE:
+        print(f"validate_trace: {message}")
+
+
+def fail(path, message):
+    print(f"validate_trace: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not valid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, "missing top-level 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(path, "'traceEvents' must be a non-empty array")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(path, f"event {i} is not an object")
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in ev:
+                fail(path, f"event {i} ({ev.get('name')!r}) missing '{field}'")
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(path, f"event {i} ({ev['name']!r}) has bad 'dur': {dur!r}")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(path, f"event {i} ({ev['name']!r}) has bad 'ts': {ev['ts']!r}")
+    note(f"{path}: OK ({len(events)} events)")
+
+
+def validate_bench(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(path, "benchmark report must be a JSON object")
+    note(f"{path}: OK (bench report)")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("paths", nargs="+")
+    parser.add_argument("--require-traces", action="store_true",
+                        help="fail when no trace_*.json file is found")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print one line per validated file")
+    args = parser.parse_args()
+    global VERBOSE
+    VERBOSE = args.verbose
+
+    traces = 0
+    benches = 0
+    for p in args.paths:
+        if os.path.isdir(p):
+            names = sorted(os.listdir(p))
+            for name in names:
+                full = os.path.join(p, name)
+                if name.startswith("trace_") and name.endswith(".json"):
+                    validate_trace(full)
+                    traces += 1
+                elif name.startswith("BENCH_") and name.endswith(".json"):
+                    validate_bench(full)
+                    benches += 1
+        elif os.path.basename(p).startswith("BENCH_"):
+            validate_bench(p)
+            benches += 1
+        else:
+            validate_trace(p)
+            traces += 1
+
+    if args.require_traces and traces == 0:
+        print("validate_trace: no trace_*.json files found", file=sys.stderr)
+        sys.exit(1)
+    print(f"validate_trace: OK ({traces} traces, {benches} bench reports)")
+
+
+if __name__ == "__main__":
+    main()
