@@ -15,8 +15,10 @@
 //
 // Results land in BENCH_throughput.json.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -181,6 +183,149 @@ ScaleResult RunSessionScaling(Database& db, size_t threads) {
   return r;
 }
 
+// --- Mixed read/write mode (--mixed) ----------------------------------------
+//
+// Measures what MVCC snapshot reads buy: read QPS with the writer idle vs.
+// read QPS while a writer commits transactions as fast as it can. Under the
+// old exclusive-DML statement lock the second number collapsed (readers
+// queued behind every write); under snapshot isolation it should stay within
+// a few percent of the baseline. Results land in BENCH_throughput_mvcc.json.
+
+struct ReadPhaseResult {
+  uint64_t queries = 0;
+  double qps = 0.0;
+};
+
+/// `threads` reader sessions hammer the cached point SELECT and a two-hop
+/// traversal until `deadline`. Returns the aggregate read throughput.
+ReadPhaseResult RunReaders(Database& db, size_t threads, double deadline) {
+  std::vector<std::thread> workers;
+  std::vector<uint64_t> counts(threads, 0);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&db, &counts, t, deadline] {
+      Session session(db);
+      const std::string point_sql = StrFormat(
+          "SELECT name, score FROM item WHERE id = %lld",
+          static_cast<long long>(100 + t));
+      const std::string path_sql = StrFormat(
+          "SELECT COUNT(P) FROM net.Paths P "
+          "WHERE P.StartVertex.Id = %lld AND P.Length <= 2",
+          static_cast<long long>(t * 13 % 512));
+      uint64_t n = 0;
+      while (Now() < deadline) {
+        Check(session.Execute(point_sql), "mixed point");
+        Check(session.Execute(path_sql), "mixed path");
+        n += 2;
+      }
+      counts[t] = n;
+    });
+  }
+  for (auto& w : workers) w.join();
+  ReadPhaseResult r;
+  for (uint64_t c : counts) r.queries += c;
+  return r;
+}
+
+void RunMixed(const std::string& path) {
+  Database db;
+  Populate(&db);
+  const size_t kReaders = 4;
+  const double phase = MinBenchTime() > 0.3 ? MinBenchTime() : 0.3;
+
+  // Warm the plan cache so both phases measure execution, not compilation.
+  {
+    Session warm(db);
+    Check(warm.Execute("SELECT name, score FROM item WHERE id = 100"),
+          "warm");
+  }
+
+  // Phase 1: readers only.
+  double start = Now();
+  ReadPhaseResult read_only = RunReaders(db, kReaders, start + phase);
+  read_only.qps = static_cast<double>(read_only.queries) / (Now() - start);
+
+  // Phase 2: same readers racing a writer that commits transactions
+  // back-to-back — point updates plus edge churn through the graph view's
+  // delta overlays, with an abort every eighth transaction.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> commits{0};
+  std::thread writer([&db, &stop, &commits] {
+    Session session(db);
+    uint64_t k = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Paced like an OLTP client (~1k transactions/s target), not a hot
+      // loop: the bench measures whether readers block on the writer, and an
+      // unpaced writer on a small host would measure CPU fair-share instead.
+      std::this_thread::sleep_for(std::chrono::microseconds(1000));
+      Check(session.Execute("BEGIN"), "writer begin");
+      Check(session.Execute(StrFormat(
+                "UPDATE item SET score = score + 1 WHERE id = %llu",
+                static_cast<unsigned long long>(k % 2000))),
+            "writer update");
+      // Ever-increasing edge ids: no collisions even across aborted
+      // transactions. Deletes trail the inserts to bound graph growth (a
+      // trailing id from an aborted insert deletes zero rows, which is fine).
+      if (k % 2 == 0) {
+        Check(session.Execute(StrFormat(
+                  "INSERT INTO ex VALUES (%llu, %llu, %llu)",
+                  static_cast<unsigned long long>(10000 + k),
+                  static_cast<unsigned long long>(k % 512),
+                  static_cast<unsigned long long>(k * 7 % 512))),
+              "writer insert");
+      } else if (k >= 9) {
+        Check(session.Execute(StrFormat(
+                  "DELETE FROM ex WHERE id = %llu",
+                  static_cast<unsigned long long>(10000 + k - 9))),
+              "writer delete");
+      }
+      if (k % 8 == 7) {
+        Check(session.Execute("ABORT"), "writer abort");
+      } else {
+        Check(session.Execute("COMMIT"), "writer commit");
+        commits.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++k;
+    }
+  });
+  start = Now();
+  ReadPhaseResult mixed = RunReaders(db, kReaders, start + phase);
+  const double mixed_elapsed = Now() - start;
+  mixed.qps = static_cast<double>(mixed.queries) / mixed_elapsed;
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  const double ratio = mixed.qps / read_only.qps;
+  const double commits_per_sec =
+      static_cast<double>(commits.load()) / mixed_elapsed;
+  std::fprintf(stderr,
+               "Throughput/mvcc read_only %12.1f qps\n"
+               "Throughput/mvcc mixed     %12.1f qps (ratio %.3f)\n"
+               "Throughput/mvcc writer    %12.1f commits/s\n",
+               read_only.qps, mixed.qps, ratio, commits_per_sec);
+
+  std::string json = StrFormat(
+      "{\n"
+      "  \"readers\": %zu,\n"
+      "  \"read_only\": {\"queries\": %llu, \"qps\": %.1f},\n"
+      "  \"mixed\": {\"queries\": %llu, \"qps\": %.1f,\n"
+      "    \"writer_commits\": %llu, \"writer_commits_per_sec\": %.1f},\n"
+      "  \"mixed_read_ratio\": %.4f\n"
+      "}\n",
+      kReaders, static_cast<unsigned long long>(read_only.queries),
+      read_only.qps, static_cast<unsigned long long>(mixed.queries),
+      mixed.qps, static_cast<unsigned long long>(commits.load()),
+      commits_per_sec, ratio);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "mixed throughput results written to %s\n",
+               path.c_str());
+}
+
 void Run(const std::string& path) {
   Database db;
   Populate(&db);
@@ -249,7 +394,11 @@ void Run(const std::string& path) {
 }  // namespace
 }  // namespace grfusion::bench
 
-int main() {
-  grfusion::bench::Run("BENCH_throughput.json");
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--mixed") {
+    grfusion::bench::RunMixed("BENCH_throughput_mvcc.json");
+  } else {
+    grfusion::bench::Run("BENCH_throughput.json");
+  }
   return 0;
 }

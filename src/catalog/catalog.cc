@@ -77,9 +77,11 @@ StatusOr<GraphView*> Catalog::CreateGraphView(GraphViewDef def,
                             "' does not exist");
   }
   auto t0 = std::chrono::steady_clock::now();
+  GraphBuildOptions effective = build;
+  effective.managed = effective.managed || managed_views_;
   GRF_ASSIGN_OR_RETURN(
       std::unique_ptr<GraphView> gv,
-      GraphView::Create(std::move(def), vertex_table, edge_table, build));
+      GraphView::Create(std::move(def), vertex_table, edge_table, effective));
   auto build_us = std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
@@ -112,6 +114,20 @@ std::vector<std::string> Catalog::GraphViewNames() const {
   names.reserve(graph_views_.size());
   for (const auto& [key, gv] : graph_views_) names.push_back(gv->name());
   return names;
+}
+
+std::vector<GraphView*> Catalog::GraphViews() const {
+  std::vector<GraphView*> views;
+  views.reserve(graph_views_.size());
+  for (const auto& [key, gv] : graph_views_) views.push_back(gv.get());
+  return views;
+}
+
+std::vector<Table*> Catalog::Tables() const {
+  std::vector<Table*> tables;
+  tables.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) tables.push_back(table.get());
+  return tables;
 }
 
 void Catalog::RegisterVirtualTable(std::unique_ptr<VirtualTable> vtable) {

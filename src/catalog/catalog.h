@@ -40,6 +40,17 @@ class Catalog {
   Status DropGraphView(const std::string& name);
   std::vector<std::string> GraphViewNames() const;
 
+  /// When set, graph views created through this catalog run their online
+  /// maintenance through MVCC delta overlays (GraphBuildOptions::managed).
+  /// Database turns this on; standalone catalogs keep direct base mutation.
+  void set_managed_views(bool managed) { managed_views_ = managed; }
+  bool managed_views() const { return managed_views_; }
+
+  /// All graph views / tables, in unspecified order (transaction commit and
+  /// fold/vacuum maintenance iterate them).
+  std::vector<GraphView*> GraphViews() const;
+  std::vector<Table*> Tables() const;
+
   // --- Virtual tables (SYS.* introspection) ---
   /// Registers a computed read-only table under its own name (conventionally
   /// "SYS.<name>"). Replaces any previous registration of the same name.
@@ -66,6 +77,7 @@ class Catalog {
   std::unordered_map<std::string, std::unique_ptr<VirtualTable>>
       virtual_tables_;
   std::atomic<uint64_t> version_{0};
+  bool managed_views_ = false;
 };
 
 }  // namespace grfusion

@@ -5,6 +5,9 @@
 namespace grfusion {
 
 Database::Database(PlannerOptions options) : options_(options) {
+  // Engine-owned graph views maintain themselves through MVCC delta
+  // overlays so snapshot readers never see a half-applied transaction.
+  catalog_.set_managed_views(true);
   RegisterSystemTables();
   compat_session_ = std::make_unique<Session>(*this);
 }
@@ -25,17 +28,62 @@ Status Database::ExecuteScript(std::string_view sql) {
 
 Status Database::BulkInsert(const std::string& table_name,
                             const std::vector<std::vector<Value>>& rows) {
-  // Bulk loading mutates table state: exclusive, like any DML statement.
-  std::unique_lock<std::shared_mutex> lock(statement_mutex_);
-  Table* table = catalog_.FindTable(table_name);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + table_name + "' does not exist");
+  // Bulk loading is one write transaction: claim the writer slot, stamp all
+  // rows with one epoch, publish at a single commit boundary. Snapshot
+  // readers keep running under the shared statement lock throughout.
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const Epoch epoch = epochs_.BeginWriter();
+  Status status = Status::OK();
+  {
+    std::shared_lock<std::shared_mutex> lock(statement_mutex_);
+    Table* table = catalog_.FindTable(table_name);
+    if (table == nullptr) {
+      epochs_.Commit(epoch);  // Epochs are never reused, even when unused.
+      return Status::NotFound("table '" + table_name + "' does not exist");
+    }
+    size_t applied = 0;
+    for (const auto& row : rows) {
+      StatusOr<TupleSlot> slot = table->Insert(Tuple(row), epoch);
+      if (!slot.ok()) {
+        status = slot.status();
+        break;
+      }
+      ++applied;
+    }
+    // Rows already applied persist on error (pre-MVCC bulk-load semantics),
+    // so the commit boundary publishes whatever succeeded.
+    for (GraphView* gv : catalog_.GraphViews()) gv->PublishOpenDelta(epoch);
+    epochs_.Commit(epoch);
+    epochs_.AddPending(applied);
   }
-  for (const auto& row : rows) {
-    GRF_ASSIGN_OR_RETURN(TupleSlot slot, table->Insert(Tuple(row)));
-    (void)slot;
+  MaybeFoldAndVacuum();
+  return status;
+}
+
+void Database::MaybeFoldAndVacuum() {
+  // Batched maintenance: folding delta chains and vacuuming dead versions
+  // scans every table, so running it at each commit boundary would cost far
+  // more than the garbage it reclaims (and would grab the exclusive lock in
+  // every commit's wake). Below the batch threshold, skip; past it, try-lock
+  // so an in-flight read burst defers the work to a later boundary; past the
+  // pressure threshold, block until the readers drain so garbage cannot grow
+  // without bound under a read-heavy load.
+  static constexpr size_t kVacuumBatch = 128;
+  static constexpr size_t kFoldPressure = 4096;
+  if (epochs_.pending() < kVacuumBatch) return;
+  std::unique_lock<std::shared_mutex> lock(statement_mutex_,
+                                           std::try_to_lock);
+  if (!lock.owns_lock()) {
+    if (epochs_.pending() < kFoldPressure) return;
+    lock.lock();
   }
-  return Status::OK();
+  for (GraphView* gv : catalog_.GraphViews()) {
+    // An injected fold failure leaves the delta chain intact; keep the
+    // pending count so a later boundary retries.
+    if (!gv->FoldDeltas().ok()) return;
+  }
+  for (Table* table : catalog_.Tables()) table->Vacuum();
+  epochs_.TakePending();
 }
 
 InterruptHandle Database::interrupt_handle() const {

@@ -11,6 +11,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "engine/active_queries.h"
+#include "engine/epoch_manager.h"
 #include "engine/plan_cache.h"
 #include "engine/result_set.h"
 #include "engine/session.h"
@@ -28,12 +29,17 @@ namespace grfusion {
 ///   auto prep = session.Prepare("SELECT * FROM t WHERE id = ?");
 ///   auto rows = prep->Execute({Value::BigInt(42)});
 ///
-/// Concurrency model: the engine models one VoltDB partition site for
-/// writes — DML and DDL statements take the statement lock exclusively, so
-/// every write is trivially serializable (paper §3.3's serializable graph
-/// updates fall out of this plus the Table listener protocol). Read-only
-/// statements (SELECT including GV.PATHS traversals, EXPLAIN) take the lock
-/// shared and run concurrently across sessions.
+/// Concurrency model: single-writer MVCC. At most one write transaction runs
+/// at a time (writer_mutex_), so every write is trivially serializable
+/// (paper §3.3's serializable graph updates fall out of this plus the Table
+/// listener protocol) — but writers no longer exclude readers. DML stamps
+/// tuple versions with a per-transaction epoch and buffers graph-view
+/// changes in delta overlays; COMMIT publishes both at one epoch boundary,
+/// so a read-only statement (SELECT including GV.PATHS traversals, EXPLAIN)
+/// runs against the epoch it started at, sees either all of a transaction's
+/// effects or none, and never blocks on the writer. Only DDL (and the
+/// deferred fold/vacuum maintenance it piggybacks on) still takes the
+/// statement lock exclusively; everything else holds it shared.
 ///
 /// Observability: every SELECT feeds the global MetricsRegistry
 /// (queries_total, query_latency_us, plan_cache_hits, ...), the per-session
@@ -99,14 +105,32 @@ class Database {
 
   void RegisterSystemTables();
 
+  /// Deferred MVCC garbage collection: folds every graph view's published
+  /// delta chain into its base topology and vacuums dead tuple versions.
+  /// Caller must hold writer_mutex_ (no write transaction in flight, and no
+  /// graph view can have an open unpublished delta). Takes the statement
+  /// lock exclusively itself — opportunistically (try-lock) while the
+  /// pending-change count is small, blocking once it passes the pressure
+  /// threshold so garbage cannot grow without bound under a read-heavy load.
+  void MaybeFoldAndVacuum();
+
   /// Compat-session access, created lazily under compat_mu_.
   Session& CompatSession() const;
 
-  /// Reader-writer statement lock: SELECT/EXPLAIN shared, DML/DDL/bulk-load
-  /// exclusive. Sessions lock it only at statement entry points — executor
-  /// internals are lock-free, so nested statement execution (INSERT ...
-  /// SELECT) cannot deadlock.
+  /// Reader-writer statement lock: SELECT/EXPLAIN/DML/bulk-load shared, DDL
+  /// and fold/vacuum maintenance exclusive. Sessions lock it only at
+  /// statement entry points — executor internals are lock-free, so nested
+  /// statement execution (INSERT ... SELECT) cannot deadlock.
   std::shared_mutex statement_mutex_;
+
+  /// Single-writer slot: held for the duration of a write transaction
+  /// (one DML statement, or BEGIN..COMMIT/ABORT). Writers queue here while
+  /// snapshot readers proceed under the shared statement lock.
+  std::mutex writer_mutex_;
+
+  /// Commit-epoch authority. Readers snapshot epochs_.committed(); each
+  /// write transaction works at committed()+1 and publishes via Commit().
+  EpochManager epochs_;
 
   Catalog catalog_;
   const PlannerOptions options_;

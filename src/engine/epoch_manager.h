@@ -1,0 +1,54 @@
+#ifndef GRFUSION_ENGINE_EPOCH_MANAGER_H_
+#define GRFUSION_ENGINE_EPOCH_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "storage/epoch.h"
+
+namespace grfusion {
+
+/// Hands out snapshot epochs to readers and commit epochs to the (single)
+/// writer. Readers load `committed()` at statement start and never advance
+/// mid-statement; the writer stamps its versions with `committed() + 1` and
+/// publishes them by storing that value back with release semantics, so a
+/// reader that observes the new committed epoch also observes every version
+/// stamp and graph delta the writer published before committing.
+///
+/// `committed_` starts at 1 (not 0) so the first writer epoch is 2 and
+/// epoch-0 versions written by standalone callers stay visible to every
+/// snapshot.
+class EpochManager {
+ public:
+  /// The newest committed epoch; a read-only statement's snapshot.
+  Epoch committed() const { return committed_.load(std::memory_order_acquire); }
+
+  /// The epoch the next writer stamps its versions with. Callers must hold
+  /// the engine's writer mutex; there is exactly one uncommitted epoch.
+  Epoch BeginWriter() const {
+    return committed_.load(std::memory_order_relaxed) + 1;
+  }
+
+  /// Publishes `e` (the value BeginWriter returned) as committed. Must
+  /// happen after every version stamp / graph delta of the transaction is
+  /// in place — the release store is what makes them visible together.
+  void Commit(Epoch e) { committed_.store(e, std::memory_order_release); }
+
+  /// Deferred-cleanup accounting: dead versions and unfolded graph deltas
+  /// accumulate until a vacuum runs under the exclusive statement lock.
+  void AddPending(uint64_t n) {
+    pending_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t pending() const { return pending_.load(std::memory_order_relaxed); }
+  uint64_t TakePending() {
+    return pending_.exchange(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<Epoch> committed_{1};
+  std::atomic<uint64_t> pending_{0};
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_ENGINE_EPOCH_MANAGER_H_

@@ -78,6 +78,13 @@ const char* StatementKindName(const Statement& stmt) {
           return "EXPLAIN";
         } else if constexpr (std::is_same_v<T, KillStmt>) {
           return "KILL";
+        } else if constexpr (std::is_same_v<T, TxnStmt>) {
+          switch (s.kind) {
+            case TxnStmt::Kind::kBegin: return "BEGIN";
+            case TxnStmt::Kind::kCommit: return "COMMIT";
+            case TxnStmt::Kind::kAbort: return "ABORT";
+          }
+          return "BEGIN";
         } else {
           return "SELECT";
         }
@@ -207,6 +214,10 @@ uint64_t NextSessionId() {
 Session::Session(Database& db)
     : db_(db), options_(db.options()), id_(NextSessionId()) {}
 
+Session::~Session() {
+  if (in_txn_) AbortTxn();
+}
+
 std::string Session::CacheKey(const std::string& normalized_sql) const {
   return options_.PlanShapeKey() + '\n' + normalized_sql;
 }
@@ -291,6 +302,9 @@ StatusOr<PreparedStatement> Session::Prepare(std::string_view sql) {
     // Compile (or adopt a cached instance) now so Execute() can run the
     // plan immediately and Prepare surfaces planning errors early.
     std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    GraphReadScope plan_scope(
+        txn_epoch_ != 0 ? txn_epoch_ : db_.epochs_.committed(),
+        /*include_open=*/txn_epoch_ != 0);
     GRF_RETURN_IF_ERROR(EnsurePreparedPlanLocked(prep));
   }
   return prep;
@@ -309,8 +323,20 @@ StatusOr<ResultSet> Session::ExecuteParsed(const Statement& stmt,
   if (std::holds_alternative<KillStmt>(stmt)) {
     return ExecuteKill(std::get<KillStmt>(stmt));
   }
+  // Transaction control manipulates this session's writer slot and must not
+  // queue behind the statement lock (COMMIT takes it in the right order
+  // itself).
+  if (std::holds_alternative<TxnStmt>(stmt)) {
+    return ExecuteTxn(std::get<TxnStmt>(stmt));
+  }
   if (const SelectStmt* select = std::get_if<SelectStmt>(&stmt)) {
     std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    // Pin the snapshot before PLANNING, not just execution: the planner
+    // reads graph-view statistics (NumVertexes/NumEdges), and a scope-less
+    // read would touch a concurrent writer's open delta.
+    GraphReadScope plan_scope(
+        txn_epoch_ != 0 ? txn_epoch_ : db_.epochs_.committed(),
+        /*include_open=*/txn_epoch_ != 0);
     if (cache_key != nullptr) {
       return ExecuteSelectCached(*select, sql_text, *cache_key);
     }
@@ -318,18 +344,37 @@ StatusOr<ResultSet> Session::ExecuteParsed(const Statement& stmt,
   }
   if (std::holds_alternative<ExplainStmt>(stmt)) {
     std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    GraphReadScope plan_scope(
+        txn_epoch_ != 0 ? txn_epoch_ : db_.epochs_.committed(),
+        /*include_open=*/txn_epoch_ != 0);
     return ExecuteStatement(stmt);
   }
-  std::unique_lock<std::shared_mutex> lock(db_.statement_mutex_);
-  // DML/DDL runs under the exclusive lock and is not cooperatively
-  // interruptible, so it registers without a token (KILL reports
-  // InvalidArgument) but still shows in SYS.ACTIVE_QUERIES and feeds the
-  // cumulative statement stats.
+  // DML and DDL are not cooperatively interruptible, so they register
+  // without a token (KILL reports InvalidArgument) but still show in
+  // SYS.ACTIVE_QUERIES and feed the cumulative statement stats.
   const uint64_t query_id = db_.active_queries_.Register(
       id_, current_sql_, current_kind_, /*token=*/nullptr, /*rows=*/nullptr);
   last_query_id_ = query_id;
   auto t0 = std::chrono::steady_clock::now();
-  StatusOr<ResultSet> result = ExecuteStatement(stmt);
+  StatusOr<ResultSet> result = [&]() -> StatusOr<ResultSet> {
+    if (std::holds_alternative<InsertStmt>(stmt) ||
+        std::holds_alternative<UpdateStmt>(stmt) ||
+        std::holds_alternative<DeleteStmt>(stmt)) {
+      // DML: write transaction at a private epoch, under the SHARED
+      // statement lock — snapshot readers keep running.
+      return ExecuteDml(stmt, /*params=*/nullptr);
+    }
+    // DDL still excludes everything: writer slot first (no write
+    // transaction in flight, so no graph view has an open delta), then the
+    // statement lock exclusively (no reader mid-statement).
+    if (in_txn_) {
+      return Status::InvalidArgument(
+          "DDL is not allowed inside a transaction");
+    }
+    std::lock_guard<std::mutex> writer(db_.writer_mutex_);
+    std::unique_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    return ExecuteStatement(stmt);
+  }();
   uint64_t latency_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -351,6 +396,187 @@ StatusOr<ResultSet> Session::ExecuteKill(const KillStmt& stmt) {
   GRF_RETURN_IF_ERROR(
       db_.active_queries_.Kill(static_cast<uint64_t>(stmt.query_id)));
   return ResultSet();
+}
+
+// --- Write transactions ------------------------------------------------------------
+
+StatusOr<ResultSet> Session::ExecuteTxn(const TxnStmt& stmt) {
+  switch (stmt.kind) {
+    case TxnStmt::Kind::kBegin:
+      if (in_txn_) {
+        return Status::InvalidArgument("transaction already in progress");
+      }
+      // Claim the single-writer slot for the life of the transaction and
+      // fix its epoch. Readers are unaffected; other writers queue here.
+      txn_writer_lock_ = std::unique_lock<std::mutex>(db_.writer_mutex_);
+      txn_epoch_ = db_.epochs_.BeginWriter();
+      in_txn_ = true;
+      return ResultSet();
+    case TxnStmt::Kind::kCommit:
+      if (!in_txn_) {
+        return Status::InvalidArgument("no transaction in progress");
+      }
+      GRF_RETURN_IF_ERROR(CommitTxn());
+      return ResultSet();
+    case TxnStmt::Kind::kAbort:
+      if (!in_txn_) {
+        return Status::InvalidArgument("no transaction in progress");
+      }
+      AbortTxn();
+      return ResultSet();
+  }
+  return Status::Internal("unknown transaction statement");
+}
+
+StatusOr<ResultSet> Session::ExecuteDml(const Statement& stmt,
+                                        ParamSet* params) {
+  auto dispatch = [&]() -> StatusOr<ResultSet> {
+    if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+      return ExecuteInsert(*insert, params);
+    }
+    if (const auto* update = std::get_if<UpdateStmt>(&stmt)) {
+      return ExecuteUpdate(*update, params);
+    }
+    return ExecuteDelete(std::get<DeleteStmt>(stmt), params);
+  };
+
+  if (in_txn_) {
+    // Explicit transaction: the writer slot and epoch are already held.
+    // Statement-level atomicity: a failed statement rolls back to its own
+    // mark, leaving the transaction's earlier statements intact.
+    std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    const size_t mark = undo_log_.size();
+    StatusOr<ResultSet> result = dispatch();
+    if (!result.ok()) RollbackToMark(mark);
+    return result;
+  }
+
+  // Implicit single-statement transaction: claim the writer slot, execute
+  // under the SHARED statement lock (snapshot readers keep running), and
+  // publish — or fully undo — at one epoch boundary.
+  std::unique_lock<std::mutex> writer(db_.writer_mutex_);
+  txn_epoch_ = db_.epochs_.BeginWriter();
+  StatusOr<ResultSet> result = Status::Internal("DML did not execute");
+  {
+    std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    result = dispatch();
+    if (result.ok()) {
+      const size_t changes = undo_log_.size();
+      for (GraphView* gv : db_.catalog_.GraphViews()) {
+        gv->PublishOpenDelta(txn_epoch_);
+      }
+      db_.epochs_.Commit(txn_epoch_);
+      db_.epochs_.AddPending(changes + 1);
+    } else {
+      const size_t aborted = undo_log_.size();
+      RollbackToMark(0);
+      for (GraphView* gv : db_.catalog_.GraphViews()) {
+        gv->DiscardOpenDelta();
+      }
+      // Commit the (now effect-free) epoch anyway: epochs are never reused,
+      // which keeps undo's revive scans unambiguous.
+      db_.epochs_.Commit(txn_epoch_);
+      db_.epochs_.AddPending(aborted + 1);
+    }
+  }
+  undo_log_.clear();
+  txn_epoch_ = 0;
+  // Deferred maintenance runs with the writer slot still held (so no graph
+  // view can have an open delta) and no statement lock of our own.
+  db_.MaybeFoldAndVacuum();
+  return result;
+}
+
+Status Session::CommitTxn() {
+  // Commit-boundary failpoint: an injected failure here must look like a
+  // crash before the commit point — the transaction aborts wholesale.
+  Status inject = []() -> Status {
+    GRF_FAILPOINT("txn.commit");
+    return Status::OK();
+  }();
+  if (!inject.ok()) {
+    AbortTxn();
+    return inject;
+  }
+  // Publish every view's buffered delta first, then advance the committed
+  // epoch (both release stores): a reader that observes the new epoch is
+  // guaranteed to observe the published deltas and end-stamps behind it.
+  for (GraphView* gv : db_.catalog_.GraphViews()) {
+    gv->PublishOpenDelta(txn_epoch_);
+  }
+  db_.epochs_.Commit(txn_epoch_);
+  db_.epochs_.AddPending(undo_log_.size() + 1);
+  undo_log_.clear();
+  in_txn_ = false;
+  txn_epoch_ = 0;
+  db_.MaybeFoldAndVacuum();
+  txn_writer_lock_.unlock();
+  return Status::OK();
+}
+
+void Session::AbortTxn() {
+  const size_t aborted = undo_log_.size();
+  // Reverse-compensate table state (which re-notifies graph views through
+  // their Undo* hooks, unwinding the open delta symmetrically), then throw
+  // the delta buffers away and retire the epoch without effects.
+  RollbackToMark(0);
+  for (GraphView* gv : db_.catalog_.GraphViews()) gv->DiscardOpenDelta();
+  db_.epochs_.Commit(txn_epoch_);
+  db_.epochs_.AddPending(aborted + 1);
+  in_txn_ = false;
+  txn_epoch_ = 0;
+  db_.MaybeFoldAndVacuum();
+  txn_writer_lock_.unlock();
+}
+
+void Session::RollbackToMark(size_t mark) {
+  while (undo_log_.size() > mark) {
+    UndoRecord& rec = undo_log_.back();
+    switch (rec.kind) {
+      case UndoRecord::Kind::kInsert:
+        rec.table->UndoAppliedInsert(rec.slot, rec.after, txn_epoch_);
+        break;
+      case UndoRecord::Kind::kDelete:
+        rec.table->UndoAppliedDelete(rec.slot, rec.before, txn_epoch_);
+        break;
+      case UndoRecord::Kind::kUpdate:
+        rec.table->UndoAppliedUpdate(rec.slot, rec.before, rec.after,
+                                     txn_epoch_);
+        break;
+    }
+    undo_log_.pop_back();
+  }
+}
+
+Status Session::LogAppliedInsert(Table* table, TupleSlot slot) {
+  const Tuple* stored =
+      table->Get(slot, txn_epoch_ == 0 ? kEpochLatest : txn_epoch_);
+  if (stored == nullptr) {
+    return Status::Internal("inserted tuple not visible to its own writer");
+  }
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kInsert;
+  rec.table = table;
+  rec.slot = slot;
+  rec.after = *stored;
+  undo_log_.push_back(std::move(rec));
+  return Status::OK();
+}
+
+Status Session::LogAppliedUpdate(Table* table, TupleSlot slot, Tuple before) {
+  const Tuple* stored =
+      table->Get(slot, txn_epoch_ == 0 ? kEpochLatest : txn_epoch_);
+  if (stored == nullptr) {
+    return Status::Internal("updated tuple not visible to its own writer");
+  }
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kUpdate;
+  rec.table = table;
+  rec.slot = slot;
+  rec.before = std::move(before);
+  rec.after = *stored;
+  undo_log_.push_back(std::move(rec));
+  return Status::OK();
 }
 
 StatusOr<ResultSet> Session::ExecuteSelectCached(const SelectStmt& stmt,
@@ -393,6 +619,9 @@ StatusOr<ResultSet> Session::ExecutePrepared(PreparedStatement& prep,
   current_cache_hit_ = false;
   if (prep.is_select_) {
     std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
+    GraphReadScope plan_scope(
+        txn_epoch_ != 0 ? txn_epoch_ : db_.epochs_.committed(),
+        /*include_open=*/txn_epoch_ != 0);
     GRF_RETURN_IF_ERROR(EnsurePreparedPlanLocked(prep));
     GRF_RETURN_IF_ERROR(
         BindParamValues(prep.plan_->params, std::move(values)));
@@ -405,7 +634,6 @@ StatusOr<ResultSet> Session::ExecutePrepared(PreparedStatement& prep,
   if (std::holds_alternative<InsertStmt>(*prep.ast_) ||
       std::holds_alternative<UpdateStmt>(*prep.ast_) ||
       std::holds_alternative<DeleteStmt>(*prep.ast_)) {
-    std::unique_lock<std::shared_mutex> lock(db_.statement_mutex_);
     const uint64_t query_id = db_.active_queries_.Register(
         id_, current_sql_, current_kind_, /*token=*/nullptr, /*rows=*/nullptr);
     last_query_id_ = query_id;
@@ -413,15 +641,7 @@ StatusOr<ResultSet> Session::ExecutePrepared(PreparedStatement& prep,
     ParamSet pset;
     if (prep.num_params_ > 0) pset.EnsureSlot(prep.num_params_ - 1);
     pset.values = std::move(values);
-    StatusOr<ResultSet> result = [&]() -> StatusOr<ResultSet> {
-      if (const auto* insert = std::get_if<InsertStmt>(prep.ast_.get())) {
-        return ExecuteInsert(*insert, &pset);
-      }
-      if (const auto* update = std::get_if<UpdateStmt>(prep.ast_.get())) {
-        return ExecuteUpdate(*update, &pset);
-      }
-      return ExecuteDelete(std::get<DeleteStmt>(*prep.ast_), &pset);
-    }();
+    StatusOr<ResultSet> result = ExecuteDml(*prep.ast_, &pset);
     uint64_t latency_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - t0)
@@ -539,6 +759,8 @@ StatusOr<ResultSet> Session::ExecuteStatement(const Statement& stmt) {
           return ExecuteExplain(s);
         } else if constexpr (std::is_same_v<T, KillStmt>) {
           return ExecuteKill(s);
+        } else if constexpr (std::is_same_v<T, TxnStmt>) {
+          return ExecuteTxn(s);
         } else {
           return ExecuteSelect(s);
         }
@@ -674,16 +896,14 @@ StatusOr<ResultSet> Session::ExecuteInsert(const InsertStmt& stmt,
   }
 
   // INSERT INTO ... SELECT: evaluate the query, then load its rows through
-  // the same constraint-checked path (statement-atomic).
+  // the same constraint-checked path. Statement-level atomicity comes from
+  // the caller's undo-log mark (ExecuteDml rolls back on any error).
   if (stmt.select != nullptr) {
     GRF_ASSIGN_OR_RETURN(ResultSet selected,
                          ExecuteSelect(*stmt.select, params));
-    std::vector<TupleSlot> inserted;
+    size_t inserted = 0;
     for (auto& row : selected.rows) {
       if (row.size() != targets.size()) {
-        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-          (void)table->Delete(*it);
-        }
         return Status::InvalidArgument(StrFormat(
             "INSERT expects %zu values, SELECT produced %zu", targets.size(),
             row.size()));
@@ -692,17 +912,13 @@ StatusOr<ResultSet> Session::ExecuteInsert(const InsertStmt& stmt,
       for (size_t i = 0; i < targets.size(); ++i) {
         values[targets[i]] = std::move(row[i]);
       }
-      auto slot = table->Insert(Tuple(std::move(values)));
-      if (!slot.ok()) {
-        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-          (void)table->Delete(*it);
-        }
-        return slot.status();
-      }
-      inserted.push_back(*slot);
+      auto slot = table->Insert(Tuple(std::move(values)), txn_epoch_);
+      if (!slot.ok()) return slot.status();
+      GRF_RETURN_IF_ERROR(LogAppliedInsert(table, *slot));
+      ++inserted;
     }
     ResultSet result;
-    result.rows_affected = inserted.size();
+    result.rows_affected = inserted;
     return result;
   }
 
@@ -712,50 +928,26 @@ StatusOr<ResultSet> Session::ExecuteInsert(const InsertStmt& stmt,
   Binder binder(&empty_scope, params);
   ExecRow empty_row;
 
-  std::vector<TupleSlot> inserted;
+  size_t inserted = 0;
   for (const auto& row_exprs : stmt.rows) {
     if (row_exprs.size() != targets.size()) {
-      Status status = Status::InvalidArgument(
+      return Status::InvalidArgument(
           StrFormat("INSERT expects %zu values, got %zu", targets.size(),
                     row_exprs.size()));
-      for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-        (void)table->Delete(*it);
-      }
-      return status;
     }
     std::vector<Value> values(schema.NumColumns(), Value::Null());
     for (size_t i = 0; i < targets.size(); ++i) {
-      auto bound = binder.Bind(*row_exprs[i]);
-      Status status = bound.ok() ? Status::OK() : bound.status();
-      Value v;
-      if (status.ok()) {
-        auto evaluated = (*bound)->Eval(empty_row);
-        if (evaluated.ok()) {
-          v = std::move(evaluated).value();
-        } else {
-          status = evaluated.status();
-        }
-      }
-      if (!status.ok()) {
-        for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-          (void)table->Delete(*it);
-        }
-        return status;
-      }
+      GRF_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*row_exprs[i]));
+      GRF_ASSIGN_OR_RETURN(Value v, bound->Eval(empty_row));
       values[targets[i]] = std::move(v);
     }
-    auto slot = table->Insert(Tuple(std::move(values)));
-    if (!slot.ok()) {
-      // Statement-level atomicity: undo this statement's prior inserts.
-      for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
-        (void)table->Delete(*it);
-      }
-      return slot.status();
-    }
-    inserted.push_back(*slot);
+    auto slot = table->Insert(Tuple(std::move(values)), txn_epoch_);
+    if (!slot.ok()) return slot.status();
+    GRF_RETURN_IF_ERROR(LogAppliedInsert(table, *slot));
+    ++inserted;
   }
   ResultSet result;
-  result.rows_affected = inserted.size();
+  result.rows_affected = inserted;
   return result;
 }
 
@@ -792,8 +984,10 @@ std::optional<std::vector<TupleSlot>> TryIndexLookup(const Table* table,
     if (!cast.ok()) return std::vector<TupleSlot>();
     key = std::move(cast).value();
   }
-  const std::vector<TupleSlot>* slots = index->Lookup(key);
-  return slots == nullptr ? std::vector<TupleSlot>() : *slots;
+  // Snapshot copy: index entries for versions dead at the caller's epoch may
+  // linger until vacuum; the caller re-reads each slot at its snapshot (and
+  // re-evaluates the WHERE), so stale entries are filtered naturally.
+  return index->LookupSnapshot(key);
 }
 
 /// Builds the single-table scope used by UPDATE/DELETE WHERE clauses.
@@ -830,8 +1024,10 @@ StatusOr<ResultSet> Session::ExecuteUpdate(const UpdateStmt& stmt,
     assignments.emplace_back(idx, std::move(bound));
   }
 
-  // Phase 1: collect new images (no mutation while scanning). A usable
-  // index on a `col = literal` WHERE avoids the full scan.
+  // Phase 1: collect new images (no mutation while scanning), reading at
+  // this transaction's epoch so earlier statements of the same transaction
+  // are visible. A usable index on a `col = literal` WHERE avoids the scan.
+  const Epoch snap = txn_epoch_ == 0 ? kEpochLatest : txn_epoch_;
   std::vector<std::pair<TupleSlot, Tuple>> updates;
   Status status = Status::OK();
   auto visit = [&](TupleSlot slot, const Tuple& tuple) {
@@ -860,33 +1056,29 @@ StatusOr<ResultSet> Session::ExecuteUpdate(const UpdateStmt& stmt,
   if (auto slots = TryIndexLookup(table, stmt.where.get());
       slots.has_value()) {
     for (TupleSlot slot : *slots) {
-      const Tuple* tuple = table->Get(slot);
+      const Tuple* tuple = table->Get(slot, snap);
       if (tuple == nullptr) continue;
       if (!visit(slot, *tuple)) break;
     }
   } else {
-    table->ForEach(visit);
+    table->ForEach(visit, snap);
   }
   GRF_RETURN_IF_ERROR(status);
 
-  // Phase 2: apply, with statement-level rollback on failure.
-  std::vector<std::pair<TupleSlot, Tuple>> applied;
+  // Phase 2: apply. Statement-level rollback on failure is the caller's
+  // undo-log mark (ExecuteDml).
+  size_t applied = 0;
   for (auto& [slot, new_tuple] : updates) {
-    const Tuple* old_tuple = table->Get(slot);
+    const Tuple* old_tuple = table->Get(slot, snap);
     if (old_tuple == nullptr) continue;
     Tuple backup = *old_tuple;
-    Status s = table->Update(slot, std::move(new_tuple));
-    if (!s.ok()) {
-      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
-        Status restore = table->Update(it->first, std::move(it->second));
-        GRF_CHECK(restore.ok());
-      }
-      return s;
-    }
-    applied.emplace_back(slot, std::move(backup));
+    Status s = table->Update(slot, std::move(new_tuple), txn_epoch_);
+    GRF_RETURN_IF_ERROR(s);
+    GRF_RETURN_IF_ERROR(LogAppliedUpdate(table, slot, std::move(backup)));
+    ++applied;
   }
   ResultSet result;
-  result.rows_affected = applied.size();
+  result.rows_affected = applied;
   return result;
 }
 
@@ -903,6 +1095,7 @@ StatusOr<ResultSet> Session::ExecuteDelete(const DeleteStmt& stmt,
     GRF_ASSIGN_OR_RETURN(where, binder.Bind(*stmt.where));
   }
 
+  const Epoch snap = txn_epoch_ == 0 ? kEpochLatest : txn_epoch_;
   std::vector<std::pair<TupleSlot, Tuple>> victims;
   Status status = Status::OK();
   auto visit = [&](TupleSlot slot, const Tuple& tuple) {
@@ -922,30 +1115,30 @@ StatusOr<ResultSet> Session::ExecuteDelete(const DeleteStmt& stmt,
   if (auto slots = TryIndexLookup(table, stmt.where.get());
       slots.has_value()) {
     for (TupleSlot slot : *slots) {
-      const Tuple* tuple = table->Get(slot);
+      const Tuple* tuple = table->Get(slot, snap);
       if (tuple == nullptr) continue;
       if (!visit(slot, *tuple)) break;
     }
   } else {
-    table->ForEach(visit);
+    table->ForEach(visit, snap);
   }
   GRF_RETURN_IF_ERROR(status);
 
-  std::vector<Tuple> deleted;
+  // Apply. A mid-statement failure (e.g. a graph view vetoing the delete of
+  // a still-referenced vertex) is rolled back by the caller's undo-log mark.
+  size_t deleted = 0;
   for (auto& [slot, backup] : victims) {
-    Status s = table->Delete(slot);
-    if (!s.ok()) {
-      // Roll this statement back: re-insert what we already deleted.
-      for (auto it = deleted.rbegin(); it != deleted.rend(); ++it) {
-        auto restored = table->Insert(std::move(*it));
-        GRF_CHECK(restored.ok());
-      }
-      return s;
-    }
-    deleted.push_back(std::move(backup));
+    GRF_RETURN_IF_ERROR(table->Delete(slot, txn_epoch_));
+    UndoRecord rec;
+    rec.kind = UndoRecord::Kind::kDelete;
+    rec.table = table;
+    rec.slot = slot;
+    rec.before = std::move(backup);
+    undo_log_.push_back(std::move(rec));
+    ++deleted;
   }
   ResultSet result;
-  result.rows_affected = deleted.size();
+  result.rows_affected = deleted;
   return result;
 }
 
@@ -964,6 +1157,18 @@ StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
   const bool slow_log_armed = options_.slow_query_threshold_us >= 0;
 
   QueryContext ctx(options_.memory_cap);
+  // MVCC snapshot. A statement inside a write transaction reads at the
+  // transaction's own epoch (its earlier statements are visible, including
+  // the views' open deltas); everything else fixes the committed epoch at
+  // statement start — the snapshot a concurrent writer can never move.
+  // The GraphReadScope pins graph-view reads on this thread to the same
+  // snapshot; parallel operators re-install it on their workers.
+  const Epoch snapshot =
+      txn_epoch_ != 0 ? txn_epoch_ : db_.epochs_.committed();
+  const bool include_open = txn_epoch_ != 0;
+  ctx.set_snapshot_epoch(snapshot);
+  ctx.set_include_open(include_open);
+  GraphReadScope graph_scope(snapshot, include_open);
   ctx.set_profile_timing(force_timing || slow_log_armed);
   ctx.set_trace(active_trace_);
   const size_t parallelism = options_.effective_parallelism();

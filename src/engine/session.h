@@ -15,6 +15,7 @@
 #include "exec/query_context.h"
 #include "parser/ast.h"
 #include "plan/planner.h"
+#include "storage/table.h"
 
 namespace grfusion {
 
@@ -110,10 +111,12 @@ class PreparedStatement {
 /// private interrupt handle, and the per-session last-query statistics.
 ///
 /// Concurrency: any number of sessions may use one Database from different
-/// threads. Read-only statements (SELECT, EXPLAIN) run concurrently;
-/// DML/DDL statements take the database's statement lock exclusively, so a
-/// write statement never overlaps anything else. One Session object itself
-/// is NOT thread-safe — give each thread its own session.
+/// threads. Read-only statements (SELECT, EXPLAIN) run concurrently against
+/// the committed epoch they start at and never block on writers. DML runs as
+/// a write transaction — implicit (one statement) or explicit
+/// (BEGIN .. COMMIT/ABORT) — serialized by the database's single-writer
+/// mutex; only DDL still takes the statement lock exclusively. One Session
+/// object itself is NOT thread-safe — give each thread its own session.
 ///
 /// SELECT plans are cached in the database-wide plan cache keyed on the
 /// normalized SQL text and the plan-shaping options; a repeat Execute() or a
@@ -124,7 +127,10 @@ class Session {
   /// Creates a session on `db`, snapshotting the database's default planner
   /// options. The session must not outlive the database.
   explicit Session(Database& db);
-  ~Session() = default;
+
+  /// Aborts any transaction still open on this session (a client vanishing
+  /// mid-transaction must not leave the single-writer slot held forever).
+  ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -227,6 +233,43 @@ class Session {
                                     ParamSet* params = nullptr);
   StatusOr<ResultSet> ExecuteExplain(const ExplainStmt& stmt);
   StatusOr<ResultSet> ExecuteKill(const KillStmt& stmt);
+  StatusOr<ResultSet> ExecuteTxn(const TxnStmt& stmt);
+
+  // --- Write transactions ----------------------------------------------------
+  // Every DML statement runs inside a write transaction at a private epoch:
+  // implicit (a standalone statement commits or fully rolls back on its own)
+  // or explicit (BEGIN holds the database's single-writer slot until
+  // COMMIT/ABORT). Mutations append compensation records to undo_log_;
+  // statement failure rolls back to the statement's mark, ABORT to zero.
+
+  /// One applied table mutation, reversible via Table::UndoApplied*.
+  struct UndoRecord {
+    enum class Kind { kInsert, kDelete, kUpdate };
+    Kind kind = Kind::kInsert;
+    Table* table = nullptr;
+    TupleSlot slot = 0;
+    Tuple before;  ///< Image removed/replaced (kDelete, kUpdate).
+    Tuple after;   ///< Image introduced, post-coercion (kInsert, kUpdate).
+  };
+
+  /// Runs one DML statement in the appropriate transaction scope: inside an
+  /// open explicit transaction, or as an implicit single-statement one.
+  StatusOr<ResultSet> ExecuteDml(const Statement& stmt, ParamSet* params);
+
+  /// Publishes this transaction's effects at its epoch; on a commit-site
+  /// failpoint injection, aborts instead and returns the injected error.
+  Status CommitTxn();
+
+  /// Rolls back the whole transaction and releases the writer slot.
+  void AbortTxn();
+
+  /// Replays undo_log_ entries above `mark` in reverse and pops them.
+  void RollbackToMark(size_t mark);
+
+  /// Appends the undo record for a just-applied insert/update (reads the
+  /// stored, post-coercion image back from the table).
+  Status LogAppliedInsert(Table* table, TupleSlot slot);
+  Status LogAppliedUpdate(Table* table, TupleSlot slot, Tuple before);
 
   /// Executes a planned SELECT: Volcano loop, engine-metrics fold, profile
   /// capture, slow-query tracing. `force_timing` arms per-operator clocks
@@ -251,6 +294,13 @@ class Session {
   /// sampling sink); null — one pointer test per span site — otherwise.
   QueryTrace* active_trace_ = nullptr;
   uint64_t last_query_id_ = 0;
+
+  // --- Transaction state (one open transaction per session, max) ------------
+  bool in_txn_ = false;   ///< An explicit BEGIN is open.
+  Epoch txn_epoch_ = 0;   ///< Epoch of the in-flight write txn; 0 = none.
+  /// Holds Database::writer_mutex_ for the span of an explicit transaction.
+  std::unique_lock<std::mutex> txn_writer_lock_;
+  std::vector<UndoRecord> undo_log_;
 };
 
 }  // namespace grfusion

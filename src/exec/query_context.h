@@ -10,6 +10,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/status.h"
+#include "storage/epoch.h"
 
 namespace grfusion {
 
@@ -224,6 +225,19 @@ class QueryContext {
     return task_pool_ != nullptr && max_parallelism_ > 1;
   }
 
+  /// MVCC snapshot this statement reads at. The default kEpochLatest (with
+  /// include_open) reproduces the classic non-versioned behavior for
+  /// directly-constructed contexts (tests, standalone tools); Session sets a
+  /// fixed committed epoch for readers and the writer's own epoch for DML.
+  void set_snapshot_epoch(Epoch e) { snapshot_epoch_ = e; }
+  Epoch snapshot_epoch() const { return snapshot_epoch_; }
+
+  /// Whether graph-view reads under this context see the writer's open
+  /// (unpublished) delta. True only for the writing session's own
+  /// statements; snapshot readers resolve the published delta chain.
+  void set_include_open(bool v) { include_open_ = v; }
+  bool include_open() const { return include_open_; }
+
   /// Records a finished worker context's peak as if it were still resident
   /// on top of the parent's current usage, so SYS.LAST_QUERY's peak-bytes
   /// reflects parallel materialization.
@@ -268,6 +282,8 @@ class QueryContext {
   QueryTrace* trace_ = nullptr;
   CancellationToken* cancel_token_ = nullptr;
   int deadline_skip_ = 0;
+  Epoch snapshot_epoch_ = kEpochLatest;
+  bool include_open_ = true;
   ExecStats stats_;
 };
 

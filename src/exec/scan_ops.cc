@@ -18,7 +18,7 @@ Status SeqScanOp::OpenImpl(QueryContext* ctx) {
 StatusOr<bool> SeqScanOp::NextImpl(ExecRow* out) {
   const size_t bound = table_->SlotUpperBound();
   while (cursor_ < bound) {
-    const Tuple* tuple = table_->Get(cursor_++);
+    const Tuple* tuple = table_->Get(cursor_++, ctx_->snapshot_epoch());
     if (tuple == nullptr) continue;
     ++ctx_->stats().rows_scanned;
     ExecRow row = layout_.MakeRow();
@@ -63,15 +63,22 @@ Status IndexScanOp::OpenImpl(QueryContext* ctx) {
     auto cast = key.CastTo(column_type);
     if (cast.ok()) key = std::move(cast).value();
   }
-  matches_ = index_->Lookup(key);
+  // Copy the slot list under the index's internal lock — a concurrent
+  // writer may grow it — and remember the key: under MVCC an index entry
+  // can point at a slot whose visible version no longer bears the key, so
+  // Next re-checks equality against the fetched tuple.
+  matches_ = index_->LookupSnapshot(key);
+  probe_key_ = std::move(key);
   return Status::OK();
 }
 
 StatusOr<bool> IndexScanOp::NextImpl(ExecRow* out) {
-  if (matches_ == nullptr) return false;
-  while (cursor_ < matches_->size()) {
-    const Tuple* tuple = table_->Get((*matches_)[cursor_++]);
+  const size_t column = index_->column();
+  while (cursor_ < matches_.size()) {
+    const Tuple* tuple =
+        table_->Get(matches_[cursor_++], ctx_->snapshot_epoch());
     if (tuple == nullptr) continue;
+    if (!(tuple->value(column) == probe_key_)) continue;
     ++ctx_->stats().rows_scanned;
     ExecRow row = layout_.MakeRow();
     for (size_t i = 0; i < tuple->NumValues(); ++i) {
@@ -87,7 +94,7 @@ StatusOr<bool> IndexScanOp::NextImpl(ExecRow* out) {
   return false;
 }
 
-void IndexScanOp::CloseImpl() { matches_ = nullptr; }
+void IndexScanOp::CloseImpl() { matches_.clear(); }
 
 std::string IndexScanOp::name() const {
   std::string out = "IndexScan(" + table_->name() + "." + index_->name() +

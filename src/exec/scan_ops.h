@@ -86,7 +86,8 @@ class IndexScanOp : public PhysicalOperator {
   RowLayout layout_;
   size_t offset_;
   QueryContext* ctx_ = nullptr;
-  const std::vector<TupleSlot>* matches_ = nullptr;
+  std::vector<TupleSlot> matches_;
+  Value probe_key_;
   size_t cursor_ = 0;
 };
 

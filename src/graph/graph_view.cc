@@ -20,7 +20,27 @@ Status NoteMaintenance(Status status) {
   return status;
 }
 
+thread_local const GraphReadScope* g_graph_read_scope = nullptr;
+
 }  // namespace
+
+// --- GraphReadScope ---------------------------------------------------------
+
+GraphReadScope::GraphReadScope(Epoch epoch, bool include_open)
+    : epoch_(epoch),
+      include_open_(include_open),
+      prev_(g_graph_read_scope) {
+  g_graph_read_scope = this;
+}
+
+GraphReadScope::~GraphReadScope() { g_graph_read_scope = prev_; }
+
+const GraphReadScope* GraphReadScope::Current() { return g_graph_read_scope; }
+
+Epoch GraphReadScope::CurrentEpoch() {
+  const GraphReadScope* s = g_graph_read_scope;
+  return s != nullptr ? s->epoch() : kEpochLatest;
+}
 
 // --- SourceListener -------------------------------------------------------
 
@@ -121,6 +141,10 @@ StatusOr<std::unique_ptr<GraphView>> GraphView::Create(
     });
     GRF_RETURN_IF_ERROR(status);
   }
+
+  // The initial build above mutates the base directly; managed mode (delta
+  // overlays) only governs online maintenance from here on.
+  gv->managed_ = build.managed;
 
   // From now on, source mutations flow into the topology transactionally.
   gv->vertex_listener_ = std::make_unique<SourceListener>(gv.get(), true);
@@ -304,20 +328,210 @@ Status GraphView::ResolveColumns() {
   return Status::OK();
 }
 
+// --- Delta overlay resolution ----------------------------------------------
+
+const GraphDelta* GraphView::VisibleDelta() const {
+  if (!managed_) return nullptr;
+  const GraphReadScope* scope = GraphReadScope::Current();
+  if (scope == nullptr) {
+    // Scope-less callers — the writer's own DML (listener path) and quiesced
+    // direct reads (tests, rebuild verification) — see the newest state
+    // including the open overlay.
+    if (open_ != nullptr) return open_.get();
+    return delta_head_.load(std::memory_order_acquire);
+  }
+  if (scope->include_open() && open_ != nullptr) return open_.get();
+  // Cumulative deltas: the newest one published at or before the snapshot
+  // epoch carries the complete overlay for that snapshot.
+  for (const GraphDelta* d = delta_head_.load(std::memory_order_acquire);
+       d != nullptr; d = d->prev) {
+    if (d->epoch <= scope->epoch()) return d;
+  }
+  return nullptr;
+}
+
+GraphDelta* GraphView::EnsureOpen() {
+  if (open_ != nullptr) return open_.get();
+  open_ = std::make_unique<GraphDelta>();
+  const GraphDelta* head = delta_head_.load(std::memory_order_relaxed);
+  if (head != nullptr) {
+    // Deep-copy the newest published delta: keeping every delta cumulative
+    // means a reader resolves exactly one chain node.
+    open_->vertex_order = head->vertex_order;
+    open_->edge_order = head->edge_order;
+    open_->vmap.reserve(head->vmap.size());
+    for (const auto& [id, entry] : head->vmap) {
+      open_->vmap.emplace(
+          id, entry ? std::make_unique<VertexEntry>(*entry) : nullptr);
+    }
+    open_->emap.reserve(head->emap.size());
+    for (const auto& [id, entry] : head->emap) {
+      open_->emap.emplace(
+          id, entry ? std::make_unique<EdgeEntry>(*entry) : nullptr);
+    }
+    open_->num_vertexes = head->num_vertexes;
+    open_->num_edges = head->num_edges;
+    open_->ops = head->ops;
+  } else {
+    open_->num_vertexes = num_live_vertexes_;
+    open_->num_edges = num_live_edges_;
+  }
+  return open_.get();
+}
+
+const VertexEntry* GraphView::OpenFindVertex(const GraphDelta* d,
+                                             VertexId id) const {
+  auto it = d->vmap.find(id);
+  if (it != d->vmap.end()) return it->second.get();
+  return BaseFindVertex(id);
+}
+
+const EdgeEntry* GraphView::OpenFindEdge(const GraphDelta* d,
+                                         EdgeId id) const {
+  auto it = d->emap.find(id);
+  if (it != d->emap.end()) return it->second.get();
+  return BaseFindEdge(id);
+}
+
+void GraphView::SetOverlayVertex(GraphDelta* d, VertexId id,
+                                 std::unique_ptr<VertexEntry> entry) {
+  auto [it, inserted] = d->vmap.try_emplace(id);
+  if (inserted) d->vertex_order.push_back(id);
+  it->second = std::move(entry);
+}
+
+void GraphView::SetOverlayEdge(GraphDelta* d, EdgeId id,
+                               std::unique_ptr<EdgeEntry> entry) {
+  auto [it, inserted] = d->emap.try_emplace(id);
+  if (inserted) d->edge_order.push_back(id);
+  it->second = std::move(entry);
+}
+
+VertexEntry* GraphView::MutableOpenVertex(VertexId id) {
+  GraphDelta* d = EnsureOpen();
+  auto it = d->vmap.find(id);
+  if (it != d->vmap.end()) return it->second.get();
+  const VertexEntry* base = BaseFindVertex(id);
+  if (base == nullptr) return nullptr;
+  auto copy = std::make_unique<VertexEntry>(*base);
+  VertexEntry* out = copy.get();
+  SetOverlayVertex(d, id, std::move(copy));
+  return out;
+}
+
+// --- Transaction lifecycle --------------------------------------------------
+
+void GraphView::PublishOpenDelta(Epoch epoch) {
+  if (open_ == nullptr) return;
+  open_->epoch = epoch;
+  open_->prev = delta_head_.load(std::memory_order_relaxed);
+  const GraphDelta* published = open_.get();
+  delta_chain_.push_back(std::move(open_));
+  delta_head_.store(published, std::memory_order_release);
+}
+
+Status GraphView::FoldDeltas() {
+  GRF_CHECK(open_ == nullptr);
+  const GraphDelta* d = delta_head_.load(std::memory_order_relaxed);
+  if (d == nullptr) return Status::OK();
+  // An injected failure defers the fold: the published chain stays intact
+  // and readers keep resolving it, so this is never fatal to a commit.
+  GRF_FAILPOINT("graph_view.fold");
+
+  // Phase 1: edges. Shadowed base entries are killed without adjacency
+  // detach — any vertex whose adjacency changed is itself in the overlay
+  // and is replaced wholesale in phase 2.
+  for (EdgeId id : d->edge_order) {
+    auto oit = d->emap.find(id);
+    GRF_DCHECK(oit != d->emap.end());
+    auto bit = edge_index_.find(id);
+    if (bit != edge_index_.end()) {
+      EdgeEntry& e = edges_[bit->second];
+      if (e.live) {
+        e.live = false;
+        edge_free_list_.push_back(bit->second);
+      }
+      edge_index_.erase(bit);
+    }
+    if (oit->second == nullptr) continue;  // Tombstone: absent after fold.
+    size_t pos;
+    if (!edge_free_list_.empty()) {
+      pos = edge_free_list_.back();
+      edge_free_list_.pop_back();
+    } else {
+      pos = edges_.size();
+      edges_.emplace_back();
+    }
+    edges_[pos] = *oit->second;
+    edge_index_[id] = pos;
+  }
+
+  // Phase 2: vertices, adjacency vectors copied wholesale.
+  for (VertexId id : d->vertex_order) {
+    auto oit = d->vmap.find(id);
+    GRF_DCHECK(oit != d->vmap.end());
+    auto bit = vertex_index_.find(id);
+    if (bit != vertex_index_.end()) {
+      VertexEntry& v = vertexes_[bit->second];
+      if (v.live) {
+        v.live = false;
+        vertex_free_list_.push_back(bit->second);
+      }
+      vertex_index_.erase(bit);
+    }
+    if (oit->second == nullptr) continue;
+    size_t pos;
+    if (!vertex_free_list_.empty()) {
+      pos = vertex_free_list_.back();
+      vertex_free_list_.pop_back();
+    } else {
+      pos = vertexes_.size();
+      vertexes_.emplace_back();
+    }
+    vertexes_[pos] = *oit->second;
+    vertex_index_[id] = pos;
+  }
+
+  num_live_vertexes_ = d->num_vertexes;
+  num_live_edges_ = d->num_edges;
+  delta_head_.store(nullptr, std::memory_order_release);
+  delta_chain_.clear();
+  return Status::OK();
+}
+
 // --- Lookup -----------------------------------------------------------------
 
-const VertexEntry* GraphView::FindVertex(VertexId id) const {
+const VertexEntry* GraphView::BaseFindVertex(VertexId id) const {
   auto it = vertex_index_.find(id);
   if (it == vertex_index_.end()) return nullptr;
   const VertexEntry& v = vertexes_[it->second];
   return v.live ? &v : nullptr;
 }
 
-const EdgeEntry* GraphView::FindEdge(EdgeId id) const {
+const EdgeEntry* GraphView::BaseFindEdge(EdgeId id) const {
   auto it = edge_index_.find(id);
   if (it == edge_index_.end()) return nullptr;
   const EdgeEntry& e = edges_[it->second];
   return e.live ? &e : nullptr;
+}
+
+const VertexEntry* GraphView::FindVertex(VertexId id) const {
+  const GraphDelta* d = VisibleDelta();
+  if (d != nullptr) {
+    auto it = d->vmap.find(id);
+    // A hit shadows the base entirely; a null value is a tombstone.
+    if (it != d->vmap.end()) return it->second.get();
+  }
+  return BaseFindVertex(id);
+}
+
+const EdgeEntry* GraphView::FindEdge(EdgeId id) const {
+  const GraphDelta* d = VisibleDelta();
+  if (d != nullptr) {
+    auto it = d->emap.find(id);
+    if (it != d->emap.end()) return it->second.get();
+  }
+  return BaseFindEdge(id);
 }
 
 size_t GraphView::FanOut(const VertexEntry& v) const {
@@ -331,12 +545,13 @@ size_t GraphView::FanIn(const VertexEntry& v) const {
 }
 
 double GraphView::AverageFanOut() const {
-  if (num_live_vertexes_ == 0) return 0.0;
+  const size_t num_vertexes = NumVertexes();
+  if (num_vertexes == 0) return 0.0;
   // Every directed edge contributes one out-slot; undirected edges are
   // traversable from both endpoints.
-  double traversable = static_cast<double>(num_live_edges_) *
+  double traversable = static_cast<double>(NumEdges()) *
                        (directed() ? 1.0 : 2.0);
-  return traversable / static_cast<double>(num_live_vertexes_);
+  return traversable / static_cast<double>(num_vertexes);
 }
 
 size_t GraphView::TopologyBytes() const {
@@ -536,16 +751,143 @@ Status GraphView::RemoveVertex(VertexId id) {
   return Status::OK();
 }
 
+// --- Delta-overlay mutation (managed views) ---------------------------------
+//
+// Overlay counterparts of the base primitives: same veto semantics and
+// byte-identical error messages, but every change lands in the writer's open
+// GraphDelta so concurrent snapshot readers keep traversing the published
+// state untouched.
+
+Status GraphView::DeltaAddVertex(VertexId id, TupleSlot slot) {
+  GraphDelta* d = EnsureOpen();
+  if (OpenFindVertex(d, id) != nullptr) {
+    return Status::ConstraintViolation(
+        StrFormat("duplicate vertex id %lld in graph view '%s'",
+                  static_cast<long long>(id), def_.name.c_str()));
+  }
+  auto v = std::make_unique<VertexEntry>();
+  v->id = id;
+  v->tuple = slot;
+  v->live = true;
+  SetOverlayVertex(d, id, std::move(v));
+  ++d->num_vertexes;
+  ++d->ops;
+  return Status::OK();
+}
+
+Status GraphView::DeltaAddEdge(EdgeId id, VertexId from, VertexId to,
+                               TupleSlot slot) {
+  GraphDelta* d = EnsureOpen();
+  if (OpenFindEdge(d, id) != nullptr) {
+    return Status::ConstraintViolation(
+        StrFormat("duplicate edge id %lld in graph view '%s'",
+                  static_cast<long long>(id), def_.name.c_str()));
+  }
+  if (OpenFindVertex(d, from) == nullptr) {
+    return Status::ConstraintViolation(
+        StrFormat("edge %lld references missing start vertex %lld",
+                  static_cast<long long>(id), static_cast<long long>(from)));
+  }
+  if (OpenFindVertex(d, to) == nullptr) {
+    return Status::ConstraintViolation(
+        StrFormat("edge %lld references missing end vertex %lld",
+                  static_cast<long long>(id), static_cast<long long>(to)));
+  }
+  // Copy-on-write the endpoints so their adjacency lists pick up the edge.
+  VertexEntry* fv = MutableOpenVertex(from);
+  VertexEntry* tv = MutableOpenVertex(to);
+  GRF_CHECK(fv != nullptr && tv != nullptr);
+  fv->out_edges.push_back(id);
+  tv->in_edges.push_back(id);
+  auto e = std::make_unique<EdgeEntry>();
+  e->id = id;
+  e->from = from;
+  e->to = to;
+  e->tuple = slot;
+  e->live = true;
+  SetOverlayEdge(d, id, std::move(e));
+  ++d->num_edges;
+  ++d->ops;
+  return Status::OK();
+}
+
+Status GraphView::DeltaRemoveEdge(EdgeId id) {
+  GraphDelta* d = EnsureOpen();
+  const EdgeEntry* e = OpenFindEdge(d, id);
+  if (e == nullptr) {
+    return Status::NotFound(StrFormat("edge %lld not in graph view '%s'",
+                                      static_cast<long long>(id),
+                                      def_.name.c_str()));
+  }
+  const VertexId from = e->from;
+  const VertexId to = e->to;
+  auto detach = [id](std::vector<EdgeId>& list) {
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  };
+  if (VertexEntry* fv = MutableOpenVertex(from)) detach(fv->out_edges);
+  if (VertexEntry* tv = MutableOpenVertex(to)) detach(tv->in_edges);
+  SetOverlayEdge(d, id, nullptr);
+  --d->num_edges;
+  ++d->ops;
+  return Status::OK();
+}
+
+Status GraphView::DeltaRemoveVertex(VertexId id) {
+  GraphDelta* d = EnsureOpen();
+  const VertexEntry* v = OpenFindVertex(d, id);
+  if (v == nullptr) {
+    return Status::NotFound(StrFormat("vertex %lld not in graph view '%s'",
+                                      static_cast<long long>(id),
+                                      def_.name.c_str()));
+  }
+  if (!v->out_edges.empty() || !v->in_edges.empty()) {
+    return Status::ConstraintViolation(StrFormat(
+        "cannot remove vertex %lld: %zu incident edge(s) still reference it",
+        static_cast<long long>(id), v->out_edges.size() + v->in_edges.size()));
+  }
+  SetOverlayVertex(d, id, nullptr);
+  --d->num_vertexes;
+  ++d->ops;
+  return Status::OK();
+}
+
+Status GraphView::DeltaVertexUpdate(TupleSlot slot, VertexId old_id,
+                                    VertexId new_id) {
+  GraphDelta* d = EnsureOpen();
+  const VertexEntry* v = OpenFindVertex(d, old_id);
+  if (v == nullptr) {
+    return Status::Internal("vertex id map out of sync on update");
+  }
+  if (!v->out_edges.empty() || !v->in_edges.empty()) {
+    return Status::ConstraintViolation(StrFormat(
+        "cannot change id of vertex %lld: incident edges reference it",
+        static_cast<long long>(old_id)));
+  }
+  if (OpenFindVertex(d, new_id) != nullptr) {
+    return Status::ConstraintViolation(
+        StrFormat("vertex id %lld already exists",
+                  static_cast<long long>(new_id)));
+  }
+  // Rename as tombstone + re-add (copy first: `v` may live in the overlay).
+  auto copy = std::make_unique<VertexEntry>(*v);
+  copy->id = new_id;
+  copy->tuple = slot;
+  SetOverlayVertex(d, old_id, nullptr);
+  SetOverlayVertex(d, new_id, std::move(copy));
+  ++d->ops;
+  return Status::OK();
+}
+
 // --- Online updates (paper §3.3) --------------------------------------------
 
 Status GraphView::OnVertexInsert(TupleSlot slot, const Tuple& tuple) {
   GRF_ASSIGN_OR_RETURN(int64_t id, IdFromTuple(tuple, vertex_id_col_, "vertex"));
-  return AddVertex(id, slot);
+  return managed_ ? DeltaAddVertex(id, slot) : AddVertex(id, slot);
 }
 
 Status GraphView::OnVertexDelete(const Tuple& tuple) {
   GRF_ASSIGN_OR_RETURN(int64_t id, IdFromTuple(tuple, vertex_id_col_, "vertex"));
-  return RemoveVertex(id);
+  return managed_ ? DeltaRemoveVertex(id) : RemoveVertex(id);
 }
 
 Status GraphView::OnVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
@@ -559,6 +901,8 @@ Status GraphView::OnVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
   // Identifier update (paper §3.3.1): keep the graph consistent. Renaming a
   // vertex that edges still reference would silently break the edges
   // relational-source's referential integrity, so it is vetoed.
+  if (managed_) return DeltaVertexUpdate(slot, old_id, new_id);
+
   auto it = vertex_index_.find(old_id);
   if (it == vertex_index_.end() || !vertexes_[it->second].live) {
     return Status::Internal("vertex id map out of sync on update");
@@ -569,7 +913,7 @@ Status GraphView::OnVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
         "cannot change id of vertex %lld: incident edges reference it",
         static_cast<long long>(old_id)));
   }
-  if (FindVertex(new_id) != nullptr) {
+  if (BaseFindVertex(new_id) != nullptr) {
     return Status::ConstraintViolation(
         StrFormat("vertex id %lld already exists",
                   static_cast<long long>(new_id)));
@@ -587,12 +931,13 @@ Status GraphView::OnEdgeInsert(TupleSlot slot, const Tuple& tuple) {
   GRF_ASSIGN_OR_RETURN(int64_t from,
                        IdFromTuple(tuple, edge_from_col_, "edge-from"));
   GRF_ASSIGN_OR_RETURN(int64_t to, IdFromTuple(tuple, edge_to_col_, "edge-to"));
-  return AddEdge(id, from, to, slot);
+  return managed_ ? DeltaAddEdge(id, from, to, slot)
+                  : AddEdge(id, from, to, slot);
 }
 
 Status GraphView::OnEdgeDelete(const Tuple& tuple) {
   GRF_ASSIGN_OR_RETURN(int64_t id, IdFromTuple(tuple, edge_id_col_, "edge"));
-  return RemoveEdge(id);
+  return managed_ ? DeltaRemoveEdge(id) : RemoveEdge(id);
 }
 
 // --- Maintenance compensation (all-or-nothing DML across N views) ----------
@@ -601,20 +946,23 @@ Status GraphView::OnEdgeDelete(const Tuple& tuple) {
 // deliberately do NOT route back through the On* handlers: those carry
 // failpoints and veto checks, and an undo that can itself fail would leave
 // views inconsistent — exactly what this protocol exists to prevent.
+// Managed views reverse the change in the open overlay instead; ABORT (which
+// replays a transaction's whole undo log through this same path) therefore
+// also converges the overlay back to the pre-transaction state.
 
 void GraphView::UndoVertexInsert(const Tuple& tuple) {
   StatusOr<int64_t> id = IdFromTuple(tuple, vertex_id_col_, "vertex");
   GRF_CHECK(id.ok());
   // The vertex was inserted moments ago and nothing referenced it since (the
   // statement is still unwinding), so removal cannot be vetoed.
-  Status s = RemoveVertex(*id);
+  Status s = managed_ ? DeltaRemoveVertex(*id) : RemoveVertex(*id);
   GRF_CHECK(s.ok());
 }
 
 void GraphView::UndoVertexDelete(TupleSlot slot, const Tuple& tuple) {
   StatusOr<int64_t> id = IdFromTuple(tuple, vertex_id_col_, "vertex");
   GRF_CHECK(id.ok());
-  Status s = AddVertex(*id, slot);
+  Status s = managed_ ? DeltaAddVertex(*id, slot) : AddVertex(*id, slot);
   GRF_CHECK(s.ok());
 }
 
@@ -624,6 +972,13 @@ void GraphView::UndoVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
   StatusOr<int64_t> new_id = IdFromTuple(new_tuple, vertex_id_col_, "vertex");
   GRF_CHECK(old_id.ok() && new_id.ok());
   if (*old_id == *new_id) return;  // Attribute-only update touched nothing.
+  if (managed_) {
+    // Reverse the rename in the overlay (the forward rename just succeeded,
+    // so the vertex is isolated and the old id is free).
+    Status s = DeltaVertexUpdate(slot, *new_id, *old_id);
+    GRF_CHECK(s.ok());
+    return;
+  }
   // Reverse the id rename in place (same inline protocol as OnVertexUpdate).
   auto it = vertex_index_.find(*new_id);
   GRF_CHECK(it != vertex_index_.end() && vertexes_[it->second].live);
@@ -638,7 +993,7 @@ void GraphView::UndoVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
 void GraphView::UndoEdgeInsert(const Tuple& tuple) {
   StatusOr<int64_t> id = IdFromTuple(tuple, edge_id_col_, "edge");
   GRF_CHECK(id.ok());
-  Status s = RemoveEdge(*id);
+  Status s = managed_ ? DeltaRemoveEdge(*id) : RemoveEdge(*id);
   GRF_CHECK(s.ok());
 }
 
@@ -651,7 +1006,8 @@ void GraphView::UndoEdgeDelete(TupleSlot slot, const Tuple& tuple) {
   // lists, so list order may differ from the pre-delete state; topology
   // equality (what traversal semantics and the differential rebuild check
   // observe) is unaffected.
-  Status s = AddEdge(*id, *from, *to, slot);
+  Status s = managed_ ? DeltaAddEdge(*id, *from, *to, slot)
+                      : AddEdge(*id, *from, *to, slot);
   GRF_CHECK(s.ok());
 }
 
@@ -670,9 +1026,10 @@ void GraphView::UndoEdgeUpdate(TupleSlot slot, const Tuple& old_tuple,
   if (*old_id == *new_id && *old_from == *new_from && *old_to == *new_to) {
     return;  // Attribute-only update touched nothing.
   }
-  Status remove = RemoveEdge(*new_id);
+  Status remove = managed_ ? DeltaRemoveEdge(*new_id) : RemoveEdge(*new_id);
   GRF_CHECK(remove.ok());
-  Status add = AddEdge(*old_id, *old_from, *old_to, slot);
+  Status add = managed_ ? DeltaAddEdge(*old_id, *old_from, *old_to, slot)
+                        : AddEdge(*old_id, *old_from, *old_to, slot);
   GRF_CHECK(add.ok());
 }
 
@@ -694,6 +1051,16 @@ Status GraphView::OnEdgeUpdate(TupleSlot slot, const Tuple& old_tuple,
     return Status::OK();  // Pure attribute update: nothing to do.
   }
   // Topological change: re-link as remove + add, keeping the tuple pointer.
+  if (managed_) {
+    GRF_RETURN_IF_ERROR(DeltaRemoveEdge(old_id));
+    Status s = DeltaAddEdge(new_id, new_from, new_to, slot);
+    if (!s.ok()) {
+      Status restore = DeltaAddEdge(old_id, old_from, old_to, slot);
+      GRF_CHECK(restore.ok());
+      return s;
+    }
+    return Status::OK();
+  }
   GRF_RETURN_IF_ERROR(RemoveEdge(old_id));
   Status s = AddEdge(new_id, new_from, new_to, slot);
   if (!s.ok()) {

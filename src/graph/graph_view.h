@@ -1,6 +1,7 @@
 #ifndef GRFUSION_GRAPH_GRAPH_VIEW_H_
 #define GRFUSION_GRAPH_GRAPH_VIEW_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "graph/graph_view_def.h"
+#include "storage/epoch.h"
 #include "storage/table.h"
 
 namespace grfusion {
@@ -27,6 +29,11 @@ struct GraphBuildOptions {
   size_t max_parallelism = 1;
   /// Sources whose combined row count is below this build sequentially.
   size_t min_rows = 4096;
+  /// Engine-managed mode: online maintenance goes into copy-on-write delta
+  /// overlays published at commit epochs, so snapshot readers keep seeing a
+  /// consistent topology while a writer mutates. Standalone views (tests,
+  /// rebuild verification) leave this false and mutate the base directly.
+  bool managed = false;
 };
 
 /// A vertex of the materialized topology. Attribute data is NOT stored here;
@@ -50,6 +57,59 @@ struct EdgeEntry {
   bool live = false;
 };
 
+/// A cumulative copy-on-write overlay of a managed graph view's topology:
+/// everything that changed since the materialized base, as of `epoch`. An id
+/// present in a map shadows the base entry entirely — a null value is a
+/// tombstone ("absent at this epoch"), a non-null value is the full entry
+/// (including whole adjacency vectors for vertices). Because each delta is
+/// cumulative, a reader resolves exactly one node; `prev` links older
+/// published deltas only so readers at older snapshots find theirs.
+///
+/// Invariant: an id appears in `vertex_order`/`edge_order` exactly once, iff
+/// it is a key of the corresponding map (entries are tombstoned in place,
+/// never erased, so enumeration order stays stable and duplicate-free).
+struct GraphDelta {
+  Epoch epoch = 0;
+  const GraphDelta* prev = nullptr;
+  std::unordered_map<VertexId, std::unique_ptr<VertexEntry>> vmap;
+  std::unordered_map<EdgeId, std::unique_ptr<EdgeEntry>> emap;
+  std::vector<VertexId> vertex_order;
+  std::vector<EdgeId> edge_order;
+  /// Live totals of the whole view (base + overlay) at this delta's state.
+  size_t num_vertexes = 0;
+  size_t num_edges = 0;
+  /// Cumulative count of overlay mutations since the base (fold pressure).
+  size_t ops = 0;
+};
+
+/// Thread-local RAII snapshot scope for graph reads. Session installs one
+/// around statement execution (and parallel operators re-install it on their
+/// worker threads); GraphView read methods consult it to pick the delta
+/// visible at the statement's snapshot epoch and the matching table-version
+/// epoch for tuple fetches. With no scope installed (standalone tests,
+/// rebuild verification — documented quiesced), reads see the open overlay
+/// if one exists, else the newest published state.
+class GraphReadScope {
+ public:
+  GraphReadScope(Epoch epoch, bool include_open);
+  ~GraphReadScope();
+
+  GraphReadScope(const GraphReadScope&) = delete;
+  GraphReadScope& operator=(const GraphReadScope&) = delete;
+
+  static const GraphReadScope* Current();
+  /// Snapshot epoch of the innermost scope, or kEpochLatest with none.
+  static Epoch CurrentEpoch();
+
+  Epoch epoch() const { return epoch_; }
+  bool include_open() const { return include_open_; }
+
+ private:
+  Epoch epoch_;
+  bool include_open_;
+  const GraphReadScope* prev_;
+};
+
 /// The materialized graph view (paper §3): a singleton native graph structure
 /// holding the topology in adjacency lists, bi-directionally linked with the
 /// relational sources:
@@ -61,6 +121,13 @@ struct EdgeEntry {
 /// the mutating transaction (paper §3.3), and vetoes changes that would break
 /// referential integrity (an edge whose endpoint does not exist, deleting a
 /// vertex that still has incident edges).
+///
+/// Managed views (GraphBuildOptions::managed) buffer online maintenance in a
+/// GraphDelta overlay instead of mutating the base: the writer's statements
+/// see the open overlay, COMMIT publishes it at the commit epoch (release
+/// store, paired with EpochManager::Commit), ABORT discards it, and the
+/// published chain folds into the base under the exclusive statement lock.
+/// Snapshot readers therefore never observe a half-applied transaction.
 class GraphView {
  public:
   /// Builds the topology with a single pass over the relational sources
@@ -84,21 +151,29 @@ class GraphView {
   Table* vertex_table() const { return vertex_table_; }
   Table* edge_table() const { return edge_table_; }
 
-  size_t NumVertexes() const { return num_live_vertexes_; }
-  size_t NumEdges() const { return num_live_edges_; }
+  size_t NumVertexes() const {
+    const GraphDelta* d = VisibleDelta();
+    return d != nullptr ? d->num_vertexes : num_live_vertexes_;
+  }
+  size_t NumEdges() const {
+    const GraphDelta* d = VisibleDelta();
+    return d != nullptr ? d->num_edges : num_live_edges_;
+  }
 
-  /// O(1) lookup of a vertex by id; nullptr when absent.
+  /// O(1) lookup of a vertex by id; nullptr when absent (at the calling
+  /// scope's snapshot).
   const VertexEntry* FindVertex(VertexId id) const;
   /// O(1) lookup of an edge by id; nullptr when absent.
   const EdgeEntry* FindEdge(EdgeId id) const;
 
   /// The vertex tuple (attribute row) behind `v`, fetched through the tuple
-  /// pointer. Never nullptr for a live entry.
+  /// pointer at the calling scope's snapshot epoch. Never nullptr for an
+  /// entry visible at that snapshot.
   const Tuple* VertexTuple(const VertexEntry& v) const {
-    return vertex_table_->Get(v.tuple);
+    return vertex_table_->Get(v.tuple, GraphReadScope::CurrentEpoch());
   }
   const Tuple* EdgeTuple(const EdgeEntry& e) const {
-    return edge_table_->Get(e.tuple);
+    return edge_table_->Get(e.tuple, GraphReadScope::CurrentEpoch());
   }
 
   /// Number of outgoing / incoming edges (paper's FanOut / FanIn vertex
@@ -110,10 +185,25 @@ class GraphView {
   /// fn returns false.
   template <typename Fn>
   void ForEachVertex(Fn&& fn) const {
-    for (const VertexEntry& v : vertexes_) {
-      if (v.live) {
-        if (!fn(v)) return;
+    const GraphDelta* d = VisibleDelta();
+    if (d == nullptr) {
+      for (const VertexEntry& v : vertexes_) {
+        if (v.live) {
+          if (!fn(v)) return;
+        }
       }
+      return;
+    }
+    // Base entries the overlay does not shadow, in base order…
+    for (const VertexEntry& v : vertexes_) {
+      if (!v.live || d->vmap.count(v.id) != 0) continue;
+      if (!fn(v)) return;
+    }
+    // …then overlay entries in first-touch order (tombstones skipped).
+    for (VertexId id : d->vertex_order) {
+      auto it = d->vmap.find(id);
+      if (it == d->vmap.end() || it->second == nullptr) continue;
+      if (!fn(*it->second)) return;
     }
   }
 
@@ -121,10 +211,23 @@ class GraphView {
   /// returns false.
   template <typename Fn>
   void ForEachEdge(Fn&& fn) const {
-    for (const EdgeEntry& e : edges_) {
-      if (e.live) {
-        if (!fn(e)) return;
+    const GraphDelta* d = VisibleDelta();
+    if (d == nullptr) {
+      for (const EdgeEntry& e : edges_) {
+        if (e.live) {
+          if (!fn(e)) return;
+        }
       }
+      return;
+    }
+    for (const EdgeEntry& e : edges_) {
+      if (!e.live || d->emap.count(e.id) != 0) continue;
+      if (!fn(e)) return;
+    }
+    for (EdgeId id : d->edge_order) {
+      auto it = d->emap.find(id);
+      if (it == d->emap.end() || it->second == nullptr) continue;
+      if (!fn(*it->second)) return;
     }
   }
 
@@ -168,6 +271,33 @@ class GraphView {
   Schema ExposedVertexSchema() const;
   Schema ExposedEdgeSchema() const;
 
+  // --- Transaction lifecycle (managed views; called by Session) -------------
+
+  bool managed() const { return managed_; }
+  bool HasOpenDelta() const { return open_ != nullptr; }
+
+  /// Publishes the writer's open overlay at `epoch`. Must happen before
+  /// EpochManager::Commit stores that epoch — the head's release store plus
+  /// the committed counter's release store make the delta and its epoch
+  /// visible together to readers.
+  void PublishOpenDelta(Epoch epoch);
+
+  /// Drops the writer's open overlay (ABORT, after the table undo log has
+  /// replayed — by then the overlay is logically an identity anyway).
+  void DiscardOpenDelta() { open_.reset(); }
+
+  /// Applies the newest published delta to the base topology and frees the
+  /// chain. Callers must hold the exclusive statement lock (no readers in
+  /// flight) and must not have an open overlay. A failpoint-injected error
+  /// simply defers the fold — the published chain stays intact and correct.
+  Status FoldDeltas();
+
+  /// Fold pressure: cumulative overlay mutations awaiting a fold.
+  size_t PendingDeltaOps() const {
+    const GraphDelta* d = delta_head_.load(std::memory_order_relaxed);
+    return d != nullptr ? d->ops : 0;
+  }
+
  private:
   /// Adapter distinguishing which relational source a change came from.
   class SourceListener : public TableChangeListener {
@@ -203,10 +333,48 @@ class GraphView {
   /// Morsel-parallel initial build: parallel id extraction + endpoint
   /// resolution + per-morsel adjacency grouping, sequential slot-order merge.
   Status ParallelBuild(const GraphBuildOptions& build);
+
+  // Base-topology primitives (unmanaged views, initial build, fold target).
   Status AddVertex(VertexId id, TupleSlot slot);
   Status AddEdge(EdgeId id, VertexId from, VertexId to, TupleSlot slot);
   Status RemoveVertex(VertexId id);
   Status RemoveEdge(EdgeId id);
+  const VertexEntry* BaseFindVertex(VertexId id) const;
+  const EdgeEntry* BaseFindEdge(EdgeId id) const;
+
+  // Delta-overlay resolution and mutation (managed views).
+
+  /// The delta visible to the calling thread: the open overlay for the
+  /// writer (and for scope-less quiesced callers), else the newest published
+  /// delta whose epoch is within the scope's snapshot. nullptr = base only.
+  const GraphDelta* VisibleDelta() const;
+
+  /// Lazily creates the writer's open overlay as a deep copy of the newest
+  /// published delta (cumulative deltas: one node resolves everything).
+  GraphDelta* EnsureOpen();
+
+  /// Lookup against the open overlay (writer's view during DML).
+  const VertexEntry* OpenFindVertex(const GraphDelta* d, VertexId id) const;
+  const EdgeEntry* OpenFindEdge(const GraphDelta* d, EdgeId id) const;
+
+  /// Copy-on-write: the open overlay's mutable entry for `id`, copying the
+  /// base entry in on first touch. nullptr when the vertex is absent.
+  VertexEntry* MutableOpenVertex(VertexId id);
+
+  /// Sets / tombstones an overlay entry, maintaining the order-vector
+  /// invariant (push id on first emplace only; tombstone in place after).
+  void SetOverlayVertex(GraphDelta* d, VertexId id,
+                        std::unique_ptr<VertexEntry> entry);
+  void SetOverlayEdge(GraphDelta* d, EdgeId id,
+                      std::unique_ptr<EdgeEntry> entry);
+
+  // Overlay counterparts of the base primitives, with identical error
+  // messages and veto semantics.
+  Status DeltaAddVertex(VertexId id, TupleSlot slot);
+  Status DeltaAddEdge(EdgeId id, VertexId from, VertexId to, TupleSlot slot);
+  Status DeltaRemoveVertex(VertexId id);
+  Status DeltaRemoveEdge(EdgeId id);
+  Status DeltaVertexUpdate(TupleSlot slot, VertexId old_id, VertexId new_id);
 
   Status OnVertexInsert(TupleSlot slot, const Tuple& tuple);
   Status OnVertexDelete(const Tuple& tuple);
@@ -251,6 +419,15 @@ class GraphView {
   std::unordered_map<EdgeId, size_t> edge_index_;
   size_t num_live_vertexes_ = 0;
   size_t num_live_edges_ = 0;
+
+  /// Managed-mode state. delta_head_ is the read-side entry point (released
+  /// by PublishOpenDelta, acquired by readers); delta_chain_ owns the
+  /// published nodes until a fold frees them under the exclusive lock;
+  /// open_ is touched only by the writer (and scope-less quiesced readers).
+  bool managed_ = false;
+  std::atomic<const GraphDelta*> delta_head_{nullptr};
+  std::vector<std::unique_ptr<GraphDelta>> delta_chain_;
+  std::unique_ptr<GraphDelta> open_;
 
   std::unique_ptr<SourceListener> vertex_listener_;
   std::unique_ptr<SourceListener> edge_listener_;

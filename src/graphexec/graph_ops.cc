@@ -127,6 +127,11 @@ Status VertexScanOp::ParallelFilterOpen() {
     QueryContext wctx(ctx_->memory_cap());
     wctx.set_shared_budget(&budget);
     wctx.set_cancellation(ctx_->cancellation());
+    // Pin the worker to the statement's MVCC snapshot: the GraphReadScope is
+    // thread-local, so each pool thread re-installs it for its morsels.
+    wctx.set_snapshot_epoch(ctx_->snapshot_epoch());
+    wctx.set_include_open(ctx_->include_open());
+    GraphReadScope graph_scope(ctx_->snapshot_epoch(), ctx_->include_open());
     for (size_t i = begin; i < end; ++i) {
       if (abort.load(std::memory_order_relaxed)) break;
       ExecRow row;
@@ -286,6 +291,11 @@ Status EdgeScanOp::ParallelFilterOpen() {
     QueryContext wctx(ctx_->memory_cap());
     wctx.set_shared_budget(&budget);
     wctx.set_cancellation(ctx_->cancellation());
+    // Pin the worker to the statement's MVCC snapshot: the GraphReadScope is
+    // thread-local, so each pool thread re-installs it for its morsels.
+    wctx.set_snapshot_epoch(ctx_->snapshot_epoch());
+    wctx.set_include_open(ctx_->include_open());
+    GraphReadScope graph_scope(ctx_->snapshot_epoch(), ctx_->include_open());
     for (size_t i = begin; i < end; ++i) {
       if (abort.load(std::memory_order_relaxed)) break;
       ExecRow row;

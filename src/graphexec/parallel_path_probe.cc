@@ -171,6 +171,12 @@ void ParallelPathProbe::WorkerBody(size_t widx, bool ordered) {
   // Workers observe the statement's token (PathScanner checks it per
   // expansion), so a deadline/interrupt stops every thread of the fan-out.
   wctx.set_cancellation(parent_->cancellation());
+  // Pin this worker thread to the statement's MVCC snapshot (GraphReadScope
+  // is thread-local and does not propagate into the pool).
+  wctx.set_snapshot_epoch(parent_->snapshot_epoch());
+  wctx.set_include_open(parent_->include_open());
+  GraphReadScope graph_scope(parent_->snapshot_epoch(),
+                             parent_->include_open());
   {
     PathScanner scanner(spec_, &wctx);
     std::vector<PathPtr> batch;  // Streaming protocol: flushed every

@@ -177,10 +177,19 @@ struct KillStmt {
   int64_t query_id = 0;
 };
 
+/// BEGIN [TRANSACTION | WORK] / COMMIT / ABORT (ROLLBACK parses as ABORT).
+/// Explicit single-writer transaction control: BEGIN claims the database's
+/// writer slot, COMMIT publishes every buffered change at one epoch, ABORT
+/// rolls the transaction back via the undo log.
+struct TxnStmt {
+  enum class Kind { kBegin, kCommit, kAbort };
+  Kind kind = Kind::kBegin;
+};
+
 using Statement =
     std::variant<CreateTableStmt, CreateIndexStmt, CreateGraphViewStmt,
                  CreateMaterializedViewStmt, DropStmt, InsertStmt, UpdateStmt,
-                 DeleteStmt, SelectStmt, ExplainStmt, KillStmt>;
+                 DeleteStmt, SelectStmt, ExplainStmt, KillStmt, TxnStmt>;
 
 }  // namespace grfusion
 

@@ -150,6 +150,25 @@ StatusOr<Statement> Parser::ParseStatement() {
     stmt.query_id = Advance().int_value;
     return Statement(std::move(stmt));
   }
+  if (MatchKeyword("BEGIN")) {
+    // Optional noise words, as in PostgreSQL.
+    if (!MatchKeyword("TRANSACTION")) MatchKeyword("WORK");
+    TxnStmt stmt;
+    stmt.kind = TxnStmt::Kind::kBegin;
+    return Statement(std::move(stmt));
+  }
+  if (MatchKeyword("COMMIT")) {
+    if (!MatchKeyword("TRANSACTION")) MatchKeyword("WORK");
+    TxnStmt stmt;
+    stmt.kind = TxnStmt::Kind::kCommit;
+    return Statement(std::move(stmt));
+  }
+  if (MatchKeyword("ABORT") || MatchKeyword("ROLLBACK")) {
+    if (!MatchKeyword("TRANSACTION")) MatchKeyword("WORK");
+    TxnStmt stmt;
+    stmt.kind = TxnStmt::Kind::kAbort;
+    return Statement(std::move(stmt));
+  }
   return ErrorHere("expected a statement");
 }
 

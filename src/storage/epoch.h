@@ -1,0 +1,34 @@
+#ifndef GRFUSION_STORAGE_EPOCH_H_
+#define GRFUSION_STORAGE_EPOCH_H_
+
+#include <cstdint>
+
+namespace grfusion {
+
+/// Logical commit timestamp. Every tuple version carries a [begin, end)
+/// epoch interval; a statement reads at a fixed snapshot epoch and sees
+/// exactly the versions whose interval contains it. Epoch 0 is the
+/// "pre-history" epoch used by standalone (externally-serialized) storage
+/// callers — versions written at epoch 0 are visible to every snapshot.
+using Epoch = uint64_t;
+
+/// Open upper bound: a version with end == kEpochMax is still alive.
+inline constexpr Epoch kEpochMax = ~static_cast<Epoch>(0);
+
+/// Snapshot sentinel meaning "latest state, ignore versioning": only
+/// versions that have not been superseded are visible. Standalone storage
+/// callers (unit tests, graph-view rebuilds) read at this epoch and observe
+/// exactly the classic non-versioned behavior.
+inline constexpr Epoch kEpochLatest = kEpochMax;
+
+/// The MVCC visibility rule. A version [begin, end) is visible at snapshot
+/// `e` iff begin <= e < end; the kEpochLatest sentinel sees every
+/// non-superseded version regardless of its begin stamp.
+inline bool EpochVisible(Epoch begin, Epoch end, Epoch e) {
+  if (e == kEpochLatest) return end == kEpochMax;
+  return begin <= e && e < end;
+}
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_STORAGE_EPOCH_H_

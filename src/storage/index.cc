@@ -1,22 +1,22 @@
 #include "storage/index.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace grfusion {
 
-Status HashIndex::Insert(const Value& key, TupleSlot slot) {
-  if (key.is_null()) return Status::OK();  // NULLs are not indexed.
+bool HashIndex::InsertIfAbsent(const Value& key, TupleSlot slot) {
+  if (key.is_null()) return false;  // NULLs are not indexed.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto& slots = map_[key];
-  if (unique_ && !slots.empty()) {
-    return Status::ConstraintViolation("duplicate key " + key.ToString() +
-                                       " in unique index '" + name_ + "'");
-  }
+  if (std::find(slots.begin(), slots.end(), slot) != slots.end()) return false;
   slots.push_back(slot);
-  return Status::OK();
+  return true;
 }
 
 void HashIndex::Erase(const Value& key, TupleSlot slot) {
   if (key.is_null()) return;
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return;
   auto& slots = it->second;
@@ -28,6 +28,13 @@ const std::vector<TupleSlot>* HashIndex::Lookup(const Value& key) const {
   if (key.is_null()) return nullptr;
   auto it = map_.find(key);
   return it == map_.end() ? nullptr : &it->second;
+}
+
+std::vector<TupleSlot> HashIndex::LookupSnapshot(const Value& key) const {
+  if (key.is_null()) return {};
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = map_.find(key);
+  return it == map_.end() ? std::vector<TupleSlot>() : it->second;
 }
 
 }  // namespace grfusion

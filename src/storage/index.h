@@ -1,6 +1,7 @@
 #ifndef GRFUSION_STORAGE_INDEX_H_
 #define GRFUSION_STORAGE_INDEX_H_
 
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +16,12 @@ namespace grfusion {
 /// non-unique variants; point lookups only (the engine's planner uses it for
 /// equality predicates, which covers the paper's probe pattern
 /// `PS.StartVertex.Id = U.uId`).
+///
+/// Under MVCC the index maps keys to row slots, not to versions: an entry
+/// may point at a slot whose visible version no longer bears the key (the
+/// erase is deferred to vacuum), so versioned readers must re-check both
+/// visibility and key equality against the tuple they fetch. Uniqueness is
+/// likewise enforced by the table against the visible state, not here.
 class HashIndex {
  public:
   HashIndex(std::string name, size_t column, bool unique)
@@ -24,23 +31,44 @@ class HashIndex {
   size_t column() const { return column_; }
   bool unique() const { return unique_; }
 
-  /// Registers `slot` under `key`. Fails with ConstraintViolation when a
-  /// unique index already holds the key.
-  Status Insert(const Value& key, TupleSlot slot);
+  /// Registers `slot` under `key` if the pair is not already present.
+  /// Returns true when a new pair was added. NULL keys are not indexed
+  /// (matching SQL unique-index semantics).
+  bool InsertIfAbsent(const Value& key, TupleSlot slot);
+
+  /// Compatibility wrapper around InsertIfAbsent; never fails (uniqueness
+  /// is checked by the owning Table against visible versions).
+  Status Insert(const Value& key, TupleSlot slot) {
+    InsertIfAbsent(key, slot);
+    return Status::OK();
+  }
 
   /// Removes the (key, slot) pair; missing pairs are ignored.
   void Erase(const Value& key, TupleSlot slot);
 
-  /// All slots whose key structurally equals `key` (NULL keys are not
-  /// indexed, matching SQL unique-index semantics).
+  /// All slots whose key structurally equals `key`. Returns a pointer into
+  /// the map, so it is only safe for externally-serialized callers (the
+  /// single writer, DDL under the exclusive lock, standalone tests).
+  /// Concurrent readers must use LookupSnapshot.
   const std::vector<TupleSlot>* Lookup(const Value& key) const;
 
-  size_t NumKeys() const { return map_.size(); }
+  /// Copy of the slot list for `key`, taken under the internal lock so it
+  /// is safe against a concurrent writer. Callers re-check visibility and
+  /// key equality per slot.
+  std::vector<TupleSlot> LookupSnapshot(const Value& key) const;
+
+  size_t NumKeys() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return map_.size();
+  }
 
  private:
   std::string name_;
   size_t column_;
   bool unique_;
+  /// Guards map_ against concurrent LookupSnapshot/NumKeys readers; the
+  /// single-writer discipline means mutators never race each other.
+  mutable std::shared_mutex mu_;
   std::unordered_map<Value, std::vector<TupleSlot>, ValueHash> map_;
 };
 

@@ -1,12 +1,65 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
 namespace grfusion {
+
+namespace {
+/// Snapshot a mutator reads its own table state at: the latest state for
+/// standalone callers, the writer's own epoch for the engine (which makes
+/// the transaction's earlier, uncommitted changes visible to it).
+Epoch MutatorSnapshot(Epoch epoch) { return epoch == 0 ? kEpochLatest : epoch; }
+}  // namespace
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  for (auto& segment : segments_) {
+    segment.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+Table::~Table() {
+  const size_t bound = slot_bound_.load(std::memory_order_relaxed);
+  for (size_t seg = 0; seg * kSegmentSize < bound; ++seg) {
+    Segment* segment = segments_[seg].load(std::memory_order_relaxed);
+    if (segment == nullptr) continue;
+    for (size_t i = 0; i < kSegmentSize; ++i) {
+      Version* v = segment->slots[i].head.load(std::memory_order_relaxed);
+      while (v != nullptr) {
+        Version* older = v->older;
+        delete v;
+        v = older;
+      }
+    }
+    delete segment;
+  }
+}
+
+Table::RowSlot* Table::SlotRef(TupleSlot slot) const {
+  Segment* segment =
+      segments_[slot >> kSegmentBits].load(std::memory_order_acquire);
+  if (segment == nullptr) return nullptr;
+  return &segment->slots[slot & kSegmentMask];
+}
+
+Table::Version* Table::FindVisible(TupleSlot slot, Epoch snapshot) const {
+  if (slot >= slot_bound_.load(std::memory_order_acquire)) return nullptr;
+  const RowSlot* rs = SlotRef(slot);
+  if (rs == nullptr) return nullptr;
+  for (Version* v = rs->head.load(std::memory_order_acquire); v != nullptr;
+       v = v->older) {
+    if (EpochVisible(v->begin, v->end.load(std::memory_order_relaxed),
+                     snapshot)) {
+      return v;
+    }
+  }
+  return nullptr;
+}
 
 Status Table::CheckAndCoerce(Tuple* tuple) const {
   if (tuple->NumValues() != schema_.NumColumns()) {
@@ -34,83 +87,129 @@ Status Table::CheckAndCoerce(Tuple* tuple) const {
   return Status::OK();
 }
 
-Status Table::InsertIntoIndexes(const Tuple& tuple, TupleSlot slot) {
-  for (size_t i = 0; i < indexes_.size(); ++i) {
-    Status s = indexes_[i]->Insert(tuple.value(indexes_[i]->column()), slot);
-    if (!s.ok()) {
-      // Undo the index entries added so far.
-      for (size_t j = 0; j < i; ++j) {
-        indexes_[j]->Erase(tuple.value(indexes_[j]->column()), slot);
+Status Table::CheckUnique(const Tuple& tuple, Epoch epoch,
+                          TupleSlot skip_slot) const {
+  const Epoch snapshot = MutatorSnapshot(epoch);
+  for (const auto& index : indexes_) {
+    if (!index->unique()) continue;
+    const Value& key = tuple.value(index->column());
+    if (key.is_null()) continue;  // NULLs never collide (SQL semantics).
+    // The mutator is the single writer, so the raw pointer lookup is safe.
+    const std::vector<TupleSlot>* slots = index->Lookup(key);
+    if (slots == nullptr) continue;
+    for (TupleSlot other : *slots) {
+      if (other == skip_slot) continue;
+      const Tuple* visible = Get(other, snapshot);
+      // Index entries may be stale under MVCC: re-check the visible key.
+      if (visible != nullptr && visible->value(index->column()) == key) {
+        return Status::ConstraintViolation("duplicate key " + key.ToString() +
+                                           " in unique index '" +
+                                           index->name() + "'");
       }
-      return s;
     }
   }
   return Status::OK();
 }
 
+void Table::AddToIndexes(const Tuple& tuple, TupleSlot slot) {
+  for (const auto& index : indexes_) {
+    index->InsertIfAbsent(tuple.value(index->column()), slot);
+  }
+}
+
 void Table::EraseFromIndexes(const Tuple& tuple, TupleSlot slot) {
-  for (auto& index : indexes_) {
+  for (const auto& index : indexes_) {
     index->Erase(tuple.value(index->column()), slot);
   }
 }
 
-StatusOr<TupleSlot> Table::Insert(Tuple tuple) {
+void Table::FreeChainAndRecycle(TupleSlot slot) {
+  RowSlot* rs = SlotRef(slot);
+  Version* v = rs->head.load(std::memory_order_relaxed);
+  while (v != nullptr) {
+    EraseFromIndexes(v->tuple, slot);
+    Version* older = v->older;
+    delete v;
+    v = older;
+  }
+  rs->head.store(nullptr, std::memory_order_release);
+  free_list_.push_back(slot);
+}
+
+StatusOr<TupleSlot> Table::Insert(Tuple tuple, Epoch epoch) {
   GRF_FAILPOINT("table.insert");
   GRF_RETURN_IF_ERROR(CheckAndCoerce(&tuple));
+  GRF_RETURN_IF_ERROR(CheckUnique(tuple, epoch, kInvalidTupleSlot));
 
   TupleSlot slot;
+  bool fresh = false;
   if (!free_list_.empty()) {
     slot = free_list_.back();
     free_list_.pop_back();
   } else {
-    slot = rows_.size();
-    rows_.emplace_back();
+    slot = slot_bound_.load(std::memory_order_relaxed);
+    if (slot >= kMaxSegments * kSegmentSize) {
+      return Status::ResourceExhausted(StrFormat(
+          "table '%s' is full (%zu slots)", name_.c_str(),
+          kMaxSegments * kSegmentSize));
+    }
+    const size_t seg = slot >> kSegmentBits;
+    if (segments_[seg].load(std::memory_order_relaxed) == nullptr) {
+      segments_[seg].store(new Segment(), std::memory_order_release);
+    }
+    fresh = true;
   }
-  RowSlot& rs = rows_[slot];
-  rs.tuple = std::move(tuple);
-  rs.live = true;
 
-  Status s = InsertIntoIndexes(rs.tuple, slot);
-  if (s.ok()) {
-    size_t applied = 0;
-    for (TableChangeListener* listener : listeners_) {
-      s = listener->OnInsert(slot, rs.tuple);
-      if (!s.ok()) break;
-      ++applied;
-    }
-    if (!s.ok()) {
-      // Listener `applied` vetoed: compensate the ones that already applied
-      // the insert (newest first), then drop the index entries and the row.
-      for (size_t i = applied; i > 0; --i) {
-        listeners_[i - 1]->UndoInsert(slot, rs.tuple);
-      }
-      EraseFromIndexes(rs.tuple, slot);
-    }
+  RowSlot* rs = SlotRef(slot);
+  Version* v = new Version(std::move(tuple), epoch);
+  GRF_DCHECK(rs->head.load(std::memory_order_relaxed) == nullptr);
+  rs->head.store(v, std::memory_order_release);
+  if (fresh) slot_bound_.store(slot + 1, std::memory_order_release);
+
+  AddToIndexes(v->tuple, slot);
+  size_t applied = 0;
+  Status s = Status::OK();
+  for (TableChangeListener* listener : listeners_) {
+    s = listener->OnInsert(slot, v->tuple);
+    if (!s.ok()) break;
+    ++applied;
   }
   if (!s.ok()) {
-    rs.live = false;
-    rs.tuple = Tuple();
-    free_list_.push_back(slot);
+    // Listener `applied` vetoed: compensate the ones that already applied
+    // the insert (newest first), then drop the index entries and the row.
+    for (size_t i = applied; i > 0; --i) {
+      listeners_[i - 1]->UndoInsert(slot, v->tuple);
+    }
+    EraseFromIndexes(v->tuple, slot);
+    if (epoch == 0) {
+      rs->head.store(nullptr, std::memory_order_release);
+      delete v;
+      free_list_.push_back(slot);
+    } else {
+      // Readers may already be walking the chain: just kill the version.
+      // Vacuum reclaims it (and the slot) later.
+      v->end.store(epoch, std::memory_order_relaxed);
+    }
     return s;
   }
 
-  ++num_live_;
-  approx_bytes_ += rs.tuple.ByteSize();
+  num_live_.fetch_add(1, std::memory_order_relaxed);
+  approx_bytes_.fetch_add(v->tuple.ByteSize(), std::memory_order_relaxed);
   return slot;
 }
 
-Status Table::Delete(TupleSlot slot) {
-  if (slot >= rows_.size() || !rows_[slot].live) {
+Status Table::Delete(TupleSlot slot, Epoch epoch) {
+  Version* v = FindVisible(slot, MutatorSnapshot(epoch));
+  if (v == nullptr) {
     return Status::NotFound(StrFormat("no live tuple at slot %llu of '%s'",
                                       static_cast<unsigned long long>(slot),
                                       name_.c_str()));
   }
   GRF_FAILPOINT("table.delete");
-  RowSlot& rs = rows_[slot];
   size_t applied = 0;
   Status s = Status::OK();
   for (TableChangeListener* listener : listeners_) {
-    s = listener->OnDelete(slot, rs.tuple);
+    s = listener->OnDelete(slot, v->tuple);
     if (!s.ok()) break;
     ++applied;
   }
@@ -118,38 +217,54 @@ Status Table::Delete(TupleSlot slot) {
     // Re-apply the delete's inverse on listeners that already dropped their
     // state for this row, newest first, so all N views stay consistent.
     for (size_t i = applied; i > 0; --i) {
-      listeners_[i - 1]->UndoDelete(slot, rs.tuple);
+      listeners_[i - 1]->UndoDelete(slot, v->tuple);
     }
     return s;
   }
-  EraseFromIndexes(rs.tuple, slot);
-  approx_bytes_ -= std::min(approx_bytes_, rs.tuple.ByteSize());
-  rs.live = false;
-  rs.tuple = Tuple();
-  free_list_.push_back(slot);
-  --num_live_;
+  approx_bytes_.fetch_sub(
+      std::min(approx_bytes_.load(std::memory_order_relaxed),
+               v->tuple.ByteSize()),
+      std::memory_order_relaxed);
+  if (epoch == 0) {
+    FreeChainAndRecycle(slot);
+  } else {
+    v->end.store(epoch, std::memory_order_relaxed);
+  }
+  num_live_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Status Table::Update(TupleSlot slot, Tuple new_tuple) {
-  if (slot >= rows_.size() || !rows_[slot].live) {
+Status Table::Update(TupleSlot slot, Tuple new_tuple, Epoch epoch) {
+  Version* v = FindVisible(slot, MutatorSnapshot(epoch));
+  if (v == nullptr) {
     return Status::NotFound(StrFormat("no live tuple at slot %llu of '%s'",
                                       static_cast<unsigned long long>(slot),
                                       name_.c_str()));
   }
   GRF_FAILPOINT("table.update");
   GRF_RETURN_IF_ERROR(CheckAndCoerce(&new_tuple));
-  RowSlot& rs = rows_[slot];
+  GRF_RETURN_IF_ERROR(CheckUnique(new_tuple, epoch, slot));
 
-  Tuple old_tuple = rs.tuple;
-  EraseFromIndexes(old_tuple, slot);
-  Status s = InsertIntoIndexes(new_tuple, slot);
-  if (!s.ok()) {
-    Status restore = InsertIntoIndexes(old_tuple, slot);
-    GRF_CHECK(restore.ok());
-    return s;
+  Tuple old_tuple = v->tuple;
+  // Index maintenance. Standalone mode keeps the index exact (erase old
+  // keys, add new ones); engine mode only adds — old-key entries must stay
+  // until vacuum, because snapshot readers still reach the old version
+  // through them.
+  std::vector<std::pair<HashIndex*, Value>> added;
+  if (epoch == 0) {
+    EraseFromIndexes(old_tuple, slot);
+    AddToIndexes(new_tuple, slot);
+  } else {
+    for (const auto& index : indexes_) {
+      const Value& key = new_tuple.value(index->column());
+      if (index->InsertIfAbsent(key, slot)) {
+        added.emplace_back(index.get(), key);
+      }
+    }
   }
+
   size_t applied = 0;
+  Status s = Status::OK();
   for (TableChangeListener* listener : listeners_) {
     s = listener->OnUpdate(slot, old_tuple, new_tuple);
     if (!s.ok()) break;
@@ -159,20 +274,139 @@ Status Table::Update(TupleSlot slot, Tuple new_tuple) {
     for (size_t i = applied; i > 0; --i) {
       listeners_[i - 1]->UndoUpdate(slot, old_tuple, new_tuple);
     }
-    EraseFromIndexes(new_tuple, slot);
-    Status restore = InsertIntoIndexes(old_tuple, slot);
-    GRF_CHECK(restore.ok());
+    if (epoch == 0) {
+      EraseFromIndexes(new_tuple, slot);
+      AddToIndexes(old_tuple, slot);
+    } else {
+      for (const auto& [index, key] : added) index->Erase(key, slot);
+    }
     return s;
   }
-  approx_bytes_ -= std::min(approx_bytes_, old_tuple.ByteSize());
-  rs.tuple = std::move(new_tuple);
-  approx_bytes_ += rs.tuple.ByteSize();
+
+  approx_bytes_.fetch_sub(
+      std::min(approx_bytes_.load(std::memory_order_relaxed),
+               old_tuple.ByteSize()),
+      std::memory_order_relaxed);
+  if (epoch == 0) {
+    // Externally serialized: mutate the visible version in place, keeping
+    // the classic stable-Tuple*-across-update behavior.
+    approx_bytes_.fetch_add(new_tuple.ByteSize(), std::memory_order_relaxed);
+    v->tuple = std::move(new_tuple);
+  } else {
+    approx_bytes_.fetch_add(new_tuple.ByteSize(), std::memory_order_relaxed);
+    RowSlot* rs = SlotRef(slot);
+    Version* nv = new Version(std::move(new_tuple), epoch);
+    nv->older = rs->head.load(std::memory_order_relaxed);
+    v->end.store(epoch, std::memory_order_relaxed);
+    rs->head.store(nv, std::memory_order_release);
+  }
   return Status::OK();
 }
 
-const Tuple* Table::Get(TupleSlot slot) const {
-  if (slot >= rows_.size() || !rows_[slot].live) return nullptr;
-  return &rows_[slot].tuple;
+const Tuple* Table::Get(TupleSlot slot, Epoch snapshot) const {
+  Version* v = FindVisible(slot, snapshot);
+  return v == nullptr ? nullptr : &v->tuple;
+}
+
+void Table::UndoAppliedInsert(TupleSlot slot, const Tuple& tuple,
+                              Epoch epoch) {
+  Version* v = FindVisible(slot, epoch);
+  GRF_CHECK(v != nullptr && v->begin == epoch);
+  v->end.store(epoch, std::memory_order_relaxed);
+  num_live_.fetch_sub(1, std::memory_order_relaxed);
+  approx_bytes_.fetch_sub(
+      std::min(approx_bytes_.load(std::memory_order_relaxed),
+               v->tuple.ByteSize()),
+      std::memory_order_relaxed);
+  for (size_t i = listeners_.size(); i > 0; --i) {
+    listeners_[i - 1]->UndoInsert(slot, tuple);
+  }
+}
+
+void Table::UndoAppliedDelete(TupleSlot slot, const Tuple& tuple,
+                              Epoch epoch) {
+  // Revive the newest version this transaction's delete killed. Undo runs
+  // in strict reverse order and epochs are never reused across transactions
+  // (abort advances the epoch too), so the first end==epoch version from
+  // the head is the delete's victim.
+  const RowSlot* rs = SlotRef(slot);
+  GRF_CHECK(rs != nullptr);
+  Version* v = rs->head.load(std::memory_order_relaxed);
+  while (v != nullptr &&
+         v->end.load(std::memory_order_relaxed) != epoch) {
+    v = v->older;
+  }
+  GRF_CHECK(v != nullptr);
+  v->end.store(kEpochMax, std::memory_order_relaxed);
+  num_live_.fetch_add(1, std::memory_order_relaxed);
+  approx_bytes_.fetch_add(v->tuple.ByteSize(), std::memory_order_relaxed);
+  for (size_t i = listeners_.size(); i > 0; --i) {
+    listeners_[i - 1]->UndoDelete(slot, tuple);
+  }
+}
+
+void Table::UndoAppliedUpdate(TupleSlot slot, const Tuple& old_tuple,
+                              const Tuple& new_tuple, Epoch epoch) {
+  // Kill the update's new version and revive the one it superseded.
+  Version* nv = FindVisible(slot, epoch);
+  GRF_CHECK(nv != nullptr && nv->begin == epoch);
+  nv->end.store(epoch, std::memory_order_relaxed);
+  Version* v = nv->older;
+  while (v != nullptr &&
+         v->end.load(std::memory_order_relaxed) != epoch) {
+    v = v->older;
+  }
+  GRF_CHECK(v != nullptr);
+  v->end.store(kEpochMax, std::memory_order_relaxed);
+  approx_bytes_.fetch_sub(
+      std::min(approx_bytes_.load(std::memory_order_relaxed),
+               nv->tuple.ByteSize()),
+      std::memory_order_relaxed);
+  approx_bytes_.fetch_add(v->tuple.ByteSize(), std::memory_order_relaxed);
+  for (size_t i = listeners_.size(); i > 0; --i) {
+    listeners_[i - 1]->UndoUpdate(slot, old_tuple, new_tuple);
+  }
+}
+
+void Table::Vacuum() {
+  const size_t bound = slot_bound_.load(std::memory_order_relaxed);
+  for (TupleSlot slot = 0; slot < bound; ++slot) {
+    RowSlot* rs = SlotRef(slot);
+    if (rs == nullptr) continue;
+    Version* head = rs->head.load(std::memory_order_relaxed);
+    if (head == nullptr) continue;
+    // Find the (at most one) alive version and detach everything else.
+    Version* alive = head;
+    while (alive != nullptr &&
+           alive->end.load(std::memory_order_relaxed) != kEpochMax) {
+      alive = alive->older;
+    }
+    if (alive == head && head->older == nullptr) continue;  // already compact
+    for (Version* v = head; v != nullptr;) {
+      Version* older = v->older;
+      if (v != alive) {
+        // Chain-aware index cleanup: drop this dead version's entries
+        // unless the surviving version bears the same key.
+        for (const auto& index : indexes_) {
+          const Value& key = v->tuple.value(index->column());
+          if (alive != nullptr &&
+              alive->tuple.value(index->column()) == key) {
+            continue;
+          }
+          index->Erase(key, slot);
+        }
+        delete v;
+      }
+      v = older;
+    }
+    if (alive != nullptr) {
+      alive->older = nullptr;
+      rs->head.store(alive, std::memory_order_release);
+    } else {
+      rs->head.store(nullptr, std::memory_order_release);
+      free_list_.push_back(slot);
+    }
+  }
 }
 
 Status Table::CreateIndex(const std::string& index_name, size_t column,
@@ -190,8 +424,16 @@ Status Table::CreateIndex(const std::string& index_name, size_t column,
   auto index = std::make_unique<HashIndex>(index_name, column, unique);
   Status backfill = Status::OK();
   ForEach([&](TupleSlot slot, const Tuple& tuple) {
-    backfill = index->Insert(tuple.value(column), slot);
-    return backfill.ok();
+    const Value& key = tuple.value(column);
+    if (unique && !key.is_null() && index->Lookup(key) != nullptr) {
+      backfill = Status::ConstraintViolation("duplicate key " +
+                                             key.ToString() +
+                                             " in unique index '" +
+                                             index_name + "'");
+      return false;
+    }
+    index->InsertIfAbsent(key, slot);
+    return true;
   });
   GRF_RETURN_IF_ERROR(backfill);
   indexes_.push_back(std::move(index));

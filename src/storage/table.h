@@ -1,13 +1,15 @@
 #ifndef GRFUSION_STORAGE_TABLE_H_
 #define GRFUSION_STORAGE_TABLE_H_
 
-#include <deque>
+#include <array>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "storage/epoch.h"
 #include "storage/index.h"
 #include "storage/schema.h"
 
@@ -30,26 +32,45 @@ class TableChangeListener {
   /// calls the matching Undo* on listeners 0..i-1 in REVERSE registration
   /// order, so a mutation is all-or-nothing across every registered listener
   /// (N graph views over one source must never diverge from each other or
-  /// from the table). An Undo* reverses a change the same listener just
-  /// applied successfully, so it must be infallible — implementations
-  /// GRF_CHECK internally rather than report errors.
+  /// from the table). The same hooks implement transaction ABORT: the
+  /// session replays its undo log in reverse through UndoApplied*, which
+  /// re-notifies every listener. An Undo* reverses a change the same
+  /// listener just applied successfully, so it must be infallible —
+  /// implementations GRF_CHECK internally rather than report errors.
   virtual void UndoInsert(TupleSlot /*slot*/, const Tuple& /*tuple*/) {}
   virtual void UndoDelete(TupleSlot /*slot*/, const Tuple& /*tuple*/) {}
   virtual void UndoUpdate(TupleSlot /*slot*/, const Tuple& /*old_tuple*/,
                           const Tuple& /*new_tuple*/) {}
 };
 
-/// In-memory row store with stable tuple slots.
+/// In-memory row store with stable tuple slots and MVCC version chains.
 ///
-/// Rows live in a std::deque so they never move once inserted — this is the
-/// property the paper relies on for the graph views' "main-memory tuple
-/// pointers" (§3.2). Deleted slots are tombstoned and recycled through a free
-/// list; a slot is only recycled after every structure referencing it (graph
-/// views via listeners, indexes) has been told about the delete.
+/// Each slot holds a singly-linked chain of immutable Version nodes, newest
+/// first, every node stamped with a [begin, end) epoch interval. Readers fix
+/// a snapshot epoch at statement start and walk each chain to the first
+/// visible version, so read-only statements never block on the writer. The
+/// engine enforces a single-writer discipline (Database::writer_mutex_), so
+/// mutators never race each other; mutators and readers synchronize through
+/// the atomic chain heads and the EpochManager's committed counter.
+///
+/// Two operating modes, selected per call by the `epoch` argument:
+///  * epoch == 0 (standalone): the caller serializes externally (unit tests,
+///    DDL under the exclusive statement lock). Versions are stamped
+///    [0, kEpochMax) — visible to every snapshot — and deletes/updates free
+///    dead versions eagerly, maintain indexes eagerly, and recycle slots
+///    immediately: exactly the classic non-versioned behavior.
+///  * epoch > 0 (engine writer): deletes/updates stamp the end epoch and
+///    keep dead versions, index entries, and slots around for concurrent
+///    snapshot readers; Vacuum() reclaims them later under the exclusive
+///    statement lock.
+///
+/// Version nodes are heap-allocated and never move, preserving the paper's
+/// "main-memory tuple pointer" property (§3.2): a Tuple* returned by Get is
+/// stable until a vacuum (which only runs with no statement in flight).
 class Table {
  public:
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  Table(std::string name, Schema schema);
+  ~Table();
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -57,39 +78,59 @@ class Table {
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
-  /// Number of live rows.
-  size_t NumRows() const { return num_live_; }
+  /// Number of rows live at the latest epoch.
+  size_t NumRows() const { return num_live_.load(std::memory_order_relaxed); }
 
   /// Upper bound of slot values ever issued (live + tombstoned).
-  size_t SlotUpperBound() const { return rows_.size(); }
+  size_t SlotUpperBound() const {
+    return slot_bound_.load(std::memory_order_acquire);
+  }
 
   /// Validates the tuple against the schema (arity, types; BIGINT widens to
   /// DOUBLE, NULL allowed anywhere), inserts it, maintains indexes, and
   /// notifies listeners. All-or-nothing: on any failure the table is
-  /// unchanged.
-  StatusOr<TupleSlot> Insert(Tuple tuple);
+  /// unchanged. `epoch` is the writer's epoch (0 = standalone mode).
+  StatusOr<TupleSlot> Insert(Tuple tuple, Epoch epoch = 0);
 
-  /// Deletes the row at `slot`. Listener veto (e.g., referential integrity
-  /// from a graph view) rolls the delete back.
-  Status Delete(TupleSlot slot);
+  /// Deletes the row visible at `epoch` in slot `slot`. Listener veto
+  /// (e.g., referential integrity from a graph view) rolls the delete back.
+  Status Delete(TupleSlot slot, Epoch epoch = 0);
 
-  /// Replaces the row at `slot`. Index entries and listeners are maintained;
-  /// failures roll back.
-  Status Update(TupleSlot slot, Tuple new_tuple);
+  /// Replaces the row visible at `epoch` in slot `slot`. Index entries and
+  /// listeners are maintained; failures roll back.
+  Status Update(TupleSlot slot, Tuple new_tuple, Epoch epoch = 0);
 
-  /// Returns the live tuple at `slot`, or nullptr when the slot is
-  /// out-of-range or tombstoned.
-  const Tuple* Get(TupleSlot slot) const;
+  /// Returns the tuple visible at `snapshot` in `slot`, or nullptr when the
+  /// slot is out-of-range or holds no visible version. The default snapshot
+  /// kEpochLatest reads the latest state (classic behavior).
+  const Tuple* Get(TupleSlot slot, Epoch snapshot = kEpochLatest) const;
 
-  /// Invokes `fn(slot, tuple)` for every live row. `fn` must not mutate the
-  /// table. Returns early if `fn` returns false.
+  /// Invokes `fn(slot, tuple)` for every row visible at `snapshot`. `fn`
+  /// must not mutate the table. Returns early if `fn` returns false.
   template <typename Fn>
-  void ForEach(Fn&& fn) const {
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      if (!rows_[i].live) continue;
-      if (!fn(static_cast<TupleSlot>(i), rows_[i].tuple)) return;
+  void ForEach(Fn&& fn, Epoch snapshot = kEpochLatest) const {
+    const size_t bound = slot_bound_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < bound; ++i) {
+      const Tuple* tuple = Get(static_cast<TupleSlot>(i), snapshot);
+      if (tuple == nullptr) continue;
+      if (!fn(static_cast<TupleSlot>(i), *tuple)) return;
     }
   }
+
+  /// Transaction-abort compensation. Each reverses one successfully-applied
+  /// engine-mode mutation (in strict reverse order of application, newest
+  /// first) by re-stamping version epochs — no version is freed, so
+  /// concurrent snapshot readers stay safe — and re-notifies listeners via
+  /// their Undo* hooks. Infallible; GRF_CHECKs internal invariants.
+  void UndoAppliedInsert(TupleSlot slot, const Tuple& tuple, Epoch epoch);
+  void UndoAppliedDelete(TupleSlot slot, const Tuple& tuple, Epoch epoch);
+  void UndoAppliedUpdate(TupleSlot slot, const Tuple& old_tuple,
+                         const Tuple& new_tuple, Epoch epoch);
+
+  /// Reclaims dead versions, their index entries, and fully-dead slots.
+  /// Callers must hold the exclusive statement lock (no statement in
+  /// flight): vacuum frees memory snapshot readers might otherwise touch.
+  void Vacuum();
 
   /// Creates a hash index over `column` and back-fills it from live rows.
   Status CreateIndex(const std::string& index_name, size_t column, bool unique);
@@ -107,28 +148,71 @@ class Table {
   void RemoveListener(TableChangeListener* listener);
 
   /// Approximate bytes held by live tuples (used by stats and benches).
-  size_t ApproxBytes() const { return approx_bytes_; }
+  size_t ApproxBytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct RowSlot {
+  /// One tuple version. `end` is atomic because the writer re-stamps it
+  /// while snapshot readers walk the chain; `tuple` and `begin` are
+  /// immutable once the version is published (standalone epoch-0 updates
+  /// mutate `tuple` in place, but those callers are externally serialized).
+  struct Version {
     Tuple tuple;
-    bool live = false;
+    Epoch begin = 0;
+    std::atomic<Epoch> end{kEpochMax};
+    Version* older = nullptr;
+
+    Version(Tuple t, Epoch b) : tuple(std::move(t)), begin(b) {}
   };
+
+  struct RowSlot {
+    std::atomic<Version*> head{nullptr};
+  };
+
+  // Fixed segment directory: segments are allocated on demand and never
+  // freed or moved, so readers index it without coordination. 4096 segments
+  // of 4096 slots cap a table at ~16.7M rows.
+  static constexpr size_t kSegmentBits = 12;
+  static constexpr size_t kSegmentSize = size_t{1} << kSegmentBits;
+  static constexpr size_t kSegmentMask = kSegmentSize - 1;
+  static constexpr size_t kMaxSegments = 4096;
+
+  struct Segment {
+    RowSlot slots[kSegmentSize];
+  };
+
+  RowSlot* SlotRef(TupleSlot slot) const;
+
+  /// Walks the version chain of `slot` to the first version visible at
+  /// `snapshot`; nullptr when none is.
+  Version* FindVisible(TupleSlot slot, Epoch snapshot) const;
 
   /// Checks arity and types; coerces BIGINT literals into DOUBLE columns.
   Status CheckAndCoerce(Tuple* tuple) const;
 
-  Status InsertIntoIndexes(const Tuple& tuple, TupleSlot slot);
+  /// Visibility-aware uniqueness: fails when any unique index key of
+  /// `tuple` is already borne by a row visible at `epoch` (other than
+  /// `skip_slot`, the row being updated).
+  Status CheckUnique(const Tuple& tuple, Epoch epoch,
+                     TupleSlot skip_slot) const;
+
+  void AddToIndexes(const Tuple& tuple, TupleSlot slot);
   void EraseFromIndexes(const Tuple& tuple, TupleSlot slot);
+
+  /// Standalone-mode reclamation: frees the whole chain of `slot`, drops
+  /// every chain version's index entries, and recycles the slot.
+  void FreeChainAndRecycle(TupleSlot slot);
 
   std::string name_;
   Schema schema_;
-  std::deque<RowSlot> rows_;
-  std::vector<TupleSlot> free_list_;
+  std::array<std::atomic<Segment*>, kMaxSegments> segments_;
+  std::atomic<size_t> slot_bound_{0};
+  std::vector<TupleSlot> free_list_;  // writer-only
   std::vector<std::unique_ptr<HashIndex>> indexes_;
   std::vector<TableChangeListener*> listeners_;
-  size_t num_live_ = 0;
-  size_t approx_bytes_ = 0;
+  std::atomic<size_t> num_live_{0};
+  std::atomic<size_t> approx_bytes_{0};
 };
 
 }  // namespace grfusion

@@ -1,12 +1,15 @@
-// Concurrency tests. Writes follow the single-partition VoltDB model — DML
-// and DDL take the statement lock exclusively, so concurrent writers never
-// corrupt the catalog, the tables, or the graph topology. Read-only
-// statements take the lock shared: sessions on different threads run SELECTs
-// (including graph traversals and cached-plan re-executions) concurrently.
+// Concurrency tests. Writes are single-writer MVCC: one write transaction
+// at a time (serialized on the writer slot) stamps tuple versions and graph
+// delta overlays with its epoch, publishing at COMMIT. Read-only statements
+// run against the committed epoch they started at, so sessions on different
+// threads run SELECTs (including graph traversals and cached-plan
+// re-executions) concurrently — and never block on an open writer. Only DDL
+// still takes the statement lock exclusively.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 
@@ -288,7 +291,64 @@ TEST(ConcurrencyTest, SystemTableReadersRaceWriterChurn) {
   for (auto& thread : readers) thread.join();
   stop = true;
   writer.join();
+
+  // Phase 2 — reader progress while a write transaction is OPEN. The writer
+  // begins a transaction, applies DML, and refuses to commit until every
+  // reader finishes a full burst of statements. Under the MVCC snapshot
+  // model the bursts complete promptly against the last committed state;
+  // under an exclusive-DML lock this ordering would deadlock (bounded by
+  // the ctest watchdog). Every burst statement must observe none of the
+  // open transaction's effects.
+  std::atomic<bool> txn_open{false};
+  std::atomic<int> burst_done{0};
+  std::thread txn_writer([&] {
+    Session session(db);
+    if (!session.Execute("BEGIN").ok()) ++errors;
+    if (!session.Execute("INSERT INTO base VALUES (999, 999)").ok()) {
+      ++errors;
+    }
+    if (!session.Execute("UPDATE base SET v = v + 5 WHERE id = 1").ok()) {
+      ++errors;
+    }
+    txn_open.store(true, std::memory_order_release);
+    while (burst_done.load(std::memory_order_acquire) < 4) {
+      std::this_thread::yield();
+    }
+    if (!session.Execute("COMMIT").ok()) ++errors;
+  });
+  std::vector<std::thread> burst;
+  for (int t = 0; t < 4; ++t) {
+    burst.emplace_back([&db, &errors, &txn_open, &burst_done] {
+      while (!txn_open.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      Session session(db);
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < 25; ++i) {
+        auto r = session.Execute("SELECT COUNT(*) FROM base WHERE id = 999");
+        if (!r.ok() || r->ScalarValue().AsBigInt() != 0) ++errors;
+        auto s = session.Execute(kSysQueries[i % 4]);
+        if (!s.ok()) ++errors;
+      }
+      // Bounded latency: the burst ran to completion while the transaction
+      // was provably still open (the writer commits only after all bursts
+      // finish), and did so in interactive time, not writer-commit time.
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      if (elapsed > std::chrono::seconds(30)) ++errors;
+      burst_done.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+  for (auto& thread : burst) thread.join();
+  txn_writer.join();
+
   EXPECT_EQ(errors.load(), 0);
+  // After COMMIT the transaction's effects are fully visible.
+  {
+    Session after(db);
+    auto r = after.Execute("SELECT COUNT(*) FROM base WHERE id = 999");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->ScalarValue().AsBigInt(), 1);
+  }
   // Quiesced: nothing is left behind in the active-query registry.
   EXPECT_EQ(db.active_queries().size(), 0u);
   // The statement store saw traffic from all five sessions.

@@ -31,11 +31,11 @@ run_config() {
 run_graph_diff() {
   local dir="$1"
   ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation|Session|PlanCache|Prepared|Concurrency'
+    -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation|Session|PlanCache|Prepared|Concurrency|Snapshot'
   local seed="${GRF_FUZZ_SEED:-$RANDOM$RANDOM}"
   echo "== graph differential + fault-injection suites, random seed ${seed} =="
   GRF_FUZZ_SEED="$seed" ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiffFuzzEnvTest|FaultInjectionFuzzEnvTest|PlanCacheChurnFuzzEnvTest'
+    -R 'GraphDiffFuzzEnvTest|FaultInjectionFuzzEnvTest|PlanCacheChurnFuzzEnvTest|SnapshotFuzzEnvTest'
 }
 
 echo "== tier-1 (RelWithDebInfo) =="
@@ -46,6 +46,12 @@ run_config build -DCMAKE_BUILD_TYPE=RelWithDebInfo
 # BENCH_throughput.json behind for inspection.
 echo "== throughput smoke (plan cache + sessions) =="
 GRF_BENCH_MIN_TIME="${GRF_BENCH_MIN_TIME:-0.05}" ./build/bench/throughput
+
+# MVCC smoke: snapshot readers racing a committing writer. Leaves
+# BENCH_throughput_mvcc.json behind (read-only vs. mixed read QPS and the
+# writer's commit rate); the schema check below validates it.
+echo "== mixed read/write throughput smoke (MVCC snapshots) =="
+GRF_BENCH_MIN_TIME="${GRF_BENCH_MIN_TIME:-0.05}" ./build/bench/throughput --mixed
 
 # Observability smoke: re-run the bench briefly with the trace sink armed
 # (sample every query), then validate the emitted Chrome trace documents and
