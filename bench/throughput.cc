@@ -15,15 +15,21 @@
 //
 // Results land in BENCH_throughput.json.
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "storage/wal.h"
 
 namespace grfusion::bench {
 namespace {
@@ -326,6 +332,153 @@ void RunMixed(const std::string& path) {
                path.c_str());
 }
 
+// --- Durability mode (--durability) ------------------------------------------
+//
+// What the WAL costs and what group commit buys back: single-row INSERT
+// commit rate for a memory-only database vs. a durable one under each sync
+// mode, plus a multi-session group-commit sweep where fsyncs-per-commit
+// dropping below 1.0 is the batching working. Results land in
+// BENCH_throughput_wal.json.
+
+void RemoveDirRecursive(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      std::string full = dir + "/" + name;
+      struct stat st;
+      if (::stat(full.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        RemoveDirRecursive(full);
+      } else {
+        ::unlink(full.c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+struct WalModeResult {
+  std::string mode;
+  size_t threads = 0;
+  uint64_t commits = 0;
+  double qps = 0.0;
+  double fsyncs_per_commit = 0.0;
+  double checkpoint_ms = -1.0;  ///< Only measured on the wal_commit run.
+};
+
+/// `threads` writer sessions insert unique single rows until the time budget
+/// runs out. `durable` empty = memory-only.
+WalModeResult RunWalMode(const std::string& mode, DurabilityOptions durable,
+                         size_t threads, bool time_checkpoint) {
+  Database db(PlannerOptions(), durable);
+  GRF_CHECK(db.durability_status().ok());
+  {
+    Session setup(db);
+    GRF_CHECK(
+        setup.Execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
+            .ok());
+  }
+  const double budget = MinBenchTime() > 0.2 ? MinBenchTime() : 0.2;
+  const double start = Now();
+  const double deadline = start + budget;
+  std::vector<uint64_t> counts(threads, 0);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&db, &counts, t, threads, deadline] {
+      Session session(db);
+      auto prep = session.Prepare("INSERT INTO t VALUES (?, ?)");
+      GRF_CHECK(prep.ok());
+      // Disjoint id strides per thread: no unique-constraint collisions.
+      uint64_t id = t;
+      while (Now() < deadline) {
+        Check(prep->Execute({Value::BigInt(static_cast<int64_t>(id)),
+                             Value::BigInt(static_cast<int64_t>(id % 97))}),
+              "wal insert");
+        id += threads;
+        ++counts[t];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = Now() - start;
+  WalModeResult r;
+  r.mode = mode;
+  r.threads = threads;
+  for (uint64_t c : counts) r.commits += c;
+  r.qps = static_cast<double>(r.commits) / elapsed;
+  if (db.durable() && r.commits > 0) {
+    r.fsyncs_per_commit = static_cast<double>(db.durability()->wal()->fsyncs()) /
+                          static_cast<double>(r.commits);
+  }
+  if (time_checkpoint && db.durable()) {
+    Session session(db);
+    const double ckpt_start = Now();
+    Check(session.Execute("CHECKPOINT"), "checkpoint");
+    r.checkpoint_ms = (Now() - ckpt_start) * 1e3;
+  }
+  return r;
+}
+
+void RunDurability(const std::string& path) {
+  char tmpl[] = "/tmp/grf_bench_wal_XXXXXX";
+  char* root = ::mkdtemp(tmpl);
+  GRF_CHECK(root != nullptr);
+  const std::string base = root;
+
+  auto durable = [&base](const char* name, WalSyncMode sync) {
+    DurabilityOptions o;
+    o.data_dir = base + "/" + name;
+    o.sync = sync;
+    return o;
+  };
+  std::vector<WalModeResult> results;
+  results.push_back(
+      RunWalMode("memory", DurabilityOptions(), 1, /*time_checkpoint=*/false));
+  results.push_back(RunWalMode("wal_none", durable("none", WalSyncMode::kNone),
+                               1, false));
+  results.push_back(RunWalMode(
+      "wal_commit", durable("commit", WalSyncMode::kCommit), 1,
+      /*time_checkpoint=*/true));
+  results.push_back(RunWalMode("wal_group",
+                               durable("group1", WalSyncMode::kGroup), 1,
+                               false));
+  results.push_back(RunWalMode("wal_group_x4",
+                               durable("group4", WalSyncMode::kGroup), 4,
+                               false));
+
+  std::string json = "{\n  \"modes\": [\n";
+  double checkpoint_ms = -1.0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WalModeResult& r = results[i];
+    if (r.checkpoint_ms >= 0) checkpoint_ms = r.checkpoint_ms;
+    json += StrFormat(
+        "    {\"mode\": \"%s\", \"threads\": %zu, \"commits\": %llu, "
+        "\"qps\": %.1f, \"fsyncs_per_commit\": %.4f}%s\n",
+        r.mode.c_str(), r.threads, static_cast<unsigned long long>(r.commits),
+        r.qps, r.fsyncs_per_commit, i + 1 < results.size() ? "," : "");
+    std::fprintf(stderr,
+                 "Throughput/wal %-14s x%zu %12.1f commits/s "
+                 "(%.3f fsyncs/commit)\n",
+                 r.mode.c_str(), r.threads, r.qps, r.fsyncs_per_commit);
+  }
+  json += "  ],\n";
+  json += StrFormat("  \"checkpoint_ms\": %.3f\n}\n", checkpoint_ms);
+  std::fprintf(stderr, "Throughput/wal checkpoint %.3f ms\n", checkpoint_ms);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  } else {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "durability throughput results written to %s\n",
+                 path.c_str());
+  }
+  RemoveDirRecursive(base);
+}
+
 void Run(const std::string& path) {
   Database db;
   Populate(&db);
@@ -397,6 +550,8 @@ void Run(const std::string& path) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "--mixed") {
     grfusion::bench::RunMixed("BENCH_throughput_mvcc.json");
+  } else if (argc > 1 && std::string(argv[1]) == "--durability") {
+    grfusion::bench::RunDurability("BENCH_throughput_wal.json");
   } else {
     grfusion::bench::Run("BENCH_throughput.json");
   }

@@ -106,6 +106,17 @@ Status FailpointRegistry::ParseMode(const std::string& mode, Spec* out) {
       }
       spec.seed = seed;
     }
+  } else if (mode == "crash" || mode.rfind("crash@", 0) == 0) {
+    spec.mode = Spec::Mode::kCrash;
+    if (mode.size() > 5) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(mode.c_str() + 6, &end, 10);
+      if (end == mode.c_str() + 6 || *end != '\0' || n == 0) {
+        return Status::InvalidArgument("bad crash@<N> failpoint mode: " +
+                                       mode);
+      }
+      spec.nth = n;
+    }
   } else {
     return Status::InvalidArgument("unknown failpoint mode: " + mode);
   }
@@ -178,6 +189,14 @@ Status FailpointRegistry::Evaluate(const char* site) {
       break;
     case Spec::Mode::kProbability:
       fire = armed.rng.NextDouble() < armed.spec.probability;
+      break;
+    case Spec::Mode::kCrash:
+      if (armed.hits == armed.spec.nth) {
+        // Simulated kill -9 at this exact site: no unwinding, no atexit, no
+        // stream flushes — whatever the durability layer already put on disk
+        // is all recovery gets to see.
+        std::_Exit(kCrashExitCode);
+      }
       break;
   }
   if (!fire) return Status::OK();

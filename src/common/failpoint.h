@@ -35,7 +35,15 @@ namespace grfusion {
 ///                 the fuzz harness assert exact statement atomicity);
 ///  - every=<N>:   fire on every Nth hit (1st, N+1th, ...);
 ///  - prob=<p>[@seed]: fire each hit with probability p, from a seeded
-///                 deterministic generator.
+///                 deterministic generator;
+///  - crash[@N]:   terminate the process immediately (std::_Exit with
+///                 kCrashExitCode) on the Nth hit (default: the first).
+///                 No destructors, no buffered flushes — as close to
+///                 kill -9 at that exact site as a single process can get.
+///                 This is the crash-recovery fuzz harness's hammer: the
+///                 parent forks, the child arms crash sites around WAL and
+///                 checkpoint I/O, and the parent asserts the reopened
+///                 database recovered exactly the committed prefix.
 ///
 /// Environment syntax (','- or ';'-separated list, parsed once at process
 /// start — mode strings never contain either separator, so both are safe):
@@ -43,15 +51,19 @@ namespace grfusion {
 class FailpointRegistry {
  public:
   struct Spec {
-    enum class Mode { kError, kOneShot, kEveryNth, kProbability };
+    enum class Mode { kError, kOneShot, kEveryNth, kProbability, kCrash };
     Mode mode = Mode::kError;
-    uint64_t nth = 1;         ///< Period for kEveryNth.
+    uint64_t nth = 1;         ///< Period for kEveryNth; target hit for kCrash.
     double probability = 1.0; ///< For kProbability.
     uint64_t seed = 1;        ///< Generator seed for kProbability.
     /// Code of the injected Status. Defaults to kAborted: a failpoint models
     /// an aborted internal step, which is what statement rollback handles.
     StatusCode code = StatusCode::kAborted;
   };
+
+  /// Exit code of a crash-mode firing; distinctive so a harness can tell an
+  /// intentional crash from an organic abort or sanitizer failure.
+  static constexpr int kCrashExitCode = 86;
 
   /// The process-wide registry (sites are global, like metrics).
   static FailpointRegistry& Global();

@@ -209,6 +209,15 @@ EngineMetrics::EngineMetrics() {
   graph_view_updates_total = r.GetCounter("graph_view_updates_total");
   graph_view_vetoes_total = r.GetCounter("graph_view_vetoes_total");
   graph_view_undo_total = r.GetCounter("graph_view_undo_total");
+  wal_records_total = r.GetCounter("wal_records_total");
+  wal_bytes_total = r.GetCounter("wal_bytes_total");
+  wal_appends_total = r.GetCounter("wal_appends_total");
+  wal_fsyncs_total = r.GetCounter("wal_fsyncs_total");
+  checkpoints_total = r.GetCounter("checkpoints_total");
+  mvcc_pending_changes = r.GetGauge("mvcc_pending_changes");
+  mvcc_folds_total = r.GetCounter("mvcc_folds_total");
+  mvcc_vacuumed_versions_total = r.GetCounter("mvcc_vacuumed_versions_total");
+  trace_write_errors = r.GetCounter("trace_write_errors");
 }
 
 EngineMetrics& EngineMetrics::Get() {

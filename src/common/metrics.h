@@ -166,6 +166,24 @@ struct EngineMetrics {
   /// this view had to roll its maintenance delta back.
   Counter* graph_view_undo_total;
 
+  // Durability: write-ahead log appends on the commit path, checkpoints.
+  Counter* wal_records_total;
+  Counter* wal_bytes_total;
+  Counter* wal_appends_total;
+  Counter* wal_fsyncs_total;
+  Counter* checkpoints_total;
+
+  // MVCC deferred maintenance (fold/vacuum) pressure. The gauge tracks the
+  // EpochManager's pending-change count; the counters accumulate completed
+  // fold passes and reclaimed dead versions.
+  Gauge* mvcc_pending_changes;
+  Counter* mvcc_folds_total;
+  Counter* mvcc_vacuumed_versions_total;
+
+  /// Observability sink write failures (trace files, slow-query log) that
+  /// would otherwise be swallowed silently.
+  Counter* trace_write_errors;
+
  private:
   EngineMetrics();
 };

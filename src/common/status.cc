@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kAborted,           ///< Transaction aborted (e.g., by an integrity check).
   kCancelled,         ///< Statement interrupted by the client (InterruptHandle).
   kDeadlineExceeded,  ///< Statement ran past its deadline (statement timeout).
+  kIOError,           ///< Durable-storage failure (WAL/checkpoint I/O).
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -69,6 +70,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace grfusion {
@@ -119,19 +120,40 @@ TraceSink& TraceSink::Global() {
   return *sink;
 }
 
+namespace {
+
+/// Counts a dropped trace/sink write and logs the first occurrence at WARN.
+/// Sink failures used to vanish silently; one log line flags the broken sink
+/// without flooding stderr when every sampled query hits the same bad path,
+/// and the trace_write_errors counter keeps the running total observable
+/// (SYS.METRICS).
+void NoteTraceWriteError(const char* what, const char* path) {
+  EngineMetrics::Get().trace_write_errors->Increment();
+  static std::atomic<bool> logged{false};
+  if (!logged.exchange(true, std::memory_order_relaxed)) {
+    GRF_LOG(kWarn,
+            "cannot %s '%s'; trace dropped (further sink write failures are "
+            "counted in trace_write_errors without logging)",
+            what, path);
+  }
+}
+
+}  // namespace
+
 void TraceSink::Write(uint64_t query_id, const QueryTrace& trace) const {
   if (!enabled()) return;
   std::string path = StrFormat("%s/trace_%llu.json", dir_.c_str(),
                                static_cast<unsigned long long>(query_id));
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    GRF_LOG(kWarn, "cannot open trace file '%s'; trace dropped", path.c_str());
+    NoteTraceWriteError("open trace file", path.c_str());
     return;
   }
   std::string json = trace.ToChromeJson();
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) NoteTraceWriteError("write trace file", path.c_str());
 }
 
 }  // namespace grfusion

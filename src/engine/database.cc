@@ -1,15 +1,35 @@
 #include "engine/database.h"
 
+#include "common/logging.h"
 #include "common/metrics.h"
 
 namespace grfusion {
 
-Database::Database(PlannerOptions options) : options_(options) {
+Database::Database(PlannerOptions options, DurabilityOptions durability)
+    : options_(options) {
   // Engine-owned graph views maintain themselves through MVCC delta
   // overlays so snapshot readers never see a half-applied transaction.
   catalog_.set_managed_views(true);
+  if (durability.enabled()) {
+    durability_ = std::make_unique<DurabilityManager>(std::move(durability));
+    recovery_status_ = durability_->OpenAndRecover(&catalog_, &epochs_);
+    if (!recovery_status_.ok()) {
+      // The database still opens (whatever was recovered stays readable),
+      // but no write may extend a log we could not interpret.
+      GRF_LOG(kWarn, "recovery failed, writes disabled: %s",
+              recovery_status_.ToString().c_str());
+    }
+  }
   RegisterSystemTables();
   compat_session_ = std::make_unique<Session>(*this);
+}
+
+Status Database::durability_status() const {
+  if (durability_ == nullptr) return Status::OK();
+  if (!recovery_status_.ok()) return recovery_status_;
+  // Sticky WAL failure: once an append or fsync failed, the on-disk tail may
+  // be torn and no later write is allowed to extend it.
+  return durability_->wal()->failed_status();
 }
 
 Session& Database::CompatSession() const { return *compat_session_; }
@@ -28,12 +48,14 @@ Status Database::ExecuteScript(std::string_view sql) {
 
 Status Database::BulkInsert(const std::string& table_name,
                             const std::vector<std::vector<Value>>& rows) {
+  GRF_RETURN_IF_ERROR(durability_status());
   // Bulk loading is one write transaction: claim the writer slot, stamp all
   // rows with one epoch, publish at a single commit boundary. Snapshot
   // readers keep running under the shared statement lock throughout.
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  std::unique_lock<std::mutex> writer(writer_mutex_);
   const Epoch epoch = epochs_.BeginWriter();
   Status status = Status::OK();
+  uint64_t lsn = 0;
   {
     std::shared_lock<std::shared_mutex> lock(statement_mutex_);
     Table* table = catalog_.FindTable(table_name);
@@ -41,6 +63,8 @@ Status Database::BulkInsert(const std::string& table_name,
       epochs_.Commit(epoch);  // Epochs are never reused, even when unused.
       return Status::NotFound("table '" + table_name + "' does not exist");
     }
+    WalBatch batch;
+    if (durability_ != nullptr) batch.TxnBegin(epoch);
     size_t applied = 0;
     for (const auto& row : rows) {
       StatusOr<TupleSlot> slot = table->Insert(Tuple(row), epoch);
@@ -48,15 +72,36 @@ Status Database::BulkInsert(const std::string& table_name,
         status = slot.status();
         break;
       }
+      if (durability_ != nullptr) {
+        WalRecord rec;
+        rec.type = WalRecord::Type::kInsert;
+        rec.table = table->name();
+        // Log the applied (post-coercion) image, not the caller's row.
+        rec.after = *table->Get(*slot, epoch);
+        batch.Add(rec);
+      }
       ++applied;
     }
     // Rows already applied persist on error (pre-MVCC bulk-load semantics),
-    // so the commit boundary publishes whatever succeeded.
+    // so the commit boundary publishes whatever succeeded — and the WAL
+    // logs exactly that applied prefix.
+    if (durability_ != nullptr && applied > 0) {
+      batch.TxnCommit(epoch);
+      Status append = durability_->Append(batch, &lsn);
+      if (!append.ok() && status.ok()) status = append;
+    }
     for (GraphView* gv : catalog_.GraphViews()) gv->PublishOpenDelta(epoch);
     epochs_.Commit(epoch);
     epochs_.AddPending(applied);
   }
   MaybeFoldAndVacuum();
+  writer.unlock();
+  // Early lock release: the fdatasync (group commit) happens outside the
+  // writer slot so concurrent committers can batch into one sync.
+  if (durability_ != nullptr && lsn != 0) {
+    Status sync = durability_->Sync(lsn);
+    if (!sync.ok() && status.ok()) status = sync;
+  }
   return status;
 }
 
@@ -70,6 +115,8 @@ void Database::MaybeFoldAndVacuum() {
   // without bound under a read-heavy load.
   static constexpr size_t kVacuumBatch = 128;
   static constexpr size_t kFoldPressure = 4096;
+  EngineMetrics& m = EngineMetrics::Get();
+  m.mvcc_pending_changes->Set(static_cast<int64_t>(epochs_.pending()));
   if (epochs_.pending() < kVacuumBatch) return;
   std::unique_lock<std::shared_mutex> lock(statement_mutex_,
                                            std::try_to_lock);
@@ -82,8 +129,12 @@ void Database::MaybeFoldAndVacuum() {
     // pending count so a later boundary retries.
     if (!gv->FoldDeltas().ok()) return;
   }
-  for (Table* table : catalog_.Tables()) table->Vacuum();
+  size_t freed = 0;
+  for (Table* table : catalog_.Tables()) freed += table->Vacuum();
   epochs_.TakePending();
+  m.mvcc_folds_total->Increment();
+  m.mvcc_vacuumed_versions_total->Increment(freed);
+  m.mvcc_pending_changes->Set(0);
 }
 
 InterruptHandle Database::interrupt_handle() const {
@@ -293,6 +344,64 @@ void Database::RegisterSystemTables() {
                  Value::BigInt(static_cast<int64_t>(q.rows)),
                  Value::Boolean(q.killable)});
           }
+          return rows;
+        }));
+  }
+  // SYS.WAL: one row describing the durability subsystem — WAL position,
+  // sync mode, and what the open-time recovery pass found. Empty on a
+  // memory-only database.
+  {
+    Schema schema;
+    schema.AddColumn(Column("DATA_DIR", ValueType::kVarchar));
+    schema.AddColumn(Column("SYNC_MODE", ValueType::kVarchar));
+    schema.AddColumn(Column("GENERATION", ValueType::kBigInt));
+    schema.AddColumn(Column("APPENDED_BYTES", ValueType::kBigInt));
+    schema.AddColumn(Column("DURABLE_BYTES", ValueType::kBigInt));
+    schema.AddColumn(Column("RECORDS_APPENDED", ValueType::kBigInt));
+    schema.AddColumn(Column("FSYNCS", ValueType::kBigInt));
+    schema.AddColumn(Column("CHECKPOINTS", ValueType::kBigInt));
+    schema.AddColumn(Column("RECOVERY_CHECKPOINT_TABLES", ValueType::kBigInt));
+    schema.AddColumn(Column("RECOVERY_CHECKPOINT_ROWS", ValueType::kBigInt));
+    schema.AddColumn(Column("RECOVERY_WAL_RECORDS", ValueType::kBigInt));
+    schema.AddColumn(Column("RECOVERY_TXNS_COMMITTED", ValueType::kBigInt));
+    schema.AddColumn(Column("RECOVERY_TXNS_DISCARDED", ValueType::kBigInt));
+    schema.AddColumn(Column("RECOVERY_TORN_TAIL", ValueType::kBoolean));
+    schema.AddColumn(Column("STATUS", ValueType::kVarchar));
+    catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
+        "SYS.WAL", std::move(schema),
+        [this]() -> StatusOr<std::vector<std::vector<Value>>> {
+          std::vector<std::vector<Value>> rows;
+          if (durability_ == nullptr) return rows;
+          const DurabilityManager& d = *durability_;
+          const DurabilityManager::RecoveryStats& rec = d.recovery_stats();
+          const WalWriter* wal = d.wal();
+          rows.push_back(
+              {Value::Varchar(d.options().data_dir),
+               Value::Varchar(WalSyncModeToString(d.options().sync)),
+               Value::BigInt(wal == nullptr
+                                 ? -1
+                                 : static_cast<int64_t>(wal->generation())),
+               Value::BigInt(
+                   wal == nullptr
+                       ? 0
+                       : static_cast<int64_t>(wal->appended_bytes())),
+               Value::BigInt(wal == nullptr
+                                 ? 0
+                                 : static_cast<int64_t>(wal->durable_bytes())),
+               Value::BigInt(
+                   wal == nullptr
+                       ? 0
+                       : static_cast<int64_t>(wal->records_appended())),
+               Value::BigInt(
+                   wal == nullptr ? 0 : static_cast<int64_t>(wal->fsyncs())),
+               Value::BigInt(static_cast<int64_t>(d.checkpoints_taken())),
+               Value::BigInt(static_cast<int64_t>(rec.checkpoint_tables)),
+               Value::BigInt(static_cast<int64_t>(rec.checkpoint_rows)),
+               Value::BigInt(static_cast<int64_t>(rec.wal_records)),
+               Value::BigInt(static_cast<int64_t>(rec.txns_committed)),
+               Value::BigInt(static_cast<int64_t>(rec.txns_discarded)),
+               Value::Boolean(rec.torn_tail),
+               Value::Varchar(durability_status().ToString())});
           return rows;
         }));
   }

@@ -13,10 +13,12 @@
 #include "engine/active_queries.h"
 #include "engine/epoch_manager.h"
 #include "engine/plan_cache.h"
+#include "engine/recovery.h"
 #include "engine/result_set.h"
 #include "engine/session.h"
 #include "engine/statement_stats.h"
 #include "plan/planner.h"
+#include "storage/wal.h"
 
 namespace grfusion {
 
@@ -49,7 +51,14 @@ namespace grfusion {
 /// tables expose the same data through SQL.
 class Database {
  public:
-  explicit Database(PlannerOptions options = PlannerOptions());
+  /// A default-constructed DurabilityOptions (empty data_dir) keeps the
+  /// database memory-only. With a data_dir set, the constructor recovers
+  /// whatever the directory holds (checkpoint + committed WAL prefix) and
+  /// logs every later commit to the WAL; see DurabilityManager. Recovery
+  /// failure does not throw — the database opens, but every write statement
+  /// fails with durability_status() until the directory is repaired.
+  explicit Database(PlannerOptions options = PlannerOptions(),
+                    DurabilityOptions durability = DurabilityOptions());
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -100,6 +109,18 @@ class Database {
   /// In-flight statements across all sessions (SYS.ACTIVE_QUERIES, KILL).
   ActiveQueryRegistry& active_queries() { return active_queries_; }
 
+  // --- Durability -----------------------------------------------------------
+
+  /// True when the database was opened with a data directory.
+  bool durable() const { return durability_ != nullptr; }
+
+  /// OK on a memory-only database or after successful recovery; the recovery
+  /// (or sticky WAL) error otherwise. Writes check this at statement entry.
+  Status durability_status() const;
+
+  /// The durability subsystem; nullptr on a memory-only database.
+  const DurabilityManager* durability() const { return durability_.get(); }
+
  private:
   friend class Session;
 
@@ -134,6 +155,13 @@ class Database {
 
   Catalog catalog_;
   const PlannerOptions options_;
+
+  /// Durability subsystem (nullptr = memory-only) and the sticky outcome of
+  /// its recovery pass. Sessions append commit batches through durability_
+  /// while holding the writer slot and Sync() after releasing it.
+  std::unique_ptr<DurabilityManager> durability_;
+  Status recovery_status_;
+
   PlanCache plan_cache_;
   StatementStats statement_stats_;
   ActiveQueryRegistry active_queries_;

@@ -36,6 +36,16 @@ class EpochManager {
 
   /// Deferred-cleanup accounting: dead versions and unfolded graph deltas
   /// accumulate until a vacuum runs under the exclusive statement lock.
+  /// Recovery-time re-seeding: fast-forwards the committed epoch to the
+  /// highest epoch observed in the checkpoint + replayed WAL, so epochs stay
+  /// monotonic across restarts (a post-recovery writer must never stamp an
+  /// epoch the log already used). Only valid before any session runs.
+  void Reseed(Epoch e) {
+    if (e > committed_.load(std::memory_order_relaxed)) {
+      committed_.store(e, std::memory_order_release);
+    }
+  }
+
   void AddPending(uint64_t n) {
     pending_.fetch_add(n, std::memory_order_relaxed);
   }

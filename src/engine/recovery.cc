@@ -1,0 +1,566 @@
+#include "engine/recovery.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace grfusion {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status(StatusCode::kIOError,
+                what + " '" + path + "': " + std::strerror(errno));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Makes directory-entry metadata (a rename or unlink) durable. Required by
+/// the checkpoint swap: renaming checkpoint.tmp into place is only crash-safe
+/// once the directory itself is on disk.
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("cannot open data dir", dir);
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return Errno("cannot fsync data dir", dir);
+  }
+  return Status::OK();
+}
+
+Status WriteAllFd(int fd, const char* data, size_t len,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("cannot write checkpoint", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Checkpoint file header magic. The body is one CRC-framed payload:
+///   magic | u64 payload_len | u32 crc32(payload) | payload.
+constexpr char kCheckpointMagic[8] = {'G', 'R', 'F', 'C', 'K', 'P', 'T', '1'};
+
+/// Locates the first row visible at the latest epoch whose tuple equals
+/// `image`. Replay identity: WAL records carry applied post-coercion images,
+/// so content equality is exact; with duplicate rows any match is correct
+/// (the recovered multiset is what must match, not individual slots).
+bool FindSlotByImage(const Table& table, const Tuple& image, TupleSlot* slot) {
+  bool found = false;
+  table.ForEach([&](TupleSlot s, const Tuple& t) {
+    if (t == image) {
+      *slot = s;
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+void EraseDeferredView(std::vector<GraphViewDef>* views,
+                       const std::string& name) {
+  for (auto it = views->begin(); it != views->end(); ++it) {
+    if (it->name == name) {
+      views->erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+DurabilityManager::DurabilityManager(DurabilityOptions options)
+    : options_(std::move(options)) {}
+
+std::string DurabilityManager::WalFileName(uint64_t generation) {
+  return StrFormat("wal.%llu.log", static_cast<unsigned long long>(generation));
+}
+
+Status DurabilityManager::OpenAndRecover(Catalog* catalog,
+                                         EpochManager* epochs) {
+  if (!options_.enabled()) {
+    return Status::Internal("durability is not enabled for this database");
+  }
+  const std::string& dir = options_.data_dir;
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("cannot create data dir", dir);
+  }
+
+  // 1. A leftover checkpoint.tmp is a checkpoint that crashed before its
+  //    atomic rename; the previous generation is still complete, so the
+  //    half-written file is plain garbage.
+  const std::string tmp_path = dir + "/" + kCheckpointTmpFile;
+  if (::unlink(tmp_path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("cannot remove stale checkpoint.tmp", tmp_path);
+  }
+
+  // 2. Load the checkpoint, if any.
+  std::vector<GraphViewDef> deferred_views;
+  uint64_t generation = 0;
+  Epoch max_epoch = 1;
+  const std::string ckpt_path = dir + "/" + kCheckpointFile;
+  if (FileExists(ckpt_path)) {
+    Epoch ckpt_epoch = 1;
+    GRF_RETURN_IF_ERROR(LoadCheckpoint(ckpt_path, catalog, &deferred_views,
+                                       &generation, &ckpt_epoch));
+    recovery_.checkpoint_loaded = true;
+    if (ckpt_epoch > max_epoch) max_epoch = ckpt_epoch;
+  }
+  recovery_.generation = generation;
+
+  // 3. Replay the committed prefix of this generation's WAL.
+  const std::string wal_path = dir + "/" + WalFileName(generation);
+  uint64_t append_offset = 0;
+  bool wal_exists = FileExists(wal_path);
+  if (wal_exists) {
+    auto read = ReadWalFile(wal_path);
+    if (!read.ok()) return read.status();
+    if (read->generation != generation) {
+      return Status::IOError(StrFormat(
+          "WAL '%s' carries generation %llu, checkpoint expects %llu",
+          wal_path.c_str(), static_cast<unsigned long long>(read->generation),
+          static_cast<unsigned long long>(generation)));
+    }
+    GRF_RETURN_IF_ERROR(ReplayWal(*read, catalog, &deferred_views));
+    append_offset = read->valid_bytes;
+    recovery_.torn_tail = read->torn_tail;
+    recovery_.wal_records = read->records.size();
+    for (const WalRecord& r : read->records) {
+      if (r.type == WalRecord::Type::kTxnCommit && r.epoch > max_epoch) {
+        max_epoch = r.epoch;
+      }
+    }
+  }
+
+  // 4. Remove WAL files of other generations. They can only exist after a
+  //    crash inside the checkpoint swap, and the surviving checkpoint
+  //    already covers everything they contain.
+  if (DIR* d = ::opendir(dir.c_str())) {
+    std::vector<std::string> stale;
+    while (struct dirent* ent = ::readdir(d)) {
+      const std::string name = ent->d_name;
+      if (name.rfind("wal.", 0) != 0 || name.size() <= 8 ||
+          name.substr(name.size() - 4) != ".log") {
+        continue;
+      }
+      char* end = nullptr;
+      unsigned long long gen = std::strtoull(name.c_str() + 4, &end, 10);
+      if (end == nullptr || std::string(end) != ".log") continue;
+      if (gen != generation) stale.push_back(dir + "/" + name);
+    }
+    ::closedir(d);
+    for (const std::string& path : stale) {
+      if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+        return Errno("cannot remove stale WAL", path);
+      }
+    }
+  } else {
+    return Errno("cannot scan data dir", dir);
+  }
+
+  // 5. Graph views last, built from the final recovered table state.
+  for (const GraphViewDef& def : deferred_views) {
+    auto view = catalog->CreateGraphView(def);
+    if (!view.ok()) {
+      return Status::Internal("recovery cannot rebuild graph view '" +
+                              def.name + "': " + view.status().ToString());
+    }
+  }
+
+  // 6. Epochs stay monotonic across restarts and the WAL reopens for
+  //    appending past the recovered valid prefix.
+  epochs->Reseed(max_epoch);
+  recovery_.max_epoch = max_epoch;
+  wal_ = std::make_unique<WalWriter>();
+  Status open = wal_exists ? wal_->OpenExisting(wal_path, generation,
+                                                options_.sync, append_offset)
+                           : wal_->Create(wal_path, generation, options_.sync);
+  if (!open.ok()) return open;
+  recovery_.ran = true;
+
+  MetricsRegistry& r = MetricsRegistry::Global();
+  r.GetGauge("recovery_checkpoint_tables")
+      ->Set(static_cast<int64_t>(recovery_.checkpoint_tables));
+  r.GetGauge("recovery_checkpoint_rows")
+      ->Set(static_cast<int64_t>(recovery_.checkpoint_rows));
+  r.GetGauge("recovery_wal_records")
+      ->Set(static_cast<int64_t>(recovery_.wal_records));
+  r.GetGauge("recovery_txns_committed")
+      ->Set(static_cast<int64_t>(recovery_.txns_committed));
+  r.GetGauge("recovery_txns_discarded")
+      ->Set(static_cast<int64_t>(recovery_.txns_discarded));
+  r.GetGauge("recovery_torn_tail")->Set(recovery_.torn_tail ? 1 : 0);
+  return Status::OK();
+}
+
+Status DurabilityManager::LoadCheckpoint(
+    const std::string& path, Catalog* catalog,
+    std::vector<GraphViewDef>* deferred_views, uint64_t* generation,
+    Epoch* epoch) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("cannot open checkpoint", path);
+  std::string contents;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("cannot read checkpoint", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // Header + CRC frame. Unlike the WAL, a checkpoint is swapped in whole via
+  // rename(), so any mismatch here is corruption, not a torn tail.
+  const size_t header = sizeof(kCheckpointMagic) + sizeof(uint64_t) +
+                        sizeof(uint32_t);
+  if (contents.size() < header ||
+      std::memcmp(contents.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::IOError("checkpoint '" + path +
+                           "' has a missing or corrupt header");
+  }
+  BinReader frame(contents.data() + sizeof(kCheckpointMagic),
+                  contents.size() - sizeof(kCheckpointMagic));
+  uint64_t payload_len = 0;
+  uint32_t crc = 0;
+  frame.GetU64(&payload_len);
+  frame.GetU32(&crc);
+  if (contents.size() - header != payload_len) {
+    return Status::IOError("checkpoint '" + path + "' is truncated");
+  }
+  const char* payload = contents.data() + header;
+  if (Crc32(payload, payload_len) != crc) {
+    return Status::IOError("checkpoint '" + path + "' fails its CRC check");
+  }
+
+  BinReader r(payload, payload_len);
+  uint64_t gen = 0, ckpt_epoch = 0;
+  uint32_t ntables = 0;
+  if (!r.GetU64(&gen) || !r.GetU64(&ckpt_epoch) || !r.GetU32(&ntables)) {
+    return Status::IOError("checkpoint '" + path + "' payload is malformed");
+  }
+  for (uint32_t t = 0; t < ntables; ++t) {
+    std::string name;
+    Schema schema;
+    uint32_t nindexes = 0;
+    if (!r.GetString(&name) || !r.GetSchema(&schema) || !r.GetU32(&nindexes)) {
+      return Status::IOError("checkpoint '" + path + "' payload is malformed");
+    }
+    auto table = catalog->CreateTable(name, std::move(schema));
+    if (!table.ok()) return table.status();
+    struct IndexSpec {
+      std::string name;
+      uint32_t column;
+      bool unique;
+    };
+    std::vector<IndexSpec> indexes(nindexes);
+    for (IndexSpec& ix : indexes) {
+      uint8_t unique = 0;
+      if (!r.GetString(&ix.name) || !r.GetU32(&ix.column) ||
+          !r.GetU8(&unique)) {
+        return Status::IOError("checkpoint '" + path +
+                               "' payload is malformed");
+      }
+      ix.unique = unique != 0;
+    }
+    uint64_t nrows = 0;
+    if (!r.GetU64(&nrows)) {
+      return Status::IOError("checkpoint '" + path + "' payload is malformed");
+    }
+    for (uint64_t i = 0; i < nrows; ++i) {
+      Tuple tuple;
+      if (!r.GetTuple(&tuple)) {
+        return Status::IOError("checkpoint '" + path +
+                               "' payload is malformed");
+      }
+      auto slot = (*table)->Insert(std::move(tuple));
+      if (!slot.ok()) {
+        return Status::Internal("checkpoint row rejected by table '" + name +
+                                "': " + slot.status().ToString());
+      }
+    }
+    // Rows first, indexes second: CreateIndex back-fills in one pass instead
+    // of nrows hash updates interleaved with uniqueness probes.
+    for (const IndexSpec& ix : indexes) {
+      GRF_RETURN_IF_ERROR((*table)->CreateIndex(ix.name, ix.column, ix.unique));
+    }
+    recovery_.checkpoint_tables++;
+    recovery_.checkpoint_rows += nrows;
+  }
+  uint32_t nviews = 0;
+  if (!r.GetU32(&nviews)) {
+    return Status::IOError("checkpoint '" + path + "' payload is malformed");
+  }
+  for (uint32_t v = 0; v < nviews; ++v) {
+    GraphViewDef def;
+    if (!r.GetGraphViewDef(&def)) {
+      return Status::IOError("checkpoint '" + path + "' payload is malformed");
+    }
+    deferred_views->push_back(std::move(def));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::IOError("checkpoint '" + path + "' payload is malformed");
+  }
+  *generation = gen;
+  *epoch = ckpt_epoch;
+  return Status::OK();
+}
+
+Status DurabilityManager::ReplayWal(const WalReadResult& wal, Catalog* catalog,
+                                    std::vector<GraphViewDef>* deferred_views) {
+  // Every logged unit is a kTxnBegin ... kTxnCommit frame sequence (implicit
+  // DML statements, DDL batches at epoch 0, and explicit transactions alike),
+  // so replay is a buffer-then-apply loop: effects land only when the commit
+  // marker is present, which makes uncommitted transactions and torn tails
+  // vanish without special cases.
+  std::vector<const WalRecord*> pending;
+  bool in_txn = false;
+  for (const WalRecord& record : wal.records) {
+    switch (record.type) {
+      case WalRecord::Type::kTxnBegin:
+        if (in_txn) {
+          // A begin marker while a unit is open means the previous unit
+          // never wrote its commit/abort marker (crash between statement
+          // append and marker append). It is uncommitted: discard.
+          recovery_.txns_discarded++;
+          pending.clear();
+        }
+        in_txn = true;
+        break;
+      case WalRecord::Type::kTxnCommit:
+        for (const WalRecord* r : pending) {
+          GRF_RETURN_IF_ERROR(ApplyRecord(*r, catalog, deferred_views));
+        }
+        pending.clear();
+        in_txn = false;
+        recovery_.txns_committed++;
+        break;
+      case WalRecord::Type::kTxnAbort:
+        pending.clear();
+        in_txn = false;
+        recovery_.txns_discarded++;
+        break;
+      default:
+        if (!in_txn) {
+          // Cannot happen in a log this engine wrote; tolerate it the same
+          // way as any other uncommitted effect.
+          recovery_.txns_discarded++;
+          break;
+        }
+        pending.push_back(&record);
+        break;
+    }
+  }
+  if (in_txn) recovery_.txns_discarded++;
+  return Status::OK();
+}
+
+Status DurabilityManager::ApplyRecord(
+    const WalRecord& record, Catalog* catalog,
+    std::vector<GraphViewDef>* deferred_views) {
+  switch (record.type) {
+    case WalRecord::Type::kInsert: {
+      Table* table = catalog->FindTable(record.table);
+      if (table == nullptr) {
+        return Status::Internal("WAL insert into unknown table '" +
+                                record.table + "'");
+      }
+      auto slot = table->Insert(record.after);
+      if (!slot.ok()) {
+        return Status::Internal("WAL insert rejected by table '" +
+                                record.table + "': " +
+                                slot.status().ToString());
+      }
+      return Status::OK();
+    }
+    case WalRecord::Type::kDelete: {
+      Table* table = catalog->FindTable(record.table);
+      if (table == nullptr) {
+        return Status::Internal("WAL delete from unknown table '" +
+                                record.table + "'");
+      }
+      TupleSlot slot;
+      if (!FindSlotByImage(*table, record.before, &slot)) {
+        return Status::Internal("WAL delete image not found in table '" +
+                                record.table + "'");
+      }
+      return table->Delete(slot);
+    }
+    case WalRecord::Type::kUpdate: {
+      Table* table = catalog->FindTable(record.table);
+      if (table == nullptr) {
+        return Status::Internal("WAL update in unknown table '" +
+                                record.table + "'");
+      }
+      TupleSlot slot;
+      if (!FindSlotByImage(*table, record.before, &slot)) {
+        return Status::Internal("WAL update image not found in table '" +
+                                record.table + "'");
+      }
+      return table->Update(slot, record.after);
+    }
+    case WalRecord::Type::kCreateTable: {
+      auto table = catalog->CreateTable(record.table, record.schema);
+      return table.ok() ? Status::OK() : table.status();
+    }
+    case WalRecord::Type::kCreateIndex: {
+      Table* table = catalog->FindTable(record.table);
+      if (table == nullptr) {
+        return Status::Internal("WAL index on unknown table '" + record.table +
+                                "'");
+      }
+      return table->CreateIndex(record.index_name, record.index_column,
+                                record.index_unique);
+    }
+    case WalRecord::Type::kCreateGraphView:
+      // Deferred: views are rebuilt from final table state after replay.
+      EraseDeferredView(deferred_views, record.view_def.name);
+      deferred_views->push_back(record.view_def);
+      return Status::OK();
+    case WalRecord::Type::kDrop:
+      if (record.drop_kind == WalRecord::kDropGraphView) {
+        EraseDeferredView(deferred_views, record.table);
+        return Status::OK();
+      }
+      return catalog->DropTable(record.table);
+    case WalRecord::Type::kTxnBegin:
+    case WalRecord::Type::kTxnCommit:
+    case WalRecord::Type::kTxnAbort:
+      return Status::Internal("transaction marker reached ApplyRecord");
+  }
+  return Status::Internal("unhandled WAL record type");
+}
+
+Status DurabilityManager::Append(const WalBatch& batch, uint64_t* lsn) {
+  Status s = wal_->Append(batch, lsn);
+  if (s.ok()) {
+    EngineMetrics& m = EngineMetrics::Get();
+    m.wal_appends_total->Increment();
+    m.wal_records_total->Increment(batch.num_records());
+    m.wal_bytes_total->Increment(batch.bytes().size());
+  }
+  return s;
+}
+
+Status DurabilityManager::Sync(uint64_t lsn) { return wal_->Sync(lsn); }
+
+Status DurabilityManager::WriteCheckpoint(Catalog* catalog, Epoch epoch) {
+  const std::string& dir = options_.data_dir;
+  const uint64_t next_gen = wal_->generation() + 1;
+
+  // Serialize the catalog + latest table contents. The caller holds the
+  // writer slot and the exclusive statement lock, so the latest epoch IS the
+  // committed state and nothing mutates under the scan.
+  std::string payload;
+  BinWriter w(&payload);
+  w.PutU64(next_gen);
+  w.PutU64(epoch);
+  std::vector<std::string> table_names = catalog->TableNames();
+  w.PutU32(static_cast<uint32_t>(table_names.size()));
+  for (const std::string& name : table_names) {
+    Table* table = catalog->FindTable(name);
+    w.PutString(table->name());
+    w.PutSchema(table->schema());
+    w.PutU32(static_cast<uint32_t>(table->indexes().size()));
+    for (const auto& ix : table->indexes()) {
+      w.PutString(ix->name());
+      w.PutU32(static_cast<uint32_t>(ix->column()));
+      w.PutU8(ix->unique() ? 1 : 0);
+    }
+    w.PutU64(table->NumRows());
+    table->ForEach([&](TupleSlot, const Tuple& t) {
+      w.PutTuple(t);
+      return true;
+    });
+  }
+  std::vector<GraphView*> views = catalog->GraphViews();
+  w.PutU32(static_cast<uint32_t>(views.size()));
+  for (const GraphView* view : views) w.PutGraphViewDef(view->def());
+
+  std::string file(kCheckpointMagic, sizeof(kCheckpointMagic));
+  BinWriter fw(&file);
+  fw.PutU64(payload.size());
+  fw.PutU32(Crc32(payload.data(), payload.size()));
+  file.append(payload);
+
+  // Phase 1: write checkpoint.tmp and make its contents durable. A crash
+  // anywhere in here leaves a garbage tmp file that the next open deletes.
+  const std::string tmp_path = dir + "/" + kCheckpointTmpFile;
+  const std::string ckpt_path = dir + "/" + kCheckpointFile;
+  int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Errno("cannot create checkpoint.tmp", tmp_path);
+  Status s = [&]() -> Status {
+    // Split write with a failpoint between the halves: crash-mode fuzzing
+    // gets a genuinely torn tmp file, not just a missing one.
+    const size_t half = file.size() / 2;
+    GRF_RETURN_IF_ERROR(WriteAllFd(fd, file.data(), half, tmp_path));
+    GRF_FAILPOINT("checkpoint.write");
+    GRF_RETURN_IF_ERROR(
+        WriteAllFd(fd, file.data() + half, file.size() - half, tmp_path));
+    if (::fsync(fd) != 0) return Errno("cannot fsync checkpoint.tmp", tmp_path);
+    return Status::OK();
+  }();
+  ::close(fd);
+  if (!s.ok()) return s;
+
+  // Phase 2: atomic swap. After the rename + dir fsync, recovery will load
+  // THIS checkpoint; before it, the previous generation.
+  GRF_FAILPOINT("checkpoint.rename");
+  if (::rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
+    return Errno("cannot rename checkpoint.tmp", tmp_path);
+  }
+  GRF_RETURN_IF_ERROR(FsyncDir(dir));
+
+  // Phase 3: rotate the WAL. A crash between the swap and the new WAL's
+  // creation is fine — recovery sees checkpoint generation G+1, finds no
+  // wal.<G+1>.log, and creates a fresh one; the old log is stale by
+  // definition since the checkpoint captured everything in it.
+  GRF_FAILPOINT("checkpoint.swap");
+  const std::string old_wal = wal_->path();
+  auto next_wal = std::make_unique<WalWriter>();
+  GRF_RETURN_IF_ERROR(next_wal->Create(dir + "/" + WalFileName(next_gen),
+                                       next_gen, options_.sync));
+  wal_ = std::move(next_wal);
+
+  // Phase 4: truncate (= unlink) the superseded log. Failure here is
+  // cosmetic — recovery deletes stale generations anyway.
+  GRF_FAILPOINT("checkpoint.truncate");
+  if (::unlink(old_wal.c_str()) != 0 && errno != ENOENT) {
+    GRF_LOG(kWarn, "cannot unlink superseded WAL '%s': %s", old_wal.c_str(),
+            std::strerror(errno));
+  }
+  checkpoints_++;
+  EngineMetrics::Get().checkpoints_total->Increment();
+  return Status::OK();
+}
+
+}  // namespace grfusion

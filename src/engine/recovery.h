@@ -1,0 +1,117 @@
+#ifndef GRFUSION_ENGINE_RECOVERY_H_
+#define GRFUSION_ENGINE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/epoch_manager.h"
+#include "storage/wal.h"
+
+namespace grfusion {
+
+/// Owns one database's durable state: the data directory with its
+/// checkpoint file and generation-numbered WAL, recovery at open, the
+/// commit-path append/sync interface, and the CHECKPOINT protocol.
+///
+/// Layout of `data_dir`:
+///   checkpoint.grf   latest static snapshot (catalog + table contents),
+///                    swapped in atomically via checkpoint.tmp + rename();
+///   wal.<G>.log      the live WAL of generation G. A checkpoint embeds
+///                    G+1 and switches appends to wal.<G+1>.log, making the
+///                    old log's contents redundant (WAL "truncation" is
+///                    rotation + unlink — the recovery invariant is that a
+///                    crash at ANY point leaves a loadable checkpoint
+///                    generation plus the matching WAL suffix).
+///
+/// Recovery at open:
+///   1. delete checkpoint.tmp (a torn half-written checkpoint is garbage —
+///      the previous generation is still fully intact);
+///   2. load checkpoint.grf when present: recreate tables, reload rows,
+///      rebuild indexes, remember graph-view definitions;
+///   3. replay the committed prefix of wal.<G>.log: records are buffered
+///      per transaction and applied only when the commit marker is seen, so
+///      uncommitted transactions and torn tails are discarded wholesale;
+///   4. create graph views last, from the recovered final table state —
+///      topology is never logged; the paper's view == rebuild invariant
+///      (§5) makes rebuild the correct (and cheapest) recovery action;
+///   5. re-seed the EpochManager past every epoch the log used and open the
+///      WAL for appending (truncating any torn tail first).
+///
+/// All log records carry applied, post-coercion images, so replay performs
+/// no constraint checking and can never veto: a WAL produced by this engine
+/// replays cleanly or detects corruption — there is no third outcome.
+class DurabilityManager {
+ public:
+  /// Counters describing what one recovery pass found (SYS.WAL and the
+  /// recovery_* gauges expose these).
+  struct RecoveryStats {
+    bool ran = false;               ///< OpenAndRecover completed.
+    bool checkpoint_loaded = false;
+    uint64_t checkpoint_tables = 0;
+    uint64_t checkpoint_rows = 0;
+    uint64_t wal_records = 0;       ///< Valid frames scanned.
+    uint64_t txns_committed = 0;    ///< Replayed to completion.
+    uint64_t txns_discarded = 0;    ///< Uncommitted at end of log / aborted.
+    bool torn_tail = false;         ///< Trailing garbage discarded.
+    uint64_t generation = 0;
+    Epoch max_epoch = 1;
+  };
+
+  explicit DurabilityManager(DurabilityOptions options);
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  /// Recovers `catalog` from the data directory (creating the directory on
+  /// first open) and opens the WAL for appending. Must run before any
+  /// session exists; no locks are taken.
+  Status OpenAndRecover(Catalog* catalog, EpochManager* epochs);
+
+  /// Appends one statement batch (caller holds the engine's writer slot).
+  Status Append(const WalBatch& batch, uint64_t* lsn);
+
+  /// Waits until `lsn` is durable per the configured sync mode. Called
+  /// after the writer slot is released (early lock release): group commit
+  /// batches concurrent committers into one fdatasync.
+  Status Sync(uint64_t lsn);
+
+  /// Writes a static checkpoint of `catalog` at `epoch` and rotates the WAL
+  /// to the next generation. Caller holds the writer slot AND the exclusive
+  /// statement lock (no statement of any kind in flight).
+  Status WriteCheckpoint(Catalog* catalog, Epoch epoch);
+
+  const DurabilityOptions& options() const { return options_; }
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  uint64_t checkpoints_taken() const { return checkpoints_; }
+
+  /// Live WAL writer (SYS.WAL reads its counters). Never null after a
+  /// successful OpenAndRecover.
+  const WalWriter* wal() const { return wal_.get(); }
+
+  // Data-directory file names.
+  static constexpr const char* kCheckpointFile = "checkpoint.grf";
+  static constexpr const char* kCheckpointTmpFile = "checkpoint.tmp";
+  static std::string WalFileName(uint64_t generation);
+
+ private:
+  Status LoadCheckpoint(const std::string& path, Catalog* catalog,
+                        std::vector<GraphViewDef>* deferred_views,
+                        uint64_t* generation, Epoch* epoch);
+  Status ReplayWal(const WalReadResult& wal, Catalog* catalog,
+                   std::vector<GraphViewDef>* deferred_views);
+  Status ApplyRecord(const WalRecord& record, Catalog* catalog,
+                     std::vector<GraphViewDef>* deferred_views);
+
+  const DurabilityOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  RecoveryStats recovery_;
+  uint64_t checkpoints_ = 0;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_ENGINE_RECOVERY_H_

@@ -85,6 +85,8 @@ const char* StatementKindName(const Statement& stmt) {
             case TxnStmt::Kind::kAbort: return "ABORT";
           }
           return "BEGIN";
+        } else if constexpr (std::is_same_v<T, CheckpointStmt>) {
+          return "CHECKPOINT";
         } else {
           return "SELECT";
         }
@@ -364,13 +366,16 @@ StatusOr<ResultSet> Session::ExecuteParsed(const Statement& stmt,
       // statement lock — snapshot readers keep running.
       return ExecuteDml(stmt, /*params=*/nullptr);
     }
-    // DDL still excludes everything: writer slot first (no write
-    // transaction in flight, so no graph view has an open delta), then the
-    // statement lock exclusively (no reader mid-statement).
+    // DDL (and CHECKPOINT) still excludes everything: writer slot first (no
+    // write transaction in flight, so no graph view has an open delta), then
+    // the statement lock exclusively (no reader mid-statement).
     if (in_txn_) {
       return Status::InvalidArgument(
-          "DDL is not allowed inside a transaction");
+          std::holds_alternative<CheckpointStmt>(stmt)
+              ? "CHECKPOINT is not allowed inside a transaction"
+              : "DDL is not allowed inside a transaction");
     }
+    GRF_RETURN_IF_ERROR(db_.durability_status());
     std::lock_guard<std::mutex> writer(db_.writer_mutex_);
     std::unique_lock<std::shared_mutex> lock(db_.statement_mutex_);
     return ExecuteStatement(stmt);
@@ -406,11 +411,13 @@ StatusOr<ResultSet> Session::ExecuteTxn(const TxnStmt& stmt) {
       if (in_txn_) {
         return Status::InvalidArgument("transaction already in progress");
       }
+      GRF_RETURN_IF_ERROR(db_.durability_status());
       // Claim the single-writer slot for the life of the transaction and
       // fix its epoch. Readers are unaffected; other writers queue here.
       txn_writer_lock_ = std::unique_lock<std::mutex>(db_.writer_mutex_);
       txn_epoch_ = db_.epochs_.BeginWriter();
       in_txn_ = true;
+      txn_begin_logged_ = false;
       return ResultSet();
     case TxnStmt::Kind::kCommit:
       if (!in_txn_) {
@@ -447,19 +454,51 @@ StatusOr<ResultSet> Session::ExecuteDml(const Statement& stmt,
     std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
     const size_t mark = undo_log_.size();
     StatusOr<ResultSet> result = dispatch();
-    if (!result.ok()) RollbackToMark(mark);
+    if (!result.ok()) {
+      RollbackToMark(mark);
+      return result;
+    }
+    if (db_.durability_ != nullptr && undo_log_.size() > mark) {
+      // Per-statement WAL append, no commit marker: only the kTxnCommit
+      // written by COMMIT makes any of it replayable. The begin marker goes
+      // out with the first logged statement.
+      WalBatch batch;
+      if (!txn_begin_logged_) batch.TxnBegin(txn_epoch_);
+      EncodeUndoAsWal(mark, &batch);
+      Status wal = db_.durability_->Append(batch, /*lsn=*/nullptr);
+      if (!wal.ok()) {
+        // The statement's bytes never reached the log; roll it back in
+        // memory too so log and state agree (the transaction stays open —
+        // the client decides whether to COMMIT what came before).
+        RollbackToMark(mark);
+        return wal;
+      }
+      txn_begin_logged_ = true;
+    }
     return result;
   }
 
+  GRF_RETURN_IF_ERROR(db_.durability_status());
   // Implicit single-statement transaction: claim the writer slot, execute
   // under the SHARED statement lock (snapshot readers keep running), and
   // publish — or fully undo — at one epoch boundary.
   std::unique_lock<std::mutex> writer(db_.writer_mutex_);
   txn_epoch_ = db_.epochs_.BeginWriter();
   StatusOr<ResultSet> result = Status::Internal("DML did not execute");
+  uint64_t lsn = 0;
   {
     std::shared_lock<std::shared_mutex> lock(db_.statement_mutex_);
     result = dispatch();
+    if (result.ok() && db_.durability_ != nullptr && !undo_log_.empty()) {
+      // WAL append sits before the publish: a batch that cannot be logged
+      // must not commit (the statement rolls back below instead).
+      WalBatch batch;
+      batch.TxnBegin(txn_epoch_);
+      EncodeUndoAsWal(0, &batch);
+      batch.TxnCommit(txn_epoch_);
+      Status wal = db_.durability_->Append(batch, &lsn);
+      if (!wal.ok()) result = wal;
+    }
     if (result.ok()) {
       const size_t changes = undo_log_.size();
       for (GraphView* gv : db_.catalog_.GraphViews()) {
@@ -484,6 +523,18 @@ StatusOr<ResultSet> Session::ExecuteDml(const Statement& stmt,
   // Deferred maintenance runs with the writer slot still held (so no graph
   // view can have an open delta) and no statement lock of our own.
   db_.MaybeFoldAndVacuum();
+  writer.unlock();
+  // Early lock release: the commit waits for durability OUTSIDE the writer
+  // slot, so the next writer can append while this fdatasync is in flight —
+  // that queue is exactly what group commit folds into one sync.
+  if (lsn != 0 && db_.durability_ != nullptr) {
+    Status sync = db_.durability_->Sync(lsn);
+    if (!sync.ok() && result.ok()) {
+      // Applied in memory but not durable; the sticky WAL failure blocks
+      // every later write, so the in-memory lead can never widen.
+      return sync;
+    }
+  }
   return result;
 }
 
@@ -498,6 +549,20 @@ Status Session::CommitTxn() {
     AbortTxn();
     return inject;
   }
+  // The commit marker is the transaction's commit point on disk: replay
+  // discards everything since the begin marker unless it sees this record.
+  // An effect-free transaction logged nothing and commits silently.
+  uint64_t lsn = 0;
+  if (db_.durability_ != nullptr && txn_begin_logged_) {
+    WalBatch batch;
+    batch.TxnCommit(txn_epoch_);
+    Status wal = db_.durability_->Append(batch, &lsn);
+    if (!wal.ok()) {
+      AbortTxn();
+      return wal;
+    }
+    txn_begin_logged_ = false;
+  }
   // Publish every view's buffered delta first, then advance the committed
   // epoch (both release stores): a reader that observes the new epoch is
   // guaranteed to observe the published deltas and end-stamps behind it.
@@ -511,10 +576,22 @@ Status Session::CommitTxn() {
   txn_epoch_ = 0;
   db_.MaybeFoldAndVacuum();
   txn_writer_lock_.unlock();
+  // Durability wait happens outside the writer slot (group commit window).
+  if (lsn != 0 && db_.durability_ != nullptr) {
+    GRF_RETURN_IF_ERROR(db_.durability_->Sync(lsn));
+  }
   return Status::OK();
 }
 
 void Session::AbortTxn() {
+  if (db_.durability_ != nullptr && txn_begin_logged_) {
+    // Best-effort abort marker, no sync: replay discards an unterminated
+    // transaction anyway, the marker just keeps the log self-describing.
+    WalBatch batch;
+    batch.TxnAbort(txn_epoch_);
+    (void)db_.durability_->Append(batch, /*lsn=*/nullptr);
+    txn_begin_logged_ = false;
+  }
   const size_t aborted = undo_log_.size();
   // Reverse-compensate table state (which re-notifies graph views through
   // their Undo* hooks, unwinding the open delta symmetrically), then throw
@@ -761,6 +838,8 @@ StatusOr<ResultSet> Session::ExecuteStatement(const Statement& stmt) {
           return ExecuteKill(s);
         } else if constexpr (std::is_same_v<T, TxnStmt>) {
           return ExecuteTxn(s);
+        } else if constexpr (std::is_same_v<T, CheckpointStmt>) {
+          return ExecuteCheckpoint();
         } else {
           return ExecuteSelect(s);
         }
@@ -795,6 +874,22 @@ StatusOr<ResultSet> Session::ExecuteCreateTable(const CreateTableStmt& stmt) {
     GRF_RETURN_IF_ERROR(table->CreateIndex(
         "pk_" + stmt.name, static_cast<size_t>(primary_key), true));
   }
+  std::vector<WalRecord> unit;
+  WalRecord create;
+  create.type = WalRecord::Type::kCreateTable;
+  create.table = stmt.name;
+  create.schema = table->schema();
+  unit.push_back(std::move(create));
+  if (primary_key >= 0) {
+    WalRecord pk;
+    pk.type = WalRecord::Type::kCreateIndex;
+    pk.table = stmt.name;
+    pk.index_name = "pk_" + stmt.name;
+    pk.index_column = static_cast<uint64_t>(primary_key);
+    pk.index_unique = true;
+    unit.push_back(std::move(pk));
+  }
+  GRF_RETURN_IF_ERROR(AppendDdlUnit(unit));
   return ResultSet();
 }
 
@@ -808,6 +903,13 @@ StatusOr<ResultSet> Session::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
   // A new index changes the best available plan shape for scans over this
   // table; cached plans compiled without it must be recompiled.
   db_.catalog_.BumpVersion();
+  WalRecord rec;
+  rec.type = WalRecord::Type::kCreateIndex;
+  rec.table = stmt.table;
+  rec.index_name = stmt.index_name;
+  rec.index_column = static_cast<uint64_t>(column);
+  rec.index_unique = stmt.unique;
+  GRF_RETURN_IF_ERROR(AppendDdlUnit({std::move(rec)}));
   return ResultSet();
 }
 
@@ -822,7 +924,13 @@ StatusOr<ResultSet> Session::ExecuteCreateGraphView(
   }
   GRF_ASSIGN_OR_RETURN(GraphView * gv,
                        db_.catalog_.CreateGraphView(stmt.def, build));
-  (void)gv;
+  // Only the definition is logged — never the topology. Recovery rebuilds
+  // the view from the recovered base tables, so view == rebuild by
+  // construction.
+  WalRecord rec;
+  rec.type = WalRecord::Type::kCreateGraphView;
+  rec.view_def = gv->def();
+  GRF_RETURN_IF_ERROR(AppendDdlUnit({std::move(rec)}));
   return ResultSet();
 }
 
@@ -842,12 +950,29 @@ StatusOr<ResultSet> Session::ExecuteCreateMaterializedView(
   GRF_ASSIGN_OR_RETURN(ResultSet rows, ExecuteSelect(*stmt.select));
   GRF_ASSIGN_OR_RETURN(Table * table,
                        db_.catalog_.CreateTable(stmt.name, std::move(schema)));
+  std::vector<WalRecord> unit;
+  unit.reserve(rows.rows.size() + 1);
+  WalRecord create;
+  create.type = WalRecord::Type::kCreateTable;
+  create.table = stmt.name;
+  create.schema = table->schema();
+  unit.push_back(std::move(create));
   for (auto& row : rows.rows) {
     auto slot = table->Insert(Tuple(std::move(row)));
     if (!slot.ok()) {
       (void)db_.catalog_.DropTable(stmt.name);
       return slot.status();
     }
+    WalRecord ins;
+    ins.type = WalRecord::Type::kInsert;
+    ins.table = stmt.name;
+    ins.after = *table->Get(*slot);
+    unit.push_back(std::move(ins));
+  }
+  Status wal = AppendDdlUnit(unit);
+  if (!wal.ok()) {
+    (void)db_.catalog_.DropTable(stmt.name);
+    return wal;
   }
   ResultSet result;
   result.rows_affected = rows.rows.size();
@@ -871,7 +996,68 @@ StatusOr<ResultSet> Session::ExecuteDrop(const DropStmt& stmt) {
     return ResultSet();
   }
   GRF_RETURN_IF_ERROR(status);
+  WalRecord rec;
+  rec.type = WalRecord::Type::kDrop;
+  rec.table = stmt.name;
+  rec.drop_kind = stmt.kind == DropStmt::Kind::kGraphView
+                      ? WalRecord::kDropGraphView
+                      : WalRecord::kDropTable;
+  GRF_RETURN_IF_ERROR(AppendDdlUnit({std::move(rec)}));
   return ResultSet();
+}
+
+StatusOr<ResultSet> Session::ExecuteCheckpoint() {
+  if (db_.durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "CHECKPOINT requires a database opened with a data directory");
+  }
+  // Runs through the DDL dispatch branch: writer slot + exclusive statement
+  // lock are held, so the committed epoch is a stable, fully-published
+  // snapshot for the duration of the file write.
+  GRF_RETURN_IF_ERROR(
+      db_.durability_->WriteCheckpoint(&db_.catalog_, db_.epochs_.committed()));
+  return ResultSet();
+}
+
+// --- WAL helpers -------------------------------------------------------------------
+
+void Session::EncodeUndoAsWal(size_t from, WalBatch* batch) const {
+  // The undo log carries the statement's applied, post-coercion images —
+  // encoding the surviving entries logs exactly what the statement did.
+  for (size_t i = from; i < undo_log_.size(); ++i) {
+    const UndoRecord& undo = undo_log_[i];
+    WalRecord rec;
+    rec.table = undo.table->name();
+    switch (undo.kind) {
+      case UndoRecord::Kind::kInsert:
+        rec.type = WalRecord::Type::kInsert;
+        rec.after = undo.after;
+        break;
+      case UndoRecord::Kind::kDelete:
+        rec.type = WalRecord::Type::kDelete;
+        rec.before = undo.before;
+        break;
+      case UndoRecord::Kind::kUpdate:
+        rec.type = WalRecord::Type::kUpdate;
+        rec.before = undo.before;
+        rec.after = undo.after;
+        break;
+    }
+    batch->Add(std::move(rec));
+  }
+}
+
+Status Session::AppendDdlUnit(const std::vector<WalRecord>& records) {
+  if (db_.durability_ == nullptr) return Status::OK();
+  // DDL runs outside any epoch (catalog changes are not versioned), so its
+  // unit is framed at epoch 0 and synced before the statement returns.
+  WalBatch batch;
+  batch.TxnBegin(0);
+  for (const WalRecord& rec : records) batch.Add(rec);
+  batch.TxnCommit(0);
+  uint64_t lsn = 0;
+  GRF_RETURN_IF_ERROR(db_.durability_->Append(batch, &lsn));
+  return db_.durability_->Sync(lsn);
 }
 
 // --- DML ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@
 #include "parser/ast.h"
 #include "plan/planner.h"
 #include "storage/table.h"
+#include "storage/wal.h"
 
 namespace grfusion {
 
@@ -234,6 +235,7 @@ class Session {
   StatusOr<ResultSet> ExecuteExplain(const ExplainStmt& stmt);
   StatusOr<ResultSet> ExecuteKill(const KillStmt& stmt);
   StatusOr<ResultSet> ExecuteTxn(const TxnStmt& stmt);
+  StatusOr<ResultSet> ExecuteCheckpoint();
 
   // --- Write transactions ----------------------------------------------------
   // Every DML statement runs inside a write transaction at a private epoch:
@@ -271,6 +273,20 @@ class Session {
   Status LogAppliedInsert(Table* table, TupleSlot slot);
   Status LogAppliedUpdate(Table* table, TupleSlot slot, Tuple before);
 
+  // --- Write-ahead logging ---------------------------------------------------
+  // The undo log doubles as the WAL source: every entry above a statement's
+  // mark is an applied, post-coercion effect, so encoding the surviving
+  // entries at commit time logs exactly what the statement did (rolled-back
+  // statements never reach the log at all).
+
+  /// Encodes undo_log_[from..end) as WAL DML records into `batch`.
+  void EncodeUndoAsWal(size_t from, WalBatch* batch) const;
+
+  /// Appends one complete begin..commit unit (DDL at epoch 0) and makes it
+  /// durable before returning. Caller holds the exclusive statement lock.
+  /// No-op on a memory-only database.
+  Status AppendDdlUnit(const std::vector<WalRecord>& records);
+
   /// Executes a planned SELECT: Volcano loop, engine-metrics fold, profile
   /// capture, slow-query tracing. `force_timing` arms per-operator clocks
   /// regardless of the slow-query threshold (EXPLAIN ANALYZE).
@@ -297,6 +313,10 @@ class Session {
 
   // --- Transaction state (one open transaction per session, max) ------------
   bool in_txn_ = false;   ///< An explicit BEGIN is open.
+  /// The explicit transaction's kTxnBegin marker has been appended to the
+  /// WAL (written lazily with the first logged statement, so an effect-free
+  /// BEGIN..COMMIT leaves no trace in the log).
+  bool txn_begin_logged_ = false;
   Epoch txn_epoch_ = 0;   ///< Epoch of the in-flight write txn; 0 = none.
   /// Holds Database::writer_mutex_ for the span of an explicit transaction.
   std::unique_lock<std::mutex> txn_writer_lock_;

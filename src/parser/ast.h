@@ -186,10 +186,17 @@ struct TxnStmt {
   Kind kind = Kind::kBegin;
 };
 
+/// CHECKPOINT — writes a static snapshot of the whole database (catalog +
+/// table contents) to the data directory and truncates the write-ahead log.
+/// Errors on a memory-only database. Runs under the exclusive statement
+/// lock, like DDL: no statement of any kind is in flight during the dump.
+struct CheckpointStmt {};
+
 using Statement =
     std::variant<CreateTableStmt, CreateIndexStmt, CreateGraphViewStmt,
                  CreateMaterializedViewStmt, DropStmt, InsertStmt, UpdateStmt,
-                 DeleteStmt, SelectStmt, ExplainStmt, KillStmt, TxnStmt>;
+                 DeleteStmt, SelectStmt, ExplainStmt, KillStmt, TxnStmt,
+                 CheckpointStmt>;
 
 }  // namespace grfusion
 

@@ -169,6 +169,7 @@ StatusOr<Statement> Parser::ParseStatement() {
     stmt.kind = TxnStmt::Kind::kAbort;
     return Statement(std::move(stmt));
   }
+  if (MatchKeyword("CHECKPOINT")) return Statement(CheckpointStmt{});
   return ErrorHere("expected a statement");
 }
 

@@ -368,7 +368,8 @@ void Table::UndoAppliedUpdate(TupleSlot slot, const Tuple& old_tuple,
   }
 }
 
-void Table::Vacuum() {
+size_t Table::Vacuum() {
+  size_t freed = 0;
   const size_t bound = slot_bound_.load(std::memory_order_relaxed);
   for (TupleSlot slot = 0; slot < bound; ++slot) {
     RowSlot* rs = SlotRef(slot);
@@ -396,6 +397,7 @@ void Table::Vacuum() {
           index->Erase(key, slot);
         }
         delete v;
+        ++freed;
       }
       v = older;
     }
@@ -407,6 +409,7 @@ void Table::Vacuum() {
       free_list_.push_back(slot);
     }
   }
+  return freed;
 }
 
 Status Table::CreateIndex(const std::string& index_name, size_t column,

@@ -130,7 +130,8 @@ class Table {
   /// Reclaims dead versions, their index entries, and fully-dead slots.
   /// Callers must hold the exclusive statement lock (no statement in
   /// flight): vacuum frees memory snapshot readers might otherwise touch.
-  void Vacuum();
+  /// Returns the number of versions freed (maintenance observability).
+  size_t Vacuum();
 
   /// Creates a hash index over `column` and back-fills it from live rows.
   Status CreateIndex(const std::string& index_name, size_t column, bool unique);

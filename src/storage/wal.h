@@ -1,0 +1,286 @@
+#ifndef GRFUSION_STORAGE_WAL_H_
+#define GRFUSION_STORAGE_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_view_def.h"
+#include "storage/epoch.h"
+#include "storage/schema.h"
+
+namespace grfusion {
+
+/// How commits are made durable (DurabilityOptions::sync).
+enum class WalSyncMode : uint8_t {
+  kNone = 0,  ///< write() only; the OS flushes when it pleases.
+  kCommit,    ///< One fdatasync per commit, serially (no batching).
+  kGroup,     ///< Group commit: one leader fdatasync covers every commit
+              ///< appended while the previous sync was in flight.
+};
+
+const char* WalSyncModeToString(WalSyncMode mode);
+
+/// Durability configuration of a Database. An empty data_dir keeps the
+/// database memory-only (the pre-durability behavior, and the default).
+struct DurabilityOptions {
+  std::string data_dir;
+  WalSyncMode sync = WalSyncMode::kGroup;
+
+  bool enabled() const { return !data_dir.empty(); }
+};
+
+/// Software CRC32 (IEEE 802.3 polynomial, reflected). `seed` chains calls.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+// --- Binary encoding helpers -------------------------------------------------------
+// Little-endian, explicit-width primitives shared by the WAL and the
+// checkpoint file. Strings and tuples are length-prefixed; values carry a
+// one-byte type tag.
+
+class BinWriter {
+ public:
+  explicit BinWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+  void PutValue(const Value& v);
+  void PutTuple(const Tuple& t);
+  void PutSchema(const Schema& s);
+  void PutGraphViewDef(const GraphViewDef& def);
+
+ private:
+  std::string* out_;
+};
+
+/// Cursor over an encoded byte range. Every Get* returns false (and leaves
+/// the cursor poisoned) on truncation or a malformed tag; callers check
+/// `ok()` once at the end of a record.
+class BinReader {
+ public:
+  BinReader(const char* data, size_t len)
+      : p_(data), end_(data + len) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return p_ == end_; }
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetDouble(double* v);
+  bool GetString(std::string* s);
+  bool GetValue(Value* v);
+  bool GetTuple(Tuple* t);
+  bool GetSchema(Schema* s);
+  bool GetGraphViewDef(GraphViewDef* def);
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+// --- WAL records -------------------------------------------------------------------
+
+/// One logical WAL record. The log carries only *applied* effects: a record
+/// is appended after the statement succeeded in memory, with post-coercion
+/// images, so replay never re-runs constraint checks or graph-view
+/// maintenance. Graph topology is never logged at all — views are derived
+/// state rebuilt from the recovered tables (paper §5's view == rebuild
+/// invariant).
+struct WalRecord {
+  enum class Type : uint8_t {
+    kTxnBegin = 1,
+    kTxnCommit = 2,
+    kTxnAbort = 3,
+    kInsert = 4,
+    kDelete = 5,
+    kUpdate = 6,
+    kCreateTable = 7,
+    kCreateIndex = 8,
+    kCreateGraphView = 9,
+    kDrop = 10,
+  };
+
+  /// kDrop object kinds.
+  static constexpr uint8_t kDropTable = 0;
+  static constexpr uint8_t kDropGraphView = 1;
+
+  Type type = Type::kTxnBegin;
+  Epoch epoch = 0;          ///< Txn markers: epoch of the transaction.
+  std::string table;        ///< DML / DDL target object name.
+  Tuple before;             ///< Deleted / replaced image (kDelete, kUpdate).
+  Tuple after;              ///< Introduced image (kInsert, kUpdate).
+  Schema schema;            ///< kCreateTable.
+  std::string index_name;   ///< kCreateIndex.
+  uint32_t index_column = 0;
+  bool index_unique = false;
+  GraphViewDef view_def;    ///< kCreateGraphView.
+  uint8_t drop_kind = kDropTable;  ///< kDrop.
+};
+
+/// Appends one CRC-framed record to `out`:
+///   u32 payload_len | u32 crc32(payload) | payload.
+void EncodeWalFrame(const WalRecord& record, std::string* out);
+
+/// Batch-building convenience used by the commit path: frames for a whole
+/// statement (or transaction marker) are concatenated here and appended to
+/// the log with a single write(), so a crash can never persist half a
+/// statement batch without the torn tail being detectable frame-by-frame.
+class WalBatch {
+ public:
+  void TxnBegin(Epoch epoch) { Marker(WalRecord::Type::kTxnBegin, epoch); }
+  void TxnCommit(Epoch epoch) { Marker(WalRecord::Type::kTxnCommit, epoch); }
+  void TxnAbort(Epoch epoch) { Marker(WalRecord::Type::kTxnAbort, epoch); }
+  void Add(const WalRecord& record) {
+    EncodeWalFrame(record, &bytes_);
+    ++num_records_;
+  }
+
+  bool empty() const { return bytes_.empty(); }
+  size_t num_records() const { return num_records_; }
+  const std::string& bytes() const { return bytes_; }
+  void Clear() {
+    bytes_.clear();
+    num_records_ = 0;
+  }
+
+ private:
+  void Marker(WalRecord::Type type, Epoch epoch) {
+    WalRecord rec;
+    rec.type = type;
+    rec.epoch = epoch;
+    Add(rec);
+  }
+
+  std::string bytes_;
+  size_t num_records_ = 0;
+};
+
+// --- WAL writer --------------------------------------------------------------------
+
+/// Append-side of one WAL file ("wal.<generation>.log"). Appends go through
+/// a raw fd with a single write() per statement batch (no stdio buffering a
+/// crash could lose silently and no partial flushes at arbitrary points);
+/// durability is a separate Sync() step so the caller can release the
+/// engine's writer slot before waiting on the disk (early lock release —
+/// group commit batches the fdatasync across that queue).
+///
+/// Failure model: any short write or fsync error marks the writer failed
+/// permanently (sticky status). Later appends refuse immediately — the log's
+/// on-disk tail may be torn and must not be appended past; recovery at next
+/// open discards it.
+///
+/// Failpoint sites (crash-mode fuzzing): "wal.append" before the write,
+/// "wal.append.mid" between two halves of a deliberately split write (only
+/// taken while any failpoint is armed — production appends are one write()),
+/// "wal.fsync" before the fdatasync.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Creates `path` with a fresh header (truncating any previous content).
+  Status Create(const std::string& path, uint64_t generation,
+                WalSyncMode mode);
+
+  /// Opens an existing WAL for appending at `append_offset` (the recovered
+  /// valid-bytes watermark; anything after it is a torn tail and is
+  /// ftruncate()d away first).
+  Status OpenExisting(const std::string& path, uint64_t generation,
+                      WalSyncMode mode, uint64_t append_offset);
+
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one statement batch atomically. Returns (via `lsn`) the byte
+  /// offset past this batch — the argument a later Sync() waits for.
+  /// Caller must hold the engine's writer slot (appends are serialized).
+  Status Append(const WalBatch& batch, uint64_t* lsn);
+
+  /// Blocks until every byte up to `lsn` is durable per the sync mode.
+  /// Safe from any thread; concurrent callers elect a leader whose single
+  /// fdatasync covers all of them.
+  Status Sync(uint64_t lsn);
+
+  uint64_t generation() const { return generation_; }
+  uint64_t appended_bytes() const {
+    return appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t durable_bytes() const {
+    return durable_.load(std::memory_order_relaxed);
+  }
+  uint64_t records_appended() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
+  WalSyncMode sync_mode() const { return mode_; }
+  const std::string& path() const { return path_; }
+
+  /// Sticky failure status (OK while healthy).
+  Status failed_status() const;
+
+  /// The WAL file header: magic + generation.
+  static constexpr char kMagic[8] = {'G', 'R', 'F', 'W', 'A', 'L', '0', '1'};
+  static constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);
+
+ private:
+  Status WriteAll(const char* data, size_t len);
+  Status MarkFailed(Status status);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t generation_ = 0;
+  WalSyncMode mode_ = WalSyncMode::kGroup;
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> durable_{0};
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+
+  /// Group-commit state: one leader syncs while followers wait on the
+  /// condition variable; a follower whose lsn the finished sync covered
+  /// returns without touching the disk.
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool sync_in_progress_ = false;
+
+  mutable std::mutex failed_mu_;
+  Status failed_;  ///< Sticky; OK while the writer is healthy.
+};
+
+// --- WAL reader --------------------------------------------------------------------
+
+/// Result of scanning one WAL file front to back.
+struct WalReadResult {
+  std::vector<WalRecord> records;  ///< Frames with valid length + CRC.
+  uint64_t generation = 0;
+  uint64_t valid_bytes = 0;  ///< Offset past the last valid frame.
+  bool torn_tail = false;    ///< Trailing bytes past valid_bytes discarded.
+};
+
+/// Reads every valid frame of the WAL at `path`. A truncated or
+/// CRC-corrupt tail is NOT an error: scanning stops at the last valid frame
+/// and `torn_tail` is set (the crash-recovery contract — an interrupted
+/// append must never poison the committed prefix). A missing file IS an
+/// error (callers decide whether that is acceptable); a corrupt header is
+/// an error too, since no committed prefix can be recovered from it.
+StatusOr<WalReadResult> ReadWalFile(const std::string& path);
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_STORAGE_WAL_H_

@@ -31,11 +31,11 @@ run_config() {
 run_graph_diff() {
   local dir="$1"
   ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation|Session|PlanCache|Prepared|Concurrency|Snapshot'
+    -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation|Session|PlanCache|Prepared|Concurrency|Snapshot|Recovery|CrashRecover'
   local seed="${GRF_FUZZ_SEED:-$RANDOM$RANDOM}"
   echo "== graph differential + fault-injection suites, random seed ${seed} =="
   GRF_FUZZ_SEED="$seed" ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiffFuzzEnvTest|FaultInjectionFuzzEnvTest|PlanCacheChurnFuzzEnvTest|SnapshotFuzzEnvTest'
+    -R 'GraphDiffFuzzEnvTest|FaultInjectionFuzzEnvTest|PlanCacheChurnFuzzEnvTest|SnapshotFuzzEnvTest|CrashRecoverFuzzEnvTest'
 }
 
 echo "== tier-1 (RelWithDebInfo) =="
@@ -52,6 +52,12 @@ GRF_BENCH_MIN_TIME="${GRF_BENCH_MIN_TIME:-0.05}" ./build/bench/throughput
 # writer's commit rate); the schema check below validates it.
 echo "== mixed read/write throughput smoke (MVCC snapshots) =="
 GRF_BENCH_MIN_TIME="${GRF_BENCH_MIN_TIME:-0.05}" ./build/bench/throughput --mixed
+
+# Durability smoke: DML commit rate memory-only vs. WAL under each sync mode
+# (plus a 4-writer group-commit sweep — fsyncs-per-commit below 1.0 is the
+# batching working). Leaves BENCH_throughput_wal.json behind.
+echo "== durability throughput smoke (WAL + group commit) =="
+GRF_BENCH_MIN_TIME="${GRF_BENCH_MIN_TIME:-0.05}" ./build/bench/throughput --durability
 
 # Observability smoke: re-run the bench briefly with the trace sink armed
 # (sample every query), then validate the emitted Chrome trace documents and
