@@ -32,6 +32,12 @@ Table* Catalog::FindTable(const std::string& name) const {
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  GRF_ASSIGN_OR_RETURN(std::unique_ptr<Table> dropped, DetachTable(name));
+  (void)dropped;  // Destroyed here: the drop.
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Table>> Catalog::DetachTable(const std::string& name) {
   std::string key = Key(name);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
@@ -47,9 +53,16 @@ Status Catalog::DropTable(const std::string& name) {
                                          gv->name() + "'");
     }
   }
+  std::unique_ptr<Table> detached = std::move(it->second);
   tables_.erase(it);
   BumpVersion();
-  return Status::OK();
+  return detached;
+}
+
+void Catalog::ReattachTable(std::unique_ptr<Table> table) {
+  std::string key = Key(table->name());
+  tables_[std::move(key)] = std::move(table);
+  BumpVersion();
 }
 
 std::vector<std::string> Catalog::TableNames() const {
@@ -100,13 +113,28 @@ GraphView* Catalog::FindGraphView(const std::string& name) const {
 }
 
 Status Catalog::DropGraphView(const std::string& name) {
+  GRF_ASSIGN_OR_RETURN(std::unique_ptr<GraphView> dropped,
+                       DetachGraphView(name));
+  (void)dropped;  // Destroyed here: the drop.
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<GraphView>> Catalog::DetachGraphView(
+    const std::string& name) {
   auto it = graph_views_.find(Key(name));
   if (it == graph_views_.end()) {
     return Status::NotFound("graph view '" + name + "' does not exist");
   }
+  std::unique_ptr<GraphView> detached = std::move(it->second);
   graph_views_.erase(it);
   BumpVersion();
-  return Status::OK();
+  return detached;
+}
+
+void Catalog::ReattachGraphView(std::unique_ptr<GraphView> view) {
+  std::string key = Key(view->name());
+  graph_views_[std::move(key)] = std::move(view);
+  BumpVersion();
 }
 
 std::vector<std::string> Catalog::GraphViewNames() const {

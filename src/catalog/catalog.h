@@ -31,6 +31,13 @@ class Catalog {
   Status DropTable(const std::string& name);
   std::vector<std::string> TableNames() const;
 
+  /// Removes `name` from the catalog and returns ownership, with the same
+  /// checks as DropTable. A caller that then fails to make the drop durable
+  /// puts the object back via ReattachTable, so memory and log never
+  /// diverge; discarding the returned pointer IS the drop.
+  StatusOr<std::unique_ptr<Table>> DetachTable(const std::string& name);
+  void ReattachTable(std::unique_ptr<Table> table);
+
   // --- Graph views ---
   /// Creates and materializes a graph view over existing tables. The sources
   /// named in `def` must already exist.
@@ -39,6 +46,10 @@ class Catalog {
   GraphView* FindGraphView(const std::string& name) const;
   Status DropGraphView(const std::string& name);
   std::vector<std::string> GraphViewNames() const;
+
+  /// Drop-with-undo for graph views (see DetachTable).
+  StatusOr<std::unique_ptr<GraphView>> DetachGraphView(const std::string& name);
+  void ReattachGraphView(std::unique_ptr<GraphView> view);
 
   /// When set, graph views created through this catalog run their online
   /// maintenance through MVCC delta overlays (GraphBuildOptions::managed).

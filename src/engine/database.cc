@@ -65,34 +65,54 @@ Status Database::BulkInsert(const std::string& table_name,
     }
     WalBatch batch;
     if (durability_ != nullptr) batch.TxnBegin(epoch);
-    size_t applied = 0;
+    struct AppliedRow {
+      TupleSlot slot;
+      Tuple after;
+    };
+    std::vector<AppliedRow> applied;
+    applied.reserve(rows.size());
     for (const auto& row : rows) {
       StatusOr<TupleSlot> slot = table->Insert(Tuple(row), epoch);
       if (!slot.ok()) {
         status = slot.status();
         break;
       }
+      // The applied (post-coercion) image, not the caller's row: logged to
+      // the WAL and kept for the rollback path below.
+      const Tuple& stored = *table->Get(*slot, epoch);
       if (durability_ != nullptr) {
         WalRecord rec;
         rec.type = WalRecord::Type::kInsert;
         rec.table = table->name();
-        // Log the applied (post-coercion) image, not the caller's row.
-        rec.after = *table->Get(*slot, epoch);
+        rec.after = stored;
         batch.Add(rec);
       }
-      ++applied;
+      applied.push_back({*slot, stored});
     }
-    // Rows already applied persist on error (pre-MVCC bulk-load semantics),
-    // so the commit boundary publishes whatever succeeded — and the WAL
-    // logs exactly that applied prefix.
-    if (durability_ != nullptr && applied > 0) {
+    // Rows already applied persist on a row error (pre-MVCC bulk-load
+    // semantics), so the commit boundary publishes whatever succeeded — and
+    // the WAL logs exactly that applied prefix.
+    bool rolled_back = false;
+    if (durability_ != nullptr && !applied.empty()) {
       batch.TxnCommit(epoch);
       Status append = durability_->Append(batch, &lsn);
-      if (!append.ok() && status.ok()) status = append;
+      if (!append.ok()) {
+        // The log rejected the batch: nothing of it may commit in memory,
+        // or the rows would be visible now and gone after restart. Undo in
+        // strict reverse order, then discard the buffered graph deltas.
+        for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+          table->UndoAppliedInsert(it->slot, it->after, epoch);
+        }
+        for (GraphView* gv : catalog_.GraphViews()) gv->DiscardOpenDelta();
+        rolled_back = true;
+        if (status.ok()) status = append;
+      }
     }
-    for (GraphView* gv : catalog_.GraphViews()) gv->PublishOpenDelta(epoch);
+    if (!rolled_back) {
+      for (GraphView* gv : catalog_.GraphViews()) gv->PublishOpenDelta(epoch);
+    }
     epochs_.Commit(epoch);
-    epochs_.AddPending(applied);
+    epochs_.AddPending(applied.size());
   }
   MaybeFoldAndVacuum();
   writer.unlock();

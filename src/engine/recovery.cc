@@ -532,24 +532,42 @@ Status DurabilityManager::WriteCheckpoint(Catalog* catalog, Epoch epoch) {
   ::close(fd);
   if (!s.ok()) return s;
 
-  // Phase 2: atomic swap. After the rename + dir fsync, recovery will load
-  // THIS checkpoint; before it, the previous generation.
+  // Phase 2: atomic swap. After the rename, recovery will load THIS
+  // checkpoint; before it, the previous generation. The rename is the point
+  // of no return: once checkpoint.grf names generation G+1 on disk, the next
+  // open deletes wal.<G>.log as stale, so NOTHING may be appended to it any
+  // more. Any failure between the rename and the completed rotation below
+  // therefore poisons the old writer (sticky fence) — otherwise acked
+  // commits would land in a log recovery is guaranteed to throw away.
   GRF_FAILPOINT("checkpoint.rename");
   if (::rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
     return Errno("cannot rename checkpoint.tmp", tmp_path);
   }
-  GRF_RETURN_IF_ERROR(FsyncDir(dir));
-
-  // Phase 3: rotate the WAL. A crash between the swap and the new WAL's
-  // creation is fine — recovery sees checkpoint generation G+1, finds no
-  // wal.<G+1>.log, and creates a fresh one; the old log is stale by
-  // definition since the checkpoint captured everything in it.
-  GRF_FAILPOINT("checkpoint.swap");
   const std::string old_wal = wal_->path();
-  auto next_wal = std::make_unique<WalWriter>();
-  GRF_RETURN_IF_ERROR(next_wal->Create(dir + "/" + WalFileName(next_gen),
-                                       next_gen, options_.sync));
-  wal_ = std::move(next_wal);
+  Status rotate = [&]() -> Status {
+    GRF_RETURN_IF_ERROR(FsyncDir(dir));
+
+    // Phase 3: rotate the WAL. A crash between the swap and the new WAL's
+    // creation is fine — recovery sees checkpoint generation G+1, finds no
+    // wal.<G+1>.log, and creates a fresh one; the old log is stale by
+    // definition since the checkpoint captured everything in it.
+    GRF_FAILPOINT("checkpoint.swap");
+    auto next_wal = std::make_unique<WalWriter>();
+    GRF_RETURN_IF_ERROR(next_wal->Create(dir + "/" + WalFileName(next_gen),
+                                         next_gen, options_.sync));
+    wal_ = std::move(next_wal);
+    return Status::OK();
+  }();
+  if (!rotate.ok()) {
+    wal_->Poison(Status(
+        StatusCode::kIOError,
+        StrFormat("checkpoint generation %llu landed on disk but the WAL "
+                  "rotation behind it failed (%s); writes are fenced until "
+                  "the database is reopened",
+                  static_cast<unsigned long long>(next_gen),
+                  rotate.ToString().c_str())));
+    return rotate;
+  }
 
   // Phase 4: truncate (= unlink) the superseded log. Failure here is
   // cosmetic — recovery deletes stale generations anyway.

@@ -889,7 +889,13 @@ StatusOr<ResultSet> Session::ExecuteCreateTable(const CreateTableStmt& stmt) {
     pk.index_unique = true;
     unit.push_back(std::move(pk));
   }
-  GRF_RETURN_IF_ERROR(AppendDdlUnit(unit));
+  Status wal = AppendDdlUnit(unit);
+  if (!wal.ok()) {
+    // The log rejected the unit: undo the catalog change so readers never
+    // see a table that would vanish at restart.
+    (void)db_.catalog_.DropTable(stmt.name);
+    return wal;
+  }
   return ResultSet();
 }
 
@@ -909,7 +915,14 @@ StatusOr<ResultSet> Session::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
   rec.index_name = stmt.index_name;
   rec.index_column = static_cast<uint64_t>(column);
   rec.index_unique = stmt.unique;
-  GRF_RETURN_IF_ERROR(AppendDdlUnit({std::move(rec)}));
+  Status wal = AppendDdlUnit({std::move(rec)});
+  if (!wal.ok()) {
+    // Unlogged index must not survive in memory (it would vanish at
+    // restart); the version bump already invalidated cached plans.
+    (void)table->DropIndex(stmt.index_name);
+    db_.catalog_.BumpVersion();
+    return wal;
+  }
   return ResultSet();
 }
 
@@ -930,7 +943,13 @@ StatusOr<ResultSet> Session::ExecuteCreateGraphView(
   WalRecord rec;
   rec.type = WalRecord::Type::kCreateGraphView;
   rec.view_def = gv->def();
-  GRF_RETURN_IF_ERROR(AppendDdlUnit({std::move(rec)}));
+  Status wal = AppendDdlUnit({std::move(rec)});
+  if (!wal.ok()) {
+    // Copied name: the drop destroys the view the reference lives in.
+    const std::string view_name = gv->def().name;
+    (void)db_.catalog_.DropGraphView(view_name);
+    return wal;
+  }
   return ResultSet();
 }
 
@@ -980,14 +999,31 @@ StatusOr<ResultSet> Session::ExecuteCreateMaterializedView(
 }
 
 StatusOr<ResultSet> Session::ExecuteDrop(const DropStmt& stmt) {
+  // The object is DETACHED (removed from the catalog but kept alive), the
+  // drop logged, and only then destroyed — so a WAL failure can put it back
+  // and memory never commits a drop the log rejected.
   Status status;
+  std::unique_ptr<Table> detached_table;
+  std::unique_ptr<GraphView> detached_view;
   switch (stmt.kind) {
-    case DropStmt::Kind::kTable:
-      status = db_.catalog_.DropTable(stmt.name);
+    case DropStmt::Kind::kTable: {
+      auto detached = db_.catalog_.DetachTable(stmt.name);
+      if (detached.ok()) {
+        detached_table = std::move(*detached);
+      } else {
+        status = detached.status();
+      }
       break;
-    case DropStmt::Kind::kGraphView:
-      status = db_.catalog_.DropGraphView(stmt.name);
+    }
+    case DropStmt::Kind::kGraphView: {
+      auto detached = db_.catalog_.DetachGraphView(stmt.name);
+      if (detached.ok()) {
+        detached_view = std::move(*detached);
+      } else {
+        status = detached.status();
+      }
       break;
+    }
     case DropStmt::Kind::kIndex:
       return Status::Unsupported("DROP INDEX is not implemented");
   }
@@ -1002,7 +1038,16 @@ StatusOr<ResultSet> Session::ExecuteDrop(const DropStmt& stmt) {
   rec.drop_kind = stmt.kind == DropStmt::Kind::kGraphView
                       ? WalRecord::kDropGraphView
                       : WalRecord::kDropTable;
-  GRF_RETURN_IF_ERROR(AppendDdlUnit({std::move(rec)}));
+  Status wal = AppendDdlUnit({std::move(rec)});
+  if (!wal.ok()) {
+    if (detached_table != nullptr) {
+      db_.catalog_.ReattachTable(std::move(detached_table));
+    }
+    if (detached_view != nullptr) {
+      db_.catalog_.ReattachGraphView(std::move(detached_view));
+    }
+    return wal;
+  }
   return ResultSet();
 }
 

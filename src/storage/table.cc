@@ -443,6 +443,16 @@ Status Table::CreateIndex(const std::string& index_name, size_t column,
   return Status::OK();
 }
 
+Status Table::DropIndex(const std::string& index_name) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (EqualsIgnoreCase((*it)->name(), index_name)) {
+      indexes_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("index '" + index_name + "' does not exist");
+}
+
 const HashIndex* Table::FindIndexOnColumn(size_t column) const {
   for (const auto& index : indexes_) {
     if (index->column() == column) return index.get();

@@ -136,6 +136,10 @@ class Table {
   /// Creates a hash index over `column` and back-fills it from live rows.
   Status CreateIndex(const std::string& index_name, size_t column, bool unique);
 
+  /// Removes the index named `index_name` (case-insensitive). Used to undo a
+  /// CREATE INDEX whose WAL unit could not be appended.
+  Status DropIndex(const std::string& index_name);
+
   /// Returns the first index whose key column is `column`, else nullptr.
   const HashIndex* FindIndexOnColumn(size_t column) const;
 

@@ -47,6 +47,26 @@ Status Errno(const std::string& what, const std::string& path) {
                 what + " '" + path + "': " + std::strerror(errno));
 }
 
+/// Makes the directory entry of a freshly-created file durable. Without
+/// this, a crash can lose the file itself even though every write into it
+/// was fdatasync'd — the data blocks exist but no name points at them.
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("cannot open WAL dir", dir);
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return Errno("cannot fsync WAL dir", dir);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
@@ -439,8 +459,15 @@ Status WalWriter::Create(const std::string& path, uint64_t generation,
   w.PutU64(generation);
   Status s = WriteAll(header.data(), header.size());
   if (!s.ok()) return MarkFailed(std::move(s));
-  if (mode_ != WalSyncMode::kNone && ::fsync(fd_) != 0) {
-    return MarkFailed(Errno("cannot fsync WAL", path_));
+  if (mode_ != WalSyncMode::kNone) {
+    if (::fsync(fd_) != 0) {
+      return MarkFailed(Errno("cannot fsync WAL", path_));
+    }
+    // The file's dirent must be durable before any commit appended to it is
+    // acknowledged: a crash that loses the wal.<G>.log name would silently
+    // drop every fdatasync'd transaction inside it.
+    Status dir_sync = FsyncParentDir(path_);
+    if (!dir_sync.ok()) return MarkFailed(std::move(dir_sync));
   }
   appended_.store(kHeaderSize, std::memory_order_relaxed);
   durable_.store(kHeaderSize, std::memory_order_relaxed);
@@ -492,6 +519,8 @@ Status WalWriter::failed_status() const {
   return failed_;
 }
 
+void WalWriter::Poison(Status status) { (void)MarkFailed(std::move(status)); }
+
 Status WalWriter::Append(const WalBatch& batch, uint64_t* lsn) {
   {
     std::lock_guard<std::mutex> lock(failed_mu_);
@@ -536,13 +565,16 @@ Status WalWriter::Sync(uint64_t lsn) {
   }
   if (mode_ == WalSyncMode::kCommit) {
     // Serial fsync per commit (the bench's non-batched comparison point).
+    // The watermark is snapshotted BEFORE the fdatasync: an append racing
+    // with the in-flight sync is not covered by it and must not be counted
+    // durable (its own Sync call will be).
+    const uint64_t target = appended_.load(std::memory_order_relaxed);
     GRF_FAILPOINT("wal.fsync");
     if (::fdatasync(fd_) != 0) {
       return MarkFailed(Errno("cannot fdatasync WAL", path_));
     }
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
     EngineMetrics::Get().wal_fsyncs_total->Increment();
-    uint64_t target = appended_.load(std::memory_order_relaxed);
     uint64_t cur = durable_.load(std::memory_order_relaxed);
     while (cur < target && !durable_.compare_exchange_weak(
                                cur, target, std::memory_order_relaxed)) {

@@ -235,6 +235,12 @@ class WalWriter {
   /// Sticky failure status (OK while healthy).
   Status failed_status() const;
 
+  /// Externally poisons the writer (same sticky semantics as an internal I/O
+  /// failure). Used when the on-disk directory state has moved past this log
+  /// — e.g. a checkpoint swap landed but the WAL rotation behind it failed —
+  /// so that no commit is ever acknowledged into a superseded generation.
+  void Poison(Status status);
+
   /// The WAL file header: magic + generation.
   static constexpr char kMagic[8] = {'G', 'R', 'F', 'W', 'A', 'L', '0', '1'};
   static constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);

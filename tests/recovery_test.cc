@@ -431,6 +431,59 @@ TEST_F(RecoveryTest, WalAppendFailureRollsBackStatementCleanly) {
   EXPECT_EQ(DumpSorted(db, "t"), (std::vector<std::string>{"1|", "3|"}));
 }
 
+TEST_F(RecoveryTest, WalAppendFailureRollsBackDdlCatalogChanges) {
+  TempDir dir;
+  Database db(PlannerOptions(), Durable(dir.path()));
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE n (id BIGINT PRIMARY KEY, v VARCHAR);
+    CREATE TABLE e (id BIGINT PRIMARY KEY, a BIGINT, b BIGINT);
+    INSERT INTO n VALUES (1, 'a');
+  )sql")
+                  .ok());
+  // Every DDL kind must undo its in-memory catalog change when its WAL unit
+  // cannot be appended — otherwise readers see objects (or miss dropped
+  // ones) that a restart contradicts. "wal.append" fires before any byte
+  // reaches the file, so the writer stays healthy across each attempt.
+  FailpointRegistry::Global().Arm("wal.append", {});
+  EXPECT_FALSE(db.Execute("CREATE TABLE ghost (id BIGINT)").ok());
+  EXPECT_EQ(db.catalog().FindTable("ghost"), nullptr);
+  EXPECT_FALSE(db.Execute("CREATE INDEX idx_v ON n (v)").ok());
+  EXPECT_EQ(db.catalog().FindTable("n")->indexes().size(), 1u);  // pk only
+  EXPECT_FALSE(db.Execute("CREATE UNDIRECTED GRAPH VIEW G "
+                          "VERTEXES (ID = id) FROM n "
+                          "EDGES (ID = id, FROM = a, TO = b) FROM e")
+                   .ok());
+  EXPECT_EQ(db.catalog().FindGraphView("G"), nullptr);
+  EXPECT_FALSE(db.Execute("DROP TABLE e").ok());
+  EXPECT_NE(db.catalog().FindTable("e"), nullptr);
+  FailpointRegistry::Global().DisarmAll();
+  EXPECT_TRUE(db.durability_status().ok());
+  // With the writer healthy again every statement works, including against
+  // the reattached drop target.
+  ASSERT_TRUE(db.Execute("CREATE INDEX idx_v ON n (v)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO e VALUES (10, 1, 1)").ok());
+  ASSERT_TRUE(db.Execute("DROP TABLE e").ok());
+  EXPECT_EQ(db.catalog().FindTable("e"), nullptr);
+}
+
+TEST_F(RecoveryTest, BulkInsertWalFailureRollsBackAppliedRows) {
+  TempDir dir;
+  Database db(PlannerOptions(), Durable(dir.path()));
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+                               "INSERT INTO t VALUES (1)")
+                  .ok());
+  // A bulk load whose WAL batch cannot be appended must not publish its
+  // rows: in-memory state never commits effects the log rejected.
+  FailpointRegistry::Global().Arm("wal.append", {});
+  EXPECT_FALSE(
+      db.BulkInsert("t", {{Value::BigInt(2)}, {Value::BigInt(3)}}).ok());
+  FailpointRegistry::Global().DisarmAll();
+  EXPECT_EQ(DumpSorted(db, "t"), (std::vector<std::string>{"1|"}));
+  EXPECT_TRUE(db.durability_status().ok());
+  ASSERT_TRUE(db.BulkInsert("t", {{Value::BigInt(4)}}).ok());
+  EXPECT_EQ(DumpSorted(db, "t"), (std::vector<std::string>{"1|", "4|"}));
+}
+
 TEST_F(RecoveryTest, MidAppendTearStickyFailsTheWriter) {
   TempDir dir;
   Database db(PlannerOptions(), Durable(dir.path()));
@@ -488,9 +541,11 @@ TEST_F(RecoveryTest, BulkInsertIsLogged) {
 
 TEST_F(RecoveryTest, CheckpointFailpointsLeaveRecoverableState) {
   // Error-mode injections at every checkpoint phase: the statement fails,
-  // but the directory must stay recoverable with all committed data.
-  for (const char* site : {"checkpoint.write", "checkpoint.rename",
-                           "checkpoint.swap"}) {
+  // but the directory must stay recoverable with all committed data — and
+  // crucially, commits AFTER the failed CHECKPOINT must never be lost. A
+  // failure before the atomic rename leaves the old generation live, so the
+  // WAL stays healthy and later commits both succeed and survive reopen.
+  for (const char* site : {"checkpoint.write", "checkpoint.rename"}) {
     SCOPED_TRACE(site);
     TempDir dir;
     {
@@ -501,12 +556,46 @@ TEST_F(RecoveryTest, CheckpointFailpointsLeaveRecoverableState) {
       FailpointRegistry::Global().Arm(site, {});
       EXPECT_FALSE(db.Execute("CHECKPOINT").ok());
       FailpointRegistry::Global().DisarmAll();
+      EXPECT_TRUE(db.durability_status().ok());
+      ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (3)").ok());
     }
     Database recovered(PlannerOptions(), Durable(dir.path()));
     ASSERT_TRUE(recovered.durability_status().ok());
     EXPECT_EQ(DumpSorted(recovered, "t"),
-              (std::vector<std::string>{"1|", "2|"}));
+              (std::vector<std::string>{"1|", "2|", "3|"}));
   }
+}
+
+TEST_F(RecoveryTest, CheckpointSwapFailureFencesWritesOffSupersededWal) {
+  // "checkpoint.swap" fires AFTER the rename landed: checkpoint.grf is
+  // already at generation G+1, so the next open will discard wal.G.log as
+  // stale. Were the engine to keep acknowledging commits into that log,
+  // they would silently vanish at reopen — so the failed rotation must
+  // fence every later write.
+  TempDir dir;
+  {
+    Database db(PlannerOptions(), Durable(dir.path()));
+    ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+                                 "INSERT INTO t VALUES (1), (2)")
+                    .ok());
+    FailpointRegistry::Global().Arm("checkpoint.swap", {});
+    EXPECT_FALSE(db.Execute("CHECKPOINT").ok());
+    FailpointRegistry::Global().DisarmAll();
+    // The fence is sticky: no write may extend the superseded-generation
+    // log, so nothing can be acknowledged that recovery would then lose.
+    EXPECT_FALSE(db.durability_status().ok());
+    EXPECT_FALSE(db.Execute("INSERT INTO t VALUES (3)").ok());
+    EXPECT_FALSE(db.Execute("CREATE TABLE u (id BIGINT)").ok());
+    // Reads keep serving the in-memory state (which equals the checkpoint).
+    EXPECT_EQ(DumpSorted(db, "t"), (std::vector<std::string>{"1|", "2|"}));
+  }
+  // Reopen heals: the landed checkpoint holds every acknowledged commit.
+  Database recovered(PlannerOptions(), Durable(dir.path()));
+  ASSERT_TRUE(recovered.durability_status().ok());
+  EXPECT_TRUE(recovered.durability()->recovery_stats().checkpoint_loaded);
+  EXPECT_EQ(DumpSorted(recovered, "t"),
+            (std::vector<std::string>{"1|", "2|"}));
+  ASSERT_TRUE(recovered.Execute("INSERT INTO t VALUES (4)").ok());
 }
 
 TEST_F(RecoveryTest, PreparedStatementsSurviveThroughWal) {
