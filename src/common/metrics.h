@@ -165,6 +165,9 @@ struct EngineMetrics {
   /// Compensations applied when a later listener vetoed a DML statement and
   /// this view had to roll its maintenance delta back.
   Counter* graph_view_undo_total;
+  /// Bytes held by published-but-unfolded graph-view delta overlays across
+  /// all views (fold pressure; drops to 0 when every chain folds).
+  Gauge* graph_view_delta_bytes;
 
   // Durability: write-ahead log appends on the commit path, checkpoints.
   Counter* wal_records_total;

@@ -256,6 +256,9 @@ void Database::RegisterSystemTables() {
     schema.AddColumn(Column("DIRECTED", ValueType::kBoolean));
     schema.AddColumn(Column("VERTEXES", ValueType::kBigInt));
     schema.AddColumn(Column("EDGES", ValueType::kBigInt));
+    schema.AddColumn(Column("TOPOLOGY", ValueType::kVarchar));
+    schema.AddColumn(Column("CSR_BYTES", ValueType::kBigInt));
+    schema.AddColumn(Column("FOLDS", ValueType::kBigInt));
     catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
         "SYS.GRAPH_VIEWS", std::move(schema),
         [this]() -> StatusOr<std::vector<std::vector<Value>>> {
@@ -263,10 +266,24 @@ void Database::RegisterSystemTables() {
           for (const std::string& name : catalog_.GraphViewNames()) {
             const GraphView* gv = catalog_.FindGraphView(name);
             if (gv == nullptr) continue;
+            // TOPOLOGY: "list" when the view never built a CSR snapshot,
+            // "csr" when readers resolve the snapshot alone, "delta-overlay"
+            // while unfolded deltas (or base edits since the last fold)
+            // overlay it.
+            const char* topology = "csr";
+            if (gv->csr() == nullptr) {
+              topology = "list";
+            } else if (!gv->PureCsr() || gv->HasOpenDelta() ||
+                       gv->PendingDeltaOps() > 0) {
+              topology = "delta-overlay";
+            }
             rows.push_back(
                 {Value::Varchar(name), Value::Boolean(gv->directed()),
                  Value::BigInt(static_cast<int64_t>(gv->NumVertexes())),
-                 Value::BigInt(static_cast<int64_t>(gv->NumEdges()))});
+                 Value::BigInt(static_cast<int64_t>(gv->NumEdges())),
+                 Value::Varchar(topology),
+                 Value::BigInt(static_cast<int64_t>(gv->CsrBytes())),
+                 Value::BigInt(static_cast<int64_t>(gv->Folds()))});
           }
           return rows;
         }));

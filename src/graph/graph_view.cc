@@ -22,6 +22,28 @@ Status NoteMaintenance(Status status) {
 
 thread_local const GraphReadScope* g_graph_read_scope = nullptr;
 
+/// Approximate heap bytes of a published delta (gauge accounting: fold
+/// pressure visible in SYS.METRICS). Entry edit vectors are small by
+/// construction — the whole point of the edit representation.
+size_t DeltaBytes(const GraphDelta& d) {
+  size_t bytes = sizeof(GraphDelta);
+  bytes += d.vertex_order.capacity() * sizeof(VertexId);
+  bytes += d.edge_order.capacity() * sizeof(EdgeId);
+  bytes += d.vmap.size() * (sizeof(VertexId) + sizeof(void*) + 16);
+  for (const auto& [id, v] : d.vmap) {
+    if (v == nullptr) continue;
+    bytes += sizeof(VertexEntry) +
+             (v->out_edges.capacity() + v->in_edges.capacity() +
+              v->out_removed.capacity() + v->in_removed.capacity()) *
+                 sizeof(EdgeId);
+  }
+  bytes += d.emap.size() * (sizeof(EdgeId) + sizeof(void*) + 16);
+  for (const auto& [id, e] : d.emap) {
+    if (e != nullptr) bytes += sizeof(EdgeEntry);
+  }
+  return bytes;
+}
+
 }  // namespace
 
 // --- GraphReadScope ---------------------------------------------------------
@@ -145,6 +167,8 @@ StatusOr<std::unique_ptr<GraphView>> GraphView::Create(
   // The initial build above mutates the base directly; managed mode (delta
   // overlays) only governs online maintenance from here on.
   gv->managed_ = build.managed;
+  gv->build_csr_ = build.build_csr;
+  if (build.build_csr) gv->RebuildCsr();
 
   // From now on, source mutations flow into the topology transactionally.
   gv->vertex_listener_ = std::make_unique<SourceListener>(gv.get(), true);
@@ -295,6 +319,115 @@ GraphView::~GraphView() {
   if (edge_listener_ != nullptr) {
     edge_table_->RemoveListener(edge_listener_.get());
   }
+  if (published_delta_bytes_ > 0) {
+    EngineMetrics::Get().graph_view_delta_bytes->Add(
+        -static_cast<int64_t>(published_delta_bytes_));
+  }
+}
+
+// --- CSR snapshot -----------------------------------------------------------
+
+void GraphView::RebuildCsr() {
+  // Resolve every live vertex's effective adjacency (old slice minus
+  // removals, then appends) into fresh contiguous arrays, keyed by edge id;
+  // the old snapshot, if any, stays readable throughout. Callers guarantee
+  // quiescence: initial build, or FoldDeltas under the exclusive lock.
+  auto fresh = std::make_unique<CsrTopology>();
+  CsrTopology& c = *fresh;
+  const CsrTopology* old = csr_.get();
+  c.vertex_ids.reserve(num_live_vertexes_);
+  c.vertex_tuple.reserve(num_live_vertexes_);
+  c.vertex_pos.reserve(num_live_vertexes_);
+  c.out_offsets.reserve(num_live_vertexes_ + 1);
+  c.in_offsets.reserve(num_live_vertexes_ + 1);
+  const size_t traversable =
+      num_live_edges_;
+  c.out_edge_ids.reserve(traversable);
+  c.in_edge_ids.reserve(traversable);
+
+  auto append_side = [&](const VertexEntry& v, bool out_side,
+                         std::vector<EdgeId>* ids) {
+    if (old != nullptr && v.csr_pos != kNoCsrPos) {
+      const size_t begin =
+          out_side ? old->OutBegin(v.csr_pos) : old->InBegin(v.csr_pos);
+      const size_t end =
+          out_side ? old->OutEnd(v.csr_pos) : old->InEnd(v.csr_pos);
+      const std::vector<EdgeId>& slice =
+          out_side ? old->out_edge_ids : old->in_edge_ids;
+      const std::vector<EdgeId>& removed =
+          out_side ? v.out_removed : v.in_removed;
+      for (size_t i = begin; i < end; ++i) {
+        if (!removed.empty() &&
+            std::find(removed.begin(), removed.end(), slice[i]) !=
+                removed.end()) {
+          continue;
+        }
+        ids->push_back(slice[i]);
+      }
+    }
+    const std::vector<EdgeId>& adds = out_side ? v.out_edges : v.in_edges;
+    ids->insert(ids->end(), adds.begin(), adds.end());
+  };
+
+  c.out_offsets.push_back(0);
+  c.in_offsets.push_back(0);
+  for (size_t pos = 0; pos < vertexes_.size(); ++pos) {
+    const VertexEntry& v = vertexes_[pos];
+    if (!v.live) continue;
+    c.vertex_ids.push_back(v.id);
+    c.vertex_tuple.push_back(v.tuple);
+    c.vertex_pos.push_back(pos);
+    append_side(v, true, &c.out_edge_ids);
+    append_side(v, false, &c.in_edge_ids);
+    c.out_offsets.push_back(c.out_edge_ids.size());
+    c.in_offsets.push_back(c.in_edge_ids.size());
+  }
+
+  // Second pass: edge id -> deque position + far endpoint, via the (now
+  // final) edge index.
+  auto resolve_edges = [&](const std::vector<EdgeId>& ids, bool out_side,
+                           std::vector<size_t>* pos_out,
+                           std::vector<VertexId>* nbr_out) {
+    pos_out->reserve(ids.size());
+    nbr_out->reserve(ids.size());
+    for (EdgeId eid : ids) {
+      auto it = edge_index_.find(eid);
+      GRF_CHECK(it != edge_index_.end() && edges_[it->second].live);
+      pos_out->push_back(it->second);
+      const EdgeEntry& e = edges_[it->second];
+      nbr_out->push_back(out_side ? e.to : e.from);
+    }
+  };
+  resolve_edges(c.out_edge_ids, true, &c.out_edge_pos, &c.out_nbr);
+  resolve_edges(c.in_edge_ids, false, &c.in_edge_pos, &c.in_nbr);
+  c.BuildIndex();
+
+  csr_ = std::move(fresh);
+  csr_dirty_ = false;
+  // The snapshot now IS the base adjacency: drop the edit vectors and point
+  // every live vertex at its slice.
+  for (size_t ci = 0; ci < csr_->vertex_pos.size(); ++ci) {
+    VertexEntry& v = vertexes_[csr_->vertex_pos[ci]];
+    v.csr_pos = ci;
+    v.out_edges.clear();
+    v.out_edges.shrink_to_fit();
+    v.in_edges.clear();
+    v.in_edges.shrink_to_fit();
+    v.out_removed.clear();
+    v.out_removed.shrink_to_fit();
+    v.in_removed.clear();
+    v.in_removed.shrink_to_fit();
+  }
+}
+
+void GraphView::DetachEdge(VertexEntry* v, EdgeId id, bool out_side) {
+  std::vector<EdgeId>& adds = out_side ? v->out_edges : v->in_edges;
+  auto it = std::find(adds.begin(), adds.end(), id);
+  if (it != adds.end()) {
+    adds.erase(it);
+    return;
+  }
+  (out_side ? v->out_removed : v->in_removed).push_back(id);
 }
 
 Status GraphView::ResolveColumns() {
@@ -425,6 +558,10 @@ void GraphView::PublishOpenDelta(Epoch epoch) {
   if (open_ == nullptr) return;
   open_->epoch = epoch;
   open_->prev = delta_head_.load(std::memory_order_relaxed);
+  const size_t bytes = DeltaBytes(*open_);
+  published_delta_bytes_ += bytes;
+  EngineMetrics::Get().graph_view_delta_bytes->Add(
+      static_cast<int64_t>(bytes));
   const GraphDelta* published = open_.get();
   delta_chain_.push_back(std::move(open_));
   delta_head_.store(published, std::memory_order_release);
@@ -466,7 +603,8 @@ Status GraphView::FoldDeltas() {
     edge_index_[id] = pos;
   }
 
-  // Phase 2: vertices, adjacency vectors copied wholesale.
+  // Phase 2: vertices. Overlay entries carry csr_pos + edit vectors relative
+  // to the current snapshot, which stays valid until the rebuild below.
   for (VertexId id : d->vertex_order) {
     auto oit = d->vmap.find(id);
     GRF_DCHECK(oit != d->vmap.end());
@@ -496,6 +634,15 @@ Status GraphView::FoldDeltas() {
   num_live_edges_ = d->num_edges;
   delta_head_.store(nullptr, std::memory_order_release);
   delta_chain_.clear();
+  if (published_delta_bytes_ > 0) {
+    EngineMetrics::Get().graph_view_delta_bytes->Add(
+        -static_cast<int64_t>(published_delta_bytes_));
+    published_delta_bytes_ = 0;
+  }
+  // Re-materialize the CSR snapshot over the folded base (and absorb the
+  // folded entries' edit vectors back into contiguous arrays).
+  if (build_csr_) RebuildCsr();
+  ++folds_;
   return Status::OK();
 }
 
@@ -535,13 +682,11 @@ const EdgeEntry* GraphView::FindEdge(EdgeId id) const {
 }
 
 size_t GraphView::FanOut(const VertexEntry& v) const {
-  return directed() ? v.out_edges.size()
-                    : v.out_edges.size() + v.in_edges.size();
+  return directed() ? OutDegree(v) : OutDegree(v) + InDegree(v);
 }
 
 size_t GraphView::FanIn(const VertexEntry& v) const {
-  return directed() ? v.in_edges.size()
-                    : v.out_edges.size() + v.in_edges.size();
+  return directed() ? InDegree(v) : OutDegree(v) + InDegree(v);
 }
 
 double GraphView::AverageFanOut() const {
@@ -559,10 +704,13 @@ size_t GraphView::TopologyBytes() const {
   bytes += vertexes_.size() * sizeof(VertexEntry);
   bytes += edges_.size() * sizeof(EdgeEntry);
   for (const VertexEntry& v : vertexes_) {
-    bytes += (v.out_edges.capacity() + v.in_edges.capacity()) * sizeof(EdgeId);
+    bytes += (v.out_edges.capacity() + v.in_edges.capacity() +
+              v.out_removed.capacity() + v.in_removed.capacity()) *
+             sizeof(EdgeId);
   }
   bytes += vertex_index_.size() * (sizeof(VertexId) + sizeof(size_t) + 16);
   bytes += edge_index_.size() * (sizeof(EdgeId) + sizeof(size_t) + 16);
+  bytes += CsrBytes();
   return bytes;
 }
 
@@ -658,9 +806,13 @@ Status GraphView::AddVertex(VertexId id, TupleSlot slot) {
   v.tuple = slot;
   v.out_edges.clear();
   v.in_edges.clear();
+  v.out_removed.clear();
+  v.in_removed.clear();
+  v.csr_pos = kNoCsrPos;
   v.live = true;
   vertex_index_[id] = pos;
   ++num_live_vertexes_;
+  csr_dirty_ = true;
   return Status::OK();
 }
 
@@ -702,6 +854,7 @@ Status GraphView::AddEdge(EdgeId id, VertexId from, VertexId to,
   vertexes_[from_it->second].out_edges.push_back(id);
   vertexes_[to_it->second].in_edges.push_back(id);
   ++num_live_edges_;
+  csr_dirty_ = true;
   return Status::OK();
 }
 
@@ -713,21 +866,19 @@ Status GraphView::RemoveEdge(EdgeId id) {
                                       def_.name.c_str()));
   }
   EdgeEntry& e = edges_[it->second];
-  auto detach = [&](std::vector<EdgeId>& list) {
-    list.erase(std::remove(list.begin(), list.end(), id), list.end());
-  };
   auto from_it = vertex_index_.find(e.from);
   if (from_it != vertex_index_.end()) {
-    detach(vertexes_[from_it->second].out_edges);
+    DetachEdge(&vertexes_[from_it->second], id, /*out_side=*/true);
   }
   auto to_it = vertex_index_.find(e.to);
   if (to_it != vertex_index_.end()) {
-    detach(vertexes_[to_it->second].in_edges);
+    DetachEdge(&vertexes_[to_it->second], id, /*out_side=*/false);
   }
   e.live = false;
   edge_free_list_.push_back(it->second);
   edge_index_.erase(it);
   --num_live_edges_;
+  csr_dirty_ = true;
   return Status::OK();
 }
 
@@ -739,15 +890,17 @@ Status GraphView::RemoveVertex(VertexId id) {
                                       def_.name.c_str()));
   }
   VertexEntry& v = vertexes_[it->second];
-  if (!v.out_edges.empty() || !v.in_edges.empty()) {
+  const size_t incident = OutDegree(v) + InDegree(v);
+  if (incident != 0) {
     return Status::ConstraintViolation(StrFormat(
         "cannot remove vertex %lld: %zu incident edge(s) still reference it",
-        static_cast<long long>(id), v.out_edges.size() + v.in_edges.size()));
+        static_cast<long long>(id), incident));
   }
   v.live = false;
   vertex_free_list_.push_back(it->second);
   vertex_index_.erase(it);
   --num_live_vertexes_;
+  csr_dirty_ = true;
   return Status::OK();
 }
 
@@ -821,11 +974,12 @@ Status GraphView::DeltaRemoveEdge(EdgeId id) {
   }
   const VertexId from = e->from;
   const VertexId to = e->to;
-  auto detach = [id](std::vector<EdgeId>& list) {
-    list.erase(std::remove(list.begin(), list.end(), id), list.end());
-  };
-  if (VertexEntry* fv = MutableOpenVertex(from)) detach(fv->out_edges);
-  if (VertexEntry* tv = MutableOpenVertex(to)) detach(tv->in_edges);
+  if (VertexEntry* fv = MutableOpenVertex(from)) {
+    DetachEdge(fv, id, /*out_side=*/true);
+  }
+  if (VertexEntry* tv = MutableOpenVertex(to)) {
+    DetachEdge(tv, id, /*out_side=*/false);
+  }
   SetOverlayEdge(d, id, nullptr);
   --d->num_edges;
   ++d->ops;
@@ -840,10 +994,11 @@ Status GraphView::DeltaRemoveVertex(VertexId id) {
                                       static_cast<long long>(id),
                                       def_.name.c_str()));
   }
-  if (!v->out_edges.empty() || !v->in_edges.empty()) {
+  const size_t incident = OutDegree(*v) + InDegree(*v);
+  if (incident != 0) {
     return Status::ConstraintViolation(StrFormat(
         "cannot remove vertex %lld: %zu incident edge(s) still reference it",
-        static_cast<long long>(id), v->out_edges.size() + v->in_edges.size()));
+        static_cast<long long>(id), incident));
   }
   SetOverlayVertex(d, id, nullptr);
   --d->num_vertexes;
@@ -858,7 +1013,7 @@ Status GraphView::DeltaVertexUpdate(TupleSlot slot, VertexId old_id,
   if (v == nullptr) {
     return Status::Internal("vertex id map out of sync on update");
   }
-  if (!v->out_edges.empty() || !v->in_edges.empty()) {
+  if (OutDegree(*v) + InDegree(*v) != 0) {
     return Status::ConstraintViolation(StrFormat(
         "cannot change id of vertex %lld: incident edges reference it",
         static_cast<long long>(old_id)));
@@ -869,9 +1024,17 @@ Status GraphView::DeltaVertexUpdate(TupleSlot slot, VertexId old_id,
                   static_cast<long long>(new_id)));
   }
   // Rename as tombstone + re-add (copy first: `v` may live in the overlay).
+  // The vertex is isolated (degree 0 — possibly a fully-removed CSR slice),
+  // so the copy drops its snapshot linkage and edit vectors outright: the
+  // renamed vertex no longer matches the snapshot's id arrays.
   auto copy = std::make_unique<VertexEntry>(*v);
   copy->id = new_id;
   copy->tuple = slot;
+  copy->csr_pos = kNoCsrPos;
+  copy->out_edges.clear();
+  copy->in_edges.clear();
+  copy->out_removed.clear();
+  copy->in_removed.clear();
   SetOverlayVertex(d, old_id, nullptr);
   SetOverlayVertex(d, new_id, std::move(copy));
   ++d->ops;
@@ -908,7 +1071,7 @@ Status GraphView::OnVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
     return Status::Internal("vertex id map out of sync on update");
   }
   VertexEntry& v = vertexes_[it->second];
-  if (!v.out_edges.empty() || !v.in_edges.empty()) {
+  if (OutDegree(v) + InDegree(v) != 0) {
     return Status::ConstraintViolation(StrFormat(
         "cannot change id of vertex %lld: incident edges reference it",
         static_cast<long long>(old_id)));
@@ -923,6 +1086,9 @@ Status GraphView::OnVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
   v.id = new_id;
   v.tuple = slot;
   vertex_index_[new_id] = pos;
+  // The snapshot's id arrays still carry the old id; edit-vector resolution
+  // stays correct, but index-addressed kernels must fall back.
+  csr_dirty_ = true;
   return Status::OK();
 }
 
@@ -988,6 +1154,7 @@ void GraphView::UndoVertexUpdate(TupleSlot slot, const Tuple& old_tuple,
   v.id = *old_id;
   v.tuple = slot;
   vertex_index_[*old_id] = pos;
+  csr_dirty_ = true;
 }
 
 void GraphView::UndoEdgeInsert(const Tuple& tuple) {

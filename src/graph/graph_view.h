@@ -1,6 +1,7 @@
 #ifndef GRFUSION_GRAPH_GRAPH_VIEW_H_
 #define GRFUSION_GRAPH_GRAPH_VIEW_H_
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <memory>
@@ -10,6 +11,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "graph/csr_topology.h"
 #include "graph/graph_view_def.h"
 #include "storage/epoch.h"
 #include "storage/table.h"
@@ -34,16 +36,40 @@ struct GraphBuildOptions {
   /// consistent topology while a writer mutates. Standalone views (tests,
   /// rebuild verification) leave this false and mutate the base directly.
   bool managed = false;
+  /// Materialize an immutable CSR snapshot of the topology at build time
+  /// (re-produced by every FoldDeltas). Off = adjacency-list-only layout,
+  /// kept for A/B ablation benches.
+  bool build_csr = true;
 };
+
+/// Sentinel for VertexEntry::csr_pos: the vertex is not in the CSR snapshot.
+inline constexpr size_t kNoCsrPos = static_cast<size_t>(-1);
 
 /// A vertex of the materialized topology. Attribute data is NOT stored here;
 /// `tuple` points (by stable slot) into the vertexes relational-source
 /// (paper §3.2 — "decoupling the graph topology and the graph data").
+///
+/// Adjacency is split between the owning view's immutable CSR snapshot and
+/// small per-vertex edit vectors. When the vertex is in the snapshot
+/// (csr_pos != kNoCsrPos), its effective adjacency per side is the CSR slice
+/// minus the ids in *_removed, followed by the ids in out_edges/in_edges
+/// (appends since the snapshot), in that order. When it is not (fresh
+/// vertices, or a view built without CSR), out_edges/in_edges hold the full
+/// adjacency exactly as in the pre-CSR layout. This keeps delta overlays
+/// cheap: shadowing a high-degree vertex copies a few small edit vectors,
+/// never the whole adjacency.
+///
+/// Invariants: an id never appears twice in one edit vector; an id in the
+/// append vector that is also in the vertex's CSR slice is always in the
+/// matching *_removed too (remove + re-add), so no edge is counted twice.
 struct VertexEntry {
   VertexId id = kInvalidVertexId;
   TupleSlot tuple = kInvalidTupleSlot;
-  std::vector<EdgeId> out_edges;
+  std::vector<EdgeId> out_edges;    ///< Appends since the CSR snapshot.
   std::vector<EdgeId> in_edges;
+  std::vector<EdgeId> out_removed;  ///< Snapshot edges detached since.
+  std::vector<EdgeId> in_removed;
+  size_t csr_pos = kNoCsrPos;       ///< Position in the owning view's CSR.
   bool live = false;
 };
 
@@ -61,7 +87,8 @@ struct EdgeEntry {
 /// everything that changed since the materialized base, as of `epoch`. An id
 /// present in a map shadows the base entry entirely — a null value is a
 /// tombstone ("absent at this epoch"), a non-null value is the full entry
-/// (including whole adjacency vectors for vertices). Because each delta is
+/// (vertices carry their adjacency as csr_pos + small edit vectors, so
+/// shadowing a high-degree vertex stays cheap). Because each delta is
 /// cumulative, a reader resolves exactly one node; `prev` links older
 /// published deltas only so readers at older snapshots find theirs.
 ///
@@ -234,24 +261,68 @@ class GraphView {
   /// Enumerates the edges usable to leave `v` during a traversal: out-edges,
   /// plus in-edges when the view is undirected. Calls fn(const EdgeEntry&,
   /// VertexId neighbor); stops early when fn returns false.
+  ///
+  /// Fast path: when the vertex sits in the CSR snapshot with no removals on
+  /// a side, that side's slice is iterated straight off the contiguous
+  /// arrays — no hash probe per edge. This is safe even under delta
+  /// overlays: every overlay edge mutation copy-on-writes both endpoints, so
+  /// a slice edge not listed in *_removed is live, unshadowed, and has
+  /// unchanged endpoints at every visible snapshot.
   template <typename Fn>
   void ForEachNeighbor(const VertexEntry& v, Fn&& fn) const {
-    for (EdgeId eid : v.out_edges) {
-      const EdgeEntry* e = FindEdge(eid);
-      if (e == nullptr) continue;
-      if (!fn(*e, e->to)) return;
-    }
-    if (!directed()) {
-      for (EdgeId eid : v.in_edges) {
-        const EdgeEntry* e = FindEdge(eid);
-        if (e == nullptr) continue;
-        if (!fn(*e, e->from)) return;
-      }
-    }
+    if (!EnumerateSide(v, /*out_side=*/true, fn)) return;
+    if (!directed()) EnumerateSide(v, /*out_side=*/false, fn);
+  }
+
+  /// Enumerates every incident edge of `v` — out then in, regardless of the
+  /// view's directedness (connected components, integrity sweeps). Calls
+  /// fn(const EdgeEntry&, VertexId other_endpoint); stops early when fn
+  /// returns false. Same CSR fast path as ForEachNeighbor.
+  template <typename Fn>
+  void ForEachIncidentEdge(const VertexEntry& v, Fn&& fn) const {
+    if (!EnumerateSide(v, /*out_side=*/true, fn)) return;
+    EnumerateSide(v, /*out_side=*/false, fn);
   }
 
   /// Average fan-out statistic used by the optimizer's BFS/DFS rule (§6.3).
   double AverageFanOut() const;
+
+  // --- CSR snapshot (read-path layout) --------------------------------------
+
+  /// The immutable CSR snapshot, or nullptr for a view built with
+  /// build_csr = false. Valid between folds; per-vertex edit vectors layer
+  /// post-snapshot changes on top.
+  const CsrTopology* csr() const { return csr_.get(); }
+
+  /// Base vertex entry at CSR position `i` (valid while the snapshot is —
+  /// positions are re-assigned by every fold). Index-addressed kernels use
+  /// this to go from a CSR index back to the attribute-carrying entry
+  /// without a hash probe.
+  const VertexEntry& CsrVertex(size_t i) const {
+    return vertexes_[csr_->vertex_pos[i]];
+  }
+
+  /// True when the CSR arrays alone describe the calling scope's visible
+  /// topology exactly: a snapshot exists, no base mutation landed since it
+  /// was produced, and no delta overlay is visible. Batch kernels and
+  /// graphalg fast paths key off this to run bitmap/index-addressed.
+  bool PureCsr() const {
+    return csr_ != nullptr && !csr_dirty_ && VisibleDelta() == nullptr;
+  }
+
+  /// Bytes held by the CSR snapshot's arrays (0 without one).
+  size_t CsrBytes() const { return csr_ != nullptr ? csr_->Bytes() : 0; }
+
+  /// Number of FoldDeltas applications that rebuilt the base (SYS column).
+  size_t Folds() const { return folds_; }
+
+  /// Effective per-side degrees: CSR slice minus removals plus appends.
+  size_t OutDegree(const VertexEntry& v) const {
+    return CsrSideLen(v, true) - v.out_removed.size() + v.out_edges.size();
+  }
+  size_t InDegree(const VertexEntry& v) const {
+    return CsrSideLen(v, false) - v.in_removed.size() + v.in_edges.size();
+  }
 
   /// Approximate bytes of the topology structures alone (the paper's point:
   /// topology size is independent of attribute-data size).
@@ -333,6 +404,61 @@ class GraphView {
   /// Morsel-parallel initial build: parallel id extraction + endpoint
   /// resolution + per-morsel adjacency grouping, sequential slot-order merge.
   Status ParallelBuild(const GraphBuildOptions& build);
+
+  /// Re-materializes the CSR snapshot from the current base (old snapshot +
+  /// edit vectors), then clears every base vertex's edits. Called at the end
+  /// of Create() and FoldDeltas() when build_csr is on.
+  void RebuildCsr();
+
+  /// Length of a vertex's CSR slice on one side (0 when not in the CSR).
+  size_t CsrSideLen(const VertexEntry& v, bool out_side) const {
+    if (csr_ == nullptr || v.csr_pos == kNoCsrPos) return 0;
+    return out_side ? csr_->OutEnd(v.csr_pos) - csr_->OutBegin(v.csr_pos)
+                    : csr_->InEnd(v.csr_pos) - csr_->InBegin(v.csr_pos);
+  }
+
+  /// Enumerates one side's effective adjacency (CSR slice minus removals,
+  /// then appends). Returns false when fn stopped the enumeration.
+  template <typename Fn>
+  bool EnumerateSide(const VertexEntry& v, bool out_side, Fn&& fn) const {
+    if (csr_ != nullptr && v.csr_pos != kNoCsrPos) {
+      const CsrTopology& c = *csr_;
+      const size_t begin =
+          out_side ? c.OutBegin(v.csr_pos) : c.InBegin(v.csr_pos);
+      const size_t end = out_side ? c.OutEnd(v.csr_pos) : c.InEnd(v.csr_pos);
+      const std::vector<size_t>& pos =
+          out_side ? c.out_edge_pos : c.in_edge_pos;
+      const std::vector<VertexId>& nbr = out_side ? c.out_nbr : c.in_nbr;
+      const std::vector<EdgeId>& removed =
+          out_side ? v.out_removed : v.in_removed;
+      if (removed.empty()) {
+        for (size_t i = begin; i < end; ++i) {
+          if (!fn(edges_[pos[i]], nbr[i])) return false;
+        }
+      } else {
+        const std::vector<EdgeId>& ids =
+            out_side ? c.out_edge_ids : c.in_edge_ids;
+        for (size_t i = begin; i < end; ++i) {
+          if (std::find(removed.begin(), removed.end(), ids[i]) !=
+              removed.end()) {
+            continue;
+          }
+          if (!fn(edges_[pos[i]], nbr[i])) return false;
+        }
+      }
+    }
+    for (EdgeId eid : out_side ? v.out_edges : v.in_edges) {
+      const EdgeEntry* e = FindEdge(eid);
+      if (e == nullptr) continue;
+      if (!fn(*e, out_side ? e->to : e->from)) return false;
+    }
+    return true;
+  }
+
+  /// Detaches `id` from one side of a vertex's effective adjacency: erased
+  /// from the append vector when it was a post-snapshot append, recorded as
+  /// a removal against the CSR slice otherwise.
+  static void DetachEdge(VertexEntry* v, EdgeId id, bool out_side);
 
   // Base-topology primitives (unmanaged views, initial build, fold target).
   Status AddVertex(VertexId id, TupleSlot slot);
@@ -419,6 +545,19 @@ class GraphView {
   std::unordered_map<EdgeId, size_t> edge_index_;
   size_t num_live_vertexes_ = 0;
   size_t num_live_edges_ = 0;
+
+  /// CSR snapshot state. csr_dirty_ marks any base mutation after the last
+  /// rebuild (standalone views mutating directly): the snapshot stays valid
+  /// as the substrate for edit-vector resolution, but PureCsr() — the gate
+  /// for index-addressed kernels — turns off until the next rebuild.
+  bool build_csr_ = true;
+  std::unique_ptr<CsrTopology> csr_;
+  bool csr_dirty_ = false;
+  size_t folds_ = 0;
+
+  /// Bytes currently accounted to this view in the graph_view_delta_bytes
+  /// gauge (published chain only; released on fold / destruction).
+  size_t published_delta_bytes_ = 0;
 
   /// Managed-mode state. delta_head_ is the read-side entry point (released
   /// by PublishOpenDelta, acquired by readers); delta_chain_ owns the

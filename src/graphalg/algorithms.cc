@@ -7,11 +7,70 @@
 
 namespace grfusion {
 
+namespace {
+
+/// Index-addressed PageRank over the immutable CSR arrays: dense rank
+/// vectors instead of hash maps, neighbor targets resolved to csr positions
+/// once up front. Vertex order and per-vertex neighbor order match the
+/// generic path exactly, so the floating-point accumulation sequence — and
+/// therefore the result — is identical.
+std::unordered_map<VertexId, double> PageRankCsr(const GraphView& gv,
+                                                 const CsrTopology& c,
+                                                 int iterations,
+                                                 double damping) {
+  const size_t n = c.NumVertexes();
+  const bool undirected = !gv.directed();
+  auto resolve = [&](const std::vector<VertexId>& nbrs) {
+    std::vector<size_t> tgt(nbrs.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) tgt[i] = c.IndexOf(nbrs[i]);
+    return tgt;
+  };
+  const std::vector<size_t> out_tgt = resolve(c.out_nbr);
+  const std::vector<size_t> in_tgt =
+      undirected ? resolve(c.in_nbr) : std::vector<size_t>();
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t out = c.OutEnd(i) - c.OutBegin(i);
+      if (undirected) out += c.InEnd(i) - c.InBegin(i);
+      if (out == 0) {
+        dangling += rank[i];
+        continue;
+      }
+      const double share = rank[i] / static_cast<double>(out);
+      for (size_t j = c.OutBegin(i); j < c.OutEnd(i); ++j) {
+        next[out_tgt[j]] += share;
+      }
+      if (undirected) {
+        for (size_t j = c.InBegin(i); j < c.InEnd(i); ++j) {
+          next[in_tgt[j]] += share;
+        }
+      }
+    }
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) rank[i] = base + damping * next[i];
+  }
+  std::unordered_map<VertexId, double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out[c.vertex_ids[i]] = rank[i];
+  return out;
+}
+
+}  // namespace
+
 std::unordered_map<VertexId, double> PageRank(const GraphView& gv,
                                               int iterations, double damping) {
   const size_t n = gv.NumVertexes();
   std::unordered_map<VertexId, double> rank;
   if (n == 0) return rank;
+  if (gv.PureCsr()) {
+    return PageRankCsr(gv, *gv.csr(), iterations, damping);
+  }
 
   std::vector<VertexId> ids;
   ids.reserve(n);
@@ -54,6 +113,46 @@ std::unordered_map<VertexId, double> PageRank(const GraphView& gv,
 std::unordered_map<VertexId, VertexId> ConnectedComponents(
     const GraphView& gv) {
   std::unordered_map<VertexId, VertexId> component;
+  if (gv.PureCsr()) {
+    // Bitmap BFS straight over the CSR arrays (weak connectivity: out and
+    // in slices both expanded), ids resolved to dense csr positions.
+    const CsrTopology& c = *gv.csr();
+    const size_t n = c.NumVertexes();
+    std::vector<char> seen(n, 0);
+    std::deque<size_t> frontier;
+    std::vector<size_t> members;
+    component.reserve(n);
+    for (size_t root = 0; root < n; ++root) {
+      if (seen[root]) continue;
+      seen[root] = 1;
+      frontier.assign(1, root);
+      members.clear();
+      VertexId representative = c.vertex_ids[root];
+      while (!frontier.empty()) {
+        const size_t u = frontier.front();
+        frontier.pop_front();
+        members.push_back(u);
+        representative = std::min(representative, c.vertex_ids[u]);
+        auto expand = [&](VertexId nbr_id) {
+          const size_t nbr = c.IndexOf(nbr_id);
+          if (!seen[nbr]) {
+            seen[nbr] = 1;
+            frontier.push_back(nbr);
+          }
+        };
+        for (size_t j = c.OutBegin(u); j < c.OutEnd(u); ++j) {
+          expand(c.out_nbr[j]);
+        }
+        for (size_t j = c.InBegin(u); j < c.InEnd(u); ++j) {
+          expand(c.in_nbr[j]);
+        }
+      }
+      for (size_t member : members) {
+        component[c.vertex_ids[member]] = representative;
+      }
+    }
+    return component;
+  }
   gv.ForEachVertex([&](const VertexEntry& root) {
     if (component.count(root.id) > 0) return true;
     // BFS over the undirected closure (weak connectivity).
@@ -68,19 +167,12 @@ std::unordered_map<VertexId, VertexId> ConnectedComponents(
       representative = std::min(representative, u);
       const VertexEntry* uv = gv.FindVertex(u);
       if (uv == nullptr) continue;
-      auto expand = [&](VertexId nbr) {
+      gv.ForEachIncidentEdge(*uv, [&](const EdgeEntry&, VertexId nbr) {
         if (component.count(nbr) == 0 && seen.insert(nbr).second) {
           frontier.push_back(nbr);
         }
-      };
-      for (EdgeId eid : uv->out_edges) {
-        const EdgeEntry* e = gv.FindEdge(eid);
-        if (e != nullptr) expand(e->to);
-      }
-      for (EdgeId eid : uv->in_edges) {
-        const EdgeEntry* e = gv.FindEdge(eid);
-        if (e != nullptr) expand(e->from);
-      }
+        return true;
+      });
     }
     for (VertexId member : members) component[member] = representative;
     return true;
@@ -170,13 +262,30 @@ int64_t CountTrianglesExact(const GraphView& gv) {
   // Neighbor-set intersection with an id ordering to count each triangle
   // exactly once, treating the graph as undirected.
   std::unordered_map<VertexId, std::vector<VertexId>> adjacency;
-  gv.ForEachEdge([&](const EdgeEntry& e) {
-    if (e.from != e.to) {
-      adjacency[e.from].push_back(e.to);
-      adjacency[e.to].push_back(e.from);
+  if (gv.PureCsr()) {
+    // Every edge appears exactly once across the out slices: read the
+    // undirected adjacency straight off the CSR arrays.
+    const CsrTopology& c = *gv.csr();
+    adjacency.reserve(c.NumVertexes());
+    for (size_t i = 0; i < c.NumVertexes(); ++i) {
+      const VertexId u = c.vertex_ids[i];
+      for (size_t j = c.OutBegin(i); j < c.OutEnd(i); ++j) {
+        const VertexId v = c.out_nbr[j];
+        if (u != v) {
+          adjacency[u].push_back(v);
+          adjacency[v].push_back(u);
+        }
+      }
     }
-    return true;
-  });
+  } else {
+    gv.ForEachEdge([&](const EdgeEntry& e) {
+      if (e.from != e.to) {
+        adjacency[e.from].push_back(e.to);
+        adjacency[e.to].push_back(e.from);
+      }
+      return true;
+    });
+  }
   for (auto& [id, nbrs] : adjacency) {
     std::sort(nbrs.begin(), nbrs.end());
     nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "common/task_pool.h"
 #include "common/tracer.h"
+#include "graphexec/frontier_scanner.h"
 
 namespace grfusion {
 
@@ -372,7 +373,11 @@ PathProbeJoinOp::PathProbeJoinOp(OperatorPtr outer,
 
 Status PathProbeJoinOp::OpenImpl(QueryContext* ctx) {
   ctx_ = ctx;
-  scanner_ = std::make_unique<PathScanner>(spec_, ctx);
+  if (spec_->frontier) {
+    scanner_ = std::make_unique<FrontierScanner>(spec_, ctx);
+  } else {
+    scanner_ = std::make_unique<PathScanner>(spec_, ctx);
+  }
   parallel_.reset();
   worker_totals_.clear();
   parallel_probes_ = 0;
@@ -448,7 +453,8 @@ StatusOr<bool> PathProbeJoinOp::NextImpl(ExecRow* out) {
       GRF_ASSIGN_OR_RETURN(Value id, v.CastTo(ValueType::kBigInt));
       target = id.AsBigInt();
     }
-    if (ParallelPathProbe::Eligible(*spec_, *ctx_, starts.size())) {
+    if (!spec_->frontier &&
+        ParallelPathProbe::Eligible(*spec_, *ctx_, starts.size())) {
       // Keep the starts so a ResourceExhausted fan-out (the buffered-merge
       // protocol can need memory the streaming serial scanner does not) can
       // fall back to serial execution instead of failing the query.

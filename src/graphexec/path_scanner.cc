@@ -30,18 +30,9 @@ std::string TraversalSpec::DebugString() const {
   }
   if (!push_filters) out += ", NO-PUSHDOWN";
   if (global_visited) out += ", visited-once";
+  if (frontier) out += ", frontier";
   return out + ")";
 }
-
-namespace {
-
-/// Frontier-entry footprint for the query-memory accountant.
-size_t CandidateBytes(const PathData& path) {
-  return 64 + path.vertexes.size() * sizeof(VertexId) +
-         path.edges.size() * sizeof(EdgeId);
-}
-
-}  // namespace
 
 Status PathScanner::Reset(std::vector<VertexId> starts,
                           std::optional<VertexId> target,
@@ -174,125 +165,18 @@ StatusOr<bool> PathScanner::VertexAdmissible(const VertexEntry& vertex,
 }
 
 Status PathScanner::Expand(const Candidate& candidate) {
-  const VertexEntry* end = spec_->gv->FindVertex(candidate.path.EndVertex());
-  if (end == nullptr) return Status::OK();  // Vertex deleted mid-query.
-
-  const VertexId start = candidate.path.StartVertex();
-
-  // SPScan expansion cap (classic k-shortest-paths pruning), counted per
-  // (start, vertex) so every start enumerates its own k shortest paths
-  // independently — identical under serial and per-morsel parallel execution.
-  if (spec_->physical == TraversalSpec::Physical::kShortestPath &&
-      spec_->sp_expansion_cap != kNoMaxLength) {
-    size_t& count = expansions_[{start, end->id}];
-    if (++count > spec_->sp_expansion_cap) return Status::OK();
-  }
-
-  const size_t edge_index = candidate.path.Length();
-  Status status = Status::OK();
-
-  spec_->gv->ForEachNeighbor(*end, [&](const EdgeEntry& edge, VertexId nbr) {
-    ++ctx_->stats().edges_examined;
-
-    // Edge-simple: never reuse an edge within one path.
-    if (std::find(candidate.path.edges.begin(), candidate.path.edges.end(),
-                  edge.id) != candidate.path.edges.end()) {
-      return true;
-    }
-    // Vertex-simple, with one exception: an edge closing a cycle back to the
-    // start vertex is emitted (that is how sub-graph patterns like triangles
-    // are matched, paper Listing 4) but never extended.
-    bool closing = nbr == start && candidate.path.Length() >= 1;
-    if (!closing) {
-      if (std::find(candidate.path.vertexes.begin(),
-                    candidate.path.vertexes.end(),
-                    nbr) != candidate.path.vertexes.end()) {
-        return true;
-      }
-      if (spec_->global_visited && visited_.count(nbr) > 0) return true;
-    }
-
-    std::vector<double> sums = candidate.sums;
-    if (spec_->push_filters) {
-      auto edge_ok = EdgeAdmissible(edge, edge_index);
-      if (!edge_ok.ok()) {
-        status = edge_ok.status();
-        return false;
-      }
-      if (!*edge_ok) {
-        ++ctx_->stats().paths_pruned;
-        return true;
-      }
-      const VertexEntry* nv = spec_->gv->FindVertex(nbr);
-      if (nv != nullptr) {
-        auto vertex_ok = VertexAdmissible(*nv, edge_index + 1);
-        if (!vertex_ok.ok()) {
-          status = vertex_ok.status();
-          return false;
+  // Serial engine: consult and mark the shared visited set inline, extensions
+  // go straight onto the frontier (the admission pipeline itself lives in
+  // ExpandCore, shared with the level-synchronous FrontierScanner).
+  return ExpandCore(
+      candidate, ctx_,
+      [this](VertexId nbr) { return visited_.count(nbr) > 0; },
+      [this](Candidate&& next) {
+        if (spec_->global_visited && !next.closing) {
+          visited_.insert(next.path.EndVertex());
         }
-        if (!*vertex_ok) {
-          ++ctx_->stats().paths_pruned;
-          return true;
-        }
-      }
-      // Accumulate sum bounds and prune monotone upper bounds early.
-      for (size_t i = 0; i < spec_->sum_bounds.size(); ++i) {
-        auto v = ExtractEdgeValue(*spec_->gv, edge, spec_->sum_bounds[i].attr);
-        if (!v.ok()) {
-          status = v.status();
-          return false;
-        }
-        if (!v->is_null()) sums[i] += v->AsNumeric();
-        CompareOp op = spec_->sum_bounds[i].op;
-        double bound = sum_bound_values_[i];
-        bool prune = (op == CompareOp::kLt && sums[i] >= bound) ||
-                     (op == CompareOp::kLe && sums[i] > bound);
-        if (prune) {
-          ++ctx_->stats().paths_pruned;
-          return true;
-        }
-      }
-    } else {
-      // Pushdown disabled (ablation / paper §7.1 control): still accumulate
-      // sums so emission checks stay exact.
-      for (size_t i = 0; i < spec_->sum_bounds.size(); ++i) {
-        auto v = ExtractEdgeValue(*spec_->gv, edge, spec_->sum_bounds[i].attr);
-        if (!v.ok()) {
-          status = v.status();
-          return false;
-        }
-        if (!v->is_null()) sums[i] += v->AsNumeric();
-      }
-    }
-
-    Candidate next;
-    next.path.edges = candidate.path.edges;
-    next.path.edges.push_back(edge.id);
-    next.path.vertexes = candidate.path.vertexes;
-    next.path.vertexes.push_back(nbr);
-    next.sums = std::move(sums);
-    next.closing = closing;
-    next.path.accumulated_cost = candidate.path.accumulated_cost;
-
-    if (spec_->physical == TraversalSpec::Physical::kShortestPath) {
-      auto w = ExtractEdgeValue(*spec_->gv, edge, spec_->sp_attr);
-      if (!w.ok()) {
-        status = w.status();
-        return false;
-      }
-      if (w->is_null() || w->AsNumeric() < 0) {
-        status = Status::InvalidArgument(
-            "SHORTESTPATH requires a non-null, non-negative edge attribute");
-        return false;
-      }
-      next.path.accumulated_cost += w->AsNumeric();
-    }
-
-    if (spec_->global_visited && !closing) visited_.insert(nbr);
-    PushCandidate(std::move(next));
-    return true;
-  });
-  return status;
+        PushCandidate(std::move(next));
+      });
 }
 
 StatusOr<bool> PathScanner::Qualifies(const Candidate& candidate) {

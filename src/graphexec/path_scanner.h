@@ -1,6 +1,7 @@
 #ifndef GRFUSION_GRAPHEXEC_PATH_SCANNER_H_
 #define GRFUSION_GRAPHEXEC_PATH_SCANNER_H_
 
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <memory>
@@ -24,24 +25,30 @@ namespace grfusion {
 /// relational join tuple "probes" the traversal (paper Fig. 6). Between
 /// Reset() calls it holds the traversal frontier (DFS stack / BFS queue /
 /// Dijkstra priority queue) and yields one qualifying path per Next().
+///
+/// FrontierScanner derives from this to run the same per-edge admission
+/// pipeline (ExpandCore) level-synchronously over whole frontiers; the
+/// virtual surface is exactly the operator-facing triple Reset/Next/Release.
 class PathScanner {
  public:
   PathScanner(std::shared_ptr<const TraversalSpec> spec, QueryContext* ctx)
       : spec_(std::move(spec)), ctx_(ctx) {}
+  virtual ~PathScanner() = default;
 
   /// Arms the scanner for a new probe. `starts` may be empty (yields no
   /// paths). `target`, when set, restricts emission to paths ending there.
   /// `outer_row` is kept (borrowed) to evaluate predicate right-hand sides
   /// that reference outer columns; it must outlive the pulls.
-  Status Reset(std::vector<VertexId> starts, std::optional<VertexId> target,
-               const ExecRow* outer_row);
+  virtual Status Reset(std::vector<VertexId> starts,
+                       std::optional<VertexId> target,
+                       const ExecRow* outer_row);
 
   /// Produces the next qualifying path, or false when the traversal space is
   /// exhausted.
-  StatusOr<bool> Next(PathPtr* out);
+  virtual StatusOr<bool> Next(PathPtr* out);
 
   /// Drops frontier state and releases its memory charge (operator Close).
-  void Release() {
+  virtual void Release() {
     frontier_.clear();
     heap_ = decltype(heap_)();
     visited_.clear();
@@ -52,7 +59,7 @@ class PathScanner {
     }
   }
 
- private:
+ protected:
   /// A partial (or complete) candidate path on the frontier.
   struct Candidate {
     PathData path;
@@ -69,6 +76,12 @@ class PathScanner {
     }
   };
 
+  /// Frontier-entry footprint for the query-memory accountant.
+  static size_t CandidateBytes(const PathData& path) {
+    return 64 + path.vertexes.size() * sizeof(VertexId) +
+           path.edges.size() * sizeof(EdgeId);
+  }
+
   /// Pops the next candidate in physical-operator order.
   bool PopCandidate(Candidate* out);
   void PushCandidate(Candidate candidate);
@@ -81,6 +94,145 @@ class PathScanner {
   /// Expands `candidate` by every admissible incident edge, pushing the
   /// extensions onto the frontier.
   Status Expand(const Candidate& candidate);
+
+  /// The per-edge admission pipeline shared by the serial engine and the
+  /// level-synchronous frontier kernel: edge-simple / vertex-simple /
+  /// closing-cycle rules, pushed element filters, sum-bound accumulation and
+  /// monotone pruning, SPScan weights. `already_visited(nbr)` implements the
+  /// global_visited claim check (consulted only in that mode, and only for
+  /// non-closing extensions); `sink(Candidate&&)` receives each admissible
+  /// extension in neighbor-enumeration order and owns visited marking.
+  ///
+  /// Thread-safety: reads only const state (spec_, outer_row_,
+  /// sum_bound_values_) plus the expansions_ map — which is SPScan-only, and
+  /// SPScan never runs level-parallel — so concurrent workers may invoke
+  /// this on a shared scanner as long as each passes its own `ctx` (stats,
+  /// cancellation) and the visited set is frozen for the duration.
+  template <typename Visited, typename Sink>
+  Status ExpandCore(const Candidate& candidate, QueryContext* ctx,
+                    Visited&& already_visited, Sink&& sink) {
+    const VertexEntry* end = spec_->gv->FindVertex(candidate.path.EndVertex());
+    if (end == nullptr) return Status::OK();  // Vertex deleted mid-query.
+
+    const VertexId start = candidate.path.StartVertex();
+
+    // SPScan expansion cap (classic k-shortest-paths pruning), counted per
+    // (start, vertex) so every start enumerates its own k shortest paths
+    // independently — identical under serial and per-morsel parallel
+    // execution.
+    if (spec_->physical == TraversalSpec::Physical::kShortestPath &&
+        spec_->sp_expansion_cap != kNoMaxLength) {
+      size_t& count = expansions_[{start, end->id}];
+      if (++count > spec_->sp_expansion_cap) return Status::OK();
+    }
+
+    const size_t edge_index = candidate.path.Length();
+    Status status = Status::OK();
+
+    spec_->gv->ForEachNeighbor(*end, [&](const EdgeEntry& edge, VertexId nbr) {
+      ++ctx->stats().edges_examined;
+
+      // Edge-simple: never reuse an edge within one path.
+      if (std::find(candidate.path.edges.begin(), candidate.path.edges.end(),
+                    edge.id) != candidate.path.edges.end()) {
+        return true;
+      }
+      // Vertex-simple, with one exception: an edge closing a cycle back to
+      // the start vertex is emitted (that is how sub-graph patterns like
+      // triangles are matched, paper Listing 4) but never extended.
+      bool closing = nbr == start && candidate.path.Length() >= 1;
+      if (!closing) {
+        if (std::find(candidate.path.vertexes.begin(),
+                      candidate.path.vertexes.end(),
+                      nbr) != candidate.path.vertexes.end()) {
+          return true;
+        }
+        if (spec_->global_visited && already_visited(nbr)) return true;
+      }
+
+      std::vector<double> sums = candidate.sums;
+      if (spec_->push_filters) {
+        auto edge_ok = EdgeAdmissible(edge, edge_index);
+        if (!edge_ok.ok()) {
+          status = edge_ok.status();
+          return false;
+        }
+        if (!*edge_ok) {
+          ++ctx->stats().paths_pruned;
+          return true;
+        }
+        const VertexEntry* nv = spec_->gv->FindVertex(nbr);
+        if (nv != nullptr) {
+          auto vertex_ok = VertexAdmissible(*nv, edge_index + 1);
+          if (!vertex_ok.ok()) {
+            status = vertex_ok.status();
+            return false;
+          }
+          if (!*vertex_ok) {
+            ++ctx->stats().paths_pruned;
+            return true;
+          }
+        }
+        // Accumulate sum bounds and prune monotone upper bounds early.
+        for (size_t i = 0; i < spec_->sum_bounds.size(); ++i) {
+          auto v =
+              ExtractEdgeValue(*spec_->gv, edge, spec_->sum_bounds[i].attr);
+          if (!v.ok()) {
+            status = v.status();
+            return false;
+          }
+          if (!v->is_null()) sums[i] += v->AsNumeric();
+          CompareOp op = spec_->sum_bounds[i].op;
+          double bound = sum_bound_values_[i];
+          bool prune = (op == CompareOp::kLt && sums[i] >= bound) ||
+                       (op == CompareOp::kLe && sums[i] > bound);
+          if (prune) {
+            ++ctx->stats().paths_pruned;
+            return true;
+          }
+        }
+      } else {
+        // Pushdown disabled (ablation / paper §7.1 control): still
+        // accumulate sums so emission checks stay exact.
+        for (size_t i = 0; i < spec_->sum_bounds.size(); ++i) {
+          auto v =
+              ExtractEdgeValue(*spec_->gv, edge, spec_->sum_bounds[i].attr);
+          if (!v.ok()) {
+            status = v.status();
+            return false;
+          }
+          if (!v->is_null()) sums[i] += v->AsNumeric();
+        }
+      }
+
+      Candidate next;
+      next.path.edges = candidate.path.edges;
+      next.path.edges.push_back(edge.id);
+      next.path.vertexes = candidate.path.vertexes;
+      next.path.vertexes.push_back(nbr);
+      next.sums = std::move(sums);
+      next.closing = closing;
+      next.path.accumulated_cost = candidate.path.accumulated_cost;
+
+      if (spec_->physical == TraversalSpec::Physical::kShortestPath) {
+        auto w = ExtractEdgeValue(*spec_->gv, edge, spec_->sp_attr);
+        if (!w.ok()) {
+          status = w.status();
+          return false;
+        }
+        if (w->is_null() || w->AsNumeric() < 0) {
+          status = Status::InvalidArgument(
+              "SHORTESTPATH requires a non-null, non-negative edge attribute");
+          return false;
+        }
+        next.path.accumulated_cost += w->AsNumeric();
+      }
+
+      sink(std::move(next));
+      return true;
+    });
+    return status;
+  }
 
   /// Incremental checks for appending `edge`->`next_vertex` at position
   /// `edge_index`; false means the branch is pruned.

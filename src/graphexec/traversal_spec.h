@@ -87,6 +87,16 @@ struct TraversalSpec {
   /// (cost, vertex-seq, edge-seq) order, which equals the serial order.
   bool parallel_safe = true;
 
+  /// Level-synchronous frontier kernel (BFS only): the scanner processes one
+  /// whole depth level at a time — qualify/emit the level in order first
+  /// (LIMIT-k early exit before any deeper expansion), then batch-expand it,
+  /// morsel-parallel over the frontier when large enough. The merge applies
+  /// visited claims in (candidate, neighbor) order, so results are identical
+  /// to the serial BFS engine at any worker count — which is why it may run
+  /// parallel even when parallel_safe is false (e.g. global_visited
+  /// reachability).
+  bool frontier = false;
+
   std::string DebugString() const;
 };
 

@@ -22,11 +22,13 @@ size_t PlannerOptions::effective_parallelism() const {
 
 std::string PlannerOptions::PlanShapeKey() const {
   return StrFormat(
-      "fp=%d,li=%d,fml=%zu,ix=%d,rf=%d,tv=%d,mp=%zu,pmr=%zu,pms=%zu",
+      "fp=%d,li=%d,fml=%zu,ix=%d,rf=%d,tv=%d,mp=%zu,pmr=%zu,pms=%zu,fb=%d,"
+      "fmb=%zu",
       enable_filter_pushdown ? 1 : 0, enable_length_inference ? 1 : 0,
       fallback_max_length, enable_index_scan ? 1 : 0,
       enable_reachability_fastpath ? 1 : 0, static_cast<int>(default_traversal),
-      max_parallelism, parallel_min_rows, parallel_min_starts);
+      max_parallelism, parallel_min_rows, parallel_min_starts,
+      enable_frontier_bfs ? 1 : 0, frontier_min_batch);
 }
 
 namespace {
@@ -777,6 +779,28 @@ StatusOr<PlannedQuery> Planner::PlanSelect(const SelectStmt& stmt,
       spec.parallel_safe = false;
     }
     if (spec.global_visited) spec.parallel_safe = false;
+
+    // Frontier kernel (§6.3 extension): BFS with a frontier expected to
+    // reach frontier_min_batch runs level-synchronously — whole levels are
+    // qualified before expansion (LIMIT-k early exit) and expanded in
+    // batches, morsel-parallel when large. Estimate: a visited-once or
+    // unbounded traversal eventually touches O(V); otherwise the deepest
+    // level holds ~F^L candidates. Result-identical to the per-path BFS
+    // engine at any worker count, so the data-dependent estimate only moves
+    // a physical knob (same contract as the kAuto fan-out rule above).
+    if (options_.enable_frontier_bfs &&
+        spec.physical == TraversalSpec::Physical::kBfs) {
+      const double v = static_cast<double>(binding.gv->NumVertexes());
+      double estimate = v;
+      if (!spec.global_visited && spec.max_length != kNoMaxLength) {
+        const double fan_out = std::max(binding.gv->AverageFanOut(), 1.0);
+        estimate = std::min(
+            v, std::pow(fan_out, static_cast<double>(spec.max_length)));
+      }
+      if (estimate >= static_cast<double>(options_.frontier_min_batch)) {
+        spec.frontier = true;
+      }
+    }
 
     tree = std::make_unique<PathProbeJoinOp>(std::move(tree), plan.spec);
   }

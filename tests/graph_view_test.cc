@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "catalog/catalog.h"
 #include "graph/graph_view.h"
 #include "graph/path.h"
@@ -307,6 +311,142 @@ TEST_F(GraphViewTest, TopologyBytesIndependentOfAttributeSize) {
                                                                    'x'))}))
                   .ok());
   EXPECT_EQ(gv->TopologyBytes(), before);
+}
+
+namespace csr {
+
+/// Canonical topology signature: per vertex, the sorted (edge, neighbor)
+/// lists seen through the public enumeration API. Representation-independent
+/// (CSR slices + edit vectors vs pure adjacency lists must agree).
+std::string Signature(const GraphView& gv) {
+  std::vector<std::string> lines;
+  gv.ForEachVertex([&](const VertexEntry& v) {
+    std::vector<std::string> out, in;
+    gv.ForEachNeighbor(v, [&](const EdgeEntry& e, VertexId nbr) {
+      out.push_back(std::to_string(e.id) + ">" + std::to_string(nbr));
+      return true;
+    });
+    gv.ForEachIncidentEdge(v, [&](const EdgeEntry& e, VertexId nbr) {
+      in.push_back(std::to_string(e.id) + "~" + std::to_string(nbr));
+      return true;
+    });
+    std::sort(out.begin(), out.end());
+    std::sort(in.begin(), in.end());
+    std::string line = std::to_string(v.id) + ":";
+    for (const std::string& s : out) line += s + ",";
+    line += "|";
+    for (const std::string& s : in) line += s + ",";
+    lines.push_back(std::move(line));
+    return true;
+  });
+  std::sort(lines.begin(), lines.end());
+  std::string sig;
+  for (const std::string& l : lines) sig += l + "\n";
+  return sig;
+}
+
+}  // namespace csr
+
+TEST_F(GraphViewTest, CsrSnapshotBuiltAtCreate) {
+  AddVertexRow(1, "a");
+  AddVertexRow(2, "b");
+  AddVertexRow(3, "c");
+  ASSERT_TRUE(AddEdgeRow(10, 1, 2).ok());
+  ASSERT_TRUE(AddEdgeRow(11, 2, 3).ok());
+  GraphView* gv = Create(true);
+  ASSERT_NE(gv, nullptr);
+  ASSERT_NE(gv->csr(), nullptr);
+  EXPECT_TRUE(gv->PureCsr());
+  EXPECT_EQ(gv->csr()->NumVertexes(), 3u);
+  EXPECT_EQ(gv->csr()->NumEdges(), 2u);
+  EXPECT_GT(gv->CsrBytes(), 0u);
+  EXPECT_EQ(gv->Folds(), 0u);
+  // Degrees resolve through CSR slice lengths (no edit vectors yet).
+  EXPECT_EQ(gv->FanOut(*gv->FindVertex(1)), 1u);
+  EXPECT_EQ(gv->FanIn(*gv->FindVertex(3)), 1u);
+}
+
+TEST_F(GraphViewTest, OptOutBuildsNoCsr) {
+  AddVertexRow(1, "a");
+  GraphBuildOptions build;
+  build.build_csr = false;
+  auto gv = GraphView::Create(Def(true), vertex_table_, edge_table_, build);
+  ASSERT_TRUE(gv.ok());
+  EXPECT_EQ((*gv)->csr(), nullptr);
+  EXPECT_FALSE((*gv)->PureCsr());
+  EXPECT_EQ((*gv)->CsrBytes(), 0u);
+}
+
+TEST_F(GraphViewTest, CsrWithEditVectorsMatchesRebuild) {
+  // Seed a topology, snapshot it into CSR, then mutate online through the
+  // table listeners: adds land in append vectors, deletes in tombstones.
+  // Enumeration through the overlay must equal a from-scratch rebuild at
+  // every step.
+  for (int64_t i = 1; i <= 6; ++i) AddVertexRow(i, "v");
+  ASSERT_TRUE(AddEdgeRow(10, 1, 2).ok());
+  ASSERT_TRUE(AddEdgeRow(11, 2, 3).ok());
+  ASSERT_TRUE(AddEdgeRow(12, 3, 4).ok());
+  ASSERT_TRUE(AddEdgeRow(13, 4, 1).ok());
+  GraphView* gv = Create(true);
+  ASSERT_NE(gv, nullptr);
+  ASSERT_TRUE(gv->PureCsr());
+
+  auto check = [&](const char* step) {
+    auto rebuilt =
+        GraphView::Create(gv->def(), gv->vertex_table(), gv->edge_table());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    EXPECT_EQ(csr::Signature(*gv), csr::Signature(**rebuilt)) << step;
+  };
+
+  // Append: new edge out of a snapshotted vertex.
+  ASSERT_TRUE(AddEdgeRow(14, 1, 3).ok());
+  EXPECT_FALSE(gv->PureCsr());  // Base edits dirty the snapshot.
+  check("append edge");
+
+  // Tombstone: remove a snapshot edge (slice entry must be skipped).
+  ASSERT_TRUE(edge_table_->Delete(gv->FindEdge(11)->tuple).ok());
+  check("remove snapshot edge");
+
+  // Remove-then-re-add the same id: lands in both tombstone and append.
+  ASSERT_TRUE(edge_table_->Delete(gv->FindEdge(12)->tuple).ok());
+  ASSERT_TRUE(AddEdgeRow(12, 3, 5).ok());
+  check("remove then re-add id");
+
+  // Remove an appended (non-snapshot) edge again.
+  ASSERT_TRUE(edge_table_->Delete(gv->FindEdge(14)->tuple).ok());
+  check("remove appended edge");
+
+  // New vertex + edges touching it (vertex has no CSR position at all).
+  AddVertexRow(7, "w");
+  ASSERT_TRUE(AddEdgeRow(20, 7, 1).ok());
+  ASSERT_TRUE(AddEdgeRow(21, 5, 7).ok());
+  check("new vertex with edges");
+
+  // Degrees through the mixed representation.
+  EXPECT_EQ(gv->FanOut(*gv->FindVertex(1)), 1u);   // 10 (14 removed).
+  EXPECT_EQ(gv->FanIn(*gv->FindVertex(1)), 2u);    // 13, 20.
+  EXPECT_EQ(gv->FanOut(*gv->FindVertex(7)), 1u);   // 20.
+}
+
+TEST_F(GraphViewTest, CsrUndirectedOverlayMatchesRebuild) {
+  for (int64_t i = 1; i <= 5; ++i) AddVertexRow(i, "v");
+  ASSERT_TRUE(AddEdgeRow(10, 1, 2).ok());
+  ASSERT_TRUE(AddEdgeRow(11, 2, 3).ok());
+  GraphView* gv = Create(false);
+  ASSERT_NE(gv, nullptr);
+  ASSERT_TRUE(AddEdgeRow(12, 3, 1).ok());
+  ASSERT_TRUE(edge_table_->Delete(gv->FindEdge(10)->tuple).ok());
+  auto rebuilt =
+      GraphView::Create(gv->def(), gv->vertex_table(), gv->edge_table());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(csr::Signature(*gv), csr::Signature(**rebuilt));
+  // Undirected neighbor count spans out + in slices and their edits.
+  size_t n = 0;
+  gv->ForEachNeighbor(*gv->FindVertex(3), [&](const EdgeEntry&, VertexId) {
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 2u);  // 11 (in slice) + 12 (append).
 }
 
 TEST(PathTest, PathStringRendering) {

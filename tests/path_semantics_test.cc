@@ -511,6 +511,110 @@ TEST_P(PathSemanticsTest, TinyMemoryCapFallsBackToSerialUnderParallelism) {
   }
 }
 
+TEST_P(PathSemanticsTest, FrontierBfsMatchesPerPathBfs) {
+  // The level-synchronous frontier kernel must reproduce the per-path BFS
+  // engine's emission order exactly (not just the multiset): both process
+  // whole depth levels in FIFO order. Compare ordered row sequences with the
+  // kernel forced on (frontier_min_batch = 1) vs forced off.
+  session_.options().default_traversal = PlannerOptions::Traversal::kBfs;
+  auto run = [&](bool frontier, const std::string& sql) {
+    session_.options().enable_frontier_bfs = frontier;
+    session_.options().frontier_min_batch = 1;
+    auto result = session_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<std::string> out;
+    if (result.ok()) {
+      for (const auto& row : result->rows) {
+        std::string key;
+        for (const Value& v : row) key += v.ToString() + "|";
+        out.push_back(std::move(key));
+      }
+    }
+    return out;
+  };
+  const std::vector<std::string> queries = {
+      "SELECT P.PathString FROM g.Paths P WHERE P.Length <= 3",
+      "SELECT P.PathString FROM g.Paths P "
+      "WHERE P.StartVertex.Id = 0 AND P.Length = 3",
+      "SELECT P.PathString FROM g.Paths P "
+      "WHERE P.Length <= 2 AND P.Edges[0..*].rank < 60",
+      "SELECT P.PathString FROM g.Paths P WHERE P.Length <= 3 LIMIT 4",
+      "SELECT P.PathString FROM g.Paths P "
+      "WHERE P.StartVertex.Id = 0 AND P.EndVertex.Id = 4 LIMIT 1",
+  };
+  for (const std::string& sql : queries) {
+    EXPECT_EQ(run(true, sql), run(false, sql))
+        << sql << " seed=" << GetParam().seed;
+  }
+  session_.options().default_traversal = PlannerOptions::Traversal::kAuto;
+  session_.options().enable_frontier_bfs = true;
+  session_.options().frontier_min_batch = 32;
+}
+
+TEST_P(PathSemanticsTest, FrontierBfsStableUnderParallelism) {
+  // Unlike the per-path fan-out (which the planner must disable for LIMIT
+  // and visited-once plans), the frontier kernel's deterministic level merge
+  // makes results byte-identical at any worker count — including the
+  // reachability fast path and bare-LIMIT queries.
+  session_.options().default_traversal = PlannerOptions::Traversal::kBfs;
+  session_.options().frontier_min_batch = 1;
+  auto run = [&](size_t parallelism, const std::string& sql) {
+    session_.options().max_parallelism = parallelism;
+    session_.options().parallel_min_rows = 1;
+    session_.options().parallel_min_starts = 1;
+    auto result = session_.Execute(sql);
+    session_.options().max_parallelism = 0;
+    session_.options().parallel_min_rows = 2048;
+    session_.options().parallel_min_starts = 8;
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<std::string> out;
+    if (result.ok()) {
+      for (const auto& row : result->rows) {
+        std::string key;
+        for (const Value& v : row) key += v.ToString() + "|";
+        out.push_back(std::move(key));
+      }
+    }
+    return out;
+  };
+  const std::vector<std::string> queries = {
+      "SELECT P.PathString FROM g.Paths P WHERE P.Length <= 3",
+      "SELECT P.PathString FROM g.Paths P WHERE P.Length <= 3 LIMIT 5",
+      "SELECT P.PathString FROM g.Paths P "
+      "WHERE P.StartVertex.Id = 0 AND P.EndVertex.Id = 4 LIMIT 1",
+  };
+  for (const std::string& sql : queries) {
+    auto serial = run(1, sql);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(run(4, sql), serial) << sql << " seed=" << GetParam().seed;
+    }
+  }
+  session_.options().default_traversal = PlannerOptions::Traversal::kAuto;
+  session_.options().frontier_min_batch = 32;
+}
+
+TEST_P(PathSemanticsTest, FrontierKernelShowsInPlanAndKnobDisablesIt) {
+  session_.options().default_traversal = PlannerOptions::Traversal::kBfs;
+  auto plan_for = [&](bool enabled, size_t min_batch) {
+    session_.options().enable_frontier_bfs = enabled;
+    session_.options().frontier_min_batch = min_batch;
+    auto result = session_.Execute(
+        "EXPLAIN SELECT P.PathString FROM g.Paths P WHERE P.Length <= 2");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::string plan;
+    if (result.ok()) {
+      for (const auto& row : result->rows) plan += row[0].AsVarchar() + "\n";
+    }
+    return plan;
+  };
+  EXPECT_NE(plan_for(true, 1).find(", frontier"), std::string::npos);
+  EXPECT_EQ(plan_for(false, 1).find(", frontier"), std::string::npos);
+  EXPECT_EQ(plan_for(true, 1 << 20).find(", frontier"), std::string::npos);
+  session_.options().default_traversal = PlannerOptions::Traversal::kAuto;
+  session_.options().enable_frontier_bfs = true;
+  session_.options().frontier_min_batch = 32;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     RandomGraphs, PathSemanticsTest,
     ::testing::Values(RandomGraphSpec{101, 8, 14, true},

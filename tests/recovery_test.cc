@@ -159,9 +159,30 @@ TEST_F(RecoveryTest, GraphViewRebuiltFromRecoveredTables) {
   Database reference;
   ASSERT_TRUE(reference.ExecuteScript(script).ok());
   // Topology counters and a traversal must match a from-scratch build.
-  const std::string sizes = "SELECT VERTEXES, EDGES FROM SYS.GRAPH_VIEWS";
-  EXPECT_EQ(DumpSorted(recovered, "SYS.GRAPH_VIEWS"),
-            DumpSorted(reference, "SYS.GRAPH_VIEWS"));
+  // Compare only the logical columns: physical-representation columns
+  // (TOPOLOGY/CSR_BYTES/FOLDS) legitimately differ — the reference still
+  // carries the post-INSERT delta overlay, while recovery rebuilt the view
+  // from the recovered base tables.
+  const std::string sizes =
+      "SELECT NAME, DIRECTED, VERTEXES, EDGES FROM SYS.GRAPH_VIEWS";
+  auto dump_sizes = [&](Database& db) {
+    auto result = db.Execute(sizes);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<std::string> rows;
+    if (result.ok()) {
+      for (const auto& row : result->rows) {
+        std::string s;
+        for (const Value& v : row) {
+          s += v.ToString();
+          s += "|";
+        }
+        rows.push_back(std::move(s));
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(dump_sizes(recovered), dump_sizes(reference));
   const std::string paths =
       "SELECT PS.PathString FROM Net.Paths PS "
       "WHERE PS.StartVertex.ID = 1 AND PS.Length = 2";

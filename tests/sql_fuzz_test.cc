@@ -695,6 +695,409 @@ TEST(GraphDiffFuzzEnvTest, EnvironmentSeedSweep) {
 }
 
 // ---------------------------------------------------------------------------
+// Frontier-kernel differential fuzz
+//
+// The level-synchronous frontier BFS operator must be observationally
+// indistinguishable from the per-path BFS engine: identical result multisets
+// always, and identical row order wherever BFS order is guaranteed (which is
+// everywhere — the frontier merge replicates the serial claim order exactly,
+// including under LIMIT and morsel parallelism). Two sweeps:
+//
+//  * RunFrontierDifferentialSweep: random graph, random BFS-shaped queries
+//    run three ways (frontier off / frontier on serial / frontier on
+//    parallel) against each other and the brute-force reference, with random
+//    DML interleaved so queries alternate between the pure-CSR bitmap path
+//    and the delta-overlay hash path.
+//  * RunFrontierSnapshotSweep: a writer thread churns edges in a component
+//    disjoint from the queried one (and excluded by a rank predicate), so
+//    every snapshot a reader can take must answer the fixed golden rows —
+//    with either kernel — while commits trigger delta folds underneath.
+// ---------------------------------------------------------------------------
+
+void RunFrontierDifferentialSweep(uint64_t seed, int trials) {
+  SCOPED_TRACE(StrFormat("frontier-diff seed=%llu",
+                         static_cast<unsigned long long>(seed)));
+  Random rng(seed);
+  DiffGraph graph;
+  graph.n = rng.Uniform(6, 12);
+  graph.directed = rng.Bernoulli(0.5);
+  int64_t target_edges = rng.Uniform(graph.n, 3 * graph.n);
+
+  Database db;
+  Session session(db);
+  ASSERT_TRUE(session.ExecuteScript(R"sql(
+    CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
+    CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
+                    w DOUBLE, rank BIGINT);
+  )sql")
+                  .ok());
+  std::vector<std::vector<Value>> vrows;
+  for (int64_t i = 0; i < graph.n; ++i) {
+    vrows.push_back({Value::BigInt(i), Value::Varchar("v")});
+  }
+  ASSERT_TRUE(db.BulkInsert("v", vrows).ok());
+  std::set<std::pair<int64_t, int64_t>> used;
+  std::vector<std::vector<Value>> erows;
+  int64_t next_edge_id = 0;
+  while (next_edge_id < target_edges &&
+         used.size() < static_cast<size_t>(graph.n * (graph.n - 1))) {
+    int64_t s = rng.Uniform(0, graph.n - 1);
+    int64_t d = rng.Uniform(0, graph.n - 1);
+    if (s == d || !used.insert({s, d}).second) continue;
+    double w = 0.5 + rng.NextDouble() * 4.0;
+    int64_t rank = rng.Uniform(0, 99);
+    graph.edges.push_back(DiffEdge{next_edge_id, s, d, w, rank});
+    erows.push_back({Value::BigInt(next_edge_id), Value::BigInt(s),
+                     Value::BigInt(d), Value::Double(w),
+                     Value::BigInt(rank)});
+    ++next_edge_id;
+  }
+  ASSERT_TRUE(db.BulkInsert("e", erows).ok());
+  const char* kind = graph.directed ? "DIRECTED" : "UNDIRECTED";
+  ASSERT_TRUE(session.ExecuteScript(StrFormat(
+                  "CREATE %s GRAPH VIEW g VERTEXES (ID = id, name = name) "
+                  "FROM v EDGES (ID = id, FROM = src, TO = dst, w = w, "
+                  "rank = rank) FROM e;",
+                  kind))
+                  .ok());
+
+  session.options().default_traversal = PlannerOptions::Traversal::kBfs;
+  session.options().frontier_min_batch = 1;
+  auto run = [&](const std::string& sql, bool frontier, size_t parallelism) {
+    session.options().enable_frontier_bfs = frontier;
+    session.options().max_parallelism = parallelism;
+    session.options().parallel_min_rows = 1;
+    session.options().parallel_min_starts = 1;
+    auto result = session.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result;
+  };
+
+  // The sweep must actually exercise the frontier operator, not silently
+  // compare the per-path engine against itself.
+  {
+    auto plan = run("EXPLAIN SELECT P.PathString FROM g.Paths P "
+                    "WHERE P.Length <= 2",
+                    /*frontier=*/true, /*parallelism=*/1);
+    ASSERT_TRUE(plan.ok());
+    std::string text;
+    for (const auto& row : plan->rows) text += row[0].AsVarchar() + "\n";
+    ASSERT_NE(text.find(", frontier"), std::string::npos) << text;
+  }
+
+  std::vector<int64_t> all_vertexes;
+  for (int64_t i = 0; i < graph.n; ++i) all_vertexes.push_back(i);
+
+  for (int trial = 0; trial < trials; ++trial) {
+    SCOPED_TRACE(StrFormat("trial=%d", trial));
+    // Random DML between queries: the view alternates between pure-CSR
+    // (fresh fold or untouched base) and delta-overlay state, so both the
+    // bitmap and the hash-set visited paths of the kernel get coverage.
+    const int edits = static_cast<int>(rng.Uniform(0, 2));
+    for (int i = 0; i < edits; ++i) {
+      if (!graph.edges.empty() && rng.Bernoulli(0.4)) {
+        size_t at = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(graph.edges.size()) - 1));
+        const DiffEdge victim = graph.edges[at];
+        ASSERT_TRUE(session
+                        .Execute(StrFormat(
+                            "DELETE FROM e WHERE id = %lld",
+                            static_cast<long long>(victim.id)))
+                        .ok());
+        used.erase({victim.src, victim.dst});
+        graph.edges.erase(graph.edges.begin() +
+                          static_cast<std::ptrdiff_t>(at));
+      } else {
+        int64_t s = rng.Uniform(0, graph.n - 1);
+        int64_t d = rng.Uniform(0, graph.n - 1);
+        if (s == d || !used.insert({s, d}).second) continue;
+        double w = 0.5 + rng.NextDouble() * 4.0;
+        int64_t rank = rng.Uniform(0, 99);
+        int64_t id = 100000 + next_edge_id++;
+        ASSERT_TRUE(
+            session
+                .Execute(StrFormat(
+                    "INSERT INTO e VALUES (%lld, %lld, %lld, %f, %lld)",
+                    static_cast<long long>(id), static_cast<long long>(s),
+                    static_cast<long long>(d), w,
+                    static_cast<long long>(rank)))
+                .ok());
+        graph.edges.push_back(DiffEdge{id, s, d, w, rank});
+      }
+    }
+
+    DiffQuery q;
+    q.max_len = static_cast<size_t>(rng.Uniform(1, 3));
+    q.min_len = rng.Bernoulli(0.5)
+                    ? q.max_len
+                    : static_cast<size_t>(rng.Uniform(1, q.max_len));
+    std::vector<std::string> conjuncts;
+    if (q.min_len == q.max_len) {
+      conjuncts.push_back(StrFormat("P.Length = %zu", q.max_len));
+    } else {
+      if (q.min_len > 1) {
+        conjuncts.push_back(StrFormat("P.Length >= %zu", q.min_len));
+      }
+      conjuncts.push_back(StrFormat("P.Length <= %zu", q.max_len));
+    }
+    if (rng.Bernoulli(0.6)) {
+      q.starts = all_vertexes;
+    } else {
+      int64_t s = rng.Uniform(0, graph.n - 1);
+      q.starts = {s};
+      conjuncts.push_back(StrFormat("P.StartVertex.Id = %lld",
+                                    static_cast<long long>(s)));
+    }
+    if (rng.Bernoulli(0.5)) {
+      q.rank_below = rng.Uniform(10, 90);
+      conjuncts.push_back(StrFormat("P.Edges[0..*].rank < %lld",
+                                    static_cast<long long>(*q.rank_below)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      q.end_vertex = rng.Uniform(0, graph.n - 1);
+      conjuncts.push_back(StrFormat("P.EndVertex.Id = %lld",
+                                    static_cast<long long>(*q.end_vertex)));
+    }
+    q.sql = "SELECT P.StartVertex.Id, P.PathString FROM g.Paths P WHERE ";
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (i > 0) q.sql += " AND ";
+      q.sql += conjuncts[i];
+    }
+    // LIMIT exercises the frontier's qualify-before-expand early exit; the
+    // brute-force reference does not model it, so those trials compare the
+    // kernels against each other only.
+    const bool limited = rng.Bernoulli(0.3);
+    if (limited) {
+      q.sql += StrFormat(" LIMIT %lld",
+                         static_cast<long long>(rng.Uniform(1, 5)));
+    }
+    SCOPED_TRACE(q.sql);
+
+    auto off = run(q.sql, /*frontier=*/false, /*parallelism=*/1);
+    auto on1 = run(q.sql, /*frontier=*/true, /*parallelism=*/1);
+    auto on4 = run(q.sql, /*frontier=*/true, /*parallelism=*/4);
+    ASSERT_TRUE(off.ok() && on1.ok() && on4.ok());
+    EXPECT_EQ(DiffOrdered(*on1), DiffOrdered(*off))
+        << "frontier kernel diverges from per-path BFS";
+    EXPECT_EQ(DiffOrdered(*on4), DiffOrdered(*on1))
+        << "parallel frontier diverges from serial frontier";
+    if (!limited) {
+      EXPECT_EQ(DiffCanon(*off), DiffReference(graph, q))
+          << "per-path BFS diverges from reference";
+    }
+  }
+
+  session.options() = PlannerOptions();
+}
+
+/// Writer churns edges confined to a noise component (vertexes 100+, rank
+/// 100) while readers repeatedly answer queries over the core component
+/// (vertexes 0..9, rank 0) with both kernels. Every query carries a
+/// rank-based predicate and the components share no edges, so the correct
+/// answer is identical at every snapshot: any divergence from the golden
+/// rows means a kernel read torn topology. After the threads quiesce the
+/// test forces a delta fold and re-checks both kernels against the rebuilt
+/// CSR base.
+void RunFrontierSnapshotSweep(uint64_t seed, int trials) {
+  SCOPED_TRACE(StrFormat("frontier-snapshot seed=%llu",
+                         static_cast<unsigned long long>(seed)));
+  Random rng(seed);
+  Database db;
+  Session session(db);
+  ASSERT_TRUE(session.ExecuteScript(R"sql(
+    CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
+    CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
+                    w DOUBLE, rank BIGINT);
+  )sql")
+                  .ok());
+  std::vector<std::vector<Value>> vrows;
+  for (int64_t i = 0; i < 10; ++i) {
+    vrows.push_back({Value::BigInt(i), Value::Varchar("core")});
+  }
+  for (int64_t i = 100; i < 106; ++i) {
+    vrows.push_back({Value::BigInt(i), Value::Varchar("noise")});
+  }
+  ASSERT_TRUE(db.BulkInsert("v", vrows).ok());
+  std::vector<std::vector<Value>> erows;
+  for (int64_t i = 0; i < 10; ++i) {  // Ring plus chords: branchy BFS.
+    erows.push_back({Value::BigInt(i), Value::BigInt(i),
+                     Value::BigInt((i + 1) % 10), Value::Double(1.0),
+                     Value::BigInt(0)});
+    erows.push_back({Value::BigInt(10 + i), Value::BigInt(i),
+                     Value::BigInt((i + 3) % 10), Value::Double(1.0),
+                     Value::BigInt(0)});
+  }
+  ASSERT_TRUE(db.BulkInsert("e", erows).ok());
+  const char* kind = rng.Bernoulli(0.5) ? "DIRECTED" : "UNDIRECTED";
+  ASSERT_TRUE(session.ExecuteScript(StrFormat(
+                  "CREATE %s GRAPH VIEW g VERTEXES (ID = id, name = name) "
+                  "FROM v EDGES (ID = id, FROM = src, TO = dst, w = w, "
+                  "rank = rank) FROM e;",
+                  kind))
+                  .ok());
+
+  const std::vector<std::string> queries = {
+      "SELECT P.StartVertex.Id, P.PathString FROM g.Paths P "
+      "WHERE P.Length <= 3 AND P.Edges[0..*].rank < 50",
+      "SELECT P.StartVertex.Id, P.PathString FROM g.Paths P "
+      "WHERE P.StartVertex.Id = 0 AND P.Length <= 4 "
+      "AND P.Edges[0..*].rank < 50",
+      "SELECT P.StartVertex.Id, P.PathString FROM g.Paths P "
+      "WHERE P.StartVertex.Id = 0 AND P.EndVertex.Id = 5 "
+      "AND P.Length <= 6 AND P.Edges[0..*].rank < 50 LIMIT 1",
+      "SELECT P.StartVertex.Id, P.PathString FROM g.Paths P "
+      "WHERE P.Length = 2 AND P.Edges[0..*].rank < 50 LIMIT 9",
+  };
+
+  auto configure = [](Session* s, bool frontier, size_t parallelism) {
+    s->options().default_traversal = PlannerOptions::Traversal::kBfs;
+    s->options().frontier_min_batch = 1;
+    s->options().enable_frontier_bfs = frontier;
+    s->options().max_parallelism = parallelism;
+    s->options().parallel_min_rows = 1;
+    s->options().parallel_min_starts = 1;
+  };
+
+  std::vector<std::vector<std::string>> golden;
+  configure(&session, /*frontier=*/false, /*parallelism=*/1);
+  for (const std::string& sql : queries) {
+    auto res = session.Execute(sql);
+    ASSERT_TRUE(res.ok()) << sql << ": " << res.status().ToString();
+    golden.push_back(DiffOrdered(*res));
+  }
+  ASSERT_FALSE(golden[0].empty());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> reader_errors{0};
+  std::atomic<int> reader_violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Session s(db);
+      size_t i = static_cast<size_t>(r);
+      while (!done.load(std::memory_order_acquire)) {
+        const size_t qi = i++ % queries.size();
+        struct Mode {
+          bool frontier;
+          size_t parallelism;
+        };
+        for (const Mode& mode :
+             {Mode{false, 1}, Mode{true, 1}, Mode{true, 4}}) {
+          configure(&s, mode.frontier, mode.parallelism);
+          auto res = s.Execute(queries[qi]);
+          if (!res.ok()) {
+            ++reader_errors;
+            continue;
+          }
+          if (DiffOrdered(*res) != golden[qi]) ++reader_violations;
+        }
+      }
+    });
+  }
+
+  // Writer: transactions touching only the noise component. Commits feed
+  // the engine's fold-and-vacuum pressure, so delta folds (CSR re-snapshots)
+  // race the readers above.
+  {
+    Session writer(db);
+    std::set<int64_t> noise_ids;
+    int64_t next_id = 1000;
+    for (int trial = 0; trial < trials; ++trial) {
+      ASSERT_TRUE(writer.Execute("BEGIN").ok());
+      const int stmts = static_cast<int>(rng.Uniform(1, 4));
+      for (int i = 0; i < stmts; ++i) {
+        if (!noise_ids.empty() && rng.Bernoulli(0.35)) {
+          auto it = noise_ids.begin();
+          std::advance(it, static_cast<size_t>(rng.Uniform(
+                               0, static_cast<int64_t>(noise_ids.size()) -
+                                      1)));
+          auto res = writer.Execute(StrFormat(
+              "DELETE FROM e WHERE id = %lld", static_cast<long long>(*it)));
+          ASSERT_TRUE(res.ok()) << res.status().ToString();
+          noise_ids.erase(it);
+        } else {
+          int64_t s = 100 + rng.Uniform(0, 5);
+          int64_t d = 100 + rng.Uniform(0, 5);
+          if (s == d) d = 100 + (d - 99) % 6;
+          int64_t id = next_id++;
+          auto res = writer.Execute(StrFormat(
+              "INSERT INTO e VALUES (%lld, %lld, %lld, 1.0, 100)",
+              static_cast<long long>(id), static_cast<long long>(s),
+              static_cast<long long>(d)));
+          ASSERT_TRUE(res.ok()) << res.status().ToString();
+          noise_ids.insert(id);
+        }
+      }
+      if (rng.Bernoulli(0.15)) {
+        ASSERT_TRUE(writer.Execute("ABORT").ok());
+      } else {
+        ASSERT_TRUE(writer.Execute("COMMIT").ok());
+      }
+    }
+  }
+
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(reader_violations.load(), 0)
+      << "a kernel observed topology the snapshot should not contain";
+
+  // Force at least one fold now that the readers are gone (the fold lock is
+  // best-effort under reader pressure), then verify both kernels against
+  // the re-snapshotted CSR base.
+  GraphView* gv = db.catalog().FindGraphView("g");
+  ASSERT_NE(gv, nullptr);
+  const size_t folds_before = gv->Folds();
+  int64_t filler = 500000;
+  for (int i = 0; i < 400 && gv->Folds() == folds_before; ++i) {
+    ASSERT_TRUE(session
+                    .Execute(StrFormat(
+                        "INSERT INTO e VALUES (%lld, 100, 101, 1.0, 100)",
+                        static_cast<long long>(filler++)))
+                    .ok());
+  }
+  ASSERT_GT(gv->Folds(), folds_before)
+      << "commit pressure never triggered a delta fold";
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (bool frontier : {false, true}) {
+      configure(&session, frontier, /*parallelism=*/1);
+      auto res = session.Execute(queries[qi]);
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      EXPECT_EQ(DiffOrdered(*res), golden[qi])
+          << queries[qi] << " diverges after fold (frontier="
+          << frontier << ")";
+    }
+  }
+}
+
+class FrontierDiffFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FrontierDiffFuzzTest, FrontierMatchesPerPathAndReference) {
+  RunFrontierDifferentialSweep(GetParam(), /*trials=*/18);
+}
+
+TEST_P(FrontierDiffFuzzTest, FrontierStableUnderConcurrentFolds) {
+  RunFrontierSnapshotSweep(GetParam() ^ 0x9e3779b97f4a7c15ull,
+                           /*trials=*/30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontierDiffFuzzTest,
+                         ::testing::Values(71, 72, 73, 74),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Environment-seeded frontier sweep: CI rolls a fresh seed per run.
+TEST(FrontierDiffFuzzEnvTest, EnvironmentSeedSweep) {
+  uint64_t seed = 20260808;
+  if (const char* env = std::getenv("GRF_FUZZ_SEED")) {
+    seed = std::strtoull(env, nullptr, 10) + 5;  // Decorrelate from the rest.
+  }
+  RunFrontierDifferentialSweep(seed, /*trials=*/10);
+  RunFrontierSnapshotSweep(seed + 1, /*trials=*/15);
+}
+
+// ---------------------------------------------------------------------------
 // Fault-injection differential fuzz
 //
 // Random DML and SELECT statements against a database with two graph views

@@ -31,11 +31,11 @@ run_config() {
 run_graph_diff() {
   local dir="$1"
   ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiff|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation|Session|PlanCache|Prepared|Concurrency|Snapshot|Recovery|CrashRecover'
+    -R 'GraphDiff|Frontier|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation|Session|PlanCache|Prepared|Concurrency|Snapshot|Recovery|CrashRecover'
   local seed="${GRF_FUZZ_SEED:-$RANDOM$RANDOM}"
   echo "== graph differential + fault-injection suites, random seed ${seed} =="
   GRF_FUZZ_SEED="$seed" ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiffFuzzEnvTest|FaultInjectionFuzzEnvTest|PlanCacheChurnFuzzEnvTest|SnapshotFuzzEnvTest|CrashRecoverFuzzEnvTest'
+    -R 'GraphDiffFuzzEnvTest|FrontierDiffFuzzEnvTest|FaultInjectionFuzzEnvTest|PlanCacheChurnFuzzEnvTest|SnapshotFuzzEnvTest|CrashRecoverFuzzEnvTest'
 }
 
 echo "== tier-1 (RelWithDebInfo) =="
