@@ -1,0 +1,344 @@
+// Multi-process load driver for the wire-protocol server.
+//
+// The parent forks N client processes FIRST (so no engine threads exist at
+// fork time), then opens a durable Database (WAL group commit) and starts an
+// in-process Server on an ephemeral port. Each child connects over TCP and
+// runs a mixed workload — 90% point SELECTs through a prepared statement,
+// 10% single-row INSERTs — until the deadline, then ships its latency log
+// back through a pipe. The parent merges everything and writes QPS plus
+// p50/p99 latency to BENCH_server.json.
+//
+// Env knobs: GRF_SERVER_LOAD_CLIENTS (default 4), GRF_SERVER_LOAD_SECONDS
+// (default 2), GRF_SERVER_LOAD_ROWS (default 10000).
+//
+// Exit status is non-zero when any query fails: the run doubles as the
+// "sustains a mixed read/write load with zero errors" acceptance check.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "engine/session.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/wal.h"
+
+namespace {
+
+using grfusion::Client;
+using grfusion::Database;
+using grfusion::ResultSet;
+using grfusion::Status;
+using grfusion::StatusOr;
+using grfusion::Value;
+
+int64_t EnvI64(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoll(v);
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ChildReport {
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  std::vector<uint32_t> latencies_us;
+};
+
+bool WriteAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    ssize_t n = ::read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Child body: never touches the Database, only the wire. Reads the port
+/// from `port_fd`, runs the workload, writes the report to `report_fd`.
+int RunClient(int index, int port_fd, int report_fd, int64_t seconds,
+              int64_t table_rows) {
+  uint16_t port = 0;
+  if (!ReadAll(port_fd, &port, sizeof(port))) return 1;
+  ::close(port_fd);
+
+  Client client;
+  Status connected = Status::OK();
+  // The server may still be warming up when the port arrives; retry briefly.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    connected = client.Connect("127.0.0.1", port);
+    if (connected.ok()) break;
+    ::usleep(20 * 1000);
+  }
+  ChildReport report;
+  if (!connected.ok()) {
+    std::fprintf(stderr, "client %d: connect failed: %s\n", index,
+                 connected.message().c_str());
+    report.errors = 1;
+  }
+
+  uint64_t insert_key = 1'000'000'000ull + static_cast<uint64_t>(index) *
+                                               100'000'000ull;
+  if (connected.ok()) {
+    StatusOr<uint64_t> point = client.Prepare(
+        "SELECT name, score FROM load_t WHERE id = ?");
+    if (!point.ok()) {
+      std::fprintf(stderr, "client %d: prepare failed: %s\n", index,
+                   point.status().message().c_str());
+      ++report.errors;
+    } else {
+      std::mt19937_64 rng(0x5eed0000u + static_cast<unsigned>(index));
+      std::uniform_int_distribution<int64_t> key(1, table_rows);
+      std::uniform_int_distribution<int> op(0, 9);
+      const int64_t deadline = NowUs() + seconds * 1'000'000;
+      while (NowUs() < deadline) {
+        const bool is_write = op(rng) == 0;  // 10% DML.
+        const int64_t t0 = NowUs();
+        Status s;
+        if (is_write) {
+          const uint64_t k = insert_key++;
+          StatusOr<ResultSet> r = client.Query(grfusion::StrFormat(
+              "INSERT INTO load_t VALUES (%llu, 'w%d', %d)",
+              static_cast<unsigned long long>(k), index,
+              static_cast<int>(k % 1000)));
+          s = r.status();
+        } else {
+          StatusOr<ResultSet> r =
+              client.Execute(*point, {Value::BigInt(key(rng))});
+          if (r.ok() && r->NumRows() != 1) {
+            s = Status::Internal("point lookup returned " +
+                                 std::to_string(r->NumRows()) + " rows");
+          } else {
+            s = r.status();
+          }
+        }
+        const int64_t dt = NowUs() - t0;
+        if (!s.ok()) {
+          std::fprintf(stderr, "client %d: %s\n", index,
+                       s.message().c_str());
+          ++report.errors;
+          if (!client.connected()) break;  // Socket gone; stop the run.
+        } else {
+          ++report.ops;
+          report.latencies_us.push_back(
+              static_cast<uint32_t>(std::min<int64_t>(dt, UINT32_MAX)));
+        }
+      }
+    }
+  }
+
+  uint64_t nlat = report.latencies_us.size();
+  bool sent = WriteAll(report_fd, &report.ops, sizeof(report.ops)) &&
+              WriteAll(report_fd, &report.errors, sizeof(report.errors)) &&
+              WriteAll(report_fd, &nlat, sizeof(nlat)) &&
+              WriteAll(report_fd, report.latencies_us.data(),
+                       nlat * sizeof(uint32_t));
+  ::close(report_fd);
+  return sent && report.errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t clients = EnvI64("GRF_SERVER_LOAD_CLIENTS", 4);
+  const int64_t seconds = EnvI64("GRF_SERVER_LOAD_SECONDS", 2);
+  const int64_t table_rows = EnvI64("GRF_SERVER_LOAD_ROWS", 10'000);
+
+  char dir_template[] = "/tmp/grf_server_load.XXXXXX";
+  const char* data_dir = ::mkdtemp(dir_template);
+  if (data_dir == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+
+  // Fork the fleet before any engine thread exists.
+  struct Child {
+    pid_t pid = -1;
+    int port_wr = -1;
+    int report_rd = -1;
+  };
+  std::vector<Child> fleet;
+  for (int i = 0; i < clients; ++i) {
+    int port_pipe[2];
+    int report_pipe[2];
+    if (::pipe(port_pipe) != 0 || ::pipe(report_pipe) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      ::close(port_pipe[1]);
+      ::close(report_pipe[0]);
+      for (const Child& c : fleet) {  // Siblings' fds inherited by fork.
+        ::close(c.port_wr);
+        ::close(c.report_rd);
+      }
+      ::_exit(RunClient(i, port_pipe[0], report_pipe[1], seconds,
+                        table_rows));
+    }
+    ::close(port_pipe[0]);
+    ::close(report_pipe[1]);
+    fleet.push_back({pid, port_pipe[1], report_pipe[0]});
+  }
+
+  // Durable database: WAL with group commit, like a production deployment.
+  grfusion::DurabilityOptions durability;
+  durability.data_dir = data_dir;
+  durability.sync = grfusion::WalSyncMode::kGroup;
+  Database db(grfusion::PlannerOptions(), durability);
+  {
+    grfusion::Session session(db);
+    Status s = session
+                   .Execute(
+                       "CREATE TABLE load_t (id BIGINT PRIMARY KEY, "
+                       "name VARCHAR, score BIGINT)")
+                   .status();
+    if (!s.ok()) {
+      std::fprintf(stderr, "setup: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(static_cast<size_t>(table_rows));
+    for (int64_t i = 1; i <= table_rows; ++i) {
+      rows.push_back({Value::BigInt(i), Value::Varchar("n" + std::to_string(i)),
+                      Value::BigInt(i % 1000)});
+    }
+    s = db.BulkInsert("load_t", rows);
+    if (!s.ok()) {
+      std::fprintf(stderr, "load: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+
+  grfusion::ServerOptions opts;
+  opts.max_concurrent_queries = 8;
+  grfusion::Server server(db, opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.message().c_str());
+    return 1;
+  }
+  const uint16_t port = server.port();
+  const int64_t wall_start = NowUs();
+  for (const Child& c : fleet) {
+    WriteAll(c.port_wr, &port, sizeof(port));
+    ::close(c.port_wr);
+  }
+
+  // Collect reports.
+  uint64_t total_ops = 0;
+  uint64_t total_errors = 0;
+  std::vector<uint32_t> latencies;
+  for (const Child& c : fleet) {
+    ChildReport r;
+    uint64_t nlat = 0;
+    if (ReadAll(c.report_rd, &r.ops, sizeof(r.ops)) &&
+        ReadAll(c.report_rd, &r.errors, sizeof(r.errors)) &&
+        ReadAll(c.report_rd, &nlat, sizeof(nlat))) {
+      r.latencies_us.resize(nlat);
+      if (nlat == 0 ||
+          ReadAll(c.report_rd, r.latencies_us.data(),
+                  nlat * sizeof(uint32_t))) {
+        total_ops += r.ops;
+        total_errors += r.errors;
+        latencies.insert(latencies.end(), r.latencies_us.begin(),
+                         r.latencies_us.end());
+      } else {
+        ++total_errors;
+      }
+    } else {
+      ++total_errors;
+    }
+    ::close(c.report_rd);
+  }
+  int exit_status = 0;
+  for (const Child& c : fleet) {
+    int wstatus = 0;
+    ::waitpid(c.pid, &wstatus, 0);
+    if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) exit_status = 1;
+  }
+  const double wall_s =
+      static_cast<double>(NowUs() - wall_start) / 1'000'000.0;
+  server.Stop();
+
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double q) -> uint32_t {
+    if (latencies.empty()) return 0;
+    size_t idx = static_cast<size_t>(q * static_cast<double>(
+                                             latencies.size() - 1));
+    return latencies[idx];
+  };
+  const double qps =
+      wall_s > 0 ? static_cast<double>(total_ops) / wall_s : 0.0;
+
+  std::string json = grfusion::StrFormat(
+      "{\"clients\":%lld,\"seconds\":%lld,\"table_rows\":%lld,"
+      "\"total_ops\":%llu,\"errors\":%llu,\"qps\":%.1f,"
+      "\"p50_us\":%u,\"p99_us\":%u,\"max_us\":%u,\"durable\":true,"
+      "\"wal_sync\":\"group\"}",
+      static_cast<long long>(clients), static_cast<long long>(seconds),
+      static_cast<long long>(table_rows),
+      static_cast<unsigned long long>(total_ops),
+      static_cast<unsigned long long>(total_errors), qps, pct(0.50),
+      pct(0.99), latencies.empty() ? 0u : latencies.back());
+  std::FILE* f = std::fopen("BENCH_server.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+  }
+  std::printf("%s\n", json.c_str());
+
+  if (total_errors != 0) {
+    std::fprintf(stderr, "FAILED: %llu errors\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+  if (exit_status != 0) {
+    std::fprintf(stderr, "FAILED: client process exited non-zero\n");
+    return 1;
+  }
+  std::string cleanup = "rm -rf '" + std::string(data_dir) + "'";
+  if (std::system(cleanup.c_str()) != 0) {
+    std::fprintf(stderr, "warning: cleanup failed for %s\n", data_dir);
+  }
+  return 0;
+}

@@ -18,9 +18,10 @@ void ConstructGraphView(::benchmark::State& state, const std::string& name) {
 
   // A private database so construction can be repeated.
   Database db;
+  Session session(db);
   const std::string vt = name + "_v";
   const std::string et = name + "_e";
-  auto status = db.ExecuteScript(StrFormat(
+  auto status = session.ExecuteScript(StrFormat(
       "CREATE TABLE %s (id BIGINT PRIMARY KEY, name VARCHAR, kind VARCHAR, "
       "score DOUBLE);"
       "CREATE TABLE %s (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, "
@@ -52,7 +53,7 @@ void ConstructGraphView(::benchmark::State& state, const std::string& name) {
       et.c_str());
   size_t topology_bytes = 0;
   for (auto _ : state) {
-    auto created = db.Execute(create);
+    auto created = session.Execute(create);
     if (!created.ok()) {
       state.SkipWithError(created.status().ToString().c_str());
       return;
@@ -60,7 +61,7 @@ void ConstructGraphView(::benchmark::State& state, const std::string& name) {
     const GraphView* gv = db.catalog().FindGraphView(name);
     topology_bytes = gv->TopologyBytes();
     state.PauseTiming();
-    (void)db.Execute("DROP GRAPH VIEW " + name);
+    (void)session.Execute("DROP GRAPH VIEW " + name);
     state.ResumeTiming();
   }
   state.counters["vertexes"] = static_cast<double>(dataset.vertexes.size());
@@ -71,7 +72,7 @@ void ConstructGraphView(::benchmark::State& state, const std::string& name) {
 
 void OnlineEdgeUpdate(::benchmark::State& state, const std::string& name) {
   BenchEnv& env = BenchEnv::Get();
-  Database& db = env.grfusion();
+  Session& db = env.session();
   const Dataset& dataset = env.dataset(name);
   // Insert + delete a fresh edge between two existing vertexes per
   // iteration; both statements maintain the topology transactionally.
@@ -101,7 +102,7 @@ void OnlineEdgeUpdate(::benchmark::State& state, const std::string& name) {
 
 void OnlineAttributeUpdate(::benchmark::State& state, const std::string& name) {
   BenchEnv& env = BenchEnv::Get();
-  Database& db = env.grfusion();
+  Session& db = env.session();
   const Dataset& dataset = env.dataset(name);
   int64_t edge = dataset.edges.front().id;
   double w = 1.0;

@@ -14,6 +14,7 @@ using namespace grfusion;
 
 int main() {
   Database db;
+  grfusion::Session session(db);
   Dataset bio = MakeProteinNetwork(2000, 6, /*seed=*/11);
   Status status = LoadIntoDatabase(bio, &db);
   if (!status.ok()) {
@@ -26,7 +27,7 @@ int main() {
 
   // Reachability restricted to trusted interaction types (Listing 3).
   auto interacts = [&](long long a, long long b) {
-    auto result = db.Execute(StrFormat(
+    auto result = session.Execute(StrFormat(
         "SELECT PS.PathString FROM bio_v Pr, bio_v Pr2, bio.Paths PS "
         "WHERE Pr.id = %lld AND Pr2.id = %lld "
         "AND PS.StartVertex.Id = Pr.id AND PS.EndVertex.Id = Pr2.id "
@@ -48,7 +49,7 @@ int main() {
   interacts(3, 42);
 
   // Hub analysis on the graph view joined against relational attributes.
-  auto hubs = db.Execute(
+  auto hubs = session.Execute(
       "SELECT V.name, V.fanOut FROM bio.Vertexes V "
       "WHERE V.score > 50 ORDER BY V.fanOut DESC LIMIT 5");
   if (hubs.ok()) {
@@ -56,7 +57,7 @@ int main() {
   }
 
   // Triangle motif counting (Listing 4) — a machine-learning primitive.
-  auto motifs = db.Execute(
+  auto motifs = session.Execute(
       "SELECT COUNT(P) FROM bio.Paths P WHERE P.Length = 3 "
       "AND P.Edges[0..*].label = 'covalent' "
       "AND P.Edges[2].EndVertex = P.Edges[0].StartVertex");

@@ -18,6 +18,7 @@ using namespace grfusion;
 
 int main() {
   Database db;
+  grfusion::Session session(db);
   Dataset dblp = MakeCoauthorNetwork(3000, 14, /*seed=*/5);
   Status status = LoadIntoDatabase(dblp, &db);
   if (!status.ok()) {
@@ -65,13 +66,13 @@ int main() {
 
   // 5. Feed an algorithm result back into SQL: materialize the star's
   //    2-hop circle and join it with relational attributes.
-  Status setup = db.ExecuteScript(
+  Status setup = session.ExecuteScript(
       "CREATE TABLE circle (author BIGINT PRIMARY KEY);");
   if (setup.ok()) {
     std::vector<std::vector<Value>> rows;
     for (VertexId v : circle) rows.push_back({Value::BigInt(v)});
     (void)db.BulkInsert("circle", rows);
-    auto result = db.Execute(
+    auto result = session.Execute(
         "SELECT V.kind, COUNT(*) AS n FROM circle C, dblp.Vertexes V "
         "WHERE C.author = V.ID GROUP BY V.kind ORDER BY n DESC LIMIT 4");
     if (result.ok()) {

@@ -50,8 +50,8 @@ const char* const kDemoSchema = R"sql(
     FROM Relationships;
 )sql";
 
-void PrintStats(const Database& db) {
-  const ExecStats& s = db.last_stats();
+void PrintStats(const Session& session) {
+  const ExecStats& s = session.last_stats();
   std::printf(
       "rows scanned: %llu, rows joined: %llu, vertexes expanded: %llu,\n"
       "edges examined: %llu, paths emitted: %llu, paths pruned: %llu,\n"
@@ -63,12 +63,13 @@ void PrintStats(const Database& db) {
       static_cast<unsigned long long>(s.paths_emitted),
       static_cast<unsigned long long>(s.paths_pruned),
       static_cast<unsigned long long>(s.max_frontier),
-      static_cast<double>(db.last_peak_bytes()) / (1024.0 * 1024.0));
+      static_cast<double>(session.last_peak_bytes()) / (1024.0 * 1024.0));
 }
 
-bool HandleMeta(Database& db, const std::string& line) {
+bool HandleMeta(Session& session, const std::string& line) {
+  Database& db = session.database();
   if (line == "\\demo") {
-    Status status = db.ExecuteScript(kDemoSchema);
+    Status status = session.ExecuteScript(kDemoSchema);
     std::printf("%s\n", status.ok() ? "demo schema loaded (graph view "
                                       "'SocialNetwork')"
                                     : status.ToString().c_str());
@@ -111,7 +112,7 @@ bool HandleMeta(Database& db, const std::string& line) {
     return true;
   }
   if (line == "\\stats") {
-    PrintStats(db);
+    PrintStats(session);
     return true;
   }
   return false;
@@ -121,6 +122,7 @@ bool HandleMeta(Database& db, const std::string& line) {
 
 int main() {
   Database db;
+  Session session(db);
   std::printf(
       "GRFusion shell — graph-relational SQL. \\demo loads the paper's "
       "example;\n\\gen <road|bio|dblp|social> generates data; \\q quits.\n");
@@ -133,12 +135,12 @@ int main() {
     if (trimmed.empty()) continue;
     if (trimmed == "\\q" || trimmed == "quit" || trimmed == "exit") break;
     if (trimmed[0] == '\\') {
-      if (!HandleMeta(db, trimmed)) {
+      if (!HandleMeta(session, trimmed)) {
         std::printf("unknown meta command\n");
       }
       continue;
     }
-    auto result = db.Execute(trimmed);
+    auto result = session.Execute(trimmed);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;

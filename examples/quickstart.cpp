@@ -10,12 +10,13 @@
 
 using grfusion::Database;
 using grfusion::ResultSet;
+using grfusion::Session;
 
 namespace {
 
-void Run(Database& db, const char* title, const std::string& sql) {
+void Run(Session& session, const char* title, const std::string& sql) {
   std::printf("--- %s\n%s\n", title, sql.c_str());
-  auto result = db.Execute(sql);
+  auto result = session.Execute(sql);
   if (!result.ok()) {
     std::printf("error: %s\n\n", result.status().ToString().c_str());
     return;
@@ -27,9 +28,10 @@ void Run(Database& db, const char* title, const std::string& sql) {
 
 int main() {
   Database db;
+  Session session(db);  // All SQL goes through a session.
 
   // 1. Plain relational DDL/DML: the graph's data lives in ordinary tables.
-  auto status = db.ExecuteScript(R"sql(
+  auto status = session.ExecuteScript(R"sql(
     CREATE TABLE Users (
       uId BIGINT PRIMARY KEY, fName VARCHAR, lName VARCHAR,
       dob VARCHAR, job VARCHAR
@@ -58,7 +60,7 @@ int main() {
 
   // 2. Declare the graph view (paper Listing 1): the topology materializes
   //    in native adjacency lists; attributes stay in the tables above.
-  Run(db, "CREATE GRAPH VIEW (Listing 1)", R"sql(
+  Run(session, "CREATE GRAPH VIEW (Listing 1)", R"sql(
     CREATE UNDIRECTED GRAPH VIEW SocialNetwork
       VERTEXES (ID = uId, lstName = lName, birthdate = dob, job = job)
       FROM Users
@@ -68,38 +70,38 @@ int main() {
   )sql");
 
   // 3. Query vertexes like a table — fan-out comes from the topology.
-  Run(db, "Vertex scan (Listing 5)",
+  Run(session, "Vertex scan (Listing 5)",
       "SELECT VS.lstName, VS.fanOut FROM SocialNetwork.Vertexes VS "
       "WHERE VS.job = 'Lawyer'");
 
   // 4. Friends-of-friends: a relational table probes the traversal
   //    (paper Listing 2 / Fig. 6).
-  Run(db, "Friends-of-friends paths (Listing 2)",
+  Run(session, "Friends-of-friends paths (Listing 2)",
       "SELECT U.lName, PS.EndVertex.lstName "
       "FROM Users U, SocialNetwork.Paths PS "
       "WHERE U.job = 'Lawyer' AND PS.StartVertex.Id = U.uId "
       "AND PS.Length = 2 AND PS.Edges[0..*].sdate > '2000-01-01'");
 
   // 5. Reachability with LIMIT 1 (paper Listing 3).
-  Run(db, "Reachability (Listing 3)",
+  Run(session, "Reachability (Listing 3)",
       "SELECT PS.PathString FROM SocialNetwork.Paths PS "
       "WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 5 LIMIT 1");
 
   // 6. Top-2 closest connections by accumulated 'closeness' (Listing 6).
-  Run(db, "Top-k shortest paths (Listing 6)",
+  Run(session, "Top-k shortest paths (Listing 6)",
       "SELECT TOP 2 PS.PathString, PS.Cost "
       "FROM SocialNetwork.Paths PS HINT(SHORTESTPATH(closeness)) "
       "WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 5");
 
   // 7. Online updates flow into the topology transactionally (paper §3.3).
-  Run(db, "Online update",
+  Run(session, "Online update",
       "INSERT INTO Relationships VALUES (600, 2, 5, '2022-01-01', false, 1.0)");
-  Run(db, "Re-run reachability after update",
+  Run(session, "Re-run reachability after update",
       "SELECT PS.PathString FROM SocialNetwork.Paths PS "
       "WHERE PS.StartVertex.Id = 1 AND PS.EndVertex.Id = 5 LIMIT 1");
 
   // 8. EXPLAIN shows the cross-data-model QEP.
-  Run(db, "EXPLAIN",
+  Run(session, "EXPLAIN",
       "EXPLAIN SELECT PS.PathString FROM Users U, SocialNetwork.Paths PS "
       "WHERE U.job = 'Lawyer' AND PS.StartVertex.Id = U.uId AND "
       "PS.Length = 2");

@@ -15,6 +15,7 @@ using namespace grfusion;
 
 int main() {
   Database db;
+  grfusion::Session session(db);
   Dataset road = MakeRoadNetwork(24, 24, /*seed=*/7);
   Status status = LoadIntoDatabase(road, &db);
   if (!status.ok()) {
@@ -40,7 +41,7 @@ int main() {
         "HINT(SHORTESTPATH(weight)) "
         "WHERE PS.StartVertex.Id = %lld AND PS.EndVertex.Id = %lld%s",
         src, dst, extra.c_str());
-    auto result = db.Execute(sql);
+    auto result = session.Execute(sql);
     if (!result.ok()) {
       std::printf("%s: error %s\n", title, result.status().ToString().c_str());
       return;
@@ -62,7 +63,7 @@ int main() {
 
   // Mixed graph-relational analytics: which intersections in the busiest
   // category have the highest connectivity?
-  auto result = db.Execute(
+  auto result = session.Execute(
       "SELECT V.kind, COUNT(*) AS n, MAX(V.fanOut) AS max_deg "
       "FROM road.Vertexes V GROUP BY V.kind ORDER BY n DESC LIMIT 3");
   if (result.ok()) {

@@ -14,6 +14,7 @@ using namespace grfusion;
 
 int main() {
   Database db;
+  grfusion::Session session(db);
   Dataset social = MakeSocialNetwork(1500, 5, /*seed=*/23);
   Status status = LoadIntoDatabase(social, &db);
   if (!status.ok()) {
@@ -25,7 +26,7 @@ int main() {
               gv->NumVertexes(), gv->NumEdges());
 
   // Most-followed accounts straight off the topology (FanIn is O(1)).
-  auto influencers = db.Execute(
+  auto influencers = session.Execute(
       "SELECT V.name, V.fanIn FROM social.Vertexes V "
       "ORDER BY V.fanIn DESC LIMIT 5");
   if (influencers.ok()) {
@@ -35,7 +36,7 @@ int main() {
 
   // Two-hop recommendation: users my followees follow (friends-of-friends),
   // restricted to 'follows' edges, de-duplicated and ranked.
-  auto recs = db.Execute(
+  auto recs = session.Execute(
       "SELECT DISTINCT PS.EndVertex.name "
       "FROM social.Paths PS "
       "WHERE PS.StartVertex.Id = 42 AND PS.Length = 2 "
@@ -46,7 +47,7 @@ int main() {
   }
 
   // Influence chain: how does user 42 reach a top account?
-  auto chain = db.Execute(
+  auto chain = session.Execute(
       "SELECT PS.PathString, PS.Length FROM social.Paths PS "
       "WHERE PS.StartVertex.Id = 42 AND PS.EndVertex.Id = 3 LIMIT 1");
   if (chain.ok() && chain->NumRows() > 0) {
@@ -58,7 +59,7 @@ int main() {
   // Relational aggregation over traversal output: how many distinct users
   // are exactly 2 directed hops from each seed account?
   for (long long seed : {1, 7, 99}) {
-    auto reach2 = db.Execute(StrFormat(
+    auto reach2 = session.Execute(StrFormat(
         "SELECT COUNT(PS) FROM social.Paths PS "
         "WHERE PS.StartVertex.Id = %lld AND PS.Length = 2",
         seed));

@@ -17,7 +17,7 @@ Status Grail::Load(const Dataset& dataset) {
   if (loaded_) return Status::InvalidArgument("Grail already loaded");
   edge_table_ = dataset.name + "_gr_e";
   frontier_table_ = dataset.name + "_gr_frontier";
-  GRF_RETURN_IF_ERROR(db_.ExecuteScript(StrFormat(
+  GRF_RETURN_IF_ERROR(session_.ExecuteScript(StrFormat(
       "CREATE TABLE %s (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, "
       "weight DOUBLE, rank BIGINT);"
       "CREATE INDEX %s_src ON %s (src);"
@@ -48,7 +48,7 @@ StatusOr<std::optional<double>> Grail::ShortestPathCost(
   dist[src] = 0.0;
 
   GRF_RETURN_IF_ERROR(
-      db_.ExecuteScript("DELETE FROM " + frontier_table_ + ";"));
+      session_.ExecuteScript("DELETE FROM " + frontier_table_ + ";"));
   GRF_RETURN_IF_ERROR(db_.BulkInsert(
       frontier_table_, {{Value::BigInt(src), Value::Double(0.0)}}));
 
@@ -64,7 +64,7 @@ StatusOr<std::optional<double>> Grail::ShortestPathCost(
     // and keep the cheapest tentative distance per reached vertex.
     GRF_ASSIGN_OR_RETURN(
         ResultSet expanded,
-        db_.Execute(StrFormat(
+        session_.Execute(StrFormat(
             "SELECT e.dst, MIN(f.d + e.weight) FROM %s f, %s e "
             "WHERE f.v = e.src%s GROUP BY e.dst",
             frontier_table_.c_str(), edge_table_.c_str(), rank_pred.c_str())));
@@ -82,7 +82,7 @@ StatusOr<std::optional<double>> Grail::ShortestPathCost(
       }
     }
     GRF_RETURN_IF_ERROR(
-        db_.ExecuteScript("DELETE FROM " + frontier_table_ + ";"));
+        session_.ExecuteScript("DELETE FROM " + frontier_table_ + ";"));
     if (next.empty()) break;
     GRF_RETURN_IF_ERROR(db_.BulkInsert(frontier_table_, next));
   }
@@ -99,7 +99,7 @@ StatusOr<bool> Grail::Reachable(int64_t src, int64_t dst, size_t max_hops,
   if (src == dst) return true;
 
   GRF_RETURN_IF_ERROR(
-      db_.ExecuteScript("DELETE FROM " + frontier_table_ + ";"));
+      session_.ExecuteScript("DELETE FROM " + frontier_table_ + ";"));
   GRF_RETURN_IF_ERROR(db_.BulkInsert(
       frontier_table_, {{Value::BigInt(src), Value::Double(0.0)}}));
 
@@ -113,7 +113,7 @@ StatusOr<bool> Grail::Reachable(int64_t src, int64_t dst, size_t max_hops,
     ++last_iterations_;
     GRF_ASSIGN_OR_RETURN(
         ResultSet expanded,
-        db_.Execute(StrFormat(
+        session_.Execute(StrFormat(
             "SELECT DISTINCT e.dst FROM %s f, %s e WHERE f.v = e.src%s",
             frontier_table_.c_str(), edge_table_.c_str(), rank_pred.c_str())));
     std::vector<std::vector<Value>> next;
@@ -126,7 +126,7 @@ StatusOr<bool> Grail::Reachable(int64_t src, int64_t dst, size_t max_hops,
       }
     }
     GRF_RETURN_IF_ERROR(
-        db_.ExecuteScript("DELETE FROM " + frontier_table_ + ";"));
+        session_.ExecuteScript("DELETE FROM " + frontier_table_ + ";"));
     if (next.empty()) return false;
     GRF_RETURN_IF_ERROR(db_.BulkInsert(frontier_table_, next));
   }

@@ -49,6 +49,7 @@ class Grail {
   bool loaded_ = false;
   size_t last_iterations_ = 0;
   Database db_;
+  Session session_{db_};  ///< All translated SQL runs on this session.
 };
 
 }  // namespace grfusion

@@ -15,7 +15,7 @@ Status SqlGraph::Load(const Dataset& dataset) {
   if (loaded_) return Status::InvalidArgument("SqlGraph already loaded");
   const std::string vt = dataset.name + "_sg_v";
   edge_table_ = dataset.name + "_sg_e";
-  GRF_RETURN_IF_ERROR(db_.ExecuteScript(StrFormat(
+  GRF_RETURN_IF_ERROR(session_.ExecuteScript(StrFormat(
       "CREATE TABLE %s (id BIGINT PRIMARY KEY, name VARCHAR, kind VARCHAR, "
       "score DOUBLE);"
       "CREATE TABLE %s (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, "
@@ -73,7 +73,7 @@ StatusOr<bool> SqlGraph::ReachableAtDepth(int64_t src, int64_t dst,
     }
   }
   sql += " LIMIT 1";
-  GRF_ASSIGN_OR_RETURN(ResultSet result, db_.Execute(sql));
+  GRF_ASSIGN_OR_RETURN(ResultSet result, session_.Execute(sql));
   return result.NumRows() > 0;
 }
 
@@ -103,7 +103,7 @@ StatusOr<int64_t> SqlGraph::CountTriangles(const std::string& label0,
                        static_cast<long long>(rank_threshold));
     }
   }
-  GRF_ASSIGN_OR_RETURN(ResultSet result, db_.Execute(sql));
+  GRF_ASSIGN_OR_RETURN(ResultSet result, session_.Execute(sql));
   Value v = result.ScalarValue();
   return v.is_null() ? 0 : v.AsBigInt();
 }

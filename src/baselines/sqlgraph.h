@@ -52,13 +52,14 @@ class SqlGraph {
 
   Database& db() { return db_; }
   /// Peak intermediate-result bytes of the most recent query.
-  size_t last_peak_bytes() const { return db_.last_peak_bytes(); }
-  const ExecStats& last_stats() const { return db_.last_stats(); }
+  size_t last_peak_bytes() const { return session_.last_peak_bytes(); }
+  const ExecStats& last_stats() const { return session_.last_stats(); }
 
  private:
   std::string edge_table_;
   bool loaded_ = false;
   Database db_;
+  Session session_{db_};  ///< All translated SQL runs on this session.
 };
 
 }  // namespace grfusion

@@ -219,6 +219,14 @@ EngineMetrics::EngineMetrics() {
   mvcc_folds_total = r.GetCounter("mvcc_folds_total");
   mvcc_vacuumed_versions_total = r.GetCounter("mvcc_vacuumed_versions_total");
   trace_write_errors = r.GetCounter("trace_write_errors");
+  server_connections = r.GetGauge("server_connections");
+  server_connections_total = r.GetCounter("server_connections_total");
+  server_queries_queued = r.GetGauge("server_queries_queued");
+  server_queries_total = r.GetCounter("server_queries_total");
+  server_queries_rejected = r.GetCounter("server_queries_rejected");
+  server_cancels_total = r.GetCounter("server_cancels_total");
+  server_bytes_in = r.GetCounter("server_bytes_in");
+  server_bytes_out = r.GetCounter("server_bytes_out");
 }
 
 EngineMetrics& EngineMetrics::Get() {

@@ -187,6 +187,17 @@ struct EngineMetrics {
   /// would otherwise be swallowed silently.
   Counter* trace_write_errors;
 
+  // Network front-end (src/server). Connection/traffic accounting lives
+  // here so SYS.METRICS exposes the server alongside the engine.
+  Gauge* server_connections;        ///< Connections currently open.
+  Counter* server_connections_total;
+  Gauge* server_queries_queued;     ///< Statements waiting in admission.
+  Counter* server_queries_total;    ///< Statements the server dispatched.
+  Counter* server_queries_rejected; ///< Admission overflow / queue deadline.
+  Counter* server_cancels_total;    ///< Wire CancelRequests honored.
+  Counter* server_bytes_in;
+  Counter* server_bytes_out;
+
  private:
   EngineMetrics();
 };

@@ -3,35 +3,36 @@
 namespace grfusion {
 
 const char* StatusCodeToString(StatusCode code) {
+  // Exhaustive over the table: adding an entry to GRF_STATUS_CODES extends
+  // this switch automatically; -Wswitch catches a hand-added enumerator.
   switch (code) {
     case StatusCode::kOk:
       return "OK";
-    case StatusCode::kInvalidArgument:
-      return "InvalidArgument";
-    case StatusCode::kNotFound:
-      return "NotFound";
-    case StatusCode::kAlreadyExists:
-      return "AlreadyExists";
-    case StatusCode::kConstraintViolation:
-      return "ConstraintViolation";
-    case StatusCode::kOutOfRange:
-      return "OutOfRange";
-    case StatusCode::kResourceExhausted:
-      return "ResourceExhausted";
-    case StatusCode::kUnsupported:
-      return "Unsupported";
-    case StatusCode::kInternal:
-      return "Internal";
-    case StatusCode::kAborted:
-      return "Aborted";
-    case StatusCode::kCancelled:
-      return "Cancelled";
-    case StatusCode::kDeadlineExceeded:
-      return "DeadlineExceeded";
-    case StatusCode::kIOError:
-      return "IOError";
+#define GRF_STATUS_NAME_CASE(name, value, str) \
+  case StatusCode::name:                       \
+    return str;
+      GRF_STATUS_CODES(GRF_STATUS_NAME_CASE)
+#undef GRF_STATUS_NAME_CASE
   }
   return "Unknown";
+}
+
+int32_t StatusCodeToWire(StatusCode code) {
+  return static_cast<int32_t>(code);
+}
+
+StatusCode StatusCodeFromWire(int32_t wire_code) {
+  switch (wire_code) {
+    case 0:
+      return StatusCode::kOk;
+#define GRF_STATUS_WIRE_CASE(name, value, str) \
+  case value:                                  \
+    return StatusCode::name;
+      GRF_STATUS_CODES(GRF_STATUS_WIRE_CASE)
+#undef GRF_STATUS_WIRE_CASE
+    default:
+      return StatusCode::kInternal;
+  }
 }
 
 std::string Status::ToString() const {

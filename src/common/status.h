@@ -7,26 +7,59 @@
 
 namespace grfusion {
 
+/// The one table of engine error categories. Each entry is
+/// X(enumerator, stable-numeric-code, display-name); the numeric code is a
+/// wire-stable contract shared by the binary protocol's Error frames and the
+/// SYS.LAST_QUERY ERROR_CODE column, so remote clients branch on numbers, not
+/// message text. Codes are append-only: never renumber or reuse one.
+#define GRF_STATUS_CODES(X)                                                    \
+  /* Malformed input (bad SQL, bad parameter). */                              \
+  X(kInvalidArgument, 1, "InvalidArgument")                                    \
+  /* Named object (table, column, graph view) missing. */                      \
+  X(kNotFound, 2, "NotFound")                                                  \
+  /* CREATE of an object that already exists. */                               \
+  X(kAlreadyExists, 3, "AlreadyExists")                                        \
+  /* Referential-integrity or uniqueness violation. */                         \
+  X(kConstraintViolation, 4, "ConstraintViolation")                            \
+  /* Index or id outside its valid range. */                                   \
+  X(kOutOfRange, 5, "OutOfRange")                                              \
+  /* Memory cap / admission queue exceeded. */                                 \
+  X(kResourceExhausted, 6, "ResourceExhausted")                                \
+  /* Recognized but unimplemented construct. */                                \
+  X(kUnsupported, 7, "Unsupported")                                            \
+  /* Invariant breakage; indicates a bug. */                                   \
+  X(kInternal, 8, "Internal")                                                  \
+  /* Transaction aborted (e.g., by an integrity check). */                     \
+  X(kAborted, 9, "Aborted")                                                    \
+  /* Statement interrupted by the client (InterruptHandle/KILL). */            \
+  X(kCancelled, 10, "Cancelled")                                               \
+  /* Statement ran past its deadline (statement timeout). */                   \
+  X(kDeadlineExceeded, 11, "DeadlineExceeded")                                 \
+  /* Durable-storage failure (WAL/checkpoint I/O). */                          \
+  X(kIOError, 12, "IOError")
+
 /// Error categories used across the engine. Mirrors the coarse error classes
-/// a relational engine reports to clients.
-enum class StatusCode {
+/// a relational engine reports to clients. Enumerator values ARE the stable
+/// wire codes (see GRF_STATUS_CODES).
+enum class StatusCode : int32_t {
   kOk = 0,
-  kInvalidArgument,   ///< Malformed input (bad SQL, bad parameter).
-  kNotFound,          ///< Named object (table, column, graph view) missing.
-  kAlreadyExists,     ///< CREATE of an object that already exists.
-  kConstraintViolation,  ///< Referential-integrity or uniqueness violation.
-  kOutOfRange,        ///< Index or id outside its valid range.
-  kResourceExhausted, ///< Memory cap exceeded (e.g., join intermediate cap).
-  kUnsupported,       ///< Recognized but unimplemented construct.
-  kInternal,          ///< Invariant breakage; indicates a bug.
-  kAborted,           ///< Transaction aborted (e.g., by an integrity check).
-  kCancelled,         ///< Statement interrupted by the client (InterruptHandle).
-  kDeadlineExceeded,  ///< Statement ran past its deadline (statement timeout).
-  kIOError,           ///< Durable-storage failure (WAL/checkpoint I/O).
+#define GRF_STATUS_ENUM(name, value, str) name = value,
+  GRF_STATUS_CODES(GRF_STATUS_ENUM)
+#undef GRF_STATUS_ENUM
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
+
+/// The stable numeric wire code of `code` (0 for OK). Identical to
+/// static_cast<int32_t>(code) by construction; exists as the named seam wire
+/// serialization and SYS.* tables go through.
+int32_t StatusCodeToWire(StatusCode code);
+
+/// Maps a numeric wire code back to its StatusCode. Unknown codes (from a
+/// newer peer) conservatively decode as kInternal so they still read as
+/// errors.
+StatusCode StatusCodeFromWire(int32_t wire_code);
 
 /// Lightweight success/error result, used instead of exceptions on all engine
 /// paths. An OK status carries no message and no allocation.

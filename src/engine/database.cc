@@ -21,7 +21,6 @@ Database::Database(PlannerOptions options, DurabilityOptions durability)
     }
   }
   RegisterSystemTables();
-  compat_session_ = std::make_unique<Session>(*this);
 }
 
 Status Database::durability_status() const {
@@ -30,20 +29,6 @@ Status Database::durability_status() const {
   // Sticky WAL failure: once an append or fsync failed, the on-disk tail may
   // be torn and no later write is allowed to extend it.
   return durability_->wal()->failed_status();
-}
-
-Session& Database::CompatSession() const { return *compat_session_; }
-
-// --- Compatibility shims -----------------------------------------------------------
-
-StatusOr<ResultSet> Database::Execute(std::string_view sql) {
-  std::lock_guard<std::mutex> lock(compat_mu_);
-  return CompatSession().Execute(sql);
-}
-
-Status Database::ExecuteScript(std::string_view sql) {
-  std::lock_guard<std::mutex> lock(compat_mu_);
-  return CompatSession().ExecuteScript(sql);
 }
 
 Status Database::BulkInsert(const std::string& table_name,
@@ -125,6 +110,12 @@ Status Database::BulkInsert(const std::string& table_name,
   return status;
 }
 
+void Database::RegisterExternalVirtualTable(
+    std::unique_ptr<VirtualTable> vtable) {
+  std::unique_lock<std::shared_mutex> lock(statement_mutex_);
+  catalog_.RegisterVirtualTable(std::move(vtable));
+}
+
 void Database::MaybeFoldAndVacuum() {
   // Batched maintenance: folding delta chains and vacuuming dead versions
   // scans every table, so running it at each commit boundary would cost far
@@ -155,22 +146,6 @@ void Database::MaybeFoldAndVacuum() {
   m.mvcc_folds_total->Increment();
   m.mvcc_vacuumed_versions_total->Increment(freed);
   m.mvcc_pending_changes->Set(0);
-}
-
-InterruptHandle Database::interrupt_handle() const {
-  return CompatSession().interrupt_handle();
-}
-
-const ExecStats& Database::last_stats() const {
-  return CompatSession().last_stats();
-}
-
-size_t Database::last_peak_bytes() const {
-  return CompatSession().last_peak_bytes();
-}
-
-const QueryProfile& Database::last_profile() const {
-  return CompatSession().last_profile();
 }
 
 // --- SYS.* virtual tables -----------------------------------------------------------
@@ -205,6 +180,8 @@ void Database::RegisterSystemTables() {
     schema.AddColumn(Column("ACTUAL_ROWS", ValueType::kBigInt));
     schema.AddColumn(Column("NEXT_CALLS", ValueType::kBigInt));
     schema.AddColumn(Column("TIME_MS", ValueType::kDouble));
+    schema.AddColumn(Column("ERROR_CODE", ValueType::kBigInt));
+    schema.AddColumn(Column("ERROR", ValueType::kVarchar));
     catalog_.RegisterVirtualTable(std::make_unique<FuncVirtualTable>(
         "SYS.LAST_QUERY", std::move(schema),
         [this]() -> StatusOr<std::vector<std::vector<Value>>> {
@@ -214,6 +191,9 @@ void Database::RegisterSystemTables() {
             p = published_profile_;
           }
           std::vector<std::vector<Value>> rows;
+          // ERROR_CODE carries the stable numeric status code
+          // (GRF_STATUS_CODES) of the profiled execution — the same table
+          // the wire protocol's Error frames use.
           for (const QueryProfile::OperatorRow& op : p.operators) {
             rows.push_back({Value::Varchar(p.sql),
                             Value::BigInt(static_cast<int64_t>(p.latency_us)),
@@ -221,7 +201,20 @@ void Database::RegisterSystemTables() {
                             Value::Varchar(op.name),
                             Value::BigInt(static_cast<int64_t>(op.actual_rows)),
                             Value::BigInt(static_cast<int64_t>(op.next_calls)),
-                            Value::Double(op.time_ms)});
+                            Value::Double(op.time_ms),
+                            Value::BigInt(p.error_code),
+                            Value::Varchar(p.error)});
+          }
+          // A statement that failed before building a plan (parse/bind/DML
+          // errors) has no operator rows; surface its error code in one
+          // plan-less summary row.
+          if (rows.empty() && !p.sql.empty()) {
+            rows.push_back({Value::Varchar(p.sql),
+                            Value::BigInt(static_cast<int64_t>(p.latency_us)),
+                            Value::BigInt(0), Value::Varchar(""),
+                            Value::BigInt(0), Value::BigInt(0),
+                            Value::Double(0.0), Value::BigInt(p.error_code),
+                            Value::Varchar(p.error)});
           }
           return rows;
         }));

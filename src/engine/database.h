@@ -63,32 +63,11 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  // --- Compatibility shims -------------------------------------------------
-  // One-call statement execution on an internal session. Kept for scripts,
-  // examples, and tools that don't need per-session state; new code should
-  // create a Session. Shim calls from different threads serialize on the
-  // internal session (the pre-session behaviour).
-
-  /// Parses and executes exactly one statement on the internal session.
-  StatusOr<ResultSet> Execute(std::string_view sql);
-
-  /// Executes a ';'-separated script, discarding SELECT results.
-  Status ExecuteScript(std::string_view sql);
-
   /// Loads rows into a table without going through the parser (workload
   /// loading path; still runs constraint checks, index maintenance, and
   /// graph-view propagation).
   Status BulkInsert(const std::string& table_name,
                     const std::vector<std::vector<Value>>& rows);
-
-  /// Interrupt handle of the internal compat session (cancels statements
-  /// issued through Execute/ExecuteScript above).
-  InterruptHandle interrupt_handle() const;
-
-  /// Last-query statistics of the internal compat session.
-  const ExecStats& last_stats() const;
-  size_t last_peak_bytes() const;
-  const QueryProfile& last_profile() const;
 
   // --- Shared state --------------------------------------------------------
 
@@ -108,6 +87,13 @@ class Database {
 
   /// In-flight statements across all sessions (SYS.ACTIVE_QUERIES, KILL).
   ActiveQueryRegistry& active_queries() { return active_queries_; }
+
+  /// Registers a computed SYS.* table under the exclusive statement lock so
+  /// an external subsystem (the network server's SYS.CONNECTIONS) can add
+  /// introspection tables while sessions are executing. The table's callback
+  /// must remain valid for the database's lifetime — capture shared state,
+  /// never the (shorter-lived) registering object.
+  void RegisterExternalVirtualTable(std::unique_ptr<VirtualTable> vtable);
 
   // --- Durability -----------------------------------------------------------
 
@@ -134,9 +120,6 @@ class Database {
   /// pending-change count is small, blocking once it passes the pressure
   /// threshold so garbage cannot grow without bound under a read-heavy load.
   void MaybeFoldAndVacuum();
-
-  /// Compat-session access, created lazily under compat_mu_.
-  Session& CompatSession() const;
 
   /// Reader-writer statement lock: SELECT/EXPLAIN/DML/bulk-load shared, DDL
   /// and fold/vacuum maintenance exclusive. Sessions lock it only at
@@ -169,11 +152,6 @@ class Database {
   /// Most recent profile published by any session (backs SYS.LAST_QUERY).
   mutable std::mutex profile_mu_;
   QueryProfile published_profile_;
-
-  /// Serializes the compat shims; the underlying session takes the real
-  /// statement lock itself.
-  mutable std::mutex compat_mu_;
-  mutable std::unique_ptr<Session> compat_session_;
 };
 
 }  // namespace grfusion

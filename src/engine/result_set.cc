@@ -1,5 +1,7 @@
 #include "engine/result_set.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace grfusion {
@@ -53,6 +55,98 @@ StatusOr<std::string> ResultSet::Get<std::string>(size_t row,
   return v.AsVarchar();
 }
 
+Value RowBatch::Column::ValueAt(size_t i) const {
+  if (i < nulls.size() && nulls[i] != 0) return Value::Null();
+  switch (type) {
+    case ValueType::kBoolean:
+      return Value::Boolean(bools[i] != 0);
+    case ValueType::kBigInt:
+      return Value::BigInt(i64[i]);
+    case ValueType::kDouble:
+      return Value::Double(f64[i]);
+    case ValueType::kVarchar:
+      return Value::Varchar(str[i]);
+    case ValueType::kNull:
+      return values[i];
+  }
+  return Value::Null();
+}
+
+bool ResultSet::NextBatch(size_t max_rows, RowBatch* out) const {
+  out->columns.clear();
+  out->num_rows = 0;
+  if (batch_cursor_ >= rows.size() || max_rows == 0) return false;
+  const size_t base = batch_cursor_;
+  const size_t n = std::min(max_rows, rows.size() - base);
+  const size_t num_cols = NumColumns();
+  out->base_row = base;
+  out->num_rows = n;
+  out->columns.resize(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    RowBatch::Column& col = out->columns[c];
+    // Pick the batch's concrete type from the cells themselves: the planner's
+    // static type is a hint, but a column with mixed runtime types (static
+    // type unknown at plan time) must take the generic path.
+    ValueType type = ValueType::kNull;
+    bool uniform = true;
+    for (size_t r = 0; r < n; ++r) {
+      const Value& v = rows[base + r][c];
+      if (v.is_null()) continue;
+      if (type == ValueType::kNull) {
+        type = v.type();
+      } else if (v.type() != type) {
+        uniform = false;
+        break;
+      }
+    }
+    col.type = uniform ? type : ValueType::kNull;
+    col.nulls.assign(n, 0);
+    switch (col.type) {
+      case ValueType::kBoolean:
+        col.bools.assign(n, 0);
+        break;
+      case ValueType::kBigInt:
+        col.i64.assign(n, 0);
+        break;
+      case ValueType::kDouble:
+        col.f64.assign(n, 0.0);
+        break;
+      case ValueType::kVarchar:
+        col.str.assign(n, std::string());
+        break;
+      case ValueType::kNull:
+        col.values.assign(n, Value::Null());
+        break;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const Value& v = rows[base + r][c];
+      if (v.is_null()) {
+        col.nulls[r] = 1;
+        continue;
+      }
+      switch (col.type) {
+        case ValueType::kBoolean:
+          col.bools[r] = v.AsBoolean() ? 1 : 0;
+          break;
+        case ValueType::kBigInt:
+          col.i64[r] = v.AsBigInt();
+          break;
+        case ValueType::kDouble:
+          col.f64[r] = v.AsDouble();
+          break;
+        case ValueType::kVarchar:
+          col.str[r] = v.AsVarchar();
+          break;
+        case ValueType::kNull:
+          col.values[r] = v;
+          break;
+      }
+    }
+  }
+  batch_cursor_ = base + n;
+  return true;
+}
+
 std::string ResultSet::ToString(size_t max_rows) const {
   std::string out;
   for (size_t i = 0; i < column_names.size(); ++i) {
@@ -60,18 +154,27 @@ std::string ResultSet::ToString(size_t max_rows) const {
     out += column_names[i];
   }
   if (!column_names.empty()) out += "\n";
+  // Row iteration rides the batch accessor: drain column-typed blocks and
+  // render them row-wise, so printing and wire serialization share one path.
+  ResetBatches();
+  RowBatch batch;
   size_t shown = 0;
-  for (const auto& row : rows) {
-    if (shown++ >= max_rows) {
-      out += StrFormat("... (%zu more rows)\n", rows.size() - max_rows);
-      break;
+  bool truncated = false;
+  while (!truncated && NextBatch(64, &batch)) {
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      if (shown++ >= max_rows) {
+        out += StrFormat("... (%zu more rows)\n", rows.size() - max_rows);
+        truncated = true;
+        break;
+      }
+      for (size_t c = 0; c < batch.columns.size(); ++c) {
+        if (c > 0) out += " | ";
+        out += batch.columns[c].ValueAt(r).ToString();
+      }
+      out += "\n";
     }
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i > 0) out += " | ";
-      out += row[i].ToString();
-    }
-    out += "\n";
   }
+  ResetBatches();
   if (column_names.empty()) {
     out += StrFormat("(%zu rows affected)\n", rows_affected);
   }

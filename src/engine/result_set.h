@@ -1,6 +1,7 @@
 #ifndef GRFUSION_ENGINE_RESULT_SET_H_
 #define GRFUSION_ENGINE_RESULT_SET_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,36 @@
 #include "common/value.h"
 
 namespace grfusion {
+
+/// Column-typed block of rows sliced off a ResultSet by NextBatch(). Storage
+/// is columnar: each column carries a null bitmap plus exactly one populated
+/// typed vector selected by `type`. Columns whose non-null cells do not all
+/// share one concrete type (possible when the planner could not infer a
+/// static type) fall back to the generic `values` vector. Serializers — the
+/// wire protocol's RowBatch frames foremost — walk one typed vector at a
+/// time instead of visiting a Value per cell.
+struct RowBatch {
+  struct Column {
+    ValueType type = ValueType::kNull;  ///< kNull = generic fallback.
+    std::vector<uint8_t> nulls;         ///< 1 = NULL at that row offset.
+    // Exactly one of these is populated (length == num_rows), per `type`.
+    std::vector<uint8_t> bools;         ///< kBoolean (0/1).
+    std::vector<int64_t> i64;           ///< kBigInt.
+    std::vector<double> f64;            ///< kDouble.
+    std::vector<std::string> str;       ///< kVarchar.
+    std::vector<Value> values;          ///< Fallback (type == kNull).
+
+    /// Row-wise view of cell `i` (iteration, printing). NULL cells come back
+    /// as Value::Null() regardless of the column type.
+    Value ValueAt(size_t i) const;
+  };
+
+  size_t base_row = 0;  ///< Absolute index of this batch's first row.
+  size_t num_rows = 0;
+  std::vector<Column> columns;
+
+  bool empty() const { return num_rows == 0; }
+};
 
 /// Materialized result of one statement. SELECT fills `column_names`,
 /// `column_types`, and `rows`; DML fills `rows_affected`.
@@ -34,6 +65,17 @@ struct ResultSet {
 
   // --- Row access ---
   const std::vector<Value>& row(size_t i) const { return rows[i]; }
+
+  // --- Batch access ---
+  /// Slices the next up-to-`max_rows` rows into a column-typed block,
+  /// advancing an internal cursor. Returns false (and leaves `out` empty)
+  /// once all rows have been consumed. The cursor is independent of row
+  /// iteration; ResetBatches() rewinds it. Consumers that stream a result
+  /// out (the wire server, ToString) drain it batch by batch.
+  bool NextBatch(size_t max_rows, RowBatch* out) const;
+
+  /// Rewinds the NextBatch cursor to the first row.
+  void ResetBatches() const { batch_cursor_ = 0; }
 
   /// Range-for support: `for (const std::vector<Value>& row : result)`.
   std::vector<std::vector<Value>>::const_iterator begin() const {
@@ -62,6 +104,11 @@ struct ResultSet {
 
  private:
   StatusOr<Value> CellAs(size_t row, size_t col, ValueType target) const;
+
+  /// NextBatch() position. Mutable so read-only consumers (servers hold
+  /// const results) can stream; not synchronized — one streaming consumer
+  /// per result, like the rows vector itself.
+  mutable size_t batch_cursor_ = 0;
 };
 
 template <>

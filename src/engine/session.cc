@@ -225,6 +225,28 @@ std::string Session::CacheKey(const std::string& normalized_sql) const {
 }
 
 StatusOr<ResultSet> Session::Execute(std::string_view sql) {
+  profile_published_ = false;
+  StatusOr<ResultSet> result = ExecuteImpl(sql);
+  if (!result.ok() && !profile_published_) {
+    // The statement failed before RunPlan could profile it (parse or bind
+    // error, DML/DDL failure). Publish a plan-less profile so
+    // SYS.LAST_QUERY surfaces the stable error code for every statement the
+    // wire protocol can report one for.
+    QueryProfile profile;
+    profile.sql = NormalizeSqlWhitespace(sql);
+    profile.kind = current_kind_.empty() ? "ERROR" : current_kind_;
+    profile.session_id = id_;
+    profile.error_code = StatusCodeToWire(result.status().code());
+    profile.error = result.status().message();
+    last_profile_ = profile;
+    std::lock_guard<std::mutex> lock(db_.profile_mu_);
+    db_.published_profile_ = last_profile_;
+  }
+  return result;
+}
+
+StatusOr<ResultSet> Session::ExecuteImpl(std::string_view sql) {
+  current_kind_.clear();  // Re-set by ExecuteParsed once the kind is known.
   SampledTraceScope sampled(&active_trace_, &last_query_id_);
   std::string norm = NormalizeSqlWhitespace(sql);
   std::string key = CacheKey(norm);
@@ -1517,6 +1539,10 @@ StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
     db_.statement_stats_.Record(current_sql_, ex);
   }
 
+  // RunPlan owns profile policy from here; Execute()'s plan-less error
+  // fallback must not second-guess it (in particular it must not clobber
+  // the previous profile after a failed SYS.* read).
+  profile_published_ = true;
   // Queries over SYS.* inspect the previous profile; don't clobber it.
   if (!planned.reads_system_tables) {
     QueryProfile profile;
@@ -1527,6 +1553,8 @@ StatusOr<ResultSet> Session::RunPlan(const PlannedQuery& planned,
     profile.num_params = current_num_params_;
     profile.latency_us = latency_us;
     profile.peak_bytes = ctx.peak_bytes();
+    profile.error_code = StatusCodeToWire(status.code());
+    profile.error = status.message();
     profile.stats = stats;
     CollectOperatorRows(planned.root.get(), 0, &profile.operators);
     if (slow_log_armed &&

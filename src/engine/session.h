@@ -42,6 +42,11 @@ struct QueryProfile {
   size_t num_params = 0;     ///< Bound parameter count (prepared statements).
   uint64_t latency_us = 0;
   size_t peak_bytes = 0;
+  /// Terminal status of the execution, as the stable numeric wire code
+  /// (StatusCodeToWire; 0 = OK) plus the message. SYS.LAST_QUERY exposes
+  /// both so clients can branch on the same codes the wire protocol carries.
+  int64_t error_code = 0;
+  std::string error;
   ExecStats stats;
   std::vector<OperatorRow> operators;
 
@@ -139,7 +144,9 @@ class Session {
   /// Parses and executes exactly one statement. EXPLAIN <select> renders the
   /// physical plan; EXPLAIN ANALYZE <select> executes it and annotates every
   /// operator with observed rows and timings. Statements with parameter
-  /// placeholders must go through Prepare().
+  /// placeholders must go through Prepare(). A failed statement publishes
+  /// its stable error code to SYS.LAST_QUERY even when it never built a
+  /// plan (parse/bind/DML errors).
   StatusOr<ResultSet> Execute(std::string_view sql);
 
   /// Executes a ';'-separated script, discarding SELECT results.
@@ -184,6 +191,10 @@ class Session {
 
   /// Builds this session's plan-cache key for a normalized statement.
   std::string CacheKey(const std::string& normalized_sql) const;
+
+  /// Execute() body; the public wrapper adds error-profile publication for
+  /// failures that never reach RunPlan (parse, bind, DML/DDL errors).
+  StatusOr<ResultSet> ExecuteImpl(std::string_view sql);
 
   /// Dispatches one parsed statement under the appropriate lock mode.
   /// `cache_key` is non-null for top-level single SELECTs (enables the plan
@@ -302,6 +313,9 @@ class Session {
   ExecStats last_stats_;
   size_t last_peak_bytes_ = 0;
   QueryProfile last_profile_;
+  /// True once the current top-level statement published a profile (RunPlan
+  /// did it); Execute()'s error fallback then leaves it alone.
+  bool profile_published_ = false;
   std::string current_sql_;   ///< Statement text being executed (for traces).
   std::string current_kind_;  ///< Statement kind ("SELECT", "INSERT", ...).
   size_t current_num_params_ = 0;   ///< Bound parameters of this execution.

@@ -1,0 +1,288 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace grfusion {
+
+namespace {
+
+/// Opens a TCP connection to host:port (IPv4 dotted-quad).
+StatusOr<int> Dial(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + ::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable server address '" + host +
+                                   "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status s = Status::IOError(std::string("connect: ") + ::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      conn_id_(other.conn_id_),
+      cancel_secret_(other.cancel_secret_),
+      last_stats_(other.last_stats_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    conn_id_ = other.conn_id_;
+    cancel_secret_ = other.cancel_secret_;
+    last_stats_ = other.last_stats_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect(
+    const std::string& host, uint16_t port,
+    std::vector<std::pair<std::string, std::string>> options) {
+  Close();
+  StatusOr<int> fd = Dial(host, port);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+
+  wire::Hello hello;
+  hello.options = std::move(options);
+  wire::Writer w;
+  Encode(hello, &w);
+  Status sent = wire::WriteFrame(fd_, wire::MsgType::kHello, w.buf());
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+
+  wire::MsgType type;
+  std::string payload;
+  Status read = wire::ReadFrame(fd_, wire::kMaxFrameBytes, &type, &payload);
+  if (!read.ok()) {
+    Close();
+    return read;
+  }
+  wire::Reader r(payload);
+  if (type == wire::MsgType::kError) {
+    wire::ErrorMsg err;
+    Status decoded = Decode(&r, &err);
+    Close();
+    return decoded.ok() ? err.ToStatus()
+                        : Status::IOError("undecodable handshake error frame");
+  }
+  if (type != wire::MsgType::kHelloOk) {
+    Close();
+    return Status::IOError("unexpected handshake reply frame");
+  }
+  wire::HelloOk ok;
+  Status decoded = Decode(&r, &ok);
+  if (!decoded.ok()) {
+    Close();
+    return decoded;
+  }
+  conn_id_ = ok.conn_id;
+  cancel_secret_ = ok.cancel_secret;
+  return Status::OK();
+}
+
+Status Client::SendFrame(wire::MsgType type, const std::string& payload) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  Status sent = wire::WriteFrame(fd_, type, payload);
+  if (!sent.ok()) Close();  // A half-written frame poisons the stream.
+  return sent;
+}
+
+StatusOr<ResultSet> Client::RoundTrip(wire::MsgType type,
+                                      const std::string& payload) {
+  Status sent = SendFrame(type, payload);
+  if (!sent.ok()) return sent;
+
+  ResultSet result;
+  bool have_header = false;
+  for (;;) {
+    wire::MsgType reply;
+    std::string body;
+    Status read = wire::ReadFrame(fd_, wire::kMaxFrameBytes, &reply, &body);
+    if (!read.ok()) {
+      Close();
+      return read;
+    }
+    wire::Reader r(body);
+    switch (reply) {
+      case wire::MsgType::kResultHeader: {
+        wire::ResultHeader header;
+        Status decoded = Decode(&r, &header);
+        if (!decoded.ok()) {
+          Close();
+          return decoded;
+        }
+        result.column_names = std::move(header.names);
+        result.column_types = std::move(header.types);
+        have_header = true;
+        break;
+      }
+      case wire::MsgType::kRowBatch: {
+        if (!have_header) {
+          Close();
+          return Status::IOError("row batch before result header");
+        }
+        Status decoded = wire::DecodeRowBatch(&r, result.column_names.size(),
+                                              &result.rows);
+        if (!decoded.ok()) {
+          Close();
+          return decoded;
+        }
+        break;
+      }
+      case wire::MsgType::kDone: {
+        wire::Done done;
+        Status decoded = Decode(&r, &done);
+        if (!decoded.ok()) {
+          Close();
+          return decoded;
+        }
+        last_stats_ = done;
+        result.rows_affected = static_cast<size_t>(done.rows_affected);
+        return result;
+      }
+      case wire::MsgType::kPong:
+        return result;  // Terminal for Ping.
+      case wire::MsgType::kError: {
+        wire::ErrorMsg err;
+        Status decoded = Decode(&r, &err);
+        if (!decoded.ok()) {
+          Close();
+          return Status::IOError("undecodable error frame");
+        }
+        // A statement error keeps the connection usable.
+        return err.ToStatus();
+      }
+      default:
+        Close();
+        return Status::IOError("unexpected frame type in response");
+    }
+  }
+}
+
+StatusOr<ResultSet> Client::Query(const std::string& sql) {
+  wire::Writer w;
+  w.PutString(sql);
+  return RoundTrip(wire::MsgType::kQuery, w.buf());
+}
+
+StatusOr<uint64_t> Client::Prepare(const std::string& sql) {
+  wire::Writer w;
+  w.PutString(sql);
+  Status sent = SendFrame(wire::MsgType::kPrepare, w.buf());
+  if (!sent.ok()) return sent;
+
+  wire::MsgType reply;
+  std::string body;
+  Status read = wire::ReadFrame(fd_, wire::kMaxFrameBytes, &reply, &body);
+  if (!read.ok()) {
+    Close();
+    return read;
+  }
+  wire::Reader r(body);
+  if (reply == wire::MsgType::kError) {
+    wire::ErrorMsg err;
+    Status decoded = Decode(&r, &err);
+    if (!decoded.ok()) {
+      Close();
+      return Status::IOError("undecodable error frame");
+    }
+    return err.ToStatus();
+  }
+  if (reply != wire::MsgType::kPrepareOk) {
+    Close();
+    return Status::IOError("unexpected reply to Prepare");
+  }
+  wire::PrepareOk ok;
+  Status decoded = Decode(&r, &ok);
+  if (!decoded.ok()) {
+    Close();
+    return decoded;
+  }
+  return ok.stmt_id;
+}
+
+StatusOr<ResultSet> Client::Execute(uint64_t stmt_id,
+                                    const std::vector<Value>& params) {
+  wire::Writer w;
+  w.PutU64(stmt_id);
+  w.PutU16(static_cast<uint16_t>(params.size()));
+  for (const Value& v : params) w.PutValue(v);
+  return RoundTrip(wire::MsgType::kExecute, w.buf());
+}
+
+Status Client::ClosePrepared(uint64_t stmt_id) {
+  wire::Writer w;
+  w.PutU64(stmt_id);
+  return RoundTrip(wire::MsgType::kClosePrepared, w.buf()).status();
+}
+
+Status Client::Begin() {
+  return RoundTrip(wire::MsgType::kBegin, std::string()).status();
+}
+
+Status Client::Commit() {
+  return RoundTrip(wire::MsgType::kCommit, std::string()).status();
+}
+
+Status Client::Abort() {
+  return RoundTrip(wire::MsgType::kAbort, std::string()).status();
+}
+
+Status Client::Ping() {
+  return RoundTrip(wire::MsgType::kPing, std::string()).status();
+}
+
+Status Client::CancelConnection(const std::string& host, uint16_t port,
+                                uint64_t conn_id, uint64_t secret) {
+  StatusOr<int> fd = Dial(host, port);
+  if (!fd.ok()) return fd.status();
+  wire::CancelRequest req;
+  req.conn_id = conn_id;
+  req.secret = secret;
+  wire::Writer w;
+  Encode(req, &w);
+  Status sent = wire::WriteFrame(*fd, wire::MsgType::kCancelRequest, w.buf());
+  ::close(*fd);
+  return sent;
+}
+
+}  // namespace grfusion

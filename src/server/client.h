@@ -1,0 +1,105 @@
+#ifndef GRFUSION_SERVER_CLIENT_H_
+#define GRFUSION_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/result_set.h"
+#include "server/wire.h"
+
+namespace grfusion {
+
+/// Thin blocking client for the wire protocol in server/wire.h. One Client is
+/// one connection with server-side Session state (options, transactions,
+/// prepared statements); it is not thread-safe — use one per thread, like a
+/// Session.
+///
+///   Client c;
+///   GRF_RETURN_IF_ERROR(c.Connect("127.0.0.1", port));
+///   auto rows = c.Query("SELECT n FROM t");
+///
+/// Statement errors come back as the server's Status, rebuilt from the stable
+/// numeric wire code — client code can switch on status().code() exactly as
+/// embedded code does. Socket-level failures surface as kIOError and poison
+/// the connection (every later call fails until Connect again).
+class Client {
+ public:
+  /// Per-statement server work trailer from the last Query/Execute call
+  /// (the wire Done frame): EXPLAIN ANALYZE-style counters plus the
+  /// server-side latency.
+  using Stats = wire::Done;
+
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects and performs the handshake. `options` are session options
+  /// applied at connect ("statement_timeout_us", "memory_cap",
+  /// "max_parallelism" — numeric values as strings).
+  Status Connect(
+      const std::string& host, uint16_t port,
+      std::vector<std::pair<std::string, std::string>> options = {});
+
+  /// Closes the connection (no-op when not connected).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Connection identity from the handshake; present the pair to
+  /// CancelConnection (from any other Client/thread) to cancel this
+  /// connection's in-flight statement.
+  uint64_t conn_id() const { return conn_id_; }
+  uint64_t cancel_secret() const { return cancel_secret_; }
+
+  /// Executes one SQL statement and materializes the result.
+  StatusOr<ResultSet> Query(const std::string& sql);
+
+  /// Server-side prepare; returns a statement id for Execute.
+  StatusOr<uint64_t> Prepare(const std::string& sql);
+
+  /// Executes a prepared statement with positional parameters.
+  StatusOr<ResultSet> Execute(uint64_t stmt_id,
+                              const std::vector<Value>& params);
+
+  /// Frees a server-side prepared statement.
+  Status ClosePrepared(uint64_t stmt_id);
+
+  Status Begin();
+  Status Commit();
+  Status Abort();
+
+  /// Round-trip liveness probe.
+  Status Ping();
+
+  /// Stats trailer of the most recent successful Query/Execute.
+  const Stats& last_stats() const { return last_stats_; }
+
+  /// Out-of-band cancel: opens a fresh connection to the server and presents
+  /// `(conn_id, secret)` (from another Client's conn_id()/cancel_secret()).
+  /// Fire-and-forget like Postgres: the server never acknowledges, so OK
+  /// means only that the request was delivered.
+  static Status CancelConnection(const std::string& host, uint16_t port,
+                                 uint64_t conn_id, uint64_t secret);
+
+ private:
+  /// Sends one frame and reads the response sequence into a ResultSet.
+  StatusOr<ResultSet> RoundTrip(wire::MsgType type, const std::string& payload);
+
+  Status SendFrame(wire::MsgType type, const std::string& payload);
+
+  int fd_ = -1;
+  uint64_t conn_id_ = 0;
+  uint64_t cancel_secret_ = 0;
+  Stats last_stats_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_SERVER_CLIENT_H_

@@ -1,0 +1,886 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "storage/virtual_table.h"
+
+namespace grfusion {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Cryptographically weak but unguessable-enough cancel secret (same trust
+/// model as PostgreSQL's BackendKeyData: it gates cancels, not data).
+uint64_t NewSecret() {
+  static std::mutex mu;
+  static std::mt19937_64 rng(std::random_device{}());
+  std::lock_guard<std::mutex> lock(mu);
+  return rng();
+}
+
+}  // namespace
+
+/// Per-connection state. The connection's thread owns fd reads/writes and
+/// the Session; other threads (reaper, Stop, cancel) only touch the atomic
+/// state, the interrupt handle, and — under mu — the shutdown decision.
+struct Server::Connection {
+  enum class State { kHandshake, kIdle, kQueued, kExecuting, kDraining };
+
+  uint64_t conn_id = 0;
+  uint64_t secret = 0;
+  int fd = -1;
+  std::string peer;
+  int64_t connected_at_us = 0;
+
+  std::unique_ptr<Session> session;
+
+  /// Guards the state/draining transition against Stop()'s idle-shutdown
+  /// decision; everything else reads the atomic alone.
+  std::mutex mu;
+  std::atomic<int> state{static_cast<int>(State::kHandshake)};
+  bool draining = false;
+
+  /// True once the reaper saw the peer hang up; the statement loop turns
+  /// this into a silent close instead of a doomed reply write.
+  std::atomic<bool> peer_gone{false};
+
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+
+  /// Prepared statements owned by this connection, keyed by wire stmt id.
+  std::map<uint64_t, PreparedStatement> prepared;
+  uint64_t next_stmt_id = 1;
+
+  std::thread thread;
+
+  State GetState() const {
+    return static_cast<State>(state.load(std::memory_order_acquire));
+  }
+  void SetState(State s) {
+    state.store(static_cast<int>(s), std::memory_order_release);
+  }
+
+  const char* StateName() const {
+    switch (GetState()) {
+      case State::kHandshake:
+        return "handshake";
+      case State::kIdle:
+        return "idle";
+      case State::kQueued:
+        return "queued";
+      case State::kExecuting:
+        return "executing";
+      case State::kDraining:
+        return "draining";
+    }
+    return "?";
+  }
+};
+
+// --- AdmissionGate -----------------------------------------------------------
+
+Server::AdmissionGate::AdmissionGate(size_t max_concurrent, size_t max_queue,
+                                     int64_t queue_timeout_ms)
+    : max_concurrent_(max_concurrent),
+      max_queue_(max_queue),
+      queue_timeout_ms_(queue_timeout_ms) {}
+
+Status Server::AdmissionGate::Acquire() {
+  EngineMetrics& m = EngineMetrics::Get();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return Status::Cancelled("server shutting down");
+  if (running_ < max_concurrent_) {
+    ++running_;
+    return Status::OK();
+  }
+  if (queued_ >= max_queue_) {
+    m.server_queries_rejected->Increment();
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(max_queue_) +
+        " statements already waiting)");
+  }
+  ++queued_;
+  m.server_queries_queued->Set(static_cast<int64_t>(queued_));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(queue_timeout_ms_);
+  bool got = cv_.wait_until(lock, deadline, [this] {
+    return shutdown_ || running_ < max_concurrent_;
+  });
+  --queued_;
+  m.server_queries_queued->Set(static_cast<int64_t>(queued_));
+  if (shutdown_) return Status::Cancelled("server shutting down");
+  if (!got) {
+    m.server_queries_rejected->Increment();
+    return Status::ResourceExhausted(
+        "statement spent " + std::to_string(queue_timeout_ms_) +
+        "ms in the admission queue without getting an execution slot");
+  }
+  ++running_;
+  return Status::OK();
+}
+
+void Server::AdmissionGate::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_one();
+}
+
+void Server::AdmissionGate::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+// --- Server lifecycle --------------------------------------------------------
+
+Server::Server(Database& db, ServerOptions options)
+    : db_(db),
+      options_(options),
+      gate_(options.max_concurrent_queries, options.max_queue,
+            options.queue_timeout_ms),
+      vtable_state_(std::make_shared<VtableState>()) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) return Status::InvalidArgument("server already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + ::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable listen address '" +
+                                   options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError(std::string("bind: ") + ::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status s = Status::IOError(std::string("listen: ") + ::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  // SYS.CONNECTIONS: live per-connection rows. The callback holds the shared
+  // state, not the server, so it survives (returning nothing) after Stop().
+  {
+    vtable_state_->server = this;
+    std::shared_ptr<VtableState> state = vtable_state_;
+    Schema schema;
+    schema.AddColumn(Column("CONN_ID", ValueType::kBigInt));
+    schema.AddColumn(Column("SESSION_ID", ValueType::kBigInt));
+    schema.AddColumn(Column("PEER", ValueType::kVarchar));
+    schema.AddColumn(Column("STATE", ValueType::kVarchar));
+    schema.AddColumn(Column("QUERIES", ValueType::kBigInt));
+    schema.AddColumn(Column("BYTES_IN", ValueType::kBigInt));
+    schema.AddColumn(Column("BYTES_OUT", ValueType::kBigInt));
+    schema.AddColumn(Column("CONNECTED_US", ValueType::kBigInt));
+    db_.RegisterExternalVirtualTable(std::make_unique<FuncVirtualTable>(
+        "SYS.CONNECTIONS", std::move(schema),
+        [state]() -> StatusOr<std::vector<std::vector<Value>>> {
+          std::vector<std::vector<Value>> rows;
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (state->server == nullptr) return rows;
+          for (const ConnectionInfo& c : state->server->Connections()) {
+            rows.push_back(
+                {Value::BigInt(static_cast<int64_t>(c.conn_id)),
+                 Value::BigInt(static_cast<int64_t>(c.session_id)),
+                 Value::Varchar(c.peer), Value::Varchar(c.state),
+                 Value::BigInt(static_cast<int64_t>(c.queries)),
+                 Value::BigInt(static_cast<int64_t>(c.bytes_in)),
+                 Value::BigInt(static_cast<int64_t>(c.bytes_out)),
+                 Value::BigInt(static_cast<int64_t>(c.connected_us))});
+          }
+          return rows;
+        }));
+  }
+
+  draining_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  reaper_thread_ = std::thread([this] { ReaperLoop(); });
+  GRF_LOG(kInfo, "grf server listening on %s:%u", options_.host.c_str(),
+          static_cast<unsigned>(port_));
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  draining_.store(true);
+
+  // 1. Stop accepting: closing the listen socket unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Mark every connection draining. Idle connections (blocked reading
+  // the next request) are unblocked by shutting their socket down; busy
+  // ones keep executing — that's the drain.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      std::lock_guard<std::mutex> conn_lock(conn->mu);
+      conn->draining = true;
+      Connection::State s = conn->GetState();
+      if ((s == Connection::State::kIdle ||
+           s == Connection::State::kHandshake) &&
+          conn->fd >= 0) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+
+  // 3. Give in-flight statements drain_timeout_ms to finish on their own.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_timeout_ms);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // 4. Past the budget: cancel stragglers via the cooperative token — the
+  // same path KILL uses — then unblock anything stuck in the admission
+  // queue, and wait for the threads to unwind.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      std::lock_guard<std::mutex> conn_lock(conn->mu);
+      if (conn->session != nullptr) {
+        conn->session->interrupt_handle().Interrupt();
+      }
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  gate_.Shutdown();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+
+  // Connection threads remove themselves from conns_ and park in
+  // finished_threads_; drain until none remain.
+  for (;;) {
+    std::vector<std::thread> to_join;
+    bool live;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      to_join.swap(finished_threads_);
+      live = !conns_.empty();
+    }
+    for (std::thread& t : to_join) {
+      if (t.joinable()) t.join();
+    }
+    if (!live && to_join.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Detach SYS.CONNECTIONS from this object; the registered callback keeps
+  // the shared state alive and now yields no rows.
+  {
+    std::lock_guard<std::mutex> lock(vtable_state_->mu);
+    vtable_state_->server = nullptr;
+  }
+  EngineMetrics::Get().server_connections->Set(0);
+  GRF_LOG(kInfo, "grf server stopped");
+}
+
+std::vector<Server::ConnectionInfo> Server::Connections() const {
+  std::vector<ConnectionInfo> out;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  const int64_t now = NowUs();
+  out.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) {
+    ConnectionInfo info;
+    info.conn_id = conn->conn_id;
+    {
+      std::lock_guard<std::mutex> conn_lock(conn->mu);
+      info.session_id = conn->session == nullptr ? 0 : conn->session->id();
+    }
+    info.peer = conn->peer;
+    info.state = conn->StateName();
+    info.queries = conn->queries.load(std::memory_order_relaxed);
+    info.bytes_in = conn->bytes_in.load(std::memory_order_relaxed);
+    info.bytes_out = conn->bytes_out.load(std::memory_order_relaxed);
+    info.connected_us =
+        static_cast<uint64_t>(now - conn->connected_at_us);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+// --- Accept / reaper threads -------------------------------------------------
+
+void Server::AcceptLoop() {
+  EngineMetrics& m = EngineMetrics::Get();
+  while (running_.load(std::memory_order_acquire)) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listen socket closed (Stop) or broken: exit the loop.
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+    std::string peer_str =
+        std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
+
+    std::shared_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      // Opportunistically reap finished connection threads.
+      for (std::thread& t : finished_threads_) {
+        if (t.joinable()) t.join();
+      }
+      finished_threads_.clear();
+
+      if (draining_.load()) {
+        ::close(fd);
+        continue;
+      }
+      if (conns_.size() >= options_.max_connections) {
+        // Greet-and-refuse: the client gets a typed error instead of a
+        // silent RST. Best-effort write; the fd closes either way.
+        wire::Writer w;
+        wire::Encode(
+            wire::ErrorMsg::From(Status::ResourceExhausted(
+                "server connection limit (" +
+                std::to_string(options_.max_connections) + ") reached")),
+            &w);
+        (void)wire::WriteFrame(fd, wire::MsgType::kError, w.buf());
+        // Half-close and drain the client's in-flight Hello before the full
+        // close: closing with unread data queued makes TCP send an RST,
+        // which can destroy the refusal frame before the client reads it.
+        ::shutdown(fd, SHUT_WR);
+        struct timeval tv = {0, 200 * 1000};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        char sink[256];
+        while (::recv(fd, sink, sizeof(sink), 0) > 0) {
+        }
+        ::close(fd);
+        continue;
+      }
+      conn = std::make_shared<Connection>();
+      conn->conn_id = next_conn_id_++;
+      conn->secret = NewSecret();
+      conn->fd = fd;
+      conn->peer = std::move(peer_str);
+      conn->connected_at_us = NowUs();
+      conns_[conn->conn_id] = conn;
+      m.server_connections->Set(static_cast<int64_t>(conns_.size()));
+      m.server_connections_total->Increment();
+    }
+    {
+      // Store the handle under conns_mu_: the connection thread's own
+      // cleanup moves conn->thread into finished_threads_ under the same
+      // mutex, so a connection that dies instantly (handshake garbage)
+      // cannot race the assignment and orphan a joinable thread.
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn->thread = std::thread([this, conn] { ConnectionLoop(conn); });
+    }
+  }
+}
+
+void Server::ReaperLoop() {
+  EngineMetrics& m = EngineMetrics::Get();
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.reaper_interval_ms));
+    std::vector<std::shared_ptr<Connection>> executing;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& [id, conn] : conns_) {
+        Connection::State s = conn->GetState();
+        if (s == Connection::State::kExecuting ||
+            s == Connection::State::kQueued) {
+          executing.push_back(conn);
+        }
+      }
+    }
+    for (const std::shared_ptr<Connection>& conn : executing) {
+      // Short critical section: a non-blocking peek plus (rarely) an
+      // interrupt. Holding mu keeps the fd valid — the connection thread
+      // closes it under the same mutex — and keeps `session` alive.
+      std::lock_guard<std::mutex> lock(conn->mu);
+      Connection::State s = conn->GetState();
+      if (s != Connection::State::kExecuting &&
+          s != Connection::State::kQueued) {
+        continue;
+      }
+      if (conn->fd < 0 || conn->peer_gone.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      // The protocol is strictly request/response: while a statement
+      // executes the client sends nothing, so a readable socket means EOF
+      // (orderly close) or an error (RST) — either way the client is gone
+      // and its statement should stop burning the machine.
+      char probe;
+      ssize_t n = ::recv(conn->fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      const bool gone =
+          n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR);
+      if (!gone) continue;
+      conn->peer_gone.store(true, std::memory_order_relaxed);
+      if (conn->session != nullptr) {
+        // Fires the statement's cooperative CancellationToken (the KILL
+        // path); the statement unwinds with kCancelled and the connection
+        // loop sees peer_gone and closes without replying.
+        conn->session->interrupt_handle().Interrupt();
+        m.server_cancels_total->Increment();
+      }
+    }
+  }
+}
+
+// --- Connection loop ---------------------------------------------------------
+
+void Server::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  EngineMetrics& m = EngineMetrics::Get();
+
+  if (Handshake(*conn)) {
+    // Statement loop: one request frame in, one response sequence out.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->draining) break;
+        conn->SetState(Connection::State::kIdle);
+      }
+      wire::MsgType type;
+      std::string payload;
+      uint64_t in = 0;
+      Status read = wire::ReadFrame(conn->fd, options_.max_frame_bytes, &type,
+                                    &payload, &in);
+      conn->bytes_in.fetch_add(in, std::memory_order_relaxed);
+      m.server_bytes_in->Increment(in);
+      if (!read.ok()) {
+        // EOF/RST: normal client departure. An oversized length prefix is a
+        // framing violation — report it, then close (resync is impossible).
+        if (read.code() == StatusCode::kInvalidArgument) {
+          (void)SendError(*conn, read);
+        }
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->draining) break;
+        conn->SetState(Connection::State::kExecuting);
+      }
+      Status socket_status = DispatchStatement(*conn, type, payload);
+      if (!socket_status.ok() ||
+          conn->peer_gone.load(std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
+  {
+    // Teardown under mu so the reaper / Stop / cancel path never observe a
+    // half-destroyed session or a recycled fd. Destroy prepared statements
+    // and the session before the fd: a Session with an open explicit
+    // transaction aborts it in its destructor, releasing the single-writer
+    // slot a vanished client would otherwise pin.
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->SetState(Connection::State::kDraining);
+    conn->prepared.clear();
+    conn->session.reset();
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  finished_threads_.push_back(std::move(conn->thread));
+  conns_.erase(conn->conn_id);
+  m.server_connections->Set(static_cast<int64_t>(conns_.size()));
+}
+
+bool Server::Handshake(Connection& conn) {
+  wire::MsgType type;
+  std::string payload;
+  uint64_t in = 0;
+  Status read = wire::ReadFrame(conn.fd, options_.max_frame_bytes, &type,
+                                &payload, &in);
+  conn.bytes_in.fetch_add(in, std::memory_order_relaxed);
+  EngineMetrics::Get().server_bytes_in->Increment(in);
+  if (!read.ok()) return false;
+
+  if (type == wire::MsgType::kCancelRequest) {
+    wire::CancelRequest req;
+    wire::Reader r(payload);
+    if (Decode(&r, &req).ok()) HandleCancelRequest(req);
+    return false;  // Cancel connections never carry statements.
+  }
+
+  if (type != wire::MsgType::kHello) {
+    (void)SendError(conn, Status::InvalidArgument(
+                              "expected Hello as the first frame"));
+    return false;
+  }
+  wire::Hello hello;
+  wire::Reader r(payload);
+  Status decoded = Decode(&r, &hello);
+  if (!decoded.ok() || !r.AtEnd()) {
+    (void)SendError(conn, Status::InvalidArgument("malformed Hello frame"));
+    return false;
+  }
+  if (hello.magic != wire::kMagic) {
+    (void)SendError(conn,
+                    Status::InvalidArgument("bad protocol magic"));
+    return false;
+  }
+  if (hello.version != wire::kProtocolVersion) {
+    (void)SendError(
+        conn, Status::Unsupported(
+                  "protocol version " + std::to_string(hello.version) +
+                  " not supported (server speaks " +
+                  std::to_string(wire::kProtocolVersion) + ")"));
+    return false;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    conn.session = std::make_unique<Session>(db_);
+  }
+  if (options_.statement_timeout_us >= 0) {
+    conn.session->options().statement_timeout_us =
+        options_.statement_timeout_us;
+  }
+  if (options_.memory_cap > 0) {
+    conn.session->options().memory_cap = options_.memory_cap;
+  }
+  for (const auto& [key, value] : hello.options) {
+    Status applied = ApplySessionOption(*conn.session, key, value);
+    if (!applied.ok()) {
+      (void)SendError(conn, applied);
+      return false;
+    }
+  }
+
+  wire::HelloOk ok;
+  ok.conn_id = conn.conn_id;
+  ok.cancel_secret = conn.secret;
+  wire::Writer w;
+  Encode(ok, &w);
+  uint64_t out = 0;
+  Status sent = wire::WriteFrame(conn.fd, wire::MsgType::kHelloOk, w.buf(),
+                                 &out);
+  conn.bytes_out.fetch_add(out, std::memory_order_relaxed);
+  EngineMetrics::Get().server_bytes_out->Increment(out);
+  return sent.ok();
+}
+
+Status Server::ApplySessionOption(Session& session, const std::string& key,
+                                  const std::string& value) {
+  char* end = nullptr;
+  const long long n = std::strtoll(value.c_str(), &end, 10);
+  const bool numeric = end != nullptr && *end == '\0' && !value.empty();
+  if (!numeric) {
+    return Status::InvalidArgument("handshake option '" + key +
+                                   "' needs a numeric value, got '" + value +
+                                   "'");
+  }
+  if (key == "statement_timeout_us") {
+    // Clients may tighten the server default, never loosen it.
+    if (options_.statement_timeout_us >= 0 &&
+        (n < 0 || n > options_.statement_timeout_us)) {
+      return Status::InvalidArgument(
+          "statement_timeout_us may not exceed the server limit of " +
+          std::to_string(options_.statement_timeout_us));
+    }
+    session.options().statement_timeout_us = n;
+    return Status::OK();
+  }
+  if (key == "memory_cap") {
+    if (n <= 0) return Status::InvalidArgument("memory_cap must be positive");
+    if (options_.memory_cap > 0 &&
+        static_cast<size_t>(n) > options_.memory_cap) {
+      return Status::InvalidArgument(
+          "memory_cap may not exceed the server limit of " +
+          std::to_string(options_.memory_cap));
+    }
+    session.options().memory_cap = static_cast<size_t>(n);
+    return Status::OK();
+  }
+  if (key == "max_parallelism") {
+    if (n < 0) return Status::InvalidArgument("max_parallelism must be >= 0");
+    session.options().max_parallelism = static_cast<size_t>(n);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown handshake option '" + key + "'");
+}
+
+void Server::HandleCancelRequest(const wire::CancelRequest& req) {
+  std::shared_ptr<Connection> target;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.find(req.conn_id);
+    if (it != conns_.end()) target = it->second;
+  }
+  if (target == nullptr || target->secret != req.secret) {
+    return;  // Unknown id or bad secret: ignore, like Postgres does.
+  }
+  std::lock_guard<std::mutex> lock(target->mu);
+  if (target->session == nullptr) return;
+  // Same cooperative token the SQL KILL statement fires; a no-op when the
+  // target session is between statements.
+  target->session->interrupt_handle().Interrupt();
+  EngineMetrics::Get().server_cancels_total->Increment();
+}
+
+// --- Statement dispatch ------------------------------------------------------
+
+Status Server::SendError(Connection& conn, const Status& error) {
+  wire::Writer w;
+  wire::Encode(wire::ErrorMsg::From(error), &w);
+  uint64_t out = 0;
+  Status s = wire::WriteFrame(conn.fd, wire::MsgType::kError, w.buf(), &out);
+  conn.bytes_out.fetch_add(out, std::memory_order_relaxed);
+  EngineMetrics::Get().server_bytes_out->Increment(out);
+  return s;
+}
+
+Status Server::SendResult(Connection& conn, const ResultSet& result,
+                          uint64_t latency_us) {
+  EngineMetrics& m = EngineMetrics::Get();
+  uint64_t out = 0;
+  Status sent = Status::OK();
+
+  if (!result.column_names.empty()) {
+    wire::ResultHeader header;
+    header.names = result.column_names;
+    header.types = result.column_types;
+    header.types.resize(header.names.size(), ValueType::kNull);
+    wire::Writer w;
+    Encode(header, &w);
+    sent = wire::WriteFrame(conn.fd, wire::MsgType::kResultHeader, w.buf(),
+                            &out);
+
+    // Stream the rows as column-typed blocks straight off NextBatch — the
+    // batch accessor exists precisely so this loop never visits cells
+    // row-by-row.
+    result.ResetBatches();
+    RowBatch batch;
+    while (sent.ok() && result.NextBatch(wire::kServerBatchRows, &batch)) {
+      wire::Writer bw;
+      wire::EncodeRowBatch(batch, &bw);
+      sent = wire::WriteFrame(conn.fd, wire::MsgType::kRowBatch, bw.Take(),
+                              &out);
+    }
+    result.ResetBatches();
+  }
+
+  if (sent.ok()) {
+    wire::Done done;
+    done.rows_affected = result.rows_affected;
+    done.num_rows = result.NumRows();
+    done.latency_us = latency_us;
+    if (conn.session != nullptr) {
+      const ExecStats& stats = conn.session->last_stats();
+      done.peak_bytes = conn.session->last_peak_bytes();
+      done.rows_scanned = stats.rows_scanned;
+      done.rows_joined = stats.rows_joined;
+      done.vertexes_expanded = stats.vertexes_expanded;
+      done.edges_examined = stats.edges_examined;
+      done.paths_emitted = stats.paths_emitted;
+      done.paths_pruned = stats.paths_pruned;
+    }
+    wire::Writer w;
+    Encode(done, &w);
+    sent = wire::WriteFrame(conn.fd, wire::MsgType::kDone, w.buf(), &out);
+  }
+
+  conn.bytes_out.fetch_add(out, std::memory_order_relaxed);
+  m.server_bytes_out->Increment(out);
+  return sent;
+}
+
+Status Server::DispatchStatement(Connection& conn, wire::MsgType type,
+                                 const std::string& payload) {
+  EngineMetrics& m = EngineMetrics::Get();
+  wire::Reader r(payload);
+
+  switch (type) {
+    case wire::MsgType::kPing: {
+      uint64_t out = 0;
+      Status s =
+          wire::WriteFrame(conn.fd, wire::MsgType::kPong, std::string(), &out);
+      conn.bytes_out.fetch_add(out, std::memory_order_relaxed);
+      m.server_bytes_out->Increment(out);
+      return s;
+    }
+
+    case wire::MsgType::kPrepare: {
+      std::string sql;
+      Status decoded = r.GetString(&sql);
+      if (!decoded.ok()) return SendError(conn, decoded);
+      StatusOr<PreparedStatement> prep = conn.session->Prepare(sql);
+      if (!prep.ok()) return SendError(conn, prep.status());
+      const uint64_t id = conn.next_stmt_id++;
+      wire::PrepareOk ok;
+      ok.stmt_id = id;
+      ok.num_params = static_cast<uint16_t>(prep->num_params());
+      conn.prepared.emplace(id, std::move(prep).value());
+      wire::Writer w;
+      Encode(ok, &w);
+      uint64_t out = 0;
+      Status s = wire::WriteFrame(conn.fd, wire::MsgType::kPrepareOk, w.buf(),
+                                  &out);
+      conn.bytes_out.fetch_add(out, std::memory_order_relaxed);
+      m.server_bytes_out->Increment(out);
+      return s;
+    }
+
+    case wire::MsgType::kClosePrepared: {
+      uint64_t id = 0;
+      Status decoded = r.GetU64(&id);
+      if (!decoded.ok()) return SendError(conn, decoded);
+      if (conn.prepared.erase(id) == 0) {
+        return SendError(conn, Status::NotFound("unknown prepared statement " +
+                                                std::to_string(id)));
+      }
+      ResultSet empty;
+      return SendResult(conn, empty, 0);
+    }
+
+    case wire::MsgType::kQuery:
+    case wire::MsgType::kExecute:
+    case wire::MsgType::kBegin:
+    case wire::MsgType::kCommit:
+    case wire::MsgType::kAbort:
+      break;  // Statement-executing frames, handled below under admission.
+
+    default:
+      return SendError(conn, Status::InvalidArgument(
+                                 "unknown request frame type " +
+                                 std::to_string(static_cast<int>(type))));
+  }
+
+  // Decode the statement before taking an admission slot: malformed frames
+  // should not consume capacity.
+  std::string sql;
+  uint64_t stmt_id = 0;
+  std::vector<Value> params;
+  switch (type) {
+    case wire::MsgType::kQuery: {
+      Status decoded = r.GetString(&sql);
+      if (!decoded.ok()) return SendError(conn, decoded);
+      break;
+    }
+    case wire::MsgType::kExecute: {
+      Status decoded = r.GetU64(&stmt_id);
+      uint16_t n = 0;
+      if (decoded.ok()) decoded = r.GetU16(&n);
+      for (uint16_t i = 0; decoded.ok() && i < n; ++i) {
+        Value v;
+        decoded = r.GetValue(&v);
+        params.push_back(std::move(v));
+      }
+      if (!decoded.ok()) return SendError(conn, decoded);
+      if (conn.prepared.find(stmt_id) == conn.prepared.end()) {
+        return SendError(conn, Status::NotFound("unknown prepared statement " +
+                                                std::to_string(stmt_id)));
+      }
+      break;
+    }
+    case wire::MsgType::kBegin:
+      sql = "BEGIN";
+      break;
+    case wire::MsgType::kCommit:
+      sql = "COMMIT";
+      break;
+    case wire::MsgType::kAbort:
+      sql = "ABORT";
+      break;
+    default:
+      break;
+  }
+
+  // Admission: a bounded number of statements execute concurrently; the
+  // rest wait in a bounded, deadline-guarded queue. Rejections surface as
+  // wire errors with the kResourceExhausted code.
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    conn.SetState(Connection::State::kQueued);
+  }
+  Status admitted = gate_.Acquire();
+  if (!admitted.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      conn.SetState(Connection::State::kExecuting);
+    }
+    return SendError(conn, admitted);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    conn.SetState(Connection::State::kExecuting);
+  }
+
+  m.server_queries_total->Increment();
+  conn.queries.fetch_add(1, std::memory_order_relaxed);
+  const int64_t t0 = NowUs();
+  StatusOr<ResultSet> result = [&]() -> StatusOr<ResultSet> {
+    if (type == wire::MsgType::kExecute) {
+      return conn.prepared.at(stmt_id).Execute(std::move(params));
+    }
+    return conn.session->Execute(sql);
+  }();
+  const uint64_t latency_us = static_cast<uint64_t>(NowUs() - t0);
+  gate_.Release();
+
+  if (conn.peer_gone.load(std::memory_order_relaxed)) {
+    // The reaper cancelled this statement because the client vanished;
+    // writing a reply would only buy an EPIPE.
+    return Status::IOError("client disconnected mid-statement");
+  }
+  if (!result.ok()) return SendError(conn, result.status());
+  return SendResult(conn, *result, latency_us);
+}
+
+}  // namespace grfusion

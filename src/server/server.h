@@ -1,0 +1,211 @@
+#ifndef GRFUSION_SERVER_SERVER_H_
+#define GRFUSION_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/session.h"
+#include "server/wire.h"
+
+namespace grfusion {
+
+/// Tuning knobs of one Server. The defaults suit tests and the load bench;
+/// tools/grf_server exposes them as flags.
+struct ServerOptions {
+  /// Listen address. Only IPv4 dotted-quad (or "0.0.0.0") is parsed.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; Server::port() reports the bound one.
+  uint16_t port = 0;
+
+  /// Accepted connections beyond this are greeted with a kResourceExhausted
+  /// Error frame and closed (counted in server_queries_rejected? no —
+  /// rejected connections are not statements; they only count in
+  /// server_connections_total).
+  size_t max_connections = 64;
+
+  /// Statements executing at once across all connections. Arrivals beyond
+  /// it queue (bounded below); this gate is the server-level backpressure on
+  /// top of the per-query memory budget and statement timeout.
+  size_t max_concurrent_queries = 8;
+
+  /// Statements allowed to wait for an execution slot. Arrival at a full
+  /// queue fails immediately with kResourceExhausted.
+  size_t max_queue = 16;
+
+  /// How long a queued statement may wait for a slot before failing with
+  /// kResourceExhausted (queue deadline — distinct from the statement
+  /// timeout, which only starts once execution begins).
+  int64_t queue_timeout_ms = 2000;
+
+  /// Graceful-shutdown budget: Stop() waits this long for in-flight
+  /// statements to finish before firing their cooperative CancellationToken.
+  int64_t drain_timeout_ms = 2000;
+
+  /// Largest frame payload accepted from a client.
+  size_t max_frame_bytes = wire::kMaxFrameBytes;
+
+  /// Period of the disconnect reaper that cancels statements whose client
+  /// vanished mid-query.
+  int64_t reaper_interval_ms = 5;
+
+  /// Session defaults applied to every connection (clients can tighten them
+  /// per connection through handshake options, never loosen past these).
+  int64_t statement_timeout_us = -1;
+  size_t memory_cap = 0;  ///< 0 keeps the engine default.
+};
+
+/// TCP front-end over a Database: one OS thread and one grf::Session per
+/// connection, speaking the length-prefixed binary protocol in
+/// server/wire.h.
+///
+/// Layering: the server is a pure client of the embedding API — it touches
+/// Session/ResultSet/Status plus the ActiveQueryRegistry only, never storage
+/// or executor internals, which is exactly the seam the wire protocol was
+/// designed to force.
+///
+/// Robustness behaviors:
+///  - Admission control: max_concurrent_queries + a bounded wait queue with
+///    a deadline; overflow and queue timeout both map to the wire
+///    kResourceExhausted code.
+///  - Wire cancel: a second connection presenting (conn_id, secret) from the
+///    handshake fires the target session's InterruptHandle — the same
+///    cooperative CancellationToken the SQL KILL statement fires.
+///  - Disconnect reaper: a client that vanishes mid-statement is detected
+///    (EOF/RST peek) and its statement cancelled, bumping queries_cancelled.
+///  - Graceful shutdown: Stop() stops accepting, lets in-flight statements
+///    drain for drain_timeout_ms, then cancels stragglers cooperatively and
+///    joins every connection thread.
+///
+/// Observability: SYS.CONNECTIONS (registered on Start) plus the
+/// server_connections / server_queries_queued / server_bytes_{in,out}
+/// metrics in SYS.METRICS.
+class Server {
+ public:
+  Server(Database& db, ServerOptions options);
+  /// Stops the server if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, registers SYS.CONNECTIONS, and starts the accept and
+  /// reaper threads. InvalidArgument/IOError on bad address or bind failure.
+  Status Start();
+
+  /// Graceful shutdown; idempotent. See class comment.
+  void Stop();
+
+  /// Port actually bound (after Start with port = 0).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Row snapshot backing SYS.CONNECTIONS.
+  struct ConnectionInfo {
+    uint64_t conn_id = 0;
+    uint64_t session_id = 0;
+    std::string peer;
+    std::string state;  ///< "idle" | "queued" | "executing" | "draining".
+    uint64_t queries = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t connected_us = 0;
+  };
+  std::vector<ConnectionInfo> Connections() const;
+
+ private:
+  struct Connection;
+
+  /// Concurrency gate: at most max_concurrent statements run, at most
+  /// max_queue wait, nobody waits past the deadline. Shutdown() releases
+  /// every waiter with kCancelled.
+  class AdmissionGate {
+   public:
+    AdmissionGate(size_t max_concurrent, size_t max_queue,
+                  int64_t queue_timeout_ms);
+    Status Acquire();
+    void Release();
+    void Shutdown();
+
+   private:
+    const size_t max_concurrent_;
+    const size_t max_queue_;
+    const int64_t queue_timeout_ms_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    size_t running_ = 0;
+    size_t queued_ = 0;
+    bool shutdown_ = false;
+  };
+
+  void AcceptLoop();
+  void ReaperLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+
+  /// Handshake: reads the first frame, dispatches CancelRequest, validates
+  /// Hello (magic, version, options), replies HelloOk. Returns false when
+  /// the connection must close without entering the statement loop.
+  bool Handshake(Connection& conn);
+
+  /// Applies one "key=value" handshake option to the connection's session.
+  Status ApplySessionOption(Session& session, const std::string& key,
+                            const std::string& value);
+
+  /// Executes one statement frame and streams the response. Returns the
+  /// socket status (a statement error is reported to the client and keeps
+  /// the connection alive; a socket/framing error closes it).
+  Status DispatchStatement(Connection& conn, wire::MsgType type,
+                           const std::string& payload);
+
+  Status SendError(Connection& conn, const Status& error);
+  Status SendResult(Connection& conn, const ResultSet& result,
+                    uint64_t latency_us);
+
+  /// Handles a CancelRequest handshake frame: authenticates and fires the
+  /// target's interrupt. The cancel connection is closed either way.
+  void HandleCancelRequest(const wire::CancelRequest& req);
+
+  Database& db_;
+  const ServerOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  /// Atomic: Stop() closes and resets it from the caller's thread while
+  /// AcceptLoop is blocked on (or about to call) accept() on it.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+
+  AdmissionGate gate_;
+
+  std::thread accept_thread_;
+  std::thread reaper_thread_;
+
+  mutable std::mutex conns_mu_;
+  std::map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  /// Joined lazily: threads of closed connections park here until the next
+  /// accept or Stop().
+  std::vector<std::thread> finished_threads_;
+
+  /// SYS.CONNECTIONS snapshot state shared with the Database-registered
+  /// callback; outlives the Server via shared_ptr so a stopped/destroyed
+  /// server leaves an empty (not dangling) table behind.
+  struct VtableState {
+    std::mutex mu;
+    Server* server = nullptr;  ///< Nulled in Stop().
+  };
+  std::shared_ptr<VtableState> vtable_state_;
+};
+
+}  // namespace grfusion
+
+#endif  // GRFUSION_SERVER_SERVER_H_

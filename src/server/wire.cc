@@ -1,0 +1,468 @@
+#include "server/wire.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace grfusion {
+namespace wire {
+
+namespace {
+
+/// Allocation guard while decoding hostile length prefixes: reserve() is
+/// capped so a forged "4 billion rows" header cannot OOM the peer before the
+/// bounds checks notice the payload is short.
+constexpr size_t kMaxReserve = 1u << 16;
+
+}  // namespace
+
+// --- Writer ------------------------------------------------------------------
+
+void Writer::PutU16(uint16_t v) {
+  char b[2];
+  std::memcpy(b, &v, 2);
+  buf_.append(b, 2);
+}
+
+void Writer::PutU32(uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf_.append(b, 4);
+}
+
+void Writer::PutU64(uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void Writer::PutDouble(double v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void Writer::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void Writer::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBoolean:
+      PutU8(v.AsBoolean() ? 1 : 0);
+      break;
+    case ValueType::kBigInt:
+      PutI64(v.AsBigInt());
+      break;
+    case ValueType::kDouble:
+      PutDouble(v.AsDouble());
+      break;
+    case ValueType::kVarchar:
+      PutString(v.AsVarchar());
+      break;
+  }
+}
+
+// --- Reader ------------------------------------------------------------------
+
+Status Reader::GetU8(uint8_t* out) {
+  if (pos_ + 1 > len_) return Status::InvalidArgument("truncated frame (u8)");
+  *out = p_[pos_++];
+  return Status::OK();
+}
+
+Status Reader::GetU16(uint16_t* out) {
+  if (pos_ + 2 > len_) return Status::InvalidArgument("truncated frame (u16)");
+  std::memcpy(out, p_ + pos_, 2);
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status Reader::GetU32(uint32_t* out) {
+  if (pos_ + 4 > len_) return Status::InvalidArgument("truncated frame (u32)");
+  std::memcpy(out, p_ + pos_, 4);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status Reader::GetU64(uint64_t* out) {
+  if (pos_ + 8 > len_) return Status::InvalidArgument("truncated frame (u64)");
+  std::memcpy(out, p_ + pos_, 8);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status Reader::GetI32(int32_t* out) {
+  uint32_t v = 0;
+  GRF_RETURN_IF_ERROR(GetU32(&v));
+  *out = static_cast<int32_t>(v);
+  return Status::OK();
+}
+
+Status Reader::GetI64(int64_t* out) {
+  uint64_t v = 0;
+  GRF_RETURN_IF_ERROR(GetU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status Reader::GetDouble(double* out) {
+  if (pos_ + 8 > len_) {
+    return Status::InvalidArgument("truncated frame (double)");
+  }
+  std::memcpy(out, p_ + pos_, 8);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status Reader::GetString(std::string* out) {
+  uint32_t n = 0;
+  GRF_RETURN_IF_ERROR(GetU32(&n));
+  if (pos_ + n > len_ || n > len_) {
+    return Status::InvalidArgument("truncated frame (string)");
+  }
+  out->assign(reinterpret_cast<const char*>(p_ + pos_), n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status Reader::GetValue(Value* out) {
+  uint8_t tag = 0;
+  GRF_RETURN_IF_ERROR(GetU8(&tag));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return Status::OK();
+    case ValueType::kBoolean: {
+      uint8_t b = 0;
+      GRF_RETURN_IF_ERROR(GetU8(&b));
+      *out = Value::Boolean(b != 0);
+      return Status::OK();
+    }
+    case ValueType::kBigInt: {
+      int64_t v = 0;
+      GRF_RETURN_IF_ERROR(GetI64(&v));
+      *out = Value::BigInt(v);
+      return Status::OK();
+    }
+    case ValueType::kDouble: {
+      double v = 0;
+      GRF_RETURN_IF_ERROR(GetDouble(&v));
+      *out = Value::Double(v);
+      return Status::OK();
+    }
+    case ValueType::kVarchar: {
+      std::string s;
+      GRF_RETURN_IF_ERROR(GetString(&s));
+      *out = Value::Varchar(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown value tag " + std::to_string(tag));
+}
+
+// --- Messages ----------------------------------------------------------------
+
+void Encode(const Hello& m, Writer* w) {
+  w->PutU32(m.magic);
+  w->PutU32(m.version);
+  w->PutU16(static_cast<uint16_t>(m.options.size()));
+  for (const auto& [key, value] : m.options) {
+    w->PutString(key);
+    w->PutString(value);
+  }
+}
+
+Status Decode(Reader* r, Hello* m) {
+  GRF_RETURN_IF_ERROR(r->GetU32(&m->magic));
+  GRF_RETURN_IF_ERROR(r->GetU32(&m->version));
+  uint16_t n = 0;
+  GRF_RETURN_IF_ERROR(r->GetU16(&n));
+  m->options.clear();
+  for (uint16_t i = 0; i < n; ++i) {
+    std::string key, value;
+    GRF_RETURN_IF_ERROR(r->GetString(&key));
+    GRF_RETURN_IF_ERROR(r->GetString(&value));
+    m->options.emplace_back(std::move(key), std::move(value));
+  }
+  return Status::OK();
+}
+
+void Encode(const HelloOk& m, Writer* w) {
+  w->PutU32(m.version);
+  w->PutU64(m.conn_id);
+  w->PutU64(m.cancel_secret);
+}
+
+Status Decode(Reader* r, HelloOk* m) {
+  GRF_RETURN_IF_ERROR(r->GetU32(&m->version));
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->conn_id));
+  return r->GetU64(&m->cancel_secret);
+}
+
+void Encode(const ErrorMsg& m, Writer* w) {
+  w->PutI32(m.code);
+  w->PutString(m.message);
+}
+
+Status Decode(Reader* r, ErrorMsg* m) {
+  GRF_RETURN_IF_ERROR(r->GetI32(&m->code));
+  return r->GetString(&m->message);
+}
+
+void Encode(const ResultHeader& m, Writer* w) {
+  w->PutU16(static_cast<uint16_t>(m.names.size()));
+  for (size_t i = 0; i < m.names.size(); ++i) {
+    w->PutString(m.names[i]);
+    w->PutU8(static_cast<uint8_t>(
+        i < m.types.size() ? m.types[i] : ValueType::kNull));
+  }
+}
+
+Status Decode(Reader* r, ResultHeader* m) {
+  uint16_t n = 0;
+  GRF_RETURN_IF_ERROR(r->GetU16(&n));
+  m->names.clear();
+  m->types.clear();
+  for (uint16_t i = 0; i < n; ++i) {
+    std::string name;
+    uint8_t type = 0;
+    GRF_RETURN_IF_ERROR(r->GetString(&name));
+    GRF_RETURN_IF_ERROR(r->GetU8(&type));
+    if (type > static_cast<uint8_t>(ValueType::kVarchar)) {
+      return Status::InvalidArgument("unknown column type tag");
+    }
+    m->names.push_back(std::move(name));
+    m->types.push_back(static_cast<ValueType>(type));
+  }
+  return Status::OK();
+}
+
+void Encode(const Done& m, Writer* w) {
+  w->PutU64(m.rows_affected);
+  w->PutU64(m.num_rows);
+  w->PutU64(m.latency_us);
+  w->PutU64(m.peak_bytes);
+  w->PutU64(m.rows_scanned);
+  w->PutU64(m.rows_joined);
+  w->PutU64(m.vertexes_expanded);
+  w->PutU64(m.edges_examined);
+  w->PutU64(m.paths_emitted);
+  w->PutU64(m.paths_pruned);
+}
+
+Status Decode(Reader* r, Done* m) {
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->rows_affected));
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->num_rows));
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->latency_us));
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->peak_bytes));
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->rows_scanned));
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->rows_joined));
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->vertexes_expanded));
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->edges_examined));
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->paths_emitted));
+  return r->GetU64(&m->paths_pruned);
+}
+
+void Encode(const PrepareOk& m, Writer* w) {
+  w->PutU64(m.stmt_id);
+  w->PutU16(m.num_params);
+}
+
+Status Decode(Reader* r, PrepareOk* m) {
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->stmt_id));
+  return r->GetU16(&m->num_params);
+}
+
+void Encode(const CancelRequest& m, Writer* w) {
+  w->PutU64(m.conn_id);
+  w->PutU64(m.secret);
+}
+
+Status Decode(Reader* r, CancelRequest* m) {
+  GRF_RETURN_IF_ERROR(r->GetU64(&m->conn_id));
+  return r->GetU64(&m->secret);
+}
+
+// --- Row batches -------------------------------------------------------------
+
+void EncodeRowBatch(const RowBatch& batch, Writer* w) {
+  w->PutU32(static_cast<uint32_t>(batch.num_rows));
+  w->PutU16(static_cast<uint16_t>(batch.columns.size()));
+  for (const RowBatch::Column& col : batch.columns) {
+    w->PutU8(static_cast<uint8_t>(col.type));
+    for (size_t r = 0; r < batch.num_rows; ++r) {
+      w->PutU8(r < col.nulls.size() ? col.nulls[r] : 0);
+    }
+    switch (col.type) {
+      case ValueType::kBoolean:
+        for (size_t r = 0; r < batch.num_rows; ++r) w->PutU8(col.bools[r]);
+        break;
+      case ValueType::kBigInt:
+        for (size_t r = 0; r < batch.num_rows; ++r) w->PutI64(col.i64[r]);
+        break;
+      case ValueType::kDouble:
+        for (size_t r = 0; r < batch.num_rows; ++r) w->PutDouble(col.f64[r]);
+        break;
+      case ValueType::kVarchar:
+        // NULL cells write an empty string to keep the column dense.
+        for (size_t r = 0; r < batch.num_rows; ++r) w->PutString(col.str[r]);
+        break;
+      case ValueType::kNull:
+        for (size_t r = 0; r < batch.num_rows; ++r) w->PutValue(col.values[r]);
+        break;
+    }
+  }
+}
+
+Status DecodeRowBatch(Reader* r, size_t expected_cols,
+                      std::vector<std::vector<Value>>* rows) {
+  uint32_t num_rows = 0;
+  uint16_t num_cols = 0;
+  GRF_RETURN_IF_ERROR(r->GetU32(&num_rows));
+  GRF_RETURN_IF_ERROR(r->GetU16(&num_cols));
+  if (num_cols != expected_cols) {
+    return Status::InvalidArgument("row batch column count mismatch");
+  }
+  // Plausibility bound before any allocation: every cell costs at least one
+  // byte on the wire (its null flag), so a frame cannot legitimately declare
+  // more cells than it has bytes left. Rejecting here keeps a forged row
+  // count from allocating gigabytes out of a 20-byte frame.
+  if (num_rows != 0 &&
+      (num_cols == 0 ||
+       static_cast<uint64_t>(num_rows) * num_cols > r->remaining())) {
+    return Status::InvalidArgument("row batch row count exceeds frame");
+  }
+  const size_t base = rows->size();
+  rows->reserve(base + std::min<size_t>(num_rows, kMaxReserve));
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    rows->emplace_back(num_cols, Value::Null());
+  }
+  for (uint16_t c = 0; c < num_cols; ++c) {
+    uint8_t type_tag = 0;
+    GRF_RETURN_IF_ERROR(r->GetU8(&type_tag));
+    if (type_tag > static_cast<uint8_t>(ValueType::kVarchar)) {
+      return Status::InvalidArgument("unknown row batch column type");
+    }
+    const ValueType type = static_cast<ValueType>(type_tag);
+    std::vector<uint8_t> nulls(num_rows, 0);
+    for (uint32_t i = 0; i < num_rows; ++i) {
+      GRF_RETURN_IF_ERROR(r->GetU8(&nulls[i]));
+    }
+    for (uint32_t i = 0; i < num_rows; ++i) {
+      Value v;
+      switch (type) {
+        case ValueType::kBoolean: {
+          uint8_t b = 0;
+          GRF_RETURN_IF_ERROR(r->GetU8(&b));
+          v = Value::Boolean(b != 0);
+          break;
+        }
+        case ValueType::kBigInt: {
+          int64_t x = 0;
+          GRF_RETURN_IF_ERROR(r->GetI64(&x));
+          v = Value::BigInt(x);
+          break;
+        }
+        case ValueType::kDouble: {
+          double x = 0;
+          GRF_RETURN_IF_ERROR(r->GetDouble(&x));
+          v = Value::Double(x);
+          break;
+        }
+        case ValueType::kVarchar: {
+          std::string s;
+          GRF_RETURN_IF_ERROR(r->GetString(&s));
+          v = Value::Varchar(std::move(s));
+          break;
+        }
+        case ValueType::kNull: {
+          GRF_RETURN_IF_ERROR(r->GetValue(&v));
+          break;
+        }
+      }
+      if (nulls[i] == 0) (*rows)[base + i][c] = std::move(v);
+    }
+  }
+  return Status::OK();
+}
+
+// --- Framed socket I/O -------------------------------------------------------
+
+namespace {
+
+Status WriteAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a peer that hung up turns into an IOError return, not a
+    // process-killing SIGPIPE (neither the server nor client library may
+    // assume the host process installed a SIGPIPE handler).
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("socket write: ") +
+                             ::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("socket write: peer closed");
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadExact(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("socket read: ") + ::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("socket read: peer closed");
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, MsgType type, const std::string& payload,
+                  uint64_t* bytes_out) {
+  char header[5];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(header, &len, 4);
+  header[4] = static_cast<char>(type);
+  GRF_RETURN_IF_ERROR(WriteAll(fd, header, 5));
+  GRF_RETURN_IF_ERROR(WriteAll(fd, payload.data(), payload.size()));
+  if (bytes_out != nullptr) *bytes_out += 5 + payload.size();
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, size_t max_payload, MsgType* type,
+                 std::string* payload, uint64_t* bytes_in) {
+  char header[5];
+  GRF_RETURN_IF_ERROR(ReadExact(fd, header, 5));
+  uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  if (len > max_payload) {
+    return Status::InvalidArgument("frame payload " + std::to_string(len) +
+                                   " exceeds the " +
+                                   std::to_string(max_payload) + " byte cap");
+  }
+  *type = static_cast<MsgType>(static_cast<uint8_t>(header[4]));
+  payload->resize(len);
+  if (len > 0) GRF_RETURN_IF_ERROR(ReadExact(fd, payload->data(), len));
+  if (bytes_in != nullptr) *bytes_in += 5 + len;
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace grfusion

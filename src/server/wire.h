@@ -1,0 +1,233 @@
+#ifndef GRFUSION_SERVER_WIRE_H_
+#define GRFUSION_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/result_set.h"
+
+namespace grfusion {
+namespace wire {
+
+// --- Protocol constants ------------------------------------------------------
+//
+// Every frame on the wire is
+//
+//   u32 payload_len (little-endian, counts the bytes after the type byte)
+//   u8  type        (MsgType)
+//   payload_len bytes of payload
+//
+// A connection opens with exactly one Hello (or CancelRequest) frame; the
+// server answers HelloOk or Error. After the handshake the client sends one
+// request frame at a time and reads frames until a terminal Done / Error /
+// PrepareOk / Pong. Statement results stream as
+//
+//   ResultHeader, RowBatch*, Done
+//
+// where Done carries rows_affected, the total row count, the server-side
+// latency, and the EXPLAIN ANALYZE-style work trailer (ExecStats + peak
+// bytes). Errors carry the stable numeric status code from GRF_STATUS_CODES
+// plus the message; everything already streamed for that statement is void.
+
+/// "GRFW" — first four bytes of every Hello payload.
+inline constexpr uint32_t kMagic = 0x47524657u;
+
+/// Protocol version this tree speaks. The handshake rejects clients whose
+/// version differs (there is exactly one version so far).
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Upper bound a peer accepts for one frame payload; larger length prefixes
+/// are a protocol error (and the reader closes the connection). Results
+/// larger than this stream as multiple RowBatch frames.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Rows per RowBatch frame the server emits.
+inline constexpr size_t kServerBatchRows = 1024;
+
+enum class MsgType : uint8_t {
+  // Client -> server.
+  kHello = 0x01,
+  kQuery = 0x02,          ///< string sql
+  kPrepare = 0x03,        ///< string sql
+  kExecute = 0x04,        ///< u64 stmt_id, u16 n, n values
+  kClosePrepared = 0x05,  ///< u64 stmt_id
+  kBegin = 0x06,
+  kCommit = 0x07,
+  kAbort = 0x08,
+  kPing = 0x09,
+  kCancelRequest = 0x0a,  ///< u64 conn_id, u64 secret (instead of Hello)
+
+  // Server -> client.
+  kHelloOk = 0x81,       ///< u32 version, u64 conn_id, u64 cancel secret
+  kResultHeader = 0x82,  ///< u16 cols, per col: string name, u8 type
+  kRowBatch = 0x83,      ///< columnar block, see EncodeRowBatch
+  kDone = 0x84,          ///< terminal stats trailer
+  kError = 0x85,         ///< i32 stable status code, string message
+  kPrepareOk = 0x86,     ///< u64 stmt_id, u16 num_params
+  kPong = 0x87,
+};
+
+/// True for the frame types a client may open a connection with.
+inline bool IsHandshakeType(MsgType t) {
+  return t == MsgType::kHello || t == MsgType::kCancelRequest;
+}
+
+// --- Primitive encoding ------------------------------------------------------
+// Little-endian, explicit widths. Strings are u32 length + bytes. Values are
+// a one-byte ValueType tag followed by the payload (nothing for NULL).
+
+class Writer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+  void PutValue(const Value& v);
+
+  const std::string& buf() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked sequential reader over one frame payload. Every getter
+/// fails with InvalidArgument on truncation instead of reading past the end,
+/// so arbitrarily corrupted frames decode to an error, never to UB — the
+/// malformed-frame fuzz leans on this.
+class Reader {
+ public:
+  Reader(const void* data, size_t len)
+      : p_(static_cast<const uint8_t*>(data)), len_(len) {}
+  explicit Reader(const std::string& payload)
+      : Reader(payload.data(), payload.size()) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU16(uint16_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI32(int32_t* out);
+  Status GetI64(int64_t* out);
+  Status GetDouble(double* out);
+  Status GetString(std::string* out);
+  Status GetValue(Value* out);
+
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* p_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+// --- Messages ----------------------------------------------------------------
+
+struct Hello {
+  uint32_t magic = kMagic;
+  uint32_t version = kProtocolVersion;
+  /// Session options applied at connect ("statement_timeout_us",
+  /// "memory_cap", "max_parallelism"); unknown keys are rejected.
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+struct HelloOk {
+  uint32_t version = kProtocolVersion;
+  uint64_t conn_id = 0;
+  uint64_t cancel_secret = 0;
+};
+
+struct ErrorMsg {
+  int32_t code = 0;  ///< StatusCodeToWire value.
+  std::string message;
+
+  Status ToStatus() const {
+    return Status(StatusCodeFromWire(code), message);
+  }
+  static ErrorMsg From(const Status& s) {
+    return ErrorMsg{StatusCodeToWire(s.code()), s.message()};
+  }
+};
+
+struct ResultHeader {
+  std::vector<std::string> names;
+  std::vector<ValueType> types;
+};
+
+/// Terminal trailer of one statement: shape counters plus the EXPLAIN
+/// ANALYZE-style work summary of the execution.
+struct Done {
+  uint64_t rows_affected = 0;
+  uint64_t num_rows = 0;
+  uint64_t latency_us = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_joined = 0;
+  uint64_t vertexes_expanded = 0;
+  uint64_t edges_examined = 0;
+  uint64_t paths_emitted = 0;
+  uint64_t paths_pruned = 0;
+};
+
+struct PrepareOk {
+  uint64_t stmt_id = 0;
+  uint16_t num_params = 0;
+};
+
+struct CancelRequest {
+  uint64_t conn_id = 0;
+  uint64_t secret = 0;
+};
+
+void Encode(const Hello& m, Writer* w);
+Status Decode(Reader* r, Hello* m);
+void Encode(const HelloOk& m, Writer* w);
+Status Decode(Reader* r, HelloOk* m);
+void Encode(const ErrorMsg& m, Writer* w);
+Status Decode(Reader* r, ErrorMsg* m);
+void Encode(const ResultHeader& m, Writer* w);
+Status Decode(Reader* r, ResultHeader* m);
+void Encode(const Done& m, Writer* w);
+Status Decode(Reader* r, Done* m);
+void Encode(const PrepareOk& m, Writer* w);
+Status Decode(Reader* r, PrepareOk* m);
+void Encode(const CancelRequest& m, Writer* w);
+Status Decode(Reader* r, CancelRequest* m);
+
+/// Serializes one column-typed row block (ResultSet::NextBatch output)
+/// column-at-a-time: fixed-width columns write their typed arrays directly;
+/// only VARCHAR and fallback columns are length-delimited per cell.
+void EncodeRowBatch(const RowBatch& batch, Writer* w);
+
+/// Decodes a RowBatch frame into row-major values appended to `rows`
+/// (clients rebuild a ResultSet). `max_cells` bounds allocation against
+/// hostile length prefixes.
+Status DecodeRowBatch(Reader* r, size_t expected_cols,
+                      std::vector<std::vector<Value>>* rows);
+
+// --- Framed socket I/O -------------------------------------------------------
+
+/// Writes one `type` frame with `payload` to `fd`, looping over partial
+/// writes. IOError on any socket failure. `bytes_out`, when non-null, is
+/// incremented by the full frame size.
+Status WriteFrame(int fd, MsgType type, const std::string& payload,
+                  uint64_t* bytes_out = nullptr);
+
+/// Reads exactly one frame. IOError on EOF/socket errors, InvalidArgument on
+/// an oversized length prefix (the caller must treat the connection as
+/// poisoned — framing can no longer be trusted).
+Status ReadFrame(int fd, size_t max_payload, MsgType* type,
+                 std::string* payload, uint64_t* bytes_in = nullptr);
+
+}  // namespace wire
+}  // namespace grfusion
+
+#endif  // GRFUSION_SERVER_WIRE_H_

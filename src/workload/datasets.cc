@@ -216,7 +216,8 @@ std::vector<Dataset> MakeAllDatasets(double scale, uint64_t seed) {
 Status LoadIntoDatabase(const Dataset& dataset, Database* db) {
   const std::string vt = dataset.name + "_v";
   const std::string et = dataset.name + "_e";
-  GRF_RETURN_IF_ERROR(db->ExecuteScript(StrFormat(
+  Session session(*db);  // DDL below; bulk rows bypass the SQL layer.
+  GRF_RETURN_IF_ERROR(session.ExecuteScript(StrFormat(
       "CREATE TABLE %s (id BIGINT PRIMARY KEY, name VARCHAR, kind VARCHAR, "
       "score DOUBLE);"
       "CREATE TABLE %s (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT, "
@@ -240,7 +241,7 @@ Status LoadIntoDatabase(const Dataset& dataset, Database* db) {
   }
   GRF_RETURN_IF_ERROR(db->BulkInsert(et, rows));
 
-  GRF_RETURN_IF_ERROR(db->ExecuteScript(StrFormat(
+  GRF_RETURN_IF_ERROR(session.ExecuteScript(StrFormat(
       "CREATE %s GRAPH VIEW %s "
       "VERTEXES (ID = id, name = name, kind = kind, score = score) FROM %s "
       "EDGES (ID = id, FROM = src, TO = dst, weight = weight, label = label, "

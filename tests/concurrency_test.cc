@@ -16,6 +16,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "sql_test_util.h"
 #include "graph/graph_view.h"
 
 namespace grfusion {
@@ -49,7 +50,7 @@ std::multiset<std::string> Topology(const GraphView& gv) {
 
 TEST(ConcurrencyTest, ParallelInsertsAllLand) {
   Database db;
-  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
                   .ok());
   constexpr int kThreads = 4;
   constexpr int kPerThread = 200;
@@ -59,7 +60,7 @@ TEST(ConcurrencyTest, ParallelInsertsAllLand) {
     threads.emplace_back([&db, &failures, t] {
       for (int i = 0; i < kPerThread; ++i) {
         int64_t id = t * kPerThread + i;
-        auto r = db.Execute(StrFormat("INSERT INTO t VALUES (%lld, %d)",
+        auto r = Exec(db, StrFormat("INSERT INTO t VALUES (%lld, %d)",
                                       static_cast<long long>(id), t));
         if (!r.ok()) ++failures;
       }
@@ -67,14 +68,14 @@ TEST(ConcurrencyTest, ParallelInsertsAllLand) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
-  auto count = db.Execute("SELECT COUNT(*) FROM t");
+  auto count = Exec(db, "SELECT COUNT(*) FROM t");
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(count->ScalarValue().AsBigInt(), kThreads * kPerThread);
 }
 
 TEST(ConcurrencyTest, ConcurrentGraphUpdatesKeepTopologyConsistent) {
   Database db;
-  ASSERT_TRUE(db.ExecuteScript(R"sql(
+  ASSERT_TRUE(ExecScript(db, R"sql(
     CREATE TABLE v (id BIGINT PRIMARY KEY);
     CREATE TABLE e (id BIGINT PRIMARY KEY, s BIGINT, d BIGINT);
     INSERT INTO v VALUES (0), (1), (2), (3);
@@ -90,11 +91,11 @@ TEST(ConcurrencyTest, ConcurrentGraphUpdatesKeepTopologyConsistent) {
   std::thread writer([&] {
     for (int i = 0; i < 300 && !stop; ++i) {
       int64_t id = 100 + (i % 10);
-      auto ins = db.Execute(
+      auto ins = Exec(db, 
           StrFormat("INSERT INTO e VALUES (%lld, %d, %d)",
                     static_cast<long long>(id), i % 4, (i + 1) % 4));
       if (ins.ok()) {
-        auto del = db.Execute(StrFormat("DELETE FROM e WHERE id = %lld",
+        auto del = Exec(db, StrFormat("DELETE FROM e WHERE id = %lld",
                                         static_cast<long long>(id)));
         if (!del.ok()) ++errors;
       }
@@ -103,7 +104,7 @@ TEST(ConcurrencyTest, ConcurrentGraphUpdatesKeepTopologyConsistent) {
   });
   std::thread reader([&] {
     for (int i = 0; i < 300; ++i) {
-      auto r = db.Execute(
+      auto r = Exec(db, 
           "SELECT COUNT(P) FROM g.Paths P WHERE P.StartVertex.Id = 0 AND "
           "P.Length <= 3");
       if (!r.ok()) ++errors;

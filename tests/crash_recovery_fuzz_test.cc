@@ -37,6 +37,7 @@
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "engine/database.h"
+#include "sql_test_util.h"
 #include "storage/wal.h"
 
 namespace grfusion {
@@ -193,7 +194,7 @@ std::string Fingerprint(Database& db) {
   std::vector<std::string> tables = db.catalog().TableNames();
   std::sort(tables.begin(), tables.end());
   for (const std::string& name : tables) {
-    auto rows = db.Execute("SELECT * FROM " + name);
+    auto rows = Exec(db, "SELECT * FROM " + name);
     EXPECT_TRUE(rows.ok()) << name << ": " << rows.status().ToString();
     out += "table " + name + "\n";
     if (!rows.ok()) continue;
@@ -209,7 +210,7 @@ std::string Fingerprint(Database& db) {
     std::sort(rendered.begin(), rendered.end());
     for (const std::string& line : rendered) out += line + "\n";
   }
-  auto views = db.Execute(
+  auto views = Exec(db, 
       "SELECT NAME, DIRECTED, VERTEXES, EDGES FROM SYS.GRAPH_VIEWS");
   EXPECT_TRUE(views.ok()) << views.status().ToString();
   if (views.ok()) {
@@ -235,7 +236,7 @@ std::string ReferenceFingerprint(const std::vector<Unit>& units,
   Database db;
   for (size_t i = 0; i < prefix && i < units.size(); ++i) {
     if (units[i].is_checkpoint) continue;
-    Status s = db.ExecuteScript(units[i].sql);
+    Status s = ExecScript(db, units[i].sql);
     EXPECT_TRUE(s.ok()) << "reference unit " << i << " '" << units[i].sql
                         << "': " << s.ToString();
   }
@@ -282,7 +283,7 @@ void RunKillAndRecoverCase(uint64_t seed) {
       serial.max_parallelism = 1;
       Database db(serial, durability);
       for (size_t i = 0; i < units.size(); ++i) {
-        if (!db.ExecuteScript(units[i].sql).ok()) std::_Exit(kHarnessBugExit);
+        if (!ExecScript(db, units[i].sql).ok()) std::_Exit(kHarnessBugExit);
         // The unit's commit is durable (sync happened before ExecuteScript
         // returned); only now may the ack claim it.
         std::string line = std::to_string(i) + "\n";
@@ -354,7 +355,7 @@ void RunKillAndRecoverCase(uint64_t seed) {
   // listeners correctly) — smoke one insert if the schema exists.
   if (recovered.catalog().FindTable("nodes") != nullptr) {
     EXPECT_TRUE(
-        recovered.Execute("INSERT INTO nodes VALUES (999999, 1)").ok());
+        Exec(recovered, "INSERT INTO nodes VALUES (999999, 1)").ok());
   }
 }
 

@@ -11,6 +11,7 @@
 #include "baselines/sqlgraph.h"
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "sql_test_util.h"
 #include "workload/datasets.h"
 #include "workload/queries.h"
 
@@ -47,14 +48,14 @@ class CrossValidationTest : public ::testing::Test {
                        static_cast<long long>(rank_threshold));
     }
     sql += " LIMIT 1";
-    auto result = db_.Execute(sql);
+    auto result = Exec(db_, sql);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return result.ok() && result->NumRows() > 0;
   }
 
   std::optional<double> GrfShortestCost(const std::string& graph, int64_t src,
                                         int64_t dst) {
-    auto result = db_.Execute(StrFormat(
+    auto result = Exec(db_, StrFormat(
         "SELECT TOP 1 PS.Cost FROM %s.Paths PS HINT(SHORTESTPATH(weight)) "
         "WHERE PS.StartVertex.Id = %lld AND PS.EndVertex.Id = %lld",
         graph.c_str(), static_cast<long long>(src),
@@ -152,7 +153,7 @@ TEST_F(CrossValidationTest, ShortestPathCostsAgree) {
 TEST_F(CrossValidationTest, TriangleCountsAgree) {
   Dataset social = MakeSocialNetwork(120, 4, kSeed + 3);
   LoadAll(social);
-  auto grf = db_.Execute(
+  auto grf = Exec(db_, 
       "SELECT COUNT(P) FROM social.Paths P WHERE P.Length = 3 "
       "AND P.Edges[0].label = 'follows' AND P.Edges[1].label = 'mentions' "
       "AND P.Edges[2].label = 'retweets' "
@@ -177,7 +178,7 @@ TEST_F(CrossValidationTest, UndirectedTriangleCountsAgree) {
   // endpoints (edge From/To keep the stored orientation).
   Dataset bio = MakeProteinNetwork(150, 4, kSeed + 8);
   LoadAll(bio);
-  auto grf = db_.Execute(
+  auto grf = Exec(db_, 
       "SELECT COUNT(P) FROM bio.Paths P WHERE P.Length = 3 "
       "AND P.Edges[0].label = 'covalent' AND P.Edges[1].label = 'stable' "
       "AND P.Edges[2].label = 'transient' "

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/database.h"
+#include "sql_test_util.h"
 
 namespace grfusion {
 namespace {
@@ -13,7 +14,7 @@ namespace {
 class SocialNetworkTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    ASSERT_TRUE(ExecScript(db_, R"sql(
       CREATE TABLE Users (
         uId BIGINT PRIMARY KEY,
         fName VARCHAR,
@@ -52,7 +53,7 @@ class SocialNetworkTest : public ::testing::Test {
   }
 
   ResultSet MustQuery(const std::string& sql) {
-    auto result = db_.Execute(sql);
+    auto result = Exec(db_, sql);
     EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
     return result.ok() ? *std::move(result) : ResultSet();
   }
@@ -158,10 +159,10 @@ TEST_F(SocialNetworkTest, ExplainShowsPathScan) {
 TEST_F(SocialNetworkTest, OnlineTopologyUpdate) {
   // Paper §3.3: inserts/deletes on the relational sources update the
   // materialized topology inside the same statement.
-  ASSERT_TRUE(db_.Execute("INSERT INTO Users VALUES (6, 'Zed', 'Quinn', "
+  ASSERT_TRUE(Exec(db_, "INSERT INTO Users VALUES (6, 'Zed', 'Quinn', "
                           "'2000-01-01', 'Nurse')")
                   .ok());
-  ASSERT_TRUE(db_.Execute("INSERT INTO Relationships VALUES (600, 5, 6, "
+  ASSERT_TRUE(Exec(db_, "INSERT INTO Relationships VALUES (600, 5, 6, "
                           "'2010-01-01', false, 2.0)")
                   .ok());
   const GraphView* gv = db_.catalog().FindGraphView("SocialNetwork");
@@ -170,13 +171,13 @@ TEST_F(SocialNetworkTest, OnlineTopologyUpdate) {
   ASSERT_NE(gv->FindVertex(6), nullptr);
 
   // Deleting a vertex with incident edges violates referential integrity.
-  auto bad = db_.Execute("DELETE FROM Users WHERE uId = 6");
+  auto bad = Exec(db_, "DELETE FROM Users WHERE uId = 6");
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kConstraintViolation);
 
   // Delete edge first, then the vertex.
-  ASSERT_TRUE(db_.Execute("DELETE FROM Relationships WHERE relId = 600").ok());
-  ASSERT_TRUE(db_.Execute("DELETE FROM Users WHERE uId = 6").ok());
+  ASSERT_TRUE(Exec(db_, "DELETE FROM Relationships WHERE relId = 600").ok());
+  ASSERT_TRUE(Exec(db_, "DELETE FROM Users WHERE uId = 6").ok());
   EXPECT_EQ(gv->NumVertexes(), 5u);
   EXPECT_EQ(gv->NumEdges(), 5u);
 }
@@ -184,7 +185,7 @@ TEST_F(SocialNetworkTest, OnlineTopologyUpdate) {
 TEST(TriangleTest, CountsLabeledTriangles) {
   // Paper Listing 4 (Query Q_t): count triangles with labeled edges.
   Database db;
-  ASSERT_TRUE(db.ExecuteScript(R"sql(
+  ASSERT_TRUE(ExecScript(db, R"sql(
       CREATE TABLE V (id BIGINT PRIMARY KEY, name VARCHAR);
       CREATE TABLE E (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
                       Label VARCHAR);
@@ -198,7 +199,7 @@ TEST(TriangleTest, CountsLabeledTriangles) {
         EDGES (ID = id, FROM = src, TO = dst, Label = Label) FROM E;
     )sql")
                   .ok());
-  auto result = db.Execute(
+  auto result = Exec(db, 
       "SELECT Count(P) FROM MLGraph.Paths P WHERE P.Length = 3 "
       "AND P.Edges[0].Label = 'A' AND P.Edges[1].Label = 'B' "
       "AND P.Edges[2].Label = 'C' "

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "engine/database.h"
+#include "sql_test_util.h"
 
 namespace grfusion {
 namespace {
@@ -14,7 +15,7 @@ class GraphSqlTest : public ::testing::Test {
  protected:
   void SetUp() override {
     // A small directed "citation" style graph with typed vertexes.
-    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    ASSERT_TRUE(ExecScript(db_, R"sql(
       CREATE TABLE node (id BIGINT PRIMARY KEY, kind VARCHAR, score DOUBLE);
       CREATE TABLE link (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
                          w DOUBLE, tag VARCHAR);
@@ -34,7 +35,7 @@ class GraphSqlTest : public ::testing::Test {
   }
 
   ResultSet Must(const std::string& sql) {
-    auto result = db_.Execute(sql);
+    auto result = Exec(db_, sql);
     EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
     return result.ok() ? *std::move(result) : ResultSet();
   }
@@ -131,7 +132,7 @@ TEST_F(GraphSqlTest, PathSelfJoinOnAttributes) {
   EXPECT_EQ(r.NumRows(), 0u);
   // Add a co-author and re-check.
   ASSERT_TRUE(
-      db_.Execute("INSERT INTO link VALUES (17, 5, 2, 1.0, 'writes')").ok());
+      Exec(db_, "INSERT INTO link VALUES (17, 5, 2, 1.0, 'writes')").ok());
   r = Must(
       "SELECT P1.StartVertexId, P2.StartVertexId FROM cite.Paths P1, "
       "cite.Paths P2 "
@@ -178,27 +179,27 @@ TEST_F(GraphSqlTest, MixedRelationalAndGraphPredicates) {
 }
 
 TEST_F(GraphSqlTest, ErrorOnUnknownPathProperty) {
-  EXPECT_FALSE(db_.Execute("SELECT P.Bogus FROM cite.Paths P "
+  EXPECT_FALSE(Exec(db_, "SELECT P.Bogus FROM cite.Paths P "
                            "WHERE P.StartVertex.Id = 1 AND P.Length = 1")
                    .ok());
 }
 
 TEST_F(GraphSqlTest, ErrorOnUnknownEdgeAttribute) {
   EXPECT_FALSE(
-      db_.Execute("SELECT 1 FROM cite.Paths P WHERE P.StartVertex.Id = 1 "
+      Exec(db_, "SELECT 1 FROM cite.Paths P WHERE P.StartVertex.Id = 1 "
                   "AND P.Edges[0].missing = 1 AND P.Length = 1")
           .ok());
 }
 
 TEST_F(GraphSqlTest, ErrorOnRangeRefOutsidePredicate) {
   EXPECT_FALSE(
-      db_.Execute("SELECT P.Edges[0..*].tag FROM cite.Paths P "
+      Exec(db_, "SELECT P.Edges[0..*].tag FROM cite.Paths P "
                   "WHERE P.StartVertex.Id = 1 AND P.Length = 1")
           .ok());
 }
 
 TEST_F(GraphSqlTest, ErrorOnHintForTable) {
-  EXPECT_FALSE(db_.Execute("SELECT 1 FROM node HINT(DFS)").ok());
+  EXPECT_FALSE(Exec(db_, "SELECT 1 FROM node HINT(DFS)").ok());
 }
 
 TEST_F(GraphSqlTest, ZeroResultTraversals) {
@@ -217,7 +218,7 @@ TEST_F(GraphSqlTest, ZeroResultTraversals) {
 TEST_F(GraphSqlTest, CycleClosureOnDirectedGraph) {
   // Build a 3-cycle and find it as a closed length-3 path.
   ASSERT_TRUE(
-      db_.Execute("INSERT INTO link VALUES (20, 4, 1, 1.0, 'back')").ok());
+      Exec(db_, "INSERT INTO link VALUES (20, 4, 1, 1.0, 'back')").ok());
   ResultSet r = Must(
       "SELECT COUNT(P) FROM cite.Paths P WHERE P.Length = 3 "
       "AND P.StartVertex.Id = 1 "
@@ -230,11 +231,11 @@ TEST_F(GraphSqlTest, GraphViewOverMaterializedView) {
   // Paper §3.1: "the relational source can either be a table or a
   // materialized relational-view". Build a filtered edge view and declare a
   // graph over it.
-  ASSERT_TRUE(db_.Execute(
+  ASSERT_TRUE(Exec(db_, 
                     "CREATE MATERIALIZED VIEW cites_only AS "
                     "SELECT id, src, dst, w FROM link WHERE tag = 'cites'")
                   .ok());
-  ASSERT_TRUE(db_.ExecuteScript(
+  ASSERT_TRUE(ExecScript(db_, 
                     "CREATE DIRECTED GRAPH VIEW citegraph "
                     "VERTEXES (ID = id, kind = kind) FROM node "
                     "EDGES (ID = id, FROM = src, TO = dst, w = w) "
@@ -250,18 +251,18 @@ TEST_F(GraphSqlTest, GraphViewOverMaterializedView) {
 }
 
 TEST_F(GraphSqlTest, MaterializedViewSnapshotsData) {
-  ASSERT_TRUE(db_.Execute("CREATE MATERIALIZED VIEW papers AS "
+  ASSERT_TRUE(Exec(db_, "CREATE MATERIALIZED VIEW papers AS "
                           "SELECT id, score FROM node WHERE kind = 'paper'")
                   .ok());
   auto before = Must("SELECT COUNT(*) FROM papers");
   EXPECT_EQ(before.ScalarValue().AsBigInt(), 3);
   // New base rows do not appear (snapshot semantics).
   ASSERT_TRUE(
-      db_.Execute("INSERT INTO node VALUES (7, 'paper', 50.0)").ok());
+      Exec(db_, "INSERT INTO node VALUES (7, 'paper', 50.0)").ok());
   auto after = Must("SELECT COUNT(*) FROM papers");
   EXPECT_EQ(after.ScalarValue().AsBigInt(), 3);
   // Duplicate name rejected.
-  EXPECT_FALSE(db_.Execute("CREATE MATERIALIZED VIEW papers AS "
+  EXPECT_FALSE(Exec(db_, "CREATE MATERIALIZED VIEW papers AS "
                            "SELECT id FROM node")
                    .ok());
 }
@@ -272,7 +273,7 @@ TEST_F(GraphSqlTest, TraversalSeesOnlineUpdatesImmediately) {
       "P.Length = 1");
   EXPECT_EQ(before.ScalarValue().AsBigInt(), 0);  // Venue has no out-edges.
   ASSERT_TRUE(
-      db_.Execute("INSERT INTO link VALUES (21, 6, 1, 1.0, 'hosts')").ok());
+      Exec(db_, "INSERT INTO link VALUES (21, 6, 1, 1.0, 'hosts')").ok());
   ResultSet after = Must(
       "SELECT COUNT(P) FROM cite.Paths P WHERE P.StartVertex.Id = 6 AND "
       "P.Length = 1");

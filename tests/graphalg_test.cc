@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "sql_test_util.h"
 #include "graphalg/algorithms.h"
 #include "workload/datasets.h"
 
@@ -17,7 +18,7 @@ class GraphAlgTest : public ::testing::Test {
   /// Two 3-cycles joined by a bridge, plus an isolated vertex:
   ///   0-1-2-0   2-3   3-4-5-3   6
   void SetUp() override {
-    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    ASSERT_TRUE(ExecScript(db_, R"sql(
       CREATE TABLE v (id BIGINT PRIMARY KEY, name VARCHAR);
       CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
                       w DOUBLE);
@@ -64,7 +65,7 @@ TEST_F(GraphAlgTest, ConnectedComponents) {
 }
 
 TEST_F(GraphAlgTest, ComponentsFollowTopologyUpdates) {
-  ASSERT_TRUE(db_.Execute("DELETE FROM e WHERE id = 13").ok());  // Cut bridge.
+  ASSERT_TRUE(Exec(db_, "DELETE FROM e WHERE id = 13").ok());  // Cut bridge.
   auto cc = ConnectedComponents(*gv_);
   EXPECT_EQ(cc[0], cc[1]);
   EXPECT_EQ(cc[3], cc[5]);
@@ -85,7 +86,7 @@ TEST_F(GraphAlgTest, SingleSourceShortestPaths) {
 TEST_F(GraphAlgTest, SsspAgreesWithSpScanOperator) {
   auto sssp = SingleSourceShortestPaths(*gv_, 0, "w");
   ASSERT_TRUE(sssp.ok());
-  auto sql = db_.Execute(
+  auto sql = Exec(db_, 
       "SELECT TOP 1 PS.Cost FROM g.Paths PS HINT(SHORTESTPATH(w)) "
       "WHERE PS.StartVertex.Id = 0 AND PS.EndVertex.Id = 4");
   ASSERT_TRUE(sql.ok());
@@ -111,7 +112,7 @@ TEST_F(GraphAlgTest, KHopNeighborhood) {
 
 TEST_F(GraphAlgTest, ExactTriangleCount) {
   EXPECT_EQ(CountTrianglesExact(*gv_), 2);  // The two 3-cycles.
-  ASSERT_TRUE(db_.Execute("INSERT INTO e VALUES (17, 1, 3, 1.0)").ok());
+  ASSERT_TRUE(Exec(db_, "INSERT INTO e VALUES (17, 1, 3, 1.0)").ok());
   // New triangle 1-2-3.
   EXPECT_EQ(CountTrianglesExact(*gv_), 3);
 }
@@ -130,7 +131,7 @@ TEST(GraphAlgDatasetTest, TriangleCountMatchesGeneratedShape) {
   // neighbor intersection over the property store would be redundant, so
   // use a tiny complete graph with a known closed form: K5 has C(5,3)=10).
   Database db;
-  ASSERT_TRUE(db.ExecuteScript(R"sql(
+  ASSERT_TRUE(ExecScript(db, R"sql(
     CREATE TABLE v (id BIGINT PRIMARY KEY);
     CREATE TABLE e (id BIGINT PRIMARY KEY, s BIGINT, d BIGINT);
     INSERT INTO v VALUES (0),(1),(2),(3),(4);
@@ -139,7 +140,7 @@ TEST(GraphAlgDatasetTest, TriangleCountMatchesGeneratedShape) {
   int64_t eid = 0;
   for (int64_t a = 0; a < 5; ++a) {
     for (int64_t b = a + 1; b < 5; ++b) {
-      ASSERT_TRUE(db.Execute(StrFormat("INSERT INTO e VALUES (%lld, %lld, "
+      ASSERT_TRUE(Exec(db, StrFormat("INSERT INTO e VALUES (%lld, %lld, "
                                        "%lld)",
                                        static_cast<long long>(eid++),
                                        static_cast<long long>(a),
@@ -147,7 +148,7 @@ TEST(GraphAlgDatasetTest, TriangleCountMatchesGeneratedShape) {
                       .ok());
     }
   }
-  ASSERT_TRUE(db.ExecuteScript(
+  ASSERT_TRUE(ExecScript(db, 
                     "CREATE UNDIRECTED GRAPH VIEW k5 "
                     "VERTEXES (ID = id) FROM v "
                     "EDGES (ID = id, FROM = s, TO = d) FROM e;")

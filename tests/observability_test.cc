@@ -15,6 +15,7 @@
 #include "common/string_util.h"
 #include "common/tracer.h"
 #include "engine/database.h"
+#include "sql_test_util.h"
 
 namespace grfusion {
 namespace {
@@ -350,7 +351,7 @@ TEST(ActiveQueriesTest, KillInterruptsLongTraversalInAnotherSession) {
 
 TEST(ActiveQueriesTest, DmlRegistersButIsNotKillable) {
   Database db;
-  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT PRIMARY KEY)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (id BIGINT PRIMARY KEY)").ok());
   ActiveQueryRegistry& reg = db.active_queries();
   uint64_t id = reg.Register(1, "INSERT INTO t VALUES (1)", "INSERT",
                              /*token=*/nullptr, /*rows=*/nullptr);

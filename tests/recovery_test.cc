@@ -19,6 +19,7 @@
 
 #include "common/failpoint.h"
 #include "engine/database.h"
+#include "sql_test_util.h"
 #include "engine/recovery.h"
 #include "storage/wal.h"
 
@@ -88,7 +89,7 @@ DurabilityOptions Durable(const std::string& dir,
 /// All rows of `table` rendered to strings and sorted — an order-independent
 /// content fingerprint.
 std::vector<std::string> DumpSorted(Database& db, const std::string& table) {
-  auto result = db.Execute("SELECT * FROM " + table);
+  auto result = Exec(db, "SELECT * FROM " + table);
   EXPECT_TRUE(result.ok()) << table << ": " << result.status().ToString();
   std::vector<std::string> rows;
   if (result.ok()) {
@@ -126,12 +127,12 @@ TEST_F(RecoveryTest, WalOnlyRoundTrip) {
     Database db(PlannerOptions(), Durable(dir.path()));
     ASSERT_TRUE(db.durable());
     ASSERT_TRUE(db.durability_status().ok());
-    ASSERT_TRUE(db.ExecuteScript(kSchemaAndData).ok());
+    ASSERT_TRUE(ExecScript(db, kSchemaAndData).ok());
   }
   Database recovered(PlannerOptions(), Durable(dir.path()));
   ASSERT_TRUE(recovered.durability_status().ok());
   Database reference;
-  ASSERT_TRUE(reference.ExecuteScript(kSchemaAndData).ok());
+  ASSERT_TRUE(ExecScript(reference, kSchemaAndData).ok());
   EXPECT_EQ(DumpSorted(recovered, "Users"), DumpSorted(reference, "Users"));
   EXPECT_EQ(DumpSorted(recovered, "Rel"), DumpSorted(reference, "Rel"));
   const auto& stats = recovered.durability()->recovery_stats();
@@ -152,12 +153,12 @@ TEST_F(RecoveryTest, GraphViewRebuiltFromRecoveredTables) {
   )sql";
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.ExecuteScript(script).ok());
+    ASSERT_TRUE(ExecScript(db, script).ok());
   }
   Database recovered(PlannerOptions(), Durable(dir.path()));
   ASSERT_TRUE(recovered.durability_status().ok());
   Database reference;
-  ASSERT_TRUE(reference.ExecuteScript(script).ok());
+  ASSERT_TRUE(ExecScript(reference, script).ok());
   // Topology counters and a traversal must match a from-scratch build.
   // Compare only the logical columns: physical-representation columns
   // (TOPOLOGY/CSR_BYTES/FOLDS) legitimately differ — the reference still
@@ -166,7 +167,7 @@ TEST_F(RecoveryTest, GraphViewRebuiltFromRecoveredTables) {
   const std::string sizes =
       "SELECT NAME, DIRECTED, VERTEXES, EDGES FROM SYS.GRAPH_VIEWS";
   auto dump_sizes = [&](Database& db) {
-    auto result = db.Execute(sizes);
+    auto result = Exec(db, sizes);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     std::vector<std::string> rows;
     if (result.ok()) {
@@ -186,8 +187,8 @@ TEST_F(RecoveryTest, GraphViewRebuiltFromRecoveredTables) {
   const std::string paths =
       "SELECT PS.PathString FROM Net.Paths PS "
       "WHERE PS.StartVertex.ID = 1 AND PS.Length = 2";
-  auto got = recovered.Execute(paths);
-  auto want = reference.Execute(paths);
+  auto got = Exec(recovered, paths);
+  auto want = Exec(reference, paths);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   ASSERT_TRUE(want.ok()) << want.status().ToString();
   auto render = [](const ResultSet& rs) {
@@ -204,9 +205,9 @@ TEST_F(RecoveryTest, CheckpointRotatesWalAndRecoversAlone) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.ExecuteScript(kSchemaAndData).ok());
+    ASSERT_TRUE(ExecScript(db, kSchemaAndData).ok());
     ASSERT_EQ(db.durability()->wal()->generation(), 0u);
-    ASSERT_TRUE(db.Execute("CHECKPOINT").ok());
+    ASSERT_TRUE(Exec(db, "CHECKPOINT").ok());
     EXPECT_EQ(db.durability()->wal()->generation(), 1u);
     EXPECT_EQ(db.durability()->checkpoints_taken(), 1u);
     // The old generation's log is gone; the checkpoint plus the fresh empty
@@ -215,7 +216,7 @@ TEST_F(RecoveryTest, CheckpointRotatesWalAndRecoversAlone) {
     EXPECT_EQ(entries, (std::vector<std::string>{"checkpoint.grf",
                                                  "wal.1.log"}));
     // Post-checkpoint writes land in the new generation.
-    ASSERT_TRUE(db.Execute("INSERT INTO Users VALUES (7, 'gil', 7.0)").ok());
+    ASSERT_TRUE(Exec(db, "INSERT INTO Users VALUES (7, 'gil', 7.0)").ok());
   }
   Database recovered(PlannerOptions(), Durable(dir.path()));
   ASSERT_TRUE(recovered.durability_status().ok());
@@ -224,8 +225,8 @@ TEST_F(RecoveryTest, CheckpointRotatesWalAndRecoversAlone) {
   EXPECT_EQ(stats.checkpoint_tables, 2u);
   EXPECT_GT(stats.wal_records, 0u);  // The post-checkpoint insert.
   Database reference;
-  ASSERT_TRUE(reference.ExecuteScript(kSchemaAndData).ok());
-  ASSERT_TRUE(reference.Execute("INSERT INTO Users VALUES (7, 'gil', 7.0)")
+  ASSERT_TRUE(ExecScript(reference, kSchemaAndData).ok());
+  ASSERT_TRUE(Exec(reference, "INSERT INTO Users VALUES (7, 'gil', 7.0)")
                   .ok());
   EXPECT_EQ(DumpSorted(recovered, "Users"), DumpSorted(reference, "Users"));
   EXPECT_EQ(DumpSorted(recovered, "Rel"), DumpSorted(reference, "Rel"));
@@ -235,8 +236,8 @@ TEST_F(RecoveryTest, CheckpointOnlyWithEmptyWalSuffix) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.ExecuteScript(kSchemaAndData).ok());
-    ASSERT_TRUE(db.Execute("CHECKPOINT").ok());
+    ASSERT_TRUE(ExecScript(db, kSchemaAndData).ok());
+    ASSERT_TRUE(Exec(db, "CHECKPOINT").ok());
   }
   Database recovered(PlannerOptions(), Durable(dir.path()));
   ASSERT_TRUE(recovered.durability_status().ok());
@@ -245,7 +246,7 @@ TEST_F(RecoveryTest, CheckpointOnlyWithEmptyWalSuffix) {
   EXPECT_EQ(stats.wal_records, 0u);
   EXPECT_EQ(stats.checkpoint_rows, 5u);  // 3 users + 2 surviving rels.
   Database reference;
-  ASSERT_TRUE(reference.ExecuteScript(kSchemaAndData).ok());
+  ASSERT_TRUE(ExecScript(reference, kSchemaAndData).ok());
   EXPECT_EQ(DumpSorted(recovered, "Users"), DumpSorted(reference, "Users"));
   EXPECT_EQ(DumpSorted(recovered, "Rel"), DumpSorted(reference, "Rel"));
 }
@@ -254,7 +255,7 @@ TEST_F(RecoveryTest, TornTailDiscardedAndTruncated) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+    ASSERT_TRUE(ExecScript(db, "CREATE TABLE t (id BIGINT); "
                                  "INSERT INTO t VALUES (1), (2)")
                     .ok());
   }
@@ -273,7 +274,7 @@ TEST_F(RecoveryTest, TornTailDiscardedAndTruncated) {
     EXPECT_EQ(DumpSorted(recovered, "t"),
               (std::vector<std::string>{"1|", "2|"}));
     // The tail was truncated away: appends continue from the valid prefix.
-    ASSERT_TRUE(recovered.Execute("INSERT INTO t VALUES (3)").ok());
+    ASSERT_TRUE(Exec(recovered, "INSERT INTO t VALUES (3)").ok());
   }
   Database again(PlannerOptions(), Durable(dir.path()));
   ASSERT_TRUE(again.durability_status().ok());
@@ -286,7 +287,7 @@ TEST_F(RecoveryTest, UncommittedTxnInLogIsDiscarded) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+    ASSERT_TRUE(ExecScript(db, "CREATE TABLE t (id BIGINT); "
                                  "INSERT INTO t VALUES (1)")
                     .ok());
   }
@@ -318,7 +319,7 @@ TEST_F(RecoveryTest, ExplicitTxnCommitAndRollback) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.ExecuteScript(R"sql(
+    ASSERT_TRUE(ExecScript(db, R"sql(
       CREATE TABLE t (id BIGINT, tag VARCHAR);
       BEGIN; INSERT INTO t VALUES (1, 'kept');
              INSERT INTO t VALUES (2, 'kept'); COMMIT;
@@ -338,7 +339,7 @@ TEST_F(RecoveryTest, DdlRecoveryAcrossAllObjectKinds) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.ExecuteScript(R"sql(
+    ASSERT_TRUE(ExecScript(db, R"sql(
       CREATE TABLE keep (id BIGINT PRIMARY KEY, v VARCHAR);
       CREATE TABLE doomed (id BIGINT);
       CREATE INDEX idx_v ON keep (v);
@@ -364,7 +365,7 @@ TEST_F(RecoveryTest, DdlRecoveryAcrossAllObjectKinds) {
   ASSERT_NE(keep, nullptr);
   EXPECT_EQ(keep->indexes().size(), 2u);
   // Unique constraint is enforced by the recovered pk index.
-  EXPECT_FALSE(recovered.Execute("INSERT INTO keep VALUES (1, 'dup')").ok());
+  EXPECT_FALSE(Exec(recovered, "INSERT INTO keep VALUES (1, 'dup')").ok());
 }
 
 TEST_F(RecoveryTest, SyncModeMatrixRoundTrips) {
@@ -374,7 +375,7 @@ TEST_F(RecoveryTest, SyncModeMatrixRoundTrips) {
     TempDir dir;
     {
       Database db(PlannerOptions(), Durable(dir.path(), mode));
-      ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+      ASSERT_TRUE(ExecScript(db, "CREATE TABLE t (id BIGINT); "
                                    "INSERT INTO t VALUES (1), (2), (3)")
                       .ok());
     }
@@ -388,8 +389,8 @@ TEST_F(RecoveryTest, SyncModeMatrixRoundTrips) {
 TEST_F(RecoveryTest, SysWalReportsDurabilityState) {
   TempDir dir;
   Database db(PlannerOptions(), Durable(dir.path(), WalSyncMode::kGroup));
-  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT)").ok());
-  auto rows = db.Execute("SELECT DATA_DIR, SYNC_MODE, GENERATION, STATUS "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (id BIGINT)").ok());
+  auto rows = Exec(db, "SELECT DATA_DIR, SYNC_MODE, GENERATION, STATUS "
                          "FROM SYS.WAL");
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
   ASSERT_EQ(rows->NumRows(), 1u);
@@ -399,25 +400,26 @@ TEST_F(RecoveryTest, SysWalReportsDurabilityState) {
   EXPECT_EQ(rows->rows[0][3].ToString(), "OK");
 
   Database memory_only;
-  auto none = memory_only.Execute("SELECT * FROM SYS.WAL");
+  auto none = Exec(memory_only, "SELECT * FROM SYS.WAL");
   ASSERT_TRUE(none.ok());
   EXPECT_EQ(none->NumRows(), 0u);
 }
 
 TEST_F(RecoveryTest, CheckpointRequiresDataDirectory) {
   Database memory_only;
-  Status s = memory_only.Execute("CHECKPOINT").status();
+  Status s = Exec(memory_only, "CHECKPOINT").status();
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
 }
 
 TEST_F(RecoveryTest, CheckpointRejectedInsideTransaction) {
   TempDir dir;
   Database db(PlannerOptions(), Durable(dir.path()));
-  ASSERT_TRUE(db.Execute("BEGIN").ok());
-  Status s = db.Execute("CHECKPOINT").status();
+  Session session(db);  // Transaction state lives on the session.
+  ASSERT_TRUE(session.Execute("BEGIN").ok());
+  Status s = session.Execute("CHECKPOINT").status();
   EXPECT_FALSE(s.ok());
-  ASSERT_TRUE(db.Execute("ROLLBACK").ok());
-  EXPECT_TRUE(db.Execute("CHECKPOINT").ok());
+  ASSERT_TRUE(session.Execute("ROLLBACK").ok());
+  EXPECT_TRUE(session.Execute("CHECKPOINT").ok());
 }
 
 TEST_F(RecoveryTest, CorruptCheckpointFailsRecoveryButFencesWrites) {
@@ -429,8 +431,8 @@ TEST_F(RecoveryTest, CorruptCheckpointFailsRecoveryButFencesWrites) {
   Database db(PlannerOptions(), Durable(dir.path()));
   EXPECT_FALSE(db.durability_status().ok());
   // The database opens (reads work) but every write is fenced.
-  EXPECT_FALSE(db.Execute("CREATE TABLE t (id BIGINT)").ok());
-  auto wal = db.Execute("SELECT STATUS FROM SYS.WAL");
+  EXPECT_FALSE(Exec(db, "CREATE TABLE t (id BIGINT)").ok());
+  auto wal = Exec(db, "SELECT STATUS FROM SYS.WAL");
   ASSERT_TRUE(wal.ok());
   ASSERT_EQ(wal->NumRows(), 1u);
   EXPECT_NE(wal->rows[0][0].ToString(), "OK");
@@ -439,23 +441,23 @@ TEST_F(RecoveryTest, CorruptCheckpointFailsRecoveryButFencesWrites) {
 TEST_F(RecoveryTest, WalAppendFailureRollsBackStatementCleanly) {
   TempDir dir;
   Database db(PlannerOptions(), Durable(dir.path()));
-  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+  ASSERT_TRUE(ExecScript(db, "CREATE TABLE t (id BIGINT); "
                                "INSERT INTO t VALUES (1)")
                   .ok());
   // "wal.append" fires before any byte reaches the file, so the statement
   // rolls back and the writer stays healthy.
   FailpointRegistry::Global().Arm("wal.append", {});
-  EXPECT_FALSE(db.Execute("INSERT INTO t VALUES (2)").ok());
+  EXPECT_FALSE(Exec(db, "INSERT INTO t VALUES (2)").ok());
   FailpointRegistry::Global().DisarmAll();
   EXPECT_TRUE(db.durability_status().ok());
-  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (3)").ok());
+  ASSERT_TRUE(Exec(db, "INSERT INTO t VALUES (3)").ok());
   EXPECT_EQ(DumpSorted(db, "t"), (std::vector<std::string>{"1|", "3|"}));
 }
 
 TEST_F(RecoveryTest, WalAppendFailureRollsBackDdlCatalogChanges) {
   TempDir dir;
   Database db(PlannerOptions(), Durable(dir.path()));
-  ASSERT_TRUE(db.ExecuteScript(R"sql(
+  ASSERT_TRUE(ExecScript(db, R"sql(
     CREATE TABLE n (id BIGINT PRIMARY KEY, v VARCHAR);
     CREATE TABLE e (id BIGINT PRIMARY KEY, a BIGINT, b BIGINT);
     INSERT INTO n VALUES (1, 'a');
@@ -466,31 +468,31 @@ TEST_F(RecoveryTest, WalAppendFailureRollsBackDdlCatalogChanges) {
   // ones) that a restart contradicts. "wal.append" fires before any byte
   // reaches the file, so the writer stays healthy across each attempt.
   FailpointRegistry::Global().Arm("wal.append", {});
-  EXPECT_FALSE(db.Execute("CREATE TABLE ghost (id BIGINT)").ok());
+  EXPECT_FALSE(Exec(db, "CREATE TABLE ghost (id BIGINT)").ok());
   EXPECT_EQ(db.catalog().FindTable("ghost"), nullptr);
-  EXPECT_FALSE(db.Execute("CREATE INDEX idx_v ON n (v)").ok());
+  EXPECT_FALSE(Exec(db, "CREATE INDEX idx_v ON n (v)").ok());
   EXPECT_EQ(db.catalog().FindTable("n")->indexes().size(), 1u);  // pk only
-  EXPECT_FALSE(db.Execute("CREATE UNDIRECTED GRAPH VIEW G "
+  EXPECT_FALSE(Exec(db, "CREATE UNDIRECTED GRAPH VIEW G "
                           "VERTEXES (ID = id) FROM n "
                           "EDGES (ID = id, FROM = a, TO = b) FROM e")
                    .ok());
   EXPECT_EQ(db.catalog().FindGraphView("G"), nullptr);
-  EXPECT_FALSE(db.Execute("DROP TABLE e").ok());
+  EXPECT_FALSE(Exec(db, "DROP TABLE e").ok());
   EXPECT_NE(db.catalog().FindTable("e"), nullptr);
   FailpointRegistry::Global().DisarmAll();
   EXPECT_TRUE(db.durability_status().ok());
   // With the writer healthy again every statement works, including against
   // the reattached drop target.
-  ASSERT_TRUE(db.Execute("CREATE INDEX idx_v ON n (v)").ok());
-  ASSERT_TRUE(db.Execute("INSERT INTO e VALUES (10, 1, 1)").ok());
-  ASSERT_TRUE(db.Execute("DROP TABLE e").ok());
+  ASSERT_TRUE(Exec(db, "CREATE INDEX idx_v ON n (v)").ok());
+  ASSERT_TRUE(Exec(db, "INSERT INTO e VALUES (10, 1, 1)").ok());
+  ASSERT_TRUE(Exec(db, "DROP TABLE e").ok());
   EXPECT_EQ(db.catalog().FindTable("e"), nullptr);
 }
 
 TEST_F(RecoveryTest, BulkInsertWalFailureRollsBackAppliedRows) {
   TempDir dir;
   Database db(PlannerOptions(), Durable(dir.path()));
-  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+  ASSERT_TRUE(ExecScript(db, "CREATE TABLE t (id BIGINT); "
                                "INSERT INTO t VALUES (1)")
                   .ok());
   // A bulk load whose WAL batch cannot be appended must not publish its
@@ -508,7 +510,7 @@ TEST_F(RecoveryTest, BulkInsertWalFailureRollsBackAppliedRows) {
 TEST_F(RecoveryTest, MidAppendTearStickyFailsTheWriter) {
   TempDir dir;
   Database db(PlannerOptions(), Durable(dir.path()));
-  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+  ASSERT_TRUE(ExecScript(db, "CREATE TABLE t (id BIGINT); "
                                "INSERT INTO t VALUES (1)")
                   .ok());
   // A torn append leaves half a frame on disk: the writer poisons itself so
@@ -516,9 +518,9 @@ TEST_F(RecoveryTest, MidAppendTearStickyFailsTheWriter) {
   FailpointRegistry::Spec oneshot;
   oneshot.mode = FailpointRegistry::Spec::Mode::kOneShot;
   FailpointRegistry::Global().Arm("wal.append.mid", oneshot);
-  EXPECT_FALSE(db.Execute("INSERT INTO t VALUES (2)").ok());
+  EXPECT_FALSE(Exec(db, "INSERT INTO t VALUES (2)").ok());
   FailpointRegistry::Global().DisarmAll();
-  Status after = db.Execute("INSERT INTO t VALUES (3)").status();
+  Status after = Exec(db, "INSERT INTO t VALUES (3)").status();
   EXPECT_FALSE(after.ok()) << "sticky WAL failure must fence writes";
   EXPECT_FALSE(db.durability_status().ok());
   // Reads keep working against the in-memory state.
@@ -529,7 +531,7 @@ TEST_F(RecoveryTest, EpochsAdvanceMonotonicallyAcrossReopen) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+    ASSERT_TRUE(ExecScript(db, "CREATE TABLE t (id BIGINT); "
                                  "INSERT INTO t VALUES (1); "
                                  "INSERT INTO t VALUES (2); "
                                  "UPDATE t SET id = 20 WHERE id = 2")
@@ -540,7 +542,7 @@ TEST_F(RecoveryTest, EpochsAdvanceMonotonicallyAcrossReopen) {
   // The epoch authority resumed past every logged epoch: new DML versions
   // stamp strictly later epochs, so snapshots stay unambiguous.
   EXPECT_GT(recovered.durability()->recovery_stats().max_epoch, 1u);
-  ASSERT_TRUE(recovered.Execute("UPDATE t SET id = 30 WHERE id = 20").ok());
+  ASSERT_TRUE(Exec(recovered, "UPDATE t SET id = 30 WHERE id = 20").ok());
   EXPECT_EQ(DumpSorted(recovered, "t"),
             (std::vector<std::string>{"1|", "30|"}));
 }
@@ -549,7 +551,7 @@ TEST_F(RecoveryTest, BulkInsertIsLogged) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT, v VARCHAR)").ok());
+    ASSERT_TRUE(Exec(db, "CREATE TABLE t (id BIGINT, v VARCHAR)").ok());
     ASSERT_TRUE(db.BulkInsert("t", {{Value::BigInt(1), Value::Varchar("a")},
                                     {Value::BigInt(2), Value::Varchar("b")}})
                     .ok());
@@ -571,14 +573,14 @@ TEST_F(RecoveryTest, CheckpointFailpointsLeaveRecoverableState) {
     TempDir dir;
     {
       Database db(PlannerOptions(), Durable(dir.path()));
-      ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+      ASSERT_TRUE(ExecScript(db, "CREATE TABLE t (id BIGINT); "
                                    "INSERT INTO t VALUES (1), (2)")
                       .ok());
       FailpointRegistry::Global().Arm(site, {});
-      EXPECT_FALSE(db.Execute("CHECKPOINT").ok());
+      EXPECT_FALSE(Exec(db, "CHECKPOINT").ok());
       FailpointRegistry::Global().DisarmAll();
       EXPECT_TRUE(db.durability_status().ok());
-      ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (3)").ok());
+      ASSERT_TRUE(Exec(db, "INSERT INTO t VALUES (3)").ok());
     }
     Database recovered(PlannerOptions(), Durable(dir.path()));
     ASSERT_TRUE(recovered.durability_status().ok());
@@ -596,17 +598,17 @@ TEST_F(RecoveryTest, CheckpointSwapFailureFencesWritesOffSupersededWal) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (id BIGINT); "
+    ASSERT_TRUE(ExecScript(db, "CREATE TABLE t (id BIGINT); "
                                  "INSERT INTO t VALUES (1), (2)")
                     .ok());
     FailpointRegistry::Global().Arm("checkpoint.swap", {});
-    EXPECT_FALSE(db.Execute("CHECKPOINT").ok());
+    EXPECT_FALSE(Exec(db, "CHECKPOINT").ok());
     FailpointRegistry::Global().DisarmAll();
     // The fence is sticky: no write may extend the superseded-generation
     // log, so nothing can be acknowledged that recovery would then lose.
     EXPECT_FALSE(db.durability_status().ok());
-    EXPECT_FALSE(db.Execute("INSERT INTO t VALUES (3)").ok());
-    EXPECT_FALSE(db.Execute("CREATE TABLE u (id BIGINT)").ok());
+    EXPECT_FALSE(Exec(db, "INSERT INTO t VALUES (3)").ok());
+    EXPECT_FALSE(Exec(db, "CREATE TABLE u (id BIGINT)").ok());
     // Reads keep serving the in-memory state (which equals the checkpoint).
     EXPECT_EQ(DumpSorted(db, "t"), (std::vector<std::string>{"1|", "2|"}));
   }
@@ -616,14 +618,14 @@ TEST_F(RecoveryTest, CheckpointSwapFailureFencesWritesOffSupersededWal) {
   EXPECT_TRUE(recovered.durability()->recovery_stats().checkpoint_loaded);
   EXPECT_EQ(DumpSorted(recovered, "t"),
             (std::vector<std::string>{"1|", "2|"}));
-  ASSERT_TRUE(recovered.Execute("INSERT INTO t VALUES (4)").ok());
+  ASSERT_TRUE(Exec(recovered, "INSERT INTO t VALUES (4)").ok());
 }
 
 TEST_F(RecoveryTest, PreparedStatementsSurviveThroughWal) {
   TempDir dir;
   {
     Database db(PlannerOptions(), Durable(dir.path()));
-    ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT, v VARCHAR)").ok());
+    ASSERT_TRUE(Exec(db, "CREATE TABLE t (id BIGINT, v VARCHAR)").ok());
     Session session(db);
     auto prep = session.Prepare("INSERT INTO t VALUES (?, ?)");
     ASSERT_TRUE(prep.ok()) << prep.status().ToString();

@@ -339,9 +339,15 @@ TEST_F(SessionTest, TwoSessionsShareOneDatabase) {
             5);
 }
 
-TEST_F(SessionTest, CompatShimsStillWork) {
-  ASSERT_TRUE(db_.ExecuteScript("CREATE TABLE shim (id BIGINT)").ok());
-  auto r = db_.Execute("SELECT COUNT(*) FROM shim");
+TEST_F(SessionTest, ThrowawaySessionsSeeSharedCatalog) {
+  // The old Database::Execute shims are gone; one-shot statements run on a
+  // short-lived Session and still observe (and mutate) shared state.
+  {
+    Session one_shot(db_);
+    ASSERT_TRUE(one_shot.ExecuteScript("CREATE TABLE shim (id BIGINT)").ok());
+  }
+  Session later(db_);
+  auto r = later.Execute("SELECT COUNT(*) FROM shim");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->ScalarValue().AsBigInt(), 0);
 }

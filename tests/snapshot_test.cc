@@ -18,6 +18,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "sql_test_util.h"
 #include "engine/session.h"
 #include "graph/graph_view.h"
 #include "storage/table.h"
@@ -188,7 +189,7 @@ std::multiset<std::string> Topology(const GraphView& gv) {
 class SnapshotTxnTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    ASSERT_TRUE(ExecScript(db_, R"sql(
       CREATE TABLE v (id BIGINT PRIMARY KEY, tag VARCHAR);
       CREATE TABLE e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
                       w DOUBLE);
@@ -367,7 +368,7 @@ TEST_F(SnapshotTxnTest, ImplicitMultiRowInsertIsAtomic) {
 // any statement observing a half-applied transaction breaks an invariant.
 TEST(SnapshotTortureTest, ReadersSeeCommitBoundaryConsistentStates) {
   Database db;
-  ASSERT_TRUE(db.ExecuteScript(R"sql(
+  ASSERT_TRUE(ExecScript(db, R"sql(
     CREATE TABLE acct (id BIGINT PRIMARY KEY, bal BIGINT);
     CREATE TABLE vx (id BIGINT PRIMARY KEY);
     CREATE TABLE ex (id BIGINT PRIMARY KEY, s BIGINT, d BIGINT);
@@ -375,7 +376,7 @@ TEST(SnapshotTortureTest, ReadersSeeCommitBoundaryConsistentStates) {
     INSERT INTO vx VALUES (0), (1), (2), (3);
   )sql")
                   .ok());
-  ASSERT_TRUE(db.ExecuteScript(
+  ASSERT_TRUE(ExecScript(db, 
                     "CREATE DIRECTED GRAPH VIEW tg "
                     "VERTEXES (ID = id) FROM vx "
                     "EDGES (ID = id, FROM = s, TO = d) FROM ex;")
@@ -471,11 +472,11 @@ TEST(SnapshotTortureTest, PinnedReadersSurviveFoldAndVacuumBatches) {
   constexpr int kRows = 8;
   constexpr int64_t kSum = 8 * 50;
   ASSERT_TRUE(
-      db.ExecuteScript("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
+      ExecScript(db, "CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
           .ok());
   for (int i = 0; i < kRows; ++i) {
     ASSERT_TRUE(
-        db.Execute(StrFormat("INSERT INTO t VALUES (%d, 50)", i)).ok());
+        Exec(db, StrFormat("INSERT INTO t VALUES (%d, 50)", i)).ok());
   }
   EngineMetrics& m = EngineMetrics::Get();
   const uint64_t folds_before = m.mvcc_folds_total->value();
@@ -535,7 +536,7 @@ TEST(SnapshotTortureTest, PinnedReadersSurviveFoldAndVacuumBatches) {
   EXPECT_GT(m.mvcc_folds_total->value(), folds_before);
   EXPECT_GT(m.mvcc_vacuumed_versions_total->value(), vacuumed_before);
   // Quiescent state: the final values are intact after all that reclamation.
-  auto sum = db.Execute("SELECT SUM(v), COUNT(v) FROM t");
+  auto sum = Exec(db, "SELECT SUM(v), COUNT(v) FROM t");
   ASSERT_TRUE(sum.ok());
   EXPECT_EQ(sum->rows[0][0].AsBigInt(), kSum);
   EXPECT_EQ(sum->rows[0][1].AsBigInt(), kRows);

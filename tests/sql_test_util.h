@@ -1,0 +1,28 @@
+// One-shot SQL helpers for tests.
+//
+// The engine's statement API lives on grfusion::Session (Database itself no
+// longer executes SQL). Most test assertions just need "run this autocommit
+// statement against that database", so these helpers spin up a throwaway
+// Session per call. Tests that exercise session state — explicit
+// transactions, SYS.LAST_QUERY profiles, interrupts — must create a Session
+// of their own and keep it alive across statements.
+#pragma once
+
+#include <string_view>
+
+#include "engine/database.h"
+#include "engine/session.h"
+
+namespace grfusion {
+
+inline StatusOr<ResultSet> Exec(Database& db, std::string_view sql) {
+  Session session(db);
+  return session.Execute(sql);
+}
+
+inline Status ExecScript(Database& db, std::string_view sql) {
+  Session session(db);
+  return session.ExecuteScript(sql);
+}
+
+}  // namespace grfusion

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "sql_test_util.h"
 #include "workload/csv.h"
 #include "workload/datasets.h"
 #include "workload/queries.h"
@@ -115,7 +116,7 @@ TEST(CsvTest, RoundTrip) {
   ASSERT_TRUE(WriteDatasetCsv(bio, dir.string()).ok());
 
   Database db;
-  ASSERT_TRUE(db.ExecuteScript(R"sql(
+  ASSERT_TRUE(ExecScript(db, R"sql(
     CREATE TABLE bio_v (id BIGINT PRIMARY KEY, name VARCHAR, kind VARCHAR,
                         score DOUBLE);
     CREATE TABLE bio_e (id BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
@@ -130,7 +131,7 @@ TEST(CsvTest, RoundTrip) {
   EXPECT_EQ(db.catalog().FindTable("bio_e")->NumRows(), bio.edges.size());
 
   // The loaded tables materialize into a graph view identical in shape.
-  ASSERT_TRUE(db.ExecuteScript(
+  ASSERT_TRUE(ExecScript(db, 
                     "CREATE UNDIRECTED GRAPH VIEW bio "
                     "VERTEXES (ID = id, name = name) FROM bio_v "
                     "EDGES (ID = id, FROM = src, TO = dst, w = weight) "
@@ -142,7 +143,7 @@ TEST(CsvTest, RoundTrip) {
 
 TEST(CsvTest, Errors) {
   Database db;
-  ASSERT_TRUE(db.Execute("CREATE TABLE t (a BIGINT, b VARCHAR)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (a BIGINT, b VARCHAR)").ok());
   EXPECT_FALSE(LoadCsvIntoTable(&db, "t", "/nonexistent/file.csv").ok());
   EXPECT_FALSE(LoadCsvIntoTable(&db, "missing_table", "/tmp/x.csv").ok());
 
@@ -158,16 +159,16 @@ TEST(CsvTest, Errors) {
 
 TEST(CsvTest, QuotedFieldsAndNulls) {
   Database db;
-  ASSERT_TRUE(db.Execute("CREATE TABLE t (a BIGINT, b VARCHAR)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (a BIGINT, b VARCHAR)").ok());
   std::string path = "/tmp/grf_quoted_csv_test.csv";
   FILE* f = fopen(path.c_str(), "w");
   fputs("a,b\n1,\"hello, \"\"world\"\"\"\n,empty-a\n", f);
   fclose(f);
   ASSERT_TRUE(LoadCsvIntoTable(&db, "t", path).ok());
-  auto r = db.Execute("SELECT b FROM t WHERE a = 1");
+  auto r = Exec(db, "SELECT b FROM t WHERE a = 1");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows[0][0].AsVarchar(), "hello, \"world\"");
-  r = db.Execute("SELECT COUNT(*) FROM t WHERE a IS NULL");
+  r = Exec(db, "SELECT COUNT(*) FROM t WHERE a IS NULL");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->ScalarValue().AsBigInt(), 1);
   std::remove(path.c_str());

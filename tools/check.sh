@@ -31,7 +31,7 @@ run_config() {
 run_graph_diff() {
   local dir="$1"
   ctest --test-dir "$dir" --output-on-failure \
-    -R 'GraphDiff|Frontier|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation|Session|PlanCache|Prepared|Concurrency|Snapshot|Recovery|CrashRecover'
+    -R 'GraphDiff|Frontier|ParallelEnum|ParallelTopK|TaskPool|FaultInjection|Robustness|Failpoint|Cancellation|Session|PlanCache|Prepared|Concurrency|Snapshot|Recovery|CrashRecover|Server|StatusCodeWire|RowBatch'
   local seed="${GRF_FUZZ_SEED:-$RANDOM$RANDOM}"
   echo "== graph differential + fault-injection suites, random seed ${seed} =="
   GRF_FUZZ_SEED="$seed" ctest --test-dir "$dir" --output-on-failure \
@@ -58,6 +58,15 @@ GRF_BENCH_MIN_TIME="${GRF_BENCH_MIN_TIME:-0.05}" ./build/bench/throughput --mixe
 # batching working). Leaves BENCH_throughput_wal.json behind.
 echo "== durability throughput smoke (WAL + group commit) =="
 GRF_BENCH_MIN_TIME="${GRF_BENCH_MIN_TIME:-0.05}" ./build/bench/throughput --durability
+
+# Server smoke: multi-process load against the wire protocol — 4 client
+# processes, mixed prepared point reads + writes, durable group-commit WAL
+# database. Exits non-zero on any client-visible error; leaves
+# BENCH_server.json behind (QPS, p50/p99 latency).
+echo "== server load smoke (wire protocol, 4 processes) =="
+GRF_SERVER_LOAD_CLIENTS="${GRF_SERVER_LOAD_CLIENTS:-4}" \
+  GRF_SERVER_LOAD_SECONDS="${GRF_SERVER_LOAD_SECONDS:-1}" \
+  ./build/bench/server_load
 
 # Observability smoke: re-run the bench briefly with the trace sink armed
 # (sample every query), then validate the emitted Chrome trace documents and

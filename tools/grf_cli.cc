@@ -1,0 +1,137 @@
+// grf_cli: interactive SQL shell over the wire protocol.
+//
+//   grf_cli --port 5433
+//   grf_cli --port 5433 -c "SELECT * FROM SYS.CONNECTIONS"
+//
+// Reads ';'-terminated statements from stdin, prints results as ASCII
+// tables plus the server-side stats trailer. `\q` quits.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+void RunStatement(grfusion::Client& client, const std::string& sql) {
+  grfusion::StatusOr<grfusion::ResultSet> result = client.Query(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error %d (%s): %s\n",
+                 grfusion::StatusCodeToWire(result.status().code()),
+                 grfusion::StatusCodeToString(result.status().code()),
+                 result.status().message().c_str());
+    return;
+  }
+  if (!result->column_names.empty()) {
+    std::fputs(result->ToString(1000).c_str(), stdout);
+  }
+  const grfusion::Client::Stats& s = client.last_stats();
+  std::printf("-- %llu row(s)%s in %llu us",
+              static_cast<unsigned long long>(
+                  result->column_names.empty() ? s.rows_affected : s.num_rows),
+              result->column_names.empty() ? " affected" : "",
+              static_cast<unsigned long long>(s.latency_us));
+  if (s.rows_scanned != 0 || s.edges_examined != 0) {
+    std::printf(" (scanned %llu, joined %llu, edges %llu, paths %llu)",
+                static_cast<unsigned long long>(s.rows_scanned),
+                static_cast<unsigned long long>(s.rows_joined),
+                static_cast<unsigned long long>(s.edges_examined),
+                static_cast<unsigned long long>(s.paths_emitted));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 5433;
+  std::string command;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "-c" || arg == "--command") {
+      command = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host ADDR] [--port N] [-c SQL]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  grfusion::Client client;
+  grfusion::Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.message().c_str());
+    return 1;
+  }
+
+  if (!command.empty()) {
+    // Split the one-shot command on ';' (outside single-quoted strings) so
+    // "-c 'CREATE ...; INSERT ...; SELECT ...'" behaves like the shell.
+    std::string stmt;
+    bool in_string = false;
+    for (char c : command) {
+      if (c == '\'') in_string = !in_string;
+      if (c == ';' && !in_string) {
+        if (stmt.find_first_not_of(" \t\r\n") != std::string::npos) {
+          RunStatement(client, stmt);
+          if (!client.connected()) return 1;
+        }
+        stmt.clear();
+      } else {
+        stmt += c;
+      }
+    }
+    if (stmt.find_first_not_of(" \t\r\n") != std::string::npos) {
+      RunStatement(client, stmt);
+    }
+    return 0;
+  }
+
+  std::printf("connected to %s:%u (conn %llu); end statements with ';', "
+              "\\q quits\n",
+              host.c_str(), static_cast<unsigned>(port),
+              static_cast<unsigned long long>(client.conn_id()));
+  std::string pending;
+  std::string line;
+  while (true) {
+    std::fputs(pending.empty() ? "grf> " : "...> ", stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (pending.empty() && (line == "\\q" || line == "quit" ||
+                            line == "exit")) {
+      break;
+    }
+    pending += line;
+    pending += '\n';
+    // Execute once the buffer holds a ';' terminator (crude but matches the
+    // engine's own script splitting — strings with ';' go through -c).
+    size_t semi = pending.rfind(';');
+    if (semi == std::string::npos) continue;
+    std::string sql = pending.substr(0, semi);
+    pending.clear();
+    if (sql.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    RunStatement(client, sql);
+    if (!client.connected()) {
+      std::fprintf(stderr, "connection lost\n");
+      return 1;
+    }
+  }
+  return 0;
+}

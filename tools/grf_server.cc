@@ -1,0 +1,124 @@
+// grf_server: stand-alone network front-end for a GRFusion database.
+//
+//   grf_server --port 5433 --data-dir /var/lib/grf
+//
+// Runs until SIGINT/SIGTERM, then drains in-flight statements and exits.
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "engine/database.h"
+#include "server/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --host ADDR              listen address (default 127.0.0.1)\n"
+               "  --port N                 listen port (default 5433; 0 = ephemeral)\n"
+               "  --data-dir PATH          durable data directory (default: memory-only)\n"
+               "  --max-connections N      connection limit (default 64)\n"
+               "  --max-concurrent N       statements executing at once (default 8)\n"
+               "  --max-queue N            admission queue depth (default 16)\n"
+               "  --queue-timeout-ms N     admission queue deadline (default 2000)\n"
+               "  --drain-timeout-ms N     graceful-shutdown budget (default 2000)\n"
+               "  --statement-timeout-us N per-statement time limit (default: none)\n"
+               "  --memory-cap BYTES       per-query memory budget (default: engine)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  grfusion::ServerOptions opts;
+  opts.port = 5433;
+  std::string data_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      opts.host = next();
+    } else if (arg == "--port") {
+      opts.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--data-dir") {
+      data_dir = next();
+    } else if (arg == "--max-connections") {
+      opts.max_connections = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--max-concurrent") {
+      opts.max_concurrent_queries = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--max-queue") {
+      opts.max_queue = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--queue-timeout-ms") {
+      opts.queue_timeout_ms = std::atoll(next());
+    } else if (arg == "--drain-timeout-ms") {
+      opts.drain_timeout_ms = std::atoll(next());
+    } else if (arg == "--statement-timeout-us") {
+      opts.statement_timeout_us = std::atoll(next());
+    } else if (arg == "--memory-cap") {
+      opts.memory_cap = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  grfusion::DurabilityOptions durability;
+  durability.data_dir = data_dir;
+  grfusion::Database db(grfusion::PlannerOptions(), durability);
+  if (!data_dir.empty()) {
+    grfusion::Status recovered = db.durability_status();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.message().c_str());
+      return 1;
+    }
+  }
+
+  grfusion::Server server(db, opts);
+  grfusion::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf("grf_server listening on %s:%u (%s)\n", opts.host.c_str(),
+              static_cast<unsigned>(server.port()),
+              data_dir.empty() ? "memory-only"
+                               : ("durable: " + data_dir).c_str());
+  std::fflush(stdout);
+
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining...\n");
+  server.Stop();
+  return 0;
+}
